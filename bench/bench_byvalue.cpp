@@ -1,0 +1,86 @@
+// B6 (§3.1): pass-by-value (`incopy`) vs pass-by-reference. The paper's
+// rationale for incopy: an object passed by reference costs a remote
+// round trip per method the receiver invokes on it; a Serializable object
+// passed by value costs one marshal but every access is then local.
+//
+// Expected shape: by-reference wins when the receiver touches the object
+// 0-1 times; by-value wins as soon as the receiver makes several
+// accesses, and the crossover moves toward by-value as access count grows.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "demo/demo.h"
+#include "orb/orb.h"
+#include "orb/registry.h"
+
+namespace {
+
+using heidi::orb::ObjectRef;
+using heidi::orb::Orb;
+using heidi::orb::OrbOptions;
+
+// A server object whose g() probes the received HdS `touches` times —
+// remote round trips for a stub, local calls for a by-value copy.
+class TouchingA : public virtual ::heidi::demo::AImpl {
+ public:
+  explicit TouchingA(int touches) : touches_(touches) {}
+  void g(HdS* s) override {
+    long sum = 0;
+    for (int i = 0; i < touches_; ++i) sum += s->value();
+    benchmark::DoNotOptimize(sum);
+  }
+
+ private:
+  int touches_;
+};
+
+struct World {
+  explicit World(int touches) : impl(touches) {
+    heidi::demo::ForceDemoRegistration();
+    static std::atomic<int> counter{0};
+    int id = counter.fetch_add(1);
+    OrbOptions server_options;
+    server_options.inproc_name = "bv-server-" + std::to_string(id);
+    OrbOptions client_options;
+    client_options.inproc_name = "bv-client-" + std::to_string(id);
+    server = std::make_unique<Orb>(server_options);
+    client = std::make_unique<Orb>(client_options);
+    ref = server->ExportObject(&impl, "IDL:Heidi/A:1.0");
+    a = client->ResolveAs<HdA>(ref.ToString());
+  }
+  ~World() {
+    client->Shutdown();
+    server->Shutdown();
+  }
+
+  TouchingA impl;
+  std::unique_ptr<Orb> server;
+  std::unique_ptr<Orb> client;
+  ObjectRef ref;
+  std::shared_ptr<HdA> a;
+};
+
+void BM_IncopyByValue(benchmark::State& state) {
+  World world(static_cast<int>(state.range(0)));
+  heidi::demo::SerializableS value(42);  // serializable: travels by value
+  for (auto _ : state) {
+    world.a->g(&value);
+  }
+  state.SetLabel("by-value, " + std::to_string(state.range(0)) + " touches");
+}
+BENCHMARK(BM_IncopyByValue)->Arg(0)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
+
+void BM_IncopyByReference(benchmark::State& state) {
+  World world(static_cast<int>(state.range(0)));
+  heidi::demo::SImpl plain(42);  // not serializable: falls back to by-ref
+  for (auto _ : state) {
+    world.a->g(&plain);
+  }
+  state.SetLabel("by-reference, " + std::to_string(state.range(0)) +
+                 " touches");
+}
+BENCHMARK(BM_IncopyByReference)
+    ->Arg(0)->Arg(1)->Arg(4)->Arg(16)->UseRealTime();
+
+}  // namespace

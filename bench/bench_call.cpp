@@ -1,0 +1,146 @@
+// B3 (§3.1, Fig 4/5): end-to-end remote method invocation latency — full
+// stub -> Call -> ObjectCommunicator -> skeleton -> impl -> reply path —
+// for each protocol x transport, and by payload size.
+//
+// Expected shape: hiop beats text modestly on small calls (both dominated
+// by the round trip) and clearly as payload grows; the in-memory
+// transport isolates protocol cost from kernel socket cost.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "demo/demo.h"
+#include "orb/orb.h"
+
+namespace {
+
+using heidi::demo::EchoImpl;
+using heidi::orb::ObjectRef;
+using heidi::orb::Orb;
+using heidi::orb::OrbOptions;
+
+struct World {
+  World(const char* protocol, bool tcp) {
+    heidi::demo::ForceDemoRegistration();
+    static std::atomic<int> counter{0};
+    int id = counter.fetch_add(1);
+    OrbOptions server_options;
+    server_options.protocol = protocol;
+    OrbOptions client_options = server_options;
+    if (!tcp) {
+      server_options.inproc_name = "bench-server-" + std::to_string(id);
+      client_options.inproc_name = "bench-client-" + std::to_string(id);
+    }
+    server = std::make_unique<Orb>(server_options);
+    client = std::make_unique<Orb>(client_options);
+    if (tcp) {
+      server->ListenTcp();
+      client->ListenTcp();
+    }
+    ref = server->ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+    echo = client->ResolveAs<HdEcho>(ref.ToString());
+  }
+  ~World() {
+    client->Shutdown();
+    server->Shutdown();
+  }
+
+  EchoImpl impl;
+  std::unique_ptr<Orb> server;
+  std::unique_ptr<Orb> client;
+  ObjectRef ref;
+  std::shared_ptr<HdEcho> echo;
+};
+
+void BM_CallAdd(benchmark::State& state) {
+  const char* protocol = state.range(0) == 0 ? "text" : "hiop";
+  const bool tcp = state.range(1) == 1;
+  World world(protocol, tcp);
+  long i = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.echo->add(i, i));
+    ++i;
+  }
+  state.SetLabel(std::string(protocol) + "/" + (tcp ? "tcp" : "inproc"));
+}
+BENCHMARK(BM_CallAdd)
+    ->Args({0, 0})->Args({1, 0})
+    ->Args({0, 1})->Args({1, 1})
+    ->UseRealTime();
+
+void BM_CallEchoString(benchmark::State& state) {
+  const char* protocol = state.range(0) == 0 ? "text" : "hiop";
+  const bool tcp = state.range(1) == 1;
+  const int size = static_cast<int>(state.range(2));
+  World world(protocol, tcp);
+  std::string payload(static_cast<size_t>(size), 'p');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.echo->echo(payload));
+  }
+  state.SetBytesProcessed(state.iterations() * size * 2);  // there and back
+  state.SetLabel(std::string(protocol) + "/" + (tcp ? "tcp" : "inproc"));
+}
+BENCHMARK(BM_CallEchoString)
+    ->Args({0, 0, 64})->Args({1, 0, 64})
+    ->Args({0, 0, 65536})->Args({1, 0, 65536})
+    ->Args({0, 1, 64})->Args({1, 1, 64})
+    ->Args({0, 1, 65536})->Args({1, 1, 65536})
+    ->UseRealTime();
+
+void BM_CallOneway(benchmark::State& state) {
+  const char* protocol = state.range(0) == 0 ? "text" : "hiop";
+  World world(protocol, /*tcp=*/true);
+  int posted = 0;
+  for (auto _ : state) {
+    world.echo->post("event");
+    ++posted;
+  }
+  // Drain before teardown so the server is not mid-dispatch at shutdown.
+  world.impl.WaitForPosts(static_cast<size_t>(posted), /*timeout_ms=*/10000);
+  state.SetLabel(std::string(protocol) + "/tcp oneway");
+}
+BENCHMARK(BM_CallOneway)->Arg(0)->Arg(1)->UseRealTime();
+
+// Interceptor ablation (§5 filters pattern): cost of N no-op client and
+// N no-op server interceptors on the invocation path.
+void BM_CallWithInterceptors(benchmark::State& state) {
+  class Noop : public heidi::orb::ClientInterceptor {};
+  class NoopServer : public heidi::orb::ServerInterceptor {};
+  const int count = static_cast<int>(state.range(0));
+  World world("text", /*tcp=*/false);
+  for (int i = 0; i < count; ++i) {
+    world.client->AddClientInterceptor(std::make_shared<Noop>());
+    world.server->AddServerInterceptor(std::make_shared<NoopServer>());
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(world.echo->add(1, 2));
+  }
+  state.SetLabel(std::to_string(count) + "+"+ std::to_string(count) +
+                 " interceptors");
+}
+BENCHMARK(BM_CallWithInterceptors)->Arg(0)->Arg(1)->Arg(4)->UseRealTime();
+
+// Dispatch-strategy effect on a real call (not just table lookup): the A
+// interface has 9 operations across its skeleton chain.
+void BM_CallDispatchStrategy(benchmark::State& state) {
+  auto strategy = static_cast<heidi::orb::DispatchStrategy>(state.range(0));
+  heidi::demo::ForceDemoRegistration();
+  OrbOptions server_options;
+  server_options.dispatch = strategy;
+  Orb server(server_options);
+  server.ListenTcp();
+  Orb client;
+  heidi::demo::AImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/A:1.0");
+  auto a = client.ResolveAs<HdA>(ref.ToString());
+  for (auto _ : state) {
+    a->p(1);  // found in A_skel's own table
+    a->ping();  // requires delegation to S_skel (§3.1 recursive dispatch)
+  }
+  client.Shutdown();
+  server.Shutdown();
+  state.SetLabel(std::string(DispatchStrategyName(strategy)));
+}
+BENCHMARK(BM_CallDispatchStrategy)->Arg(0)->Arg(1)->Arg(2)->UseRealTime();
+
+}  // namespace

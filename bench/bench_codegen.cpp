@@ -1,0 +1,185 @@
+// B7 (§4.1): the two-step code-generation pipeline. Stage costs (parse,
+// sema, EST build, template compile, template execute), the payoff of
+// compiling a template once and reusing it (the paper's step 1 "need only
+// be performed once for a particular code-generation template"), and
+// rebuilding the EST in-process vs re-parsing an external representation
+// ("evaluating a perl program that directly rebuilds the EST... is
+// certainly more efficient than parsing an external representation").
+//
+// Expected shape: template execution dominates compile after a handful of
+// reuses; deserializing the external EST costs a significant fraction of
+// a full re-parse, which is why the paper keeps the hand-off in-process.
+#include <benchmark/benchmark.h>
+
+#include <sstream>
+
+#include "codegen/codegen.h"
+#include "est/est.h"
+#include "idl/idl.h"
+#include "tmpl/tmpl.h"
+
+namespace {
+
+// Synthetic IDL: `interfaces` interfaces of `methods` methods each.
+std::string SyntheticIdl(int interfaces, int methods) {
+  std::ostringstream os;
+  os << "module Bench {\n";
+  os << "  enum Mode { On, Off };\n";
+  for (int i = 0; i < interfaces; ++i) {
+    os << "  interface I" << i;
+    if (i > 0) os << " : I" << i - 1;
+    os << " {\n";
+    for (int m = 0; m < methods; ++m) {
+      os << "    long method_" << i << "_" << m
+         << "(in long a, in string s, in Mode m = On);\n";
+    }
+    os << "    readonly attribute long status" << i << ";\n";
+    os << "  };\n";
+  }
+  os << "};\n";
+  return os.str();
+}
+
+void BM_Parse(benchmark::State& state) {
+  std::string idl = SyntheticIdl(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heidi::idl::Parse(idl, "bench.idl"));
+  }
+  state.SetBytesProcessed(state.iterations() * idl.size());
+}
+BENCHMARK(BM_Parse)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_ParseAndResolve(benchmark::State& state) {
+  std::string idl = SyntheticIdl(static_cast<int>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heidi::idl::ParseAndResolve(idl, "bench.idl"));
+  }
+  state.SetBytesProcessed(state.iterations() * idl.size());
+}
+BENCHMARK(BM_ParseAndResolve)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_BuildEst(benchmark::State& state) {
+  std::string idl = SyntheticIdl(static_cast<int>(state.range(0)), 8);
+  heidi::idl::Specification spec =
+      heidi::idl::ParseAndResolve(idl, "bench.idl");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heidi::est::BuildEst(spec));
+  }
+}
+BENCHMARK(BM_BuildEst)->Arg(1)->Arg(8)->Arg(64);
+
+void BM_EstSerialize(benchmark::State& state) {
+  std::string idl = SyntheticIdl(static_cast<int>(state.range(0)), 8);
+  auto est = heidi::est::BuildEst(
+      heidi::idl::ParseAndResolve(idl, "bench.idl"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heidi::est::Serialize(*est));
+  }
+}
+BENCHMARK(BM_EstSerialize)->Arg(8)->Arg(64);
+
+// §4.1's claim: rebuilding in-process beats parsing the external form.
+void BM_EstRebuildInProcess(benchmark::State& state) {
+  std::string idl = SyntheticIdl(static_cast<int>(state.range(0)), 8);
+  heidi::idl::Specification spec =
+      heidi::idl::ParseAndResolve(idl, "bench.idl");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heidi::est::BuildEst(spec));
+  }
+  state.SetLabel("rebuild from resolved AST");
+}
+BENCHMARK(BM_EstRebuildInProcess)->Arg(8)->Arg(64);
+
+void BM_EstParseExternal(benchmark::State& state) {
+  std::string idl = SyntheticIdl(static_cast<int>(state.range(0)), 8);
+  std::string text = heidi::est::Serialize(
+      *heidi::est::BuildEst(heidi::idl::ParseAndResolve(idl, "bench.idl")));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(heidi::est::Deserialize(text));
+  }
+  state.SetLabel("parse external EST text");
+}
+BENCHMARK(BM_EstParseExternal)->Arg(8)->Arg(64);
+
+// Template compile (step 1) vs execute (step 2).
+void BM_TemplateCompile(benchmark::State& state) {
+  const heidi::codegen::Mapping* mapping =
+      heidi::codegen::FindBuiltinMapping("heidi_cpp");
+  const std::string& text = mapping->templates[0].text;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        heidi::tmpl::CompileTemplate(text, "heidi_cpp/interface"));
+  }
+}
+BENCHMARK(BM_TemplateCompile);
+
+void BM_TemplateExecute(benchmark::State& state) {
+  const heidi::codegen::Mapping* mapping =
+      heidi::codegen::FindBuiltinMapping("heidi_cpp");
+  std::string idl = SyntheticIdl(static_cast<int>(state.range(0)), 8);
+  auto est = heidi::est::BuildEst(
+      heidi::idl::ParseAndResolve(idl, "bench.idl"));
+  heidi::tmpl::TemplateProgram program = heidi::tmpl::CompileTemplate(
+      mapping->templates[0].text, "heidi_cpp/interface");
+  heidi::tmpl::MapRegistry maps = heidi::tmpl::MapRegistry::Builtins();
+  heidi::tmpl::ExecOptions options;
+  options.globals["sourceBase"] = "bench";
+  for (auto _ : state) {
+    heidi::tmpl::StringSink sink;
+    heidi::tmpl::Execute(program, *est, maps, sink, options);
+    benchmark::DoNotOptimize(sink.FileNames());
+  }
+}
+BENCHMARK(BM_TemplateExecute)->Arg(1)->Arg(8)->Arg(64);
+
+// Merged comparison: recompile-template-every-run vs compile-once-reuse
+// over N inputs (the paper's recompiling-the-compiler analogy).
+void BM_GenerateRecompilingTemplate(benchmark::State& state) {
+  const heidi::codegen::Mapping* mapping =
+      heidi::codegen::FindBuiltinMapping("heidi_cpp");
+  std::string idl = SyntheticIdl(8, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        heidi::codegen::GenerateFromSource(idl, "bench.idl", *mapping));
+  }
+  state.SetLabel("compile template per run");
+}
+BENCHMARK(BM_GenerateRecompilingTemplate);
+
+void BM_GenerateReusingTemplate(benchmark::State& state) {
+  const heidi::codegen::Mapping* mapping =
+      heidi::codegen::FindBuiltinMapping("heidi_cpp");
+  std::string idl = SyntheticIdl(8, 8);
+  heidi::tmpl::TemplateProgram program = heidi::tmpl::CompileTemplate(
+      mapping->templates[0].text, "heidi_cpp/interface");
+  heidi::tmpl::MapRegistry maps = heidi::tmpl::MapRegistry::Builtins();
+  heidi::tmpl::ExecOptions options;
+  options.globals["sourceBase"] = "bench";
+  for (auto _ : state) {
+    auto est = heidi::est::BuildEst(
+        heidi::idl::ParseAndResolve(idl, "bench.idl"));
+    heidi::tmpl::StringSink sink;
+    heidi::tmpl::Execute(program, *est, maps, sink, options);
+    benchmark::DoNotOptimize(sink.FileNames());
+  }
+  state.SetLabel("reuse compiled template");
+}
+BENCHMARK(BM_GenerateReusingTemplate);
+
+// Full pipeline throughput per mapping — the "same compiler, different
+// template" sweep.
+void BM_FullPipelinePerMapping(benchmark::State& state) {
+  static const char* kNames[] = {"heidi_cpp", "corba_cpp", "java", "tcl"};
+  const char* name = kNames[state.range(0)];
+  const heidi::codegen::Mapping* mapping =
+      heidi::codegen::FindBuiltinMapping(name);
+  std::string idl = SyntheticIdl(8, 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        heidi::codegen::GenerateFromSource(idl, "bench.idl", *mapping));
+  }
+  state.SetLabel(name);
+}
+BENCHMARK(BM_FullPipelinePerMapping)->Arg(0)->Arg(1)->Arg(2)->Arg(3);
+
+}  // namespace

@@ -1,0 +1,60 @@
+// B4 (§3.1): connection caching. "Connections are cached and reused in
+// HeidiRMI, and only if there is no available connection is a new
+// connection opened."
+//
+// Expected shape: the cached configuration wins by a large factor on TCP
+// (a connect handshake per call otherwise) and a clear factor even on the
+// in-process transport (channel + handler-thread setup per call).
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "demo/demo.h"
+#include "orb/orb.h"
+
+namespace {
+
+using heidi::orb::ObjectRef;
+using heidi::orb::Orb;
+using heidi::orb::OrbOptions;
+
+void RunCalls(benchmark::State& state, bool cache_connections, bool tcp) {
+  heidi::demo::ForceDemoRegistration();
+  static std::atomic<int> counter{0};
+  int id = counter.fetch_add(1);
+  OrbOptions server_options;
+  OrbOptions client_options;
+  client_options.cache_connections = cache_connections;
+  if (!tcp) {
+    server_options.inproc_name = "cc-server-" + std::to_string(id);
+    client_options.inproc_name = "cc-client-" + std::to_string(id);
+  }
+  Orb server(server_options);
+  Orb client(client_options);
+  if (tcp) server.ListenTcp();
+  heidi::demo::EchoImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+  auto echo = client.ResolveAs<HdEcho>(ref.ToString());
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(echo->add(1, 2));
+  }
+  state.counters["connections"] = benchmark::Counter(
+      static_cast<double>(client.Stats().connections_opened));
+  state.SetLabel(std::string(cache_connections ? "cached" : "uncached") +
+                 "/" + (tcp ? "tcp" : "inproc"));
+  client.Shutdown();
+  server.Shutdown();
+}
+
+void BM_ConnCached(benchmark::State& state) {
+  RunCalls(state, /*cache_connections=*/true, state.range(0) == 1);
+}
+void BM_ConnUncached(benchmark::State& state) {
+  RunCalls(state, /*cache_connections=*/false, state.range(0) == 1);
+}
+
+BENCHMARK(BM_ConnCached)->Arg(0)->Arg(1)->UseRealTime();
+BENCHMARK(BM_ConnUncached)->Arg(0)->Arg(1)->UseRealTime();
+
+}  // namespace

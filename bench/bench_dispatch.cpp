@@ -1,0 +1,95 @@
+// B1 (§2 "Incorporating Custom Optimizations"): skeleton dispatch cost by
+// strategy. The paper: "many IDL compilers use string comparisons to
+// implement the dispatching logic in the skeleton. Such a scheme can be
+// very expensive for interfaces with a large number of methods with long
+// names. Alternate schemes that utilize nested comparisons, or a
+// hash-table can result in faster dispatching."
+//
+// Expected shape: linear degrades with method count and name length;
+// binary degrades logarithmically; hash stays flat. Crossover vs linear
+// appears at small method counts already.
+#include <benchmark/benchmark.h>
+
+#include "orb/dispatch.h"
+#include "wire/text.h"
+
+namespace {
+
+using heidi::orb::DispatchStrategy;
+using heidi::orb::DispatchTable;
+
+std::string MethodName(int index, int name_length) {
+  // Long shared prefix — the adversarial case for linear strcmp scans.
+  std::string name(static_cast<size_t>(name_length), 'm');
+  name += "_" + std::to_string(index);
+  return name;
+}
+
+DispatchTable MakeTable(DispatchStrategy strategy, int methods,
+                        int name_length) {
+  DispatchTable table(strategy);
+  for (int i = 0; i < methods; ++i) {
+    table.Add(MethodName(i, name_length),
+              [](heidi::wire::Call&, heidi::wire::Call&) {});
+  }
+  table.Seal();
+  return table;
+}
+
+void RunDispatch(benchmark::State& state, DispatchStrategy strategy) {
+  const int methods = static_cast<int>(state.range(0));
+  const int name_length = static_cast<int>(state.range(1));
+  DispatchTable table = MakeTable(strategy, methods, name_length);
+  // Look names up in a scrambled but deterministic order.
+  std::vector<std::string> probes;
+  for (int i = 0; i < methods; ++i) {
+    probes.push_back(MethodName((i * 7919) % methods, name_length));
+  }
+  heidi::wire::TextCall in{std::vector<std::string>{}};
+  heidi::wire::TextCall out;
+  size_t next = 0;
+  for (auto _ : state) {
+    const auto* handler = table.Find(probes[next]);
+    benchmark::DoNotOptimize(handler);
+    next = (next + 1) % probes.size();
+  }
+  state.SetLabel(std::string(DispatchStrategyName(strategy)));
+}
+
+void Args(benchmark::internal::Benchmark* b) {
+  for (int methods : {2, 8, 32, 128}) {
+    for (int name_length : {4, 16, 64}) {
+      b->Args({methods, name_length});
+    }
+  }
+}
+
+void BM_DispatchLinear(benchmark::State& state) {
+  RunDispatch(state, DispatchStrategy::kLinear);
+}
+void BM_DispatchBinary(benchmark::State& state) {
+  RunDispatch(state, DispatchStrategy::kBinary);
+}
+void BM_DispatchHash(benchmark::State& state) {
+  RunDispatch(state, DispatchStrategy::kHash);
+}
+
+BENCHMARK(BM_DispatchLinear)->Apply(Args);
+BENCHMARK(BM_DispatchBinary)->Apply(Args);
+BENCHMARK(BM_DispatchHash)->Apply(Args);
+
+// Miss cost: a request for an unknown operation must walk the whole
+// linear table before the skeleton chain can delegate (§3.1's recursive
+// dispatch makes misses common on derived interfaces).
+void BM_DispatchMiss(benchmark::State& state) {
+  auto strategy = static_cast<DispatchStrategy>(state.range(0));
+  DispatchTable table = MakeTable(strategy, 64, 16);
+  std::string missing = MethodName(9999, 16);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(table.Find(missing));
+  }
+  state.SetLabel(std::string(DispatchStrategyName(strategy)));
+}
+BENCHMARK(BM_DispatchMiss)->Arg(0)->Arg(1)->Arg(2);
+
+}  // namespace

@@ -1,0 +1,184 @@
+// B2 (§2, §3.1): marshaling cost, text protocol vs binary CDR, per type
+// and for composites — quantifying what the paper trades for telnet
+// debuggability ("such protocols are often expensive to use because they
+// are designed for generality... for many applications, a simple protocol
+// or messaging format may suffice"), and the USC-style bulk-copy
+// optimization (PutBytes vs element-wise octets).
+//
+// Expected shape: binary wins everywhere; the gap is largest for numeric
+// sequences (text formats/parses decimal digits) and smallest for
+// strings; bulk bytes beats element-wise by an order of magnitude.
+#include <benchmark/benchmark.h>
+
+#include "net/inmemory.h"
+#include "wire/binary.h"
+#include "wire/protocol.h"
+#include "wire/text.h"
+
+namespace {
+
+using heidi::wire::BinaryCall;
+using heidi::wire::Call;
+using heidi::wire::TextCall;
+
+std::unique_ptr<Call> NewCall(int protocol) {
+  if (protocol == 0) return std::make_unique<TextCall>();
+  return std::make_unique<BinaryCall>();
+}
+
+const char* ProtoName(int protocol) { return protocol == 0 ? "text" : "hiop"; }
+
+// Re-arms a readable clone of a written call.
+std::unique_ptr<Call> Reread(int protocol, Call& written) {
+  if (protocol == 0) {
+    return std::make_unique<TextCall>(
+        static_cast<TextCall&>(written).Tokens());
+  }
+  return std::make_unique<BinaryCall>(
+      static_cast<BinaryCall&>(written).Payload());
+}
+
+// --- primitive marshal -------------------------------------------------------
+
+void BM_MarshalLongs(benchmark::State& state) {
+  const int protocol = static_cast<int>(state.range(0));
+  const int count = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto call = NewCall(protocol);
+    for (int i = 0; i < count; ++i) call->PutLong(1000000 + i);
+    benchmark::DoNotOptimize(call->PayloadSize());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+  state.SetLabel(ProtoName(protocol));
+}
+BENCHMARK(BM_MarshalLongs)
+    ->Args({0, 16})->Args({1, 16})
+    ->Args({0, 256})->Args({1, 256})
+    ->Args({0, 4096})->Args({1, 4096});
+
+void BM_MarshalDoubles(benchmark::State& state) {
+  const int protocol = static_cast<int>(state.range(0));
+  const int count = static_cast<int>(state.range(1));
+  for (auto _ : state) {
+    auto call = NewCall(protocol);
+    for (int i = 0; i < count; ++i) call->PutDouble(3.14159 * i);
+    benchmark::DoNotOptimize(call->PayloadSize());
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+  state.SetLabel(ProtoName(protocol));
+}
+BENCHMARK(BM_MarshalDoubles)->Args({0, 256})->Args({1, 256});
+
+void BM_MarshalStrings(benchmark::State& state) {
+  const int protocol = static_cast<int>(state.range(0));
+  const int length = static_cast<int>(state.range(1));
+  std::string value(static_cast<size_t>(length), 'v');
+  for (auto _ : state) {
+    auto call = NewCall(protocol);
+    for (int i = 0; i < 64; ++i) call->PutString(value);
+    benchmark::DoNotOptimize(call->PayloadSize());
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+  state.SetLabel(ProtoName(protocol));
+}
+BENCHMARK(BM_MarshalStrings)
+    ->Args({0, 16})->Args({1, 16})
+    ->Args({0, 1024})->Args({1, 1024});
+
+// --- unmarshal ---------------------------------------------------------------
+
+void BM_UnmarshalLongs(benchmark::State& state) {
+  const int protocol = static_cast<int>(state.range(0));
+  const int count = static_cast<int>(state.range(1));
+  auto written = NewCall(protocol);
+  for (int i = 0; i < count; ++i) written->PutLong(1000000 + i);
+  for (auto _ : state) {
+    auto call = Reread(protocol, *written);
+    int64_t sum = 0;
+    for (int i = 0; i < count; ++i) sum += call->GetLong();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+  state.SetLabel(ProtoName(protocol));
+}
+BENCHMARK(BM_UnmarshalLongs)->Args({0, 256})->Args({1, 256});
+
+// --- round trip through framing ------------------------------------------------
+
+void BM_RoundtripFramed(benchmark::State& state) {
+  const int protocol_index = static_cast<int>(state.range(0));
+  const int count = static_cast<int>(state.range(1));
+  const heidi::wire::Protocol* protocol =
+      heidi::wire::FindProtocol(ProtoName(protocol_index));
+  for (auto _ : state) {
+    auto call = protocol->NewCall();
+    call->SetKind(heidi::wire::CallKind::kRequest);
+    call->SetTarget("@tcp:h:1#1000#IDL:Heidi/Echo:1.0");
+    call->SetOperation("op");
+    for (int i = 0; i < count; ++i) call->PutLong(i);
+    heidi::net::ChannelPair pair = heidi::net::CreateInMemoryPair();
+    protocol->WriteCall(*pair.a, *call);
+    heidi::net::BufferedReader reader(*pair.b);
+    auto read = protocol->ReadCall(reader);
+    int64_t sum = 0;
+    for (int i = 0; i < count; ++i) sum += read->GetLong();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.SetItemsProcessed(state.iterations() * count);
+  state.SetLabel(ProtoName(protocol_index));
+}
+BENCHMARK(BM_RoundtripFramed)
+    ->Args({0, 4})->Args({1, 4})
+    ->Args({0, 64})->Args({1, 64})
+    ->Args({0, 1024})->Args({1, 1024});
+
+// --- USC-style bulk copy (§2) ---------------------------------------------------
+
+void BM_OctetSequenceElementwise(benchmark::State& state) {
+  const int protocol = static_cast<int>(state.range(0));
+  const int bytes = static_cast<int>(state.range(1));
+  std::string data(static_cast<size_t>(bytes), 'x');
+  for (auto _ : state) {
+    auto call = NewCall(protocol);
+    call->PutLength(static_cast<uint32_t>(data.size()));
+    for (char c : data) call->PutOctet(static_cast<uint8_t>(c));
+    benchmark::DoNotOptimize(call->PayloadSize());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+  state.SetLabel(ProtoName(protocol));
+}
+BENCHMARK(BM_OctetSequenceElementwise)->Args({0, 4096})->Args({1, 4096});
+
+void BM_OctetSequenceBulk(benchmark::State& state) {
+  const int protocol = static_cast<int>(state.range(0));
+  const int bytes = static_cast<int>(state.range(1));
+  std::string data(static_cast<size_t>(bytes), 'x');
+  for (auto _ : state) {
+    auto call = NewCall(protocol);
+    call->PutBytes(data);
+    benchmark::DoNotOptimize(call->PayloadSize());
+  }
+  state.SetBytesProcessed(state.iterations() * bytes);
+  state.SetLabel(ProtoName(protocol));
+}
+BENCHMARK(BM_OctetSequenceBulk)->Args({0, 4096})->Args({1, 4096});
+
+// --- encoded size (printed as a counter) ---------------------------------------
+
+void BM_EncodedSize(benchmark::State& state) {
+  const int protocol = static_cast<int>(state.range(0));
+  const int count = static_cast<int>(state.range(1));
+  size_t size = 0;
+  for (auto _ : state) {
+    auto call = NewCall(protocol);
+    for (int i = 0; i < count; ++i) call->PutLong(1000000 + i);
+    size = call->PayloadSize();
+    benchmark::DoNotOptimize(size);
+  }
+  state.counters["payload_bytes"] =
+      benchmark::Counter(static_cast<double>(size));
+  state.SetLabel(ProtoName(protocol));
+}
+BENCHMARK(BM_EncodedSize)->Args({0, 256})->Args({1, 256});
+
+}  // namespace

@@ -1,0 +1,99 @@
+// B5 (§3.1): stub/skeleton caching and lazy skeleton creation. "Both
+// stubs and skeletons are cached in each address-space in order to
+// minimize the overhead of their creation."
+//
+// Expected shape: resolving a cached stub is a map lookup vs an
+// allocation + registry hit; skeleton caching removes a table-build per
+// incoming call on the server.
+#include <benchmark/benchmark.h>
+
+#include <atomic>
+
+#include "demo/demo.h"
+#include "orb/orb.h"
+
+namespace {
+
+using heidi::orb::ObjectRef;
+using heidi::orb::Orb;
+using heidi::orb::OrbOptions;
+
+void BM_ResolveStub(benchmark::State& state) {
+  const bool cached = state.range(0) == 1;
+  heidi::demo::ForceDemoRegistration();
+  OrbOptions client_options;
+  client_options.cache_stubs = cached;
+  Orb server;
+  server.ListenTcp();
+  Orb client(client_options);
+  heidi::demo::EchoImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+  std::string ref_string = ref.ToString();
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(client.Resolve(ref_string));
+  }
+  state.counters["stubs_created"] = benchmark::Counter(
+      static_cast<double>(client.Stats().stubs_created));
+  state.SetLabel(cached ? "stub-cache on" : "stub-cache off");
+  client.Shutdown();
+  server.Shutdown();
+}
+BENCHMARK(BM_ResolveStub)->Arg(1)->Arg(0);
+
+void BM_ServerSkeletonCache(benchmark::State& state) {
+  const bool cached = state.range(0) == 1;
+  heidi::demo::ForceDemoRegistration();
+  OrbOptions server_options;
+  server_options.cache_skeletons = cached;
+  Orb server(server_options);
+  server.ListenTcp();
+  Orb client;
+  // A_skel is the expensive one: 7 own handlers + an S_skel sub-table.
+  heidi::demo::AImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/A:1.0");
+  auto a = client.ResolveAs<HdA>(ref.ToString());
+
+  for (auto _ : state) {
+    a->p(7);
+  }
+  state.counters["skeletons_created"] = benchmark::Counter(
+      static_cast<double>(server.Stats().skeletons_created));
+  state.SetLabel(cached ? "skel-cache on" : "skel-cache off");
+  client.Shutdown();
+  server.Shutdown();
+}
+BENCHMARK(BM_ServerSkeletonCache)->Arg(1)->Arg(0)->UseRealTime();
+
+// Reference-passing throughput: every a->f(&obj) marshals an object
+// reference; with the stub cache the receiving side reuses one stub, and
+// repeated passes of the same local object reuse one export entry.
+void BM_PassReferenceRepeatedly(benchmark::State& state) {
+  const bool cached = state.range(0) == 1;
+  heidi::demo::ForceDemoRegistration();
+  static std::atomic<int> counter{0};
+  int id = counter.fetch_add(1);
+  OrbOptions server_options;
+  server_options.cache_stubs = cached;  // server resolves the callback stub
+  server_options.inproc_name = "oc-server-" + std::to_string(id);
+  OrbOptions client_options;
+  client_options.inproc_name = "oc-client-" + std::to_string(id);
+  Orb server(server_options);
+  Orb client(client_options);
+  heidi::demo::AImpl server_a;
+  ObjectRef ref = server.ExportObject(&server_a, "IDL:Heidi/A:1.0");
+  auto a = client.ResolveAs<HdA>(ref.ToString());
+  heidi::demo::AImpl client_a;
+
+  for (auto _ : state) {
+    a->f(&client_a);  // server calls back value() through a stub
+  }
+  state.counters["server_stubs"] = benchmark::Counter(
+      static_cast<double>(server.Stats().stubs_created));
+  state.SetLabel(cached ? "stub-cache on" : "stub-cache off");
+  client.Shutdown();
+  server.Shutdown();
+}
+BENCHMARK(BM_PassReferenceRepeatedly)->Arg(1)->Arg(0)->UseRealTime();
+
+}  // namespace

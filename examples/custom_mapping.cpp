@@ -1,0 +1,107 @@
+// The paper's thesis, as a user exercise: define a BRAND-NEW IDL mapping
+// for your own code conventions — without touching the compiler. Here a
+// fictional team with an "Acme" C coding standard (snake_case free
+// functions, opaque handle structs) gets a C-language mapping from ~30
+// template lines and one custom name-mapping function.
+#include <iostream>
+
+#include "codegen/codegen.h"
+#include "est/est.h"
+#include "idl/idl.h"
+#include "tmpl/tmpl.h"
+
+namespace {
+
+constexpr const char* kIdl = R"(
+module Acme {
+  enum Grade { Good, Bad };
+  interface Widget {
+    void spin(in long speed);
+    long poll();
+    string label(in Grade g);
+  };
+};
+)";
+
+// The custom mapping template: IDL interface -> C header with an opaque
+// handle and snake_case functions.
+constexpr const char* kCHeaderTemplate =
+    R"(@// Acme C mapping: opaque handles + snake_case functions.
+@foreach interfaceList -map interfaceName Acme::Snake
+@openfile acme_${interfaceName}.h
+/* acme_${interfaceName}.h — generated; Acme C coding standard. */
+#ifndef ACME_${interfaceName}_H
+#define ACME_${interfaceName}_H
+
+typedef struct acme_${interfaceName}* acme_${interfaceName}_t;
+
+/* ${repoId} */
+@foreach methodList -map returnType Acme::CType
+@set params ''
+@foreach paramList -ifMore ', ' -map paramType Acme::CType
+@set params '${params}${paramType} ${paramName}${ifMore}'
+@end paramList
+@if ${params} == ''
+${returnType} acme_${interfaceName}_${methodName}(acme_${interfaceName}_t self);
+@else
+${returnType} acme_${interfaceName}_${methodName}(acme_${interfaceName}_t self, ${params});
+@fi
+@end methodList
+
+#endif
+@end interfaceList
+)";
+
+// snake_case the last name component: "Acme::Widget" -> "widget".
+std::string Snake(const std::string& scoped, const heidi::tmpl::MapContext&) {
+  size_t pos = scoped.rfind("::");
+  std::string name = pos == std::string::npos ? scoped : scoped.substr(pos + 2);
+  std::string out;
+  for (size_t i = 0; i < name.size(); ++i) {
+    char c = name[i];
+    if (std::isupper(static_cast<unsigned char>(c))) {
+      if (i != 0) out.push_back('_');
+      out.push_back(static_cast<char>(std::tolower(c)));
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string CType(const std::string& spelling,
+                  const heidi::tmpl::MapContext& ctx) {
+  if (spelling == "void") return "void";
+  if (spelling == "long") return "int32_t";
+  if (spelling == "boolean") return "int";
+  if (spelling == "string") return "const char*";
+  const heidi::tmpl::TypeEntry* entry =
+      ctx.types != nullptr ? ctx.types->Find(spelling) : nullptr;
+  if (entry != nullptr && entry->tag == "enum") return "int";
+  return "void*";  // handles and everything else
+}
+
+}  // namespace
+
+int main() {
+  // 1. Register the team's own map functions next to the builtins.
+  heidi::tmpl::MapRegistry maps = heidi::tmpl::MapRegistry::Builtins();
+  maps.Register("Acme::Snake", Snake);
+  maps.Register("Acme::CType", CType);
+
+  // 2. Compile the IDL to an EST and run the custom template over it —
+  //    the same parser and engine that produced the HeidiRMI mapping.
+  heidi::idl::Specification spec =
+      heidi::idl::ParseAndResolve(kIdl, "widget.idl");
+  auto est = heidi::est::BuildEst(spec);
+  heidi::codegen::Mapping mapping{
+      "acme_c", "Acme C coding standard", {{"header", kCHeaderTemplate}}};
+  heidi::codegen::GenerateResult result =
+      heidi::codegen::Generate(*est, mapping, maps);
+
+  for (const auto& [path, content] : result.files) {
+    std::cout << "----- " << path << "\n" << content << "\n";
+  }
+  std::cout << "A new language mapping, zero compiler changes.\n";
+  return 0;
+}

@@ -1,0 +1,174 @@
+// idlc — the template-driven IDL compiler as a command-line tool (Fig 6).
+//
+//   idlc [options] <file.idl>
+//     --mapping <name>       builtin mapping (default heidi_cpp);
+//                            see --list-mappings
+//     --template <file.tmpl> use a template file instead of a builtin
+//                            mapping (repeatable; @include resolves
+//                            relative to the file)
+//     --out <dir>            write generated files under <dir> (default .)
+//     --emit-est             print the EST external representation instead
+//                            of generating code (Fig 8's hand-off format)
+//     --list-mappings        list builtin mappings and exit
+//     --dump-templates <dir> export the builtin templates as editable
+//                            .tmpl files and exit
+//
+// Customizing a mapping therefore never means recompiling this tool:
+// dump the builtin templates, edit, and pass them back with --template.
+#include <filesystem>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <vector>
+
+#include "codegen/codegen.h"
+#include "support/error.h"
+#include "est/est.h"
+#include "idl/idl.h"
+#include "tmpl/tmpl.h"
+
+namespace {
+
+int Usage(const char* argv0) {
+  std::cerr
+      << "usage: " << argv0 << " [options] <file.idl>\n"
+      << "  --mapping <name>        builtin mapping (default: heidi_cpp)\n"
+      << "  --template <file.tmpl>  use a template file (repeatable)\n"
+      << "  --out <dir>             output directory (default: .)\n"
+      << "  --emit-est              print the EST instead of generating\n"
+      << "  --list-mappings         list builtin mappings\n"
+      << "  --dump-templates <dir>  export builtin templates as files\n";
+  return 2;
+}
+
+std::string ReadFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw heidi::HdError("cannot open " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  return ss.str();
+}
+
+int ListMappings() {
+  for (const std::string& name : heidi::codegen::BuiltinMappingNames()) {
+    const heidi::codegen::Mapping* m =
+        heidi::codegen::FindBuiltinMapping(name);
+    std::cout << name << " — " << m->description << "\n";
+    for (const auto& t : m->templates) {
+      std::cout << "    template: " << t.name << "\n";
+    }
+  }
+  return 0;
+}
+
+int DumpTemplates(const std::string& dir) {
+  for (const std::string& name : heidi::codegen::BuiltinMappingNames()) {
+    const heidi::codegen::Mapping* m =
+        heidi::codegen::FindBuiltinMapping(name);
+    for (const auto& t : m->templates) {
+      std::filesystem::path path =
+          std::filesystem::path(dir) / name / (t.name + ".tmpl");
+      std::filesystem::create_directories(path.parent_path());
+      std::ofstream out(path);
+      out << t.text;
+      std::cout << "wrote " << path.string() << "\n";
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string mapping_name = "heidi_cpp";
+  std::vector<std::string> template_files;
+  std::string out_dir = ".";
+  std::string input;
+  bool emit_est = false;
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> std::string {
+      if (i + 1 >= argc) {
+        std::cerr << arg << " needs an argument\n";
+        std::exit(2);
+      }
+      return argv[++i];
+    };
+    if (arg == "--mapping") {
+      mapping_name = next();
+    } else if (arg == "--template") {
+      template_files.push_back(next());
+    } else if (arg == "--out") {
+      out_dir = next();
+    } else if (arg == "--emit-est") {
+      emit_est = true;
+    } else if (arg == "--list-mappings") {
+      return ListMappings();
+    } else if (arg == "--dump-templates") {
+      return DumpTemplates(next());
+    } else if (arg == "--help" || arg == "-h") {
+      return Usage(argv[0]);
+    } else if (!arg.empty() && arg[0] == '-') {
+      std::cerr << "unknown option " << arg << "\n";
+      return Usage(argv[0]);
+    } else if (input.empty()) {
+      input = arg;
+    } else {
+      std::cerr << "multiple input files given\n";
+      return Usage(argv[0]);
+    }
+  }
+  if (input.empty()) return Usage(argv[0]);
+
+  try {
+    std::string source = ReadFile(input);
+    heidi::idl::Specification spec =
+        heidi::idl::ParseAndResolve(source, input);
+    std::unique_ptr<heidi::est::Node> est = heidi::est::BuildEst(spec);
+
+    if (emit_est) {
+      std::cout << heidi::est::Serialize(*est);
+      return 0;
+    }
+
+    heidi::tmpl::MapRegistry maps = heidi::tmpl::MapRegistry::Builtins();
+    heidi::codegen::GenerateResult result;
+    if (!template_files.empty()) {
+      // Explicit template files form an ad-hoc mapping.
+      heidi::codegen::Mapping mapping;
+      mapping.name = "custom";
+      for (const std::string& file : template_files) {
+        mapping.templates.push_back({file, ReadFile(file)});
+      }
+      result = heidi::codegen::Generate(*est, mapping, maps);
+    } else {
+      const heidi::codegen::Mapping* mapping =
+          heidi::codegen::FindBuiltinMapping(mapping_name);
+      if (mapping == nullptr) {
+        std::cerr << "unknown mapping '" << mapping_name
+                  << "' (see --list-mappings)\n";
+        return 2;
+      }
+      result = heidi::codegen::Generate(*est, *mapping, maps);
+    }
+
+    for (const auto& [path, content] : result.files) {
+      if (path.empty()) {
+        std::cout << content;  // template wrote to the default stream
+        continue;
+      }
+      std::filesystem::path full = std::filesystem::path(out_dir) / path;
+      if (full.has_parent_path()) {
+        std::filesystem::create_directories(full.parent_path());
+      }
+      std::ofstream out(full);
+      out << content;
+      std::cout << "generated " << full.string() << "\n";
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::cerr << "idlc: " << e.what() << "\n";
+    return 1;
+  }
+}

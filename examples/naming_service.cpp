@@ -1,0 +1,108 @@
+// A name service for HeidiRMI, defined in IDL and served through its own
+// generated bindings (naming_rmi.cc is produced by idlc at build time —
+// see examples/CMakeLists.txt). Three address spaces in one binary:
+//
+//   registry  — runs the NameService object
+//   provider  — exports an Echo object and binds it as "echo-service"
+//   consumer  — knows ONLY the registry's reference; resolves the name,
+//               then calls the provider
+//
+// The paper's object references are plain strings, which makes a naming
+// layer a ~40-line IDL interface: bind/resolve strings.
+#include <iostream>
+#include <map>
+#include <mutex>
+
+#include "demo/demo.h"
+#include "naming_rmi.hh"  // generated from examples/idl/naming.idl
+#include "orb/orb.h"
+
+namespace {
+
+class NameServiceImpl : public virtual HdNameService {
+ public:
+  void bind(HdString name, HdString ref) override {
+    std::lock_guard lock(mutex_);
+    table_[name] = ref;
+  }
+  HdString resolve(HdString name) override {
+    std::lock_guard lock(mutex_);
+    auto it = table_.find(name);
+    if (it == table_.end()) {
+      throw heidi::HdError("no binding for '" + name + "'");
+    }
+    return it->second;
+  }
+  XBool unbind(HdString name) override {
+    std::lock_guard lock(mutex_);
+    return XBool(table_.erase(name) > 0);
+  }
+  long size() override {
+    std::lock_guard lock(mutex_);
+    return static_cast<long>(table_.size());
+  }
+  HdString name_at(long index) override {
+    std::lock_guard lock(mutex_);
+    long i = 0;
+    for (const auto& [name, ref] : table_) {
+      if (i++ == index) return name;
+    }
+    throw heidi::HdError("index out of range");
+  }
+
+ private:
+  std::mutex mutex_;
+  std::map<HdString, HdString> table_;
+};
+
+}  // namespace
+
+int main() {
+  using namespace heidi;
+  demo::ForceDemoRegistration();
+
+  // --- registry address space ---------------------------------------------
+  orb::Orb registry_orb;
+  registry_orb.ListenTcp();
+  NameServiceImpl registry;
+  orb::ObjectRef registry_ref =
+      registry_orb.ExportObject(&registry, "IDL:Naming/NameService:1.0");
+  std::cout << "name service at " << registry_ref.ToString() << "\n";
+
+  // --- provider address space -----------------------------------------------
+  orb::Orb provider_orb;
+  provider_orb.ListenTcp();
+  demo::EchoImpl echo_impl;
+  orb::ObjectRef echo_ref =
+      provider_orb.ExportObject(&echo_impl, "IDL:Heidi/Echo:1.0");
+  {
+    auto naming =
+        provider_orb.ResolveAs<HdNameService>(registry_ref.ToString());
+    naming->bind("echo-service", echo_ref.ToString());
+    std::cout << "provider bound 'echo-service'\n";
+  }
+
+  // --- consumer address space -------------------------------------------------
+  orb::Orb consumer_orb;
+  auto naming = consumer_orb.ResolveAs<HdNameService>(registry_ref.ToString());
+  std::cout << "registry holds " << naming->size() << " binding(s): "
+            << naming->name_at(0) << "\n";
+  auto echo =
+      consumer_orb.ResolveAs<HdEcho>(naming->resolve("echo-service"));
+  std::cout << "resolved and called: add(40, 2) -> " << echo->add(40, 2)
+            << "\n";
+
+  try {
+    naming->resolve("no-such-service");
+  } catch (const RemoteError& e) {
+    std::cout << "unknown name reported remotely: " << e.what() << "\n";
+  }
+  std::cout << "unbind: " << (naming->unbind("echo-service") ? "ok" : "?")
+            << ", registry now holds " << naming->size() << "\n";
+
+  consumer_orb.Shutdown();
+  provider_orb.Shutdown();
+  registry_orb.Shutdown();
+  std::cout << "done.\n";
+  return 0;
+}

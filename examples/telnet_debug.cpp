@@ -1,0 +1,54 @@
+// The §4.2 war story, reproduced: "Utilizing such a text-based protocol
+// permitted a 'human' client to telnet into the bootstrap port of a Heidi
+// application and type in simple HeidiRMI requests to debug the system."
+//
+// This example starts a text-protocol server, then plays the human: it
+// opens a raw TCP connection to the bootstrap port and writes request
+// lines exactly as one would type them into telnet, printing the raw
+// bytes both ways.
+#include <iostream>
+
+#include "demo/demo.h"
+#include "net/buffered.h"
+#include "net/tcp.h"
+#include "orb/orb.h"
+
+int main() {
+  using namespace heidi;
+  demo::ForceDemoRegistration();
+
+  orb::Orb server;  // default protocol is the newline-terminated text one
+  server.ListenTcp();
+  demo::EchoImpl impl;
+  orb::ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  std::cout << "server up. You could now literally run:\n"
+            << "  telnet 127.0.0.1 " << server.TcpPort() << "\n"
+            << "and type the lines below by hand.\n\n";
+
+  auto raw = net::TcpConnect("127.0.0.1", server.TcpPort());
+  net::BufferedReader reader(*raw);
+
+  auto type_line = [&](const std::string& line) {
+    std::cout << "you type > " << line << "\n";
+    std::string wire = line + "\r\n";  // exactly what telnet sends
+    raw->WriteAll(wire.data(), wire.size());
+    std::string reply;
+    if (reader.ReadLine(reply)) {
+      std::cout << "server    < " << reply << "\n\n";
+    }
+  };
+
+  std::string target = ref.ToString();
+  // A request line: REQ <id> <W=wait for reply> <target> <op> <args...>.
+  type_line("REQ 1 W " + target + " echo s:hello%20operator");
+  type_line("REQ 2 W " + target + " add i:19 i:23");
+  type_line("REQ 3 W " + target + " flip b:T");
+  // Typos are survivable and the error is legible too:
+  type_line("REQ 4 W " + target + " no_such_method");
+
+  raw->Close();
+  server.Shutdown();
+  std::cout << "done.\n";
+  return 0;
+}

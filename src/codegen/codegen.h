@@ -1,0 +1,5 @@
+// Umbrella header for the code-generation layer: mappings + driver.
+#pragma once
+
+#include "codegen/driver.h"   // IWYU pragma: export
+#include "codegen/mapping.h"  // IWYU pragma: export

@@ -1,0 +1,57 @@
+#include "codegen/driver.h"
+
+#include "est/builder.h"
+#include "idl/sema.h"
+#include "tmpl/interp.h"
+#include "tmpl/program.h"
+
+namespace heidi::codegen {
+
+std::string SourceBase(std::string_view source_name) {
+  size_t slash = source_name.rfind('/');
+  if (slash != std::string_view::npos) {
+    source_name = source_name.substr(slash + 1);
+  }
+  size_t dot = source_name.rfind('.');
+  if (dot != std::string_view::npos && dot != 0) {
+    source_name = source_name.substr(0, dot);
+  }
+  return std::string(source_name);
+}
+
+GenerateResult Generate(const est::Node& root, const Mapping& mapping,
+                        const tmpl::MapRegistry& maps,
+                        const std::map<std::string, std::string>& globals) {
+  tmpl::ExecOptions options;
+  options.globals["sourceBase"] = SourceBase(root.GetProp("sourceName"));
+  options.globals["sourceName"] = root.GetProp("sourceName");
+  options.globals["mapping"] = mapping.name;
+  for (const auto& [key, value] : globals) options.globals[key] = value;
+
+  GenerateResult result;
+  for (const MappingTemplate& t : mapping.templates) {
+    tmpl::TemplateProgram program =
+        tmpl::CompileTemplate(t.text, mapping.name + "/" + t.name);
+    tmpl::StringSink sink;
+    tmpl::Execute(program, root, maps, sink, options);
+    for (const std::string& file : sink.FileNames()) {
+      result.files[file] += sink.File(file);
+    }
+  }
+  // Drop an empty anonymous stream (templates that only @openfile).
+  auto it = result.files.find("");
+  if (it != result.files.end() && it->second.empty()) result.files.erase(it);
+  return result;
+}
+
+GenerateResult GenerateFromSource(std::string_view idl_source,
+                                  std::string source_name,
+                                  const Mapping& mapping) {
+  idl::Specification spec =
+      idl::ParseAndResolve(idl_source, std::move(source_name));
+  std::unique_ptr<est::Node> root = est::BuildEst(spec);
+  static const tmpl::MapRegistry kBuiltins = tmpl::MapRegistry::Builtins();
+  return Generate(*root, mapping, kBuiltins);
+}
+
+}  // namespace heidi::codegen

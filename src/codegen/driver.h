@@ -1,0 +1,45 @@
+// Compiler driver: glues the stages together (Fig 6):
+//
+//   IDL source --parse/sema--> AST --build--> EST --templates--> files
+//
+// The driver compiles each of a mapping's templates and executes them
+// against the same EST; each template decides its own output files via
+// @openfile. Global variables available to every template:
+//
+//   sourceBase — source file name without directory or extension
+//                ("idl/A.idl" -> "A"); Fig 3 names the header A.hh with it
+//   sourceName — the full source name as given
+//   mapping    — the mapping name ("heidi_cpp", ...)
+#pragma once
+
+#include <map>
+#include <string>
+#include <string_view>
+
+#include "codegen/mapping.h"
+#include "est/node.h"
+#include "tmpl/mapfuncs.h"
+
+namespace heidi::codegen {
+
+struct GenerateResult {
+  // Output path -> file content. The "" key holds any text a template
+  // emitted before its first @openfile.
+  std::map<std::string, std::string> files;
+};
+
+// "dir/A.idl" -> "A".
+std::string SourceBase(std::string_view source_name);
+
+// Runs every template of `mapping` against `root`. Extra globals (merged
+// over the defaults above) let callers parameterize templates.
+GenerateResult Generate(const est::Node& root, const Mapping& mapping,
+                        const tmpl::MapRegistry& maps,
+                        const std::map<std::string, std::string>& globals = {});
+
+// Parse + resolve + build EST + generate, with the builtin map registry.
+GenerateResult GenerateFromSource(std::string_view idl_source,
+                                  std::string source_name,
+                                  const Mapping& mapping);
+
+}  // namespace heidi::codegen

@@ -1,0 +1,41 @@
+// A *mapping* is a named set of templates that together implement one
+// IDL->language binding. Builtin mappings (the paper's artifacts):
+//
+//   heidi_cpp — the HeidiRMI custom C++ mapping (§3, Fig 3): Hd-prefixed
+//       class names, XBool/HdList/HdString types, default parameters,
+//       delegation-based skeletons; templates: interface, stub, skel.
+//   corba_cpp — the CORBA-prescribed C++ mapping sketch (Table 1, Fig 1):
+//       CORBA:: types, _ptr object references, inheritance-based
+//       skeletons; template: interface.
+//   java      — the experimental HeidiRMI IDL-Java mapping (§4.2): single
+//       inheritance expanded, no default parameters; template: interface.
+//   tcl       — the IDL-tcl mapping for the 700-line tcl ORB (§4.2,
+//       Fig 10); template: stubskel.
+//
+// The embedded template texts are the source of truth; `idlc
+// --dump-templates <dir>` writes them out as editable .tmpl files, and any
+// mapping can be overridden by pointing the driver at template files.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heidi::codegen {
+
+struct MappingTemplate {
+  std::string name;  // template role, e.g. "interface", "stub", "skel"
+  std::string text;  // template source
+};
+
+struct Mapping {
+  std::string name;
+  std::string description;
+  std::vector<MappingTemplate> templates;
+};
+
+// nullptr if unknown.
+const Mapping* FindBuiltinMapping(std::string_view name);
+std::vector<std::string> BuiltinMappingNames();
+
+}  // namespace heidi::codegen

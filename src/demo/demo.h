@@ -1,0 +1,14 @@
+// Umbrella header for the demo library: the hand-materialized heidi_cpp
+// mapping of src/demo/demo.idl (interfaces, stubs, skeletons,
+// implementation objects, registrations).
+#pragma once
+
+#include "demo/impls.h"       // IWYU pragma: export
+#include "demo/interfaces.h"  // IWYU pragma: export
+#include "demo/skels.h"       // IWYU pragma: export
+#include "demo/stubs.h"       // IWYU pragma: export
+
+namespace heidi::demo {
+// Ensures the demo interface registrations are linked in.
+void ForceDemoRegistration();
+}  // namespace heidi::demo

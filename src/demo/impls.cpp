@@ -1,0 +1,97 @@
+#include "demo/impls.h"
+
+#include <chrono>
+#include <cmath>
+
+#include "demo/skels.h"
+#include "demo/stubs.h"
+#include "orb/registry.h"
+
+// The generated interface classes live in the global namespace (legacy
+// Heidi style), so their type-info definitions do too.
+HD_DEFINE_INTERFACE_TYPE(HdS, "IDL:Heidi/S:1.0",
+                         &::heidi::HdObject::TypeInfo())
+HD_DEFINE_INTERFACE_TYPE(HdA, "IDL:Heidi/A:1.0", &HdS::TypeInfo())
+HD_DEFINE_INTERFACE_TYPE(HdEcho, "IDL:Heidi/Echo:1.0",
+                         &::heidi::HdObject::TypeInfo())
+
+namespace heidi::demo {
+
+HD_DEFINE_TYPE(SImpl, "IDL:Heidi/SImpl:1.0", &HdS::TypeInfo())
+HD_DEFINE_TYPE(SerializableS, "IDL:Heidi/SerializableS:1.0",
+               &HdS::TypeInfo(), &wire::HdSerializable::TypeInfo())
+HD_DEFINE_TYPE(AImpl, "IDL:Heidi/AImpl:1.0", &HdA::TypeInfo())
+HD_DEFINE_TYPE(EchoImpl, "IDL:Heidi/EchoImpl:1.0", &HdEcho::TypeInfo())
+HD_DEFINE_TYPE(ThrowingEcho, "IDL:Heidi/ThrowingEcho:1.0",
+               &EchoImpl::TypeInfo())
+
+double EchoImpl::norm(double x, double y) { return std::sqrt(x * x + y * y); }
+
+bool EchoImpl::WaitForPosts(size_t n, int timeout_ms) {
+  std::unique_lock lock(mutex_);
+  return cv_.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                      [&] { return events_.size() >= n; });
+}
+
+// ---------------------------------------------------------------------------
+// Interface registrations: how the ORB learns to build the correct stub
+// and skeleton from the type information in an object reference (§3.1).
+
+namespace {
+
+using orb::ObjectRef;
+using orb::Orb;
+using orb::RegisterInterface;
+
+const RegisterInterface kRegisterS{
+    "IDL:Heidi/S:1.0",
+    [](Orb& o, ::heidi::HdObject* impl) {
+      return std::make_unique<S_skel>(o, impl);
+    },
+    [](Orb& o, ObjectRef ref) {
+      return std::make_shared<S_stub>(o, std::move(ref));
+    }};
+
+const RegisterInterface kRegisterA{
+    "IDL:Heidi/A:1.0",
+    [](Orb& o, ::heidi::HdObject* impl) {
+      return std::make_unique<A_skel>(o, impl);
+    },
+    [](Orb& o, ObjectRef ref) {
+      return std::make_shared<A_stub>(o, std::move(ref));
+    }};
+
+const RegisterInterface kRegisterEcho{
+    "IDL:Heidi/Echo:1.0",
+    [](Orb& o, ::heidi::HdObject* impl) {
+      return std::make_unique<Echo_skel>(o, impl);
+    },
+    [](Orb& o, ObjectRef ref) {
+      return std::make_shared<Echo_stub>(o, std::move(ref));
+    }};
+
+// Pass-by-value reception for SerializableS: references carrying its
+// dynamic repository id still dispatch through S skeletons/stubs, but
+// `incopy` parameters reconstruct a fresh copy via this factory.
+const RegisterInterface kRegisterSerializableS{
+    "IDL:Heidi/SerializableS:1.0",
+    [](Orb& o, ::heidi::HdObject* impl) {
+      return std::make_unique<S_skel>(o, impl);
+    },
+    [](Orb& o, ObjectRef ref) {
+      return std::make_shared<S_stub>(o, std::move(ref));
+    },
+    [] { return std::make_shared<SerializableS>(); }};
+
+}  // namespace
+
+void ForceDemoRegistration() {
+  // Touching the type infos guarantees the translation unit's static
+  // registrations ran even under aggressive dead-stripping.
+  (void)SImpl::TypeInfo();
+  (void)SerializableS::TypeInfo();
+  (void)AImpl::TypeInfo();
+  (void)EchoImpl::TypeInfo();
+}
+
+}  // namespace heidi::demo

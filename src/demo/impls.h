@@ -1,0 +1,175 @@
+// Implementation objects for the demo interfaces — the "legacy
+// application classes" a HeidiRMI deployment brings along. They record
+// what they observe so tests can assert on remote effects.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "demo/interfaces.h"
+#include "support/error.h"
+#include "wire/serializable.h"
+
+namespace heidi::demo {
+
+class SImpl : public virtual HdS {
+ public:
+  HD_DECLARE_TYPE();
+
+  explicit SImpl(long v = 0) : value_(v) {}
+
+  void ping() override { ++pings_; }
+  long value() override { return value_; }
+
+  void SetValue(long v) { value_ = v; }
+  int Pings() const { return pings_; }
+
+ private:
+  std::atomic<int> pings_{0};
+  std::atomic<long> value_{0};
+};
+
+// An HdS whose state can be copied across the wire: implements
+// HdSerializable, so `incopy` parameters pass it by value (§3.1). The
+// dynamic-type parents include HdSerializable::TypeInfo() so the ORB's
+// IsA check finds it.
+class SerializableS : public virtual HdS, public wire::HdSerializable {
+ public:
+  HD_DECLARE_TYPE();
+
+  explicit SerializableS(long v = 0) : value_(v) {}
+
+  void ping() override { ++pings_; }
+  long value() override { return value_; }
+  void SetValue(long v) { value_ = v; }
+
+  void MarshalState(wire::Call& call) const override {
+    call.PutLong(static_cast<int32_t>(value_));
+  }
+  void UnmarshalState(wire::Call& call) override { value_ = call.GetLong(); }
+
+ private:
+  long value_ = 0;
+  int pings_ = 0;
+};
+
+class AImpl : public virtual HdA {
+ public:
+  HD_DECLARE_TYPE();
+
+  // Observations, readable by tests.
+  struct Observed {
+    int f_calls = 0;
+    long last_f_value = -1;       // value() of the last f() argument
+    bool last_f_null = true;
+    int g_calls = 0;
+    long last_g_value = -1;
+    const void* last_g_pointer = nullptr;  // identity (local passthrough)
+    std::vector<long> p_values;
+    std::vector<HdStatus> q_values;
+    std::vector<bool> s_values;
+    std::vector<std::vector<long>> t_sequences;
+  };
+
+  void ping() override { ++pings_; }
+  long value() override { return 7000; }
+
+  void f(HdA* a) override {
+    std::lock_guard lock(mutex_);
+    ++observed_.f_calls;
+    observed_.last_f_null = a == nullptr;
+    observed_.last_f_value = a == nullptr ? -1 : a->value();
+  }
+
+  void g(HdS* s) override {
+    std::lock_guard lock(mutex_);
+    ++observed_.g_calls;
+    observed_.last_g_value = s == nullptr ? -1 : s->value();
+    observed_.last_g_pointer = s;
+  }
+
+  void p(long l) override {
+    std::lock_guard lock(mutex_);
+    observed_.p_values.push_back(l);
+  }
+
+  void q(HdStatus s) override {
+    std::lock_guard lock(mutex_);
+    observed_.q_values.push_back(s);
+  }
+
+  void s(XBool b) override {
+    std::lock_guard lock(mutex_);
+    observed_.s_values.push_back(b);
+  }
+
+  void t(HdSSequence* seq) override {
+    std::lock_guard lock(mutex_);
+    std::vector<long> values;
+    if (seq != nullptr) {
+      for (HdS* element : *seq) {
+        values.push_back(element == nullptr ? -1 : element->value());
+      }
+    }
+    observed_.t_sequences.push_back(std::move(values));
+  }
+
+  HdStatus GetButton() override { return button_; }
+  void SetButtonState(HdStatus s) { button_ = s; }
+
+  Observed Snapshot() const {
+    std::lock_guard lock(mutex_);
+    return observed_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  Observed observed_;
+  HdStatus button_ = Start;
+  std::atomic<int> pings_{0};
+};
+
+class EchoImpl : public virtual HdEcho {
+ public:
+  HD_DECLARE_TYPE();
+
+  HdString echo(HdString msg) override { return msg; }
+  long add(long a, long b) override { return a + b; }
+  double norm(double x, double y) override;
+  XBool flip(XBool b) override { return XBool(!static_cast<bool>(b)); }
+
+  void post(HdString event) override {
+    std::lock_guard lock(mutex_);
+    events_.push_back(std::move(event));
+    cv_.notify_all();
+  }
+
+  HdString blob(HdString data) override {
+    return HdString(data.rbegin(), data.rend());
+  }
+
+  // Blocks until at least `n` oneway posts arrived (tests need to await
+  // asynchronous delivery). Returns false on timeout.
+  bool WaitForPosts(size_t n, int timeout_ms = 2000);
+
+  std::vector<HdString> Events() const {
+    std::lock_guard lock(mutex_);
+    return events_;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::condition_variable cv_;
+  std::vector<HdString> events_;
+};
+
+// An HdEcho that always throws, for remote-exception tests.
+class ThrowingEcho : public EchoImpl {
+ public:
+  HD_DECLARE_TYPE();
+  long add(long, long) override { throw HdError("add exploded"); }
+};
+
+}  // namespace heidi::demo

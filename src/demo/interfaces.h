@@ -1,0 +1,55 @@
+/* File demo.hh — hand-materialized heidi_cpp mapping of demo.idl.
+ *
+ * This is what `idlc --mapping heidi_cpp src/demo/demo.idl` generates
+ * (tests/codegen/generated_compile_test.cpp holds the live template output
+ * to this file's shape): Hd-prefixed abstract interface classes using only
+ * Heidi data types, default parameters preserved, attributes as
+ * GetX/SetX, plus the dynamic-type support the paper says is generated
+ * but omits from Fig 3.
+ */
+#pragma once
+
+#include "orb/heidi_types.h"
+
+// IDL:Heidi/Status:1.0
+enum HdStatus { Start, Stop };
+
+// IDL:Heidi/S:1.0
+class HdS : public virtual ::heidi::HdObject {
+ public:
+  HD_DECLARE_INTERFACE_TYPE();
+  virtual void ping() = 0;
+  virtual long value() = 0;
+  ~HdS() override = default;
+};
+
+// IDL:Heidi/SSequence:1.0
+typedef HdList<HdS*> HdSSequence;
+typedef HdListIterator<HdS*> HdSSequenceIter;
+
+// IDL:Heidi/A:1.0
+class HdA : virtual public HdS {
+ public:
+  HD_DECLARE_INTERFACE_TYPE();
+  virtual void f(HdA* a) = 0;
+  virtual void g(HdS* s) = 0;
+  virtual void p(long l = 0) = 0;
+  virtual void q(HdStatus s = Start) = 0;
+  virtual void s(XBool b = XTrue) = 0;
+  virtual void t(HdSSequence* seq) = 0;
+  virtual HdStatus GetButton() = 0;
+  ~HdA() override = default;
+};
+
+// IDL:Heidi/Echo:1.0
+class HdEcho : public virtual ::heidi::HdObject {
+ public:
+  HD_DECLARE_INTERFACE_TYPE();
+  virtual HdString echo(HdString msg) = 0;
+  virtual long add(long a, long b) = 0;
+  virtual double norm(double x, double y) = 0;
+  virtual XBool flip(XBool b) = 0;
+  virtual void post(HdString event) = 0;  // oneway
+  virtual HdString blob(HdString data) = 0;
+  ~HdEcho() override = default;
+};

@@ -1,0 +1,154 @@
+#include "demo/skels.h"
+
+#include <vector>
+
+#include "orb/orb.h"
+#include "support/error.h"
+
+namespace heidi::demo {
+
+namespace {
+
+// Casts an unmarshaled object parameter to the expected interface.
+template <typename T>
+T* CastParam(const std::shared_ptr<::heidi::HdObject>& holder,
+             const char* what) {
+  if (holder == nullptr) return nullptr;
+  T* typed = dynamic_cast<T*>(holder.get());
+  if (typed == nullptr) {
+    throw ::heidi::MarshalError(std::string("object parameter is not a ") +
+                                what);
+  }
+  return typed;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// S_skel
+
+S_skel::S_skel(orb::Orb& o, ::heidi::HdObject* impl)
+    : orb::HdSkeleton(o, impl), table_(o.Options().dispatch) {
+  obj_ = dynamic_cast<HdS*>(impl);
+  if (obj_ == nullptr) {
+    throw ::heidi::DispatchError(
+        "implementation object does not implement HdS");
+  }
+  table_.Add("ping", [this](wire::Call&, wire::Call&) { obj_->ping(); });
+  table_.Add("value", [this](wire::Call&, wire::Call& out) {
+    out.PutLong(static_cast<int32_t>(obj_->value()));
+  });
+  table_.Seal();
+}
+
+bool S_skel::Dispatch(const std::string& op, wire::Call& in,
+                      wire::Call& out) {
+  if (const auto* handler = table_.Find(op)) {
+    (*handler)(in, out);
+    return true;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// A_skel
+
+A_skel::A_skel(orb::Orb& o, ::heidi::HdObject* impl)
+    : S_skel(o, impl), table_(o.Options().dispatch) {
+  obj_ = dynamic_cast<HdA*>(impl);
+  if (obj_ == nullptr) {
+    throw ::heidi::DispatchError(
+        "implementation object does not implement HdA");
+  }
+  table_.Add("f", [this](wire::Call& in, wire::Call&) {
+    auto holder = GetOrb().GetObject(in);
+    obj_->f(CastParam<HdA>(holder, "HdA"));
+  });
+  table_.Add("g", [this](wire::Call& in, wire::Call&) {
+    auto holder = GetOrb().GetObject(in);
+    obj_->g(CastParam<HdS>(holder, "HdS"));
+  });
+  table_.Add("p", [this](wire::Call& in, wire::Call&) {
+    obj_->p(in.GetLong());
+  });
+  table_.Add("q", [this](wire::Call& in, wire::Call&) {
+    obj_->q(static_cast<HdStatus>(in.GetEnum()));
+  });
+  table_.Add("s", [this](wire::Call& in, wire::Call&) {
+    obj_->s(XBool(in.GetBoolean()));
+  });
+  table_.Add("t", [this](wire::Call& in, wire::Call&) {
+    in.Begin("seq");
+    uint32_t n = in.GetLength();
+    HdSSequence seq;
+    std::vector<std::shared_ptr<::heidi::HdObject>> holders;
+    holders.reserve(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      auto holder = GetOrb().GetObject(in);
+      seq.Append(CastParam<HdS>(holder, "HdS"));
+      holders.push_back(std::move(holder));
+    }
+    in.End();
+    obj_->t(&seq);
+  });
+  table_.Add("_get_button", [this](wire::Call&, wire::Call& out) {
+    out.PutEnum(static_cast<int32_t>(obj_->GetButton()));
+  });
+  table_.Seal();
+}
+
+bool A_skel::Dispatch(const std::string& op, wire::Call& in,
+                      wire::Call& out) {
+  if (const auto* handler = table_.Find(op)) {
+    (*handler)(in, out);
+    return true;
+  }
+  // Delegate up the skeleton hierarchy, as the paper prescribes.
+  return S_skel::Dispatch(op, in, out);
+}
+
+// ---------------------------------------------------------------------------
+// Echo_skel
+
+Echo_skel::Echo_skel(orb::Orb& o, ::heidi::HdObject* impl)
+    : orb::HdSkeleton(o, impl), table_(o.Options().dispatch) {
+  obj_ = dynamic_cast<HdEcho*>(impl);
+  if (obj_ == nullptr) {
+    throw ::heidi::DispatchError(
+        "implementation object does not implement HdEcho");
+  }
+  table_.Add("echo", [this](wire::Call& in, wire::Call& out) {
+    out.PutString(obj_->echo(in.GetString()));
+  });
+  table_.Add("add", [this](wire::Call& in, wire::Call& out) {
+    int32_t a = in.GetLong();
+    int32_t b = in.GetLong();
+    out.PutLong(static_cast<int32_t>(obj_->add(a, b)));
+  });
+  table_.Add("norm", [this](wire::Call& in, wire::Call& out) {
+    double x = in.GetDouble();
+    double y = in.GetDouble();
+    out.PutDouble(obj_->norm(x, y));
+  });
+  table_.Add("flip", [this](wire::Call& in, wire::Call& out) {
+    out.PutBoolean(obj_->flip(XBool(in.GetBoolean())));
+  });
+  table_.Add("post", [this](wire::Call& in, wire::Call&) {
+    obj_->post(in.GetString());
+  });
+  table_.Add("blob", [this](wire::Call& in, wire::Call& out) {
+    out.PutBytes(obj_->blob(in.GetBytes()));
+  });
+  table_.Seal();
+}
+
+bool Echo_skel::Dispatch(const std::string& op, wire::Call& in,
+                         wire::Call& out) {
+  if (const auto* handler = table_.Find(op)) {
+    (*handler)(in, out);
+    return true;
+  }
+  return false;
+}
+
+}  // namespace heidi::demo

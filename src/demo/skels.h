@@ -1,0 +1,49 @@
+// Hand-materialized heidi_cpp skeletons for demo.idl (§3.1: "skeletons do
+// not share any inheritance relation with the abstract interface class" —
+// they delegate to the implementation object; A_skel inherits S_skel and
+// its dispatch falls back to S_skel::Dispatch, recursively up the
+// hierarchy).
+#pragma once
+
+#include "demo/interfaces.h"
+#include "orb/orb_api.h"
+
+namespace heidi::demo {
+
+class S_skel : public orb::HdSkeleton {
+ public:
+  S_skel(orb::Orb& o, ::heidi::HdObject* impl);
+
+  bool Dispatch(const std::string& op, wire::Call& in,
+                wire::Call& out) override;
+
+ private:
+  HdS* obj_;
+  orb::DispatchTable table_;
+};
+
+class A_skel : public S_skel {
+ public:
+  A_skel(orb::Orb& o, ::heidi::HdObject* impl);
+
+  bool Dispatch(const std::string& op, wire::Call& in,
+                wire::Call& out) override;
+
+ private:
+  HdA* obj_;
+  orb::DispatchTable table_;
+};
+
+class Echo_skel : public orb::HdSkeleton {
+ public:
+  Echo_skel(orb::Orb& o, ::heidi::HdObject* impl);
+
+  bool Dispatch(const std::string& op, wire::Call& in,
+                wire::Call& out) override;
+
+ private:
+  HdEcho* obj_;
+  orb::DispatchTable table_;
+};
+
+}  // namespace heidi::demo

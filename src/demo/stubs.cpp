@@ -1,0 +1,124 @@
+#include "demo/stubs.h"
+
+#include "orb/orb.h"
+
+namespace heidi::demo {
+
+HD_DEFINE_TYPE(S_stub, "IDL:Heidi/S:1.0", &::heidi::HdObject::TypeInfo())
+HD_DEFINE_TYPE(A_stub, "IDL:Heidi/A:1.0", &S_stub::TypeInfo())
+HD_DEFINE_TYPE(Echo_stub, "IDL:Heidi/Echo:1.0",
+               &::heidi::HdObject::TypeInfo())
+
+// ---------------------------------------------------------------------------
+// S_stub
+
+void S_stub::ping() {
+  auto call = NewCall("ping");
+  Invoke(std::move(call));
+}
+
+long S_stub::value() {
+  auto call = NewCall("value");
+  auto reply = Invoke(std::move(call));
+  return reply->GetLong();
+}
+
+// ---------------------------------------------------------------------------
+// A_stub
+
+void A_stub::f(HdA* a) {
+  auto call = NewCall("f");
+  GetOrb().PutObject(*call, a, "IDL:Heidi/A:1.0");
+  Invoke(std::move(call));
+}
+
+void A_stub::g(HdS* s) {
+  auto call = NewCall("g");
+  GetOrb().PutObject(*call, s, "IDL:Heidi/S:1.0", /*incopy=*/true);
+  Invoke(std::move(call));
+}
+
+void A_stub::p(long l) {
+  auto call = NewCall("p");
+  call->PutLong(static_cast<int32_t>(l));
+  Invoke(std::move(call));
+}
+
+void A_stub::q(HdStatus s) {
+  auto call = NewCall("q");
+  call->PutEnum(static_cast<int32_t>(s));
+  Invoke(std::move(call));
+}
+
+void A_stub::s(XBool b) {
+  auto call = NewCall("s");
+  call->PutBoolean(b);
+  Invoke(std::move(call));
+}
+
+void A_stub::t(HdSSequence* seq) {
+  auto call = NewCall("t");
+  call->Begin("seq");
+  call->PutLength(seq == nullptr ? 0 : static_cast<uint32_t>(seq->Size()));
+  if (seq != nullptr) {
+    for (HdS* element : *seq) {
+      GetOrb().PutObject(*call, element, "IDL:Heidi/S:1.0");
+    }
+  }
+  call->End();
+  Invoke(std::move(call));
+}
+
+HdStatus A_stub::GetButton() {
+  auto call = NewCall("_get_button");
+  auto reply = Invoke(std::move(call));
+  return static_cast<HdStatus>(reply->GetEnum());
+}
+
+// ---------------------------------------------------------------------------
+// Echo_stub
+
+HdString Echo_stub::echo(HdString msg) {
+  auto call = NewCall("echo");
+  call->PutString(msg);
+  auto reply = Invoke(std::move(call));
+  return reply->GetString();
+}
+
+long Echo_stub::add(long a, long b) {
+  auto call = NewCall("add");
+  call->PutLong(static_cast<int32_t>(a));
+  call->PutLong(static_cast<int32_t>(b));
+  auto reply = Invoke(std::move(call));
+  return reply->GetLong();
+}
+
+double Echo_stub::norm(double x, double y) {
+  auto call = NewCall("norm");
+  call->PutDouble(x);
+  call->PutDouble(y);
+  auto reply = Invoke(std::move(call));
+  return reply->GetDouble();
+}
+
+XBool Echo_stub::flip(XBool b) {
+  auto call = NewCall("flip");
+  call->PutBoolean(b);
+  auto reply = Invoke(std::move(call));
+  return XBool(reply->GetBoolean());
+}
+
+void Echo_stub::post(HdString event) {
+  auto call = NewCall("post", /*oneway=*/true);
+  call->PutString(event);
+  InvokeOneway(std::move(call));
+}
+
+HdString Echo_stub::blob(HdString data) {
+  auto call = NewCall("blob");
+  call->PutBytes(data);
+  auto reply = Invoke(std::move(call));
+  return reply->GetBytes();
+}
+
+}  // namespace heidi::demo

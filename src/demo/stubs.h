@@ -1,0 +1,56 @@
+// Hand-materialized heidi_cpp stubs for demo.idl (§3.1: "All stubs
+// inherit from a base HdStub class ... a stub also implements the C++
+// mapping of the IDL interface, and reflects the IDL inheritance
+// structure": A_stub inherits from S_stub and implements A's methods).
+#pragma once
+
+#include "demo/interfaces.h"
+#include "orb/orb_api.h"
+
+namespace heidi::demo {
+
+class S_stub : public virtual HdS, public virtual orb::HdStub {
+ public:
+  S_stub(orb::Orb& o, orb::ObjectRef ref)
+      : orb::HdStub(o, std::move(ref)) {}
+  HD_DECLARE_TYPE();
+
+  void ping() override;
+  long value() override;
+
+ protected:
+  // For derived stubs: the HdStub virtual base is initialized by the
+  // most-derived class.
+  S_stub() = default;
+};
+
+class A_stub : public virtual HdA, public S_stub {
+ public:
+  A_stub(orb::Orb& o, orb::ObjectRef ref)
+      : orb::HdStub(o, std::move(ref)) {}
+  HD_DECLARE_TYPE();
+
+  void f(HdA* a) override;
+  void g(HdS* s) override;
+  void p(long l) override;
+  void q(HdStatus s) override;
+  void s(XBool b) override;
+  void t(HdSSequence* seq) override;
+  HdStatus GetButton() override;
+};
+
+class Echo_stub : public virtual HdEcho, public virtual orb::HdStub {
+ public:
+  Echo_stub(orb::Orb& o, orb::ObjectRef ref)
+      : orb::HdStub(o, std::move(ref)) {}
+  HD_DECLARE_TYPE();
+
+  HdString echo(HdString msg) override;
+  long add(long a, long b) override;
+  double norm(double x, double y) override;
+  XBool flip(XBool b) override;
+  void post(HdString event) override;
+  HdString blob(HdString data) override;
+};
+
+}  // namespace heidi::demo

@@ -1,0 +1,378 @@
+#include "est/builder.h"
+
+#include <cstdio>
+#include <set>
+
+#include "idl/sema.h"
+#include "support/strings.h"
+
+namespace heidi::est {
+
+using idl::Decl;
+using idl::DeclKind;
+using idl::InterfaceDecl;
+using idl::Literal;
+using idl::PrimKind;
+using idl::TypeRef;
+
+std::string SpellType(const TypeRef& type) {
+  switch (type.kind) {
+    case TypeRef::Kind::kPrimitive:
+      if (type.prim == PrimKind::kString && type.string_bound != 0) {
+        return "string<" + std::to_string(type.string_bound) + ">";
+      }
+      return std::string(idl::PrimName(type.prim));
+    case TypeRef::Kind::kNamed:
+      if (type.resolved != nullptr) return type.resolved->ScopedName();
+      return type.name;
+    case TypeRef::Kind::kSequence: {
+      std::string out = "sequence<" + SpellType(*type.element);
+      if (type.bound != 0) out += "," + std::to_string(type.bound);
+      out += ">";
+      return out;
+    }
+  }
+  return "void";
+}
+
+std::string SpellLiteral(const Literal& lit) {
+  switch (lit.kind) {
+    case Literal::Kind::kNone:
+      return "";
+    case Literal::Kind::kInt:
+      return std::to_string(lit.int_value);
+    case Literal::Kind::kFloat: {
+      char buf[64];
+      std::snprintf(buf, sizeof buf, "%g", lit.float_value);
+      return buf;
+    }
+    case Literal::Kind::kBool:
+      return lit.bool_value ? "TRUE" : "FALSE";
+    case Literal::Kind::kString: {
+      std::string out = "\"";
+      for (char c : lit.text) {
+        switch (c) {
+          case '"': out += "\\\""; break;
+          case '\\': out += "\\\\"; break;
+          case '\n': out += "\\n"; break;
+          case '\t': out += "\\t"; break;
+          case '\r': out += "\\r"; break;
+          default: out.push_back(c);
+        }
+      }
+      out += "\"";
+      return out;
+    }
+    case Literal::Kind::kChar: {
+      std::string body;
+      char c = lit.text.empty() ? '\0' : lit.text[0];
+      switch (c) {
+        case '\'': body = "\\'"; break;
+        case '\\': body = "\\\\"; break;
+        case '\n': body = "\\n"; break;
+        case '\t': body = "\\t"; break;
+        case '\0': body = "\\0"; break;
+        default: body = std::string(1, c);
+      }
+      return "'" + body + "'";
+    }
+    case Literal::Kind::kScoped:
+      // Sema normalized enum-member defaults to the unscoped member name;
+      // const references stay as written.
+      return lit.text;
+  }
+  return "";
+}
+
+namespace {
+
+class Builder {
+ public:
+  explicit Builder(const idl::Specification& spec) : spec_(spec) {}
+
+  std::unique_ptr<Node> Build() {
+    auto root = std::make_unique<Node>("Root", spec_.source_name);
+    root->SetProp("sourceName", spec_.source_name);
+    root->SetProp("pragmaPrefix", spec_.pragma_prefix);
+    root_ = root.get();
+    for (const auto& d : spec_.decls) AddDecl(*root, *d);
+    return root;
+  }
+
+ private:
+  // Fills the tag/typeName/IsVariable triple that every typed node carries
+  // (Fig 8's "type"/"typeName"/"IsVariable" properties).
+  static void SetTypeProps(Node& node, const TypeRef& type) {
+    node.SetProp("type", idl::TypeTag(type));
+    node.SetProp("typeName", idl::TypeFlatName(type));
+    node.SetProp("IsVariable", idl::IsVariableType(type) ? "true" : "false");
+    node.SetProp("typeRepoId",
+                 type.kind == TypeRef::Kind::kNamed && type.resolved != nullptr
+                     ? type.resolved->repo_id
+                     : "");
+  }
+
+  static void SetCommonProps(Node& node, const Decl& decl,
+                             std::string_view scoped_key) {
+    node.SetProp("name", decl.name);
+    node.SetProp(scoped_key, decl.ScopedName());
+    node.SetProp("flatName", decl.FlatName());
+    node.SetProp("repoId", decl.repo_id);
+  }
+
+  // Adds `decl` both to `parent`'s direct list and (for non-modules) to the
+  // flattened Root lists. Modules recurse.
+  void AddDecl(Node& parent, const Decl& decl) {
+    switch (decl.decl_kind) {
+      case DeclKind::kModule: {
+        const auto& mod = static_cast<const idl::ModuleDecl&>(decl);
+        Node& n = parent.NewChild("moduleList", "Module", decl.name);
+        SetCommonProps(n, decl, "moduleName");
+        for (const auto& d : mod.decls) AddDecl(n, *d);
+        break;
+      }
+      case DeclKind::kInterface:
+        BuildInterface(parent, static_cast<const InterfaceDecl&>(decl));
+        break;
+      case DeclKind::kForwardInterface: {
+        // A forward declaration whose definition appears in this file
+        // produces no node (the definition is what templates see). A
+        // forward-only *external* interface gets an ExternalInterface
+        // node so stub/skeleton generators can still learn its
+        // repository id (Fig 3 passes sequence<S> with external S).
+        const auto& fwd = static_cast<const idl::ForwardInterfaceDecl&>(decl);
+        if (fwd.definition == nullptr) {
+          Node* n = &parent.NewChild("externalList", "ExternalInterface",
+                                     decl.name);
+          SetCommonProps(*n, decl, "interfaceName");
+          Mirror(parent, "externalList", *n);
+        }
+        break;
+      }
+      case DeclKind::kEnum: {
+        const auto& en = static_cast<const idl::EnumDecl&>(decl);
+        Node* n = &parent.NewChild("enumList", "Enum", decl.name);
+        SetCommonProps(*n, decl, "enumName");
+        n->SetProp("members", str::Join(en.members, ","));
+        for (const auto& m : en.members) {
+          Node& mem = n->NewChild("memberList", "EnumMember", m);
+          mem.SetProp("name", m);
+          mem.SetProp("memberName", m);
+        }
+        Mirror(parent, "enumList", *n);
+        break;
+      }
+      case DeclKind::kStruct: {
+        const auto& st = static_cast<const idl::StructDecl&>(decl);
+        Node* n = &parent.NewChild("structList", "Struct", decl.name);
+        SetCommonProps(*n, decl, "structName");
+        n->SetProp("IsVariable", VariableFields(st.fields) ? "true" : "false");
+        AddFields(*n, st.fields);
+        Mirror(parent, "structList", *n);
+        break;
+      }
+      case DeclKind::kUnion: {
+        const auto& un = static_cast<const idl::UnionDecl&>(decl);
+        Node* n = &parent.NewChild("unionList", "Union", decl.name);
+        SetCommonProps(*n, decl, "unionName");
+        n->SetProp("discriminatorType", SpellType(un.discriminator));
+        bool variable = false;
+        for (const auto& arm : un.cases) {
+          variable = variable || idl::IsVariableType(arm.type);
+        }
+        n->SetProp("IsVariable", variable ? "true" : "false");
+        for (const auto& arm : un.cases) {
+          Node& cn = n->NewChild("caseList", "Case", arm.name);
+          cn.SetProp("name", arm.name);
+          cn.SetProp("caseName", arm.name);
+          cn.SetProp("caseType", SpellType(arm.type));
+          SetTypeProps(cn, arm.type);
+          std::vector<std::string> labels;
+          for (const auto& label : arm.labels) {
+            labels.push_back(SpellLiteral(label));
+          }
+          cn.SetProp("labels", str::Join(labels, ","));
+          cn.SetProp("isDefault", arm.is_default ? "true" : "");
+        }
+        Mirror(parent, "unionList", *n);
+        break;
+      }
+      case DeclKind::kException: {
+        const auto& ex = static_cast<const idl::ExceptionDecl&>(decl);
+        Node* n = &parent.NewChild("exceptionList", "Exception", decl.name);
+        SetCommonProps(*n, decl, "exceptionName");
+        n->SetProp("IsVariable", VariableFields(ex.fields) ? "true" : "false");
+        AddFields(*n, ex.fields);
+        Mirror(parent, "exceptionList", *n);
+        break;
+      }
+      case DeclKind::kTypedef: {
+        const auto& td = static_cast<const idl::TypedefDecl&>(decl);
+        Node* n = &parent.NewChild("aliasList", "Alias", decl.name);
+        SetCommonProps(*n, decl, "aliasName");
+        n->SetProp("aliasType", SpellType(td.type));
+        SetTypeProps(*n, td.type);
+        if (td.type.kind == TypeRef::Kind::kSequence) {
+          Node& seq = n->NewChild("sequenceList", "Sequence", "");
+          SetTypeProps(seq, *td.type.element);
+          seq.SetProp("elementType", SpellType(*td.type.element));
+          seq.SetProp("bound", std::to_string(td.type.bound));
+          seq.SetProp("IsVariable", "true");
+        }
+        Mirror(parent, "aliasList", *n);
+        break;
+      }
+      case DeclKind::kConst: {
+        const auto& cd = static_cast<const idl::ConstDecl&>(decl);
+        Node* n = &parent.NewChild("constList", "Const", decl.name);
+        SetCommonProps(*n, decl, "constName");
+        n->SetProp("constType", SpellType(cd.type));
+        SetTypeProps(*n, cd.type);
+        n->SetProp("constValue", SpellLiteral(cd.value));
+        Mirror(parent, "constList", *n);
+        break;
+      }
+    }
+  }
+
+  // Mirrors a node built under a module/interface into the flattened Root
+  // list of the same name. Root-direct declarations need no mirror.
+  void Mirror(Node& parent, std::string_view list, const Node& node) {
+    if (&parent == root_) return;
+    root_->AddChild(list, node.Clone());
+  }
+
+  static bool VariableFields(const std::vector<idl::StructField>& fields) {
+    for (const auto& f : fields) {
+      if (idl::IsVariableType(f.type)) return true;
+    }
+    return false;
+  }
+
+  static void AddFields(Node& parent,
+                        const std::vector<idl::StructField>& fields) {
+    for (const auto& f : fields) {
+      Node& n = parent.NewChild("fieldList", "Field", f.name);
+      n.SetProp("name", f.name);
+      n.SetProp("fieldName", f.name);
+      n.SetProp("fieldType", SpellType(f.type));
+      SetTypeProps(n, f.type);
+    }
+  }
+
+  static void FillOperation(Node& n, const idl::OperationDecl& op) {
+    n.SetProp("name", op.name);
+    n.SetProp("methodName", op.name);
+    n.SetProp("returnType", SpellType(op.return_type));
+    SetTypeProps(n, op.return_type);
+    n.SetProp("oneway", op.oneway ? "true" : "");
+    n.SetProp("raises", str::Join(op.raises, ","));
+    // raisesList: one node per resolved raises entry, embedding the
+    // exception's fields so stub/skeleton templates can marshal them
+    // without a cross-tree lookup.
+    for (const idl::Decl* ex_decl : op.raises_resolved) {
+      const auto& ex = static_cast<const idl::ExceptionDecl&>(*ex_decl);
+      Node& rn = n.NewChild("raisesList", "Raises", ex.name);
+      rn.SetProp("name", ex.name);
+      rn.SetProp("raisesName", ex.ScopedName());
+      rn.SetProp("flatName", ex.FlatName());
+      rn.SetProp("repoId", ex.repo_id);
+      AddFields(rn, ex.fields);
+    }
+    for (const auto& p : op.params) {
+      Node& pn = n.NewChild("paramList", "Param", p.name);
+      pn.SetProp("name", p.name);
+      pn.SetProp("paramName", p.name);
+      pn.SetProp("paramType", SpellType(p.type));
+      SetTypeProps(pn, p.type);
+      pn.SetProp("direction", std::string(idl::ParamDirName(p.direction)));
+      pn.SetProp("defaultParam", SpellLiteral(p.default_value));
+    }
+  }
+
+  static void FillAttribute(Node& n, const idl::AttributeDecl& at) {
+    n.SetProp("name", at.name);
+    n.SetProp("attributeName", at.name);
+    n.SetProp("attributeType", SpellType(at.type));
+    SetTypeProps(n, at.type);
+    n.SetProp("attributeQualifier", at.readonly ? "readonly" : "");
+  }
+
+  void BuildInterface(Node& parent, const InterfaceDecl& iface) {
+    Node* n = &parent.NewChild("interfaceList", "Interface", iface.name);
+    SetCommonProps(*n, iface, "interfaceName");
+    n->SetProp("Parent",
+               iface.bases.empty() ? "" : iface.bases.front()->FlatName());
+    n->SetProp("hasBases", iface.bases.empty() ? "" : "true");
+
+    for (const Decl* base : iface.bases) {
+      Node& bn = n->NewChild("inheritedList", "Inherited", base->name);
+      bn.SetProp("name", base->name);
+      bn.SetProp("inheritedName", base->ScopedName());
+      bn.SetProp("flatName", base->FlatName());
+      bn.SetProp("repoId", base->repo_id);
+      bn.SetProp("external",
+                 base->decl_kind == DeclKind::kForwardInterface ? "true" : "");
+    }
+
+    for (const auto& op : iface.operations) {
+      Node& on = n->NewChild("methodList", "Operation", op.name);
+      FillOperation(on, op);
+    }
+    for (const auto& at : iface.attributes) {
+      Node& an = n->NewChild("attributeList", "Attribute", at.name);
+      FillAttribute(an, at);
+    }
+
+    // allMethodList / allAttributeList: inherited first (depth-first in
+    // base declaration order, visiting each interface once), then own.
+    std::vector<const InterfaceDecl*> order;
+    std::set<const InterfaceDecl*> seen;
+    CollectTransitiveBases(iface, order, seen);
+    order.push_back(&iface);
+    for (const auto* source : order) {
+      for (const auto& op : source->operations) {
+        Node& on = n->NewChild("allMethodList", "Operation", op.name);
+        FillOperation(on, op);
+        on.SetProp("definedIn", source->FlatName());
+      }
+      for (const auto& at : source->attributes) {
+        Node& an = n->NewChild("allAttributeList", "Attribute", at.name);
+        FillAttribute(an, at);
+        an.SetProp("definedIn", source->FlatName());
+      }
+    }
+
+    for (const auto& d : iface.nested) AddDecl(*n, *d);
+    // Nested declarations were added to the interface node's own lists by
+    // AddDecl (which also mirrors to Root when parent != root; here parent
+    // of nested is the interface node, so Mirror already handled Root).
+
+    Mirror(parent, "interfaceList", *n);
+  }
+
+  // Transitive *defined* bases; external forward-only bases have unknown
+  // members and contribute nothing to allMethodList.
+  void CollectTransitiveBases(const InterfaceDecl& iface,
+                              std::vector<const InterfaceDecl*>& order,
+                              std::set<const InterfaceDecl*>& seen) {
+    for (const Decl* base_decl : iface.bases) {
+      if (base_decl->decl_kind != DeclKind::kInterface) continue;
+      const auto* base = static_cast<const InterfaceDecl*>(base_decl);
+      if (!seen.insert(base).second) continue;
+      CollectTransitiveBases(*base, order, seen);
+      order.push_back(base);
+    }
+  }
+
+  const idl::Specification& spec_;
+  Node* root_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Node> BuildEst(const idl::Specification& spec) {
+  return Builder(spec).Build();
+}
+
+}  // namespace heidi::est

@@ -1,0 +1,106 @@
+// EST builder: turns a resolved idl::Specification into the Enhanced
+// Syntax Tree that templates walk (§4.1, Fig 7/8).
+//
+// ============================ EST SCHEMA =================================
+// Root (kind "Root", name = source file name)
+//   props: sourceName, pragmaPrefix
+//   lists:
+//     moduleList     — top-level modules (Module nodes, direct children)
+//     interfaceList  — ALL interfaces, flattened recursively, source order
+//     enumList, aliasList, structList, exceptionList, constList — likewise
+//
+// Module (kind "Module")
+//   props: name, moduleName (scoped, "Outer::Inner"), flatName, repoId
+//   lists: moduleList / interfaceList / enumList / aliasList / structList /
+//          exceptionList / constList — *direct* children only
+//
+// Interface (kind "Interface")
+//   props: name, interfaceName (scoped, "Heidi::A"), flatName ("Heidi_A"),
+//          repoId ("IDL:Heidi/A:1.0"), Parent (flat name of first base, ""
+//          if none — Fig 8 compatibility), hasBases ("true"/"")
+//   lists:
+//     inheritedList — one node per *direct* base (kind "Inherited";
+//         props: name, inheritedName (scoped), flatName, repoId)
+//     methodList    — own operations, source order (Operation nodes)
+//     attributeList — own attributes, source order (Attribute nodes)
+//     allMethodList / allAttributeList — inherited members first
+//         (depth-first in base order, deduplicated), then own; each node
+//         carries definedIn = flat name of the declaring interface
+//     nestedList    — types declared inside the interface (also flattened
+//         into the Root lists)
+//
+// Operation (kind "Operation")
+//   props: name, methodName, returnType (IDL spelling, see below),
+//          type (return type tag), typeName (flat name if named, else ""),
+//          IsVariable ("true"/"false"), oneway ("true"/""),
+//          raises (comma-joined scoped names, "" if none)
+//   lists: paramList (Param nodes)
+//
+// Param (kind "Param")
+//   props: name, paramName, paramType (IDL spelling), type (tag),
+//          typeName, IsVariable, direction (in/out/inout/incopy),
+//          defaultParam (IDL spelling of the default value, "" if none)
+//
+// Attribute (kind "Attribute")
+//   props: name, attributeName, attributeType (spelling), type (tag),
+//          typeName, IsVariable, attributeQualifier ("readonly"/"")
+//
+// Enum (kind "Enum")
+//   props: name, enumName (scoped), flatName, repoId,
+//          members (comma-joined member names — Fig 8 compatibility)
+//   lists: memberList (kind "EnumMember"; props: name, memberName)
+//
+// Alias (kind "Alias")
+//   props: name, aliasName (scoped), flatName, repoId,
+//          aliasType (spelling of the aliased type), type (tag of aliased
+//          type — Fig 8 shows AddProp("type","sequence")), typeName,
+//          IsVariable
+//   lists: sequenceList — present iff the aliased type is a sequence; one
+//     node (kind "Sequence"; props: type (element tag), typeName (element
+//     flat name — Fig 8), elementType (element spelling), bound ("0" for
+//     unbounded), IsVariable ("true"))
+//
+// Union (kind "Union")
+//   props: name, unionName (scoped), flatName, repoId,
+//          discriminatorType (spelling), IsVariable
+//   lists: caseList (kind "Case"; props: name, caseName, caseType, type,
+//          typeName, IsVariable, labels (comma-joined label spellings),
+//          isDefault ("true"/""))
+//
+// Struct (kind "Struct") / Exception (kind "Exception")
+//   props: name, structName/exceptionName (scoped), flatName, repoId,
+//          IsVariable
+//   lists: fieldList (kind "Field"; props: name, fieldName, fieldType,
+//          type, typeName, IsVariable)
+//
+// Const (kind "Const")
+//   props: name, constName (scoped), flatName, repoId, constType
+//          (spelling), type (tag), typeName, constValue (spelling)
+//
+// Type spellings are canonical IDL with scoped names: "void", "boolean",
+// "unsigned long", "string", "string<16>", "Heidi::A",
+// "sequence<Heidi::S>", "sequence<long,8>". Value spellings: integers in
+// decimal, floats via %g, TRUE/FALSE, quoted strings, 'c' chars, enum
+// members by unscoped member name (as Fig 3's `q(HdStatus s = Start)`).
+// =========================================================================
+#pragma once
+
+#include <memory>
+
+#include "est/node.h"
+#include "idl/ast.h"
+
+namespace heidi::est {
+
+// Builds the EST for a parsed-and-resolved specification. The returned
+// tree is self-contained (owns all strings; `spec` may be destroyed).
+std::unique_ptr<Node> BuildEst(const idl::Specification& spec);
+
+// Canonical IDL spelling of a (resolved) type — exposed for tests and for
+// tooling that wants to print types the way the EST does.
+std::string SpellType(const idl::TypeRef& type);
+
+// Canonical spelling of a literal (default values, const values).
+std::string SpellLiteral(const idl::Literal& lit);
+
+}  // namespace heidi::est

@@ -1,0 +1,7 @@
+// Umbrella header for the EST: node structure, builder, serialization.
+#pragma once
+
+#include "est/builder.h"    // IWYU pragma: export
+#include "est/node.h"       // IWYU pragma: export
+#include "est/repository.h"  // IWYU pragma: export
+#include "est/serialize.h"   // IWYU pragma: export

@@ -1,0 +1,95 @@
+#include "est/node.h"
+
+namespace heidi::est {
+
+void Node::SetProp(std::string_view key, std::string_view value) {
+  for (auto& [k, v] : props_) {
+    if (k == key) {
+      v = std::string(value);
+      return;
+    }
+  }
+  props_.emplace_back(std::string(key), std::string(value));
+}
+
+const std::string* Node::FindProp(std::string_view key) const {
+  for (const auto& [k, v] : props_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+std::string Node::GetProp(std::string_view key,
+                          std::string_view fallback) const {
+  const std::string* v = FindProp(key);
+  return v != nullptr ? *v : std::string(fallback);
+}
+
+Node& Node::AddChild(std::string_view list, std::unique_ptr<Node> child) {
+  for (auto& [name, nodes] : lists_) {
+    if (name == list) {
+      nodes.push_back(std::move(child));
+      return *nodes.back();
+    }
+  }
+  lists_.emplace_back(std::string(list),
+                      std::vector<std::unique_ptr<Node>>{});
+  lists_.back().second.push_back(std::move(child));
+  return *lists_.back().second.back();
+}
+
+Node& Node::NewChild(std::string_view list, std::string kind,
+                     std::string name) {
+  return AddChild(list,
+                  std::make_unique<Node>(std::move(kind), std::move(name)));
+}
+
+const std::vector<std::unique_ptr<Node>>* Node::FindList(
+    std::string_view list) const {
+  for (const auto& [name, nodes] : lists_) {
+    if (name == list) return &nodes;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> Node::ListNames() const {
+  std::vector<std::string> out;
+  out.reserve(lists_.size());
+  for (const auto& [name, nodes] : lists_) out.push_back(name);
+  return out;
+}
+
+size_t Node::TreeSize() const {
+  size_t total = 1;
+  for (const auto& [name, nodes] : lists_) {
+    for (const auto& n : nodes) total += n->TreeSize();
+  }
+  return total;
+}
+
+bool DeepEquals(const Node& a, const Node& b) {
+  if (a.kind_ != b.kind_ || a.name_ != b.name_) return false;
+  if (a.props_ != b.props_) return false;
+  if (a.lists_.size() != b.lists_.size()) return false;
+  for (size_t i = 0; i < a.lists_.size(); ++i) {
+    if (a.lists_[i].first != b.lists_[i].first) return false;
+    const auto& an = a.lists_[i].second;
+    const auto& bn = b.lists_[i].second;
+    if (an.size() != bn.size()) return false;
+    for (size_t j = 0; j < an.size(); ++j) {
+      if (!DeepEquals(*an[j], *bn[j])) return false;
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<Node> Node::Clone() const {
+  auto copy = std::make_unique<Node>(kind_, name_);
+  copy->props_ = props_;
+  for (const auto& [name, nodes] : lists_) {
+    for (const auto& n : nodes) copy->AddChild(name, n->Clone());
+  }
+  return copy;
+}
+
+}  // namespace heidi::est

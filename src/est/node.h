@@ -1,0 +1,74 @@
+// Enhanced Syntax Tree (EST) — the paper's central compiler data structure
+// (§4, Fig 7/8).
+//
+// An EST node is a property bag (ordered key/value string pairs) plus a set
+// of *named child lists*. Unlike a raw parse tree, children are grouped by
+// kind into lists ("methodList", "attributeList", "paramList", ...), so a
+// template's @foreach can exhaustively enumerate all elements of one kind
+// regardless of how members were interleaved in the IDL source.
+//
+// Property values and names are plain strings: the EST is deliberately
+// language-neutral so the same tree can drive C++, Java, and tcl templates.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heidi::est {
+
+class Node {
+ public:
+  Node(std::string kind, std::string name)
+      : kind_(std::move(kind)), name_(std::move(name)) {}
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  const std::string& Kind() const { return kind_; }
+  const std::string& Name() const { return name_; }
+
+  // --- properties (insertion-ordered; duplicate keys overwrite) ----------
+  void SetProp(std::string_view key, std::string_view value);
+  // nullptr if absent.
+  const std::string* FindProp(std::string_view key) const;
+  // `fallback` if absent.
+  std::string GetProp(std::string_view key,
+                      std::string_view fallback = "") const;
+  bool HasProp(std::string_view key) const { return FindProp(key) != nullptr; }
+  const std::vector<std::pair<std::string, std::string>>& Props() const {
+    return props_;
+  }
+
+  // --- named child lists (insertion-ordered) ------------------------------
+  // Creates the list if absent; returns the new child.
+  Node& AddChild(std::string_view list, std::unique_ptr<Node> child);
+  Node& NewChild(std::string_view list, std::string kind, std::string name);
+  // nullptr if no such list.
+  const std::vector<std::unique_ptr<Node>>* FindList(
+      std::string_view list) const;
+  std::vector<std::string> ListNames() const;
+  bool HasList(std::string_view list) const {
+    return FindList(list) != nullptr;
+  }
+  // Total node count in this subtree (including this node).
+  size_t TreeSize() const;
+
+  // Deep structural equality (kind, name, props, lists, recursively).
+  friend bool DeepEquals(const Node& a, const Node& b);
+
+  // Deep copy.
+  std::unique_ptr<Node> Clone() const;
+
+ private:
+  std::string kind_;
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> props_;
+  std::vector<std::pair<std::string, std::vector<std::unique_ptr<Node>>>>
+      lists_;
+};
+
+bool DeepEquals(const Node& a, const Node& b);
+
+}  // namespace heidi::est

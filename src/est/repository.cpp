@@ -1,0 +1,127 @@
+#include "est/repository.h"
+
+#include "est/builder.h"
+#include "est/serialize.h"
+#include "idl/sema.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace heidi::est {
+
+namespace {
+// Lists whose elements carry a repoId worth indexing.
+constexpr const char* kIndexedLists[] = {
+    "interfaceList", "externalList",  "enumList",  "aliasList",
+    "structList",    "unionList",     "exceptionList", "constList",
+};
+}  // namespace
+
+const Node& InterfaceRepository::Add(std::unique_ptr<Node> root) {
+  std::string name = root->GetProp("sourceName");
+  if (name.empty()) {
+    throw HdError("cannot store an EST without a sourceName");
+  }
+  const Node* raw = root.get();
+  sources_[name] = std::move(root);
+  // Rebuild the id index: replacement may have removed entries.
+  by_repo_id_.clear();
+  for (const auto& [source, node] : sources_) IndexSource(*node);
+  return *raw;
+}
+
+const Node& InterfaceRepository::AddSource(std::string_view idl_source,
+                                           std::string source_name) {
+  idl::Specification spec =
+      idl::ParseAndResolve(idl_source, std::move(source_name));
+  return Add(BuildEst(spec));
+}
+
+std::vector<std::string> InterfaceRepository::SourceNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, node] : sources_) out.push_back(name);
+  return out;
+}
+
+const Node* InterfaceRepository::FindSource(
+    std::string_view source_name) const {
+  auto it = sources_.find(std::string(source_name));
+  return it == sources_.end() ? nullptr : it->second.get();
+}
+
+void InterfaceRepository::IndexSource(const Node& root) {
+  for (const char* list : kIndexedLists) {
+    const auto* nodes = root.FindList(list);
+    if (nodes == nullptr) continue;
+    for (const auto& node : *nodes) {
+      std::string repo_id = node->GetProp("repoId");
+      if (!repo_id.empty()) by_repo_id_[repo_id] = node.get();
+    }
+  }
+}
+
+const Node* InterfaceRepository::FindByRepoId(std::string_view repo_id) const {
+  auto it = by_repo_id_.find(std::string(repo_id));
+  return it == by_repo_id_.end() ? nullptr : it->second;
+}
+
+std::vector<const Node*> InterfaceRepository::AllInterfaces() const {
+  std::vector<const Node*> out;
+  for (const auto& [name, root] : sources_) {
+    const auto* interfaces = root->FindList("interfaceList");
+    if (interfaces == nullptr) continue;
+    for (const auto& node : *interfaces) out.push_back(node.get());
+  }
+  return out;
+}
+
+// Persistence format: a count line, then per source a header line with the
+// escaped source name followed by its EST blob delimited by a sentinel.
+std::string InterfaceRepository::Save() const {
+  std::string out = "IR 1 " + std::to_string(sources_.size()) + "\n";
+  for (const auto& [name, root] : sources_) {
+    out += "SOURCE " + str::EscapeToken(name) + "\n";
+    out += Serialize(*root);
+    out += "ENDSOURCE\n";
+  }
+  return out;
+}
+
+void InterfaceRepository::Load(std::string_view text) {
+  std::map<std::string, std::unique_ptr<Node>> loaded;
+  size_t pos = 0;
+  auto next_line = [&]() -> std::string_view {
+    size_t eol = text.find('\n', pos);
+    std::string_view line = eol == std::string_view::npos
+                                ? text.substr(pos)
+                                : text.substr(pos, eol - pos);
+    pos = eol == std::string_view::npos ? text.size() : eol + 1;
+    return line;
+  };
+
+  std::string_view header = next_line();
+  auto fields = str::Split(header, ' ');
+  if (fields.size() != 3 || fields[0] != "IR" || fields[1] != "1") {
+    throw ParseError("malformed interface repository header");
+  }
+  while (pos < text.size()) {
+    std::string_view line = next_line();
+    if (str::Trim(line).empty()) continue;
+    if (!str::StartsWith(line, "SOURCE ")) {
+      throw ParseError("expected SOURCE line in interface repository");
+    }
+    std::string name = str::UnescapeToken(line.substr(7));
+    size_t end = text.find("\nENDSOURCE\n", pos);
+    if (end == std::string_view::npos) {
+      throw ParseError("unterminated SOURCE block for '" + name + "'");
+    }
+    std::string_view blob = text.substr(pos, end + 1 - pos);
+    loaded[name] = Deserialize(blob);
+    pos = end + std::string_view("\nENDSOURCE\n").size();
+  }
+
+  sources_ = std::move(loaded);
+  by_repo_id_.clear();
+  for (const auto& [source, node] : sources_) IndexSource(*node);
+}
+
+}  // namespace heidi::est

@@ -1,0 +1,64 @@
+// Interface Repository (paper §5): OmniBroker's compiler kept an abstract
+// representation of parsed IDL in a possibly-persistent global Interface
+// Repository so a distributed development environment could query
+// interfaces without re-parsing; the paper suggests storing the EST there
+// directly. This module is that suggestion, built: a store of ESTs keyed
+// by source name, with lookup of any named entity by repository id, and
+// persistence through the EST's external representation.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "est/node.h"
+
+namespace heidi::est {
+
+class InterfaceRepository {
+ public:
+  InterfaceRepository() = default;
+
+  InterfaceRepository(const InterfaceRepository&) = delete;
+  InterfaceRepository& operator=(const InterfaceRepository&) = delete;
+
+  // Adds (or replaces) the EST of one translation unit, keyed by the
+  // root's sourceName property. Returns the stored root.
+  const Node& Add(std::unique_ptr<Node> root);
+
+  // Parses + resolves + builds and adds in one step.
+  const Node& AddSource(std::string_view idl_source,
+                        std::string source_name);
+
+  size_t SourceCount() const { return sources_.size(); }
+  std::vector<std::string> SourceNames() const;
+
+  // Root EST of one source; nullptr if unknown.
+  const Node* FindSource(std::string_view source_name) const;
+
+  // Looks a declaration node up by repository id across every stored
+  // source ("IDL:Heidi/A:1.0" -> its Interface node). Searches
+  // interfaces, enums, aliases, structs, exceptions and consts. Returns
+  // nullptr if unknown. Later-added sources win on collisions.
+  const Node* FindByRepoId(std::string_view repo_id) const;
+
+  // All interface nodes across all sources (the IR query the OmniBroker
+  // code generator ran per interface).
+  std::vector<const Node*> AllInterfaces() const;
+
+  // --- persistence (the "possibly persistent" IR) -------------------------
+  // One text blob containing every source's EST; Load replaces the
+  // current contents. Throws ParseError on malformed input.
+  std::string Save() const;
+  void Load(std::string_view text);
+
+ private:
+  void IndexSource(const Node& root);
+
+  std::map<std::string, std::unique_ptr<Node>> sources_;
+  std::map<std::string, const Node*> by_repo_id_;
+};
+
+}  // namespace heidi::est

@@ -1,0 +1,139 @@
+#include "est/serialize.h"
+
+#include <sstream>
+#include <vector>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace heidi::est {
+
+namespace {
+
+void SerializeNode(const Node& node, std::string& out) {
+  out += "N " + str::EscapeToken(node.Kind()) + " " +
+         str::EscapeToken(node.Name()) + "\n";
+  for (const auto& [key, value] : node.Props()) {
+    out += "P " + str::EscapeToken(key) + " " + str::EscapeToken(value) + "\n";
+  }
+  for (const std::string& list : node.ListNames()) {
+    out += "L " + str::EscapeToken(list) + "\n";
+    for (const auto& child : *node.FindList(list)) {
+      SerializeNode(*child, out);
+    }
+    out += "E\n";
+  }
+  out += "X\n";
+}
+
+}  // namespace
+
+std::string Serialize(const Node& root) {
+  std::string out = "EST 1\n";
+  SerializeNode(root, out);
+  return out;
+}
+
+namespace {
+
+class Reader {
+ public:
+  explicit Reader(std::string_view text) : text_(text) {}
+
+  // Returns false at end of input; skips blank lines.
+  bool NextLine(std::vector<std::string>& fields) {
+    while (pos_ < text_.size()) {
+      size_t eol = text_.find('\n', pos_);
+      std::string_view line = eol == std::string_view::npos
+                                  ? text_.substr(pos_)
+                                  : text_.substr(pos_, eol - pos_);
+      pos_ = eol == std::string_view::npos ? text_.size() : eol + 1;
+      ++line_no_;
+      if (str::Trim(line).empty()) continue;
+      fields = str::Split(line, ' ');
+      return true;
+    }
+    return false;
+  }
+
+  [[noreturn]] void Fail(const std::string& msg) const {
+    throw ParseError("EST line " + std::to_string(line_no_) + ": " + msg);
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+  int line_no_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<Node> Deserialize(std::string_view text) {
+  Reader reader(text);
+  std::vector<std::string> fields;
+  if (!reader.NextLine(fields) || fields.size() != 2 || fields[0] != "EST") {
+    reader.Fail("missing 'EST <version>' header");
+  }
+  if (fields[1] != "1") reader.Fail("unsupported EST version " + fields[1]);
+
+  std::unique_ptr<Node> root;
+  // Stack of (node, open list name). An entry's list name is empty while
+  // reading the node's props and set while inside an L...E block.
+  struct Frame {
+    Node* node;
+    std::string open_list;
+  };
+  std::vector<Frame> stack;
+
+  while (reader.NextLine(fields)) {
+    const std::string& op = fields[0];
+    if (op == "N") {
+      if (fields.size() != 3) reader.Fail("N needs kind and name");
+      auto node = std::make_unique<Node>(str::UnescapeToken(fields[1]),
+                                         str::UnescapeToken(fields[2]));
+      Node* raw = node.get();
+      if (stack.empty()) {
+        if (root != nullptr) reader.Fail("multiple root nodes");
+        root = std::move(node);
+      } else {
+        Frame& top = stack.back();
+        if (top.open_list.empty()) {
+          reader.Fail("node outside of a list");
+        }
+        top.node->AddChild(top.open_list, std::move(node));
+      }
+      stack.push_back({raw, ""});
+    } else if (op == "P") {
+      if (fields.size() != 3) reader.Fail("P needs key and value");
+      if (stack.empty() || !stack.back().open_list.empty()) {
+        reader.Fail("property outside of a node");
+      }
+      stack.back().node->SetProp(str::UnescapeToken(fields[1]),
+                                 str::UnescapeToken(fields[2]));
+    } else if (op == "L") {
+      if (fields.size() != 2) reader.Fail("L needs a list name");
+      if (stack.empty() || !stack.back().open_list.empty()) {
+        reader.Fail("list opened in wrong position");
+      }
+      stack.back().open_list = str::UnescapeToken(fields[1]);
+    } else if (op == "E") {
+      if (stack.empty() || stack.back().open_list.empty()) {
+        reader.Fail("E without open list");
+      }
+      stack.back().open_list.clear();
+    } else if (op == "X") {
+      if (stack.empty()) reader.Fail("X without open node");
+      if (!stack.back().open_list.empty()) {
+        reader.Fail("X with unclosed list '" + stack.back().open_list + "'");
+      }
+      stack.pop_back();
+    } else {
+      reader.Fail("unknown opcode '" + op + "'");
+    }
+  }
+  if (!stack.empty()) reader.Fail("unterminated node at end of input");
+  if (root == nullptr) reader.Fail("empty EST");
+  return root;
+}
+
+}  // namespace heidi::est

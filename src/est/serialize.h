@@ -1,0 +1,36 @@
+// EST external representation.
+//
+// The paper's prototype emitted a Perl program that rebuilds the EST inside
+// the interpreter (Fig 8); evaluating that program was the hand-off between
+// the parse stage and the code-generation stage. We reproduce the same
+// hand-off with a line-oriented textual encoding:
+//
+//   EST 1                      header with format version
+//   N <kind> <name>            open node
+//   P <key> <value>            property of the open node
+//   L <listname>               open child list
+//   ...nested N/P/L/E/X...
+//   E                          close list
+//   X                          close node
+//
+// Fields are space-separated; kind/name/key/value are %-escaped with
+// str::EscapeToken so arbitrary characters round-trip. Deserialize()
+// rebuilds a structurally identical tree (DeepEquals holds), which
+// bench_codegen uses to compare "re-parse external EST" vs "rebuild
+// in-process" — the trade-off §4.1 discusses.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "est/node.h"
+
+namespace heidi::est {
+
+std::string Serialize(const Node& root);
+
+// Throws ParseError on malformed input.
+std::unique_ptr<Node> Deserialize(std::string_view text);
+
+}  // namespace heidi::est

@@ -1,0 +1,46 @@
+#include "idl/ast.h"
+
+namespace heidi::idl {
+
+std::string_view PrimName(PrimKind kind) {
+  switch (kind) {
+    case PrimKind::kVoid: return "void";
+    case PrimKind::kBoolean: return "boolean";
+    case PrimKind::kChar: return "char";
+    case PrimKind::kOctet: return "octet";
+    case PrimKind::kShort: return "short";
+    case PrimKind::kUShort: return "unsigned short";
+    case PrimKind::kLong: return "long";
+    case PrimKind::kULong: return "unsigned long";
+    case PrimKind::kLongLong: return "long long";
+    case PrimKind::kULongLong: return "unsigned long long";
+    case PrimKind::kFloat: return "float";
+    case PrimKind::kDouble: return "double";
+    case PrimKind::kString: return "string";
+  }
+  return "?";
+}
+
+std::string_view ParamDirName(ParamDir dir) {
+  switch (dir) {
+    case ParamDir::kIn: return "in";
+    case ParamDir::kOut: return "out";
+    case ParamDir::kInOut: return "inout";
+    case ParamDir::kInCopy: return "incopy";
+  }
+  return "?";
+}
+
+namespace {
+std::string JoinScope(const Decl* decl, const char* sep) {
+  if (decl == nullptr) return "";
+  std::string prefix = JoinScope(decl->enclosing, sep);
+  if (prefix.empty()) return decl->name;
+  return prefix + sep + decl->name;
+}
+}  // namespace
+
+std::string Decl::ScopedName() const { return JoinScope(this, "::"); }
+std::string Decl::FlatName() const { return JoinScope(this, "_"); }
+
+}  // namespace heidi::idl

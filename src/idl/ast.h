@@ -1,0 +1,265 @@
+// Abstract syntax tree for the IDL subset.
+//
+// The parser produces this tree in source order (attributes and operations
+// interleaved exactly as written — the paper's Fig 3 example deliberately
+// interleaves them); the EST builder later regroups like nodes. Semantic
+// analysis decorates the tree in place: it resolves named type references,
+// links interface bases, and assigns repository ids.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace heidi::idl {
+
+struct Decl;
+struct InterfaceDecl;
+
+// ---------------------------------------------------------------------------
+// Types
+
+enum class PrimKind : uint8_t {
+  kVoid,
+  kBoolean,
+  kChar,
+  kOctet,
+  kShort,
+  kUShort,
+  kLong,
+  kULong,
+  kLongLong,
+  kULongLong,
+  kFloat,
+  kDouble,
+  kString,
+};
+
+// IDL spelling of a primitive kind ("unsigned long", "boolean", ...).
+std::string_view PrimName(PrimKind kind);
+
+// A (possibly unresolved) reference to a type.
+struct TypeRef {
+  enum class Kind : uint8_t {
+    kPrimitive,  // prim is valid
+    kNamed,      // name is valid; resolved filled in by sema
+    kSequence,   // element is valid; bound != 0 for bounded sequences
+  };
+
+  Kind kind = Kind::kPrimitive;
+  PrimKind prim = PrimKind::kVoid;
+  std::string name;              // scoped name as written ("Heidi::Status")
+  const Decl* resolved = nullptr;  // set by sema for kNamed
+  std::unique_ptr<TypeRef> element;  // sequence element type
+  uint64_t bound = 0;                // sequence bound; 0 = unbounded
+  uint64_t string_bound = 0;         // bounded string<N>; 0 = unbounded
+
+  static TypeRef Primitive(PrimKind p) {
+    TypeRef t;
+    t.kind = Kind::kPrimitive;
+    t.prim = p;
+    return t;
+  }
+  static TypeRef Named(std::string scoped_name) {
+    TypeRef t;
+    t.kind = Kind::kNamed;
+    t.name = std::move(scoped_name);
+    return t;
+  }
+  static TypeRef Sequence(TypeRef element_type, uint64_t bound_value = 0) {
+    TypeRef t;
+    t.kind = Kind::kSequence;
+    t.element = std::make_unique<TypeRef>(std::move(element_type));
+    t.bound = bound_value;
+    return t;
+  }
+
+  TypeRef() = default;
+  TypeRef(TypeRef&&) = default;
+  TypeRef& operator=(TypeRef&&) = default;
+  TypeRef(const TypeRef& other) { *this = other; }
+  TypeRef& operator=(const TypeRef& other) {
+    if (this == &other) return *this;
+    kind = other.kind;
+    prim = other.prim;
+    name = other.name;
+    resolved = other.resolved;
+    bound = other.bound;
+    string_bound = other.string_bound;
+    element = other.element ? std::make_unique<TypeRef>(*other.element)
+                            : nullptr;
+    return *this;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Literals (const values, default parameter values)
+
+struct Literal {
+  enum class Kind : uint8_t {
+    kNone,
+    kInt,     // int_value
+    kFloat,   // float_value
+    kBool,    // bool_value
+    kString,  // text
+    kChar,    // text (single char)
+    kScoped,  // text is a scoped name, e.g. an enum member (Heidi::Start)
+  };
+
+  Kind kind = Kind::kNone;
+  int64_t int_value = 0;
+  double float_value = 0.0;
+  bool bool_value = false;
+  std::string text;
+
+  bool IsSet() const { return kind != Kind::kNone; }
+};
+
+// ---------------------------------------------------------------------------
+// Declarations
+
+enum class DeclKind : uint8_t {
+  kModule,
+  kInterface,
+  kForwardInterface,
+  kEnum,
+  kStruct,
+  kUnion,
+  kException,
+  kTypedef,
+  kConst,
+};
+
+struct Decl {
+  DeclKind decl_kind;
+  std::string name;          // unscoped
+  Decl* enclosing = nullptr;  // lexical scope (module or interface); null at top level
+  std::string repo_id;        // "IDL:Scope/Name:1.0", set by sema
+  int line = 0;
+
+  explicit Decl(DeclKind k) : decl_kind(k) {}
+  virtual ~Decl() = default;
+
+  // "Heidi::A" — scoped name with '::' separators, computed from enclosing.
+  std::string ScopedName() const;
+  // "Heidi_A" — scoped name with '_' separators (used by EST/type names).
+  std::string FlatName() const;
+};
+
+enum class ParamDir : uint8_t { kIn, kOut, kInOut, kInCopy };
+std::string_view ParamDirName(ParamDir dir);
+
+struct ParamDecl {
+  ParamDir direction = ParamDir::kIn;
+  TypeRef type;
+  std::string name;
+  Literal default_value;  // paper extension; kNone if absent
+  int line = 0;
+};
+
+struct OperationDecl {
+  bool oneway = false;
+  TypeRef return_type;
+  std::string name;
+  std::vector<ParamDecl> params;
+  std::vector<std::string> raises;  // exception scoped names as written
+  std::vector<const Decl*> raises_resolved;  // filled by sema
+  int line = 0;
+};
+
+struct AttributeDecl {
+  bool readonly = false;
+  TypeRef type;
+  std::string name;
+  int line = 0;
+};
+
+// Interface members in source order, so generated code can preserve or
+// regroup ordering as the mapping dictates.
+struct InterfaceMember {
+  enum class Kind : uint8_t { kOperation, kAttribute } kind;
+  size_t index;  // into operations / attributes
+};
+
+struct InterfaceDecl : Decl {
+  InterfaceDecl() : Decl(DeclKind::kInterface) {}
+
+  // Bases as written, and as resolved by sema. A base is either an
+  // InterfaceDecl, or a ForwardInterfaceDecl for an *external* interface
+  // (forward-declared, never defined in this translation unit — the
+  // paper's Fig 3 inherits Heidi::A from such an external Heidi::S).
+  std::vector<std::string> base_names;
+  std::vector<const Decl*> bases;
+  std::vector<OperationDecl> operations;
+  std::vector<AttributeDecl> attributes;
+  std::vector<InterfaceMember> member_order;
+  std::vector<std::unique_ptr<Decl>> nested;  // types declared inside
+};
+
+struct ForwardInterfaceDecl : Decl {
+  ForwardInterfaceDecl() : Decl(DeclKind::kForwardInterface) {}
+  const InterfaceDecl* definition = nullptr;  // linked by sema if defined
+};
+
+struct ModuleDecl : Decl {
+  ModuleDecl() : Decl(DeclKind::kModule) {}
+  std::vector<std::unique_ptr<Decl>> decls;
+};
+
+struct EnumDecl : Decl {
+  EnumDecl() : Decl(DeclKind::kEnum) {}
+  std::vector<std::string> members;
+};
+
+struct StructField {
+  TypeRef type;
+  std::string name;
+  int line = 0;
+};
+
+struct StructDecl : Decl {
+  StructDecl() : Decl(DeclKind::kStruct) {}
+  std::vector<StructField> fields;
+};
+
+struct ExceptionDecl : Decl {
+  ExceptionDecl() : Decl(DeclKind::kException) {}
+  std::vector<StructField> fields;
+};
+
+// One arm of a discriminated union: `case L1: case L2: T name;` or the
+// `default:` arm (labels empty, is_default set).
+struct UnionCase {
+  std::vector<Literal> labels;
+  bool is_default = false;
+  TypeRef type;
+  std::string name;
+  int line = 0;
+};
+
+struct UnionDecl : Decl {
+  UnionDecl() : Decl(DeclKind::kUnion) {}
+  TypeRef discriminator;  // integral, char, boolean, or enum
+  std::vector<UnionCase> cases;
+};
+
+struct TypedefDecl : Decl {
+  TypedefDecl() : Decl(DeclKind::kTypedef) {}
+  TypeRef type;
+};
+
+struct ConstDecl : Decl {
+  ConstDecl() : Decl(DeclKind::kConst) {}
+  TypeRef type;
+  Literal value;
+};
+
+// A parsed translation unit.
+struct Specification {
+  std::string source_name;
+  std::string pragma_prefix;  // from #pragma prefix, may be empty
+  std::vector<std::unique_ptr<Decl>> decls;
+};
+
+}  // namespace heidi::idl

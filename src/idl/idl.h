@@ -1,0 +1,14 @@
+// Umbrella header for the IDL front-end: lexer, parser, AST, semantic
+// analysis. Typical use:
+//
+//   heidi::idl::Specification spec =
+//       heidi::idl::ParseAndResolve(source_text, "A.idl");
+//
+// followed by heidi::est::BuildEst(spec) to obtain the tree templates walk.
+#pragma once
+
+#include "idl/ast.h"      // IWYU pragma: export
+#include "idl/lexer.h"    // IWYU pragma: export
+#include "idl/parser.h"   // IWYU pragma: export
+#include "idl/sema.h"     // IWYU pragma: export
+#include "idl/token.h"    // IWYU pragma: export

@@ -1,0 +1,245 @@
+#include "idl/lexer.h"
+
+#include <cctype>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace heidi::idl {
+
+Lexer::Lexer(std::string_view source, std::string source_name)
+    : src_(source), source_name_(std::move(source_name)) {}
+
+char Lexer::Peek(size_t ahead) const {
+  return pos_ + ahead < src_.size() ? src_[pos_ + ahead] : '\0';
+}
+
+char Lexer::Advance() {
+  char c = src_[pos_++];
+  if (c == '\n') {
+    ++line_;
+    column_ = 1;
+  } else {
+    ++column_;
+  }
+  return c;
+}
+
+void Lexer::Fail(const std::string& msg) const {
+  std::ostringstream os;
+  os << source_name_ << ":" << line_ << ":" << column_ << ": " << msg;
+  throw ParseError(os.str());
+}
+
+void Lexer::SkipTrivia() {
+  while (!AtEnd()) {
+    char c = Peek();
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      Advance();
+    } else if (c == '/' && Peek(1) == '/') {
+      while (!AtEnd() && Peek() != '\n') Advance();
+    } else if (c == '/' && Peek(1) == '*') {
+      Advance();
+      Advance();
+      while (!AtEnd() && !(Peek() == '*' && Peek(1) == '/')) Advance();
+      if (AtEnd()) Fail("unterminated block comment");
+      Advance();
+      Advance();
+    } else if (c == '#' && column_ == 1) {
+      // Only `#pragma prefix "..."` is honoured; everything else on a
+      // preprocessor line is an error to avoid silently mis-parsing.
+      std::string directive;
+      while (!AtEnd() && Peek() != '\n') directive.push_back(Advance());
+      auto trimmed = str::Trim(directive);
+      if (str::StartsWith(trimmed, "#pragma")) {
+        auto rest = str::Trim(trimmed.substr(7));
+        if (str::StartsWith(rest, "prefix")) {
+          auto value = str::Trim(rest.substr(6));
+          if (value.size() >= 2 && value.front() == '"' &&
+              value.back() == '"') {
+            pragma_prefix_ = std::string(value.substr(1, value.size() - 2));
+          } else {
+            Fail("malformed #pragma prefix (expected quoted string)");
+          }
+        }
+        // Unknown pragmas are ignored, as most IDL compilers do.
+      } else {
+        Fail("unsupported preprocessor directive: " + std::string(trimmed));
+      }
+    } else {
+      return;
+    }
+  }
+}
+
+Token Lexer::MakeWord() {
+  Token tok;
+  tok.line = line_;
+  tok.column = column_;
+  std::string word;
+  while (!AtEnd() && (std::isalnum(static_cast<unsigned char>(Peek())) ||
+                      Peek() == '_')) {
+    word.push_back(Advance());
+  }
+  tok.kind = ClassifyWord(word);
+  tok.text = std::move(word);
+  return tok;
+}
+
+Token Lexer::MakeNumber() {
+  Token tok;
+  tok.line = line_;
+  tok.column = column_;
+  std::string num;
+  bool is_float = false;
+  if (Peek() == '0' && (Peek(1) == 'x' || Peek(1) == 'X')) {
+    num.push_back(Advance());
+    num.push_back(Advance());
+    if (!std::isxdigit(static_cast<unsigned char>(Peek())))
+      Fail("malformed hex literal");
+    while (std::isxdigit(static_cast<unsigned char>(Peek())))
+      num.push_back(Advance());
+  } else {
+    while (std::isdigit(static_cast<unsigned char>(Peek())))
+      num.push_back(Advance());
+    if (Peek() == '.' && std::isdigit(static_cast<unsigned char>(Peek(1)))) {
+      is_float = true;
+      num.push_back(Advance());
+      while (std::isdigit(static_cast<unsigned char>(Peek())))
+        num.push_back(Advance());
+    }
+    if (Peek() == 'e' || Peek() == 'E') {
+      char next = Peek(1);
+      char next2 = Peek(2);
+      if (std::isdigit(static_cast<unsigned char>(next)) ||
+          ((next == '+' || next == '-') &&
+           std::isdigit(static_cast<unsigned char>(next2)))) {
+        is_float = true;
+        num.push_back(Advance());
+        if (Peek() == '+' || Peek() == '-') num.push_back(Advance());
+        while (std::isdigit(static_cast<unsigned char>(Peek())))
+          num.push_back(Advance());
+      }
+    }
+  }
+  tok.kind = is_float ? Tok::kFloatLit : Tok::kIntLit;
+  tok.text = std::move(num);
+  return tok;
+}
+
+Token Lexer::MakeString() {
+  Token tok;
+  tok.kind = Tok::kStringLit;
+  tok.line = line_;
+  tok.column = column_;
+  Advance();  // opening quote
+  std::string value;
+  while (true) {
+    if (AtEnd()) Fail("unterminated string literal");
+    char c = Advance();
+    if (c == '"') break;
+    if (c == '\n') Fail("newline in string literal");
+    if (c == '\\') {
+      if (AtEnd()) Fail("unterminated escape in string literal");
+      char e = Advance();
+      switch (e) {
+        case 'n': value.push_back('\n'); break;
+        case 't': value.push_back('\t'); break;
+        case 'r': value.push_back('\r'); break;
+        case '0': value.push_back('\0'); break;
+        case '\\': value.push_back('\\'); break;
+        case '"': value.push_back('"'); break;
+        case '\'': value.push_back('\''); break;
+        default: Fail(std::string("unknown escape '\\") + e + "'");
+      }
+    } else {
+      value.push_back(c);
+    }
+  }
+  tok.text = std::move(value);
+  return tok;
+}
+
+Token Lexer::MakeChar() {
+  Token tok;
+  tok.kind = Tok::kCharLit;
+  tok.line = line_;
+  tok.column = column_;
+  Advance();  // opening quote
+  if (AtEnd()) Fail("unterminated character literal");
+  char c = Advance();
+  if (c == '\\') {
+    if (AtEnd()) Fail("unterminated character literal");
+    char e = Advance();
+    switch (e) {
+      case 'n': c = '\n'; break;
+      case 't': c = '\t'; break;
+      case 'r': c = '\r'; break;
+      case '0': c = '\0'; break;
+      case '\\': c = '\\'; break;
+      case '\'': c = '\''; break;
+      case '"': c = '"'; break;
+      default: Fail(std::string("unknown escape '\\") + e + "'");
+    }
+  }
+  if (AtEnd() || Advance() != '\'') Fail("unterminated character literal");
+  tok.text = std::string(1, c);
+  return tok;
+}
+
+Token Lexer::Next() {
+  SkipTrivia();
+  Token tok;
+  tok.line = line_;
+  tok.column = column_;
+  if (AtEnd()) {
+    tok.kind = Tok::kEof;
+    return tok;
+  }
+  char c = Peek();
+  if (std::isalpha(static_cast<unsigned char>(c)) || c == '_')
+    return MakeWord();
+  if (std::isdigit(static_cast<unsigned char>(c))) return MakeNumber();
+  if (c == '"') return MakeString();
+  if (c == '\'') return MakeChar();
+
+  Advance();
+  switch (c) {
+    case '{': tok.kind = Tok::kLBrace; break;
+    case '}': tok.kind = Tok::kRBrace; break;
+    case '(': tok.kind = Tok::kLParen; break;
+    case ')': tok.kind = Tok::kRParen; break;
+    case '[': tok.kind = Tok::kLBracket; break;
+    case ']': tok.kind = Tok::kRBracket; break;
+    case '<': tok.kind = Tok::kLess; break;
+    case '>': tok.kind = Tok::kGreater; break;
+    case ',': tok.kind = Tok::kComma; break;
+    case ';': tok.kind = Tok::kSemicolon; break;
+    case '=': tok.kind = Tok::kEquals; break;
+    case '-': tok.kind = Tok::kMinus; break;
+    case '+': tok.kind = Tok::kPlus; break;
+    case ':':
+      if (Peek() == ':') {
+        Advance();
+        tok.kind = Tok::kScope;
+      } else {
+        tok.kind = Tok::kColon;
+      }
+      break;
+    default:
+      Fail(std::string("unexpected character '") + c + "'");
+  }
+  tok.text = std::string(1, c);
+  return tok;
+}
+
+std::vector<Token> Lexer::Tokenize() {
+  std::vector<Token> out;
+  while (true) {
+    out.push_back(Next());
+    if (out.back().kind == Tok::kEof) return out;
+  }
+}
+
+}  // namespace heidi::idl

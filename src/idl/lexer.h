@@ -1,0 +1,54 @@
+// Hand-written lexer for the IDL subset.
+//
+// Handles // and /* */ comments, decimal/hex/octal integer literals,
+// floating literals, string and character literals with the usual escapes,
+// and `#pragma prefix "..."` directives (other preprocessor lines are
+// rejected — the compiler expects pre-expanded input, matching the paper's
+// single-file usage).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "idl/token.h"
+
+namespace heidi::idl {
+
+class Lexer {
+ public:
+  // `source_name` is used in diagnostics only.
+  Lexer(std::string_view source, std::string source_name = "<input>");
+
+  // Lexes the next token; returns kEof forever once exhausted.
+  // Throws ParseError on malformed input.
+  Token Next();
+
+  // Lexes the full input. The final element is always the kEof token.
+  std::vector<Token> Tokenize();
+
+  // Value of the last seen `#pragma prefix "..."` (empty if none).
+  const std::string& PragmaPrefix() const { return pragma_prefix_; }
+
+  const std::string& SourceName() const { return source_name_; }
+
+ private:
+  char Peek(size_t ahead = 0) const;
+  char Advance();
+  bool AtEnd() const { return pos_ >= src_.size(); }
+  void SkipTrivia();        // whitespace, comments, #pragma lines
+  Token MakeWord();
+  Token MakeNumber();
+  Token MakeString();
+  Token MakeChar();
+  [[noreturn]] void Fail(const std::string& msg) const;
+
+  std::string src_;
+  std::string source_name_;
+  size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+  std::string pragma_prefix_;
+};
+
+}  // namespace heidi::idl

@@ -1,0 +1,479 @@
+#include "idl/parser.h"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "idl/lexer.h"
+#include "support/error.h"
+
+namespace heidi::idl {
+
+namespace {
+
+class Parser {
+ public:
+  Parser(std::string_view source, std::string source_name)
+      : lexer_(source, std::move(source_name)) {
+    tokens_ = lexer_.Tokenize();
+  }
+
+  Specification ParseSpecification() {
+    Specification spec;
+    spec.source_name = lexer_.SourceName();
+    while (!Check(Tok::kEof)) {
+      spec.decls.push_back(ParseDefinition());
+    }
+    spec.pragma_prefix = lexer_.PragmaPrefix();
+    return spec;
+  }
+
+ private:
+  // --- token plumbing ----------------------------------------------------
+  const Token& Peek(size_t ahead = 0) const {
+    size_t i = pos_ + ahead;
+    return i < tokens_.size() ? tokens_[i] : tokens_.back();
+  }
+  const Token& Advance() {
+    const Token& t = Peek();
+    if (pos_ < tokens_.size() - 1) ++pos_;
+    return t;
+  }
+  bool Check(Tok kind) const { return Peek().kind == kind; }
+  bool Match(Tok kind) {
+    if (!Check(kind)) return false;
+    Advance();
+    return true;
+  }
+  const Token& Expect(Tok kind, const char* context) {
+    if (!Check(kind)) {
+      std::ostringstream os;
+      os << lexer_.SourceName() << ":" << Peek().line << ":" << Peek().column
+         << ": expected " << TokName(kind) << " " << context << ", got "
+         << TokName(Peek().kind);
+      if (Peek().kind == Tok::kIdentifier) os << " '" << Peek().text << "'";
+      throw ParseError(os.str());
+    }
+    return Advance();
+  }
+  [[noreturn]] void Fail(const std::string& msg) const {
+    std::ostringstream os;
+    os << lexer_.SourceName() << ":" << Peek().line << ":" << Peek().column
+       << ": " << msg;
+    throw ParseError(os.str());
+  }
+
+  // --- grammar -----------------------------------------------------------
+  std::unique_ptr<Decl> ParseDefinition() {
+    switch (Peek().kind) {
+      case Tok::kKwModule: return ParseModule();
+      case Tok::kKwInterface: return ParseInterfaceOrForward();
+      case Tok::kKwEnum: return ParseEnum();
+      case Tok::kKwStruct: return ParseStruct();
+      case Tok::kKwUnion: return ParseUnion();
+      case Tok::kKwException: return ParseException();
+      case Tok::kKwTypedef: return ParseTypedef();
+      case Tok::kKwConst: return ParseConst();
+      default:
+        Fail("expected a definition (module/interface/enum/struct/union/"
+             "exception/typedef/const)");
+    }
+  }
+
+  std::unique_ptr<Decl> ParseModule() {
+    auto mod = std::make_unique<ModuleDecl>();
+    mod->line = Peek().line;
+    Expect(Tok::kKwModule, "starting module");
+    mod->name = Expect(Tok::kIdentifier, "naming module").text;
+    Expect(Tok::kLBrace, "opening module body");
+    while (!Check(Tok::kRBrace)) {
+      if (Check(Tok::kEof)) Fail("unterminated module body");
+      mod->decls.push_back(ParseDefinition());
+    }
+    Expect(Tok::kRBrace, "closing module body");
+    Expect(Tok::kSemicolon, "after module");
+    return mod;
+  }
+
+  std::unique_ptr<Decl> ParseInterfaceOrForward() {
+    int line = Peek().line;
+    Expect(Tok::kKwInterface, "starting interface");
+    std::string name = Expect(Tok::kIdentifier, "naming interface").text;
+    if (Match(Tok::kSemicolon)) {
+      auto fwd = std::make_unique<ForwardInterfaceDecl>();
+      fwd->name = std::move(name);
+      fwd->line = line;
+      return fwd;
+    }
+    auto iface = std::make_unique<InterfaceDecl>();
+    iface->name = std::move(name);
+    iface->line = line;
+    if (Match(Tok::kColon)) {
+      iface->base_names.push_back(ParseScopedName());
+      while (Match(Tok::kComma)) {
+        iface->base_names.push_back(ParseScopedName());
+      }
+    }
+    Expect(Tok::kLBrace, "opening interface body");
+    while (!Check(Tok::kRBrace)) {
+      if (Check(Tok::kEof)) Fail("unterminated interface body");
+      ParseExport(*iface);
+    }
+    Expect(Tok::kRBrace, "closing interface body");
+    Expect(Tok::kSemicolon, "after interface");
+    return iface;
+  }
+
+  void ParseExport(InterfaceDecl& iface) {
+    switch (Peek().kind) {
+      case Tok::kKwEnum: iface.nested.push_back(ParseEnum()); return;
+      case Tok::kKwStruct: iface.nested.push_back(ParseStruct()); return;
+      case Tok::kKwUnion: iface.nested.push_back(ParseUnion()); return;
+      case Tok::kKwException: iface.nested.push_back(ParseException()); return;
+      case Tok::kKwTypedef: iface.nested.push_back(ParseTypedef()); return;
+      case Tok::kKwConst: iface.nested.push_back(ParseConst()); return;
+      case Tok::kKwReadonly:
+      case Tok::kKwAttribute: ParseAttribute(iface); return;
+      default: ParseOperation(iface); return;
+    }
+  }
+
+  void ParseAttribute(InterfaceDecl& iface) {
+    AttributeDecl attr;
+    attr.line = Peek().line;
+    attr.readonly = Match(Tok::kKwReadonly);
+    Expect(Tok::kKwAttribute, "starting attribute");
+    attr.type = ParseType(/*allow_void=*/false);
+    attr.name = Expect(Tok::kIdentifier, "naming attribute").text;
+    iface.member_order.push_back(
+        {InterfaceMember::Kind::kAttribute, iface.attributes.size()});
+    iface.attributes.push_back(attr);
+    // OMG IDL allows `attribute long a, b;`.
+    while (Match(Tok::kComma)) {
+      AttributeDecl extra = attr;
+      extra.name = Expect(Tok::kIdentifier, "naming attribute").text;
+      iface.member_order.push_back(
+          {InterfaceMember::Kind::kAttribute, iface.attributes.size()});
+      iface.attributes.push_back(std::move(extra));
+    }
+    Expect(Tok::kSemicolon, "after attribute");
+  }
+
+  void ParseOperation(InterfaceDecl& iface) {
+    OperationDecl op;
+    op.line = Peek().line;
+    op.oneway = Match(Tok::kKwOneway);
+    op.return_type = ParseType(/*allow_void=*/true);
+    op.name = Expect(Tok::kIdentifier, "naming operation").text;
+    Expect(Tok::kLParen, "opening parameter list");
+    if (!Check(Tok::kRParen)) {
+      op.params.push_back(ParseParam());
+      while (Match(Tok::kComma)) op.params.push_back(ParseParam());
+    }
+    Expect(Tok::kRParen, "closing parameter list");
+    if (Match(Tok::kKwRaises)) {
+      Expect(Tok::kLParen, "opening raises list");
+      op.raises.push_back(ParseScopedName());
+      while (Match(Tok::kComma)) op.raises.push_back(ParseScopedName());
+      Expect(Tok::kRParen, "closing raises list");
+    }
+    Expect(Tok::kSemicolon, "after operation");
+    iface.member_order.push_back(
+        {InterfaceMember::Kind::kOperation, iface.operations.size()});
+    iface.operations.push_back(std::move(op));
+  }
+
+  ParamDecl ParseParam() {
+    ParamDecl param;
+    param.line = Peek().line;
+    switch (Peek().kind) {
+      case Tok::kKwIn: param.direction = ParamDir::kIn; break;
+      case Tok::kKwOut: param.direction = ParamDir::kOut; break;
+      case Tok::kKwInout: param.direction = ParamDir::kInOut; break;
+      case Tok::kKwIncopy: param.direction = ParamDir::kInCopy; break;
+      default: Fail("expected parameter direction (in/out/inout/incopy)");
+    }
+    Advance();
+    param.type = ParseType(/*allow_void=*/false);
+    param.name = Expect(Tok::kIdentifier, "naming parameter").text;
+    if (Match(Tok::kEquals)) {
+      param.default_value = ParseConstExpr();
+    }
+    return param;
+  }
+
+  std::unique_ptr<Decl> ParseEnum() {
+    auto en = std::make_unique<EnumDecl>();
+    en->line = Peek().line;
+    Expect(Tok::kKwEnum, "starting enum");
+    en->name = Expect(Tok::kIdentifier, "naming enum").text;
+    Expect(Tok::kLBrace, "opening enum body");
+    en->members.push_back(Expect(Tok::kIdentifier, "naming enum member").text);
+    while (Match(Tok::kComma)) {
+      if (Check(Tok::kRBrace)) break;  // tolerate trailing comma
+      en->members.push_back(
+          Expect(Tok::kIdentifier, "naming enum member").text);
+    }
+    Expect(Tok::kRBrace, "closing enum body");
+    Expect(Tok::kSemicolon, "after enum");
+    return en;
+  }
+
+  std::vector<StructField> ParseFieldBlock(const char* what) {
+    std::vector<StructField> fields;
+    Expect(Tok::kLBrace, what);
+    while (!Check(Tok::kRBrace)) {
+      if (Check(Tok::kEof)) Fail("unterminated body");
+      StructField field;
+      field.line = Peek().line;
+      field.type = ParseType(/*allow_void=*/false);
+      field.name = Expect(Tok::kIdentifier, "naming member").text;
+      fields.push_back(field);
+      while (Match(Tok::kComma)) {
+        StructField extra;
+        extra.line = Peek().line;
+        extra.type = field.type;
+        extra.name = Expect(Tok::kIdentifier, "naming member").text;
+        fields.push_back(std::move(extra));
+      }
+      Expect(Tok::kSemicolon, "after member");
+    }
+    Expect(Tok::kRBrace, "closing body");
+    return fields;
+  }
+
+  std::unique_ptr<Decl> ParseStruct() {
+    auto st = std::make_unique<StructDecl>();
+    st->line = Peek().line;
+    Expect(Tok::kKwStruct, "starting struct");
+    st->name = Expect(Tok::kIdentifier, "naming struct").text;
+    st->fields = ParseFieldBlock("opening struct body");
+    if (st->fields.empty()) Fail("struct must have at least one member");
+    Expect(Tok::kSemicolon, "after struct");
+    return st;
+  }
+
+  // union U switch (<disc-type>) { case <const>: [case ...:] <type> <name>;
+  //                                 ... default: <type> <name>; };
+  std::unique_ptr<Decl> ParseUnion() {
+    auto un = std::make_unique<UnionDecl>();
+    un->line = Peek().line;
+    Expect(Tok::kKwUnion, "starting union");
+    un->name = Expect(Tok::kIdentifier, "naming union").text;
+    Expect(Tok::kKwSwitch, "after union name");
+    Expect(Tok::kLParen, "opening discriminator");
+    un->discriminator = ParseType(/*allow_void=*/false);
+    Expect(Tok::kRParen, "closing discriminator");
+    Expect(Tok::kLBrace, "opening union body");
+    while (!Check(Tok::kRBrace)) {
+      if (Check(Tok::kEof)) Fail("unterminated union body");
+      UnionCase arm;
+      arm.line = Peek().line;
+      bool saw_label = false;
+      while (true) {
+        if (Match(Tok::kKwCase)) {
+          arm.labels.push_back(ParseConstExpr());
+          Expect(Tok::kColon, "after case label");
+          saw_label = true;
+          continue;
+        }
+        if (Match(Tok::kKwDefault)) {
+          Expect(Tok::kColon, "after default");
+          arm.is_default = true;
+          saw_label = true;
+          continue;
+        }
+        break;
+      }
+      if (!saw_label) Fail("union member needs case/default labels");
+      arm.type = ParseType(/*allow_void=*/false);
+      arm.name = Expect(Tok::kIdentifier, "naming union member").text;
+      Expect(Tok::kSemicolon, "after union member");
+      un->cases.push_back(std::move(arm));
+    }
+    Expect(Tok::kRBrace, "closing union body");
+    Expect(Tok::kSemicolon, "after union");
+    if (un->cases.empty()) Fail("union must have at least one member");
+    return un;
+  }
+
+  std::unique_ptr<Decl> ParseException() {
+    auto ex = std::make_unique<ExceptionDecl>();
+    ex->line = Peek().line;
+    Expect(Tok::kKwException, "starting exception");
+    ex->name = Expect(Tok::kIdentifier, "naming exception").text;
+    ex->fields = ParseFieldBlock("opening exception body");
+    Expect(Tok::kSemicolon, "after exception");
+    return ex;
+  }
+
+  std::unique_ptr<Decl> ParseTypedef() {
+    auto td = std::make_unique<TypedefDecl>();
+    td->line = Peek().line;
+    Expect(Tok::kKwTypedef, "starting typedef");
+    td->type = ParseType(/*allow_void=*/false);
+    td->name = Expect(Tok::kIdentifier, "naming typedef").text;
+    if (Check(Tok::kLBracket)) Fail("array declarators are not supported");
+    Expect(Tok::kSemicolon, "after typedef");
+    return td;
+  }
+
+  std::unique_ptr<Decl> ParseConst() {
+    auto cd = std::make_unique<ConstDecl>();
+    cd->line = Peek().line;
+    Expect(Tok::kKwConst, "starting const");
+    cd->type = ParseType(/*allow_void=*/false);
+    cd->name = Expect(Tok::kIdentifier, "naming const").text;
+    Expect(Tok::kEquals, "in const definition");
+    cd->value = ParseConstExpr();
+    Expect(Tok::kSemicolon, "after const");
+    return cd;
+  }
+
+  Literal ParseConstExpr() {
+    Literal lit;
+    bool negate = false;
+    if (Match(Tok::kMinus)) {
+      negate = true;
+    } else {
+      Match(Tok::kPlus);
+    }
+    const Token& tok = Peek();
+    switch (tok.kind) {
+      case Tok::kIntLit:
+        lit.kind = Literal::Kind::kInt;
+        lit.int_value = std::strtoll(tok.text.c_str(), nullptr, 0);
+        if (negate) lit.int_value = -lit.int_value;
+        Advance();
+        break;
+      case Tok::kFloatLit:
+        lit.kind = Literal::Kind::kFloat;
+        lit.float_value = std::strtod(tok.text.c_str(), nullptr);
+        if (negate) lit.float_value = -lit.float_value;
+        Advance();
+        break;
+      case Tok::kKwTrue:
+      case Tok::kKwFalse:
+        if (negate) Fail("cannot negate a boolean literal");
+        lit.kind = Literal::Kind::kBool;
+        lit.bool_value = tok.kind == Tok::kKwTrue;
+        Advance();
+        break;
+      case Tok::kStringLit:
+        if (negate) Fail("cannot negate a string literal");
+        lit.kind = Literal::Kind::kString;
+        lit.text = tok.text;
+        Advance();
+        break;
+      case Tok::kCharLit:
+        if (negate) Fail("cannot negate a character literal");
+        lit.kind = Literal::Kind::kChar;
+        lit.text = tok.text;
+        Advance();
+        break;
+      case Tok::kIdentifier:
+      case Tok::kScope:
+        if (negate) Fail("cannot negate a scoped name");
+        lit.kind = Literal::Kind::kScoped;
+        lit.text = ParseScopedName();
+        break;
+      default:
+        Fail("expected a constant expression");
+    }
+    return lit;
+  }
+
+  std::string ParseScopedName() {
+    std::string name;
+    if (Match(Tok::kScope)) name = "::";
+    name += Expect(Tok::kIdentifier, "in scoped name").text;
+    while (Check(Tok::kScope)) {
+      Advance();
+      name += "::";
+      name += Expect(Tok::kIdentifier, "in scoped name").text;
+    }
+    return name;
+  }
+
+  TypeRef ParseType(bool allow_void) {
+    switch (Peek().kind) {
+      case Tok::kKwVoid:
+        if (!allow_void) Fail("'void' is only valid as a return type");
+        Advance();
+        return TypeRef::Primitive(PrimKind::kVoid);
+      case Tok::kKwBoolean:
+        Advance();
+        return TypeRef::Primitive(PrimKind::kBoolean);
+      case Tok::kKwChar:
+        Advance();
+        return TypeRef::Primitive(PrimKind::kChar);
+      case Tok::kKwOctet:
+        Advance();
+        return TypeRef::Primitive(PrimKind::kOctet);
+      case Tok::kKwFloat:
+        Advance();
+        return TypeRef::Primitive(PrimKind::kFloat);
+      case Tok::kKwDouble:
+        Advance();
+        return TypeRef::Primitive(PrimKind::kDouble);
+      case Tok::kKwShort:
+        Advance();
+        return TypeRef::Primitive(PrimKind::kShort);
+      case Tok::kKwLong:
+        Advance();
+        if (Match(Tok::kKwLong)) return TypeRef::Primitive(PrimKind::kLongLong);
+        if (Check(Tok::kKwDouble))
+          Fail("'long double' is not supported");
+        return TypeRef::Primitive(PrimKind::kLong);
+      case Tok::kKwUnsigned: {
+        Advance();
+        if (Match(Tok::kKwShort)) return TypeRef::Primitive(PrimKind::kUShort);
+        Expect(Tok::kKwLong, "after 'unsigned'");
+        if (Match(Tok::kKwLong))
+          return TypeRef::Primitive(PrimKind::kULongLong);
+        return TypeRef::Primitive(PrimKind::kULong);
+      }
+      case Tok::kKwString: {
+        Advance();
+        TypeRef t = TypeRef::Primitive(PrimKind::kString);
+        if (Match(Tok::kLess)) {
+          const Token& bound = Expect(Tok::kIntLit, "as string bound");
+          t.string_bound = std::strtoull(bound.text.c_str(), nullptr, 0);
+          if (t.string_bound == 0) Fail("string bound must be positive");
+          Expect(Tok::kGreater, "closing string bound");
+        }
+        return t;
+      }
+      case Tok::kKwSequence: {
+        Advance();
+        Expect(Tok::kLess, "opening sequence element type");
+        TypeRef element = ParseType(/*allow_void=*/false);
+        uint64_t bound = 0;
+        if (Match(Tok::kComma)) {
+          const Token& b = Expect(Tok::kIntLit, "as sequence bound");
+          bound = std::strtoull(b.text.c_str(), nullptr, 0);
+          if (bound == 0) Fail("sequence bound must be positive");
+        }
+        Expect(Tok::kGreater, "closing sequence");
+        return TypeRef::Sequence(std::move(element), bound);
+      }
+      case Tok::kIdentifier:
+      case Tok::kScope:
+        return TypeRef::Named(ParseScopedName());
+      default:
+        Fail("expected a type");
+    }
+  }
+
+  Lexer lexer_;
+  std::vector<Token> tokens_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Specification Parse(std::string_view source, std::string source_name) {
+  Parser parser(source, std::move(source_name));
+  return parser.ParseSpecification();
+}
+
+}  // namespace heidi::idl

@@ -1,0 +1,25 @@
+// Recursive-descent parser producing a Specification (see ast.h).
+//
+// The accepted grammar is the OMG IDL subset used throughout the paper —
+// modules, interfaces (with multiple inheritance, forward declarations,
+// nested type declarations), enums, structs, exceptions, typedefs, consts,
+// attributes and operations — extended with the paper's `incopy` parameter
+// direction and `= <const-expr>` default parameter values (§3.1).
+//
+// Out of scope (rejected with a clear error): unions, arrays, `any`,
+// fixed-point, valuetypes, and contexts. DESIGN.md records this bound.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "idl/ast.h"
+
+namespace heidi::idl {
+
+// Parses `source`; throws ParseError (with file:line:col) on any lexical,
+// syntactic, or structural error.
+Specification Parse(std::string_view source,
+                    std::string source_name = "<input>");
+
+}  // namespace heidi::idl

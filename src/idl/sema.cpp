@@ -1,0 +1,628 @@
+#include "idl/sema.h"
+
+#include <map>
+#include <sstream>
+#include <vector>
+
+#include "idl/parser.h"
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace heidi::idl {
+
+namespace {
+
+// A scope entry: a declaration, or an enum member (owner + index).
+struct Entry {
+  Decl* decl = nullptr;
+  const EnumDecl* enum_owner = nullptr;
+  int enum_member = -1;
+
+  bool IsEnumMember() const { return enum_owner != nullptr; }
+};
+
+class Sema {
+ public:
+  explicit Sema(Specification& spec) : spec_(spec) {}
+
+  void Run() {
+    for (auto& d : spec_.decls) Collect(*d, /*enclosing=*/nullptr);
+    for (auto& d : spec_.decls) ResolveDecl(*d);
+  }
+
+ private:
+  [[noreturn]] void Fail(int line, const std::string& msg) {
+    std::ostringstream os;
+    os << spec_.source_name << ":" << line << ": " << msg;
+    throw ParseError(os.str());
+  }
+
+  static std::string ScopePrefix(const Decl* enclosing) {
+    return enclosing == nullptr ? "" : enclosing->ScopedName() + "::";
+  }
+
+  void Declare(const std::string& scoped, Entry entry, int line) {
+    auto [it, inserted] = table_.emplace(scoped, entry);
+    if (inserted) return;
+    Entry& existing = it->second;
+    // Module reopening: both old and new entries are modules.
+    if (existing.decl != nullptr && entry.decl != nullptr &&
+        existing.decl->decl_kind == DeclKind::kModule &&
+        entry.decl->decl_kind == DeclKind::kModule) {
+      return;
+    }
+    // A forward declaration may coexist with its definition (and vice
+    // versa); keep the definition in the table.
+    auto is_fwd = [](const Entry& e) {
+      return e.decl != nullptr &&
+             e.decl->decl_kind == DeclKind::kForwardInterface;
+    };
+    auto is_iface = [](const Entry& e) {
+      return e.decl != nullptr && e.decl->decl_kind == DeclKind::kInterface;
+    };
+    if (is_fwd(existing) && is_iface(entry)) {
+      existing = entry;
+      return;
+    }
+    if (is_iface(existing) && is_fwd(entry)) return;
+    if (is_fwd(existing) && is_fwd(entry)) return;
+    Fail(line, "duplicate declaration of '" + scoped + "'");
+  }
+
+  void Collect(Decl& decl, Decl* enclosing) {
+    decl.enclosing = enclosing;
+    decl.repo_id = MakeRepoId(decl);
+    const std::string scoped = decl.ScopedName();
+    Declare(scoped, Entry{&decl, nullptr, -1}, decl.line);
+
+    switch (decl.decl_kind) {
+      case DeclKind::kModule: {
+        auto& mod = static_cast<ModuleDecl&>(decl);
+        for (auto& d : mod.decls) Collect(*d, &decl);
+        break;
+      }
+      case DeclKind::kInterface: {
+        auto& iface = static_cast<InterfaceDecl&>(decl);
+        for (auto& d : iface.nested) Collect(*d, &decl);
+        break;
+      }
+      case DeclKind::kEnum: {
+        // IDL enum members are introduced into the *enclosing* scope.
+        auto& en = static_cast<EnumDecl&>(decl);
+        for (size_t i = 0; i < en.members.size(); ++i) {
+          Declare(ScopePrefix(enclosing) + en.members[i],
+                  Entry{nullptr, &en, static_cast<int>(i)}, decl.line);
+        }
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  std::string MakeRepoId(const Decl& decl) const {
+    std::string body = str::ReplaceAll(decl.ScopedName(), "::", "/");
+    std::string prefix =
+        spec_.pragma_prefix.empty() ? "" : spec_.pragma_prefix + "/";
+    return "IDL:" + prefix + body + ":1.0";
+  }
+
+  // Looks up `name` starting from `from` and walking outward; absolute
+  // names (leading ::) skip the walk. Returns nullptr if not found.
+  const Entry* Lookup(const std::string& name, const Decl* from) const {
+    if (str::StartsWith(name, "::")) {
+      auto it = table_.find(name.substr(2));
+      return it == table_.end() ? nullptr : &it->second;
+    }
+    for (const Decl* scope = from; scope != nullptr;
+         scope = scope->enclosing) {
+      auto it = table_.find(scope->ScopedName() + "::" + name);
+      if (it != table_.end()) return &it->second;
+    }
+    auto it = table_.find(name);
+    return it == table_.end() ? nullptr : &it->second;
+  }
+
+  const Entry& LookupOrFail(const std::string& name, const Decl* from,
+                            int line, const char* what) {
+    const Entry* e = Lookup(name, from);
+    if (e == nullptr) {
+      Fail(line, std::string("unresolved ") + what + " '" + name + "'");
+    }
+    return *e;
+  }
+
+  void ResolveType(TypeRef& type, const Decl* scope, int line) {
+    switch (type.kind) {
+      case TypeRef::Kind::kPrimitive:
+        return;
+      case TypeRef::Kind::kSequence:
+        ResolveType(*type.element, scope, line);
+        return;
+      case TypeRef::Kind::kNamed: {
+        const Entry& entry = LookupOrFail(type.name, scope, line, "type");
+        if (entry.IsEnumMember()) {
+          Fail(line, "'" + type.name + "' names an enum member, not a type");
+        }
+        Decl* d = entry.decl;
+        if (d->decl_kind == DeclKind::kConst) {
+          Fail(line, "'" + type.name + "' names a constant, not a type");
+        }
+        if (d->decl_kind == DeclKind::kModule) {
+          Fail(line, "'" + type.name + "' names a module, not a type");
+        }
+        if (d->decl_kind == DeclKind::kForwardInterface) {
+          auto& fwd = static_cast<ForwardInterfaceDecl&>(*d);
+          if (fwd.definition != nullptr) {
+            type.resolved = fwd.definition;
+            return;
+          }
+        }
+        type.resolved = d;
+        return;
+      }
+    }
+  }
+
+  void ResolveDecl(Decl& decl) {
+    switch (decl.decl_kind) {
+      case DeclKind::kModule: {
+        auto& mod = static_cast<ModuleDecl&>(decl);
+        for (auto& d : mod.decls) ResolveDecl(*d);
+        break;
+      }
+      case DeclKind::kForwardInterface: {
+        auto& fwd = static_cast<ForwardInterfaceDecl&>(decl);
+        const Entry* e = Lookup(fwd.name, fwd.enclosing);
+        if (e != nullptr && e->decl != nullptr &&
+            e->decl->decl_kind == DeclKind::kInterface) {
+          fwd.definition = static_cast<const InterfaceDecl*>(e->decl);
+        }
+        break;
+      }
+      case DeclKind::kInterface:
+        ResolveInterface(static_cast<InterfaceDecl&>(decl));
+        break;
+      case DeclKind::kTypedef: {
+        auto& td = static_cast<TypedefDecl&>(decl);
+        ResolveType(td.type, td.enclosing, td.line);
+        break;
+      }
+      case DeclKind::kStruct: {
+        auto& st = static_cast<StructDecl&>(decl);
+        for (auto& f : st.fields) ResolveType(f.type, st.enclosing, f.line);
+        break;
+      }
+      case DeclKind::kException: {
+        auto& ex = static_cast<ExceptionDecl&>(decl);
+        for (auto& f : ex.fields) ResolveType(f.type, ex.enclosing, f.line);
+        break;
+      }
+      case DeclKind::kUnion:
+        ResolveUnion(static_cast<UnionDecl&>(decl));
+        break;
+      case DeclKind::kConst: {
+        auto& cd = static_cast<ConstDecl&>(decl);
+        ResolveType(cd.type, cd.enclosing, cd.line);
+        CheckLiteral(cd.value, cd.type, cd.enclosing, cd.line, "constant");
+        break;
+      }
+      case DeclKind::kEnum:
+        break;
+    }
+  }
+
+  void ResolveUnion(UnionDecl& un) {
+    ResolveType(un.discriminator, un.enclosing, un.line);
+    const TypeRef& disc = UnaliasType(un.discriminator);
+    bool ok_disc = false;
+    if (disc.kind == TypeRef::Kind::kPrimitive) {
+      switch (disc.prim) {
+        case PrimKind::kBoolean:
+        case PrimKind::kChar:
+        case PrimKind::kShort:
+        case PrimKind::kUShort:
+        case PrimKind::kLong:
+        case PrimKind::kULong:
+        case PrimKind::kLongLong:
+        case PrimKind::kULongLong:
+          ok_disc = true;
+          break;
+        default:
+          break;
+      }
+    } else if (disc.kind == TypeRef::Kind::kNamed &&
+               disc.resolved != nullptr &&
+               disc.resolved->decl_kind == DeclKind::kEnum) {
+      ok_disc = true;
+    }
+    if (!ok_disc) {
+      Fail(un.line, "union discriminator must be an integral, char, "
+                    "boolean, or enum type");
+    }
+
+    bool saw_default = false;
+    // Normalized label values for duplicate detection.
+    std::map<std::string, int> seen_labels;
+    std::map<std::string, int> member_names;
+    for (auto& arm : un.cases) {
+      ResolveType(arm.type, un.enclosing, arm.line);
+      auto [name_it, name_new] = member_names.emplace(arm.name, arm.line);
+      if (!name_new) {
+        Fail(arm.line, "duplicate union member '" + arm.name + "'");
+      }
+      if (arm.is_default) {
+        if (saw_default) {
+          Fail(arm.line, "union has more than one default member");
+        }
+        saw_default = true;
+      }
+      for (Literal& label : arm.labels) {
+        CheckLiteral(label, un.discriminator, un.enclosing, arm.line,
+                     "case label");
+        std::string key;
+        switch (label.kind) {
+          case Literal::Kind::kInt:
+            key = "i" + std::to_string(label.int_value);
+            break;
+          case Literal::Kind::kBool:
+            key = label.bool_value ? "bT" : "bF";
+            break;
+          case Literal::Kind::kChar:
+            key = "c" + label.text;
+            break;
+          case Literal::Kind::kScoped:
+            // Enum member: normalized to index by CheckLiteral.
+            key = "e" + std::to_string(label.int_value);
+            break;
+          default:
+            Fail(arm.line, "invalid case label for union discriminator");
+        }
+        auto [it, inserted] = seen_labels.emplace(key, arm.line);
+        if (!inserted) {
+          Fail(arm.line, "duplicate union case label (first used at line " +
+                             std::to_string(it->second) + ")");
+        }
+      }
+    }
+  }
+
+  void ResolveInterface(InterfaceDecl& iface) {
+    // Bases. A base may be an interface defined earlier in this file, or
+    // an *external* interface known only through a forward declaration
+    // (Fig 3: `interface S;` followed by `interface A : S`). A forward
+    // declaration whose definition appears in this file resolves to the
+    // definition — which must then precede its use as a base.
+    for (const std::string& base_name : iface.base_names) {
+      const Entry& e =
+          LookupOrFail(base_name, iface.enclosing, iface.line, "base");
+      Decl* d = e.decl;
+      if (d != nullptr && d->decl_kind == DeclKind::kForwardInterface) {
+        auto& fwd = static_cast<ForwardInterfaceDecl&>(*d);
+        // Link eagerly: ResolveDecl for the forward decl may not have run
+        // yet when the inheriting interface is resolved first.
+        if (fwd.definition == nullptr) {
+          const Entry* def = Lookup(fwd.name, fwd.enclosing);
+          if (def != nullptr && def->decl != nullptr &&
+              def->decl->decl_kind == DeclKind::kInterface) {
+            fwd.definition = static_cast<const InterfaceDecl*>(def->decl);
+          }
+        }
+        if (fwd.definition != nullptr) d = const_cast<InterfaceDecl*>(
+            static_cast<const InterfaceDecl*>(fwd.definition));
+        // else: external interface — keep the forward decl as the base.
+      }
+      if (d == nullptr || (d->decl_kind != DeclKind::kInterface &&
+                           d->decl_kind != DeclKind::kForwardInterface)) {
+        Fail(iface.line, "base '" + base_name + "' is not an interface");
+      }
+      if (d == &iface) {
+        Fail(iface.line, "interface cannot inherit from itself");
+      }
+      for (const auto* existing : iface.bases) {
+        if (existing == d) {
+          Fail(iface.line, "duplicate base interface '" + base_name + "'");
+        }
+      }
+      iface.bases.push_back(d);
+    }
+
+    for (auto& d : iface.nested) ResolveDecl(*d);
+
+    // Member name uniqueness (own + inherited).
+    std::map<std::string, int> member_lines;
+    auto check_name = [&](const std::string& name, int line) {
+      auto [it, inserted] = member_lines.emplace(name, line);
+      if (!inserted) {
+        Fail(line, "duplicate member '" + name + "' in interface '" +
+                       iface.name + "' (first declared at line " +
+                       std::to_string(it->second) + ")");
+      }
+    };
+    for (const auto& op : iface.operations) check_name(op.name, op.line);
+    for (const auto& at : iface.attributes) check_name(at.name, at.line);
+    std::vector<const InterfaceDecl*> all_bases;
+    CollectBases(iface, all_bases);
+    for (const auto* base : all_bases) {
+      for (const auto& op : base->operations) {
+        if (member_lines.count(op.name)) {
+          Fail(member_lines[op.name],
+               "member '" + op.name + "' redefines inherited member from '" +
+                   base->name + "' (CORBA forbids redefinition)");
+        }
+      }
+      for (const auto& at : base->attributes) {
+        if (member_lines.count(at.name)) {
+          Fail(member_lines[at.name],
+               "member '" + at.name + "' redefines inherited member from '" +
+                   base->name + "'");
+        }
+      }
+    }
+
+    // Operations.
+    for (auto& op : iface.operations) {
+      ResolveType(op.return_type, &iface, op.line);
+      bool saw_default = false;
+      for (auto& p : op.params) {
+        ResolveType(p.type, &iface, p.line);
+        if (p.default_value.IsSet()) {
+          if (p.direction == ParamDir::kOut ||
+              p.direction == ParamDir::kInOut) {
+            Fail(p.line, "default value on '" + p.name +
+                             "' requires an in/incopy parameter");
+          }
+          saw_default = true;
+          CheckLiteral(p.default_value, p.type, &iface, p.line,
+                       "default for parameter '" + p.name + "'");
+        } else if (saw_default) {
+          Fail(p.line,
+               "parameter '" + p.name +
+                   "' without default follows a parameter with a default");
+        }
+      }
+      if (op.oneway) {
+        if (!(op.return_type.kind == TypeRef::Kind::kPrimitive &&
+              op.return_type.prim == PrimKind::kVoid)) {
+          Fail(op.line, "oneway operation '" + op.name + "' must return void");
+        }
+        for (const auto& p : op.params) {
+          if (p.direction == ParamDir::kOut ||
+              p.direction == ParamDir::kInOut) {
+            Fail(p.line, "oneway operation '" + op.name +
+                             "' cannot have out/inout parameters");
+          }
+        }
+        if (!op.raises.empty()) {
+          Fail(op.line,
+               "oneway operation '" + op.name + "' cannot raise exceptions");
+        }
+      }
+      for (const std::string& r : op.raises) {
+        const Entry& e = LookupOrFail(r, &iface, op.line, "exception");
+        if (e.decl == nullptr || e.decl->decl_kind != DeclKind::kException) {
+          Fail(op.line, "raises clause '" + r + "' is not an exception");
+        }
+        op.raises_resolved.push_back(e.decl);
+      }
+    }
+
+    // Attributes.
+    for (auto& at : iface.attributes) {
+      ResolveType(at.type, &iface, at.line);
+    }
+  }
+
+  // Collects transitive *defined* bases; external (forward-only) bases
+  // contribute no members and are skipped.
+  static void CollectBases(const InterfaceDecl& iface,
+                           std::vector<const InterfaceDecl*>& out) {
+    for (const Decl* base_decl : iface.bases) {
+      if (base_decl->decl_kind != DeclKind::kInterface) continue;
+      const auto* base = static_cast<const InterfaceDecl*>(base_decl);
+      bool seen = false;
+      for (const auto* b : out) seen = seen || b == base;
+      if (seen) continue;
+      out.push_back(base);
+      CollectBases(*base, out);
+    }
+  }
+
+  void CheckLiteral(Literal& lit, const TypeRef& type, const Decl* scope,
+                    int line, const std::string& what) {
+    const TypeRef& actual = UnaliasType(type);
+    switch (lit.kind) {
+      case Literal::Kind::kNone:
+        return;
+      case Literal::Kind::kInt: {
+        if (actual.kind != TypeRef::Kind::kPrimitive) {
+          Fail(line, what + ": integer literal for non-numeric type");
+        }
+        switch (actual.prim) {
+          case PrimKind::kShort:
+          case PrimKind::kUShort:
+          case PrimKind::kLong:
+          case PrimKind::kULong:
+          case PrimKind::kLongLong:
+          case PrimKind::kULongLong:
+          case PrimKind::kOctet:
+          case PrimKind::kFloat:
+          case PrimKind::kDouble:
+            return;
+          default:
+            Fail(line, what + ": integer literal for non-numeric type");
+        }
+      }
+      case Literal::Kind::kFloat: {
+        if (actual.kind != TypeRef::Kind::kPrimitive ||
+            (actual.prim != PrimKind::kFloat &&
+             actual.prim != PrimKind::kDouble)) {
+          Fail(line, what + ": float literal for non-floating type");
+        }
+        return;
+      }
+      case Literal::Kind::kBool: {
+        if (actual.kind != TypeRef::Kind::kPrimitive ||
+            actual.prim != PrimKind::kBoolean) {
+          Fail(line, what + ": boolean literal for non-boolean type");
+        }
+        return;
+      }
+      case Literal::Kind::kString: {
+        if (actual.kind != TypeRef::Kind::kPrimitive ||
+            actual.prim != PrimKind::kString) {
+          Fail(line, what + ": string literal for non-string type");
+        }
+        return;
+      }
+      case Literal::Kind::kChar: {
+        if (actual.kind != TypeRef::Kind::kPrimitive ||
+            actual.prim != PrimKind::kChar) {
+          Fail(line, what + ": character literal for non-char type");
+        }
+        return;
+      }
+      case Literal::Kind::kScoped: {
+        const Entry& e = LookupOrFail(lit.text, scope, line, "name");
+        if (e.IsEnumMember()) {
+          if (actual.kind != TypeRef::Kind::kNamed ||
+              actual.resolved != e.enum_owner) {
+            Fail(line, what + ": enum member '" + lit.text +
+                           "' does not belong to the parameter's enum type");
+          }
+          // Normalize to the member's unscoped name + index for codegen.
+          lit.int_value = e.enum_member;
+          lit.text = e.enum_owner->members[static_cast<size_t>(e.enum_member)];
+          return;
+        }
+        if (e.decl != nullptr && e.decl->decl_kind == DeclKind::kConst) {
+          return;  // const-referencing defaults are allowed
+        }
+        Fail(line, what + ": '" + lit.text +
+                       "' is neither an enum member nor a constant");
+      }
+    }
+  }
+
+  Specification& spec_;
+  std::map<std::string, Entry> table_;
+};
+
+}  // namespace
+
+void Resolve(Specification& spec) {
+  Sema sema(spec);
+  sema.Run();
+}
+
+Specification ParseAndResolve(std::string_view source,
+                              std::string source_name) {
+  Specification spec = Parse(source, std::move(source_name));
+  Resolve(spec);
+  return spec;
+}
+
+const TypeRef& UnaliasType(const TypeRef& type) {
+  const TypeRef* t = &type;
+  // Typedef chains are finite (sema would have failed on unresolved names),
+  // but guard against accidental cycles.
+  for (int depth = 0; depth < 64; ++depth) {
+    if (t->kind != TypeRef::Kind::kNamed || t->resolved == nullptr) return *t;
+    if (t->resolved->decl_kind != DeclKind::kTypedef) return *t;
+    t = &static_cast<const TypedefDecl*>(t->resolved)->type;
+  }
+  return *t;
+}
+
+std::string TypeTag(const TypeRef& type) {
+  switch (type.kind) {
+    case TypeRef::Kind::kPrimitive:
+      switch (type.prim) {
+        case PrimKind::kVoid: return "void";
+        case PrimKind::kBoolean: return "boolean";
+        case PrimKind::kChar: return "char";
+        case PrimKind::kOctet: return "octet";
+        case PrimKind::kShort: return "short";
+        case PrimKind::kUShort: return "ushort";
+        case PrimKind::kLong: return "long";
+        case PrimKind::kULong: return "ulong";
+        case PrimKind::kLongLong: return "longlong";
+        case PrimKind::kULongLong: return "ulonglong";
+        case PrimKind::kFloat: return "float";
+        case PrimKind::kDouble: return "double";
+        case PrimKind::kString: return "string";
+      }
+      return "void";
+    case TypeRef::Kind::kSequence:
+      return "sequence";
+    case TypeRef::Kind::kNamed: {
+      const Decl* d = type.resolved;
+      if (d == nullptr) return "objref";  // unresolved: only legal pre-sema
+      switch (d->decl_kind) {
+        case DeclKind::kInterface:
+        case DeclKind::kForwardInterface:
+          return "objref";
+        case DeclKind::kEnum: return "enum";
+        case DeclKind::kStruct: return "struct";
+        case DeclKind::kUnion: return "union";
+        case DeclKind::kException: return "exception";
+        case DeclKind::kTypedef: return "alias";
+        default: return "objref";
+      }
+    }
+  }
+  return "void";
+}
+
+std::string TypeFlatName(const TypeRef& type) {
+  if (type.kind != TypeRef::Kind::kNamed) return "";
+  if (type.resolved != nullptr) return type.resolved->FlatName();
+  return str::ReplaceAll(type.name, "::", "_");
+}
+
+bool IsVariableType(const TypeRef& type) {
+  const TypeRef& t = UnaliasType(type);
+  switch (t.kind) {
+    case TypeRef::Kind::kPrimitive:
+      return t.prim == PrimKind::kString;
+    case TypeRef::Kind::kSequence:
+      return true;
+    case TypeRef::Kind::kNamed: {
+      const Decl* d = t.resolved;
+      if (d == nullptr) return true;
+      switch (d->decl_kind) {
+        case DeclKind::kInterface:
+        case DeclKind::kForwardInterface:
+          return true;
+        case DeclKind::kEnum:
+          return false;
+        case DeclKind::kStruct: {
+          const auto* st = static_cast<const StructDecl*>(d);
+          for (const auto& f : st->fields) {
+            if (IsVariableType(f.type)) return true;
+          }
+          return false;
+        }
+        case DeclKind::kException: {
+          const auto* ex = static_cast<const ExceptionDecl*>(d);
+          for (const auto& f : ex->fields) {
+            if (IsVariableType(f.type)) return true;
+          }
+          return false;
+        }
+        case DeclKind::kUnion: {
+          const auto* un = static_cast<const UnionDecl*>(d);
+          for (const auto& arm : un->cases) {
+            if (IsVariableType(arm.type)) return true;
+          }
+          return false;
+        }
+        default:
+          return true;
+      }
+    }
+  }
+  return true;
+}
+
+}  // namespace heidi::idl

@@ -1,0 +1,57 @@
+// Semantic analysis: scope construction, name resolution, inheritance
+// linking, repository-id assignment, and the structural checks that give
+// templates a guaranteed-well-formed tree to walk.
+//
+// Checks performed (each violation throws ParseError):
+//  - duplicate declarations in a scope (module reopening is permitted);
+//  - interface bases resolve to interfaces already *defined* (not merely
+//    forward-declared), with no duplicates;
+//  - forward declarations link to their definition when one exists;
+//  - named types resolve through enclosing scopes (innermost first, then
+//    outward, absolute `::name` supported);
+//  - default parameters are trailing, and their literal matches the
+//    parameter type (enum defaults must name a member of that enum);
+//  - `incopy` follows the paper's rule: legal on any `in`-position type;
+//  - oneway operations return void, take only in/incopy parameters, and
+//    raise nothing;
+//  - raises clauses resolve to exception declarations;
+//  - operation/attribute names are unique within an interface and do not
+//    collide with inherited ones (CORBA forbids overloading/redefinition).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "idl/ast.h"
+
+namespace heidi::idl {
+
+// Resolves and checks `spec` in place.
+void Resolve(Specification& spec);
+
+// Convenience: parse + resolve.
+Specification ParseAndResolve(std::string_view source,
+                              std::string source_name = "<input>");
+
+// --- type classification helpers used by the EST builder and runtime ------
+
+// Follows typedef chains to the underlying type. Returns a reference into
+// the AST; `spec` must outlive the result. For non-named types returns
+// `type` itself.
+const TypeRef& UnaliasType(const TypeRef& type);
+
+// EST type tag for a (resolved) type: one of "void", "boolean", "char",
+// "octet", "short", "ushort", "long", "ulong", "longlong", "ulonglong",
+// "float", "double", "string", "enum", "struct", "sequence", "objref",
+// "alias", "exception".
+std::string TypeTag(const TypeRef& type);
+
+// Flat type name for named types ("Heidi_A"); empty for primitives.
+std::string TypeFlatName(const TypeRef& type);
+
+// True if the type has variable (non-fixed) marshaled size: strings,
+// sequences, object references, and structs/exceptions containing any of
+// those, following typedefs.
+bool IsVariableType(const TypeRef& type);
+
+}  // namespace heidi::idl

@@ -1,0 +1,89 @@
+#include "idl/token.h"
+
+#include <unordered_map>
+
+namespace heidi::idl {
+
+std::string_view TokName(Tok kind) {
+  switch (kind) {
+    case Tok::kEof: return "end of input";
+    case Tok::kIdentifier: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFloatLit: return "float literal";
+    case Tok::kStringLit: return "string literal";
+    case Tok::kCharLit: return "character literal";
+    case Tok::kLBrace: return "'{'";
+    case Tok::kRBrace: return "'}'";
+    case Tok::kLParen: return "'('";
+    case Tok::kRParen: return "')'";
+    case Tok::kLBracket: return "'['";
+    case Tok::kRBracket: return "']'";
+    case Tok::kLess: return "'<'";
+    case Tok::kGreater: return "'>'";
+    case Tok::kComma: return "','";
+    case Tok::kSemicolon: return "';'";
+    case Tok::kColon: return "':'";
+    case Tok::kScope: return "'::'";
+    case Tok::kEquals: return "'='";
+    case Tok::kMinus: return "'-'";
+    case Tok::kPlus: return "'+'";
+    case Tok::kKwModule: return "'module'";
+    case Tok::kKwInterface: return "'interface'";
+    case Tok::kKwEnum: return "'enum'";
+    case Tok::kKwStruct: return "'struct'";
+    case Tok::kKwException: return "'exception'";
+    case Tok::kKwUnion: return "'union'";
+    case Tok::kKwSwitch: return "'switch'";
+    case Tok::kKwCase: return "'case'";
+    case Tok::kKwDefault: return "'default'";
+    case Tok::kKwTypedef: return "'typedef'";
+    case Tok::kKwConst: return "'const'";
+    case Tok::kKwSequence: return "'sequence'";
+    case Tok::kKwString: return "'string'";
+    case Tok::kKwVoid: return "'void'";
+    case Tok::kKwIn: return "'in'";
+    case Tok::kKwOut: return "'out'";
+    case Tok::kKwInout: return "'inout'";
+    case Tok::kKwIncopy: return "'incopy'";
+    case Tok::kKwReadonly: return "'readonly'";
+    case Tok::kKwAttribute: return "'attribute'";
+    case Tok::kKwOneway: return "'oneway'";
+    case Tok::kKwRaises: return "'raises'";
+    case Tok::kKwUnsigned: return "'unsigned'";
+    case Tok::kKwShort: return "'short'";
+    case Tok::kKwLong: return "'long'";
+    case Tok::kKwFloat: return "'float'";
+    case Tok::kKwDouble: return "'double'";
+    case Tok::kKwBoolean: return "'boolean'";
+    case Tok::kKwChar: return "'char'";
+    case Tok::kKwOctet: return "'octet'";
+    case Tok::kKwTrue: return "'TRUE'";
+    case Tok::kKwFalse: return "'FALSE'";
+  }
+  return "?";
+}
+
+Tok ClassifyWord(std::string_view text) {
+  static const std::unordered_map<std::string_view, Tok> kKeywords = {
+      {"module", Tok::kKwModule},       {"interface", Tok::kKwInterface},
+      {"enum", Tok::kKwEnum},           {"struct", Tok::kKwStruct},
+      {"exception", Tok::kKwException},
+      {"union", Tok::kKwUnion},         {"switch", Tok::kKwSwitch},
+      {"case", Tok::kKwCase},           {"default", Tok::kKwDefault}, {"typedef", Tok::kKwTypedef},
+      {"const", Tok::kKwConst},         {"sequence", Tok::kKwSequence},
+      {"string", Tok::kKwString},       {"void", Tok::kKwVoid},
+      {"in", Tok::kKwIn},               {"out", Tok::kKwOut},
+      {"inout", Tok::kKwInout},         {"incopy", Tok::kKwIncopy},
+      {"readonly", Tok::kKwReadonly},   {"attribute", Tok::kKwAttribute},
+      {"oneway", Tok::kKwOneway},       {"raises", Tok::kKwRaises},
+      {"unsigned", Tok::kKwUnsigned},   {"short", Tok::kKwShort},
+      {"long", Tok::kKwLong},           {"float", Tok::kKwFloat},
+      {"double", Tok::kKwDouble},       {"boolean", Tok::kKwBoolean},
+      {"char", Tok::kKwChar},           {"octet", Tok::kKwOctet},
+      {"TRUE", Tok::kKwTrue},           {"FALSE", Tok::kKwFalse},
+  };
+  auto it = kKeywords.find(text);
+  return it == kKeywords.end() ? Tok::kIdentifier : it->second;
+}
+
+}  // namespace heidi::idl

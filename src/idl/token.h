@@ -1,0 +1,86 @@
+// Token definitions for the OMG IDL subset accepted by the compiler,
+// including the paper's two syntax extensions: the `incopy` parameter
+// qualifier and default parameter values (§3.1).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace heidi::idl {
+
+enum class Tok : uint8_t {
+  kEof,
+  kIdentifier,
+  kIntLit,     // decimal / hex / octal integer
+  kFloatLit,   // floating literal
+  kStringLit,  // "..."
+  kCharLit,    // '.'
+
+  // Punctuation.
+  kLBrace,     // {
+  kRBrace,     // }
+  kLParen,     // (
+  kRParen,     // )
+  kLBracket,   // [
+  kRBracket,   // ]
+  kLess,       // <
+  kGreater,    // >
+  kComma,      // ,
+  kSemicolon,  // ;
+  kColon,      // :
+  kScope,      // ::
+  kEquals,     // =
+  kMinus,      // -
+  kPlus,       // +
+
+  // Keywords.
+  kKwModule,
+  kKwInterface,
+  kKwEnum,
+  kKwStruct,
+  kKwException,
+  kKwUnion,
+  kKwSwitch,
+  kKwCase,
+  kKwDefault,
+  kKwTypedef,
+  kKwConst,
+  kKwSequence,
+  kKwString,
+  kKwVoid,
+  kKwIn,
+  kKwOut,
+  kKwInout,
+  kKwIncopy,  // paper extension: pass-by-value qualifier
+  kKwReadonly,
+  kKwAttribute,
+  kKwOneway,
+  kKwRaises,
+  kKwUnsigned,
+  kKwShort,
+  kKwLong,
+  kKwFloat,
+  kKwDouble,
+  kKwBoolean,
+  kKwChar,
+  kKwOctet,
+  kKwTrue,
+  kKwFalse,
+};
+
+// Human-readable token-kind name for diagnostics ("identifier", "'{'", ...).
+std::string_view TokName(Tok kind);
+
+// Returns the keyword token for `text`, or kIdentifier if it is not a
+// keyword. IDL keywords are case-sensitive; TRUE/FALSE are uppercase.
+Tok ClassifyWord(std::string_view text);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  std::string text;  // identifier/literal spelling (unquoted for strings)
+  int line = 0;
+  int column = 0;
+};
+
+}  // namespace heidi::idl

@@ -1,0 +1,62 @@
+#include "net/buffered.h"
+
+#include <cstring>
+
+#include "support/error.h"
+
+namespace heidi::net {
+
+namespace {
+constexpr size_t kChunk = 64 * 1024;
+}
+
+bool BufferedReader::Fill() {
+  if (pos_ > 0) {
+    buffer_.erase(0, pos_);
+    pos_ = 0;
+  }
+  size_t old = buffer_.size();
+  buffer_.resize(old + kChunk);
+  size_t r = channel_->Read(buffer_.data() + old, kChunk);
+  buffer_.resize(old + r);
+  return r > 0;
+}
+
+bool BufferedReader::ReadLine(std::string& line) {
+  line.clear();
+  while (true) {
+    size_t nl = buffer_.find('\n', pos_);
+    if (nl != std::string::npos) {
+      line.append(buffer_, pos_, nl - pos_);
+      pos_ = nl + 1;
+      return true;
+    }
+    line.append(buffer_, pos_, buffer_.size() - pos_);
+    pos_ = buffer_.size();
+    if (!Fill()) {
+      if (line.empty()) return false;
+      throw NetError("connection closed mid-line");
+    }
+  }
+}
+
+bool BufferedReader::ReadExact(char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    size_t available = buffer_.size() - pos_;
+    if (available > 0) {
+      size_t take = std::min(available, n - got);
+      std::memcpy(buf + got, buffer_.data() + pos_, take);
+      pos_ += take;
+      got += take;
+      continue;
+    }
+    if (!Fill()) {
+      if (got == 0) return false;
+      throw NetError("connection closed mid-message");
+    }
+  }
+  return true;
+}
+
+}  // namespace heidi::net

@@ -1,0 +1,33 @@
+// Buffered reader over a ByteChannel: line reads for the text protocol,
+// exact-length reads for binary framing, one read buffer per connection.
+#pragma once
+
+#include <string>
+
+#include "net/channel.h"
+
+namespace heidi::net {
+
+class BufferedReader {
+ public:
+  explicit BufferedReader(ByteChannel& channel) : channel_(&channel) {}
+
+  // Reads up to and including '\n'; the newline is stripped from `line`.
+  // Returns false on clean EOF before any byte of a new line; throws
+  // NetError if EOF interrupts a partial line.
+  bool ReadLine(std::string& line);
+
+  // Reads exactly n bytes. Returns false on clean EOF at a message
+  // boundary; throws NetError mid-message.
+  bool ReadExact(char* buf, size_t n);
+
+ private:
+  // Refills the buffer; returns false on EOF.
+  bool Fill();
+
+  ByteChannel* channel_;
+  std::string buffer_;
+  size_t pos_ = 0;
+};
+
+}  // namespace heidi::net

@@ -1,0 +1,21 @@
+#include "net/channel.h"
+
+#include "support/error.h"
+
+namespace heidi::net {
+
+bool ReadExact(ByteChannel& channel, char* buf, size_t n) {
+  size_t got = 0;
+  while (got < n) {
+    size_t r = channel.Read(buf + got, n - got);
+    if (r == 0) {
+      if (got == 0) return false;
+      throw NetError("connection closed mid-message (" + std::to_string(got) +
+                     "/" + std::to_string(n) + " bytes)");
+    }
+    got += r;
+  }
+  return true;
+}
+
+}  // namespace heidi::net

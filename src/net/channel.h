@@ -1,0 +1,39 @@
+// Transport substrate: a blocking, bidirectional byte channel.
+//
+// Everything above this layer (ObjectCommunicator, Call framing) is
+// transport-agnostic; the two implementations are a real TCP socket
+// (tcp.h) and an in-process paired queue (inmemory.h) used for tests and
+// for benchmarks that want protocol costs without kernel noise.
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+namespace heidi::net {
+
+class ByteChannel {
+ public:
+  virtual ~ByteChannel() = default;
+
+  // Blocking read of up to `n` bytes into `buf`; returns the number of
+  // bytes read, 0 on orderly shutdown by the peer (or local Close()).
+  // Throws NetError on transport failure.
+  virtual size_t Read(char* buf, size_t n) = 0;
+
+  // Blocking write of the entire buffer. Throws NetError on failure
+  // (including writing to a closed channel).
+  virtual void WriteAll(const char* data, size_t n) = 0;
+
+  // Idempotent; unblocks any reader (locally and at the peer).
+  virtual void Close() = 0;
+
+  // Human-readable peer description for diagnostics.
+  virtual std::string PeerName() const = 0;
+};
+
+// Reads exactly `n` bytes. Returns false on clean EOF *before the first
+// byte*; throws NetError if EOF interrupts a partially-read block.
+bool ReadExact(ByteChannel& channel, char* buf, size_t n);
+
+}  // namespace heidi::net

@@ -1,0 +1,83 @@
+#include "net/inmemory.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "support/error.h"
+
+namespace heidi::net {
+
+namespace {
+
+// One direction of flow. Writers append, readers consume; closing wakes
+// everyone and makes reads return EOF once drained.
+struct Pipe {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<char> data;
+  bool closed = false;
+
+  void Write(const char* buf, size_t n) {
+    std::lock_guard lock(mutex);
+    if (closed) throw NetError("write on closed in-memory channel");
+    data.insert(data.end(), buf, buf + n);
+    cv.notify_all();
+  }
+
+  size_t Read(char* buf, size_t n) {
+    std::unique_lock lock(mutex);
+    cv.wait(lock, [&] { return !data.empty() || closed; });
+    if (data.empty()) return 0;  // closed and drained
+    size_t take = std::min(n, data.size());
+    for (size_t i = 0; i < take; ++i) {
+      buf[i] = data.front();
+      data.pop_front();
+    }
+    return take;
+  }
+
+  void Close() {
+    std::lock_guard lock(mutex);
+    closed = true;
+    cv.notify_all();
+  }
+};
+
+class InMemoryChannel : public ByteChannel {
+ public:
+  InMemoryChannel(std::shared_ptr<Pipe> in, std::shared_ptr<Pipe> out)
+      : in_(std::move(in)), out_(std::move(out)) {}
+
+  ~InMemoryChannel() override { Close(); }
+
+  size_t Read(char* buf, size_t n) override { return in_->Read(buf, n); }
+
+  void WriteAll(const char* data, size_t n) override { out_->Write(data, n); }
+
+  void Close() override {
+    // Close both directions: the peer's reads EOF and our own pending
+    // reads unblock.
+    in_->Close();
+    out_->Close();
+  }
+
+  std::string PeerName() const override { return "inmemory"; }
+
+ private:
+  std::shared_ptr<Pipe> in_;
+  std::shared_ptr<Pipe> out_;
+};
+
+}  // namespace
+
+ChannelPair CreateInMemoryPair() {
+  auto ab = std::make_shared<Pipe>();
+  auto ba = std::make_shared<Pipe>();
+  ChannelPair pair;
+  pair.a = std::make_unique<InMemoryChannel>(ba, ab);
+  pair.b = std::make_unique<InMemoryChannel>(ab, ba);
+  return pair;
+}
+
+}  // namespace heidi::net

@@ -1,0 +1,22 @@
+// In-process ByteChannel pair: two FIFO byte queues with mutex/condvar
+// signalling. Used for unit tests, for the "inproc" ORB transport, and to
+// benchmark protocol encoding without kernel/socket noise.
+#pragma once
+
+#include <memory>
+#include <utility>
+
+#include "net/channel.h"
+
+namespace heidi::net {
+
+struct ChannelPair {
+  std::unique_ptr<ByteChannel> a;
+  std::unique_ptr<ByteChannel> b;
+};
+
+// Creates a connected pair: bytes written to `a` are read from `b` and
+// vice versa. Closing either end unblocks and EOFs both directions.
+ChannelPair CreateInMemoryPair();
+
+}  // namespace heidi::net

@@ -1,0 +1,174 @@
+#include "net/tcp.h"
+
+#include <arpa/inet.h>
+#include <netdb.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <mutex>
+
+#include "support/error.h"
+
+namespace heidi::net {
+
+namespace {
+
+[[noreturn]] void FailErrno(const std::string& what) {
+  throw NetError(what + ": " + std::strerror(errno));
+}
+
+void SetNoDelay(int fd) {
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+}
+
+class TcpChannel : public ByteChannel {
+ public:
+  TcpChannel(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {}
+
+  ~TcpChannel() override { Close(); }
+
+  size_t Read(char* buf, size_t n) override {
+    while (true) {
+      ssize_t r = ::recv(fd_, buf, n, 0);
+      if (r >= 0) return static_cast<size_t>(r);
+      if (errno == EINTR) continue;
+      // A reset from a peer that closed while we were mid-protocol is an
+      // EOF condition at this layer, not a programming error.
+      if (errno == ECONNRESET || errno == EBADF) return 0;
+      FailErrno("recv from " + peer_);
+    }
+  }
+
+  void WriteAll(const char* data, size_t n) override {
+    size_t sent = 0;
+    while (sent < n) {
+      ssize_t w = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        FailErrno("send to " + peer_);
+      }
+      sent += static_cast<size_t>(w);
+    }
+  }
+
+  void Close() override {
+    std::lock_guard lock(close_mutex_);
+    if (fd_ >= 0) {
+      ::shutdown(fd_, SHUT_RDWR);
+      ::close(fd_);
+      fd_ = -1;
+    }
+  }
+
+  std::string PeerName() const override { return peer_; }
+
+ private:
+  int fd_;
+  std::string peer_;
+  std::mutex close_mutex_;
+};
+
+std::string PeerOf(const sockaddr_storage& addr) {
+  char host[NI_MAXHOST] = "?";
+  char serv[NI_MAXSERV] = "?";
+  ::getnameinfo(reinterpret_cast<const sockaddr*>(&addr), sizeof addr, host,
+                sizeof host, serv, sizeof serv,
+                NI_NUMERICHOST | NI_NUMERICSERV);
+  return std::string(host) + ":" + serv;
+}
+
+}  // namespace
+
+std::unique_ptr<ByteChannel> TcpConnect(const std::string& host,
+                                        uint16_t port) {
+  addrinfo hints{};
+  hints.ai_family = AF_UNSPEC;
+  hints.ai_socktype = SOCK_STREAM;
+  addrinfo* result = nullptr;
+  std::string service = std::to_string(port);
+  int rc = ::getaddrinfo(host.c_str(), service.c_str(), &hints, &result);
+  if (rc != 0) {
+    throw NetError("resolve " + host + ": " + ::gai_strerror(rc));
+  }
+  int fd = -1;
+  std::string last_error = "no addresses";
+  for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
+    fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
+    if (fd < 0) {
+      last_error = std::strerror(errno);
+      continue;
+    }
+    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
+    last_error = std::strerror(errno);
+    ::close(fd);
+    fd = -1;
+  }
+  ::freeaddrinfo(result);
+  if (fd < 0) {
+    throw NetError("connect " + host + ":" + service + ": " + last_error);
+  }
+  SetNoDelay(fd);
+  return std::make_unique<TcpChannel>(fd, host + ":" + service);
+}
+
+TcpAcceptor::TcpAcceptor(uint16_t port) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd_ < 0) FailErrno("socket");
+  int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    FailErrno("bind port " + std::to_string(port));
+  }
+  if (::listen(fd_, 64) != 0) {
+    int saved = errno;
+    ::close(fd_);
+    fd_ = -1;
+    errno = saved;
+    FailErrno("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    FailErrno("getsockname");
+  }
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpAcceptor::~TcpAcceptor() { Close(); }
+
+std::unique_ptr<ByteChannel> TcpAcceptor::Accept() {
+  while (true) {
+    sockaddr_storage addr{};
+    socklen_t len = sizeof addr;
+    int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    if (fd < 0) {
+      if (errno == EINTR) continue;
+      // Closed (or any terminal condition): report orderly shutdown.
+      return nullptr;
+    }
+    SetNoDelay(fd);
+    return std::make_unique<TcpChannel>(fd, PeerOf(addr));
+  }
+}
+
+void TcpAcceptor::Close() {
+  if (fd_ >= 0) {
+    ::shutdown(fd_, SHUT_RDWR);
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+}  // namespace heidi::net

@@ -1,0 +1,40 @@
+// TCP transport: blocking sockets with TCP_NODELAY (remote-call latency is
+// dominated by round trips; Nagle would serialize them).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "net/channel.h"
+
+namespace heidi::net {
+
+// Connects to host:port (name resolution via getaddrinfo). Throws NetError.
+std::unique_ptr<ByteChannel> TcpConnect(const std::string& host,
+                                        uint16_t port);
+
+// Listening socket; the bootstrap port of an address space (§3.1 Fig 5).
+class TcpAcceptor {
+ public:
+  // port 0 picks an ephemeral port (see Port()). Binds to all interfaces.
+  explicit TcpAcceptor(uint16_t port = 0);
+  ~TcpAcceptor();
+
+  TcpAcceptor(const TcpAcceptor&) = delete;
+  TcpAcceptor& operator=(const TcpAcceptor&) = delete;
+
+  // Blocking. Returns nullptr once Close() has been called.
+  std::unique_ptr<ByteChannel> Accept();
+
+  // Unblocks Accept(); idempotent.
+  void Close();
+
+  uint16_t Port() const { return port_; }
+
+ private:
+  int fd_ = -1;
+  uint16_t port_ = 0;
+};
+
+}  // namespace heidi::net

@@ -1,0 +1,46 @@
+#include "orb/communicator.h"
+
+#include "support/error.h"
+
+namespace heidi::orb {
+
+ObjectCommunicator::ObjectCommunicator(
+    std::unique_ptr<net::ByteChannel> channel, const wire::Protocol* protocol)
+    : channel_(std::move(channel)),
+      reader_(*channel_),
+      protocol_(protocol) {}
+
+ObjectCommunicator::~ObjectCommunicator() { Close(); }
+
+std::unique_ptr<wire::Call> ObjectCommunicator::Invoke(
+    const wire::Call& request) {
+  std::lock_guard lock(exchange_mutex_);
+  protocol_->WriteCall(*channel_, request);
+  std::unique_ptr<wire::Call> reply = protocol_->ReadCall(reader_);
+  if (reply == nullptr) {
+    throw NetError("connection to " + channel_->PeerName() +
+                   " closed while awaiting reply");
+  }
+  if (reply->Kind() != wire::CallKind::kReply) {
+    throw MarshalError("expected a reply, got a request frame");
+  }
+  if (reply->CallId() != request.CallId()) {
+    throw MarshalError("reply call id " + std::to_string(reply->CallId()) +
+                       " does not match request " +
+                       std::to_string(request.CallId()));
+  }
+  return reply;
+}
+
+void ObjectCommunicator::Send(const wire::Call& call) {
+  std::lock_guard lock(exchange_mutex_);
+  protocol_->WriteCall(*channel_, call);
+}
+
+std::unique_ptr<wire::Call> ObjectCommunicator::ReadCall() {
+  return protocol_->ReadCall(reader_);
+}
+
+void ObjectCommunicator::Close() { channel_->Close(); }
+
+}  // namespace heidi::orb

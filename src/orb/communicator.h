@@ -1,0 +1,54 @@
+// ObjectCommunicator (§3.1): the abstraction of a communication channel
+// on which individual requests can be demarcated. It binds a ByteChannel
+// to a Protocol: the client side runs whole request/reply exchanges
+// through it; the server side reads requests and writes replies.
+//
+// Exchanges are serialized by a per-communicator mutex, so one cached
+// connection can be shared by many client threads (replies are matched by
+// call id as a protocol check; out-of-order replies are impossible under
+// the lock).
+#pragma once
+
+#include <memory>
+#include <mutex>
+
+#include "net/buffered.h"
+#include "net/channel.h"
+#include "wire/call.h"
+#include "wire/protocol.h"
+
+namespace heidi::orb {
+
+class ObjectCommunicator {
+ public:
+  ObjectCommunicator(std::unique_ptr<net::ByteChannel> channel,
+                     const wire::Protocol* protocol);
+  ~ObjectCommunicator();
+
+  ObjectCommunicator(const ObjectCommunicator&) = delete;
+  ObjectCommunicator& operator=(const ObjectCommunicator&) = delete;
+
+  // Client: sends `request`, blocks for the matching reply. Throws
+  // NetError on transport failure, MarshalError on protocol violations
+  // (including a reply whose call id does not match).
+  std::unique_ptr<wire::Call> Invoke(const wire::Call& request);
+
+  // Sends without waiting (oneway requests, server replies).
+  void Send(const wire::Call& call);
+
+  // Server: blocking read of the next request; nullptr on clean EOF.
+  std::unique_ptr<wire::Call> ReadCall();
+
+  void Close();
+
+  const wire::Protocol& Protocol() const { return *protocol_; }
+  std::string PeerName() const { return channel_->PeerName(); }
+
+ private:
+  std::unique_ptr<net::ByteChannel> channel_;
+  net::BufferedReader reader_;
+  const wire::Protocol* protocol_;
+  std::mutex exchange_mutex_;
+};
+
+}  // namespace heidi::orb

@@ -1,0 +1,69 @@
+#include "orb/dispatch.h"
+
+#include <algorithm>
+
+#include "support/error.h"
+
+namespace heidi::orb {
+
+std::string_view DispatchStrategyName(DispatchStrategy strategy) {
+  switch (strategy) {
+    case DispatchStrategy::kLinear: return "linear";
+    case DispatchStrategy::kBinary: return "binary";
+    case DispatchStrategy::kHash: return "hash";
+  }
+  return "?";
+}
+
+void DispatchTable::Add(std::string name, Handler handler) {
+  if (sealed_) throw HdError("DispatchTable::Add after Seal");
+  for (const Entry& e : entries_) {
+    if (e.name == name) {
+      throw HdError("duplicate dispatch entry '" + name + "'");
+    }
+  }
+  entries_.push_back(Entry{std::move(name), std::move(handler)});
+}
+
+void DispatchTable::Seal() {
+  if (sealed_) return;
+  sealed_ = true;
+  if (strategy_ == DispatchStrategy::kBinary) {
+    std::sort(entries_.begin(), entries_.end(),
+              [](const Entry& a, const Entry& b) { return a.name < b.name; });
+  }
+  names_.clear();
+  for (const Entry& e : entries_) names_.push_back(e.name);
+  if (strategy_ == DispatchStrategy::kHash) {
+    hash_.reserve(entries_.size());
+    for (const Entry& e : entries_) {
+      hash_.emplace(std::string_view(e.name), &e.handler);
+    }
+  }
+}
+
+const DispatchTable::Handler* DispatchTable::Find(
+    std::string_view name) const {
+  if (!sealed_) throw HdError("DispatchTable::Find before Seal");
+  switch (strategy_) {
+    case DispatchStrategy::kLinear:
+      for (const Entry& e : entries_) {
+        if (e.name == name) return &e.handler;
+      }
+      return nullptr;
+    case DispatchStrategy::kBinary: {
+      auto it = std::lower_bound(
+          entries_.begin(), entries_.end(), name,
+          [](const Entry& e, std::string_view n) { return e.name < n; });
+      if (it != entries_.end() && it->name == name) return &it->handler;
+      return nullptr;
+    }
+    case DispatchStrategy::kHash: {
+      auto it = hash_.find(name);
+      return it == hash_.end() ? nullptr : it->second;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace heidi::orb

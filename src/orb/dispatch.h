@@ -1,0 +1,63 @@
+// Skeleton dispatch tables with selectable strategy.
+//
+// §2 of the paper observes that many IDL compilers implement skeleton
+// dispatch with linear string comparisons, which is expensive for
+// interfaces with many long-named methods, and that nested comparisons
+// (Flick) or a hash table dispatch faster. All three are implemented here
+// and selectable per ORB; bench_dispatch reproduces the comparison.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "wire/call.h"
+
+namespace heidi::orb {
+
+enum class DispatchStrategy {
+  kLinear,  // scan + full string compare (the naive generated code)
+  kBinary,  // sorted table + binary search (Flick-style nested comparison)
+  kHash,    // hash table
+};
+
+std::string_view DispatchStrategyName(DispatchStrategy strategy);
+
+class DispatchTable {
+ public:
+  // in = request call positioned at the first argument; out = reply call.
+  using Handler = std::function<void(wire::Call& in, wire::Call& out)>;
+
+  explicit DispatchTable(DispatchStrategy strategy = DispatchStrategy::kHash)
+      : strategy_(strategy) {}
+
+  // Duplicate names throw HdError. Add after Seal() throws.
+  void Add(std::string name, Handler handler);
+
+  // Freezes the table and builds the strategy's lookup structure.
+  void Seal();
+
+  // nullptr if unknown. Must be sealed.
+  const Handler* Find(std::string_view name) const;
+
+  size_t Size() const { return entries_.size(); }
+  DispatchStrategy Strategy() const { return strategy_; }
+  const std::vector<std::string>& Names() const { return names_; }
+
+ private:
+  struct Entry {
+    std::string name;
+    Handler handler;
+  };
+
+  DispatchStrategy strategy_;
+  bool sealed_ = false;
+  std::vector<Entry> entries_;
+  std::vector<std::string> names_;
+  // kHash only.
+  std::unordered_map<std::string_view, const Handler*> hash_;
+};
+
+}  // namespace heidi::orb

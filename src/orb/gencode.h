@@ -1,0 +1,44 @@
+// Runtime helpers for idlc-generated stub/skeleton code (heidi_cpp
+// mapping). Generated code references these by qualified name; they keep
+// the templates short and give object-parameter handling one audited
+// implementation.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/error.h"
+#include "support/typeinfo.h"
+
+namespace heidi::orb::gen {
+
+// Narrows an unmarshaled object parameter to the expected generated
+// interface. nullptr stays nullptr; a type mismatch (a reference to an
+// object that does not implement the declared interface) is a marshaling
+// error, reported back to the caller as a user exception.
+template <typename T>
+T* CastParam(const std::shared_ptr<HdObject>& holder, const char* what) {
+  if (holder == nullptr) return nullptr;
+  T* typed = dynamic_cast<T*>(holder.get());
+  if (typed == nullptr) {
+    throw MarshalError(std::string("object parameter does not implement ") +
+                       what);
+  }
+  return typed;
+}
+
+// Like CastParam, but parks the ownership holder in `retained` so the raw
+// pointer a stub returns stays valid. Generated stubs retain returned
+// objects for their own lifetime — the Heidi legacy API returns raw
+// pointers, so this is the least surprising ownership rule (documented in
+// the generated header's comment).
+template <typename T>
+T* Retain(std::vector<std::shared_ptr<HdObject>>& retained,
+          const std::shared_ptr<HdObject>& holder, const char* what) {
+  T* typed = CastParam<T>(holder, what);
+  if (typed != nullptr) retained.push_back(holder);
+  return typed;
+}
+
+}  // namespace heidi::orb::gen

@@ -1,0 +1,26 @@
+// Bridge header included by code generated with the heidi_cpp mapping.
+//
+// The HeidiRMI mapping only utilizes Heidi-defined data types (§3), and
+// legacy Heidi spelled them unscoped: XBool, HdList<T>, HdString. This
+// header reproduces those global names as aliases of the library types —
+// exactly the kind of existing-code-base convention the custom mapping
+// exists to accommodate. New code should prefer the heidi:: names.
+#pragma once
+
+#include <string>
+
+#include "support/error.h"  // RemoteError: base of generated exceptions
+#include "support/hdlist.h"
+#include "support/typeinfo.h"
+#include "support/xbool.h"
+
+using XBool = ::heidi::XBool;                 // NOLINT(misc-unused-using-decls)
+inline constexpr XBool XTrue = ::heidi::XTrue;
+inline constexpr XBool XFalse = ::heidi::XFalse;
+
+template <typename T>
+using HdList = ::heidi::HdList<T>;
+template <typename T>
+using HdListIterator = ::heidi::HdListIterator<T>;
+
+using HdString = std::string;

@@ -1,0 +1,62 @@
+// Interceptors — the §5 customization pattern the paper compares against
+// (Orbix "filters that are triggered in the dispatch path", Visibroker
+// "interceptors"): hooks on the invocation and dispatch paths that a
+// deployment attaches without touching generated code or the ORB core.
+//
+// Client side: PreInvoke runs after the request is marshaled, before it
+// is sent; PostInvoke runs after the reply arrives (including error
+// replies), before status checking. Server side: PreDispatch runs after
+// the request is read, before the skeleton; PostDispatch runs after the
+// skeleton filled the reply.
+//
+// Throwing from PreInvoke aborts the call at the client; throwing from
+// PreDispatch rejects the request (the client sees a remote error) — the
+// filter-style admission control Orbix used them for. Interceptors run
+// in registration order (Post* in reverse order), may be attached from
+// any thread, and must be thread-safe themselves: calls on different
+// connections run them concurrently.
+#pragma once
+
+#include <string>
+
+#include "orb/objref.h"
+#include "wire/call.h"
+
+namespace heidi::orb {
+
+class ClientInterceptor {
+ public:
+  virtual ~ClientInterceptor() = default;
+
+  // `request` is fully marshaled; header fields may be inspected. Throw
+  // to abort the invocation before anything is sent.
+  virtual void PreInvoke(const ObjectRef& target, const wire::Call& request) {
+    (void)target;
+    (void)request;
+  }
+
+  // Runs for every reply, including error replies; for oneway calls it
+  // does not run (there is no reply).
+  virtual void PostInvoke(const ObjectRef& target, const wire::Call& reply) {
+    (void)target;
+    (void)reply;
+  }
+};
+
+class ServerInterceptor {
+ public:
+  virtual ~ServerInterceptor() = default;
+
+  // Throw to reject the request: the skeleton never runs and the client
+  // receives the exception text as a remote error.
+  virtual void PreDispatch(const wire::Call& request) { (void)request; }
+
+  // Observes the reply about to be sent (or dropped, for oneway).
+  virtual void PostDispatch(const wire::Call& request,
+                            const wire::Call& reply) {
+    (void)request;
+    (void)reply;
+  }
+};
+
+}  // namespace heidi::orb

@@ -1,0 +1,55 @@
+#include "orb/objref.h"
+
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace heidi::orb {
+
+std::string ObjectRef::Endpoint() const {
+  return protocol + ":" + host + ":" + std::to_string(port);
+}
+
+std::string ObjectRef::ToString() const {
+  if (IsNil()) return "@nil";
+  return "@" + Endpoint() + "#" + std::to_string(object_id) + "#" + repo_id;
+}
+
+ObjectRef ObjectRef::Parse(std::string_view text) {
+  if (text.empty() || text == "@nil") return Nil();
+  if (text[0] != '@') {
+    throw RefError("object reference must start with '@': '" +
+                   std::string(text) + "'");
+  }
+  auto parts = str::SplitN(text.substr(1), '#', 3);
+  if (parts.size() != 3) {
+    throw RefError("object reference needs url#id#type: '" +
+                   std::string(text) + "'");
+  }
+  auto url = str::Split(parts[0], ':');
+  if (url.size() != 3 || url[0].empty() || url[1].empty()) {
+    throw RefError("malformed bootstrap URL '" + parts[0] + "'");
+  }
+  ObjectRef ref;
+  ref.protocol = url[0];
+  ref.host = url[1];
+  char* end = nullptr;
+  unsigned long port = std::strtoul(url[2].c_str(), &end, 10);
+  if (end == url[2].c_str() || *end != '\0' || port > 65535) {
+    throw RefError("malformed port '" + url[2] + "'");
+  }
+  ref.port = static_cast<uint16_t>(port);
+  end = nullptr;
+  ref.object_id = std::strtoull(parts[1].c_str(), &end, 10);
+  if (end == parts[1].c_str() || *end != '\0') {
+    throw RefError("malformed object id '" + parts[1] + "'");
+  }
+  if (parts[2].empty()) {
+    throw RefError("object reference missing type information");
+  }
+  ref.repo_id = parts[2];
+  return ref;
+}
+
+}  // namespace heidi::orb

@@ -1,0 +1,46 @@
+// Stringified object references (§3.1): three parts joined by '#' —
+// bootstrap URL (protocol:host:port), object identifier, object type:
+//
+//   @tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0
+//
+// The bootstrap URL says how to open a channel to the object's address
+// space; the object id identifies the object within it; the repository id
+// lets the receiving side pick the right stub/skeleton. The nil reference
+// is the literal "@nil". Supported protocols: "tcp" and "inproc" (the
+// in-process transport; host is the inproc name, port is 0). IPv6
+// numeric hosts are not supported in the string form (the ':' separator
+// predates them — a faithful period limitation).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace heidi::orb {
+
+struct ObjectRef {
+  std::string protocol;  // "tcp" | "inproc"
+  std::string host;      // hostname/IP, or inproc name
+  uint16_t port = 0;
+  uint64_t object_id = 0;
+  std::string repo_id;  // "IDL:Heidi/A:1.0"
+
+  bool IsNil() const { return protocol.empty(); }
+
+  // "proto:host:port" — the connection-cache key.
+  std::string Endpoint() const;
+
+  std::string ToString() const;
+
+  // Throws RefError on malformed input. Accepts "@nil" and "".
+  static ObjectRef Parse(std::string_view text);
+
+  static ObjectRef Nil() { return ObjectRef{}; }
+
+  friend bool operator==(const ObjectRef& a, const ObjectRef& b) {
+    return a.protocol == b.protocol && a.host == b.host && a.port == b.port &&
+           a.object_id == b.object_id && a.repo_id == b.repo_id;
+  }
+};
+
+}  // namespace heidi::orb

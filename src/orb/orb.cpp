@@ -1,0 +1,583 @@
+#include "orb/orb.h"
+
+#include "net/inmemory.h"
+#include "support/logging.h"
+#include "support/strings.h"
+
+namespace heidi::orb {
+
+// ---------------------------------------------------------------------------
+// In-process transport registry
+
+namespace {
+
+std::mutex& InprocMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::map<std::string, Orb*>& InprocOrbs() {
+  static std::map<std::string, Orb*> orbs;
+  return orbs;
+}
+
+void InprocRegister(const std::string& name, Orb* orb) {
+  if (name.empty()) return;
+  std::lock_guard lock(InprocMutex());
+  auto [it, inserted] = InprocOrbs().emplace(name, orb);
+  if (!inserted) {
+    throw HdError("inproc name '" + name + "' already in use");
+  }
+}
+
+void InprocUnregister(const std::string& name, Orb* orb) {
+  if (name.empty()) return;
+  std::lock_guard lock(InprocMutex());
+  auto it = InprocOrbs().find(name);
+  if (it != InprocOrbs().end() && it->second == orb) InprocOrbs().erase(it);
+}
+
+Orb* InprocFind(const std::string& name) {
+  std::lock_guard lock(InprocMutex());
+  auto it = InprocOrbs().find(name);
+  return it == InprocOrbs().end() ? nullptr : it->second;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+
+Orb::Orb(OrbOptions options) : options_(std::move(options)) {
+  protocol_ = wire::FindProtocol(options_.protocol);
+  if (protocol_ == nullptr) {
+    throw HdError("unknown wire protocol '" + options_.protocol + "'");
+  }
+  InprocRegister(options_.inproc_name, this);
+}
+
+Orb::~Orb() {
+  InprocUnregister(options_.inproc_name, this);
+  Shutdown();
+}
+
+void Orb::ListenTcp(uint16_t port) {
+  std::lock_guard lock(server_mutex_);
+  if (acceptor_ != nullptr) throw HdError("orb is already listening");
+  acceptor_ = std::make_unique<net::TcpAcceptor>(port);
+  accept_thread_ = std::thread([this] {
+    while (true) {
+      std::unique_ptr<net::ByteChannel> channel = acceptor_->Accept();
+      if (channel == nullptr) return;  // acceptor closed
+      try {
+        ServeChannel(std::move(channel));
+      } catch (const HdError& e) {
+        HD_LOG_WARN << "dropping inbound connection: " << e.what();
+      }
+    }
+  });
+}
+
+uint16_t Orb::TcpPort() const {
+  std::lock_guard lock(server_mutex_);
+  return acceptor_ == nullptr ? 0 : acceptor_->Port();
+}
+
+void Orb::ServeChannel(std::unique_ptr<net::ByteChannel> channel) {
+  auto comm =
+      std::make_shared<ObjectCommunicator>(std::move(channel), protocol_);
+  std::lock_guard lock(server_mutex_);
+  if (shutting_down_) {
+    comm->Close();
+    return;
+  }
+  server_comms_.push_back(comm);
+  handler_threads_.emplace_back([this, comm] { HandlerLoop(comm); });
+}
+
+void Orb::Shutdown() {
+  {
+    std::lock_guard lock(server_mutex_);
+    if (shutting_down_) {
+      // Second call: everything below already ran or is running.
+    }
+    shutting_down_ = true;
+    if (acceptor_ != nullptr) acceptor_->Close();
+    for (auto& comm : server_comms_) comm->Close();
+  }
+  if (accept_thread_.joinable()) accept_thread_.join();
+  // Handler threads exit once their connection EOFs (we closed them all).
+  std::vector<std::thread> handlers;
+  {
+    std::lock_guard lock(server_mutex_);
+    handlers.swap(handler_threads_);
+  }
+  for (std::thread& t : handlers) {
+    if (t.joinable()) t.join();
+  }
+  std::lock_guard lock(client_mutex_);
+  for (auto& [endpoint, comm] : connections_) comm->Close();
+  connections_.clear();
+  stubs_.clear();
+}
+
+std::string Orb::MyEndpoint() const {
+  {
+    std::lock_guard lock(server_mutex_);
+    if (acceptor_ != nullptr) {
+      return "tcp:" + options_.advertise_host + ":" +
+             std::to_string(acceptor_->Port());
+    }
+  }
+  if (!options_.inproc_name.empty()) {
+    return "inproc:" + options_.inproc_name + ":0";
+  }
+  throw HdError(
+      "orb has no endpoint: call ListenTcp() or set OrbOptions::inproc_name");
+}
+
+bool Orb::IsLocalEndpoint(const ObjectRef& ref) const {
+  if (ref.protocol == "inproc") {
+    return !options_.inproc_name.empty() && ref.host == options_.inproc_name;
+  }
+  if (ref.protocol == "tcp") {
+    std::lock_guard lock(server_mutex_);
+    return acceptor_ != nullptr && ref.port == acceptor_->Port() &&
+           ref.host == options_.advertise_host;
+  }
+  return false;
+}
+
+// ---------------------------------------------------------------------------
+// Object table
+
+ObjectRef Orb::ExportObject(HdObject* impl, std::string_view repo_id) {
+  if (impl == nullptr) throw HdError("cannot export a null object");
+  std::string endpoint = MyEndpoint();  // throws if no transport is active
+  std::lock_guard lock(table_mutex_);
+  uint64_t id;
+  auto existing = object_ids_.find(impl);
+  if (existing != object_ids_.end()) {
+    id = existing->second;
+  } else {
+    id = next_object_id_++;
+    object_ids_[impl] = id;
+    ObjectEntry entry;
+    entry.impl = impl;
+    entry.repo_id = std::string(repo_id);
+    objects_[id] = std::move(entry);
+  }
+  ObjectRef ref;
+  auto url = str::Split(endpoint, ':');
+  ref.protocol = url[0];
+  ref.host = url[1];
+  ref.port = static_cast<uint16_t>(std::stoul(url[2]));
+  ref.object_id = id;
+  ref.repo_id = objects_[id].repo_id;
+  return ref;
+}
+
+void Orb::UnexportObject(HdObject* impl) {
+  std::lock_guard lock(table_mutex_);
+  auto it = object_ids_.find(impl);
+  if (it == object_ids_.end()) return;
+  objects_.erase(it->second);
+  object_ids_.erase(it);
+}
+
+size_t Orb::ExportedCount() const {
+  std::lock_guard lock(table_mutex_);
+  return objects_.size();
+}
+
+// ---------------------------------------------------------------------------
+// Server: request handling
+
+void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
+  while (true) {
+    std::unique_ptr<wire::Call> request;
+    try {
+      request = comm->ReadCall();
+    } catch (const HdError& e) {
+      HD_LOG_DEBUG << "connection " << comm->PeerName() << ": " << e.what();
+      break;
+    }
+    if (request == nullptr) break;  // orderly close
+    if (request->Kind() != wire::CallKind::kRequest) {
+      HD_LOG_WARN << "peer " << comm->PeerName()
+                  << " sent a reply where a request was expected; closing";
+      break;
+    }
+    std::unique_ptr<wire::Call> reply = HandleRequest(*request);
+    requests_served_.fetch_add(1, std::memory_order_relaxed);
+    if (!request->Oneway()) {
+      try {
+        comm->Send(*reply);
+      } catch (const HdError& e) {
+        HD_LOG_DEBUG << "reply to " << comm->PeerName()
+                     << " failed: " << e.what();
+        break;
+      }
+    }
+  }
+  comm->Close();
+}
+
+std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request) {
+  std::unique_ptr<wire::Call> reply = protocol_->NewCall();
+  reply->SetKind(wire::CallKind::kReply);
+  reply->SetCallId(request.CallId());
+  try {
+    {
+      std::lock_guard lock(interceptor_mutex_);
+      // A throwing PreDispatch rejects the request (filter semantics).
+      for (const auto& interceptor : server_interceptors_) {
+        interceptor->PreDispatch(request);
+      }
+    }
+    ObjectRef target = ObjectRef::Parse(request.Target());
+    HdSkeleton* skeleton = nullptr;
+    std::unique_ptr<HdSkeleton> transient;
+    {
+      std::lock_guard lock(table_mutex_);
+      auto it = objects_.find(target.object_id);
+      if (it == objects_.end()) {
+        throw DispatchError("unknown object id " +
+                            std::to_string(target.object_id));
+      }
+      ObjectEntry& entry = it->second;
+      if (entry.skeleton == nullptr) {
+        const InterfaceInfo* info =
+            InterfaceRegistry::Instance().Find(entry.repo_id);
+        if (info == nullptr || !info->make_skel) {
+          throw DispatchError("no skeleton factory registered for '" +
+                              entry.repo_id + "'");
+        }
+        std::unique_ptr<HdSkeleton> skel = info->make_skel(*this, entry.impl);
+        skeletons_created_.fetch_add(1, std::memory_order_relaxed);
+        if (options_.cache_skeletons) {
+          entry.skeleton = std::move(skel);
+          skeleton = entry.skeleton.get();
+        } else {
+          transient = std::move(skel);
+          skeleton = transient.get();
+        }
+      } else {
+        skeleton = entry.skeleton.get();
+      }
+    }
+    // Dispatch outside the table lock so implementations can export
+    // objects / issue nested calls. Unexporting an object while a call on
+    // it is in flight is undefined, as it was in the original system.
+    if (!skeleton->Dispatch(request.Operation(), request, *reply)) {
+      throw DispatchError("interface '" + target.repo_id +
+                          "' has no operation '" + request.Operation() + "'");
+    }
+    reply->SetStatus(wire::CallStatus::kOk);
+  } catch (const UserExceptionPending& e) {
+    // The skeleton already marshaled the exception fields into the reply
+    // payload; keep it and tag the reply with the exception's repo id.
+    reply->SetStatus(wire::CallStatus::kUserException);
+    reply->SetErrorText(e.RepoId());
+  } catch (const DispatchError& e) {
+    reply = protocol_->NewCall();
+    reply->SetKind(wire::CallKind::kReply);
+    reply->SetCallId(request.CallId());
+    reply->SetStatus(wire::CallStatus::kSystemError);
+    reply->SetErrorText(e.what());
+  } catch (const RefError& e) {
+    reply = protocol_->NewCall();
+    reply->SetKind(wire::CallKind::kReply);
+    reply->SetCallId(request.CallId());
+    reply->SetStatus(wire::CallStatus::kSystemError);
+    reply->SetErrorText(e.what());
+  } catch (const std::exception& e) {
+    // Implementation-raised: relayed as a user exception.
+    reply = protocol_->NewCall();
+    reply->SetKind(wire::CallKind::kReply);
+    reply->SetCallId(request.CallId());
+    reply->SetStatus(wire::CallStatus::kUserException);
+    reply->SetErrorText(e.what());
+  }
+  {
+    std::lock_guard lock(interceptor_mutex_);
+    for (auto it = server_interceptors_.rbegin();
+         it != server_interceptors_.rend(); ++it) {
+      try {
+        (*it)->PostDispatch(request, *reply);
+      } catch (const std::exception& e) {
+        HD_LOG_WARN << "server interceptor PostDispatch threw: " << e.what();
+      }
+    }
+  }
+  return reply;
+}
+
+void Orb::AddClientInterceptor(
+    std::shared_ptr<ClientInterceptor> interceptor) {
+  if (interceptor == nullptr) return;
+  std::lock_guard lock(interceptor_mutex_);
+  client_interceptors_.push_back(std::move(interceptor));
+}
+
+void Orb::AddServerInterceptor(
+    std::shared_ptr<ServerInterceptor> interceptor) {
+  if (interceptor == nullptr) return;
+  std::lock_guard lock(interceptor_mutex_);
+  server_interceptors_.push_back(std::move(interceptor));
+}
+
+void Orb::RunPreInvoke(const ObjectRef& target, const wire::Call& request) {
+  std::lock_guard lock(interceptor_mutex_);
+  for (const auto& interceptor : client_interceptors_) {
+    interceptor->PreInvoke(target, request);
+  }
+}
+
+void Orb::RunPostInvoke(const ObjectRef& target, const wire::Call& reply) {
+  std::lock_guard lock(interceptor_mutex_);
+  for (auto it = client_interceptors_.rbegin();
+       it != client_interceptors_.rend(); ++it) {
+    try {
+      (*it)->PostInvoke(target, reply);
+    } catch (const std::exception& e) {
+      HD_LOG_WARN << "client interceptor PostInvoke threw: " << e.what();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Client: connections and invocation
+
+std::unique_ptr<net::ByteChannel> Orb::ConnectTo(const ObjectRef& ref) {
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  if (ref.protocol == "tcp") {
+    return net::TcpConnect(ref.host, ref.port);
+  }
+  if (ref.protocol == "inproc") {
+    Orb* target = InprocFind(ref.host);
+    if (target == nullptr) {
+      throw NetError("no in-process orb named '" + ref.host + "'");
+    }
+    net::ChannelPair pair = net::CreateInMemoryPair();
+    target->ServeChannel(std::move(pair.b));
+    return std::move(pair.a);
+  }
+  throw NetError("unknown transport protocol '" + ref.protocol + "'");
+}
+
+std::shared_ptr<ObjectCommunicator> Orb::GetCommunicator(
+    const ObjectRef& ref) {
+  if (!options_.cache_connections) {
+    return std::make_shared<ObjectCommunicator>(ConnectTo(ref), protocol_);
+  }
+  std::string endpoint = ref.Endpoint();
+  {
+    std::lock_guard lock(client_mutex_);
+    auto it = connections_.find(endpoint);
+    if (it != connections_.end()) return it->second;
+  }
+  // Connect without holding the lock; a racing thread may have inserted
+  // one meanwhile — first in wins, the loser's connection is dropped.
+  auto comm =
+      std::make_shared<ObjectCommunicator>(ConnectTo(ref), protocol_);
+  std::lock_guard lock(client_mutex_);
+  auto [it, inserted] = connections_.emplace(endpoint, comm);
+  if (!inserted) comm->Close();
+  return it->second;
+}
+
+void Orb::DropCachedCommunicator(const std::string& endpoint) {
+  std::lock_guard lock(client_mutex_);
+  auto it = connections_.find(endpoint);
+  if (it != connections_.end()) {
+    it->second->Close();
+    connections_.erase(it);
+  }
+}
+
+std::unique_ptr<wire::Call> Orb::NewRequest(const ObjectRef& target,
+                                            std::string_view op,
+                                            bool oneway) {
+  std::unique_ptr<wire::Call> call = protocol_->NewCall();
+  call->SetKind(wire::CallKind::kRequest);
+  call->SetCallId(next_call_id_.fetch_add(1, std::memory_order_relaxed));
+  call->SetTarget(target.ToString());
+  call->SetOperation(std::string(op));
+  call->SetOneway(oneway);
+  return call;
+}
+
+std::unique_ptr<wire::Call> Orb::Invoke(const ObjectRef& target,
+                                        const wire::Call& request) {
+  RunPreInvoke(target, request);
+  std::shared_ptr<ObjectCommunicator> comm = GetCommunicator(target);
+  calls_sent_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<wire::Call> reply;
+  try {
+    reply = comm->Invoke(request);
+  } catch (const NetError&) {
+    DropCachedCommunicator(target.Endpoint());
+    throw;
+  }
+  if (!options_.cache_connections) comm->Close();
+  RunPostInvoke(target, *reply);
+  switch (reply->Status()) {
+    case wire::CallStatus::kOk:
+      return reply;
+    case wire::CallStatus::kSystemError:
+      throw DispatchError("remote system error from " + target.Endpoint() +
+                          ": " + reply->ErrorText());
+    case wire::CallStatus::kUserException: {
+      // Typed raises-exceptions: the error text is a repository id with a
+      // registered thrower, which unmarshals the reply payload and throws
+      // the generated exception class. Anything else is a plain relay.
+      const ExceptionThrower* thrower =
+          ExceptionRegistry::Instance().Find(reply->ErrorText());
+      if (thrower != nullptr) {
+        (*thrower)(*reply);
+        throw RemoteError("exception thrower for '" + reply->ErrorText() +
+                          "' returned instead of throwing");
+      }
+      throw RemoteError(reply->ErrorText());
+    }
+  }
+  throw MarshalError("corrupt reply status");
+}
+
+void Orb::InvokeOneway(const ObjectRef& target, const wire::Call& request) {
+  RunPreInvoke(target, request);
+  std::shared_ptr<ObjectCommunicator> comm = GetCommunicator(target);
+  calls_sent_.fetch_add(1, std::memory_order_relaxed);
+  try {
+    comm->Send(request);
+  } catch (const NetError&) {
+    DropCachedCommunicator(target.Endpoint());
+    throw;
+  }
+  if (!options_.cache_connections) comm->Close();
+}
+
+// ---------------------------------------------------------------------------
+// Stubs
+
+std::shared_ptr<HdStub> Orb::Resolve(std::string_view ref_string) {
+  return Resolve(ObjectRef::Parse(ref_string));
+}
+
+std::shared_ptr<HdStub> Orb::Resolve(const ObjectRef& ref) {
+  if (ref.IsNil()) throw RefError("cannot resolve the nil reference");
+  std::string key = ref.ToString();
+  if (options_.cache_stubs) {
+    std::lock_guard lock(client_mutex_);
+    auto it = stubs_.find(key);
+    if (it != stubs_.end()) return it->second;
+  }
+  const InterfaceInfo* info = InterfaceRegistry::Instance().Find(ref.repo_id);
+  if (info == nullptr || !info->make_stub) {
+    throw RefError("no stub factory registered for '" + ref.repo_id + "'");
+  }
+  std::shared_ptr<HdStub> stub = info->make_stub(*this, ref);
+  stubs_created_.fetch_add(1, std::memory_order_relaxed);
+  if (options_.cache_stubs) {
+    std::lock_guard lock(client_mutex_);
+    auto [it, inserted] = stubs_.emplace(key, stub);
+    return it->second;
+  }
+  return stub;
+}
+
+// ---------------------------------------------------------------------------
+// Object parameter passing
+
+void Orb::PutObject(wire::Call& call, HdObject* obj, std::string_view repo_id,
+                    bool incopy) {
+  if (obj == nullptr) {
+    call.PutString("N");
+    return;
+  }
+  if (incopy && obj->IsA(wire::HdSerializable::kRepoId)) {
+    const auto* serializable = dynamic_cast<const wire::HdSerializable*>(obj);
+    if (serializable != nullptr) {
+      call.PutString("V");
+      call.PutString(obj->DynamicType().RepoId());
+      call.Begin("val");
+      serializable->MarshalState(call);
+      call.End();
+      return;
+    }
+  }
+  // Pass by reference. If the object is already a stub for a remote
+  // object, relay its reference instead of re-exporting the stub.
+  if (auto* stub = dynamic_cast<HdStub*>(obj)) {
+    call.PutString("R");
+    call.PutString(stub->Ref().ToString());
+    return;
+  }
+  // Prefer the most-derived type when a factory for it exists, so the
+  // receiving side builds the most capable stub.
+  std::string dynamic_id = obj->DynamicType().RepoId();
+  std::string_view export_id =
+      InterfaceRegistry::Instance().Find(dynamic_id) != nullptr
+          ? std::string_view(dynamic_id)
+          : repo_id;
+  ObjectRef ref = ExportObject(obj, export_id);
+  call.PutString("R");
+  call.PutString(ref.ToString());
+}
+
+std::shared_ptr<HdObject> Orb::GetObject(wire::Call& call) {
+  std::string tag = call.GetString();
+  if (tag == "N") return nullptr;
+  if (tag == "V") {
+    std::string repo_id = call.GetString();
+    const InterfaceInfo* info = InterfaceRegistry::Instance().Find(repo_id);
+    if (info == nullptr || !info->make_value) {
+      throw MarshalError("no pass-by-value factory registered for '" +
+                         repo_id + "'");
+    }
+    std::shared_ptr<HdObject> obj = info->make_value();
+    auto* serializable = dynamic_cast<wire::HdSerializable*>(obj.get());
+    if (serializable == nullptr) {
+      throw MarshalError("value factory for '" + repo_id +
+                         "' produced a non-serializable object");
+    }
+    call.Begin("val");
+    serializable->UnmarshalState(call);
+    call.End();
+    return obj;
+  }
+  if (tag == "R") {
+    std::string ref_string = call.GetString();
+    ObjectRef ref = ObjectRef::Parse(ref_string);
+    if (ref.IsNil()) return nullptr;
+    if (IsLocalEndpoint(ref)) {
+      std::lock_guard lock(table_mutex_);
+      auto it = objects_.find(ref.object_id);
+      if (it != objects_.end()) {
+        // Local shortcut: hand back the implementation itself. Aliasing
+        // shared_ptr — the object table (application) owns the object.
+        return std::shared_ptr<HdObject>(std::shared_ptr<void>(),
+                                         it->second.impl);
+      }
+      // Reference to this orb but unknown id: the object was unexported.
+      throw RefError("stale local reference " + ref_string);
+    }
+    return Resolve(ref);
+  }
+  throw MarshalError("malformed object parameter tag '" + tag + "'");
+}
+
+OrbStats Orb::Stats() const {
+  OrbStats stats;
+  stats.connections_opened =
+      connections_opened_.load(std::memory_order_relaxed);
+  stats.calls_sent = calls_sent_.load(std::memory_order_relaxed);
+  stats.requests_served = requests_served_.load(std::memory_order_relaxed);
+  stats.skeletons_created =
+      skeletons_created_.load(std::memory_order_relaxed);
+  stats.stubs_created = stubs_created_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+}  // namespace heidi::orb

@@ -1,0 +1,204 @@
+// The Orb facade: one instance per address space. Owns the bootstrap
+// acceptor (Fig 5), the object table, the connection cache, the stub and
+// skeleton caches, and the client-side invocation path (Fig 4).
+//
+// Everything the paper calls configurable is an OrbOptions knob:
+//   protocol          — wire protocol by name ("text", "hiop", or any
+//                       protocol registered with RegisterProtocol)
+//   dispatch          — skeleton dispatch strategy (§2 optimization axis)
+//   cache_connections — reuse one connection per endpoint (§3.1)
+//   cache_stubs       — one stub per reference string (§3.1)
+//   cache_skeletons   — keep lazily-created skeletons alive (§3.1)
+//
+// Threading model: ListenTcp starts an accept thread; each connection is
+// served by its own handler thread (requests on one connection are
+// processed in order). Client invocations may come from any thread;
+// cached connections serialize exchanges internally. Implementation
+// objects must therefore be prepared for concurrent calls arriving on
+// different connections — or the application keeps one connection per
+// client, as Heidi's non-preemptive model did.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "net/channel.h"
+#include "net/tcp.h"
+#include "orb/communicator.h"
+#include "orb/dispatch.h"
+#include "orb/interceptor.h"
+#include "orb/objref.h"
+#include "orb/registry.h"
+#include "orb/skeleton.h"
+#include "orb/stub.h"
+#include "support/error.h"
+#include "wire/protocol.h"
+#include "wire/serializable.h"
+
+namespace heidi::orb {
+
+struct OrbOptions {
+  std::string protocol = "text";
+  DispatchStrategy dispatch = DispatchStrategy::kHash;
+  bool cache_connections = true;
+  bool cache_stubs = true;
+  bool cache_skeletons = true;
+  // Name under which this orb is reachable through the in-process
+  // transport ("inproc:<name>:0" bootstrap URLs). Empty = not registered.
+  std::string inproc_name;
+  // Host written into exported references once ListenTcp is active.
+  std::string advertise_host = "127.0.0.1";
+};
+
+// Counters exposed for benchmarks and tests (monotonic, best-effort).
+struct OrbStats {
+  uint64_t connections_opened = 0;
+  uint64_t calls_sent = 0;
+  uint64_t requests_served = 0;
+  uint64_t skeletons_created = 0;
+  uint64_t stubs_created = 0;
+};
+
+class Orb {
+ public:
+  explicit Orb(OrbOptions options = {});
+  ~Orb();
+
+  Orb(const Orb&) = delete;
+  Orb& operator=(const Orb&) = delete;
+
+  // --- server side ---------------------------------------------------------
+  // Opens the bootstrap port (0 = ephemeral) and starts accepting. May be
+  // called at most once.
+  void ListenTcp(uint16_t port = 0);
+  uint16_t TcpPort() const;
+
+  // Serves a raw channel as if accepted on the bootstrap port (used by
+  // the in-process transport and by tests).
+  void ServeChannel(std::unique_ptr<net::ByteChannel> channel);
+
+  // Registers `impl` and returns its reference; idempotent per object.
+  // The caller keeps ownership of `impl`, which must outlive the export.
+  // The skeleton is created lazily, on the first incoming call (§3.1).
+  ObjectRef ExportObject(HdObject* impl, std::string_view repo_id);
+  void UnexportObject(HdObject* impl);
+  size_t ExportedCount() const;
+
+  // Stops accepting, closes every connection, joins all threads.
+  // Idempotent; also run by the destructor.
+  void Shutdown();
+
+  // --- client side ----------------------------------------------------------
+  std::shared_ptr<HdStub> Resolve(std::string_view ref_string);
+  std::shared_ptr<HdStub> Resolve(const ObjectRef& ref);
+
+  template <typename T>
+  std::shared_ptr<T> ResolveAs(std::string_view ref_string) {
+    auto narrowed = std::dynamic_pointer_cast<T>(Resolve(ref_string));
+    if (narrowed == nullptr) {
+      throw RefError("reference does not narrow to the requested interface: " +
+                     std::string(ref_string));
+    }
+    return narrowed;
+  }
+
+  // --- invocation plumbing (used by stubs / hand-written callers) ----------
+  std::unique_ptr<wire::Call> NewRequest(const ObjectRef& target,
+                                         std::string_view op, bool oneway);
+  // Sends, waits, checks status. Throws DispatchError for remote system
+  // errors, RemoteError for remote user exceptions, NetError on transport
+  // failure. Returns the reply positioned at the first result.
+  std::unique_ptr<wire::Call> Invoke(const ObjectRef& target,
+                                     const wire::Call& request);
+  void InvokeOneway(const ObjectRef& target, const wire::Call& request);
+
+  // --- object parameter passing (§3.1) --------------------------------------
+  // Writes an object parameter. incopy=true requests pass-by-value, taken
+  // when the object implements HdSerializable (checked through the Heidi
+  // dynamic type system); otherwise the object is exported and passed by
+  // reference. `repo_id` is the declared parameter interface, used when
+  // the dynamic type has no registered factory.
+  void PutObject(wire::Call& call, HdObject* obj, std::string_view repo_id,
+                 bool incopy = false);
+
+  // Reads an object parameter: nullptr, a by-value copy, the local
+  // implementation (when the reference points back into this orb), or a
+  // stub. The returned holder keeps the object alive; callers hand the
+  // raw pointer to implementation code for the duration of the call.
+  std::shared_ptr<HdObject> GetObject(wire::Call& call);
+
+  // --- interceptors (§5 filters/interceptors pattern) ----------------------
+  // Interceptors run in registration order (Post* hooks in reverse). The
+  // orb shares ownership; attach before traffic flows — attachment is
+  // thread-safe, but hooks registered mid-call only affect later calls.
+  void AddClientInterceptor(std::shared_ptr<ClientInterceptor> interceptor);
+  void AddServerInterceptor(std::shared_ptr<ServerInterceptor> interceptor);
+
+  // --- introspection ---------------------------------------------------------
+  const OrbOptions& Options() const { return options_; }
+  const wire::Protocol& Protocol() const { return *protocol_; }
+  OrbStats Stats() const;
+  // "tcp:127.0.0.1:1234" or "inproc:name:0"; throws if neither transport
+  // is active.
+  std::string MyEndpoint() const;
+
+ private:
+  struct ObjectEntry {
+    HdObject* impl = nullptr;
+    std::string repo_id;
+    std::unique_ptr<HdSkeleton> skeleton;  // lazily created
+  };
+
+  std::shared_ptr<ObjectCommunicator> GetCommunicator(const ObjectRef& ref);
+  void DropCachedCommunicator(const std::string& endpoint);
+  std::unique_ptr<net::ByteChannel> ConnectTo(const ObjectRef& ref);
+  void HandlerLoop(std::shared_ptr<ObjectCommunicator> comm);
+  std::unique_ptr<wire::Call> HandleRequest(wire::Call& request);
+  bool IsLocalEndpoint(const ObjectRef& ref) const;
+
+  OrbOptions options_;
+  const wire::Protocol* protocol_;
+
+  // Server state.
+  std::unique_ptr<net::TcpAcceptor> acceptor_;
+  std::thread accept_thread_;
+  mutable std::mutex server_mutex_;
+  bool shutting_down_ = false;
+  std::vector<std::thread> handler_threads_;
+  std::vector<std::shared_ptr<ObjectCommunicator>> server_comms_;
+
+  // Object table.
+  mutable std::mutex table_mutex_;
+  std::map<uint64_t, ObjectEntry> objects_;
+  std::map<const HdObject*, uint64_t> object_ids_;
+  uint64_t next_object_id_ = 1000;
+
+  // Interceptors (copy-on-read under client_mutex_ via shared vectors).
+  void RunPreInvoke(const ObjectRef& target, const wire::Call& request);
+  void RunPostInvoke(const ObjectRef& target, const wire::Call& reply);
+  std::vector<std::shared_ptr<ClientInterceptor>> client_interceptors_;
+  std::vector<std::shared_ptr<ServerInterceptor>> server_interceptors_;
+  mutable std::mutex interceptor_mutex_;
+
+  // Client state.
+  std::mutex client_mutex_;
+  std::map<std::string, std::shared_ptr<ObjectCommunicator>> connections_;
+  std::map<std::string, std::shared_ptr<HdStub>> stubs_;
+  std::atomic<uint64_t> next_call_id_{1};
+
+  // Stats.
+  std::atomic<uint64_t> connections_opened_{0};
+  std::atomic<uint64_t> calls_sent_{0};
+  std::atomic<uint64_t> requests_served_{0};
+  std::atomic<uint64_t> skeletons_created_{0};
+  std::atomic<uint64_t> stubs_created_{0};
+};
+
+}  // namespace heidi::orb

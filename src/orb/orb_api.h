@@ -1,0 +1,14 @@
+// Umbrella header for the HeidiRMI runtime: Orb, object references,
+// stubs/skeletons, dispatch, communicators, interface registry.
+#pragma once
+
+#include "orb/communicator.h"  // IWYU pragma: export
+#include "orb/dispatch.h"      // IWYU pragma: export
+#include "orb/gencode.h"       // IWYU pragma: export
+#include "orb/heidi_types.h"   // IWYU pragma: export
+#include "orb/interceptor.h"   // IWYU pragma: export
+#include "orb/objref.h"        // IWYU pragma: export
+#include "orb/orb.h"           // IWYU pragma: export
+#include "orb/registry.h"      // IWYU pragma: export
+#include "orb/skeleton.h"      // IWYU pragma: export
+#include "orb/stub.h"          // IWYU pragma: export

@@ -1,0 +1,65 @@
+#include "orb/registry.h"
+
+#include <mutex>
+
+namespace heidi::orb {
+
+namespace {
+std::mutex& RegistryMutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+InterfaceRegistry& InterfaceRegistry::Instance() {
+  static InterfaceRegistry registry;
+  return registry;
+}
+
+void InterfaceRegistry::Register(InterfaceInfo info) {
+  std::lock_guard lock(RegistryMutex());
+  for (const InterfaceInfo& existing : infos_) {
+    if (existing.repo_id == info.repo_id) return;
+  }
+  infos_.push_back(std::move(info));
+}
+
+const InterfaceInfo* InterfaceRegistry::Find(std::string_view repo_id) const {
+  std::lock_guard lock(RegistryMutex());
+  for (const InterfaceInfo& info : infos_) {
+    if (info.repo_id == repo_id) return &info;
+  }
+  return nullptr;
+}
+
+ExceptionRegistry& ExceptionRegistry::Instance() {
+  static ExceptionRegistry registry;
+  return registry;
+}
+
+void ExceptionRegistry::Register(std::string repo_id,
+                                 ExceptionThrower thrower) {
+  std::lock_guard lock(RegistryMutex());
+  for (const auto& [existing, fn] : throwers_) {
+    if (existing == repo_id) return;
+  }
+  throwers_.emplace_back(std::move(repo_id), std::move(thrower));
+}
+
+const ExceptionThrower* ExceptionRegistry::Find(
+    std::string_view repo_id) const {
+  std::lock_guard lock(RegistryMutex());
+  for (const auto& [existing, fn] : throwers_) {
+    if (existing == repo_id) return &fn;
+  }
+  return nullptr;
+}
+
+std::vector<std::string> InterfaceRegistry::RepoIds() const {
+  std::lock_guard lock(RegistryMutex());
+  std::vector<std::string> out;
+  for (const InterfaceInfo& info : infos_) out.push_back(info.repo_id);
+  return out;
+}
+
+}  // namespace heidi::orb

@@ -1,0 +1,119 @@
+// Interface registry: maps repository ids to the factories generated (or
+// hand-written) code provides — how the ORB creates "the correct stub and
+// skeleton" from the type information in an object reference (§3.1).
+//
+// Generated code registers its interface with a static RegisterInterface
+// object:
+//
+//   static heidi::orb::RegisterInterface kRegisterA{
+//       "IDL:Heidi/A:1.0",
+//       [](Orb& orb, HdObject* impl) { return std::make_unique<A_skel>(orb, impl); },
+//       [](Orb& orb, ObjectRef ref)  { return std::make_shared<A_stub>(orb, std::move(ref)); },
+//       nullptr /* no pass-by-value factory */};
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "orb/objref.h"
+#include "support/error.h"
+#include "support/typeinfo.h"
+#include "wire/call.h"
+
+namespace heidi::orb {
+
+class Orb;
+class HdSkeleton;
+class HdStub;
+
+using SkelFactory =
+    std::function<std::unique_ptr<HdSkeleton>(Orb&, HdObject*)>;
+using StubFactory =
+    std::function<std::shared_ptr<HdStub>(Orb&, ObjectRef)>;
+// Default-constructs an instance for pass-by-value reception; the ORB then
+// calls UnmarshalState on it. Null for non-serializable interfaces.
+using ValueFactory = std::function<std::shared_ptr<HdObject>()>;
+
+struct InterfaceInfo {
+  std::string repo_id;
+  SkelFactory make_skel;
+  StubFactory make_stub;
+  ValueFactory make_value;
+};
+
+class InterfaceRegistry {
+ public:
+  static InterfaceRegistry& Instance();
+
+  // First registration of a repo id wins (mirrors HdTypeRegistry).
+  void Register(InterfaceInfo info);
+  // nullptr if unknown.
+  const InterfaceInfo* Find(std::string_view repo_id) const;
+  std::vector<std::string> RepoIds() const;
+
+ private:
+  InterfaceRegistry() = default;
+  std::vector<InterfaceInfo> infos_;
+};
+
+// Static-initialization helper.
+struct RegisterInterface {
+  RegisterInterface(std::string repo_id, SkelFactory skel, StubFactory stub,
+                    ValueFactory value = nullptr) {
+    InterfaceRegistry::Instance().Register(
+        {std::move(repo_id), std::move(skel), std::move(stub),
+         std::move(value)});
+  }
+};
+
+// --- typed user exceptions ---------------------------------------------------
+//
+// A skeleton that catches a raises-declared exception marshals its fields
+// into the reply payload and throws UserExceptionPending; the ORB turns
+// that into a user-exception reply whose error text is the exception's
+// repository id. On the client, Orb::Invoke looks the id up here and runs
+// the registered thrower, which unmarshals the fields and throws the
+// generated exception class. Unknown ids degrade to plain RemoteError —
+// typed exceptions are an upgrade, not a protocol change.
+
+// Signals "reply payload holds a marshaled user exception" inside the
+// server dispatch path. Generated code throws it; applications never see
+// it.
+class UserExceptionPending : public HdError {
+ public:
+  explicit UserExceptionPending(std::string repo_id)
+      : HdError("user exception " + repo_id), repo_id_(std::move(repo_id)) {}
+  const std::string& RepoId() const { return repo_id_; }
+
+ private:
+  std::string repo_id_;
+};
+
+// Unmarshals exception fields from the reply and throws the typed
+// exception. Must not return normally.
+using ExceptionThrower = std::function<void(wire::Call& reply)>;
+
+class ExceptionRegistry {
+ public:
+  static ExceptionRegistry& Instance();
+  // First registration of a repo id wins.
+  void Register(std::string repo_id, ExceptionThrower thrower);
+  // nullptr if unknown.
+  const ExceptionThrower* Find(std::string_view repo_id) const;
+
+ private:
+  ExceptionRegistry() = default;
+  std::vector<std::pair<std::string, ExceptionThrower>> throwers_;
+};
+
+struct RegisterException {
+  RegisterException(std::string repo_id, ExceptionThrower thrower) {
+    ExceptionRegistry::Instance().Register(std::move(repo_id),
+                                           std::move(thrower));
+  }
+};
+
+}  // namespace heidi::orb

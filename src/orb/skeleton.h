@@ -1,0 +1,49 @@
+// HdSkeleton — server-side dispatch base (§3.1, Fig 5).
+//
+// HeidiRMI skeletons do NOT inherit from the abstract interface class;
+// they hold the implementation object and *delegate* to it (Fig 2). A
+// generated skeleton mirrors the IDL inheritance structure as a skeleton
+// class hierarchy (A_skel : S_skel) and its Dispatch first tries its own
+// operations, then delegates to each base skeleton in order — the
+// recursive dispatch the paper describes.
+#pragma once
+
+#include <string>
+
+#include "orb/dispatch.h"
+#include "support/typeinfo.h"
+#include "wire/call.h"
+
+namespace heidi::orb {
+
+class Orb;
+
+class HdSkeleton {
+ public:
+  HdSkeleton(Orb& orb, HdObject* impl) : orb_(&orb), impl_(impl) {}
+  virtual ~HdSkeleton() = default;
+
+  HdSkeleton(const HdSkeleton&) = delete;
+  HdSkeleton& operator=(const HdSkeleton&) = delete;
+
+  // Unmarshals `op`'s parameters from `in`, calls the implementation,
+  // marshals results into `out`. Returns false if the operation is not
+  // known anywhere in this skeleton hierarchy. Implementation exceptions
+  // propagate (the ORB turns them into user-exception replies).
+  virtual bool Dispatch(const std::string& op, wire::Call& in,
+                        wire::Call& out) = 0;
+
+  HdObject* Impl() const { return impl_; }
+  Orb& GetOrb() const { return *orb_; }
+
+ protected:
+  // For generated skeleton hierarchies that inherit HdSkeleton virtually
+  // (multiple IDL inheritance): only the most-derived skeleton initializes
+  // the base; intermediate classes use this default constructor.
+  HdSkeleton() = default;
+
+  Orb* orb_ = nullptr;
+  HdObject* impl_ = nullptr;
+};
+
+}  // namespace heidi::orb

@@ -1,0 +1,23 @@
+#include "orb/stub.h"
+
+#include "orb/orb.h"
+
+namespace heidi::orb {
+
+HdStub::HdStub(Orb& orb, ObjectRef ref) : orb_(&orb), ref_(std::move(ref)) {}
+
+std::unique_ptr<wire::Call> HdStub::NewCall(std::string_view op,
+                                            bool oneway) const {
+  return orb_->NewRequest(ref_, op, oneway);
+}
+
+std::unique_ptr<wire::Call> HdStub::Invoke(
+    std::unique_ptr<wire::Call> call) const {
+  return orb_->Invoke(ref_, *call);
+}
+
+void HdStub::InvokeOneway(std::unique_ptr<wire::Call> call) const {
+  orb_->InvokeOneway(ref_, *call);
+}
+
+}  // namespace heidi::orb

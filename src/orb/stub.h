@@ -1,0 +1,54 @@
+// HdStub — generic client-side stub functionality (§3.1): "All stubs
+// inherit from a base HdStub class which provides the generic stub
+// functionality." A generated stub additionally implements the abstract
+// C++ interface class and mirrors the IDL inheritance structure.
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "orb/objref.h"
+#include "support/typeinfo.h"
+#include "wire/call.h"
+
+namespace heidi::orb {
+
+class Orb;
+
+class HdStub : public virtual HdObject {
+ public:
+  HdStub(Orb& orb, ObjectRef ref);
+  ~HdStub() override = default;
+
+  const ObjectRef& Ref() const { return ref_; }
+  Orb& GetOrb() const { return *orb_; }
+
+ protected:
+  // For generated stub hierarchies: HdStub is a virtual base, so only the
+  // most-derived stub class initializes it; intermediate stub classes use
+  // this default constructor (their initialization is ignored anyway).
+  HdStub() = default;
+
+  // Creates a request call addressed at this stub's target.
+  std::unique_ptr<wire::Call> NewCall(std::string_view op,
+                                      bool oneway = false) const;
+
+  // Sends and waits; checks reply status. Throws RemoteError for a remote
+  // user exception, DispatchError for a remote system error, NetError for
+  // transport failure. Returns the reply positioned at the first result.
+  std::unique_ptr<wire::Call> Invoke(std::unique_ptr<wire::Call> call) const;
+
+  // Fire-and-forget for oneway operations.
+  void InvokeOneway(std::unique_ptr<wire::Call> call) const;
+
+  Orb* orb_ = nullptr;
+  ObjectRef ref_;
+};
+
+// Narrows a resolved stub to a concrete generated interface.
+template <typename T>
+std::shared_ptr<T> NarrowTo(const std::shared_ptr<HdStub>& stub) {
+  return std::dynamic_pointer_cast<T>(stub);
+}
+
+}  // namespace heidi::orb

@@ -1,0 +1,66 @@
+// Exception hierarchy for the HeidiRMI reproduction.
+//
+// Every subsystem throws a subclass of HdError; catching HdError at a
+// subsystem boundary is always sufficient. Exceptions carry a plain what()
+// message; subsystem-specific context (source positions, operation names)
+// is folded into the message at the throw site.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace heidi {
+
+// Root of all errors raised by this library.
+class HdError : public std::runtime_error {
+ public:
+  explicit HdError(const std::string& msg) : std::runtime_error(msg) {}
+};
+
+// IDL source could not be lexed/parsed/resolved.
+class ParseError : public HdError {
+ public:
+  explicit ParseError(const std::string& msg) : HdError(msg) {}
+};
+
+// A template could not be compiled or executed.
+class TemplateError : public HdError {
+ public:
+  explicit TemplateError(const std::string& msg) : HdError(msg) {}
+};
+
+// A Call could not be encoded or decoded (bad frame, type mismatch,
+// truncated data, value out of range for the wire representation).
+class MarshalError : public HdError {
+ public:
+  explicit MarshalError(const std::string& msg) : HdError(msg) {}
+};
+
+// Transport-level failure: connect/accept/read/write on a channel.
+class NetError : public HdError {
+ public:
+  explicit NetError(const std::string& msg) : HdError(msg) {}
+};
+
+// A request reached a server but could not be routed: unknown object id,
+// unknown operation, or a skeleton chain that rejected the call.
+class DispatchError : public HdError {
+ public:
+  explicit DispatchError(const std::string& msg) : HdError(msg) {}
+};
+
+// An object reference string could not be parsed, or refers to an
+// incompatible type.
+class RefError : public HdError {
+ public:
+  explicit RefError(const std::string& msg) : HdError(msg) {}
+};
+
+// The remote side reported a failure while executing the call. The message
+// is the remote exception text relayed through the reply.
+class RemoteError : public HdError {
+ public:
+  explicit RemoteError(const std::string& msg) : HdError(msg) {}
+};
+
+}  // namespace heidi

@@ -1,0 +1,91 @@
+// HdList / HdListIterator — the Heidi legacy sequence types.
+//
+// The HeidiRMI mapping maps IDL `sequence<T>` to HdList<T> (Fig 3:
+// `typedef HdList<HdS> HdSSequence`). Heidi code iterates with an explicit
+// HdListIterator, so both the legacy iteration protocol and standard C++
+// range iteration are provided. Internally HdList is a std::vector with the
+// historical Heidi surface API preserved.
+#pragma once
+
+#include <cstddef>
+#include <initializer_list>
+#include <stdexcept>
+#include <utility>
+#include <vector>
+
+namespace heidi {
+
+template <typename T>
+class HdListIterator;
+
+template <typename T>
+class HdList {
+ public:
+  HdList() = default;
+  explicit HdList(size_t n) : items_(n) {}
+  HdList(std::initializer_list<T> init) : items_(init) {}
+
+  // Legacy Heidi API ---------------------------------------------------
+  void Append(T item) { items_.push_back(std::move(item)); }
+  void Prepend(T item) { items_.insert(items_.begin(), std::move(item)); }
+  // Removes the first element equal to `item`; returns whether one existed.
+  bool Remove(const T& item) {
+    for (auto it = items_.begin(); it != items_.end(); ++it) {
+      if (*it == item) {
+        items_.erase(it);
+        return true;
+      }
+    }
+    return false;
+  }
+  size_t Size() const { return items_.size(); }
+  bool IsEmpty() const { return items_.empty(); }
+  void Clear() { items_.clear(); }
+  T& At(size_t i) {
+    if (i >= items_.size()) throw std::out_of_range("HdList::At");
+    return items_[i];
+  }
+  const T& At(size_t i) const {
+    if (i >= items_.size()) throw std::out_of_range("HdList::At");
+    return items_[i];
+  }
+
+  T& operator[](size_t i) { return items_[i]; }
+  const T& operator[](size_t i) const { return items_[i]; }
+
+  friend bool operator==(const HdList& a, const HdList& b) {
+    return a.items_ == b.items_;
+  }
+  friend bool operator!=(const HdList& a, const HdList& b) {
+    return !(a == b);
+  }
+
+  // Standard C++ iteration ---------------------------------------------
+  auto begin() { return items_.begin(); }
+  auto end() { return items_.end(); }
+  auto begin() const { return items_.begin(); }
+  auto end() const { return items_.end(); }
+
+ private:
+  friend class HdListIterator<T>;
+  std::vector<T> items_;
+};
+
+// Legacy explicit iterator:
+//   for (HdListIterator<int> it(list); it.More(); it.Next()) use(it.Item());
+template <typename T>
+class HdListIterator {
+ public:
+  explicit HdListIterator(const HdList<T>& list) : list_(&list), pos_(0) {}
+
+  bool More() const { return pos_ < list_->items_.size(); }
+  void Next() { ++pos_; }
+  const T& Item() const { return list_->items_[pos_]; }
+  void Reset() { pos_ = 0; }
+
+ private:
+  const HdList<T>* list_;
+  size_t pos_;
+};
+
+}  // namespace heidi

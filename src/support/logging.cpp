@@ -1,0 +1,34 @@
+#include "support/logging.h"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace heidi::log {
+
+namespace {
+std::atomic<Level> g_level{Level::kWarn};
+std::mutex g_mutex;
+
+const char* LevelName(Level level) {
+  switch (level) {
+    case Level::kDebug: return "DEBUG";
+    case Level::kInfo: return "INFO";
+    case Level::kWarn: return "WARN";
+    case Level::kError: return "ERROR";
+    case Level::kOff: return "OFF";
+  }
+  return "?";
+}
+}  // namespace
+
+void SetLevel(Level level) { g_level.store(level, std::memory_order_relaxed); }
+Level GetLevel() { return g_level.load(std::memory_order_relaxed); }
+
+void Log(Level level, const std::string& msg) {
+  if (level < g_level.load(std::memory_order_relaxed)) return;
+  std::lock_guard lock(g_mutex);
+  std::fprintf(stderr, "[heidi %s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace heidi::log

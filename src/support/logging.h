@@ -1,0 +1,48 @@
+// Minimal leveled logger used by the runtime for diagnostics.
+//
+// Logging defaults to kWarn so tests and benchmarks stay quiet; examples
+// raise it to kInfo. Thread-safe: each Log() call writes one complete line.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace heidi::log {
+
+enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
+
+// Global threshold; messages below it are discarded.
+void SetLevel(Level level);
+Level GetLevel();
+
+// Writes `msg` as a single line to stderr if `level` passes the threshold.
+void Log(Level level, const std::string& msg);
+
+namespace internal {
+// Builds the message lazily: operator<< chains accumulate into a stream and
+// the destructor emits the line.
+class LineLogger {
+ public:
+  explicit LineLogger(Level level) : level_(level) {}
+  ~LineLogger() { Log(level_, stream_.str()); }
+  LineLogger(const LineLogger&) = delete;
+  LineLogger& operator=(const LineLogger&) = delete;
+
+  template <typename T>
+  LineLogger& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  Level level_;
+  std::ostringstream stream_;
+};
+}  // namespace internal
+
+}  // namespace heidi::log
+
+#define HD_LOG_DEBUG ::heidi::log::internal::LineLogger(::heidi::log::Level::kDebug)
+#define HD_LOG_INFO ::heidi::log::internal::LineLogger(::heidi::log::Level::kInfo)
+#define HD_LOG_WARN ::heidi::log::internal::LineLogger(::heidi::log::Level::kWarn)
+#define HD_LOG_ERROR ::heidi::log::internal::LineLogger(::heidi::log::Level::kError)

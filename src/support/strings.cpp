@@ -1,0 +1,152 @@
+#include "support/strings.h"
+
+#include <cctype>
+
+#include "support/error.h"
+
+namespace heidi::str {
+
+std::vector<std::string> Split(std::string_view s, char sep) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(s.substr(start));
+      return out;
+    }
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::vector<std::string> SplitN(std::string_view s, char sep,
+                                size_t max_parts) {
+  std::vector<std::string> out;
+  size_t start = 0;
+  while (out.size() + 1 < max_parts) {
+    size_t pos = s.find(sep, start);
+    if (pos == std::string_view::npos) break;
+    out.emplace_back(s.substr(start, pos - start));
+    start = pos + 1;
+  }
+  out.emplace_back(s.substr(start));
+  return out;
+}
+
+std::string Join(const std::vector<std::string>& parts, std::string_view sep) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i != 0) out.append(sep);
+    out.append(parts[i]);
+  }
+  return out;
+}
+
+std::string_view Trim(std::string_view s) {
+  size_t b = 0;
+  while (b < s.size() && std::isspace(static_cast<unsigned char>(s[b]))) ++b;
+  size_t e = s.size();
+  while (e > b && std::isspace(static_cast<unsigned char>(s[e - 1]))) --e;
+  return s.substr(b, e - b);
+}
+
+bool StartsWith(std::string_view s, std::string_view prefix) {
+  return s.size() >= prefix.size() && s.substr(0, prefix.size()) == prefix;
+}
+
+bool EndsWith(std::string_view s, std::string_view suffix) {
+  return s.size() >= suffix.size() &&
+         s.substr(s.size() - suffix.size()) == suffix;
+}
+
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to) {
+  std::string out;
+  if (from.empty()) return std::string(s);
+  size_t start = 0;
+  while (true) {
+    size_t pos = s.find(from, start);
+    if (pos == std::string_view::npos) {
+      out.append(s.substr(start));
+      return out;
+    }
+    out.append(s.substr(start, pos - start));
+    out.append(to);
+    start = pos + from.size();
+  }
+}
+
+std::string ToLower(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return out;
+}
+
+std::string ToUpper(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+bool IsIdentifier(std::string_view s) {
+  if (s.empty()) return false;
+  if (!(std::isalpha(static_cast<unsigned char>(s[0])) || s[0] == '_'))
+    return false;
+  for (char c : s.substr(1)) {
+    if (!(std::isalnum(static_cast<unsigned char>(c)) || c == '_'))
+      return false;
+  }
+  return true;
+}
+
+namespace {
+constexpr char kHex[] = "0123456789ABCDEF";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  return -1;
+}
+
+bool NeedsEscape(char c) {
+  return c == '\n' || c == '\r' || c == ' ' || c == '%' || c == '\0';
+}
+}  // namespace
+
+std::string EscapeToken(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (NeedsEscape(c)) {
+      unsigned char u = static_cast<unsigned char>(c);
+      out.push_back('%');
+      out.push_back(kHex[u >> 4]);
+      out.push_back(kHex[u & 0xF]);
+    } else {
+      out.push_back(c);
+    }
+  }
+  return out;
+}
+
+std::string UnescapeToken(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (size_t i = 0; i < s.size(); ++i) {
+    if (s[i] != '%') {
+      out.push_back(s[i]);
+      continue;
+    }
+    if (i + 2 >= s.size()) throw MarshalError("truncated %-escape in token");
+    int hi = HexValue(s[i + 1]);
+    int lo = HexValue(s[i + 2]);
+    if (hi < 0 || lo < 0) throw MarshalError("malformed %-escape in token");
+    out.push_back(static_cast<char>((hi << 4) | lo));
+    i += 2;
+  }
+  return out;
+}
+
+}  // namespace heidi::str

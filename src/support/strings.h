@@ -1,0 +1,44 @@
+// Small string utilities shared across the library.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heidi::str {
+
+// Splits `s` on every occurrence of `sep`. Adjacent separators produce empty
+// elements; an empty input yields a single empty element.
+std::vector<std::string> Split(std::string_view s, char sep);
+
+// Splits on `sep` at most `max_parts - 1` times; the final element receives
+// the unsplit remainder. `max_parts` must be >= 1.
+std::vector<std::string> SplitN(std::string_view s, char sep, size_t max_parts);
+
+// Joins `parts` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& parts, std::string_view sep);
+
+// Removes leading and trailing ASCII whitespace.
+std::string_view Trim(std::string_view s);
+
+bool StartsWith(std::string_view s, std::string_view prefix);
+bool EndsWith(std::string_view s, std::string_view suffix);
+
+// Replaces every occurrence of `from` (non-empty) with `to`.
+std::string ReplaceAll(std::string_view s, std::string_view from,
+                       std::string_view to);
+
+std::string ToLower(std::string_view s);
+std::string ToUpper(std::string_view s);
+
+// True if `s` is a valid C-style identifier ([A-Za-z_][A-Za-z0-9_]*).
+bool IsIdentifier(std::string_view s);
+
+// Percent-style escaping used by the text wire protocol: bytes that would
+// break request demarcation (newline, carriage return, space, '%') are
+// rewritten as %XX. Unescape reverses it; malformed escapes throw
+// MarshalError.
+std::string EscapeToken(std::string_view s);
+std::string UnescapeToken(std::string_view s);
+
+}  // namespace heidi::str

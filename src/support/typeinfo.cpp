@@ -1,0 +1,86 @@
+#include "support/typeinfo.h"
+
+#include <mutex>
+
+namespace heidi {
+
+HdTypeInfo::HdTypeInfo(std::string repo_id,
+                       std::vector<const HdTypeInfo*> parents)
+    : repo_id_(std::move(repo_id)), parents_(std::move(parents)) {}
+
+bool HdTypeInfo::IsA(const HdTypeInfo& other) const {
+  if (this == &other || repo_id_ == other.repo_id_) return true;
+  for (const HdTypeInfo* p : parents_) {
+    if (p != nullptr && p->IsA(other)) return true;
+  }
+  return false;
+}
+
+bool HdTypeInfo::IsA(std::string_view repo_id) const {
+  if (repo_id_ == repo_id) return true;
+  for (const HdTypeInfo* p : parents_) {
+    if (p != nullptr && p->IsA(repo_id)) return true;
+  }
+  return false;
+}
+
+std::string HdTypeInfo::LocalName() const {
+  // "IDL:Heidi/A:1.0" -> "A". Fall back to the whole id for non-IDL ids.
+  size_t colon = repo_id_.rfind(':');
+  std::string_view body = repo_id_;
+  if (colon != std::string::npos && colon > 4) {
+    body = std::string_view(repo_id_).substr(0, colon);
+  }
+  size_t slash = body.rfind('/');
+  if (slash != std::string_view::npos) body = body.substr(slash + 1);
+  if (body.substr(0, 4) == "IDL:") body = body.substr(4);
+  return std::string(body);
+}
+
+namespace {
+std::mutex& RegistryMutex() {
+  static std::mutex m;
+  return m;
+}
+}  // namespace
+
+HdTypeRegistry& HdTypeRegistry::Instance() {
+  static HdTypeRegistry registry;
+  return registry;
+}
+
+void HdTypeRegistry::Register(const HdTypeInfo* info) {
+  if (info == nullptr) return;
+  std::lock_guard lock(RegistryMutex());
+  for (const HdTypeInfo* t : types_) {
+    if (t->RepoId() == info->RepoId()) return;  // first registration wins
+  }
+  types_.push_back(info);
+}
+
+const HdTypeInfo* HdTypeRegistry::Find(std::string_view repo_id) const {
+  std::lock_guard lock(RegistryMutex());
+  for (const HdTypeInfo* t : types_) {
+    if (t->RepoId() == repo_id) return t;
+  }
+  return nullptr;
+}
+
+size_t HdTypeRegistry::Size() const {
+  std::lock_guard lock(RegistryMutex());
+  return types_.size();
+}
+
+const HdTypeInfo& HdObject::TypeInfo() {
+  static const HdTypeInfo info{"IDL:Heidi/Object:1.0", {}};
+  static const bool registered = [] {
+    HdTypeRegistry::Instance().Register(&info);
+    return true;
+  }();
+  (void)registered;
+  return info;
+}
+
+const HdTypeInfo& HdObject::DynamicType() const { return HdObject::TypeInfo(); }
+
+}  // namespace heidi

@@ -1,0 +1,117 @@
+// Heidi dynamic type system.
+//
+// The paper relies on Heidi's home-grown dynamic type checking in two
+// places: deciding whether an implementation object supports
+// HdSerializable (so `incopy` parameters can be passed by value), and
+// selecting the right stub/skeleton for an object reference's repository
+// id. This module reproduces that substrate: every Heidi object derives
+// from HdObject and exposes an HdTypeInfo that records its repository id
+// and its parent types; IsA() walks the parent graph (multiple inheritance
+// supported). A process-wide registry maps repository ids back to types so
+// the ORB can build stubs/skeletons from the type name carried in an
+// object reference.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heidi {
+
+class HdTypeInfo {
+ public:
+  // `repo_id` is an IDL repository id such as "IDL:Heidi/A:1.0";
+  // `parents` lists the type infos of all direct bases (may be empty).
+  HdTypeInfo(std::string repo_id, std::vector<const HdTypeInfo*> parents);
+
+  const std::string& RepoId() const { return repo_id_; }
+  const std::vector<const HdTypeInfo*>& Parents() const { return parents_; }
+
+  // True if this type is `other` or transitively derives from it.
+  bool IsA(const HdTypeInfo& other) const;
+  // Same check by repository id.
+  bool IsA(std::string_view repo_id) const;
+
+  // Local (unscoped) name, e.g. "A" for "IDL:Heidi/A:1.0".
+  std::string LocalName() const;
+
+ private:
+  std::string repo_id_;
+  std::vector<const HdTypeInfo*> parents_;
+};
+
+// Process-wide repository-id -> HdTypeInfo registry. HdTypeInfo instances
+// are expected to have static storage duration (the HD_*_TYPE macros below
+// arrange this); registration happens during static initialization.
+class HdTypeRegistry {
+ public:
+  static HdTypeRegistry& Instance();
+
+  // Registers `info`; re-registering the same repo id is idempotent if the
+  // pointer is identical, otherwise the first registration wins.
+  void Register(const HdTypeInfo* info);
+  // Returns nullptr if the repo id is unknown.
+  const HdTypeInfo* Find(std::string_view repo_id) const;
+  size_t Size() const;
+
+ private:
+  HdTypeRegistry() = default;
+  mutable std::vector<const HdTypeInfo*> types_;
+};
+
+// Root of all dynamically typed Heidi objects.
+class HdObject {
+ public:
+  virtual ~HdObject() = default;
+
+  // The most-derived dynamic type of this object.
+  virtual const HdTypeInfo& DynamicType() const;
+
+  // Dynamic IsA check against a repository id.
+  bool IsA(std::string_view repo_id) const {
+    return DynamicType().IsA(repo_id);
+  }
+
+  // Static type info for HdObject itself ("IDL:Heidi/Object:1.0").
+  static const HdTypeInfo& TypeInfo();
+};
+
+// Declares static type info inside an *abstract interface* class body
+// (generated interface classes carry TypeInfo but leave DynamicType to
+// the concrete implementation / stub classes).
+#define HD_DECLARE_INTERFACE_TYPE() \
+  static const ::heidi::HdTypeInfo& TypeInfo()
+
+#define HD_DEFINE_INTERFACE_TYPE(Cls, repoid, ...)                  \
+  const ::heidi::HdTypeInfo& Cls::TypeInfo() {                      \
+    static const ::heidi::HdTypeInfo info{(repoid), {__VA_ARGS__}}; \
+    static const bool registered = [] {                             \
+      ::heidi::HdTypeRegistry::Instance().Register(&info);          \
+      return true;                                                  \
+    }();                                                            \
+    (void)registered;                                               \
+    return info;                                                    \
+  }
+
+// Declares the dynamic-type hooks inside a class body.
+#define HD_DECLARE_TYPE()                                  \
+  const ::heidi::HdTypeInfo& DynamicType() const override; \
+  static const ::heidi::HdTypeInfo& TypeInfo()
+
+// Defines the hooks for `Cls` with repository id `repoid` and the given
+// parent type-info expressions (e.g. &Base::TypeInfo()).
+#define HD_DEFINE_TYPE(Cls, repoid, ...)                             \
+  const ::heidi::HdTypeInfo& Cls::TypeInfo() {                       \
+    static const ::heidi::HdTypeInfo info{(repoid), {__VA_ARGS__}};  \
+    static const bool registered = [] {                              \
+      ::heidi::HdTypeRegistry::Instance().Register(&info);           \
+      return true;                                                   \
+    }();                                                             \
+    (void)registered;                                                \
+    return info;                                                     \
+  }                                                                  \
+  const ::heidi::HdTypeInfo& Cls::DynamicType() const {              \
+    return Cls::TypeInfo();                                          \
+  }
+
+}  // namespace heidi

@@ -1,0 +1,31 @@
+// XBool — the Heidi legacy boolean type the paper's custom mapping targets.
+//
+// The HeidiRMI IDL->C++ mapping maps IDL `boolean` to XBool instead of
+// CORBA::Boolean (Table 1, Fig 3 in the paper). Heidi predates widespread
+// reliable `bool` support, so XBool is an enum-like integral wrapper with
+// the constants XTrue / XFalse; it converts implicitly to and from `bool`
+// so that modern call sites stay natural.
+#pragma once
+
+namespace heidi {
+
+class XBool {
+ public:
+  constexpr XBool() : value_(0) {}
+  constexpr XBool(bool b) : value_(b ? 1 : 0) {}  // NOLINT: implicit by design
+
+  constexpr operator bool() const { return value_ != 0; }  // NOLINT
+
+  friend constexpr bool operator==(XBool a, XBool b) {
+    return (a.value_ != 0) == (b.value_ != 0);
+  }
+  friend constexpr bool operator!=(XBool a, XBool b) { return !(a == b); }
+
+ private:
+  int value_;
+};
+
+inline constexpr XBool XTrue{true};
+inline constexpr XBool XFalse{false};
+
+}  // namespace heidi

@@ -1,0 +1,344 @@
+#include <fstream>
+#include <sstream>
+
+#include "support/error.h"
+#include "support/strings.h"
+#include "tmpl/program.h"
+
+namespace heidi::tmpl {
+
+namespace {
+
+size_t CountOps(const Body& body) {
+  size_t n = 0;
+  for (const Op& op : body) {
+    n += 1 + CountOps(op.body) + CountOps(op.else_body);
+  }
+  return n;
+}
+
+[[noreturn]] void Fail(const std::string& name, int line,
+                       const std::string& msg) {
+  throw TemplateError(name + ":" + std::to_string(line) + ": " + msg);
+}
+
+// Splits a directive argument string into words, honouring single and
+// double quotes ('a b' is one word; quotes are stripped).
+std::vector<std::string> SplitArgs(const std::string& name, int line,
+                                   std::string_view text) {
+  std::vector<std::string> out;
+  size_t i = 0;
+  while (i < text.size()) {
+    while (i < text.size() && (text[i] == ' ' || text[i] == '\t')) ++i;
+    if (i >= text.size()) break;
+    std::string word;
+    if (text[i] == '\'' || text[i] == '"') {
+      char quote = text[i++];
+      bool closed = false;
+      while (i < text.size()) {
+        if (text[i] == quote) {
+          closed = true;
+          ++i;
+          break;
+        }
+        word.push_back(text[i++]);
+      }
+      if (!closed) Fail(name, line, "unterminated quote in directive");
+      out.push_back(word);  // may legitimately be empty ('')
+      continue;
+    }
+    while (i < text.size() && text[i] != ' ' && text[i] != '\t') {
+      word.push_back(text[i++]);
+    }
+    out.push_back(word);
+  }
+  return out;
+}
+
+class Compiler {
+ public:
+  Compiler(std::string_view text, std::string name, std::string include_dir)
+      : name_(std::move(name)), include_dir_(std::move(include_dir)) {
+    size_t start = 0;
+    int line_no = 1;
+    while (start <= text.size()) {
+      size_t eol = text.find('\n', start);
+      std::string_view line = eol == std::string_view::npos
+                                  ? text.substr(start)
+                                  : text.substr(start, eol - start);
+      // A trailing newline produces a final empty fragment; drop it (it is
+      // not an extra empty output line).
+      if (eol == std::string_view::npos && line.empty() &&
+          start == text.size() && start != 0) {
+        break;
+      }
+      if (!line.empty() && line.back() == '\r') line.remove_suffix(1);
+      lines_.emplace_back(std::string(line), line_no);
+      if (eol == std::string_view::npos) break;
+      start = eol + 1;
+      ++line_no;
+    }
+  }
+
+  TemplateProgram Compile() {
+    Body body = CompileBody(/*terminators=*/{});
+    if (pos_ != lines_.size()) {
+      Fail(name_, lines_[pos_].second,
+           "unexpected '" + lines_[pos_].first + "'");
+    }
+    return TemplateProgram(name_, std::move(body));
+  }
+
+ private:
+  // Compiles until one of `terminators` ("@end", "@else", "@fi") is the
+  // next directive word; the terminator line is left for the caller.
+  Body CompileBody(const std::vector<std::string>& terminators) {
+    Body body;
+    while (pos_ < lines_.size()) {
+      const auto& [line, line_no] = lines_[pos_];
+      std::string_view trimmed = str::Trim(line);
+      if (str::StartsWith(trimmed, "@") && !str::StartsWith(trimmed, "@@")) {
+        std::string word = FirstWord(trimmed);
+        for (const std::string& t : terminators) {
+          if (word == t) return body;
+        }
+        CompileDirective(body, std::string(trimmed), line_no);
+      } else {
+        Op op;
+        op.kind = Op::Kind::kText;
+        op.line = line_no;
+        std::string content(line);
+        // '@@' escape: emit the rest of the line starting at the '@'.
+        std::string_view t = str::Trim(content);
+        if (str::StartsWith(t, "@@")) {
+          size_t at = content.find("@@");
+          content.erase(at, 1);
+        }
+        op.segments = ParseSegments(
+            content, name_ + ":" + std::to_string(line_no));
+        body.push_back(std::move(op));
+        ++pos_;
+      }
+    }
+    if (!terminators.empty()) {
+      Fail(name_, lines_.empty() ? 0 : lines_.back().second,
+           "missing " + str::Join(terminators, " or "));
+    }
+    return body;
+  }
+
+  static std::string FirstWord(std::string_view line) {
+    size_t end = line.find_first_of(" \t");
+    return std::string(end == std::string_view::npos ? line
+                                                     : line.substr(0, end));
+  }
+
+  void CompileDirective(Body& body, const std::string& line, int line_no) {
+    std::string word = FirstWord(line);
+    std::string rest =
+        word.size() < line.size() ? line.substr(word.size() + 1) : "";
+
+    if (word == "@//") {
+      ++pos_;
+      return;
+    }
+    if (word == "@foreach") {
+      CompileForeach(body, rest, line_no);
+      return;
+    }
+    if (word == "@if") {
+      CompileIf(body, rest, line_no);
+      return;
+    }
+    if (word == "@openfile") {
+      Op op;
+      op.kind = Op::Kind::kOpenFile;
+      op.line = line_no;
+      op.segments = ParseSegments(std::string(str::Trim(rest)),
+                                  name_ + ":" + std::to_string(line_no));
+      if (op.segments.empty()) Fail(name_, line_no, "@openfile needs a path");
+      body.push_back(std::move(op));
+      ++pos_;
+      return;
+    }
+    if (word == "@set") {
+      auto args = SplitArgs(name_, line_no, rest);
+      if (args.size() < 1) Fail(name_, line_no, "@set needs <var> [<value>]");
+      Op op;
+      op.kind = Op::Kind::kSet;
+      op.line = line_no;
+      op.var = args[0];
+      std::string value = args.size() > 1 ? args[1] : "";
+      op.segments =
+          ParseSegments(value, name_ + ":" + std::to_string(line_no));
+      body.push_back(std::move(op));
+      ++pos_;
+      return;
+    }
+    if (word == "@map") {
+      auto args = SplitArgs(name_, line_no, rest);
+      if (args.size() != 2 && args.size() != 3) {
+        Fail(name_, line_no, "@map needs <var> <Func> [<source-var>]");
+      }
+      Op op;
+      op.kind = Op::Kind::kMap;
+      op.line = line_no;
+      op.var = args[0];
+      op.func = args[1];
+      op.source_var = args.size() == 3 ? args[2] : args[0];
+      body.push_back(std::move(op));
+      ++pos_;
+      return;
+    }
+    if (word == "@include") {
+      auto args = SplitArgs(name_, line_no, rest);
+      if (args.size() != 1) Fail(name_, line_no, "@include needs a file");
+      if (include_dir_.empty()) {
+        Fail(name_, line_no, "@include is not available in this context");
+      }
+      std::string path = include_dir_ + "/" + args[0];
+      std::ifstream in(path);
+      if (!in) Fail(name_, line_no, "@include: cannot open " + path);
+      std::stringstream ss;
+      ss << in.rdbuf();
+      TemplateProgram sub =
+          CompileTemplate(ss.str(), args[0], include_dir_);
+      for (const Op& op : sub.Ops()) body.push_back(op);
+      ++pos_;
+      return;
+    }
+    if (word == "@end" || word == "@else" || word == "@fi") {
+      Fail(name_, line_no, "unmatched '" + word + "'");
+    }
+    Fail(name_, line_no, "unknown directive '" + word + "'");
+  }
+
+  void CompileForeach(Body& body, const std::string& rest, int line_no) {
+    auto args = SplitArgs(name_, line_no, rest);
+    if (args.empty()) Fail(name_, line_no, "@foreach needs a list name");
+    Op op;
+    op.kind = Op::Kind::kForeach;
+    op.line = line_no;
+    op.foreach_opts.list = args[0];
+    size_t i = 1;
+    while (i < args.size()) {
+      if (args[i] == "-ifMore") {
+        if (i + 1 >= args.size()) {
+          Fail(name_, line_no, "-ifMore needs a separator");
+        }
+        op.foreach_opts.has_if_more = true;
+        op.foreach_opts.if_more_sep = args[i + 1];
+        i += 2;
+      } else if (args[i] == "-map") {
+        if (i + 2 >= args.size()) {
+          Fail(name_, line_no, "-map needs <attr> <Func>");
+        }
+        op.foreach_opts.maps.emplace_back(args[i + 1], args[i + 2]);
+        i += 3;
+      } else {
+        Fail(name_, line_no, "unknown @foreach option '" + args[i] + "'");
+      }
+    }
+    ++pos_;  // consume @foreach line
+    op.body = CompileBody({"@end"});
+    // Consume the @end line; verify the optional list name matches.
+    const auto& [end_line, end_no] = lines_[pos_];
+    auto end_args =
+        SplitArgs(name_, end_no, std::string(str::Trim(end_line)).substr(4));
+    if (!end_args.empty() && end_args[0] != op.foreach_opts.list) {
+      Fail(name_, end_no,
+           "@end " + end_args[0] + " does not match @foreach " +
+               op.foreach_opts.list);
+    }
+    ++pos_;
+    body.push_back(std::move(op));
+  }
+
+  void CompileIf(Body& body, const std::string& rest, int line_no) {
+    Op op;
+    op.kind = Op::Kind::kIf;
+    op.line = line_no;
+    // Condition grammar: <operand> (==|!=) <operand>.
+    auto args = SplitArgs(name_, line_no, rest);
+    if (args.size() != 3 || (args[1] != "==" && args[1] != "!=")) {
+      Fail(name_, line_no,
+           "@if condition must be '<operand> ==|!= <operand>'");
+    }
+    std::string ctx = name_ + ":" + std::to_string(line_no);
+    op.cond.lhs = ParseSegments(args[0], ctx);
+    op.cond.rhs = ParseSegments(args[2], ctx);
+    op.cond.negated = args[1] == "!=";
+    ++pos_;  // consume @if line
+    op.body = CompileBody({"@else", "@fi"});
+    const std::string else_or_fi =
+        FirstWord(str::Trim(lines_[pos_].first));
+    if (else_or_fi == "@else") {
+      ++pos_;
+      op.else_body = CompileBody({"@fi"});
+    }
+    ++pos_;  // consume @fi
+    body.push_back(std::move(op));
+  }
+
+  std::string name_;
+  std::string include_dir_;
+  std::vector<std::pair<std::string, int>> lines_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+SegmentList ParseSegments(std::string_view text, const std::string& context) {
+  SegmentList out;
+  std::string literal;
+  size_t i = 0;
+  auto flush = [&] {
+    if (!literal.empty()) {
+      out.push_back({Segment::Kind::kLiteral, literal});
+      literal.clear();
+    }
+  };
+  while (i < text.size()) {
+    if (text[i] == '$' && i + 1 < text.size() && text[i + 1] == '$') {
+      literal.push_back('$');
+      i += 2;
+      continue;
+    }
+    if (text[i] == '$' && i + 1 < text.size() && text[i + 1] == '{') {
+      size_t close = text.find('}', i + 2);
+      if (close == std::string_view::npos) {
+        throw TemplateError(context + ": unterminated ${...}");
+      }
+      std::string var(text.substr(i + 2, close - i - 2));
+      if (var.empty()) throw TemplateError(context + ": empty ${}");
+      flush();
+      out.push_back({Segment::Kind::kVar, std::move(var)});
+      i = close + 1;
+      continue;
+    }
+    literal.push_back(text[i++]);
+  }
+  flush();
+  return out;
+}
+
+size_t TemplateProgram::OpCount() const { return CountOps(body_); }
+
+TemplateProgram CompileTemplate(std::string_view text, std::string name,
+                                std::string include_dir) {
+  Compiler compiler(text, std::move(name), std::move(include_dir));
+  return compiler.Compile();
+}
+
+TemplateProgram CompileTemplateFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) throw TemplateError("cannot open template file " + path);
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string dir = ".";
+  size_t slash = path.rfind('/');
+  if (slash != std::string::npos) dir = path.substr(0, slash);
+  return CompileTemplate(ss.str(), path, dir);
+}
+
+}  // namespace heidi::tmpl

@@ -1,0 +1,422 @@
+#include "tmpl/cppgen.h"
+
+#include <vector>
+
+#include "support/error.h"
+#include "support/strings.h"
+#include "tmpl/spelling.h"
+
+namespace heidi::tmpl {
+
+namespace {
+
+using spelling::IsSequence;
+using spelling::SequenceElement;
+
+// Indentation used between generated statements: a newline plus the
+// 4-space context the templates emit statements in.
+constexpr const char* kSep = "\n    ";
+
+[[noreturn]] void Unsupported(const std::string& what) {
+  throw TemplateError("heidi_cpp generator: " + what);
+}
+
+// Follows alias entries to the underlying spelling.
+std::string Unalias(std::string spell, const MapContext& ctx) {
+  for (int depth = 0; depth < 16; ++depth) {
+    const TypeEntry* entry =
+        ctx.types != nullptr ? ctx.types->Find(spell) : nullptr;
+    if (entry == nullptr || entry->tag != "alias") return spell;
+    spell = entry->alias_type;
+  }
+  return spell;
+}
+
+struct ParamCtx {
+  std::string spell;      // declared spelling ("Heidi::SSequence")
+  std::string under;      // unaliased spelling ("sequence<Heidi::S>")
+  std::string kind;       // wire kind of `under`
+  std::string name;       // C++ parameter name
+  std::string local;      // skeleton local ("hd_p_<name>")
+  std::string direction;  // in / out / inout / incopy
+  std::string repo_id;    // repo id of the declared type (objref/named)
+};
+
+ParamCtx MakeParamCtx(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p;
+  p.spell = spell;
+  p.under = Unalias(spell, ctx);
+  p.kind = WireCallKind(p.under, ctx);
+  p.name = ctx.node != nullptr ? ctx.node->GetProp("paramName") : "";
+  if (p.name.empty() && ctx.node != nullptr) {
+    p.name = ctx.node->GetProp("name");
+  }
+  p.local = "hd_p_" + p.name;
+  p.direction =
+      ctx.node != nullptr ? ctx.node->GetProp("direction", "in") : "in";
+  p.repo_id = ctx.node != nullptr ? ctx.node->GetProp("typeRepoId") : "";
+  if (p.repo_id.empty() && ctx.types != nullptr) {
+    const TypeEntry* entry = ctx.types->Find(spell);
+    if (entry != nullptr) p.repo_id = entry->repo_id;
+  }
+  return p;
+}
+
+bool IsOut(const ParamCtx& p) { return p.direction == "out"; }
+bool IsInOut(const ParamCtx& p) { return p.direction == "inout"; }
+bool IsIncopy(const ParamCtx& p) { return p.direction == "incopy"; }
+
+// Repo id of an element/other spelling via the index.
+std::string RepoOf(const std::string& spell, const MapContext& ctx) {
+  const TypeEntry* entry =
+      ctx.types != nullptr ? ctx.types->Find(spell) : nullptr;
+  if (entry == nullptr || entry->repo_id.empty()) {
+    Unsupported("cannot determine repository id of '" + spell + "'");
+  }
+  return entry->repo_id;
+}
+
+// --- primitive statement pieces ----------------------------------------------
+
+// `recv` is "hd_call->", "hd_out.", etc.; returns "" for non-primitive kinds.
+std::string PutPrim(const std::string& recv, const std::string& kind,
+                    const std::string& expr) {
+  if (kind == "Long")
+    return recv + "PutLong(static_cast<int32_t>(" + expr + "));";
+  if (kind == "ULong")
+    return recv + "PutULong(static_cast<uint32_t>(" + expr + "));";
+  if (kind == "Short")
+    return recv + "PutShort(static_cast<int16_t>(" + expr + "));";
+  if (kind == "UShort")
+    return recv + "PutUShort(static_cast<uint16_t>(" + expr + "));";
+  if (kind == "LongLong") return recv + "PutLongLong(" + expr + ");";
+  if (kind == "ULongLong") return recv + "PutULongLong(" + expr + ");";
+  if (kind == "Float") return recv + "PutFloat(" + expr + ");";
+  if (kind == "Double") return recv + "PutDouble(" + expr + ");";
+  if (kind == "Char") return recv + "PutChar(" + expr + ");";
+  if (kind == "Octet") return recv + "PutOctet(" + expr + ");";
+  if (kind == "Boolean") return recv + "PutBoolean(" + expr + ");";
+  if (kind == "String") return recv + "PutString(" + expr + ");";
+  if (kind == "Enum")
+    return recv + "PutEnum(static_cast<int32_t>(" + expr + "));";
+  return "";
+}
+
+// C++ value type + extraction expression for primitive-ish kinds; empty
+// type for non-primitives. `recv` like "hd_in." / "hd_reply->".
+struct PrimGet {
+  std::string cpp_type;
+  std::string expr;
+};
+
+PrimGet GetPrim(const std::string& recv, const std::string& kind,
+                const std::string& declared_cpp) {
+  if (kind == "Long") return {"long", recv + "GetLong()"};
+  if (kind == "ULong") return {"unsigned long", recv + "GetULong()"};
+  if (kind == "Short") return {"short", recv + "GetShort()"};
+  if (kind == "UShort") return {"unsigned short", recv + "GetUShort()"};
+  if (kind == "LongLong") return {"long long", recv + "GetLongLong()"};
+  if (kind == "ULongLong")
+    return {"unsigned long long", recv + "GetULongLong()"};
+  if (kind == "Float") return {"float", recv + "GetFloat()"};
+  if (kind == "Double") return {"double", recv + "GetDouble()"};
+  if (kind == "Char") return {"char", recv + "GetChar()"};
+  if (kind == "Octet") return {"unsigned char", recv + "GetOctet()"};
+  if (kind == "Boolean") return {"XBool", "XBool(" + recv + "GetBoolean())"};
+  if (kind == "String") return {"HdString", recv + "GetString()"};
+  if (kind == "Enum") {
+    return {declared_cpp,
+            "static_cast<" + declared_cpp + ">(" + recv + "GetEnum())"};
+  }
+  return {"", ""};
+}
+
+// Mapped C++ class name of a declared (possibly scoped) type.
+std::string ClassOf(const std::string& spell) {
+  return HeidiMapClassName(spell);
+}
+
+// Mapped sequence container type: the alias class if the declared type is
+// an alias, else the structural HdList<...> type.
+std::string SeqType(const ParamCtx& p, const MapContext& ctx) {
+  const TypeEntry* entry =
+      ctx.types != nullptr ? ctx.types->Find(p.spell) : nullptr;
+  if (entry != nullptr && entry->tag == "alias") return ClassOf(p.spell);
+  return HeidiMapElemType(p.under, ctx);
+}
+
+// --- sequence pieces ------------------------------------------------------------
+
+// Marshals a sequence parameter into *hd_call (stub side).
+std::string PutSequence(const ParamCtx& p, const MapContext& ctx) {
+  const std::string recv = "hd_call->";
+  std::string elem = SequenceElement(p.under);
+  std::string elem_under = Unalias(elem, ctx);
+  std::string elem_kind = WireCallKind(elem_under, ctx);
+  if (elem_kind == "Sequence" || elem_kind == "Struct") {
+    Unsupported("sequences of '" + elem + "' are not supported");
+  }
+  std::string elem_put;
+  if (elem_kind == "Object") {
+    elem_put = "GetOrb().PutObject(*hd_call, hd_elem, \"" +
+               RepoOf(elem, ctx) + "\", false);";
+  } else {
+    elem_put = PutPrim(recv, elem_kind, "hd_elem");
+  }
+  std::string out;
+  out += recv + "Begin(\"seq\");";
+  out += kSep;
+  out += recv + "PutLength(" + p.name + " == nullptr ? 0u : "
+         "static_cast<uint32_t>(" + p.name + "->Size()));";
+  out += kSep;
+  out += "if (" + p.name + " != nullptr) { for (auto& hd_elem : *" + p.name +
+         ") { " + elem_put + " } }";
+  out += kSep;
+  out += recv + "End();";
+  return out;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Registered generator functions
+
+namespace {
+
+// CPP::MapParamType — signature type, direction-aware.
+std::string MapParamType(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  std::string base = HeidiMapType(spell, ctx);
+  if (!IsOut(p) && !IsInOut(p)) return base;
+  if (p.kind == "Object" || p.kind == "Sequence" || p.kind == "Struct") {
+    Unsupported("out/inout parameter '" + p.name + "' of type '" + spell +
+                "' is not supported");
+  }
+  return base + "&";
+}
+
+// CPPGen::PutParam — stub side, receiver *hd_call.
+std::string PutParam(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  if (IsOut(p)) return "";  // nothing travels for pure out params
+  if (p.kind == "Object") {
+    return "GetOrb().PutObject(*hd_call, " + p.name + ", \"" +
+           (p.repo_id.empty() ? RepoOf(spell, ctx) : p.repo_id) + "\", " +
+           (IsIncopy(p) ? "true" : "false") + ");";
+  }
+  if (p.kind == "Sequence") return PutSequence(p, ctx);
+  if (p.kind == "Struct") {
+    Unsupported("struct parameter '" + p.name + "' is not supported");
+  }
+  std::string stmt = PutPrim("hd_call->", p.kind, p.name);
+  if (stmt.empty()) Unsupported("parameter type '" + spell + "'");
+  return stmt;
+}
+
+// CPPGen::GetOutParam — stub side, receiver *hd_reply, after the result.
+std::string GetOutParam(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  if (!IsOut(p) && !IsInOut(p)) return "";
+  PrimGet get = GetPrim("hd_reply->", p.kind, ClassOf(spell));
+  if (get.expr.empty()) {
+    Unsupported("out/inout parameter type '" + spell + "'");
+  }
+  return p.name + " = " + get.expr + ";";
+}
+
+// CPPGen::CaptureResult — stub side: declares hd_result from *hd_reply
+// (the template returns hd_result after any out-parameters are read, so
+// wire order — result first, then outs — is preserved).
+std::string CaptureResult(const std::string& spell, const MapContext& ctx) {
+  if (spell == "void") return "";
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  if (p.kind == "Object") {
+    std::string cls = ClassOf(spell);
+    return "auto hd_result_h = GetOrb().GetObject(*hd_reply);" +
+           std::string(kSep) + "auto* hd_result = ::heidi::orb::gen::Retain<" +
+           cls + ">(hd_retained_, hd_result_h, \"" + cls + "\");";
+  }
+  if (p.kind == "Sequence" || p.kind == "Struct") {
+    Unsupported("result type '" + spell + "' is not supported");
+  }
+  PrimGet get = GetPrim("hd_reply->", p.kind, ClassOf(spell));
+  if (get.expr.empty()) Unsupported("result type '" + spell + "'");
+  return "auto hd_result = " + get.expr + ";";
+}
+
+// CPPGen::PutAttrValue / CPPGen::GetAttrValue — attribute setters use the
+// fixed parameter name hd_value.
+std::string PutAttrValue(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  p.name = "hd_value";
+  if (p.kind == "Object") {
+    return "GetOrb().PutObject(*hd_call, hd_value, \"" +
+           (p.repo_id.empty() ? RepoOf(spell, ctx) : p.repo_id) +
+           "\", false);";
+  }
+  if (p.kind == "Sequence" || p.kind == "Struct") {
+    Unsupported("attribute type '" + spell + "' is not supported");
+  }
+  std::string stmt = PutPrim("hd_call->", p.kind, "hd_value");
+  if (stmt.empty()) Unsupported("attribute type '" + spell + "'");
+  return stmt;
+}
+
+std::string GetAttrValue(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  if (p.kind == "Object") {
+    std::string cls = ClassOf(spell);
+    return "auto hd_value_h = GetOrb().GetObject(hd_in);" +
+           std::string(kSep) + cls +
+           "* hd_value = ::heidi::orb::gen::CastParam<" + cls +
+           ">(hd_value_h, \"" + cls + "\");";
+  }
+  if (p.kind == "Sequence" || p.kind == "Struct") {
+    Unsupported("attribute type '" + spell + "' is not supported");
+  }
+  PrimGet get = GetPrim("hd_in.", p.kind, ClassOf(spell));
+  if (get.cpp_type.empty()) Unsupported("attribute type '" + spell + "'");
+  return get.cpp_type + " hd_value = " + get.expr + ";";
+}
+
+// CPPGen::SkelGetParam — skeleton side, receiver hd_in.
+std::string SkelGetParam(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  if (p.kind == "Object") {
+    if (IsOut(p) || IsInOut(p)) {
+      Unsupported("out/inout object parameter '" + p.name + "'");
+    }
+    std::string cls = ClassOf(spell);
+    return "auto " + p.local + "_h = GetOrb().GetObject(hd_in);" + kSep +
+           cls + "* " + p.local + " = ::heidi::orb::gen::CastParam<" + cls +
+           ">(" + p.local + "_h, \"" + cls + "\");";
+  }
+  if (p.kind == "Sequence") {
+    if (IsOut(p) || IsInOut(p)) {
+      Unsupported("out/inout sequence parameter '" + p.name + "'");
+    }
+    std::string seq_type = SeqType(p, ctx);
+    std::string elem = SequenceElement(p.under);
+    std::string elem_under = Unalias(elem, ctx);
+    std::string elem_kind = WireCallKind(elem_under, ctx);
+    std::string out;
+    out += "hd_in.Begin(\"seq\");";
+    out += kSep;
+    out += "uint32_t " + p.local + "_n = hd_in.GetLength();";
+    out += kSep;
+    out += seq_type + " " + p.local + "_val;";
+    out += kSep;
+    out += "std::vector<std::shared_ptr<::heidi::HdObject>> " + p.local +
+           "_hold;";
+    out += kSep;
+    out += "for (uint32_t hd_i = 0; hd_i < " + p.local + "_n; ++hd_i) { ";
+    if (elem_kind == "Object") {
+      std::string elem_cls = ClassOf(elem);
+      out += "auto hd_eh = GetOrb().GetObject(hd_in); " + p.local +
+             "_val.Append(::heidi::orb::gen::CastParam<" + elem_cls +
+             ">(hd_eh, \"" + elem_cls + "\")); " + p.local +
+             "_hold.push_back(hd_eh);";
+    } else {
+      PrimGet get = GetPrim("hd_in.", elem_kind, ClassOf(elem));
+      if (get.expr.empty()) {
+        Unsupported("sequence element type '" + elem + "'");
+      }
+      out += p.local + "_val.Append(" + get.expr + ");";
+    }
+    out += " }";
+    out += kSep;
+    out += "hd_in.End();";
+    out += kSep;
+    out += seq_type + "* " + p.local + " = &" + p.local + "_val;";
+    return out;
+  }
+  if (p.kind == "Struct") {
+    Unsupported("struct parameter '" + p.name + "' is not supported");
+  }
+  PrimGet get = GetPrim("hd_in.", p.kind, ClassOf(spell));
+  if (get.cpp_type.empty()) Unsupported("parameter type '" + spell + "'");
+  if (IsOut(p)) {
+    return get.cpp_type + " " + p.local + "{};";  // nothing on the wire
+  }
+  return get.cpp_type + " " + p.local + " = " + get.expr + ";";
+}
+
+// CPPGen::SkelArg — expression handed to the implementation.
+std::string SkelArg(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  (void)spell;
+  return p.local;  // sequences bind a pointer local of the same name
+}
+
+// CPPGen::SkelPutOut — skeleton side, receiver hd_out, after the result.
+std::string SkelPutOut(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  if (!IsOut(p) && !IsInOut(p)) return "";
+  std::string stmt = PutPrim("hd_out.", p.kind, p.local);
+  if (stmt.empty()) Unsupported("out/inout parameter type '" + spell + "'");
+  return stmt;
+}
+
+// CPPGen::SkelPutResult — marshals hd_result.
+std::string SkelPutResult(const std::string& spell, const MapContext& ctx) {
+  if (spell == "void") return "";
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  if (p.kind == "Object") {
+    return "GetOrb().PutObject(hd_out, hd_result, \"" +
+           (p.repo_id.empty() ? RepoOf(spell, ctx) : p.repo_id) +
+           "\", false);";
+  }
+  if (p.kind == "Sequence" || p.kind == "Struct") {
+    Unsupported("result type '" + spell + "' is not supported");
+  }
+  std::string stmt = PutPrim("hd_out.", p.kind, "hd_result");
+  if (stmt.empty()) Unsupported("result type '" + spell + "'");
+  return stmt;
+}
+
+// CPPGen::ExFieldPut — skeleton catch clause: marshal one exception field
+// (hd_ex.<name>) into hd_out.
+std::string ExFieldPut(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  std::string field =
+      ctx.node != nullptr ? ctx.node->GetProp("fieldName") : "";
+  std::string stmt = PutPrim("hd_out.", p.kind, "hd_ex." + field);
+  if (stmt.empty()) {
+    Unsupported("exception field type '" + spell +
+                "' (only primitives, strings, and enums)");
+  }
+  return stmt;
+}
+
+// CPPGen::ExFieldGet — client thrower: unmarshal one field from the reply
+// into hd_ex.<name>.
+std::string ExFieldGet(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  std::string field =
+      ctx.node != nullptr ? ctx.node->GetProp("fieldName") : "";
+  PrimGet get = GetPrim("hd_reply.", p.kind, ClassOf(spell));
+  if (get.expr.empty()) {
+    Unsupported("exception field type '" + spell +
+                "' (only primitives, strings, and enums)");
+  }
+  return "hd_ex." + field + " = " + get.expr + ";";
+}
+
+}  // namespace
+
+void RegisterCppGen(MapRegistry& reg) {
+  reg.Register("CPP::MapParamType", MapParamType);
+  reg.Register("CPPGen::PutParam", PutParam);
+  reg.Register("CPPGen::GetOutParam", GetOutParam);
+  reg.Register("CPPGen::CaptureResult", CaptureResult);
+  reg.Register("CPPGen::PutAttrValue", PutAttrValue);
+  reg.Register("CPPGen::GetAttrValue", GetAttrValue);
+  reg.Register("CPPGen::SkelGetParam", SkelGetParam);
+  reg.Register("CPPGen::SkelArg", SkelArg);
+  reg.Register("CPPGen::SkelPutOut", SkelPutOut);
+  reg.Register("CPPGen::SkelPutResult", SkelPutResult);
+  reg.Register("CPPGen::ExFieldPut", ExFieldPut);
+  reg.Register("CPPGen::ExFieldGet", ExFieldGet);
+}
+
+}  // namespace heidi::tmpl

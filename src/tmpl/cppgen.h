@@ -1,0 +1,40 @@
+// C++ statement generators for the heidi_cpp stub/skeleton templates.
+//
+// Fig 9's template language is deliberately simple: line substitution,
+// loops, conditionals. Marshaling statements, however, depend on the full
+// type of each parameter (primitive vs enum vs object reference vs
+// sequence-of-X, in vs incopy vs out), which would take an unreadable
+// @if cascade per parameter. Jeeves solved this the same way we do: map
+// functions are arbitrary host-language code, so a single `-map`/@map
+// call can produce the entire statement.
+//
+// Each generator receives the IDL *type spelling* as its value and pulls
+// the rest (paramName, direction, typeRepoId) from the current EST node.
+// Multi-statement results separate lines with "\n    " so they indent
+// correctly inside a 4-space template context. All functions throw
+// TemplateError for constructs the generator does not support (struct
+// parameters, nested sequences, objref/sequence out-parameters).
+//
+// Registered names (all under CPPGen:: plus CPP::MapParamType):
+//   CPP::MapParamType   — parameter signature type (direction-aware:
+//                         out/inout primitives become T&)
+//   CPPGen::PutParam    — stub: marshal a parameter into *hd_call
+//   CPPGen::GetOutParam — stub: read back an out/inout value from *hd_reply
+//   CPPGen::CaptureResult — stub: declare hd_result from *hd_reply
+//   CPPGen::PutAttrValue / CPPGen::GetAttrValue — attribute setter value
+//   CPPGen::SkelGetParam— skeleton: declare + unmarshal local hd_p_<name>
+//   CPPGen::SkelArg     — skeleton: argument expression for the impl call
+//   CPPGen::SkelPutOut  — skeleton: marshal out/inout local into hd_out
+//   CPPGen::SkelPutResult — skeleton: marshal hd_result into hd_out
+#pragma once
+
+#include <string>
+
+#include "tmpl/mapfuncs.h"
+
+namespace heidi::tmpl {
+
+// Adds the generator functions to `reg` (called by MapRegistry::Builtins).
+void RegisterCppGen(MapRegistry& reg);
+
+}  // namespace heidi::tmpl

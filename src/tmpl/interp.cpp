@@ -1,0 +1,251 @@
+#include "tmpl/interp.h"
+
+#include <filesystem>
+#include <fstream>
+
+#include "support/error.h"
+
+namespace heidi::tmpl {
+
+// ---------------------------------------------------------------------------
+// Sinks
+
+void StringSink::Open(const std::string& path) { current_ = path; }
+
+void StringSink::Write(std::string_view text) { files_[current_] += text; }
+
+const std::string& StringSink::File(const std::string& path) const {
+  static const std::string kEmpty;
+  auto it = files_.find(path);
+  return it == files_.end() ? kEmpty : it->second;
+}
+
+std::vector<std::string> StringSink::FileNames() const {
+  std::vector<std::string> out;
+  for (const auto& [name, content] : files_) out.push_back(name);
+  return out;
+}
+
+FileSink::FileSink(std::string root_dir) : root_(std::move(root_dir)) {}
+
+FileSink::~FileSink() {
+  try {
+    Flush();
+  } catch (...) {
+    // Destructors must not throw; a failed final flush is reported by the
+    // next explicit operation in normal flows.
+  }
+}
+
+void FileSink::Flush() {
+  if (current_path_.empty() && buffer_.empty()) return;
+  std::filesystem::path path(root_);
+  path /= current_path_.empty() ? "template.out" : current_path_;
+  std::filesystem::create_directories(path.parent_path());
+  std::ofstream out(path, std::ios::binary);
+  if (!out) throw TemplateError("cannot write " + path.string());
+  out << buffer_;
+  written_.push_back(path.string());
+  buffer_.clear();
+}
+
+void FileSink::Open(const std::string& path) {
+  Flush();
+  current_path_ = path;
+}
+
+void FileSink::Write(std::string_view text) { buffer_ += text; }
+
+// ---------------------------------------------------------------------------
+// Interpreter
+
+namespace {
+
+struct Frame {
+  const est::Node* node = nullptr;
+  std::map<std::string, std::string> locals;
+};
+
+class Interp {
+ public:
+  Interp(const TemplateProgram& program, const est::Node& root,
+         const MapRegistry& maps, OutputSink& sink,
+         const ExecOptions& options)
+      : program_(program), maps_(maps), sink_(sink), index_(root) {
+    Frame bottom;
+    bottom.node = &root;
+    bottom.locals = options.globals;
+    stack_.push_back(std::move(bottom));
+    root_ = &root;
+  }
+
+  void Run() { RunBody(program_.Ops()); }
+
+ private:
+  [[noreturn]] void Fail(int line, const std::string& msg) const {
+    throw TemplateError(program_.Name() + ":" + std::to_string(line) + ": " +
+                        msg);
+  }
+
+  const std::string* Lookup(std::string_view var) const {
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      auto local = it->locals.find(std::string(var));
+      if (local != it->locals.end()) return &local->second;
+      if (it->node != nullptr) {
+        const std::string* prop = it->node->FindProp(var);
+        if (prop != nullptr) return prop;
+      }
+    }
+    return nullptr;
+  }
+
+  std::string Eval(const SegmentList& segments, int line) const {
+    std::string out;
+    for (const Segment& seg : segments) {
+      if (seg.kind == Segment::Kind::kLiteral) {
+        out += seg.text;
+      } else {
+        const std::string* value = Lookup(seg.text);
+        if (value == nullptr) {
+          Fail(line, "unknown variable '${" + seg.text + "}'");
+        }
+        out += *value;
+      }
+    }
+    return out;
+  }
+
+  MapContext Context() const {
+    MapContext ctx;
+    ctx.node = stack_.back().node;
+    ctx.root = root_;
+    ctx.types = &index_;
+    return ctx;
+  }
+
+  std::string ApplyMap(const std::string& func, const std::string& value,
+                       int line) const {
+    const MapFn* fn = maps_.Find(func);
+    if (fn == nullptr) Fail(line, "unknown map function '" + func + "'");
+    return (*fn)(value, Context());
+  }
+
+  void RunBody(const Body& body) {
+    for (const Op& op : body) RunOp(op);
+  }
+
+  void RunOp(const Op& op) {
+    switch (op.kind) {
+      case Op::Kind::kText: {
+        std::string text = Eval(op.segments, op.line);
+        text.push_back('\n');
+        sink_.Write(text);
+        return;
+      }
+      case Op::Kind::kOpenFile:
+        sink_.Open(Eval(op.segments, op.line));
+        return;
+      case Op::Kind::kSet: {
+        // Assignment semantics: rebind an existing local (innermost frame
+        // that has one) so accumulator patterns work across loop
+        // iterations; otherwise create in the current frame.
+        std::string value = Eval(op.segments, op.line);
+        for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+          auto local = it->locals.find(op.var);
+          if (local != it->locals.end()) {
+            local->second = std::move(value);
+            return;
+          }
+        }
+        stack_.back().locals[op.var] = std::move(value);
+        return;
+      }
+      case Op::Kind::kMap: {
+        const std::string* source = Lookup(op.source_var);
+        if (source == nullptr) {
+          Fail(op.line, "unknown variable '${" + op.source_var + "}'");
+        }
+        // Copy before ApplyMap: the map may rebind the same variable.
+        std::string value = *source;
+        stack_.back().locals[op.var] = ApplyMap(op.func, value, op.line);
+        return;
+      }
+      case Op::Kind::kIf: {
+        std::string lhs = Eval(op.cond.lhs, op.line);
+        std::string rhs = Eval(op.cond.rhs, op.line);
+        bool equal = lhs == rhs;
+        RunBody(equal != op.cond.negated ? op.body : op.else_body);
+        return;
+      }
+      case Op::Kind::kForeach:
+        RunForeach(op);
+        return;
+    }
+  }
+
+  void RunForeach(const Op& op) {
+    // The list is looked up on the nearest enclosing node that has it —
+    // normally the current node; falling outward lets a nested template
+    // fragment iterate an outer node's list (e.g. root's enumList from
+    // inside an interface loop).
+    const std::vector<std::unique_ptr<est::Node>>* list = nullptr;
+    for (auto it = stack_.rbegin(); it != stack_.rend(); ++it) {
+      if (it->node != nullptr && it->node->HasList(op.foreach_opts.list)) {
+        list = it->node->FindList(op.foreach_opts.list);
+        break;
+      }
+    }
+    if (list == nullptr) return;  // absent list: zero iterations
+
+    const size_t count = list->size();
+    for (size_t i = 0; i < count; ++i) {
+      Frame frame;
+      frame.node = (*list)[i].get();
+      frame.locals["index"] = std::to_string(i);
+      frame.locals["index1"] = std::to_string(i + 1);
+      frame.locals["isFirst"] = i == 0 ? "true" : "";
+      frame.locals["isLast"] = i + 1 == count ? "true" : "";
+      if (op.foreach_opts.has_if_more) {
+        frame.locals["ifMore"] =
+            i + 1 == count ? "" : op.foreach_opts.if_more_sep;
+      }
+      stack_.push_back(std::move(frame));
+      for (const auto& [attr, func] : op.foreach_opts.maps) {
+        const std::string* value = Lookup(attr);
+        if (value == nullptr) {
+          Fail(op.line, "-map: node has no property '" + attr + "'");
+        }
+        std::string copy = *value;
+        stack_.back().locals[attr] = ApplyMap(func, copy, op.line);
+      }
+      RunBody(op.body);
+      stack_.pop_back();
+    }
+  }
+
+  const TemplateProgram& program_;
+  const MapRegistry& maps_;
+  OutputSink& sink_;
+  TypeIndex index_;
+  const est::Node* root_ = nullptr;
+  std::vector<Frame> stack_;
+};
+
+}  // namespace
+
+void Execute(const TemplateProgram& program, const est::Node& root,
+             const MapRegistry& maps, OutputSink& sink,
+             const ExecOptions& options) {
+  Interp interp(program, root, maps, sink, options);
+  interp.Run();
+}
+
+std::string ExecuteToString(const TemplateProgram& program,
+                            const est::Node& root, const MapRegistry& maps,
+                            const ExecOptions& options) {
+  StringSink sink;
+  Execute(program, root, maps, sink, options);
+  return sink.File("");
+}
+
+}  // namespace heidi::tmpl

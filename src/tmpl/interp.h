@@ -1,0 +1,88 @@
+// Template interpreter — the paper's *second* code-generation step: runs a
+// compiled TemplateProgram against an EST, writing generated code through
+// an OutputSink (§4.1).
+//
+// Scoping: execution maintains a stack of frames. The bottom frame holds
+// the EST root; each @foreach iteration pushes a frame for the element
+// node. Variable lookup resolves, innermost first: frame-local bindings
+// (@set, @map, -map, loop specials), then the frame node's properties,
+// then outer frames. Unknown variables are an error — the EST builder sets
+// every schema property (possibly to ""), so a miss means a typo.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "est/node.h"
+#include "tmpl/mapfuncs.h"
+#include "tmpl/program.h"
+
+namespace heidi::tmpl {
+
+// Receives generated output. @openfile calls Open; text accumulates into
+// the current file (or the anonymous default stream before any Open).
+class OutputSink {
+ public:
+  virtual ~OutputSink() = default;
+  virtual void Open(const std::string& path) = 0;
+  virtual void Write(std::string_view text) = 0;
+};
+
+// Collects output in memory: one buffer per opened file plus a default
+// buffer for text emitted before the first @openfile.
+class StringSink : public OutputSink {
+ public:
+  void Open(const std::string& path) override;
+  void Write(std::string_view text) override;
+
+  // Contents of a named file ("" for the default stream). Empty string if
+  // never opened.
+  const std::string& File(const std::string& path) const;
+  std::vector<std::string> FileNames() const;
+
+ private:
+  std::map<std::string, std::string> files_;
+  std::string current_;
+};
+
+// Writes files under a root directory, creating parent directories.
+// Throws TemplateError on I/O failure.
+class FileSink : public OutputSink {
+ public:
+  explicit FileSink(std::string root_dir);
+  ~FileSink() override;
+  void Open(const std::string& path) override;
+  void Write(std::string_view text) override;
+
+  const std::vector<std::string>& WrittenPaths() const { return written_; }
+
+ private:
+  void Flush();
+  std::string root_;
+  std::string current_path_;
+  std::string buffer_;
+  std::vector<std::string> written_;
+};
+
+struct ExecOptions {
+  // Extra global variables visible from the outermost scope.
+  std::map<std::string, std::string> globals;
+};
+
+// Runs `program` against the EST rooted at `root`. Throws TemplateError
+// (with template:line positions) on unknown variables, lists used where a
+// node was expected, or unknown map functions.
+void Execute(const TemplateProgram& program, const est::Node& root,
+             const MapRegistry& maps, OutputSink& sink,
+             const ExecOptions& options = {});
+
+// Convenience: execute and return the default-stream output (templates
+// that never @openfile). Multi-file templates should use StringSink
+// directly.
+std::string ExecuteToString(const TemplateProgram& program,
+                            const est::Node& root, const MapRegistry& maps,
+                            const ExecOptions& options = {});
+
+}  // namespace heidi::tmpl

@@ -1,0 +1,321 @@
+#include "tmpl/mapfuncs.h"
+
+#include <cctype>
+
+#include "support/error.h"
+#include "support/strings.h"
+#include "tmpl/cppgen.h"
+#include "tmpl/spelling.h"
+
+namespace heidi::tmpl {
+
+namespace {
+
+// Adds every node of `list` under `root` to the index with tag `tag`,
+// keyed by its scoped-name property `scoped_key`.
+void IndexList(const est::Node& root, std::map<std::string, TypeEntry,
+                                               std::less<>>& entries,
+               std::string_view list, std::string_view scoped_key,
+               std::string_view tag) {
+  const auto* nodes = root.FindList(list);
+  if (nodes == nullptr) return;
+  for (const auto& n : *nodes) {
+    TypeEntry entry;
+    entry.tag = std::string(tag);
+    entry.flat_name = n->GetProp("flatName");
+    entry.repo_id = n->GetProp("repoId");
+    entry.is_variable = n->GetProp("IsVariable") == "true";
+    entry.alias_type = n->GetProp("aliasType");
+    entries[n->GetProp(scoped_key)] = entry;
+    entries[entry.flat_name] = entry;
+  }
+}
+
+}  // namespace
+
+TypeIndex::TypeIndex(const est::Node& root) {
+  IndexList(root, entries_, "interfaceList", "interfaceName", "objref");
+  IndexList(root, entries_, "externalList", "interfaceName", "objref");
+  IndexList(root, entries_, "enumList", "enumName", "enum");
+  IndexList(root, entries_, "structList", "structName", "struct");
+  IndexList(root, entries_, "unionList", "unionName", "union");
+  IndexList(root, entries_, "exceptionList", "exceptionName", "exception");
+  IndexList(root, entries_, "aliasList", "aliasName", "alias");
+}
+
+const TypeEntry* TypeIndex::Find(std::string_view name) const {
+  auto it = entries_.find(name);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void MapRegistry::Register(std::string name, MapFn fn) {
+  fns_[std::move(name)] = std::move(fn);
+}
+
+const MapFn* MapRegistry::Find(std::string_view name) const {
+  auto it = fns_.find(name);
+  return it == fns_.end() ? nullptr : &it->second;
+}
+
+// ---------------------------------------------------------------------------
+// Shared spelling helpers (see tmpl/spelling.h)
+
+using spelling::IsSequence;
+using spelling::IsString;
+using spelling::LastComponent;
+using spelling::MapPrimitive;
+using spelling::SequenceElement;
+
+namespace {
+bool IsSequenceSpelling(std::string_view s) { return IsSequence(s); }
+bool IsStringSpelling(std::string_view s) { return IsString(s); }
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// HeidiRMI C++ mapping (§3, Fig 3)
+
+std::string HeidiMapClassName(std::string_view scoped) {
+  if (scoped.empty()) return "";
+  std::string last = LastComponent(scoped);
+  if (str::StartsWith(last, "Hd")) return last;  // already a Heidi name
+  return "Hd" + last;
+}
+
+std::string HeidiMapElemType(std::string_view spelling,
+                             const MapContext& ctx) {
+  if (IsSequenceSpelling(spelling)) {
+    return "HdList<" + HeidiMapElemType(SequenceElement(spelling), ctx) + ">";
+  }
+  std::string prim = MapPrimitive(spelling, "XBool", "unsigned char",
+                                  "HdString");
+  if (!prim.empty()) return prim;
+  // Object references are stored as pointers (interface classes are
+  // abstract). The paper's Fig 3 prints HdList<HdS>, which cannot
+  // compile for an abstract HdS — a documented deviation (EXPERIMENTS.md).
+  const TypeEntry* entry =
+      ctx.types != nullptr ? ctx.types->Find(spelling) : nullptr;
+  std::string cls = HeidiMapClassName(spelling);
+  if (entry == nullptr || entry->tag == "objref") return cls + "*";
+  return cls;
+}
+
+std::string HeidiMapType(std::string_view spelling, const MapContext& ctx) {
+  std::string prim =
+      MapPrimitive(spelling, "XBool", "unsigned char", "HdString");
+  if (!prim.empty()) return prim;
+  if (IsSequenceSpelling(spelling)) {
+    return "HdList<" + HeidiMapElemType(SequenceElement(spelling), ctx) +
+           ">*";
+  }
+  const TypeEntry* entry =
+      ctx.types != nullptr ? ctx.types->Find(spelling) : nullptr;
+  std::string cls = HeidiMapClassName(spelling);
+  if (entry == nullptr) return cls + "*";  // assume object reference
+  if (entry->tag == "enum") return cls;
+  if (entry->tag == "alias") return entry->is_variable ? cls + "*" : cls;
+  // objref, struct, exception: variable entities are passed as pointers in
+  // Heidi (Fig 3: f(HdA*), t(HdSSequence*)).
+  return cls + "*";
+}
+
+// ---------------------------------------------------------------------------
+// CORBA-prescribed C++ mapping (Table 1, Fig 1)
+
+std::string CorbaMapType(std::string_view spelling, const MapContext& ctx) {
+  if (spelling == "void") return "void";
+  if (spelling == "boolean") return "CORBA::Boolean";
+  if (spelling == "char") return "CORBA::Char";
+  if (spelling == "octet") return "CORBA::Octet";
+  if (spelling == "short") return "CORBA::Short";
+  if (spelling == "unsigned short") return "CORBA::UShort";
+  if (spelling == "long") return "CORBA::Long";
+  if (spelling == "unsigned long") return "CORBA::ULong";
+  if (spelling == "long long") return "CORBA::LongLong";
+  if (spelling == "unsigned long long") return "CORBA::ULongLong";
+  if (spelling == "float") return "CORBA::Float";
+  if (spelling == "double") return "CORBA::Double";
+  if (IsStringSpelling(spelling)) return "const char*";
+  if (IsSequenceSpelling(spelling)) {
+    // CORBA requires sequences to be typedef'd; anonymous ones only appear
+    // in our extended usage. Map through the generated sequence class name.
+    return "const " +
+           str::ReplaceAll(std::string(spelling), "::", "_") + "&";
+  }
+  const TypeEntry* entry =
+      ctx.types != nullptr ? ctx.types->Find(spelling) : nullptr;
+  std::string scoped(spelling);
+  if (entry == nullptr) return scoped + "_ptr";
+  if (entry->tag == "objref") return scoped + "_ptr";
+  if (entry->tag == "enum") return scoped;
+  if (entry->tag == "alias") {
+    return entry->is_variable ? "const " + scoped + "&" : scoped;
+  }
+  return "const " + scoped + "&";  // struct/exception in-params
+}
+
+// ---------------------------------------------------------------------------
+// HeidiRMI experimental Java mapping (§4.2; no default parameters)
+
+std::string JavaMapType(std::string_view spelling, const MapContext& ctx) {
+  if (spelling == "void") return "void";
+  if (spelling == "boolean") return "boolean";
+  if (spelling == "char") return "char";
+  if (spelling == "octet") return "byte";
+  if (spelling == "short" || spelling == "unsigned short") return "short";
+  if (spelling == "long" || spelling == "unsigned long") return "int";
+  if (spelling == "long long" || spelling == "unsigned long long")
+    return "long";
+  if (spelling == "float") return "float";
+  if (spelling == "double") return "double";
+  if (IsStringSpelling(spelling)) return "String";
+  if (IsSequenceSpelling(spelling)) {
+    return JavaMapType(SequenceElement(spelling), ctx) + "[]";
+  }
+  const TypeEntry* entry =
+      ctx.types != nullptr ? ctx.types->Find(spelling) : nullptr;
+  if (entry != nullptr && entry->tag == "enum") {
+    return "int";  // pre-Java-5 enum mapping, as HeidiRMI-era code used
+  }
+  if (entry != nullptr && entry->tag == "alias") {
+    return JavaMapType(entry->alias_type, ctx);
+  }
+  return LastComponent(spelling);
+}
+
+// ---------------------------------------------------------------------------
+// Wire marshal-method suffixes
+
+std::string WireCallKind(std::string_view spelling, const MapContext& ctx) {
+  if (spelling == "void") return "Void";
+  if (spelling == "boolean") return "Boolean";
+  if (spelling == "char") return "Char";
+  if (spelling == "octet") return "Octet";
+  if (spelling == "short") return "Short";
+  if (spelling == "unsigned short") return "UShort";
+  if (spelling == "long") return "Long";
+  if (spelling == "unsigned long") return "ULong";
+  if (spelling == "long long") return "LongLong";
+  if (spelling == "unsigned long long") return "ULongLong";
+  if (spelling == "float") return "Float";
+  if (spelling == "double") return "Double";
+  if (IsStringSpelling(spelling)) return "String";
+  if (IsSequenceSpelling(spelling)) return "Sequence";
+  const TypeEntry* entry =
+      ctx.types != nullptr ? ctx.types->Find(spelling) : nullptr;
+  if (entry == nullptr) return "Object";  // external interface
+  if (entry->tag == "enum") return "Enum";
+  if (entry->tag == "objref") return "Object";
+  if (entry->tag == "alias") return WireCallKind(entry->alias_type, ctx);
+  return "Struct";
+}
+
+// ---------------------------------------------------------------------------
+// Registry
+
+MapRegistry MapRegistry::Builtins() {
+  MapRegistry reg;
+
+  // Generic helpers.
+  reg.Register("Ident",
+               [](const std::string& v, const MapContext&) { return v; });
+  reg.Register("Upper", [](const std::string& v, const MapContext&) {
+    return str::ToUpper(v);
+  });
+  reg.Register("Lower", [](const std::string& v, const MapContext&) {
+    return str::ToLower(v);
+  });
+  reg.Register("Capitalize", [](const std::string& v, const MapContext&) {
+    std::string out = v;
+    if (!out.empty())
+      out[0] = static_cast<char>(std::toupper(static_cast<unsigned char>(out[0])));
+    return out;
+  });
+  reg.Register("Flat", [](const std::string& v, const MapContext&) {
+    return str::ReplaceAll(v, "::", "_");
+  });
+
+  // HeidiRMI C++ mapping.
+  reg.Register("CPP::MapClassName",
+               [](const std::string& v, const MapContext&) {
+                 return HeidiMapClassName(v);
+               });
+  reg.Register("CPP::MapType",
+               [](const std::string& v, const MapContext& ctx) {
+                 return HeidiMapType(v, ctx);
+               });
+  reg.Register("CPP::MapReturnType",
+               [](const std::string& v, const MapContext& ctx) {
+                 return HeidiMapType(v, ctx);
+               });
+  reg.Register("CPP::MapElemType",
+               [](const std::string& v, const MapContext& ctx) {
+                 return HeidiMapElemType(v, ctx);
+               });
+  reg.Register("CPP::MapLiteral",
+               [](const std::string& v, const MapContext&) -> std::string {
+                 if (v == "TRUE") return "XTrue";
+                 if (v == "FALSE") return "XFalse";
+                 return v;
+               });
+  reg.Register("CPP::Capitalize", *reg.Find("Capitalize"));
+
+  // CORBA-prescribed C++ mapping.
+  reg.Register("CORBA::MapClassName",
+               [](const std::string& v, const MapContext&) { return v; });
+  reg.Register("CORBA::MapType",
+               [](const std::string& v, const MapContext& ctx) {
+                 return CorbaMapType(v, ctx);
+               });
+  reg.Register("CORBA::MapReturnType",
+               [](const std::string& v, const MapContext& ctx) {
+                 // Return values are never const-&; strip in-param wrapping.
+                 std::string t = CorbaMapType(v, ctx);
+                 if (str::StartsWith(t, "const ") && str::EndsWith(t, "&")) {
+                   return t.substr(6, t.size() - 7);
+                 }
+                 if (t == "const char*") return std::string("char*");
+                 return t;
+               });
+  reg.Register("CORBA::MapLiteral",
+               [](const std::string& v, const MapContext&) -> std::string {
+                 if (v == "TRUE") return "true";
+                 if (v == "FALSE") return "false";
+                 return v;
+               });
+
+  // Java mapping.
+  reg.Register("Java::MapClassName",
+               [](const std::string& v, const MapContext&) {
+                 return LastComponent(v);
+               });
+  reg.Register("Java::MapType",
+               [](const std::string& v, const MapContext& ctx) {
+                 return JavaMapType(v, ctx);
+               });
+  reg.Register("Java::MapReturnType", *reg.Find("Java::MapType"));
+  reg.Register("Java::MapLiteral",
+               [](const std::string& v, const MapContext&) -> std::string {
+                 if (v == "TRUE") return "true";
+                 if (v == "FALSE") return "false";
+                 return v;
+               });
+
+  // Wire marshal-method suffixes.
+  reg.Register("Wire::MapCallKind",
+               [](const std::string& v, const MapContext& ctx) {
+                 return WireCallKind(v, ctx);
+               });
+
+  // Tcl mapping: names only (tcl is untyped).
+  reg.Register("Tcl::MapClassName",
+               [](const std::string& v, const MapContext&) {
+                 return LastComponent(v);
+               });
+
+  // C++ stub/skeleton statement generators (tmpl/cppgen.h).
+  RegisterCppGen(reg);
+
+  return reg;
+}
+
+}  // namespace heidi::tmpl

@@ -1,0 +1,96 @@
+// Map functions — the pluggable name/type translation hooks a template
+// invokes with `-map <attr> <Func>` (Fig 9 uses CPP::MapClassName and
+// CPP::MapType). A map function receives the property's string value plus
+// a MapContext giving it the current EST node, the EST root, and a type
+// index over all named types, so it can translate full IDL type spellings
+// ("sequence<Heidi::S>") into target-language types ("HdList<HdS>*").
+//
+// Builtin families:
+//   generic — Ident, Upper, Lower, Capitalize, Flat (:: -> _)
+//   CPP::   — the HeidiRMI custom C++ mapping of §3 (Hd prefix, XBool,
+//             HdList, HdString; objrefs and variable aliases as pointers)
+//   CORBA:: — the CORBA-prescribed C++ mapping of Table 1 (CORBA::Long,
+//             A_ptr object references, const-& variable types)
+//   Java::  — the experimental HeidiRMI IDL-Java mapping of §4.2
+//   Tcl::   — the tcl mapping of Fig 10 (names only; tcl is untyped)
+//
+// User code can register additional functions on a MapRegistry before
+// running the interpreter, which is how a downstream application plugs its
+// own naming conventions in without touching the compiler (the paper's
+// whole point).
+#pragma once
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+
+#include "est/node.h"
+
+namespace heidi::tmpl {
+
+// What a named IDL type is, as far as a mapping needs to know.
+struct TypeEntry {
+  std::string tag;        // "objref", "enum", "struct", "exception", "alias"
+  std::string flat_name;  // "Heidi_A"
+  std::string repo_id;    // "IDL:Heidi/A:1.0"
+  bool is_variable = false;
+  std::string alias_type;  // for aliases: spelling of the aliased type
+};
+
+// Index over every named type in an EST, keyed by scoped name ("Heidi::A")
+// and by flat name ("Heidi_A").
+class TypeIndex {
+ public:
+  // Scans the flattened Root lists.
+  explicit TypeIndex(const est::Node& root);
+
+  // nullptr if unknown.
+  const TypeEntry* Find(std::string_view name) const;
+
+ private:
+  std::map<std::string, TypeEntry, std::less<>> entries_;
+};
+
+struct MapContext {
+  const est::Node* node = nullptr;  // current loop node ("" props available)
+  const est::Node* root = nullptr;
+  const TypeIndex* types = nullptr;
+};
+
+using MapFn = std::function<std::string(const std::string&, const MapContext&)>;
+
+class MapRegistry {
+ public:
+  // A registry pre-populated with all builtin families.
+  static MapRegistry Builtins();
+
+  void Register(std::string name, MapFn fn);
+  // nullptr if unknown.
+  const MapFn* Find(std::string_view name) const;
+
+ private:
+  std::map<std::string, MapFn, std::less<>> fns_;
+};
+
+// The mapping logic behind CPP::MapType etc., exposed directly so the
+// runtime and tests can translate spellings without a template:
+std::string HeidiMapClassName(std::string_view scoped);
+std::string HeidiMapType(std::string_view spelling, const MapContext& ctx);
+// Element position inside HdList<...>: like HeidiMapType but by value
+// (Fig 3 stores HdList<HdS>, not HdList<HdS*>). Registered as
+// CPP::MapElemType.
+std::string HeidiMapElemType(std::string_view spelling,
+                             const MapContext& ctx);
+std::string CorbaMapType(std::string_view spelling, const MapContext& ctx);
+std::string JavaMapType(std::string_view spelling, const MapContext& ctx);
+
+// Marshal-method suffix for a type spelling, shared by every stub/skeleton
+// template ("long" -> "Long" so templates emit insertLong/PutLong; enums ->
+// "Enum", interfaces -> "Object", sequences -> "Sequence", structs ->
+// "Struct", aliases resolve through the index). Registered as
+// Wire::MapCallKind.
+std::string WireCallKind(std::string_view spelling, const MapContext& ctx);
+
+}  // namespace heidi::tmpl

@@ -1,0 +1,118 @@
+// Template language: compiled representation and compiler (§4, Fig 9).
+//
+// A template is line-oriented. Lines starting with '@' are directives;
+// every other line is literal output with ${var} substitutions. The
+// directive set reproduces the paper's Fig 9 language:
+//
+//   @foreach <list> [-ifMore '<sep>'] [-map <attr> <Func>]...   ... @end [<list>]
+//       Iterates the named child list of the current EST node (absent list
+//       = zero iterations). Inside the body the element node's properties
+//       become variables. Each -map rewrites variable <attr> through map
+//       function <Func>; -ifMore binds ${ifMore} to <sep> on every
+//       iteration except the last (and "" on the last).
+//       Loop specials: ${index} (0-based), ${index1}, ${isFirst},
+//       ${isLast} ("true"/"").
+//   @if <operand> (==|!=) <operand>  ...  [@else ...]  @fi
+//       Operands are ${var} references or (possibly quoted) literals.
+//   @openfile <path>
+//       Redirects subsequent output to a new file (path is substituted).
+//   @set <var> <value>
+//       Binds a variable in the current scope (value is substituted).
+//   @map <var> <Func> [<source-var>]
+//       Binds <var> = Func(${source-var}), source defaulting to <var>.
+//   @include <file>
+//       Splices another template file at compile time (resolved relative
+//       to the including file's directory).
+//   @// comment — discarded.
+//
+// Escapes: a line starting with '@@' emits a literal '@' line; '$$' in
+// literal text emits a single '$'.
+//
+// Compilation is the paper's *first* code-generation step (§4.1): the
+// template text becomes an executable TemplateProgram once, which can then
+// be run against many ESTs — bench_codegen measures exactly this reuse.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heidi::tmpl {
+
+// A substituted string: alternating literal pieces and variable references.
+struct Segment {
+  enum class Kind : uint8_t { kLiteral, kVar } kind;
+  std::string text;  // literal text, or variable name
+};
+
+using SegmentList = std::vector<Segment>;
+
+struct Op;
+using Body = std::vector<Op>;
+
+struct ForeachOpts {
+  std::string list;
+  std::string if_more_sep;
+  bool has_if_more = false;
+  // Applied in order: var = func(var).
+  std::vector<std::pair<std::string, std::string>> maps;
+};
+
+struct Condition {
+  SegmentList lhs;
+  SegmentList rhs;
+  bool negated = false;  // true for '!='
+};
+
+struct Op {
+  enum class Kind : uint8_t {
+    kText,      // segments (one output line, newline appended)
+    kForeach,   // opts + body
+    kIf,        // cond + body (then) + else_body
+    kOpenFile,  // segments = path
+    kSet,       // var + segments
+    kMap,       // var, func, source_var
+  } kind;
+
+  SegmentList segments;
+  ForeachOpts foreach_opts;
+  Body body;
+  Body else_body;
+  Condition cond;
+  std::string var;
+  std::string func;
+  std::string source_var;
+  int line = 0;  // template line for error messages
+};
+
+class TemplateProgram {
+ public:
+  TemplateProgram(std::string name, Body body)
+      : name_(std::move(name)), body_(std::move(body)) {}
+
+  const std::string& Name() const { return name_; }
+  const Body& Ops() const { return body_; }
+
+  // Number of ops in the whole program (recursively) — used by benchmarks
+  // and sanity tests.
+  size_t OpCount() const;
+
+ private:
+  std::string name_;
+  Body body_;
+};
+
+// Compiles template text. `name` appears in diagnostics. `include_dir` is
+// the directory used to resolve @include (empty disables @include).
+// Throws TemplateError with <name>:<line> positions.
+TemplateProgram CompileTemplate(std::string_view text, std::string name,
+                                std::string include_dir = "");
+
+// Reads and compiles a template file; @include resolves relative to it.
+TemplateProgram CompileTemplateFile(const std::string& path);
+
+// Parses a ${...}-bearing string into segments (exposed for tests).
+SegmentList ParseSegments(std::string_view text, const std::string& context);
+
+}  // namespace heidi::tmpl

@@ -1,0 +1,65 @@
+// Internal helpers for interpreting canonical IDL type spellings
+// ("sequence<Heidi::S,4>", "unsigned long", "string<16>"). Shared by the
+// builtin map functions (mapfuncs.cpp) and the C++ statement generators
+// (cppgen.cpp).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+namespace heidi::tmpl::spelling {
+
+inline std::string LastComponent(std::string_view scoped) {
+  size_t pos = scoped.rfind("::");
+  return std::string(pos == std::string_view::npos ? scoped
+                                                   : scoped.substr(pos + 2));
+}
+
+inline bool IsSequence(std::string_view s) {
+  return s.substr(0, 9) == "sequence<";
+}
+
+inline bool IsString(std::string_view s) {
+  return s == "string" || s.substr(0, 7) == "string<";
+}
+
+// "sequence<X,N>" -> "X" (bound dropped; nested brackets respected).
+inline std::string SequenceElement(std::string_view s) {
+  std::string_view body = s.substr(9, s.size() - 10);
+  int depth = 0;
+  size_t comma = std::string_view::npos;
+  for (size_t i = 0; i < body.size(); ++i) {
+    if (body[i] == '<') ++depth;
+    if (body[i] == '>') --depth;
+    if (body[i] == ',' && depth == 0) {
+      comma = i;
+      break;
+    }
+  }
+  return std::string(comma == std::string_view::npos ? body
+                                                     : body.substr(0, comma));
+}
+
+// Maps primitive spellings to a target language's types; empty if the
+// spelling is not primitive. The three arguments customize the types that
+// differ between mappings.
+inline std::string MapPrimitive(std::string_view s, const char* boolean_type,
+                                const char* octet_type,
+                                const char* string_type) {
+  if (s == "void") return "void";
+  if (s == "boolean") return boolean_type;
+  if (s == "char") return "char";
+  if (s == "octet") return octet_type;
+  if (s == "short") return "short";
+  if (s == "unsigned short") return "unsigned short";
+  if (s == "long") return "long";
+  if (s == "unsigned long") return "unsigned long";
+  if (s == "long long") return "long long";
+  if (s == "unsigned long long") return "unsigned long long";
+  if (s == "float") return "float";
+  if (s == "double") return "double";
+  if (IsString(s)) return string_type;
+  return "";
+}
+
+}  // namespace heidi::tmpl::spelling

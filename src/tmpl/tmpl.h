@@ -1,0 +1,7 @@
+// Umbrella header for the template engine: program/compiler, interpreter,
+// map-function registry.
+#pragma once
+
+#include "tmpl/interp.h"    // IWYU pragma: export
+#include "tmpl/mapfuncs.h"  // IWYU pragma: export
+#include "tmpl/program.h"   // IWYU pragma: export

@@ -1,0 +1,107 @@
+#include "wire/binary.h"
+
+#include <cstring>
+
+#include "support/error.h"
+
+namespace heidi::wire {
+
+// This implementation assumes a little-endian host (x86/ARM in practice);
+// a big-endian port would byte-swap in PutPrim/GetPrim. CDR's
+// receiver-makes-right negotiation is out of scope.
+
+void BinaryCall::Align(size_t n) {
+  if (readable_) {
+    size_t aligned = (cursor_ + n - 1) & ~(n - 1);
+    if (aligned > buffer_.size()) {
+      throw MarshalError("payload exhausted during alignment");
+    }
+    cursor_ = aligned;
+  } else {
+    while (buffer_.size() % n != 0) buffer_.push_back('\0');
+  }
+}
+
+void BinaryCall::PutRaw(const void* data, size_t n) {
+  if (readable_) throw MarshalError("Put on a readable call");
+  buffer_.append(static_cast<const char*>(data), n);
+}
+
+void BinaryCall::GetRaw(void* data, size_t n, const char* what) {
+  if (!readable_) throw MarshalError("Get on a writable call");
+  if (cursor_ + n > buffer_.size()) {
+    throw MarshalError(std::string("payload exhausted reading ") + what);
+  }
+  std::memcpy(data, buffer_.data() + cursor_, n);
+  cursor_ += n;
+}
+
+void BinaryCall::PutBoolean(bool v) { PutPrim<uint8_t>(v ? 1 : 0); }
+void BinaryCall::PutChar(char v) { PutPrim<char>(v); }
+void BinaryCall::PutOctet(uint8_t v) { PutPrim<uint8_t>(v); }
+void BinaryCall::PutShort(int16_t v) { PutPrim<int16_t>(v); }
+void BinaryCall::PutUShort(uint16_t v) { PutPrim<uint16_t>(v); }
+void BinaryCall::PutLong(int32_t v) { PutPrim<int32_t>(v); }
+void BinaryCall::PutULong(uint32_t v) { PutPrim<uint32_t>(v); }
+void BinaryCall::PutLongLong(int64_t v) { PutPrim<int64_t>(v); }
+void BinaryCall::PutULongLong(uint64_t v) { PutPrim<uint64_t>(v); }
+void BinaryCall::PutFloat(float v) { PutPrim<float>(v); }
+void BinaryCall::PutDouble(double v) { PutPrim<double>(v); }
+
+void BinaryCall::PutString(std::string_view v) {
+  PutPrim<uint32_t>(static_cast<uint32_t>(v.size() + 1));
+  PutRaw(v.data(), v.size());
+  PutRaw("\0", 1);
+}
+
+void BinaryCall::PutBytes(std::string_view bytes) {
+  PutPrim<uint32_t>(static_cast<uint32_t>(bytes.size()));
+  PutRaw(bytes.data(), bytes.size());
+}
+
+bool BinaryCall::GetBoolean() {
+  uint8_t v = GetPrim<uint8_t>("boolean");
+  if (v > 1) throw MarshalError("malformed boolean");
+  return v != 0;
+}
+char BinaryCall::GetChar() { return GetPrim<char>("char"); }
+uint8_t BinaryCall::GetOctet() { return GetPrim<uint8_t>("octet"); }
+int16_t BinaryCall::GetShort() { return GetPrim<int16_t>("short"); }
+uint16_t BinaryCall::GetUShort() { return GetPrim<uint16_t>("ushort"); }
+int32_t BinaryCall::GetLong() { return GetPrim<int32_t>("long"); }
+uint32_t BinaryCall::GetULong() { return GetPrim<uint32_t>("ulong"); }
+int64_t BinaryCall::GetLongLong() { return GetPrim<int64_t>("longlong"); }
+uint64_t BinaryCall::GetULongLong() {
+  return GetPrim<uint64_t>("ulonglong");
+}
+float BinaryCall::GetFloat() { return GetPrim<float>("float"); }
+double BinaryCall::GetDouble() { return GetPrim<double>("double"); }
+
+std::string BinaryCall::GetString() {
+  uint32_t len = GetPrim<uint32_t>("string length");
+  if (len == 0) throw MarshalError("malformed string (zero length)");
+  if (cursor_ + len > buffer_.size()) {
+    throw MarshalError("payload exhausted reading string");
+  }
+  std::string out(buffer_.data() + cursor_, len - 1);
+  if (buffer_[cursor_ + len - 1] != '\0') {
+    throw MarshalError("string not NUL-terminated");
+  }
+  cursor_ += len;
+  return out;
+}
+
+std::string BinaryCall::GetBytes() {
+  uint32_t len = GetPrim<uint32_t>("bytes length");
+  if (cursor_ + len > buffer_.size()) {
+    throw MarshalError("payload exhausted reading bytes");
+  }
+  std::string out(buffer_.data() + cursor_, len);
+  cursor_ += len;
+  return out;
+}
+
+void BinaryCall::Begin(std::string_view) {}
+void BinaryCall::End() {}
+
+}  // namespace heidi::wire

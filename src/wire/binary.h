@@ -1,0 +1,84 @@
+// HIOP — the binary CDR-style protocol (the "minimal, real-time ORBs
+// based on IIOP" direction of §6). Encoding rules follow GIOP/CDR in
+// spirit: little-endian fixed-width primitives aligned to their natural
+// size relative to the start of the payload; strings are a u32 length
+// (including NUL) + bytes + NUL; group markers are implicit (Begin/End
+// are no-ops). Framing (magic, version, message type, length) is handled
+// by the protocol layer in protocol.cpp.
+#pragma once
+
+#include <memory>
+#include <string>
+
+#include "wire/call.h"
+
+namespace heidi::wire {
+
+class BinaryCall final : public Call {
+ public:
+  // Writable, empty call.
+  BinaryCall() = default;
+  // Readable call over a decoded payload.
+  explicit BinaryCall(std::string payload)
+      : buffer_(std::move(payload)), readable_(true) {}
+
+  void PutBoolean(bool v) override;
+  void PutChar(char v) override;
+  void PutOctet(uint8_t v) override;
+  void PutShort(int16_t v) override;
+  void PutUShort(uint16_t v) override;
+  void PutLong(int32_t v) override;
+  void PutULong(uint32_t v) override;
+  void PutLongLong(int64_t v) override;
+  void PutULongLong(uint64_t v) override;
+  void PutFloat(float v) override;
+  void PutDouble(double v) override;
+  void PutString(std::string_view v) override;
+  void PutBytes(std::string_view bytes) override;
+
+  bool GetBoolean() override;
+  char GetChar() override;
+  uint8_t GetOctet() override;
+  int16_t GetShort() override;
+  uint16_t GetUShort() override;
+  int32_t GetLong() override;
+  uint32_t GetULong() override;
+  int64_t GetLongLong() override;
+  uint64_t GetULongLong() override;
+  float GetFloat() override;
+  double GetDouble() override;
+  std::string GetString() override;
+  std::string GetBytes() override;
+
+  void Begin(std::string_view label) override;
+  void End() override;
+
+  bool HasMore() const override { return cursor_ < buffer_.size(); }
+  size_t PayloadSize() const override { return buffer_.size(); }
+
+  const std::string& Payload() const { return buffer_; }
+
+ private:
+  void Align(size_t n);
+  void PutRaw(const void* data, size_t n);
+  void GetRaw(void* data, size_t n, const char* what);
+
+  template <typename T>
+  void PutPrim(T v) {
+    Align(sizeof(T));
+    PutRaw(&v, sizeof(T));
+  }
+  template <typename T>
+  T GetPrim(const char* what) {
+    Align(sizeof(T));
+    T v;
+    GetRaw(&v, sizeof(T), what);
+    return v;
+  }
+
+  std::string buffer_;
+  size_t cursor_ = 0;
+  bool readable_ = false;
+};
+
+}  // namespace heidi::wire

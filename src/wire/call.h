@@ -1,0 +1,119 @@
+// The Call abstraction (§3.1, Fig 4/5): a remote method call being
+// assembled or decoded. A Call provides marshal/unmarshal functions for
+// all primitive data types plus begin/end structuring functions so that
+// composite types (structs, sequences, by-value objects) can be
+// represented — exactly the surface the paper describes.
+//
+// A Call instance is either *writable* (created empty, Put* used) or
+// *readable* (decoded off the wire, Get* used). Begin/End are dual-mode:
+// they emit group markers when writing and consume/verify them when
+// reading, so generated marshaling code has the same shape on both sides.
+//
+// Wire widths follow IDL: long is 32-bit on the wire regardless of the
+// C++ `long` width; Put/Get use fixed-width types.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+
+namespace heidi::wire {
+
+enum class CallKind : uint8_t { kRequest, kReply };
+
+enum class CallStatus : uint8_t {
+  kOk = 0,
+  kSystemError = 1,    // transport/dispatch failure (unknown object/op, ...)
+  kUserException = 2,  // the remote implementation raised an IDL exception
+};
+
+class Call {
+ public:
+  virtual ~Call() = default;
+
+  // --- header ------------------------------------------------------------
+  CallKind Kind() const { return kind_; }
+  void SetKind(CallKind kind) { kind_ = kind; }
+
+  uint64_t CallId() const { return call_id_; }
+  void SetCallId(uint64_t id) { call_id_ = id; }
+
+  // Stringified object reference of the target (the Call header, §3.1).
+  const std::string& Target() const { return target_; }
+  void SetTarget(std::string target) { target_ = std::move(target); }
+
+  const std::string& Operation() const { return operation_; }
+  void SetOperation(std::string op) { operation_ = std::move(op); }
+
+  bool Oneway() const { return oneway_; }
+  void SetOneway(bool oneway) { oneway_ = oneway; }
+
+  CallStatus Status() const { return status_; }
+  void SetStatus(CallStatus status) { status_ = status; }
+
+  // Error/exception text for non-kOk replies.
+  const std::string& ErrorText() const { return error_text_; }
+  void SetErrorText(std::string text) { error_text_ = std::move(text); }
+
+  // --- marshaling (writable calls) ----------------------------------------
+  virtual void PutBoolean(bool v) = 0;
+  virtual void PutChar(char v) = 0;
+  virtual void PutOctet(uint8_t v) = 0;
+  virtual void PutShort(int16_t v) = 0;
+  virtual void PutUShort(uint16_t v) = 0;
+  virtual void PutLong(int32_t v) = 0;
+  virtual void PutULong(uint32_t v) = 0;
+  virtual void PutLongLong(int64_t v) = 0;
+  virtual void PutULongLong(uint64_t v) = 0;
+  virtual void PutFloat(float v) = 0;
+  virtual void PutDouble(double v) = 0;
+  virtual void PutString(std::string_view v) = 0;
+  // Enums travel as their member index.
+  virtual void PutEnum(int32_t v) { PutLong(v); }
+  // Bulk octets (length-prefixed) — the USC-style fast path (§2).
+  virtual void PutBytes(std::string_view bytes) = 0;
+
+  // --- unmarshaling (readable calls); throw MarshalError on mismatch ------
+  virtual bool GetBoolean() = 0;
+  virtual char GetChar() = 0;
+  virtual uint8_t GetOctet() = 0;
+  virtual int16_t GetShort() = 0;
+  virtual uint16_t GetUShort() = 0;
+  virtual int32_t GetLong() = 0;
+  virtual uint32_t GetULong() = 0;
+  virtual int64_t GetLongLong() = 0;
+  virtual uint64_t GetULongLong() = 0;
+  virtual float GetFloat() = 0;
+  virtual double GetDouble() = 0;
+  virtual std::string GetString() = 0;
+  virtual int32_t GetEnum() { return GetLong(); }
+  virtual std::string GetBytes() = 0;
+
+  // --- structuring ---------------------------------------------------------
+  // Writing: open/close a named group. Reading: consume and verify the
+  // matching markers (text protocol); no-ops on self-delimiting encodings.
+  virtual void Begin(std::string_view label) = 0;
+  virtual void End() = 0;
+
+  // Sequence lengths (convention: PutLength before the elements).
+  void PutLength(uint32_t n) { PutULong(n); }
+  uint32_t GetLength() { return GetULong(); }
+
+  // True if a readable call has unconsumed payload (diagnostics/tests).
+  virtual bool HasMore() const = 0;
+
+  // Approximate encoded payload size in bytes (benchmarks).
+  virtual size_t PayloadSize() const = 0;
+
+ private:
+  CallKind kind_ = CallKind::kRequest;
+  uint64_t call_id_ = 0;
+  std::string target_;
+  std::string operation_;
+  bool oneway_ = false;
+  CallStatus status_ = CallStatus::kOk;
+  std::string error_text_;
+};
+
+}  // namespace heidi::wire

@@ -1,0 +1,248 @@
+#include "wire/protocol.h"
+
+#include <cstring>
+#include <mutex>
+
+#include "support/error.h"
+#include "support/strings.h"
+#include "wire/binary.h"
+#include "wire/text.h"
+
+namespace heidi::wire {
+
+// ---------------------------------------------------------------------------
+// Text protocol
+//
+// Line grammar (one request/reply per newline-terminated line):
+//   REQ <id> <O|W> <target> <operation> <payload tokens...>
+//   REP <id> <OK|SYS|USR> <error> <payload tokens...>
+
+namespace {
+
+class TextProtocol final : public Protocol {
+ public:
+  std::string_view Name() const override { return "text"; }
+
+  std::unique_ptr<Call> NewCall() const override {
+    return std::make_unique<TextCall>();
+  }
+
+  void WriteCall(net::ByteChannel& channel, const Call& call) const override {
+    const auto* text = dynamic_cast<const TextCall*>(&call);
+    if (text == nullptr) {
+      throw MarshalError("text protocol given a non-text Call");
+    }
+    std::string line;
+    if (call.Kind() == CallKind::kRequest) {
+      line = "REQ " + std::to_string(call.CallId()) + " " +
+             (call.Oneway() ? "O" : "W") + " " +
+             str::EscapeToken(call.Target()) + " " +
+             str::EscapeToken(call.Operation());
+    } else {
+      const char* status = call.Status() == CallStatus::kOk          ? "OK"
+                           : call.Status() == CallStatus::kSystemError ? "SYS"
+                                                                       : "USR";
+      line = "REP " + std::to_string(call.CallId()) + " " + status + " " +
+             str::EscapeToken(call.ErrorText());
+    }
+    for (const std::string& token : text->Tokens()) {
+      line.push_back(' ');
+      line += token;
+    }
+    line.push_back('\n');
+    channel.WriteAll(line.data(), line.size());
+  }
+
+  std::unique_ptr<Call> ReadCall(net::BufferedReader& reader) const override {
+    std::string line;
+    if (!reader.ReadLine(line)) return nullptr;
+    // Telnet clients send \r\n (§4.2's human-typed requests).
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    std::vector<std::string> fields = str::Split(line, ' ');
+    if (fields.empty() || fields[0].empty()) {
+      throw MarshalError("empty request line");
+    }
+    const std::string& verb = fields[0];
+    if (verb == "REQ") {
+      if (fields.size() < 5) throw MarshalError("short REQ line");
+      auto call = std::make_unique<TextCall>(std::vector<std::string>(
+          fields.begin() + 5, fields.end()));
+      call->SetKind(CallKind::kRequest);
+      call->SetCallId(std::strtoull(fields[1].c_str(), nullptr, 10));
+      if (fields[2] != "O" && fields[2] != "W") {
+        throw MarshalError("malformed oneway flag '" + fields[2] + "'");
+      }
+      call->SetOneway(fields[2] == "O");
+      call->SetTarget(str::UnescapeToken(fields[3]));
+      call->SetOperation(str::UnescapeToken(fields[4]));
+      return call;
+    }
+    if (verb == "REP") {
+      if (fields.size() < 4) throw MarshalError("short REP line");
+      auto call = std::make_unique<TextCall>(std::vector<std::string>(
+          fields.begin() + 4, fields.end()));
+      call->SetKind(CallKind::kReply);
+      call->SetCallId(std::strtoull(fields[1].c_str(), nullptr, 10));
+      if (fields[2] == "OK") {
+        call->SetStatus(CallStatus::kOk);
+      } else if (fields[2] == "SYS") {
+        call->SetStatus(CallStatus::kSystemError);
+      } else if (fields[2] == "USR") {
+        call->SetStatus(CallStatus::kUserException);
+      } else {
+        throw MarshalError("malformed reply status '" + fields[2] + "'");
+      }
+      call->SetErrorText(str::UnescapeToken(fields[3]));
+      return call;
+    }
+    throw MarshalError("unknown protocol verb '" + verb + "'");
+  }
+};
+
+// ---------------------------------------------------------------------------
+// HIOP binary protocol
+//
+// Frame: "HIOP" | u8 version(1) | u8 msgtype (1=request, 2=reply) |
+//        u16 reserved | u32 head_len | u32 payload_len | head | payload.
+// Head and payload are independent CDR sections (alignment restarts at 0).
+
+constexpr char kMagic[4] = {'H', 'I', 'O', 'P'};
+constexpr uint8_t kVersion = 1;
+
+class HiopProtocol final : public Protocol {
+ public:
+  std::string_view Name() const override { return "hiop"; }
+
+  std::unique_ptr<Call> NewCall() const override {
+    return std::make_unique<BinaryCall>();
+  }
+
+  void WriteCall(net::ByteChannel& channel, const Call& call) const override {
+    const auto* bin = dynamic_cast<const BinaryCall*>(&call);
+    if (bin == nullptr) {
+      throw MarshalError("hiop protocol given a non-binary Call");
+    }
+    BinaryCall head;
+    head.PutULongLong(call.CallId());
+    if (call.Kind() == CallKind::kRequest) {
+      head.PutBoolean(call.Oneway());
+      head.PutString(call.Target());
+      head.PutString(call.Operation());
+    } else {
+      head.PutOctet(static_cast<uint8_t>(call.Status()));
+      head.PutString(call.ErrorText());
+    }
+    const std::string& head_bytes = head.Payload();
+    const std::string& payload = bin->Payload();
+
+    std::string frame;
+    frame.reserve(16 + head_bytes.size() + payload.size());
+    frame.append(kMagic, 4);
+    frame.push_back(static_cast<char>(kVersion));
+    frame.push_back(call.Kind() == CallKind::kRequest ? 1 : 2);
+    frame.append(2, '\0');
+    uint32_t head_len = static_cast<uint32_t>(head_bytes.size());
+    uint32_t payload_len = static_cast<uint32_t>(payload.size());
+    frame.append(reinterpret_cast<const char*>(&head_len), 4);
+    frame.append(reinterpret_cast<const char*>(&payload_len), 4);
+    frame += head_bytes;
+    frame += payload;
+    channel.WriteAll(frame.data(), frame.size());
+  }
+
+  std::unique_ptr<Call> ReadCall(net::BufferedReader& reader) const override {
+    char header[16];
+    if (!reader.ReadExact(header, sizeof header)) return nullptr;
+    if (std::memcmp(header, kMagic, 4) != 0) {
+      throw MarshalError("bad HIOP magic");
+    }
+    if (static_cast<uint8_t>(header[4]) != kVersion) {
+      throw MarshalError("unsupported HIOP version");
+    }
+    uint8_t msgtype = static_cast<uint8_t>(header[5]);
+    if (msgtype != 1 && msgtype != 2) {
+      throw MarshalError("unknown HIOP message type");
+    }
+    uint32_t head_len = 0;
+    uint32_t payload_len = 0;
+    std::memcpy(&head_len, header + 8, 4);
+    std::memcpy(&payload_len, header + 12, 4);
+    // 64 MiB frame cap: a corrupted length must not OOM the server.
+    if (head_len > (1u << 20) || payload_len > (64u << 20)) {
+      throw MarshalError("HIOP frame too large");
+    }
+    std::string head_bytes(head_len, '\0');
+    if (head_len != 0 && !reader.ReadExact(head_bytes.data(), head_len)) {
+      throw NetError("connection closed mid-frame");
+    }
+    std::string payload(payload_len, '\0');
+    if (payload_len != 0 && !reader.ReadExact(payload.data(), payload_len)) {
+      throw NetError("connection closed mid-frame");
+    }
+
+    BinaryCall head(std::move(head_bytes));
+    auto call = std::make_unique<BinaryCall>(std::move(payload));
+    call->SetCallId(head.GetULongLong());
+    if (msgtype == 1) {
+      call->SetKind(CallKind::kRequest);
+      call->SetOneway(head.GetBoolean());
+      call->SetTarget(head.GetString());
+      call->SetOperation(head.GetString());
+    } else {
+      call->SetKind(CallKind::kReply);
+      uint8_t status = head.GetOctet();
+      if (status > 2) throw MarshalError("malformed reply status");
+      call->SetStatus(static_cast<CallStatus>(status));
+      call->SetErrorText(head.GetString());
+    }
+    return call;
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Registry
+
+std::mutex& RegistryMutex() {
+  static std::mutex m;
+  return m;
+}
+
+std::vector<const Protocol*>& Registry() {
+  static std::vector<const Protocol*> protocols = [] {
+    static TextProtocol text;
+    static HiopProtocol hiop;
+    return std::vector<const Protocol*>{&text, &hiop};
+  }();
+  return protocols;
+}
+
+}  // namespace
+
+const Protocol* FindProtocol(std::string_view name) {
+  std::lock_guard lock(RegistryMutex());
+  for (const Protocol* p : Registry()) {
+    if (p->Name() == name) return p;
+  }
+  return nullptr;
+}
+
+void RegisterProtocol(const Protocol* protocol) {
+  if (protocol == nullptr) return;
+  std::lock_guard lock(RegistryMutex());
+  for (const Protocol* p : Registry()) {
+    if (p->Name() == protocol->Name()) {
+      throw HdError("protocol '" + std::string(protocol->Name()) +
+                    "' already registered");
+    }
+  }
+  Registry().push_back(protocol);
+}
+
+std::vector<std::string> ProtocolNames() {
+  std::lock_guard lock(RegistryMutex());
+  std::vector<std::string> out;
+  for (const Protocol* p : Registry()) out.emplace_back(p->Name());
+  return out;
+}
+
+}  // namespace heidi::wire

@@ -1,0 +1,51 @@
+// Protocol: frames Calls over a ByteChannel and demarcates individual
+// requests (the ObjectCommunicator responsibility split of §3.1 — the
+// communicator owns the channel, the protocol owns the encoding).
+//
+// Two implementations ship:
+//   "text" — the HeidiRMI newline-terminated ASCII protocol (§3.1), also
+//            usable by a human over telnet (§4.2);
+//   "hiop" — the binary CDR-style protocol (framing: "HIOP" magic,
+//            version, message type, section lengths).
+//
+// The registry makes the ORB protocol a configuration string, which is the
+// paper's "customizing the ORB protocol" axis; applications can register
+// their own Protocol the same way.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "net/buffered.h"
+#include "net/channel.h"
+#include "wire/call.h"
+
+namespace heidi::wire {
+
+class Protocol {
+ public:
+  virtual ~Protocol() = default;
+
+  virtual std::string_view Name() const = 0;
+
+  // A new writable Call in this protocol's encoding.
+  virtual std::unique_ptr<Call> NewCall() const = 0;
+
+  // Frames and sends `call` (header + payload). Throws NetError /
+  // MarshalError.
+  virtual void WriteCall(net::ByteChannel& channel, const Call& call) const = 0;
+
+  // Reads one framed call; returns nullptr on clean EOF. Throws on
+  // malformed frames or mid-frame EOF.
+  virtual std::unique_ptr<Call> ReadCall(net::BufferedReader& reader) const = 0;
+};
+
+// Global protocol registry. "text" and "hiop" are pre-registered;
+// RegisterProtocol adds custom protocols (name must be new).
+const Protocol* FindProtocol(std::string_view name);
+void RegisterProtocol(const Protocol* protocol);
+std::vector<std::string> ProtocolNames();
+
+}  // namespace heidi::wire

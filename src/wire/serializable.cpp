@@ -1,0 +1,15 @@
+#include "wire/serializable.h"
+
+namespace heidi::wire {
+
+const HdTypeInfo& HdSerializable::TypeInfo() {
+  static const HdTypeInfo info{std::string(kRepoId), {}};
+  static const bool registered = [] {
+    HdTypeRegistry::Instance().Register(&info);
+    return true;
+  }();
+  (void)registered;
+  return info;
+}
+
+}  // namespace heidi::wire

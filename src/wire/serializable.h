@@ -1,0 +1,37 @@
+// HdSerializable — the marshaling interface an object implements to be
+// eligible for pass-by-value (`incopy`, §3.1).
+//
+// Whether a particular object actually implements it is determined the
+// way the paper describes: first through Heidi's dynamic type check
+// (obj->IsA(HdSerializable::kRepoId)), then the C++-level cross-cast. The
+// semantics match Java RMI's Serializable-but-not-Remote parameters: the
+// receiving side reconstructs a fresh copy from the marshaled state.
+#pragma once
+
+#include <string_view>
+
+#include "support/typeinfo.h"
+#include "wire/call.h"
+
+namespace heidi::wire {
+
+class HdSerializable {
+ public:
+  static constexpr std::string_view kRepoId = "IDL:Heidi/Serializable:1.0";
+
+  // Type-info node serializable classes list among their parents, so the
+  // dynamic-type check obj->IsA(kRepoId) sees through to it.
+  static const HdTypeInfo& TypeInfo();
+
+  virtual ~HdSerializable() = default;
+
+  // Writes this object's state into `call` (between the value group's
+  // Begin/End, which the ORB emits).
+  virtual void MarshalState(Call& call) const = 0;
+
+  // Restores state from `call`; the instance was default-constructed by
+  // the value factory registered for its repository id.
+  virtual void UnmarshalState(Call& call) = 0;
+};
+
+}  // namespace heidi::wire

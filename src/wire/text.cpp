@@ -1,0 +1,198 @@
+#include "wire/text.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "support/error.h"
+#include "support/strings.h"
+
+namespace heidi::wire {
+
+namespace {
+
+[[noreturn]] void FailType(const char* what, const std::string& got) {
+  throw MarshalError(std::string("expected ") + what + ", got token '" + got +
+                     "'");
+}
+
+}  // namespace
+
+void TextCall::PutToken(char tag, std::string_view body) {
+  if (readable_) throw MarshalError("Put on a readable call");
+  std::string token(1, tag);
+  token.push_back(':');
+  token += str::EscapeToken(body);
+  tokens_.push_back(std::move(token));
+}
+
+std::string TextCall::TakeToken(char tag, const char* what) {
+  if (!readable_) throw MarshalError("Get on a writable call");
+  if (cursor_ >= tokens_.size()) {
+    throw MarshalError(std::string("call payload exhausted reading ") + what);
+  }
+  const std::string& token = tokens_[cursor_];
+  if (token.size() < 2 || token[0] != tag || token[1] != ':') {
+    FailType(what, token);
+  }
+  ++cursor_;
+  return str::UnescapeToken(std::string_view(token).substr(2));
+}
+
+int64_t TextCall::TakeSigned(int64_t min, int64_t max, const char* what) {
+  std::string body = TakeToken('i', what);
+  errno = 0;
+  char* end = nullptr;
+  long long v = std::strtoll(body.c_str(), &end, 10);
+  if (errno != 0 || end == body.c_str() || *end != '\0') {
+    throw MarshalError(std::string("malformed integer for ") + what + ": '" +
+                       body + "'");
+  }
+  if (v < min || v > max) {
+    throw MarshalError(std::string("integer out of range for ") + what +
+                       ": " + body);
+  }
+  return v;
+}
+
+uint64_t TextCall::TakeUnsigned(uint64_t max, const char* what) {
+  std::string body = TakeToken('u', what);
+  errno = 0;
+  char* end = nullptr;
+  if (!body.empty() && body[0] == '-') {
+    throw MarshalError(std::string("negative value for ") + what);
+  }
+  unsigned long long v = std::strtoull(body.c_str(), &end, 10);
+  if (errno != 0 || end == body.c_str() || *end != '\0') {
+    throw MarshalError(std::string("malformed integer for ") + what + ": '" +
+                       body + "'");
+  }
+  if (v > max) {
+    throw MarshalError(std::string("integer out of range for ") + what +
+                       ": " + body);
+  }
+  return v;
+}
+
+void TextCall::PutBoolean(bool v) { PutToken('b', v ? "T" : "F"); }
+void TextCall::PutChar(char v) { PutToken('c', std::string_view(&v, 1)); }
+void TextCall::PutOctet(uint8_t v) { PutToken('o', std::to_string(v)); }
+void TextCall::PutShort(int16_t v) { PutToken('i', std::to_string(v)); }
+void TextCall::PutUShort(uint16_t v) { PutToken('u', std::to_string(v)); }
+void TextCall::PutLong(int32_t v) { PutToken('i', std::to_string(v)); }
+void TextCall::PutULong(uint32_t v) { PutToken('u', std::to_string(v)); }
+void TextCall::PutLongLong(int64_t v) { PutToken('i', std::to_string(v)); }
+void TextCall::PutULongLong(uint64_t v) { PutToken('u', std::to_string(v)); }
+
+void TextCall::PutFloat(float v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.9g", static_cast<double>(v));
+  PutToken('f', buf);
+}
+
+void TextCall::PutDouble(double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, "%.17g", v);
+  PutToken('f', buf);
+}
+
+void TextCall::PutString(std::string_view v) { PutToken('s', v); }
+void TextCall::PutBytes(std::string_view bytes) { PutToken('y', bytes); }
+
+bool TextCall::GetBoolean() {
+  std::string body = TakeToken('b', "boolean");
+  if (body == "T") return true;
+  if (body == "F") return false;
+  throw MarshalError("malformed boolean token '" + body + "'");
+}
+
+char TextCall::GetChar() {
+  std::string body = TakeToken('c', "char");
+  if (body.size() != 1) throw MarshalError("malformed char token");
+  return body[0];
+}
+
+uint8_t TextCall::GetOctet() {
+  std::string body = TakeToken('o', "octet");
+  errno = 0;
+  char* end = nullptr;
+  unsigned long v = std::strtoul(body.c_str(), &end, 10);
+  if (errno != 0 || end == body.c_str() || *end != '\0' || v > 255) {
+    throw MarshalError("malformed octet token '" + body + "'");
+  }
+  return static_cast<uint8_t>(v);
+}
+
+int16_t TextCall::GetShort() {
+  return static_cast<int16_t>(TakeSigned(INT16_MIN, INT16_MAX, "short"));
+}
+uint16_t TextCall::GetUShort() {
+  return static_cast<uint16_t>(TakeUnsigned(UINT16_MAX, "unsigned short"));
+}
+int32_t TextCall::GetLong() {
+  return static_cast<int32_t>(TakeSigned(INT32_MIN, INT32_MAX, "long"));
+}
+uint32_t TextCall::GetULong() {
+  return static_cast<uint32_t>(TakeUnsigned(UINT32_MAX, "unsigned long"));
+}
+int64_t TextCall::GetLongLong() {
+  return TakeSigned(INT64_MIN, INT64_MAX, "long long");
+}
+uint64_t TextCall::GetULongLong() {
+  return TakeUnsigned(UINT64_MAX, "unsigned long long");
+}
+
+float TextCall::GetFloat() {
+  std::string body = TakeToken('f', "float");
+  errno = 0;
+  char* end = nullptr;
+  float v = std::strtof(body.c_str(), &end);
+  if (end == body.c_str() || *end != '\0') {
+    throw MarshalError("malformed float token '" + body + "'");
+  }
+  return v;
+}
+
+double TextCall::GetDouble() {
+  std::string body = TakeToken('f', "double");
+  errno = 0;
+  char* end = nullptr;
+  double v = std::strtod(body.c_str(), &end);
+  if (end == body.c_str() || *end != '\0') {
+    throw MarshalError("malformed double token '" + body + "'");
+  }
+  return v;
+}
+
+std::string TextCall::GetString() { return TakeToken('s', "string"); }
+std::string TextCall::GetBytes() { return TakeToken('y', "bytes"); }
+
+void TextCall::Begin(std::string_view label) {
+  if (readable_) {
+    std::string got = TakeToken('[', "group begin");
+    if (got != label) {
+      throw MarshalError("group mismatch: expected begin '" +
+                         std::string(label) + "', got '" + got + "'");
+    }
+  } else {
+    PutToken('[', label);
+  }
+}
+
+void TextCall::End() {
+  if (readable_) {
+    if (cursor_ >= tokens_.size() || tokens_[cursor_] != "]") {
+      throw MarshalError("expected group end");
+    }
+    ++cursor_;
+  } else {
+    tokens_.push_back("]");
+  }
+}
+
+size_t TextCall::PayloadSize() const {
+  size_t total = 0;
+  for (const std::string& t : tokens_) total += t.size() + 1;
+  return total;
+}
+
+}  // namespace heidi::wire

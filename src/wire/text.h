@@ -1,0 +1,81 @@
+// The HeidiRMI text protocol (§3.1): each request or reply is one
+// newline-terminated line of ASCII. Fields are space-separated,
+// %-escaped tokens; every payload token carries a one-character type tag
+// so a human reading (or typing!) the stream can follow it — the paper's
+// §4.2 telnet-debugging story depends on this legibility.
+//
+// Line grammar:
+//   REQ <id> <O|W> <target> <operation> <payload tokens...>
+//   REP <id> <OK|SYS|USR> <error> <payload tokens...>
+// Payload tokens:
+//   b:T b:F      boolean            i:-42   signed integers (all widths)
+//   u:42         unsigned integers  f:1.5   float/double (%.17g)
+//   c:a          char               o:255   octet
+//   s:hello%20x  string             e:2     enum (member index)
+//   y:<bytes>    bulk octets        [:<label>  ]   group begin/end
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "wire/call.h"
+
+namespace heidi::wire {
+
+class TextCall final : public Call {
+ public:
+  // Writable, empty call.
+  TextCall() = default;
+  // Readable call over decoded payload tokens (header set by the caller).
+  explicit TextCall(std::vector<std::string> tokens)
+      : tokens_(std::move(tokens)), readable_(true) {}
+
+  void PutBoolean(bool v) override;
+  void PutChar(char v) override;
+  void PutOctet(uint8_t v) override;
+  void PutShort(int16_t v) override;
+  void PutUShort(uint16_t v) override;
+  void PutLong(int32_t v) override;
+  void PutULong(uint32_t v) override;
+  void PutLongLong(int64_t v) override;
+  void PutULongLong(uint64_t v) override;
+  void PutFloat(float v) override;
+  void PutDouble(double v) override;
+  void PutString(std::string_view v) override;
+  void PutBytes(std::string_view bytes) override;
+
+  bool GetBoolean() override;
+  char GetChar() override;
+  uint8_t GetOctet() override;
+  int16_t GetShort() override;
+  uint16_t GetUShort() override;
+  int32_t GetLong() override;
+  uint32_t GetULong() override;
+  int64_t GetLongLong() override;
+  uint64_t GetULongLong() override;
+  float GetFloat() override;
+  double GetDouble() override;
+  std::string GetString() override;
+  std::string GetBytes() override;
+
+  void Begin(std::string_view label) override;
+  void End() override;
+
+  bool HasMore() const override { return cursor_ < tokens_.size(); }
+  size_t PayloadSize() const override;
+
+  const std::vector<std::string>& Tokens() const { return tokens_; }
+
+ private:
+  void PutToken(char tag, std::string_view body);
+  // Consumes the next token, checking its tag.
+  std::string TakeToken(char tag, const char* what);
+  int64_t TakeSigned(int64_t min, int64_t max, const char* what);
+  uint64_t TakeUnsigned(uint64_t max, const char* what);
+
+  std::vector<std::string> tokens_;
+  size_t cursor_ = 0;
+  bool readable_ = false;
+};
+
+}  // namespace heidi::wire

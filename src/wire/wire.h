@@ -1,0 +1,8 @@
+// Umbrella header for the wire layer: Call, protocols, serializable.
+#pragma once
+
+#include "wire/binary.h"        // IWYU pragma: export
+#include "wire/call.h"          // IWYU pragma: export
+#include "wire/protocol.h"      // IWYU pragma: export
+#include "wire/serializable.h"  // IWYU pragma: export
+#include "wire/text.h"          // IWYU pragma: export

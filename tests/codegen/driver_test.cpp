@@ -1,0 +1,88 @@
+#include "codegen/driver.h"
+
+#include <gtest/gtest.h>
+
+#include "est/builder.h"
+#include "idl/sema.h"
+#include "support/error.h"
+
+namespace heidi::codegen {
+namespace {
+
+TEST(SourceBase, StripsDirectoryAndExtension) {
+  EXPECT_EQ(SourceBase("A.idl"), "A");
+  EXPECT_EQ(SourceBase("path/to/A.idl"), "A");
+  EXPECT_EQ(SourceBase("noext"), "noext");
+  EXPECT_EQ(SourceBase("dir.with.dots/file.v2.idl"), "file.v2");
+  EXPECT_EQ(SourceBase(".hidden"), ".hidden");
+}
+
+TEST(Generate, GlobalsReachTemplates) {
+  idl::Specification spec = idl::ParseAndResolve("interface I {};", "x.idl");
+  auto root = est::BuildEst(spec);
+  Mapping mapping{"custom", "", {{"t", "base=${sourceBase} who=${who}\n"}}};
+  tmpl::MapRegistry maps = tmpl::MapRegistry::Builtins();
+  GenerateResult result = Generate(*root, mapping, maps, {{"who", "me"}});
+  EXPECT_EQ(result.files.at(""), "base=x who=me\n");
+}
+
+TEST(Generate, MultipleTemplatesMergeFiles) {
+  idl::Specification spec = idl::ParseAndResolve("interface I {};", "x.idl");
+  auto root = est::BuildEst(spec);
+  Mapping mapping{"custom",
+                  "",
+                  {{"one", "@openfile a.txt\nfrom one\n"},
+                   {"two", "@openfile b.txt\nfrom two\n"}}};
+  tmpl::MapRegistry maps = tmpl::MapRegistry::Builtins();
+  GenerateResult result = Generate(*root, mapping, maps);
+  EXPECT_EQ(result.files.at("a.txt"), "from one\n");
+  EXPECT_EQ(result.files.at("b.txt"), "from two\n");
+  EXPECT_FALSE(result.files.count(""));  // empty default stream dropped
+}
+
+TEST(Generate, TemplatesAppendToSameFile) {
+  idl::Specification spec = idl::ParseAndResolve("interface I {};", "x.idl");
+  auto root = est::BuildEst(spec);
+  Mapping mapping{"custom",
+                  "",
+                  {{"one", "@openfile out.txt\nhead\n"},
+                   {"two", "@openfile out.txt\ntail\n"}}};
+  tmpl::MapRegistry maps = tmpl::MapRegistry::Builtins();
+  GenerateResult result = Generate(*root, mapping, maps);
+  EXPECT_EQ(result.files.at("out.txt"), "head\ntail\n");
+}
+
+TEST(GenerateFromSource, BadIdlThrowsParseError) {
+  const Mapping* mapping = FindBuiltinMapping("heidi_cpp");
+  EXPECT_THROW(GenerateFromSource("interface {", "bad.idl", *mapping),
+               ParseError);
+}
+
+TEST(GenerateFromSource, BadTemplateThrowsTemplateError) {
+  Mapping mapping{"broken", "", {{"t", "@bogus\n"}}};
+  EXPECT_THROW(GenerateFromSource("interface I {};", "x.idl", mapping),
+               TemplateError);
+}
+
+TEST(Generate, CustomMapFunctionUsableFromTemplate) {
+  // The paper's extension story: an application registers its own naming
+  // convention without recompiling the compiler.
+  idl::Specification spec =
+      idl::ParseAndResolve("interface Player {};", "p.idl");
+  auto root = est::BuildEst(spec);
+  tmpl::MapRegistry maps = tmpl::MapRegistry::Builtins();
+  maps.Register("Acme::Prefix",
+                [](const std::string& v, const tmpl::MapContext&) {
+                  return "Acme" + v;
+                });
+  Mapping mapping{
+      "acme", "", {{"t",
+                    "@foreach interfaceList -map name Acme::Prefix\n"
+                    "class ${name};\n"
+                    "@end\n"}}};
+  GenerateResult result = Generate(*root, mapping, maps);
+  EXPECT_EQ(result.files.at(""), "class AcmePlayer;\n");
+}
+
+}  // namespace
+}  // namespace heidi::codegen

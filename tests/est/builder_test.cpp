@@ -1,0 +1,247 @@
+// Validates the EST structure of Fig 7: like nodes are grouped into lists
+// (the button attribute sits in attributeList, not between methods), and
+// nodes carry the Fig 8 properties (type/typeName/IsVariable/Parent).
+#include "est/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "idl/sema.h"
+
+namespace heidi::est {
+namespace {
+
+constexpr const char* kFig3Idl = R"(
+module Heidi {
+  // External declaration of Heidi::S
+  interface S;
+  // Heidi::Status
+  enum Status {Start, Stop};
+  // Heidi::SSequence
+  typedef sequence<S> SSequence;
+  // Heidi::A
+  interface A : S
+  {
+    void f(in A a);
+    void g(incopy S s);
+    void p(in long l = 0);
+    void q(in Status s = Heidi::Start);
+    readonly attribute Status button;
+    void s(in boolean b = TRUE);
+    void t(in SSequence s);
+  };
+};
+)";
+
+std::unique_ptr<Node> BuildFig3() {
+  idl::Specification spec = idl::ParseAndResolve(kFig3Idl, "A.idl");
+  return BuildEst(spec);
+}
+
+const Node& Only(const Node& parent, std::string_view list) {
+  const auto* nodes = parent.FindList(list);
+  EXPECT_NE(nodes, nullptr) << "missing list " << list;
+  EXPECT_EQ(nodes->size(), 1u);
+  return *nodes->front();
+}
+
+TEST(EstBuilder, RootProps) {
+  auto root = BuildFig3();
+  EXPECT_EQ(root->Kind(), "Root");
+  EXPECT_EQ(root->GetProp("sourceName"), "A.idl");
+}
+
+TEST(EstBuilder, FlattenedRootLists) {
+  auto root = BuildFig3();
+  // Module contents are mirrored into flattened root lists.
+  EXPECT_EQ(root->FindList("interfaceList")->size(), 1u);  // A (not fwd S)
+  EXPECT_EQ(root->FindList("enumList")->size(), 1u);
+  EXPECT_EQ(root->FindList("aliasList")->size(), 1u);
+  EXPECT_EQ(root->FindList("moduleList")->size(), 1u);
+}
+
+TEST(EstBuilder, ModuleNodeHasDirectChildren) {
+  auto root = BuildFig3();
+  const Node& mod = Only(*root, "moduleList");
+  EXPECT_EQ(mod.Kind(), "Module");
+  EXPECT_EQ(mod.GetProp("moduleName"), "Heidi");
+  EXPECT_EQ(mod.FindList("interfaceList")->size(), 1u);
+  EXPECT_EQ(mod.FindList("enumList")->size(), 1u);
+}
+
+TEST(EstBuilder, InterfaceNodeProps) {
+  auto root = BuildFig3();
+  const Node& a = Only(*root, "interfaceList");
+  EXPECT_EQ(a.Kind(), "Interface");
+  EXPECT_EQ(a.Name(), "A");
+  EXPECT_EQ(a.GetProp("interfaceName"), "Heidi::A");
+  EXPECT_EQ(a.GetProp("flatName"), "Heidi_A");
+  EXPECT_EQ(a.GetProp("repoId"), "IDL:Heidi/A:1.0");
+  // Fig 8: $n2->AddProp("Parent", "Heidi_S").
+  EXPECT_EQ(a.GetProp("Parent"), "Heidi_S");
+  EXPECT_EQ(a.GetProp("hasBases"), "true");
+}
+
+TEST(EstBuilder, InheritedListMarksExternalBases) {
+  auto root = BuildFig3();
+  const Node& a = Only(*root, "interfaceList");
+  const Node& base = Only(a, "inheritedList");
+  EXPECT_EQ(base.GetProp("inheritedName"), "Heidi::S");
+  EXPECT_EQ(base.GetProp("flatName"), "Heidi_S");
+  EXPECT_EQ(base.GetProp("external"), "true");
+}
+
+TEST(EstBuilder, MethodsGroupedDespiteInterleavedAttribute) {
+  // The Fig 7 point: button appears between q and s in source, but the
+  // EST keeps all six methods contiguous in methodList.
+  auto root = BuildFig3();
+  const Node& a = Only(*root, "interfaceList");
+  const auto* methods = a.FindList("methodList");
+  ASSERT_EQ(methods->size(), 6u);
+  std::vector<std::string> names;
+  for (const auto& m : *methods) names.push_back(m->Name());
+  EXPECT_EQ(names,
+            (std::vector<std::string>{"f", "g", "p", "q", "s", "t"}));
+  const auto* attrs = a.FindList("attributeList");
+  ASSERT_EQ(attrs->size(), 1u);
+  EXPECT_EQ(attrs->front()->Name(), "button");
+}
+
+TEST(EstBuilder, ParamPropsMatchFig8) {
+  auto root = BuildFig3();
+  const Node& a = Only(*root, "interfaceList");
+  const Node& f = *a.FindList("methodList")->at(0);
+  EXPECT_EQ(f.GetProp("type"), "void");  // Fig 8: return type tag
+  const Node& param = Only(f, "paramList");
+  EXPECT_EQ(param.GetProp("paramName"), "a");
+  EXPECT_EQ(param.GetProp("type"), "objref");
+  EXPECT_EQ(param.GetProp("typeName"), "Heidi_A");
+  EXPECT_EQ(param.GetProp("paramType"), "Heidi::A");
+  EXPECT_EQ(param.GetProp("IsVariable"), "true");
+  EXPECT_EQ(param.GetProp("direction"), "in");
+  EXPECT_EQ(param.GetProp("defaultParam"), "");
+}
+
+TEST(EstBuilder, IncopyDirectionRecorded) {
+  auto root = BuildFig3();
+  const Node& a = Only(*root, "interfaceList");
+  const Node& g = *a.FindList("methodList")->at(1);
+  EXPECT_EQ(Only(g, "paramList").GetProp("direction"), "incopy");
+}
+
+TEST(EstBuilder, DefaultParamSpellings) {
+  auto root = BuildFig3();
+  const Node& a = Only(*root, "interfaceList");
+  const auto* methods = a.FindList("methodList");
+  EXPECT_EQ(Only(*methods->at(2), "paramList").GetProp("defaultParam"), "0");
+  EXPECT_EQ(Only(*methods->at(3), "paramList").GetProp("defaultParam"),
+            "Start");
+  EXPECT_EQ(Only(*methods->at(4), "paramList").GetProp("defaultParam"),
+            "TRUE");
+}
+
+TEST(EstBuilder, AttributeProps) {
+  auto root = BuildFig3();
+  const Node& a = Only(*root, "interfaceList");
+  const Node& button = Only(a, "attributeList");
+  EXPECT_EQ(button.GetProp("attributeQualifier"), "readonly");
+  EXPECT_EQ(button.GetProp("attributeType"), "Heidi::Status");
+  EXPECT_EQ(button.GetProp("type"), "enum");
+  EXPECT_EQ(button.GetProp("typeName"), "Heidi_Status");
+}
+
+TEST(EstBuilder, AliasNodeMatchesFig8) {
+  auto root = BuildFig3();
+  const Node& alias = Only(*root, "aliasList");
+  EXPECT_EQ(alias.Kind(), "Alias");
+  EXPECT_EQ(alias.Name(), "SSequence");
+  EXPECT_EQ(alias.GetProp("type"), "sequence");  // Fig 8
+  const Node& seq = Only(alias, "sequenceList");
+  EXPECT_EQ(seq.Kind(), "Sequence");
+  EXPECT_EQ(seq.GetProp("type"), "objref");         // Fig 8
+  EXPECT_EQ(seq.GetProp("typeName"), "Heidi_S");    // Fig 8
+  EXPECT_EQ(seq.GetProp("IsVariable"), "true");     // Fig 8
+  EXPECT_EQ(seq.GetProp("bound"), "0");
+}
+
+TEST(EstBuilder, EnumNode) {
+  auto root = BuildFig3();
+  const Node& en = Only(*root, "enumList");
+  EXPECT_EQ(en.GetProp("members"), "Start,Stop");  // Fig 8 members array
+  const auto* members = en.FindList("memberList");
+  ASSERT_EQ(members->size(), 2u);
+  EXPECT_EQ((*members)[0]->GetProp("memberName"), "Start");
+}
+
+TEST(EstBuilder, AllMethodListIncludesInheritedDefinedBases) {
+  idl::Specification spec = idl::ParseAndResolve(R"(
+    interface Base { void alpha(); };
+    interface Mid : Base { void beta(); };
+    interface Leaf : Mid { void gamma(); };
+  )");
+  auto root = BuildEst(spec);
+  const Node& leaf = *root->FindList("interfaceList")->at(2);
+  const auto* all = leaf.FindList("allMethodList");
+  ASSERT_EQ(all->size(), 3u);
+  EXPECT_EQ((*all)[0]->Name(), "alpha");
+  EXPECT_EQ((*all)[0]->GetProp("definedIn"), "Base");
+  EXPECT_EQ((*all)[2]->Name(), "gamma");
+  EXPECT_EQ((*all)[2]->GetProp("definedIn"), "Leaf");
+}
+
+TEST(EstBuilder, DiamondBasesVisitedOnce) {
+  idl::Specification spec = idl::ParseAndResolve(R"(
+    interface R { void r(); };
+    interface L : R { void l(); };
+    interface Rt : R { void rt(); };
+    interface D : L, Rt { void d(); };
+  )");
+  auto root = BuildEst(spec);
+  const Node& d = *root->FindList("interfaceList")->at(3);
+  EXPECT_EQ(d.FindList("allMethodList")->size(), 4u);  // r once
+}
+
+TEST(EstBuilder, StructAndConstNodes) {
+  idl::Specification spec = idl::ParseAndResolve(R"(
+    struct Point { double x; string label; };
+    const long MAX = 42;
+  )");
+  auto root = BuildEst(spec);
+  const Node& st = *root->FindList("structList")->front();
+  EXPECT_EQ(st.GetProp("IsVariable"), "true");  // has a string field
+  const auto* fields = st.FindList("fieldList");
+  ASSERT_EQ(fields->size(), 2u);
+  EXPECT_EQ((*fields)[0]->GetProp("fieldType"), "double");
+  const Node& c = *root->FindList("constList")->front();
+  EXPECT_EQ(c.GetProp("constValue"), "42");
+  EXPECT_EQ(c.GetProp("constType"), "long");
+}
+
+TEST(SpellType, Spellings) {
+  idl::TypeRef t = idl::TypeRef::Primitive(idl::PrimKind::kULong);
+  EXPECT_EQ(SpellType(t), "unsigned long");
+  idl::TypeRef seq = idl::TypeRef::Sequence(
+      idl::TypeRef::Primitive(idl::PrimKind::kString), 8);
+  EXPECT_EQ(SpellType(seq), "sequence<string,8>");
+  idl::TypeRef bounded = idl::TypeRef::Primitive(idl::PrimKind::kString);
+  bounded.string_bound = 16;
+  EXPECT_EQ(SpellType(bounded), "string<16>");
+}
+
+TEST(SpellLiteral, Spellings) {
+  idl::Literal lit;
+  lit.kind = idl::Literal::Kind::kInt;
+  lit.int_value = -5;
+  EXPECT_EQ(SpellLiteral(lit), "-5");
+  lit.kind = idl::Literal::Kind::kBool;
+  lit.bool_value = true;
+  EXPECT_EQ(SpellLiteral(lit), "TRUE");
+  lit.kind = idl::Literal::Kind::kString;
+  lit.text = "a\"b";
+  EXPECT_EQ(SpellLiteral(lit), "\"a\\\"b\"");
+  lit.kind = idl::Literal::Kind::kChar;
+  lit.text = "\n";
+  EXPECT_EQ(SpellLiteral(lit), "'\\n'");
+}
+
+}  // namespace
+}  // namespace heidi::est

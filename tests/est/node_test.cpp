@@ -1,0 +1,80 @@
+#include "est/node.h"
+
+#include <gtest/gtest.h>
+
+namespace heidi::est {
+namespace {
+
+TEST(Node, KindAndName) {
+  Node n("Interface", "A");
+  EXPECT_EQ(n.Kind(), "Interface");
+  EXPECT_EQ(n.Name(), "A");
+}
+
+TEST(Node, PropsInsertionOrderedAndOverwriting) {
+  Node n("X", "");
+  n.SetProp("b", "1");
+  n.SetProp("a", "2");
+  n.SetProp("b", "3");  // overwrite keeps position
+  ASSERT_EQ(n.Props().size(), 2u);
+  EXPECT_EQ(n.Props()[0].first, "b");
+  EXPECT_EQ(n.Props()[0].second, "3");
+  EXPECT_EQ(n.GetProp("a"), "2");
+  EXPECT_EQ(n.GetProp("missing", "dflt"), "dflt");
+  EXPECT_EQ(n.FindProp("missing"), nullptr);
+  EXPECT_TRUE(n.HasProp("a"));
+}
+
+TEST(Node, ListsGroupChildren) {
+  Node n("Interface", "A");
+  n.NewChild("methodList", "Operation", "f");
+  n.NewChild("attributeList", "Attribute", "button");
+  n.NewChild("methodList", "Operation", "g");
+  ASSERT_TRUE(n.HasList("methodList"));
+  const auto* methods = n.FindList("methodList");
+  ASSERT_EQ(methods->size(), 2u);
+  EXPECT_EQ((*methods)[0]->Name(), "f");
+  EXPECT_EQ((*methods)[1]->Name(), "g");
+  EXPECT_EQ(n.FindList("attributeList")->size(), 1u);
+  EXPECT_EQ(n.FindList("nope"), nullptr);
+}
+
+TEST(Node, ListNamesInsertionOrdered) {
+  Node n("X", "");
+  n.NewChild("bList", "K", "");
+  n.NewChild("aList", "K", "");
+  EXPECT_EQ(n.ListNames(), (std::vector<std::string>{"bList", "aList"}));
+}
+
+TEST(Node, TreeSize) {
+  Node n("Root", "");
+  Node& child = n.NewChild("l", "K", "c");
+  child.NewChild("m", "K", "gc");
+  EXPECT_EQ(n.TreeSize(), 3u);
+}
+
+TEST(Node, DeepEqualsAndClone) {
+  Node n("Root", "r");
+  n.SetProp("k", "v");
+  Node& c = n.NewChild("l", "K", "c");
+  c.SetProp("x", "y");
+
+  auto clone = n.Clone();
+  EXPECT_TRUE(DeepEquals(n, *clone));
+
+  clone->SetProp("k", "other");
+  EXPECT_FALSE(DeepEquals(n, *clone));
+}
+
+TEST(Node, DeepEqualsDiscriminates) {
+  Node a("K", "n");
+  Node b("K", "n");
+  EXPECT_TRUE(DeepEquals(a, b));
+  b.NewChild("l", "K", "c");
+  EXPECT_FALSE(DeepEquals(a, b));
+  a.NewChild("l", "K", "different");
+  EXPECT_FALSE(DeepEquals(a, b));
+}
+
+}  // namespace
+}  // namespace heidi::est

@@ -1,0 +1,131 @@
+#include "est/repository.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace heidi::est {
+namespace {
+
+constexpr const char* kSourceA = R"(
+module Heidi {
+  enum Status { Start, Stop };
+  interface A { void f(in Status s); };
+};
+)";
+
+constexpr const char* kSourceB = R"(
+module Media {
+  interface Player { void play(in string uri); };
+  typedef sequence<Player> Players;
+};
+)";
+
+TEST(InterfaceRepository, StartsEmpty) {
+  InterfaceRepository ir;
+  EXPECT_EQ(ir.SourceCount(), 0u);
+  EXPECT_EQ(ir.FindByRepoId("IDL:Heidi/A:1.0"), nullptr);
+  EXPECT_TRUE(ir.AllInterfaces().empty());
+}
+
+TEST(InterfaceRepository, AddSourceAndQuery) {
+  InterfaceRepository ir;
+  ir.AddSource(kSourceA, "a.idl");
+  ir.AddSource(kSourceB, "b.idl");
+  EXPECT_EQ(ir.SourceCount(), 2u);
+  EXPECT_EQ(ir.SourceNames(), (std::vector<std::string>{"a.idl", "b.idl"}));
+
+  const Node* a = ir.FindByRepoId("IDL:Heidi/A:1.0");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->Kind(), "Interface");
+  EXPECT_EQ(a->Name(), "A");
+
+  const Node* status = ir.FindByRepoId("IDL:Heidi/Status:1.0");
+  ASSERT_NE(status, nullptr);
+  EXPECT_EQ(status->Kind(), "Enum");
+
+  const Node* players = ir.FindByRepoId("IDL:Media/Players:1.0");
+  ASSERT_NE(players, nullptr);
+  EXPECT_EQ(players->Kind(), "Alias");
+
+  EXPECT_EQ(ir.FindByRepoId("IDL:No/Such:1.0"), nullptr);
+}
+
+TEST(InterfaceRepository, AllInterfacesSpansSources) {
+  InterfaceRepository ir;
+  ir.AddSource(kSourceA, "a.idl");
+  ir.AddSource(kSourceB, "b.idl");
+  auto interfaces = ir.AllInterfaces();
+  ASSERT_EQ(interfaces.size(), 2u);
+}
+
+TEST(InterfaceRepository, ReplacingASourceReindexes) {
+  InterfaceRepository ir;
+  ir.AddSource("interface Old {};", "x.idl");
+  ASSERT_NE(ir.FindByRepoId("IDL:Old:1.0"), nullptr);
+  ir.AddSource("interface New {};", "x.idl");
+  EXPECT_EQ(ir.SourceCount(), 1u);
+  EXPECT_EQ(ir.FindByRepoId("IDL:Old:1.0"), nullptr);
+  EXPECT_NE(ir.FindByRepoId("IDL:New:1.0"), nullptr);
+}
+
+TEST(InterfaceRepository, FindSource) {
+  InterfaceRepository ir;
+  ir.AddSource(kSourceA, "a.idl");
+  const Node* root = ir.FindSource("a.idl");
+  ASSERT_NE(root, nullptr);
+  EXPECT_EQ(root->Kind(), "Root");
+  EXPECT_EQ(ir.FindSource("missing.idl"), nullptr);
+}
+
+TEST(InterfaceRepository, SaveLoadRoundTrip) {
+  InterfaceRepository ir;
+  ir.AddSource(kSourceA, "a.idl");
+  ir.AddSource(kSourceB, "b.idl");
+  std::string blob = ir.Save();
+
+  InterfaceRepository restored;
+  restored.Load(blob);
+  EXPECT_EQ(restored.SourceCount(), 2u);
+  const Node* a = restored.FindByRepoId("IDL:Heidi/A:1.0");
+  ASSERT_NE(a, nullptr);
+  EXPECT_TRUE(DeepEquals(*ir.FindSource("a.idl"), *restored.FindSource("a.idl")));
+  // A second save is byte-identical (fixpoint).
+  EXPECT_EQ(restored.Save(), blob);
+}
+
+TEST(InterfaceRepository, LoadReplacesContents) {
+  InterfaceRepository ir;
+  ir.AddSource(kSourceA, "a.idl");
+  InterfaceRepository other;
+  other.AddSource(kSourceB, "b.idl");
+  ir.Load(other.Save());
+  EXPECT_EQ(ir.SourceCount(), 1u);
+  EXPECT_EQ(ir.FindByRepoId("IDL:Heidi/A:1.0"), nullptr);
+  EXPECT_NE(ir.FindByRepoId("IDL:Media/Player:1.0"), nullptr);
+}
+
+TEST(InterfaceRepository, LoadRejectsGarbage) {
+  InterfaceRepository ir;
+  EXPECT_THROW(ir.Load("not a repository"), ParseError);
+  EXPECT_THROW(ir.Load("IR 2 0\n"), ParseError);
+  EXPECT_THROW(ir.Load("IR 1 1\nSOURCE x.idl\nEST 1\nN Root x\nX\n"),
+               ParseError);  // missing ENDSOURCE
+}
+
+TEST(InterfaceRepository, SourceNamesWithSpacesSurvive) {
+  InterfaceRepository ir;
+  ir.AddSource("interface I {};", "dir with space/i.idl");
+  InterfaceRepository restored;
+  restored.Load(ir.Save());
+  EXPECT_NE(restored.FindSource("dir with space/i.idl"), nullptr);
+}
+
+TEST(InterfaceRepository, BadSourceIdlPropagatesParseError) {
+  InterfaceRepository ir;
+  EXPECT_THROW(ir.AddSource("interface {", "bad.idl"), ParseError);
+  EXPECT_EQ(ir.SourceCount(), 0u);
+}
+
+}  // namespace
+}  // namespace heidi::est

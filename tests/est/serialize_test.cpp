@@ -1,0 +1,102 @@
+#include "est/serialize.h"
+
+#include <gtest/gtest.h>
+
+#include "est/builder.h"
+#include "idl/sema.h"
+#include "support/error.h"
+
+namespace heidi::est {
+namespace {
+
+TEST(EstSerialize, SimpleNode) {
+  Node n("Root", "r");
+  n.SetProp("key", "value");
+  std::string text = Serialize(n);
+  EXPECT_EQ(text, "EST 1\nN Root r\nP key value\nX\n");
+}
+
+TEST(EstSerialize, EscapesSpacesAndNewlines) {
+  Node n("K", "a b");
+  n.SetProp("p", "line1\nline2");
+  std::string text = Serialize(n);
+  EXPECT_EQ(text.find("a b\n"), std::string::npos);
+  auto round = Deserialize(text);
+  EXPECT_EQ(round->Name(), "a b");
+  EXPECT_EQ(round->GetProp("p"), "line1\nline2");
+}
+
+TEST(EstSerialize, RoundTripIsFixpoint) {
+  Node n("Root", "");
+  n.SetProp("a", "1");
+  Node& child = n.NewChild("listOne", "Kid", "x");
+  child.SetProp("deep", "yes");
+  child.NewChild("inner", "Leaf", "l1");
+  n.NewChild("listOne", "Kid", "y");
+  n.NewChild("listTwo", "Other", "");
+
+  std::string text = Serialize(n);
+  auto round = Deserialize(text);
+  EXPECT_TRUE(DeepEquals(n, *round));
+  // Serializing the rebuilt tree gives identical text.
+  EXPECT_EQ(Serialize(*round), text);
+}
+
+TEST(EstSerialize, RealEstRoundTrip) {
+  idl::Specification spec = idl::ParseAndResolve(R"(
+    module Heidi {
+      enum Status { Start, Stop };
+      interface S { void ping(); };
+      typedef sequence<S> SSequence;
+      interface A : S {
+        void q(in Status s = Heidi::Start);
+        readonly attribute Status button;
+      };
+    };
+  )",
+                                                 "A.idl");
+  auto est = BuildEst(spec);
+  auto round = Deserialize(Serialize(*est));
+  EXPECT_TRUE(DeepEquals(*est, *round));
+  EXPECT_EQ(est->TreeSize(), round->TreeSize());
+}
+
+TEST(EstDeserialize, RejectsMissingHeader) {
+  EXPECT_THROW(Deserialize("N Root r\nX\n"), ParseError);
+}
+
+TEST(EstDeserialize, RejectsWrongVersion) {
+  EXPECT_THROW(Deserialize("EST 9\nN Root r\nX\n"), ParseError);
+}
+
+TEST(EstDeserialize, RejectsUnterminatedNode) {
+  EXPECT_THROW(Deserialize("EST 1\nN Root r\n"), ParseError);
+}
+
+TEST(EstDeserialize, RejectsPropOutsideNode) {
+  EXPECT_THROW(Deserialize("EST 1\nP a b\n"), ParseError);
+}
+
+TEST(EstDeserialize, RejectsNodeOutsideList) {
+  EXPECT_THROW(Deserialize("EST 1\nN Root r\nN Kid k\nX\nX\n"), ParseError);
+}
+
+TEST(EstDeserialize, RejectsUnclosedList) {
+  EXPECT_THROW(Deserialize("EST 1\nN Root r\nL kids\nX\n"), ParseError);
+}
+
+TEST(EstDeserialize, RejectsMultipleRoots) {
+  EXPECT_THROW(Deserialize("EST 1\nN A a\nX\nN B b\nX\n"), ParseError);
+}
+
+TEST(EstDeserialize, RejectsUnknownOpcode) {
+  EXPECT_THROW(Deserialize("EST 1\nQ what\n"), ParseError);
+}
+
+TEST(EstDeserialize, ToleratesBlankLines) {
+  auto n = Deserialize("EST 1\n\nN Root r\n\nX\n\n");
+  EXPECT_EQ(n->Kind(), "Root");
+}
+
+}  // namespace
+}  // namespace heidi::est

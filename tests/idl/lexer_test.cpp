@@ -1,0 +1,148 @@
+#include "idl/lexer.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace heidi::idl {
+namespace {
+
+std::vector<Tok> Kinds(std::string_view src) {
+  Lexer lexer(src);
+  std::vector<Tok> out;
+  for (const Token& t : lexer.Tokenize()) out.push_back(t.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInput) {
+  EXPECT_EQ(Kinds(""), (std::vector<Tok>{Tok::kEof}));
+  EXPECT_EQ(Kinds("   \n\t "), (std::vector<Tok>{Tok::kEof}));
+}
+
+TEST(Lexer, KeywordsVsIdentifiers) {
+  EXPECT_EQ(Kinds("module interface foo"),
+            (std::vector<Tok>{Tok::kKwModule, Tok::kKwInterface,
+                              Tok::kIdentifier, Tok::kEof}));
+  // IDL keywords are case-sensitive.
+  EXPECT_EQ(Kinds("Module")[0], Tok::kIdentifier);
+}
+
+TEST(Lexer, IncopyExtensionKeyword) {
+  EXPECT_EQ(Kinds("incopy")[0], Tok::kKwIncopy);
+}
+
+TEST(Lexer, TrueFalseAreUppercase) {
+  EXPECT_EQ(Kinds("TRUE FALSE"),
+            (std::vector<Tok>{Tok::kKwTrue, Tok::kKwFalse, Tok::kEof}));
+  EXPECT_EQ(Kinds("true")[0], Tok::kIdentifier);
+}
+
+TEST(Lexer, Punctuation) {
+  EXPECT_EQ(Kinds("{ } ( ) < > , ; = ::"),
+            (std::vector<Tok>{Tok::kLBrace, Tok::kRBrace, Tok::kLParen,
+                              Tok::kRParen, Tok::kLess, Tok::kGreater,
+                              Tok::kComma, Tok::kSemicolon, Tok::kEquals,
+                              Tok::kScope, Tok::kEof}));
+}
+
+TEST(Lexer, ScopeVsColon) {
+  EXPECT_EQ(Kinds("a::b"),
+            (std::vector<Tok>{Tok::kIdentifier, Tok::kScope, Tok::kIdentifier,
+                              Tok::kEof}));
+  EXPECT_EQ(Kinds("a : b")[1], Tok::kColon);
+}
+
+TEST(Lexer, IntegerLiterals) {
+  Lexer lexer("42 0x1F 0");
+  auto tokens = lexer.Tokenize();
+  EXPECT_EQ(tokens[0].kind, Tok::kIntLit);
+  EXPECT_EQ(tokens[0].text, "42");
+  EXPECT_EQ(tokens[1].kind, Tok::kIntLit);
+  EXPECT_EQ(tokens[1].text, "0x1F");
+  EXPECT_EQ(tokens[2].text, "0");
+}
+
+TEST(Lexer, FloatLiterals) {
+  Lexer lexer("1.5 2e10 3.25e-2");
+  auto tokens = lexer.Tokenize();
+  EXPECT_EQ(tokens[0].kind, Tok::kFloatLit);
+  EXPECT_EQ(tokens[1].kind, Tok::kFloatLit);
+  EXPECT_EQ(tokens[2].kind, Tok::kFloatLit);
+  EXPECT_EQ(tokens[2].text, "3.25e-2");
+}
+
+TEST(Lexer, IntegerFollowedByDotMember) {
+  // "1." without a digit after the dot is not a float in our subset.
+  Lexer lexer("1 .");
+  EXPECT_EQ(lexer.Next().kind, Tok::kIntLit);
+  EXPECT_THROW(lexer.Next(), ParseError);  // bare '.' is not a token
+}
+
+TEST(Lexer, StringLiterals) {
+  Lexer lexer(R"("hello" "a\nb" "q\"q")");
+  auto tokens = lexer.Tokenize();
+  EXPECT_EQ(tokens[0].text, "hello");
+  EXPECT_EQ(tokens[1].text, "a\nb");
+  EXPECT_EQ(tokens[2].text, "q\"q");
+}
+
+TEST(Lexer, CharLiterals) {
+  Lexer lexer(R"('a' '\n' '\'')");
+  auto tokens = lexer.Tokenize();
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "\n");
+  EXPECT_EQ(tokens[2].text, "'");
+}
+
+TEST(Lexer, UnterminatedStringThrows) {
+  Lexer lexer("\"abc");
+  EXPECT_THROW(lexer.Tokenize(), ParseError);
+}
+
+TEST(Lexer, LineComments) {
+  EXPECT_EQ(Kinds("a // comment\nb"),
+            (std::vector<Tok>{Tok::kIdentifier, Tok::kIdentifier, Tok::kEof}));
+}
+
+TEST(Lexer, BlockComments) {
+  EXPECT_EQ(Kinds("a /* x\ny */ b"),
+            (std::vector<Tok>{Tok::kIdentifier, Tok::kIdentifier, Tok::kEof}));
+}
+
+TEST(Lexer, UnterminatedBlockCommentThrows) {
+  EXPECT_THROW(Kinds("a /* never closed"), ParseError);
+}
+
+TEST(Lexer, PragmaPrefix) {
+  Lexer lexer("#pragma prefix \"nec.com\"\ninterface A;");
+  lexer.Tokenize();
+  EXPECT_EQ(lexer.PragmaPrefix(), "nec.com");
+}
+
+TEST(Lexer, UnknownPreprocessorDirectiveThrows) {
+  Lexer lexer("#include <x.idl>\n");
+  EXPECT_THROW(lexer.Tokenize(), ParseError);
+}
+
+TEST(Lexer, PositionsAreTracked) {
+  Lexer lexer("a\n  b");
+  Token a = lexer.Next();
+  Token b = lexer.Next();
+  EXPECT_EQ(a.line, 1);
+  EXPECT_EQ(a.column, 1);
+  EXPECT_EQ(b.line, 2);
+  EXPECT_EQ(b.column, 3);
+}
+
+TEST(Lexer, ErrorMentionsSourceName) {
+  Lexer lexer("$", "myfile.idl");
+  try {
+    lexer.Next();
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("myfile.idl"), std::string::npos);
+  }
+}
+
+}  // namespace
+}  // namespace heidi::idl

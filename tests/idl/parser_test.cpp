@@ -1,0 +1,263 @@
+#include "idl/parser.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace heidi::idl {
+namespace {
+
+template <typename T>
+const T& As(const Decl& decl) {
+  const T* typed = dynamic_cast<const T*>(&decl);
+  EXPECT_NE(typed, nullptr);
+  return *typed;
+}
+
+TEST(Parser, EmptySpecification) {
+  Specification spec = Parse("");
+  EXPECT_TRUE(spec.decls.empty());
+}
+
+TEST(Parser, Module) {
+  Specification spec = Parse("module M { enum E { A, B }; };");
+  ASSERT_EQ(spec.decls.size(), 1u);
+  const auto& mod = As<ModuleDecl>(*spec.decls[0]);
+  EXPECT_EQ(mod.name, "M");
+  ASSERT_EQ(mod.decls.size(), 1u);
+  EXPECT_EQ(mod.decls[0]->name, "E");
+}
+
+TEST(Parser, NestedModules) {
+  Specification spec = Parse("module A { module B { interface I {}; }; };");
+  const auto& a = As<ModuleDecl>(*spec.decls[0]);
+  const auto& b = As<ModuleDecl>(*a.decls[0]);
+  EXPECT_EQ(b.decls[0]->name, "I");
+}
+
+TEST(Parser, ForwardInterface) {
+  Specification spec = Parse("interface S;");
+  EXPECT_EQ(spec.decls[0]->decl_kind, DeclKind::kForwardInterface);
+}
+
+TEST(Parser, InterfaceWithBases) {
+  Specification spec =
+      Parse("interface A {}; interface B {}; interface C : A, ::B {};");
+  const auto& c = As<InterfaceDecl>(*spec.decls[2]);
+  ASSERT_EQ(c.base_names.size(), 2u);
+  EXPECT_EQ(c.base_names[0], "A");
+  EXPECT_EQ(c.base_names[1], "::B");
+}
+
+TEST(Parser, OperationsAndParams) {
+  Specification spec = Parse(R"(
+    interface I {
+      long f(in long a, out string b, inout double c);
+    };
+  )");
+  const auto& iface = As<InterfaceDecl>(*spec.decls[0]);
+  ASSERT_EQ(iface.operations.size(), 1u);
+  const OperationDecl& op = iface.operations[0];
+  EXPECT_EQ(op.name, "f");
+  ASSERT_EQ(op.params.size(), 3u);
+  EXPECT_EQ(op.params[0].direction, ParamDir::kIn);
+  EXPECT_EQ(op.params[1].direction, ParamDir::kOut);
+  EXPECT_EQ(op.params[2].direction, ParamDir::kInOut);
+  EXPECT_EQ(op.params[1].type.prim, PrimKind::kString);
+}
+
+TEST(Parser, IncopyDirection) {
+  Specification spec = Parse("interface I { void f(incopy I x); };");
+  const auto& iface = As<InterfaceDecl>(*spec.decls[0]);
+  EXPECT_EQ(iface.operations[0].params[0].direction, ParamDir::kInCopy);
+}
+
+TEST(Parser, DefaultParameterValues) {
+  Specification spec = Parse(R"(
+    enum Status { Start, Stop };
+    interface I {
+      void f(in long a = 0, in boolean b = TRUE, in Status s = Start,
+             in string t = "hi", in double d = 1.5);
+    };
+  )");
+  const auto& iface = As<InterfaceDecl>(*spec.decls[1]);
+  const auto& params = iface.operations[0].params;
+  EXPECT_EQ(params[0].default_value.kind, Literal::Kind::kInt);
+  EXPECT_EQ(params[0].default_value.int_value, 0);
+  EXPECT_EQ(params[1].default_value.kind, Literal::Kind::kBool);
+  EXPECT_TRUE(params[1].default_value.bool_value);
+  EXPECT_EQ(params[2].default_value.kind, Literal::Kind::kScoped);
+  EXPECT_EQ(params[3].default_value.kind, Literal::Kind::kString);
+  EXPECT_EQ(params[3].default_value.text, "hi");
+  EXPECT_EQ(params[4].default_value.kind, Literal::Kind::kFloat);
+  EXPECT_DOUBLE_EQ(params[4].default_value.float_value, 1.5);
+}
+
+TEST(Parser, NegativeDefaults) {
+  Specification spec = Parse("interface I { void f(in long a = -3); };");
+  const auto& iface = As<InterfaceDecl>(*spec.decls[0]);
+  EXPECT_EQ(iface.operations[0].params[0].default_value.int_value, -3);
+}
+
+TEST(Parser, Attributes) {
+  Specification spec = Parse(R"(
+    enum Status { Start, Stop };
+    interface I {
+      readonly attribute Status button;
+      attribute long knob, dial;
+    };
+  )");
+  const auto& iface = As<InterfaceDecl>(*spec.decls[1]);
+  ASSERT_EQ(iface.attributes.size(), 3u);
+  EXPECT_TRUE(iface.attributes[0].readonly);
+  EXPECT_EQ(iface.attributes[1].name, "knob");
+  EXPECT_FALSE(iface.attributes[2].readonly);
+  EXPECT_EQ(iface.attributes[2].name, "dial");
+}
+
+TEST(Parser, MemberOrderPreservesInterleaving) {
+  // Fig 3 interleaves the attribute between methods q and s.
+  Specification spec = Parse(R"(
+    interface I {
+      void q();
+      readonly attribute long button;
+      void s();
+    };
+  )");
+  const auto& iface = As<InterfaceDecl>(*spec.decls[0]);
+  ASSERT_EQ(iface.member_order.size(), 3u);
+  EXPECT_EQ(iface.member_order[0].kind, InterfaceMember::Kind::kOperation);
+  EXPECT_EQ(iface.member_order[1].kind, InterfaceMember::Kind::kAttribute);
+  EXPECT_EQ(iface.member_order[2].kind, InterfaceMember::Kind::kOperation);
+}
+
+TEST(Parser, OnewayAndRaises) {
+  Specification spec = Parse(R"(
+    exception Oops { string reason; };
+    interface I {
+      oneway void fire(in string evt);
+      void risky() raises (Oops);
+    };
+  )");
+  const auto& iface = As<InterfaceDecl>(*spec.decls[1]);
+  EXPECT_TRUE(iface.operations[0].oneway);
+  ASSERT_EQ(iface.operations[1].raises.size(), 1u);
+  EXPECT_EQ(iface.operations[1].raises[0], "Oops");
+}
+
+TEST(Parser, SequencesAndBounds) {
+  Specification spec = Parse(R"(
+    typedef sequence<long> L1;
+    typedef sequence<long, 8> L2;
+    typedef sequence<sequence<string>> L3;
+    typedef string<16> Name;
+  )");
+  const auto& l1 = As<TypedefDecl>(*spec.decls[0]);
+  EXPECT_EQ(l1.type.kind, TypeRef::Kind::kSequence);
+  EXPECT_EQ(l1.type.bound, 0u);
+  const auto& l2 = As<TypedefDecl>(*spec.decls[1]);
+  EXPECT_EQ(l2.type.bound, 8u);
+  const auto& l3 = As<TypedefDecl>(*spec.decls[2]);
+  EXPECT_EQ(l3.type.element->kind, TypeRef::Kind::kSequence);
+  const auto& name = As<TypedefDecl>(*spec.decls[3]);
+  EXPECT_EQ(name.type.string_bound, 16u);
+}
+
+TEST(Parser, IntegerTypeSpellings) {
+  Specification spec = Parse(R"(
+    interface I {
+      void f(in unsigned long a, in unsigned short b, in long long c,
+             in unsigned long long d, in octet e);
+    };
+  )");
+  const auto& params =
+      As<InterfaceDecl>(*spec.decls[0]).operations[0].params;
+  EXPECT_EQ(params[0].type.prim, PrimKind::kULong);
+  EXPECT_EQ(params[1].type.prim, PrimKind::kUShort);
+  EXPECT_EQ(params[2].type.prim, PrimKind::kLongLong);
+  EXPECT_EQ(params[3].type.prim, PrimKind::kULongLong);
+  EXPECT_EQ(params[4].type.prim, PrimKind::kOctet);
+}
+
+TEST(Parser, StructAndException) {
+  Specification spec = Parse(R"(
+    struct Point { double x, y; };
+    exception Bad { long code; string what; };
+  )");
+  const auto& point = As<StructDecl>(*spec.decls[0]);
+  ASSERT_EQ(point.fields.size(), 2u);
+  EXPECT_EQ(point.fields[1].name, "y");
+  const auto& bad = As<ExceptionDecl>(*spec.decls[1]);
+  EXPECT_EQ(bad.fields.size(), 2u);
+}
+
+TEST(Parser, Consts) {
+  Specification spec = Parse(R"(
+    const long MAX = 10;
+    const string NAME = "heidi";
+    const boolean ON = TRUE;
+  )");
+  EXPECT_EQ(As<ConstDecl>(*spec.decls[0]).value.int_value, 10);
+  EXPECT_EQ(As<ConstDecl>(*spec.decls[1]).value.text, "heidi");
+  EXPECT_TRUE(As<ConstDecl>(*spec.decls[2]).value.bool_value);
+}
+
+TEST(Parser, NestedTypesInInterface) {
+  Specification spec = Parse(R"(
+    interface I {
+      enum Mode { On, Off };
+      typedef sequence<long> Codes;
+      void f(in Mode m);
+    };
+  )");
+  const auto& iface = As<InterfaceDecl>(*spec.decls[0]);
+  EXPECT_EQ(iface.nested.size(), 2u);
+}
+
+// --- error cases -----------------------------------------------------------
+
+TEST(ParserErrors, MissingSemicolon) {
+  EXPECT_THROW(Parse("module M { }"), ParseError);
+}
+
+TEST(ParserErrors, VoidParameter) {
+  EXPECT_THROW(Parse("interface I { void f(in void v); };"), ParseError);
+}
+
+TEST(ParserErrors, EmptyStruct) {
+  EXPECT_THROW(Parse("struct S { };"), ParseError);
+}
+
+TEST(ParserErrors, ArrayTypedefUnsupported) {
+  EXPECT_THROW(Parse("typedef long arr[4];"), ParseError);
+}
+
+TEST(ParserErrors, MissingDirection) {
+  EXPECT_THROW(Parse("interface I { void f(long a); };"), ParseError);
+}
+
+TEST(ParserErrors, UnterminatedInterface) {
+  EXPECT_THROW(Parse("interface I { void f();"), ParseError);
+}
+
+TEST(ParserErrors, ReportsLineNumbers) {
+  try {
+    Parse("interface I {\n  void f(;\n};", "t.idl");
+    FAIL() << "expected ParseError";
+  } catch (const ParseError& e) {
+    EXPECT_NE(std::string(e.what()).find("t.idl:2"), std::string::npos);
+  }
+}
+
+TEST(ParserErrors, NegatedBooleanDefault) {
+  EXPECT_THROW(Parse("interface I { void f(in boolean b = -TRUE); };"),
+               ParseError);
+}
+
+TEST(Parser, TrailingEnumCommaTolerated) {
+  Specification spec = Parse("enum E { A, B, };");
+  EXPECT_EQ(As<EnumDecl>(*spec.decls[0]).members.size(), 2u);
+}
+
+}  // namespace
+}  // namespace heidi::idl

@@ -1,0 +1,116 @@
+// Pathological inputs the front-end must reject (or at least terminate
+// on): typedef cycles, deep nesting, absurd-but-legal shapes.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "est/builder.h"
+#include "idl/sema.h"
+#include "support/error.h"
+
+namespace heidi::idl {
+namespace {
+
+TEST(Robustness, SelfReferentialTypedefTerminates) {
+  // `typedef Foo Foo;` resolves to itself; UnaliasType must not spin.
+  Specification spec = ParseAndResolve("typedef long A; typedef A A2;");
+  EXPECT_EQ(spec.decls.size(), 2u);
+  // Direct self-reference: the name resolves to the typedef being
+  // declared. Unaliasing terminates (depth cap) and downstream consumers
+  // survive.
+  Specification self = ParseAndResolve("typedef B B;");
+  const auto& td = static_cast<const TypedefDecl&>(*self.decls[0]);
+  const TypeRef& u = UnaliasType(td.type);
+  (void)u;
+  EXPECT_NO_THROW((void)est::BuildEst(self));
+}
+
+TEST(Robustness, MutuallyRecursiveTypedefsTerminate) {
+  // A resolves to B which (by reopened lookup) resolves back; the depth
+  // cap must keep every consumer finite.
+  EXPECT_NO_THROW(ParseAndResolve("typedef X2 X; typedef X X2;"));
+}
+
+TEST(Robustness, DeeplyNestedModules) {
+  std::ostringstream os;
+  constexpr int kDepth = 64;
+  for (int i = 0; i < kDepth; ++i) os << "module M" << i << " { ";
+  os << "interface Leaf { void f(); };";
+  for (int i = 0; i < kDepth; ++i) os << " };";
+  Specification spec = ParseAndResolve(os.str());
+  auto est = est::BuildEst(spec);
+  const auto* interfaces = est->FindList("interfaceList");
+  ASSERT_EQ(interfaces->size(), 1u);
+  // Scoped name has all 64 components.
+  std::string scoped = interfaces->front()->GetProp("interfaceName");
+  EXPECT_NE(scoped.find("M0::"), std::string::npos);
+  EXPECT_NE(scoped.find("M63::Leaf"), std::string::npos);
+}
+
+TEST(Robustness, LongInheritanceChain) {
+  std::ostringstream os;
+  os << "interface I0 { void m0(); };";
+  constexpr int kDepth = 40;
+  for (int i = 1; i < kDepth; ++i) {
+    os << "interface I" << i << " : I" << i - 1 << " { void m" << i
+       << "(); };";
+  }
+  Specification spec = ParseAndResolve(os.str());
+  auto est = est::BuildEst(spec);
+  const auto* interfaces = est->FindList("interfaceList");
+  const est::Node& leaf = *interfaces->back();
+  EXPECT_EQ(leaf.FindList("allMethodList")->size(),
+            static_cast<size_t>(kDepth));
+}
+
+TEST(Robustness, ManyParameters) {
+  std::ostringstream os;
+  os << "interface I { void f(";
+  for (int i = 0; i < 100; ++i) {
+    if (i != 0) os << ", ";
+    os << "in long p" << i;
+  }
+  os << "); };";
+  Specification spec = ParseAndResolve(os.str());
+  const auto& iface = static_cast<const InterfaceDecl&>(*spec.decls[0]);
+  EXPECT_EQ(iface.operations[0].params.size(), 100u);
+}
+
+TEST(Robustness, HugeEnum) {
+  std::ostringstream os;
+  os << "enum Big { V0";
+  for (int i = 1; i < 500; ++i) os << ", V" << i;
+  os << " };";
+  Specification spec = ParseAndResolve(os.str());
+  EXPECT_EQ(static_cast<const EnumDecl&>(*spec.decls[0]).members.size(),
+            500u);
+}
+
+TEST(Robustness, GarbageInputsAlwaysThrowCleanly) {
+  for (const char* garbage : {
+           "}{",
+           ";;;;",
+           "interface",
+           "module { };",
+           "interface I : {};",
+           "typedef sequence<> X;",
+           "enum E {};",
+           "interface I { void f(in long); };",  // missing param name
+           "const long X;",
+           "union U switch () { case 1: long a; };",
+       }) {
+    EXPECT_THROW(ParseAndResolve(garbage), ParseError) << garbage;
+  }
+}
+
+TEST(Robustness, CommentsEverywhere) {
+  Specification spec = ParseAndResolve(R"(
+    /* header */ module /* name? */ M { // trailing
+      /* before */ interface I /* mid */ { void /* deep */ f(); };
+    }; // done
+  )");
+  EXPECT_EQ(spec.decls.size(), 1u);
+}
+
+}  // namespace
+}  // namespace heidi::idl

@@ -1,0 +1,318 @@
+#include "idl/sema.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace heidi::idl {
+namespace {
+
+const InterfaceDecl& FirstInterface(const Specification& spec) {
+  for (const auto& d : spec.decls) {
+    if (d->decl_kind == DeclKind::kInterface) {
+      return static_cast<const InterfaceDecl&>(*d);
+    }
+  }
+  throw std::runtime_error("no interface");
+}
+
+TEST(Sema, RepoIdsFollowScopes) {
+  Specification spec = ParseAndResolve(
+      "module Heidi { interface A {}; module Inner { enum E { X }; }; };");
+  const auto& mod = static_cast<const ModuleDecl&>(*spec.decls[0]);
+  EXPECT_EQ(mod.repo_id, "IDL:Heidi:1.0");
+  EXPECT_EQ(mod.decls[0]->repo_id, "IDL:Heidi/A:1.0");
+  const auto& inner = static_cast<const ModuleDecl&>(*mod.decls[1]);
+  EXPECT_EQ(inner.decls[0]->repo_id, "IDL:Heidi/Inner/E:1.0");
+}
+
+TEST(Sema, PragmaPrefixInRepoIds) {
+  Specification spec =
+      ParseAndResolve("#pragma prefix \"nec.com\"\ninterface A {};");
+  EXPECT_EQ(spec.decls[0]->repo_id, "IDL:nec.com/A:1.0");
+}
+
+TEST(Sema, ScopedAndFlatNames) {
+  Specification spec =
+      ParseAndResolve("module M { module N { interface I {}; }; };");
+  const auto& m = static_cast<const ModuleDecl&>(*spec.decls[0]);
+  const auto& n = static_cast<const ModuleDecl&>(*m.decls[0]);
+  EXPECT_EQ(n.decls[0]->ScopedName(), "M::N::I");
+  EXPECT_EQ(n.decls[0]->FlatName(), "M_N_I");
+}
+
+TEST(Sema, ResolvesNamedTypesThroughScopes) {
+  Specification spec = ParseAndResolve(R"(
+    module M {
+      enum E { A };
+      interface I { void f(in E e); };
+    };
+  )");
+  const auto& m = static_cast<const ModuleDecl&>(*spec.decls[0]);
+  const auto& iface = static_cast<const InterfaceDecl&>(*m.decls[1]);
+  const TypeRef& param = iface.operations[0].params[0].type;
+  ASSERT_NE(param.resolved, nullptr);
+  EXPECT_EQ(param.resolved->name, "E");
+}
+
+TEST(Sema, AbsoluteScopedName) {
+  Specification spec = ParseAndResolve(R"(
+    enum G { X };
+    module M { interface I { void f(in ::G g); }; };
+  )");
+  const auto& m = static_cast<const ModuleDecl&>(*spec.decls[1]);
+  const auto& iface = static_cast<const InterfaceDecl&>(*m.decls[0]);
+  EXPECT_NE(iface.operations[0].params[0].type.resolved, nullptr);
+}
+
+TEST(Sema, InnerScopeShadowsOuter) {
+  Specification spec = ParseAndResolve(R"(
+    enum E { Outer };
+    module M {
+      enum E { Inner };
+      interface I { void f(in E e); };
+    };
+  )");
+  const auto& m = static_cast<const ModuleDecl&>(*spec.decls[1]);
+  const auto& iface = static_cast<const InterfaceDecl&>(*m.decls[1]);
+  EXPECT_EQ(iface.operations[0].params[0].type.resolved->ScopedName(),
+            "M::E");
+}
+
+TEST(Sema, UnresolvedTypeThrows) {
+  EXPECT_THROW(ParseAndResolve("interface I { void f(in Nope n); };"),
+               ParseError);
+}
+
+TEST(Sema, ForwardDeclLinksToDefinition) {
+  Specification spec = ParseAndResolve("interface S; interface S {};");
+  const auto& fwd = static_cast<const ForwardInterfaceDecl&>(*spec.decls[0]);
+  EXPECT_EQ(fwd.definition,
+            static_cast<const InterfaceDecl*>(spec.decls[1].get()));
+}
+
+TEST(Sema, ExternalForwardInterfaceAsBase) {
+  // Fig 3: interface A : S where S is only externally declared.
+  Specification spec =
+      ParseAndResolve("module H { interface S; interface A : S {}; };");
+  const auto& mod = static_cast<const ModuleDecl&>(*spec.decls[0]);
+  const auto& a = static_cast<const InterfaceDecl&>(*mod.decls[1]);
+  ASSERT_EQ(a.bases.size(), 1u);
+  EXPECT_EQ(a.bases[0]->decl_kind, DeclKind::kForwardInterface);
+  EXPECT_EQ(a.bases[0]->repo_id, "IDL:H/S:1.0");
+}
+
+TEST(Sema, ExternalForwardInterfaceAsParamType) {
+  Specification spec =
+      ParseAndResolve("interface S; interface I { void f(in S s); };");
+  const auto& iface = static_cast<const InterfaceDecl&>(*spec.decls[1]);
+  EXPECT_EQ(iface.operations[0].params[0].type.resolved->decl_kind,
+            DeclKind::kForwardInterface);
+}
+
+TEST(Sema, MultipleInheritance) {
+  Specification spec = ParseAndResolve(
+      "interface A {}; interface B {}; interface C : A, B {};");
+  const auto& c = static_cast<const InterfaceDecl&>(*spec.decls[2]);
+  EXPECT_EQ(c.bases.size(), 2u);
+}
+
+TEST(Sema, DuplicateBaseThrows) {
+  EXPECT_THROW(
+      ParseAndResolve("interface A {}; interface C : A, A {};"), ParseError);
+}
+
+TEST(Sema, SelfInheritanceThrows) {
+  EXPECT_THROW(ParseAndResolve("interface A : A {};"), ParseError);
+}
+
+TEST(Sema, NonInterfaceBaseThrows) {
+  EXPECT_THROW(ParseAndResolve("enum E { X }; interface A : E {};"),
+               ParseError);
+}
+
+TEST(Sema, RedefiningInheritedMemberThrows) {
+  EXPECT_THROW(ParseAndResolve(R"(
+    interface A { void f(); };
+    interface B : A { void f(); };
+  )"),
+               ParseError);
+}
+
+TEST(Sema, DuplicateMemberThrows) {
+  EXPECT_THROW(
+      ParseAndResolve("interface A { void f(); long f(in long x); };"),
+      ParseError);
+}
+
+TEST(Sema, DuplicateDeclarationThrows) {
+  EXPECT_THROW(ParseAndResolve("enum E { A }; enum E { B };"), ParseError);
+}
+
+TEST(Sema, ModuleReopeningAllowed) {
+  Specification spec = ParseAndResolve(R"(
+    module M { enum E1 { A }; };
+    module M { interface I { void f(in E1 e); }; };
+  )");
+  EXPECT_EQ(spec.decls.size(), 2u);
+}
+
+TEST(Sema, EnumMembersLiveInEnclosingScope) {
+  // Fig 3 writes `in Status s = Heidi::Start` — the member is scoped to
+  // the module, not to the enum.
+  Specification spec = ParseAndResolve(R"(
+    module Heidi {
+      enum Status { Start, Stop };
+      interface A { void q(in Status s = Heidi::Start); };
+    };
+  )");
+  const auto& mod = static_cast<const ModuleDecl&>(*spec.decls[0]);
+  const auto& a = static_cast<const InterfaceDecl&>(*mod.decls[1]);
+  const Literal& def = a.operations[0].params[0].default_value;
+  EXPECT_EQ(def.kind, Literal::Kind::kScoped);
+  EXPECT_EQ(def.text, "Start");  // normalized to the unscoped member name
+  EXPECT_EQ(def.int_value, 0);   // member index
+}
+
+TEST(Sema, DefaultFromWrongEnumThrows) {
+  EXPECT_THROW(ParseAndResolve(R"(
+    enum Color { Red };
+    enum Status { Start };
+    interface A { void q(in Status s = Red); };
+  )"),
+               ParseError);
+}
+
+TEST(Sema, NonTrailingDefaultThrows) {
+  EXPECT_THROW(ParseAndResolve(
+                   "interface A { void f(in long a = 1, in long b); };"),
+               ParseError);
+}
+
+TEST(Sema, DefaultOnOutParamThrows) {
+  EXPECT_THROW(
+      ParseAndResolve("interface A { void f(out long a = 1); };"),
+      ParseError);
+}
+
+TEST(Sema, DefaultTypeMismatchThrows) {
+  EXPECT_THROW(
+      ParseAndResolve("interface A { void f(in string s = 42); };"),
+      ParseError);
+  EXPECT_THROW(
+      ParseAndResolve("interface A { void f(in long l = \"x\"); };"),
+      ParseError);
+  EXPECT_THROW(
+      ParseAndResolve("interface A { void f(in boolean b = 1); };"),
+      ParseError);
+}
+
+TEST(Sema, IntDefaultAllowedForFloatParam) {
+  Specification spec =
+      ParseAndResolve("interface A { void f(in double d = 0); };");
+  EXPECT_EQ(FirstInterface(spec).operations[0].params[0].default_value.kind,
+            Literal::Kind::kInt);
+}
+
+TEST(Sema, DefaultReferencingConstAllowed) {
+  Specification spec = ParseAndResolve(R"(
+    const long MAX = 16;
+    interface A { void f(in long n = MAX); };
+  )");
+  EXPECT_EQ(FirstInterface(spec).operations[0].params[0].default_value.kind,
+            Literal::Kind::kScoped);
+}
+
+TEST(Sema, OnewayMustReturnVoid) {
+  EXPECT_THROW(ParseAndResolve("interface A { oneway long f(); };"),
+               ParseError);
+}
+
+TEST(Sema, OnewayRejectsOutParams) {
+  EXPECT_THROW(
+      ParseAndResolve("interface A { oneway void f(out long x); };"),
+      ParseError);
+}
+
+TEST(Sema, OnewayAllowsIncopy) {
+  Specification spec = ParseAndResolve(
+      "interface S {}; interface A { oneway void f(incopy S s); };");
+  EXPECT_TRUE(static_cast<const InterfaceDecl&>(*spec.decls[1])
+                  .operations[0]
+                  .oneway);
+}
+
+TEST(Sema, RaisesMustNameException) {
+  EXPECT_THROW(ParseAndResolve(R"(
+    struct NotEx { long x; };
+    interface A { void f() raises (NotEx); };
+  )"),
+               ParseError);
+}
+
+TEST(Sema, RaisesResolved) {
+  Specification spec = ParseAndResolve(R"(
+    exception Oops { string what; };
+    interface A { void f() raises (Oops); };
+  )");
+  const auto& a = static_cast<const InterfaceDecl&>(*spec.decls[1]);
+  ASSERT_EQ(a.operations[0].raises_resolved.size(), 1u);
+  EXPECT_EQ(a.operations[0].raises_resolved[0]->name, "Oops");
+}
+
+// --- type classification helpers -------------------------------------------
+
+TEST(TypeHelpers, UnaliasFollowsChains) {
+  Specification spec = ParseAndResolve(R"(
+    typedef long T1;
+    typedef T1 T2;
+    interface I { void f(in T2 x); };
+  )");
+  const auto& iface = static_cast<const InterfaceDecl&>(*spec.decls[2]);
+  const TypeRef& t = UnaliasType(iface.operations[0].params[0].type);
+  EXPECT_EQ(t.kind, TypeRef::Kind::kPrimitive);
+  EXPECT_EQ(t.prim, PrimKind::kLong);
+}
+
+TEST(TypeHelpers, TypeTags) {
+  Specification spec = ParseAndResolve(R"(
+    enum E { A };
+    struct St { long x; };
+    typedef sequence<long> Seq;
+    interface I {
+      void f(in E e, in St s, in Seq q, in I i, in string str, in long l);
+    };
+  )");
+  const auto& iface = static_cast<const InterfaceDecl&>(*spec.decls[3]);
+  const auto& params = iface.operations[0].params;
+  EXPECT_EQ(TypeTag(params[0].type), "enum");
+  EXPECT_EQ(TypeTag(params[1].type), "struct");
+  EXPECT_EQ(TypeTag(params[2].type), "alias");
+  EXPECT_EQ(TypeTag(params[3].type), "objref");
+  EXPECT_EQ(TypeTag(params[4].type), "string");
+  EXPECT_EQ(TypeTag(params[5].type), "long");
+}
+
+TEST(TypeHelpers, IsVariable) {
+  Specification spec = ParseAndResolve(R"(
+    enum E { A };
+    struct Fixed { long x; E e; };
+    struct Var { string s; };
+    struct Nested { Var v; };
+    typedef sequence<long> Seq;
+    interface I {
+      void f(in Fixed a, in Var b, in Nested c, in Seq d, in E e, in I i);
+    };
+  )");
+  const auto& iface = static_cast<const InterfaceDecl&>(*spec.decls[5]);
+  const auto& params = iface.operations[0].params;
+  EXPECT_FALSE(IsVariableType(params[0].type));
+  EXPECT_TRUE(IsVariableType(params[1].type));
+  EXPECT_TRUE(IsVariableType(params[2].type));  // struct containing string
+  EXPECT_TRUE(IsVariableType(params[3].type));
+  EXPECT_FALSE(IsVariableType(params[4].type));
+  EXPECT_TRUE(IsVariableType(params[5].type));
+}
+
+}  // namespace
+}  // namespace heidi::idl

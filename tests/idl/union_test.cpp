@@ -1,0 +1,179 @@
+// IDL discriminated unions: parsing, semantic checks, EST structure, and
+// the heidi_cpp mapping's tagged-struct emission.
+#include <gtest/gtest.h>
+
+#include "codegen/codegen.h"
+#include "est/builder.h"
+#include "idl/sema.h"
+#include "support/error.h"
+
+namespace heidi::idl {
+namespace {
+
+constexpr const char* kUnionIdl = R"(
+module Media {
+  enum Kind { Audio, Video, Data };
+  union Payload switch (Kind) {
+    case Audio: short samples;
+    case Video: string codec;
+    case Data: default: sequence<octet> bytes;
+  };
+};
+)";
+
+TEST(UnionParse, Basic) {
+  Specification spec = ParseAndResolve(kUnionIdl);
+  const auto& mod = static_cast<const ModuleDecl&>(*spec.decls[0]);
+  const auto& un = static_cast<const UnionDecl&>(*mod.decls[1]);
+  EXPECT_EQ(un.name, "Payload");
+  EXPECT_EQ(un.repo_id, "IDL:Media/Payload:1.0");
+  ASSERT_EQ(un.cases.size(), 3u);
+  EXPECT_EQ(un.cases[0].name, "samples");
+  EXPECT_EQ(un.cases[1].type.prim, PrimKind::kString);
+  EXPECT_TRUE(un.cases[2].is_default);
+  EXPECT_EQ(un.cases[2].labels.size(), 1u);  // case Data + default combined
+}
+
+TEST(UnionParse, IntegerDiscriminator) {
+  Specification spec = ParseAndResolve(R"(
+    union U switch (long) {
+      case 1: long a;
+      case 2: case 3: string b;
+      default: boolean c;
+    };
+  )");
+  const auto& un = static_cast<const UnionDecl&>(*spec.decls[0]);
+  EXPECT_EQ(un.cases[1].labels.size(), 2u);
+  EXPECT_EQ(un.cases[1].labels[1].int_value, 3);
+}
+
+TEST(UnionParse, BooleanAndCharDiscriminators) {
+  EXPECT_NO_THROW(ParseAndResolve(
+      "union B switch (boolean) { case TRUE: long t; case FALSE: long f; };"));
+  EXPECT_NO_THROW(ParseAndResolve(
+      "union C switch (char) { case 'a': long a; default: long z; };"));
+}
+
+TEST(UnionParse, NestedInInterface) {
+  Specification spec = ParseAndResolve(R"(
+    interface I {
+      union Inner switch (long) { case 0: long zero; };
+      void f(in Inner i);
+    };
+  )");
+  const auto& iface = static_cast<const InterfaceDecl&>(*spec.decls[0]);
+  EXPECT_EQ(iface.nested.size(), 1u);
+  EXPECT_EQ(TypeTag(iface.operations[0].params[0].type), "union");
+}
+
+TEST(UnionSema, RejectsBadDiscriminators) {
+  EXPECT_THROW(ParseAndResolve(
+                   "union U switch (string) { case \"x\": long a; };"),
+               ParseError);
+  EXPECT_THROW(ParseAndResolve(
+                   "union U switch (float) { case 1: long a; };"),
+               ParseError);
+  EXPECT_THROW(ParseAndResolve(R"(
+    struct S { long x; };
+    union U switch (S) { case 1: long a; };
+  )"),
+               ParseError);
+}
+
+TEST(UnionSema, RejectsDuplicateLabels) {
+  EXPECT_THROW(ParseAndResolve(R"(
+    union U switch (long) { case 1: long a; case 1: string b; };
+  )"),
+               ParseError);
+  EXPECT_THROW(ParseAndResolve(R"(
+    enum E { X, Y };
+    union U switch (E) { case X: long a; case X: string b; };
+  )"),
+               ParseError);
+}
+
+TEST(UnionSema, RejectsMultipleDefaults) {
+  EXPECT_THROW(ParseAndResolve(R"(
+    union U switch (long) { default: long a; default: string b; };
+  )"),
+               ParseError);
+}
+
+TEST(UnionSema, RejectsLabelTypeMismatch) {
+  EXPECT_THROW(ParseAndResolve(R"(
+    union U switch (long) { case TRUE: long a; };
+  )"),
+               ParseError);
+  EXPECT_THROW(ParseAndResolve(R"(
+    enum E { X };
+    enum F { Z };
+    union U switch (E) { case Z: long a; };
+  )"),
+               ParseError);
+}
+
+TEST(UnionSema, RejectsDuplicateMemberNames) {
+  EXPECT_THROW(ParseAndResolve(R"(
+    union U switch (long) { case 1: long a; case 2: string a; };
+  )"),
+               ParseError);
+}
+
+TEST(UnionSema, EmptyUnionRejected) {
+  EXPECT_THROW(ParseAndResolve("union U switch (long) { };"), ParseError);
+}
+
+TEST(UnionSema, VariabilityFollowsMembers) {
+  Specification spec = ParseAndResolve(R"(
+    union Fixed switch (long) { case 1: long a; case 2: boolean b; };
+    union Var switch (long) { case 1: string s; };
+    interface I { void f(in Fixed x, in Var y); };
+  )");
+  const auto& iface = static_cast<const InterfaceDecl&>(*spec.decls[2]);
+  EXPECT_FALSE(IsVariableType(iface.operations[0].params[0].type));
+  EXPECT_TRUE(IsVariableType(iface.operations[0].params[1].type));
+}
+
+TEST(UnionEst, NodeStructure) {
+  Specification spec = ParseAndResolve(kUnionIdl);
+  auto root = est::BuildEst(spec);
+  const auto* unions = root->FindList("unionList");
+  ASSERT_NE(unions, nullptr);
+  ASSERT_EQ(unions->size(), 1u);
+  const est::Node& un = *unions->front();
+  EXPECT_EQ(un.Kind(), "Union");
+  EXPECT_EQ(un.GetProp("unionName"), "Media::Payload");
+  EXPECT_EQ(un.GetProp("discriminatorType"), "Media::Kind");
+  EXPECT_EQ(un.GetProp("IsVariable"), "true");
+  const auto* cases = un.FindList("caseList");
+  ASSERT_EQ(cases->size(), 3u);
+  EXPECT_EQ((*cases)[0]->GetProp("labels"), "Audio");
+  EXPECT_EQ((*cases)[1]->GetProp("caseType"), "string");
+  EXPECT_EQ((*cases)[2]->GetProp("isDefault"), "true");
+  EXPECT_EQ((*cases)[2]->GetProp("labels"), "Data");
+}
+
+TEST(UnionMapping, HeidiTaggedStruct) {
+  const codegen::Mapping* mapping = codegen::FindBuiltinMapping("heidi_cpp");
+  codegen::GenerateResult result =
+      codegen::GenerateFromSource(kUnionIdl, "payload.idl", *mapping);
+  const std::string& out = result.files.at("payload.hh");
+  EXPECT_NE(out.find("struct HdPayload"), std::string::npos);
+  EXPECT_NE(out.find("HdKind hd_d;"), std::string::npos);
+  EXPECT_NE(out.find("short samples;  // case Audio"), std::string::npos);
+  EXPECT_NE(out.find("HdString codec;  // case Video"), std::string::npos);
+  EXPECT_NE(out.find("// default"), std::string::npos);
+}
+
+TEST(UnionMapping, GeneratorRejectsUnionParamsLoudly) {
+  const codegen::Mapping* mapping = codegen::FindBuiltinMapping("heidi_cpp");
+  EXPECT_THROW(codegen::GenerateFromSource(R"(
+    union U switch (long) { case 1: long a; };
+    interface I { void f(in U u); };
+  )",
+                                           "u.idl", *mapping),
+               TemplateError);
+}
+
+}  // namespace
+}  // namespace heidi::idl

@@ -1,0 +1,96 @@
+#include "net/buffered.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "net/inmemory.h"
+#include "support/error.h"
+
+namespace heidi::net {
+namespace {
+
+TEST(BufferedReader, ReadsLines) {
+  ChannelPair pair = CreateInMemoryPair();
+  pair.a->WriteAll("one\ntwo\n\nthree\n", 15);
+  BufferedReader reader(*pair.b);
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(line));
+  EXPECT_EQ(line, "one");
+  ASSERT_TRUE(reader.ReadLine(line));
+  EXPECT_EQ(line, "two");
+  ASSERT_TRUE(reader.ReadLine(line));
+  EXPECT_EQ(line, "");  // blank line preserved
+  ASSERT_TRUE(reader.ReadLine(line));
+  EXPECT_EQ(line, "three");
+}
+
+TEST(BufferedReader, EofBetweenLines) {
+  ChannelPair pair = CreateInMemoryPair();
+  pair.a->WriteAll("done\n", 5);
+  pair.a->Close();
+  BufferedReader reader(*pair.b);
+  std::string line;
+  EXPECT_TRUE(reader.ReadLine(line));
+  EXPECT_FALSE(reader.ReadLine(line));
+}
+
+TEST(BufferedReader, MidLineEofThrows) {
+  ChannelPair pair = CreateInMemoryPair();
+  pair.a->WriteAll("partial", 7);
+  pair.a->Close();
+  BufferedReader reader(*pair.b);
+  std::string line;
+  EXPECT_THROW(reader.ReadLine(line), NetError);
+}
+
+TEST(BufferedReader, LineSpanningChunks) {
+  ChannelPair pair = CreateInMemoryPair();
+  // 200 KiB line crosses the 64 KiB internal chunk size several times.
+  std::string big(200 * 1024, 'a');
+  std::thread writer([&] {
+    pair.a->WriteAll(big.data(), big.size());
+    pair.a->WriteAll("\n", 1);
+  });
+  BufferedReader reader(*pair.b);
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(line));
+  writer.join();
+  EXPECT_EQ(line, big);
+}
+
+TEST(BufferedReader, MixedLineAndExactReads) {
+  ChannelPair pair = CreateInMemoryPair();
+  pair.a->WriteAll("header\nBINARY12rest\n", 20);
+  BufferedReader reader(*pair.b);
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(line));
+  EXPECT_EQ(line, "header");
+  char buf[8];
+  ASSERT_TRUE(reader.ReadExact(buf, 8));
+  EXPECT_EQ(std::string(buf, 8), "BINARY12");
+  ASSERT_TRUE(reader.ReadLine(line));
+  EXPECT_EQ(line, "rest");
+}
+
+TEST(BufferedReader, ReadExactEofAtBoundary) {
+  ChannelPair pair = CreateInMemoryPair();
+  pair.a->WriteAll("abcd", 4);
+  pair.a->Close();
+  BufferedReader reader(*pair.b);
+  char buf[4];
+  EXPECT_TRUE(reader.ReadExact(buf, 4));
+  EXPECT_FALSE(reader.ReadExact(buf, 4));
+}
+
+TEST(BufferedReader, ReadExactMidMessageEofThrows) {
+  ChannelPair pair = CreateInMemoryPair();
+  pair.a->WriteAll("ab", 2);
+  pair.a->Close();
+  BufferedReader reader(*pair.b);
+  char buf[4];
+  EXPECT_THROW(reader.ReadExact(buf, 4), NetError);
+}
+
+}  // namespace
+}  // namespace heidi::net

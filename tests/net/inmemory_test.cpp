@@ -1,0 +1,99 @@
+#include "net/inmemory.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/error.h"
+
+namespace heidi::net {
+namespace {
+
+TEST(InMemory, RoundTripBothDirections) {
+  ChannelPair pair = CreateInMemoryPair();
+  pair.a->WriteAll("ping", 4);
+  char buf[8] = {};
+  EXPECT_EQ(pair.b->Read(buf, sizeof buf), 4u);
+  EXPECT_EQ(std::string(buf, 4), "ping");
+
+  pair.b->WriteAll("pong!", 5);
+  EXPECT_EQ(pair.a->Read(buf, sizeof buf), 5u);
+  EXPECT_EQ(std::string(buf, 5), "pong!");
+}
+
+TEST(InMemory, PartialReads) {
+  ChannelPair pair = CreateInMemoryPair();
+  pair.a->WriteAll("abcdef", 6);
+  char buf[4];
+  EXPECT_EQ(pair.b->Read(buf, 2), 2u);
+  EXPECT_EQ(std::string(buf, 2), "ab");
+  EXPECT_EQ(pair.b->Read(buf, 4), 4u);
+  EXPECT_EQ(std::string(buf, 4), "cdef");
+}
+
+TEST(InMemory, CloseGivesEofAfterDrain) {
+  ChannelPair pair = CreateInMemoryPair();
+  pair.a->WriteAll("xy", 2);
+  pair.a->Close();
+  char buf[8];
+  EXPECT_EQ(pair.b->Read(buf, sizeof buf), 2u);  // buffered data still read
+  EXPECT_EQ(pair.b->Read(buf, sizeof buf), 0u);  // then EOF
+}
+
+TEST(InMemory, WriteAfterCloseThrows) {
+  ChannelPair pair = CreateInMemoryPair();
+  pair.b->Close();
+  EXPECT_THROW(pair.a->WriteAll("x", 1), NetError);
+}
+
+TEST(InMemory, CloseUnblocksPendingRead) {
+  ChannelPair pair = CreateInMemoryPair();
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+    pair.a->Close();
+  });
+  char buf[4];
+  EXPECT_EQ(pair.b->Read(buf, sizeof buf), 0u);
+  closer.join();
+}
+
+TEST(InMemory, ThreadedProducerConsumer) {
+  ChannelPair pair = CreateInMemoryPair();
+  constexpr int kBytes = 100000;
+  std::thread producer([&] {
+    std::string chunk(1000, 'z');
+    for (int i = 0; i < kBytes / 1000; ++i) {
+      pair.a->WriteAll(chunk.data(), chunk.size());
+    }
+    pair.a->Close();
+  });
+  size_t total = 0;
+  char buf[4096];
+  while (true) {
+    size_t r = pair.b->Read(buf, sizeof buf);
+    if (r == 0) break;
+    total += r;
+  }
+  producer.join();
+  EXPECT_EQ(total, static_cast<size_t>(kBytes));
+}
+
+TEST(ReadExact, ExactAndEof) {
+  ChannelPair pair = CreateInMemoryPair();
+  pair.a->WriteAll("abcd", 4);
+  char buf[4];
+  EXPECT_TRUE(ReadExact(*pair.b, buf, 4));
+  pair.a->Close();
+  EXPECT_FALSE(ReadExact(*pair.b, buf, 4));  // clean EOF at boundary
+}
+
+TEST(ReadExact, MidMessageEofThrows) {
+  ChannelPair pair = CreateInMemoryPair();
+  pair.a->WriteAll("ab", 2);
+  pair.a->Close();
+  char buf[4];
+  EXPECT_THROW(ReadExact(*pair.b, buf, 4), NetError);
+}
+
+}  // namespace
+}  // namespace heidi::net

@@ -1,0 +1,95 @@
+#include "net/tcp.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "support/error.h"
+
+namespace heidi::net {
+namespace {
+
+TEST(Tcp, EphemeralPortAssigned) {
+  TcpAcceptor acceptor;
+  EXPECT_GT(acceptor.Port(), 0);
+}
+
+TEST(Tcp, ConnectAcceptRoundTrip) {
+  TcpAcceptor acceptor;
+  std::unique_ptr<ByteChannel> server_side;
+  std::thread accepter([&] { server_side = acceptor.Accept(); });
+  auto client = TcpConnect("127.0.0.1", acceptor.Port());
+  accepter.join();
+  ASSERT_NE(server_side, nullptr);
+
+  client->WriteAll("hello", 5);
+  char buf[8];
+  ASSERT_TRUE(ReadExact(*server_side, buf, 5));
+  EXPECT_EQ(std::string(buf, 5), "hello");
+
+  server_side->WriteAll("world!", 6);
+  ASSERT_TRUE(ReadExact(*client, buf, 6));
+  EXPECT_EQ(std::string(buf, 6), "world!");
+}
+
+TEST(Tcp, PeerCloseGivesEof) {
+  TcpAcceptor acceptor;
+  std::unique_ptr<ByteChannel> server_side;
+  std::thread accepter([&] { server_side = acceptor.Accept(); });
+  auto client = TcpConnect("localhost", acceptor.Port());
+  accepter.join();
+  client->Close();
+  char buf[4];
+  EXPECT_EQ(server_side->Read(buf, sizeof buf), 0u);
+}
+
+TEST(Tcp, AcceptorCloseUnblocksAccept) {
+  TcpAcceptor acceptor;
+  std::thread closer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+    acceptor.Close();
+  });
+  EXPECT_EQ(acceptor.Accept(), nullptr);
+  closer.join();
+}
+
+TEST(Tcp, ConnectToClosedPortThrows) {
+  uint16_t dead_port;
+  {
+    TcpAcceptor temp;
+    dead_port = temp.Port();
+  }  // closed again
+  EXPECT_THROW(TcpConnect("127.0.0.1", dead_port), NetError);
+}
+
+TEST(Tcp, ResolveFailureThrows) {
+  EXPECT_THROW(TcpConnect("no-such-host.invalid", 1), NetError);
+}
+
+TEST(Tcp, LargeTransfer) {
+  TcpAcceptor acceptor;
+  std::unique_ptr<ByteChannel> server_side;
+  std::thread accepter([&] { server_side = acceptor.Accept(); });
+  auto client = TcpConnect("127.0.0.1", acceptor.Port());
+  accepter.join();
+
+  const std::string payload(1 << 20, 'x');  // 1 MiB forces partial writes
+  std::thread writer([&] { client->WriteAll(payload.data(), payload.size()); });
+  std::string received(payload.size(), '\0');
+  ASSERT_TRUE(ReadExact(*server_side, received.data(), received.size()));
+  writer.join();
+  EXPECT_EQ(received, payload);
+}
+
+TEST(Tcp, PeerNameLooksLikeHostPort) {
+  TcpAcceptor acceptor;
+  std::unique_ptr<ByteChannel> server_side;
+  std::thread accepter([&] { server_side = acceptor.Accept(); });
+  auto client = TcpConnect("127.0.0.1", acceptor.Port());
+  accepter.join();
+  EXPECT_NE(client->PeerName().find("127.0.0.1"), std::string::npos);
+  EXPECT_NE(server_side->PeerName().find(":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace heidi::net

@@ -1,0 +1,120 @@
+// The §3.1 caching story, with each cache switchable: connections are
+// cached and reused, stubs and skeletons are cached per address space, and
+// turning a cache off is observable in the orb's counters.
+#include <gtest/gtest.h>
+
+#include "demo/demo.h"
+#include "orb/orb.h"
+
+namespace heidi::orb {
+namespace {
+
+struct Fixture {
+  explicit Fixture(OrbOptions client_options = {},
+                   OrbOptions server_options = {}) {
+    demo::ForceDemoRegistration();
+    server = std::make_unique<Orb>(server_options);
+    server->ListenTcp();
+    client = std::make_unique<Orb>(client_options);
+    ref = server->ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+  }
+  ~Fixture() {
+    client->Shutdown();
+    server->Shutdown();
+  }
+
+  demo::EchoImpl impl;
+  std::unique_ptr<Orb> server;
+  std::unique_ptr<Orb> client;
+  ObjectRef ref;
+};
+
+TEST(ConnectionCache, ReusedAcrossCalls) {
+  Fixture fx;
+  auto echo = fx.client->ResolveAs<HdEcho>(fx.ref.ToString());
+  for (int i = 0; i < 10; ++i) echo->echo("x");
+  EXPECT_EQ(fx.client->Stats().connections_opened, 1u);
+}
+
+TEST(ConnectionCache, DisabledOpensPerCall) {
+  OrbOptions client_options;
+  client_options.cache_connections = false;
+  Fixture fx(client_options);
+  auto echo = fx.client->ResolveAs<HdEcho>(fx.ref.ToString());
+  for (int i = 0; i < 10; ++i) echo->echo("x");
+  EXPECT_EQ(fx.client->Stats().connections_opened, 10u);
+}
+
+TEST(ConnectionCache, DroppedOnFailureThenReestablished) {
+  Fixture fx;
+  auto echo = fx.client->ResolveAs<HdEcho>(fx.ref.ToString());
+  echo->echo("a");
+  uint16_t port = fx.server->TcpPort();
+  fx.server->Shutdown();
+  EXPECT_THROW(echo->echo("b"), NetError);
+  // Bring a fresh server up on the same port with the same object id.
+  OrbOptions server_options;
+  Orb revived(server_options);
+  revived.ListenTcp(port);
+  demo::EchoImpl impl2;
+  ObjectRef ref2 = revived.ExportObject(&impl2, "IDL:Heidi/Echo:1.0");
+  ASSERT_EQ(ref2.object_id, fx.ref.object_id);  // fresh orbs start at 1000
+  EXPECT_EQ(echo->echo("c"), "c");  // reconnects transparently
+  revived.Shutdown();
+}
+
+TEST(StubCache, SameStubForSameReference) {
+  Fixture fx;
+  auto a = fx.client->Resolve(fx.ref.ToString());
+  auto b = fx.client->Resolve(fx.ref.ToString());
+  EXPECT_EQ(a.get(), b.get());
+  EXPECT_EQ(fx.client->Stats().stubs_created, 1u);
+}
+
+TEST(StubCache, DisabledCreatesFreshStubs) {
+  OrbOptions client_options;
+  client_options.cache_stubs = false;
+  Fixture fx(client_options);
+  auto a = fx.client->Resolve(fx.ref.ToString());
+  auto b = fx.client->Resolve(fx.ref.ToString());
+  EXPECT_NE(a.get(), b.get());
+  EXPECT_EQ(fx.client->Stats().stubs_created, 2u);
+}
+
+TEST(StubCache, DifferentReferencesGetDifferentStubs) {
+  Fixture fx;
+  demo::EchoImpl other;
+  ObjectRef other_ref = fx.server->ExportObject(&other, "IDL:Heidi/Echo:1.0");
+  auto a = fx.client->Resolve(fx.ref.ToString());
+  auto b = fx.client->Resolve(other_ref.ToString());
+  EXPECT_NE(a.get(), b.get());
+}
+
+TEST(SkeletonCache, OnePerObjectWhenEnabled) {
+  Fixture fx;
+  auto echo = fx.client->ResolveAs<HdEcho>(fx.ref.ToString());
+  for (int i = 0; i < 5; ++i) echo->echo("x");
+  EXPECT_EQ(fx.server->Stats().skeletons_created, 1u);
+}
+
+TEST(SkeletonCache, DisabledRebuildsPerCall) {
+  OrbOptions server_options;
+  server_options.cache_skeletons = false;
+  Fixture fx({}, server_options);
+  auto echo = fx.client->ResolveAs<HdEcho>(fx.ref.ToString());
+  for (int i = 0; i < 5; ++i) echo->echo("x");
+  EXPECT_EQ(fx.server->Stats().skeletons_created, 5u);
+}
+
+TEST(SkeletonCache, LazyUntilFirstRequest) {
+  Fixture fx;
+  EXPECT_EQ(fx.server->Stats().skeletons_created, 0u);
+  // Even resolving a stub on the client does not build a skeleton.
+  auto echo = fx.client->ResolveAs<HdEcho>(fx.ref.ToString());
+  EXPECT_EQ(fx.server->Stats().skeletons_created, 0u);
+  echo->echo("now");
+  EXPECT_EQ(fx.server->Stats().skeletons_created, 1u);
+}
+
+}  // namespace
+}  // namespace heidi::orb

@@ -1,0 +1,150 @@
+// The paper's headline claim — "all aspects of the underlying ORB can be
+// configured" — exercised for the wire protocol: an application-defined
+// protocol, registered at runtime, carries real remote calls between orbs
+// that merely name it in OrbOptions. The protocol here is deliberately
+// silly (ROT13-obfuscated text lines) to prove the point that the ORB
+// core has no opinion about bytes on the wire.
+#include <gtest/gtest.h>
+
+#include "demo/demo.h"
+#include "net/inmemory.h"
+#include "orb/orb.h"
+#include "support/strings.h"
+#include "wire/protocol.h"
+#include "wire/text.h"
+
+namespace heidi::orb {
+namespace {
+
+char Rot13(char c) {
+  if (c >= 'a' && c <= 'z') return static_cast<char>('a' + (c - 'a' + 13) % 26);
+  if (c >= 'A' && c <= 'Z') return static_cast<char>('A' + (c - 'A' + 13) % 26);
+  return c;
+}
+
+std::string Rot13(std::string_view s) {
+  std::string out(s);
+  for (char& c : out) c = Rot13(c);
+  return out;
+}
+
+// A complete wire protocol built purely on the public API: TextCall for
+// payload encoding, one obfuscated line per call.
+class Rot13Protocol final : public wire::Protocol {
+ public:
+  std::string_view Name() const override { return "rot13"; }
+
+  std::unique_ptr<wire::Call> NewCall() const override {
+    return std::make_unique<wire::TextCall>();
+  }
+
+  void WriteCall(net::ByteChannel& channel,
+                 const wire::Call& call) const override {
+    const auto& text = dynamic_cast<const wire::TextCall&>(call);
+    std::string line;
+    if (call.Kind() == wire::CallKind::kRequest) {
+      line = "Q " + std::to_string(call.CallId()) + " " +
+             (call.Oneway() ? "1" : "0") + " " +
+             str::EscapeToken(call.Target()) + " " +
+             str::EscapeToken(call.Operation());
+    } else {
+      line = "P " + std::to_string(call.CallId()) + " " +
+             std::to_string(static_cast<int>(call.Status())) + " " +
+             str::EscapeToken(call.ErrorText());
+    }
+    for (const std::string& token : text.Tokens()) line += " " + token;
+    line = Rot13(line);
+    line += "\n";
+    channel.WriteAll(line.data(), line.size());
+  }
+
+  std::unique_ptr<wire::Call> ReadCall(
+      net::BufferedReader& reader) const override {
+    std::string line;
+    if (!reader.ReadLine(line)) return nullptr;
+    line = Rot13(line);  // rot13 is its own inverse
+    auto fields = str::Split(line, ' ');
+    if (fields.size() < 2) throw MarshalError("short rot13 line");
+    bool is_request = fields[0] == "Q";
+    if (!is_request && fields[0] != "P") {
+      throw MarshalError("bad rot13 verb");
+    }
+    size_t header_fields = is_request ? 5 : 4;
+    if (fields.size() < header_fields) {
+      throw MarshalError("short rot13 header");
+    }
+    auto call = std::make_unique<wire::TextCall>(std::vector<std::string>(
+        fields.begin() + static_cast<long>(header_fields), fields.end()));
+    call->SetCallId(std::strtoull(fields[1].c_str(), nullptr, 10));
+    if (is_request) {
+      call->SetKind(wire::CallKind::kRequest);
+      call->SetOneway(fields[2] == "1");
+      call->SetTarget(str::UnescapeToken(fields[3]));
+      call->SetOperation(str::UnescapeToken(fields[4]));
+    } else {
+      call->SetKind(wire::CallKind::kReply);
+      call->SetStatus(static_cast<wire::CallStatus>(std::stoi(fields[2])));
+      call->SetErrorText(str::UnescapeToken(fields[3]));
+    }
+    return call;
+  }
+};
+
+const wire::Protocol* EnsureRegistered() {
+  static Rot13Protocol protocol;
+  static bool registered = [] {
+    wire::RegisterProtocol(&protocol);
+    return true;
+  }();
+  (void)registered;
+  return &protocol;
+}
+
+TEST(CustomProtocol, RegistersAndIsDiscoverable) {
+  EnsureRegistered();
+  EXPECT_EQ(wire::FindProtocol("rot13"), EnsureRegistered());
+}
+
+TEST(CustomProtocol, CarriesRealRemoteCalls) {
+  EnsureRegistered();
+  demo::ForceDemoRegistration();
+  OrbOptions options;
+  options.protocol = "rot13";
+  Orb server(options);
+  server.ListenTcp();
+  Orb client(options);
+  demo::EchoImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+  auto echo = client.ResolveAs<HdEcho>(ref.ToString());
+
+  EXPECT_EQ(echo->add(20, 22), 42);
+  EXPECT_EQ(echo->echo("mixed Case and 123"), "mixed Case and 123");
+  echo->post("oneway over rot13");
+  EXPECT_TRUE(impl.WaitForPosts(1));
+
+  demo::ThrowingEcho bad;
+  ObjectRef bad_ref = server.ExportObject(&bad, "IDL:Heidi/Echo:1.0");
+  auto bad_echo = client.ResolveAs<HdEcho>(bad_ref.ToString());
+  EXPECT_THROW(bad_echo->add(1, 1), RemoteError);
+
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(CustomProtocol, WireBytesAreActuallyObfuscated) {
+  EnsureRegistered();
+  const wire::Protocol* protocol = wire::FindProtocol("rot13");
+  auto call = protocol->NewCall();
+  call->SetKind(wire::CallKind::kRequest);
+  call->SetTarget("@tcp:h:1#1#IDL:T:1.0");
+  call->SetOperation("frobnicate");
+  net::ChannelPair pair = net::CreateInMemoryPair();
+  protocol->WriteCall(*pair.a, *call);
+  std::string raw(512, '\0');
+  raw.resize(pair.b->Read(raw.data(), raw.size()));
+  EXPECT_EQ(raw.find("frobnicate"), std::string::npos);  // obfuscated
+  EXPECT_NE(raw.find("seboavpngr"), std::string::npos);  // rot13 of it
+}
+
+}  // namespace
+}  // namespace heidi::orb

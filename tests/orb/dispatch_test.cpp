@@ -1,0 +1,109 @@
+#include "orb/dispatch.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "support/strings.h"
+#include "wire/text.h"
+
+namespace heidi::orb {
+namespace {
+
+class DispatchStrategies
+    : public ::testing::TestWithParam<DispatchStrategy> {};
+
+TEST_P(DispatchStrategies, FindsEveryRegisteredName) {
+  DispatchTable table(GetParam());
+  std::vector<std::string> names;
+  for (int i = 0; i < 50; ++i) {
+    names.push_back("operation_number_" + std::to_string(i));
+  }
+  for (const std::string& name : names) {
+    table.Add(name, [name](wire::Call&, wire::Call& out) {
+      out.PutString(name);
+    });
+  }
+  table.Seal();
+  EXPECT_EQ(table.Size(), 50u);
+
+  for (const std::string& name : names) {
+    const auto* handler = table.Find(name);
+    ASSERT_NE(handler, nullptr) << name;
+    wire::TextCall in{std::vector<std::string>{}};
+    wire::TextCall out;
+    (*handler)(in, out);
+    EXPECT_EQ(out.Tokens()[0], "s:" + str::EscapeToken(name));
+  }
+}
+
+TEST_P(DispatchStrategies, UnknownNameIsNull) {
+  DispatchTable table(GetParam());
+  table.Add("known", [](wire::Call&, wire::Call&) {});
+  table.Seal();
+  EXPECT_EQ(table.Find("unknown"), nullptr);
+  EXPECT_EQ(table.Find(""), nullptr);
+  EXPECT_EQ(table.Find("know"), nullptr);   // prefix
+  EXPECT_EQ(table.Find("knownx"), nullptr); // extension
+}
+
+TEST_P(DispatchStrategies, EmptyTable) {
+  DispatchTable table(GetParam());
+  table.Seal();
+  EXPECT_EQ(table.Find("anything"), nullptr);
+}
+
+TEST_P(DispatchStrategies, SimilarLongNamesDisambiguated) {
+  // §2's motivating case: many methods with long, similar names.
+  DispatchTable table(GetParam());
+  std::string prefix(64, 'm');
+  for (int i = 0; i < 20; ++i) {
+    table.Add(prefix + std::to_string(i), [](wire::Call&, wire::Call&) {});
+  }
+  table.Seal();
+  EXPECT_NE(table.Find(prefix + "7"), nullptr);
+  EXPECT_NE(table.Find(prefix + "19"), nullptr);
+  EXPECT_EQ(table.Find(prefix), nullptr);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllStrategies, DispatchStrategies,
+    ::testing::Values(DispatchStrategy::kLinear, DispatchStrategy::kBinary,
+                      DispatchStrategy::kHash),
+    [](const ::testing::TestParamInfo<DispatchStrategy>& info) {
+      return std::string(DispatchStrategyName(info.param));
+    });
+
+TEST(DispatchTable, DuplicateNameThrows) {
+  DispatchTable table;
+  table.Add("f", [](wire::Call&, wire::Call&) {});
+  EXPECT_THROW(table.Add("f", [](wire::Call&, wire::Call&) {}), HdError);
+}
+
+TEST(DispatchTable, AddAfterSealThrows) {
+  DispatchTable table;
+  table.Seal();
+  EXPECT_THROW(table.Add("late", [](wire::Call&, wire::Call&) {}), HdError);
+}
+
+TEST(DispatchTable, FindBeforeSealThrows) {
+  DispatchTable table;
+  table.Add("f", [](wire::Call&, wire::Call&) {});
+  EXPECT_THROW(table.Find("f"), HdError);
+}
+
+TEST(DispatchTable, SealIdempotent) {
+  DispatchTable table;
+  table.Add("f", [](wire::Call&, wire::Call&) {});
+  table.Seal();
+  table.Seal();
+  EXPECT_NE(table.Find("f"), nullptr);
+}
+
+TEST(DispatchTable, StrategyNames) {
+  EXPECT_EQ(DispatchStrategyName(DispatchStrategy::kLinear), "linear");
+  EXPECT_EQ(DispatchStrategyName(DispatchStrategy::kBinary), "binary");
+  EXPECT_EQ(DispatchStrategyName(DispatchStrategy::kHash), "hash");
+}
+
+}  // namespace
+}  // namespace heidi::orb

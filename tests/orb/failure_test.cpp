@@ -1,0 +1,197 @@
+// Failure injection: malformed frames, bad references, unknown objects
+// and operations, dead endpoints, mid-call shutdown.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "demo/demo.h"
+#include "net/tcp.h"
+#include "orb/orb.h"
+
+namespace heidi::orb {
+namespace {
+
+class FailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    demo::ForceDemoRegistration();
+    server_ = std::make_unique<Orb>();
+    server_->ListenTcp();
+    client_ = std::make_unique<Orb>();
+  }
+
+  void TearDown() override {
+    client_->Shutdown();
+    server_->Shutdown();
+  }
+
+  std::unique_ptr<Orb> server_;
+  std::unique_ptr<Orb> client_;
+};
+
+TEST_F(FailureTest, UnknownObjectIdIsSystemError) {
+  demo::EchoImpl impl;
+  ObjectRef ref = server_->ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+  ref.object_id = 999999;  // forge a reference to a nonexistent object
+  auto echo = client_->ResolveAs<HdEcho>(ref.ToString());
+  try {
+    echo->echo("x");
+    FAIL() << "expected DispatchError";
+  } catch (const DispatchError& e) {
+    EXPECT_NE(std::string(e.what()).find("unknown object"),
+              std::string::npos);
+  }
+}
+
+TEST_F(FailureTest, UnknownOperationIsSystemError) {
+  demo::EchoImpl impl;
+  ObjectRef ref = server_->ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+  auto call = client_->NewRequest(ref, "no_such_operation", false);
+  EXPECT_THROW(client_->Invoke(ref, *call), DispatchError);
+}
+
+TEST_F(FailureTest, UnregisteredRepoIdOnExportFailsAtDispatch) {
+  demo::EchoImpl impl;
+  ObjectRef ref = server_->ExportObject(&impl, "IDL:Unknown/Type:1.0");
+  auto call = client_->NewRequest(ref, "echo", false);
+  try {
+    client_->Invoke(ref, *call);
+    FAIL() << "expected DispatchError";
+  } catch (const DispatchError& e) {
+    EXPECT_NE(std::string(e.what()).find("no skeleton factory"),
+              std::string::npos);
+  }
+}
+
+TEST_F(FailureTest, ResolveUnregisteredRepoIdThrows) {
+  EXPECT_THROW(client_->Resolve("@tcp:127.0.0.1:1#1#IDL:No/Stub:1.0"),
+               RefError);
+}
+
+TEST_F(FailureTest, NarrowToWrongInterfaceThrows) {
+  demo::EchoImpl impl;
+  ObjectRef ref = server_->ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+  EXPECT_THROW(client_->ResolveAs<HdA>(ref.ToString()), RefError);
+}
+
+TEST_F(FailureTest, ResolveNilThrows) {
+  EXPECT_THROW(client_->Resolve("@nil"), RefError);
+}
+
+TEST_F(FailureTest, ConnectToDeadEndpointThrows) {
+  uint16_t dead_port;
+  {
+    net::TcpAcceptor temp;
+    dead_port = temp.Port();
+  }
+  std::string ref =
+      "@tcp:127.0.0.1:" + std::to_string(dead_port) + "#1#IDL:Heidi/Echo:1.0";
+  auto echo = client_->ResolveAs<HdEcho>(ref);  // resolving is lazy...
+  EXPECT_THROW(echo->echo("x"), NetError);      // ...connecting is not
+}
+
+TEST_F(FailureTest, GarbageOnTheWireClosesConnectionNotServer) {
+  // A peer that sends garbage gets dropped; the server keeps serving
+  // well-behaved clients.
+  demo::EchoImpl impl;
+  ObjectRef ref = server_->ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  auto raw = net::TcpConnect("127.0.0.1", server_->TcpPort());
+  std::string garbage = "THIS IS NOT A VALID REQUEST LINE\n";
+  raw->WriteAll(garbage.data(), garbage.size());
+  char buf[64];
+  EXPECT_EQ(raw->Read(buf, sizeof buf), 0u);  // server closed on us
+
+  auto echo = client_->ResolveAs<HdEcho>(ref.ToString());
+  EXPECT_EQ(echo->echo("fine"), "fine");
+}
+
+TEST_F(FailureTest, TruncatedRequestLineDropped) {
+  demo::EchoImpl impl;
+  ObjectRef ref = server_->ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+  auto raw = net::TcpConnect("127.0.0.1", server_->TcpPort());
+  std::string partial = "REQ 1 W ";  // no newline, then hang up
+  raw->WriteAll(partial.data(), partial.size());
+  raw->Close();
+  // The server must survive; prove it with a real call.
+  auto echo = client_->ResolveAs<HdEcho>(ref.ToString());
+  EXPECT_EQ(echo->add(1, 2), 3);
+}
+
+TEST_F(FailureTest, MalformedArgumentsAreUserVisibleError) {
+  // Hand-build a request whose payload does not match the signature.
+  demo::EchoImpl impl;
+  ObjectRef ref = server_->ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+  auto call = client_->NewRequest(ref, "add", false);
+  call->PutString("not a number");  // add() expects two longs
+  EXPECT_THROW(client_->Invoke(ref, *call), HdError);
+  // Connection and server still healthy.
+  auto echo = client_->ResolveAs<HdEcho>(ref.ToString());
+  EXPECT_EQ(echo->add(3, 4), 7);
+}
+
+TEST_F(FailureTest, StaleLocalReferenceReported) {
+  demo::AImpl a_impl;
+  ObjectRef aref = server_->ExportObject(&a_impl, "IDL:Heidi/A:1.0");
+  demo::SImpl s_impl(1);
+  ObjectRef sref = server_->ExportObject(&s_impl, "IDL:Heidi/S:1.0");
+  server_->UnexportObject(&s_impl);  // now stale
+
+  auto a = client_->ResolveAs<HdA>(aref.ToString());
+  auto s_stub = client_->ResolveAs<HdS>(sref.ToString());
+  // Passing the stale reference back to the server fails inside g().
+  EXPECT_THROW(a->g(s_stub.get()), HdError);
+}
+
+TEST_F(FailureTest, CallAfterServerShutdownThrows) {
+  demo::EchoImpl impl;
+  ObjectRef ref = server_->ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+  auto echo = client_->ResolveAs<HdEcho>(ref.ToString());
+  EXPECT_EQ(echo->echo("up"), "up");
+  server_->Shutdown();
+  EXPECT_THROW(echo->echo("down"), NetError);
+}
+
+TEST_F(FailureTest, ExportWithoutEndpointThrows) {
+  Orb endpointless;
+  demo::EchoImpl impl;
+  EXPECT_THROW(endpointless.ExportObject(&impl, "IDL:Heidi/Echo:1.0"),
+               HdError);
+}
+
+TEST_F(FailureTest, ExportNullThrows) {
+  EXPECT_THROW(server_->ExportObject(nullptr, "IDL:Heidi/Echo:1.0"),
+               HdError);
+}
+
+TEST_F(FailureTest, UnknownProtocolOptionThrows) {
+  OrbOptions options;
+  options.protocol = "carrier-pigeon";
+  EXPECT_THROW(Orb bad(options), HdError);
+}
+
+TEST_F(FailureTest, UnknownInprocTargetThrows) {
+  auto echo =
+      client_->ResolveAs<HdEcho>("@inproc:ghost:0#1#IDL:Heidi/Echo:1.0");
+  EXPECT_THROW(echo->echo("x"), NetError);
+}
+
+TEST_F(FailureTest, DuplicateInprocNameThrows) {
+  OrbOptions options;
+  options.inproc_name = "dup-name-test";
+  Orb first(options);
+  EXPECT_THROW(Orb second(options), HdError);
+}
+
+TEST_F(FailureTest, DoubleListenThrows) {
+  EXPECT_THROW(server_->ListenTcp(), HdError);
+}
+
+TEST_F(FailureTest, ShutdownIsIdempotent) {
+  server_->Shutdown();
+  server_->Shutdown();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace heidi::orb

@@ -1,0 +1,207 @@
+// Interceptors (§5 filters pattern): observation, rejection, ordering,
+// oneway behaviour, and error replies passing through PostInvoke.
+#include "orb/interceptor.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "demo/demo.h"
+#include "orb/orb.h"
+
+namespace heidi::orb {
+namespace {
+
+class CountingClient : public ClientInterceptor {
+ public:
+  void PreInvoke(const ObjectRef&, const wire::Call& request) override {
+    ++pre;
+    last_operation = request.Operation();
+  }
+  void PostInvoke(const ObjectRef&, const wire::Call& reply) override {
+    ++post;
+    last_status = reply.Status();
+  }
+  std::atomic<int> pre{0};
+  std::atomic<int> post{0};
+  std::string last_operation;
+  wire::CallStatus last_status = wire::CallStatus::kOk;
+};
+
+class CountingServer : public ServerInterceptor {
+ public:
+  void PreDispatch(const wire::Call& request) override {
+    ++pre;
+    last_operation = request.Operation();
+  }
+  void PostDispatch(const wire::Call&, const wire::Call& reply) override {
+    ++post;
+    last_status = reply.Status();
+  }
+  std::atomic<int> pre{0};
+  std::atomic<int> post{0};
+  std::string last_operation;
+  wire::CallStatus last_status = wire::CallStatus::kOk;
+};
+
+// Rejects every operation whose name is in the deny list (Orbix-filter
+// style admission control).
+class DenyList : public ServerInterceptor {
+ public:
+  explicit DenyList(std::string op) : denied_(std::move(op)) {}
+  void PreDispatch(const wire::Call& request) override {
+    if (request.Operation() == denied_) {
+      throw HdError("operation '" + denied_ + "' denied by policy");
+    }
+  }
+
+ private:
+  std::string denied_;
+};
+
+class InterceptorTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    demo::ForceDemoRegistration();
+    server_ = std::make_unique<Orb>();
+    server_->ListenTcp();
+    client_ = std::make_unique<Orb>();
+    ref_ = server_->ExportObject(&impl_, "IDL:Heidi/Echo:1.0");
+    echo_ = client_->ResolveAs<HdEcho>(ref_.ToString());
+  }
+  void TearDown() override {
+    client_->Shutdown();
+    server_->Shutdown();
+  }
+
+  demo::EchoImpl impl_;
+  std::unique_ptr<Orb> server_;
+  std::unique_ptr<Orb> client_;
+  ObjectRef ref_;
+  std::shared_ptr<HdEcho> echo_;
+};
+
+TEST_F(InterceptorTest, ClientHooksObserveEveryCall) {
+  auto counting = std::make_shared<CountingClient>();
+  client_->AddClientInterceptor(counting);
+  echo_->add(1, 2);
+  echo_->echo("x");
+  EXPECT_EQ(counting->pre.load(), 2);
+  EXPECT_EQ(counting->post.load(), 2);
+  EXPECT_EQ(counting->last_operation, "echo");
+  EXPECT_EQ(counting->last_status, wire::CallStatus::kOk);
+}
+
+TEST_F(InterceptorTest, ServerHooksObserveEveryRequest) {
+  auto counting = std::make_shared<CountingServer>();
+  server_->AddServerInterceptor(counting);
+  echo_->add(1, 2);
+  EXPECT_EQ(counting->pre.load(), 1);
+  EXPECT_EQ(counting->post.load(), 1);
+  EXPECT_EQ(counting->last_operation, "add");
+}
+
+TEST_F(InterceptorTest, PreDispatchRejectionReachesClientAsRemoteError) {
+  server_->AddServerInterceptor(std::make_shared<DenyList>("add"));
+  try {
+    echo_->add(1, 2);
+    FAIL() << "expected rejection";
+  } catch (const RemoteError& e) {
+    EXPECT_NE(std::string(e.what()).find("denied by policy"),
+              std::string::npos);
+  }
+  // Undeniied operations keep working, and the skeleton never ran for
+  // the rejected one.
+  EXPECT_EQ(echo_->echo("ok"), "ok");
+}
+
+TEST_F(InterceptorTest, RejectionSkipsSkeletonCreation) {
+  server_->AddServerInterceptor(std::make_shared<DenyList>("echo"));
+  EXPECT_THROW(echo_->echo("no"), RemoteError);
+  EXPECT_EQ(server_->Stats().skeletons_created, 0u);
+}
+
+TEST_F(InterceptorTest, PreInvokeThrowAbortsBeforeSending) {
+  class Abort : public ClientInterceptor {
+   public:
+    void PreInvoke(const ObjectRef&, const wire::Call&) override {
+      throw HdError("client-side policy");
+    }
+  };
+  client_->AddClientInterceptor(std::make_shared<Abort>());
+  EXPECT_THROW(echo_->add(1, 2), HdError);
+  EXPECT_EQ(server_->Stats().requests_served, 0u);
+  EXPECT_EQ(client_->Stats().calls_sent, 0u);
+}
+
+TEST_F(InterceptorTest, PostInvokeSeesErrorReplies) {
+  auto counting = std::make_shared<CountingClient>();
+  client_->AddClientInterceptor(counting);
+  demo::ThrowingEcho bad;
+  ObjectRef bad_ref = server_->ExportObject(&bad, "IDL:Heidi/Echo:1.0");
+  auto bad_echo = client_->ResolveAs<HdEcho>(bad_ref.ToString());
+  EXPECT_THROW(bad_echo->add(1, 1), RemoteError);
+  EXPECT_EQ(counting->post.load(), 1);
+  EXPECT_EQ(counting->last_status, wire::CallStatus::kUserException);
+}
+
+TEST_F(InterceptorTest, OnewayRunsPreButNotPost) {
+  auto counting = std::make_shared<CountingClient>();
+  client_->AddClientInterceptor(counting);
+  echo_->post("event");
+  ASSERT_TRUE(impl_.WaitForPosts(1));
+  EXPECT_EQ(counting->pre.load(), 1);
+  EXPECT_EQ(counting->post.load(), 0);  // no reply for oneway
+}
+
+TEST_F(InterceptorTest, OrderingPreInOrderPostInReverse) {
+  class Tracer : public ClientInterceptor {
+   public:
+    Tracer(std::vector<std::string>* log, std::string name)
+        : log_(log), name_(std::move(name)) {}
+    void PreInvoke(const ObjectRef&, const wire::Call&) override {
+      log_->push_back("pre:" + name_);
+    }
+    void PostInvoke(const ObjectRef&, const wire::Call&) override {
+      log_->push_back("post:" + name_);
+    }
+
+   private:
+    std::vector<std::string>* log_;
+    std::string name_;
+  };
+  std::vector<std::string> log;
+  client_->AddClientInterceptor(std::make_shared<Tracer>(&log, "first"));
+  client_->AddClientInterceptor(std::make_shared<Tracer>(&log, "second"));
+  echo_->add(1, 2);
+  EXPECT_EQ(log, (std::vector<std::string>{"pre:first", "pre:second",
+                                           "post:second", "post:first"}));
+}
+
+TEST_F(InterceptorTest, ThrowingPostHooksAreContained) {
+  class BadPost : public ClientInterceptor {
+   public:
+    void PostInvoke(const ObjectRef&, const wire::Call&) override {
+      throw HdError("post boom");
+    }
+  };
+  class BadPostServer : public ServerInterceptor {
+   public:
+    void PostDispatch(const wire::Call&, const wire::Call&) override {
+      throw HdError("server post boom");
+    }
+  };
+  client_->AddClientInterceptor(std::make_shared<BadPost>());
+  server_->AddServerInterceptor(std::make_shared<BadPostServer>());
+  // Post-hook failures are logged, not propagated: the call succeeds.
+  EXPECT_EQ(echo_->add(20, 22), 42);
+}
+
+TEST_F(InterceptorTest, NullInterceptorIgnored) {
+  client_->AddClientInterceptor(nullptr);
+  server_->AddServerInterceptor(nullptr);
+  EXPECT_EQ(echo_->add(1, 1), 2);
+}
+
+}  // namespace
+}  // namespace heidi::orb

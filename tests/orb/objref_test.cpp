@@ -1,0 +1,79 @@
+#include "orb/objref.h"
+
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+
+namespace heidi::orb {
+namespace {
+
+TEST(ObjectRef, ParsesPaperExample) {
+  // §3.1: @tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0
+  ObjectRef ref = ObjectRef::Parse("@tcp:galaxy.nec.com:1234#9876#IDL:Heidi/A:1.0");
+  EXPECT_EQ(ref.protocol, "tcp");
+  EXPECT_EQ(ref.host, "galaxy.nec.com");
+  EXPECT_EQ(ref.port, 1234);
+  EXPECT_EQ(ref.object_id, 9876u);
+  EXPECT_EQ(ref.repo_id, "IDL:Heidi/A:1.0");
+}
+
+TEST(ObjectRef, StringifyParseFixpoint) {
+  ObjectRef ref;
+  ref.protocol = "tcp";
+  ref.host = "127.0.0.1";
+  ref.port = 65535;
+  ref.object_id = 18446744073709551615ull;
+  ref.repo_id = "IDL:X/Y:1.0";
+  EXPECT_EQ(ObjectRef::Parse(ref.ToString()), ref);
+}
+
+TEST(ObjectRef, RepoIdMayContainHash) {
+  // SplitN(3) keeps everything after the second '#' as the repo id.
+  ObjectRef ref = ObjectRef::Parse("@tcp:h:1#2#IDL:Odd#Name:1.0");
+  EXPECT_EQ(ref.repo_id, "IDL:Odd#Name:1.0");
+}
+
+TEST(ObjectRef, InprocForm) {
+  ObjectRef ref = ObjectRef::Parse("@inproc:myorb:0#5#IDL:T:1.0");
+  EXPECT_EQ(ref.protocol, "inproc");
+  EXPECT_EQ(ref.host, "myorb");
+  EXPECT_EQ(ref.port, 0);
+}
+
+TEST(ObjectRef, NilForms) {
+  EXPECT_TRUE(ObjectRef::Parse("@nil").IsNil());
+  EXPECT_TRUE(ObjectRef::Parse("").IsNil());
+  EXPECT_TRUE(ObjectRef::Nil().IsNil());
+  EXPECT_EQ(ObjectRef::Nil().ToString(), "@nil");
+}
+
+TEST(ObjectRef, Endpoint) {
+  ObjectRef ref = ObjectRef::Parse("@tcp:a.b:9#1#IDL:T:1.0");
+  EXPECT_EQ(ref.Endpoint(), "tcp:a.b:9");
+}
+
+TEST(ObjectRef, MalformedThrows) {
+  for (const char* bad : {
+           "tcp:h:1#2#IDL:T:1.0",     // missing @
+           "@tcp:h:1#2",              // missing type
+           "@tcp:h#2#IDL:T:1.0",      // missing port
+           "@tcp:h:xx#2#IDL:T:1.0",   // bad port
+           "@tcp:h:99999#2#IDL:T:1.0",  // port out of range
+           "@tcp:h:1#abc#IDL:T:1.0",  // bad object id
+           "@tcp:h:1#2#",             // empty type
+           "@:h:1#2#IDL:T:1.0",       // empty protocol
+       }) {
+    EXPECT_THROW(ObjectRef::Parse(bad), RefError) << bad;
+  }
+}
+
+TEST(ObjectRef, Equality) {
+  ObjectRef a = ObjectRef::Parse("@tcp:h:1#2#IDL:T:1.0");
+  ObjectRef b = ObjectRef::Parse("@tcp:h:1#2#IDL:T:1.0");
+  EXPECT_EQ(a, b);
+  b.object_id = 3;
+  EXPECT_FALSE(a == b);
+}
+
+}  // namespace
+}  // namespace heidi::orb

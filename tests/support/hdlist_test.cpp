@@ -1,0 +1,99 @@
+#include "support/hdlist.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+namespace heidi {
+namespace {
+
+TEST(HdList, StartsEmpty) {
+  HdList<int> list;
+  EXPECT_TRUE(list.IsEmpty());
+  EXPECT_EQ(list.Size(), 0u);
+}
+
+TEST(HdList, AppendAndIndex) {
+  HdList<int> list;
+  list.Append(1);
+  list.Append(2);
+  list.Append(3);
+  EXPECT_EQ(list.Size(), 3u);
+  EXPECT_EQ(list[0], 1);
+  EXPECT_EQ(list.At(2), 3);
+}
+
+TEST(HdList, Prepend) {
+  HdList<int> list{2, 3};
+  list.Prepend(1);
+  EXPECT_EQ(list[0], 1);
+  EXPECT_EQ(list.Size(), 3u);
+}
+
+TEST(HdList, RemoveFirstMatchOnly) {
+  HdList<int> list{1, 2, 1};
+  EXPECT_TRUE(list.Remove(1));
+  EXPECT_EQ(list, (HdList<int>{2, 1}));
+  EXPECT_FALSE(list.Remove(9));
+}
+
+TEST(HdList, AtThrowsOutOfRange) {
+  HdList<int> list{1};
+  EXPECT_THROW(list.At(1), std::out_of_range);
+  const HdList<int>& clist = list;
+  EXPECT_THROW(clist.At(5), std::out_of_range);
+}
+
+TEST(HdList, Clear) {
+  HdList<std::string> list{"a", "b"};
+  list.Clear();
+  EXPECT_TRUE(list.IsEmpty());
+}
+
+TEST(HdList, Equality) {
+  EXPECT_EQ((HdList<int>{1, 2}), (HdList<int>{1, 2}));
+  EXPECT_NE((HdList<int>{1, 2}), (HdList<int>{2, 1}));
+  EXPECT_NE((HdList<int>{1}), (HdList<int>{1, 1}));
+}
+
+TEST(HdList, RangeForIteration) {
+  HdList<int> list{1, 2, 3};
+  int sum = 0;
+  for (int v : list) sum += v;
+  EXPECT_EQ(sum, 6);
+}
+
+TEST(HdListIterator, LegacyProtocol) {
+  HdList<std::string> list{"x", "y", "z"};
+  std::string joined;
+  for (HdListIterator<std::string> it(list); it.More(); it.Next()) {
+    joined += it.Item();
+  }
+  EXPECT_EQ(joined, "xyz");
+}
+
+TEST(HdListIterator, EmptyListNeverMore) {
+  HdList<int> list;
+  HdListIterator<int> it(list);
+  EXPECT_FALSE(it.More());
+}
+
+TEST(HdListIterator, Reset) {
+  HdList<int> list{1, 2};
+  HdListIterator<int> it(list);
+  it.Next();
+  it.Next();
+  EXPECT_FALSE(it.More());
+  it.Reset();
+  EXPECT_TRUE(it.More());
+  EXPECT_EQ(it.Item(), 1);
+}
+
+TEST(HdList, SizedConstructor) {
+  HdList<int> list(4);
+  EXPECT_EQ(list.Size(), 4u);
+  EXPECT_EQ(list[3], 0);
+}
+
+}  // namespace
+}  // namespace heidi

@@ -1,0 +1,135 @@
+#include "support/strings.h"
+
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "support/error.h"
+
+namespace heidi::str {
+namespace {
+
+TEST(Split, Basic) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(Split, AdjacentSeparatorsYieldEmptyElements) {
+  EXPECT_EQ(Split("a,,c", ','), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(Split, EmptyInputYieldsOneEmptyElement) {
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+}
+
+TEST(Split, NoSeparator) {
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+}
+
+TEST(SplitN, StopsAtLimit) {
+  EXPECT_EQ(SplitN("a:b:c:d", ':', 2),
+            (std::vector<std::string>{"a", "b:c:d"}));
+  EXPECT_EQ(SplitN("a:b:c:d", ':', 3),
+            (std::vector<std::string>{"a", "b", "c:d"}));
+}
+
+TEST(SplitN, FewerPartsThanLimit) {
+  EXPECT_EQ(SplitN("a:b", ':', 5), (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(Join, Basic) {
+  EXPECT_EQ(Join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ","), "solo");
+}
+
+TEST(JoinSplit, Fixpoint) {
+  std::vector<std::string> parts{"x", "yy", "", "zzz"};
+  EXPECT_EQ(Split(Join(parts, "|"), '|'), parts);
+}
+
+TEST(Trim, Basic) {
+  EXPECT_EQ(Trim("  a b  "), "a b");
+  EXPECT_EQ(Trim("\t\n x \r\n"), "x");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("ab"), "ab");
+}
+
+TEST(StartsEndsWith, Basic) {
+  EXPECT_TRUE(StartsWith("foobar", "foo"));
+  EXPECT_FALSE(StartsWith("fo", "foo"));
+  EXPECT_TRUE(StartsWith("foo", ""));
+  EXPECT_TRUE(EndsWith("foobar", "bar"));
+  EXPECT_FALSE(EndsWith("ar", "bar"));
+}
+
+TEST(ReplaceAll, Basic) {
+  EXPECT_EQ(ReplaceAll("a::b::c", "::", "_"), "a_b_c");
+  EXPECT_EQ(ReplaceAll("aaa", "a", "aa"), "aaaaaa");
+  EXPECT_EQ(ReplaceAll("abc", "x", "y"), "abc");
+  EXPECT_EQ(ReplaceAll("", "x", "y"), "");
+}
+
+TEST(CaseConversion, Basic) {
+  EXPECT_EQ(ToLower("AbC1"), "abc1");
+  EXPECT_EQ(ToUpper("AbC1"), "ABC1");
+}
+
+TEST(IsIdentifier, Accepts) {
+  EXPECT_TRUE(IsIdentifier("abc"));
+  EXPECT_TRUE(IsIdentifier("_a1"));
+  EXPECT_TRUE(IsIdentifier("A_B_9"));
+}
+
+TEST(IsIdentifier, Rejects) {
+  EXPECT_FALSE(IsIdentifier(""));
+  EXPECT_FALSE(IsIdentifier("1a"));
+  EXPECT_FALSE(IsIdentifier("a-b"));
+  EXPECT_FALSE(IsIdentifier("a b"));
+}
+
+TEST(EscapeToken, EscapesDemarcationBytes) {
+  EXPECT_EQ(EscapeToken("a b"), "a%20b");
+  EXPECT_EQ(EscapeToken("a\nb"), "a%0Ab");
+  EXPECT_EQ(EscapeToken("a%b"), "a%25b");
+  EXPECT_EQ(EscapeToken("plain"), "plain");
+}
+
+TEST(UnescapeToken, Reverses) {
+  EXPECT_EQ(UnescapeToken("a%20b"), "a b");
+  EXPECT_EQ(UnescapeToken("a%0ab"), "a\nb");  // lowercase hex accepted
+}
+
+TEST(UnescapeToken, MalformedThrows) {
+  EXPECT_THROW(UnescapeToken("abc%"), MarshalError);
+  EXPECT_THROW(UnescapeToken("abc%2"), MarshalError);
+  EXPECT_THROW(UnescapeToken("abc%zz"), MarshalError);
+}
+
+// Property: escape/unescape round-trips arbitrary byte strings, and the
+// escaped form never contains demarcation bytes.
+class EscapeRoundtrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(EscapeRoundtrip, RandomBytes) {
+  std::mt19937 rng(GetParam());
+  std::uniform_int_distribution<int> len_dist(0, 64);
+  std::uniform_int_distribution<int> byte_dist(1, 255);  // NUL escaped too
+  for (int iter = 0; iter < 100; ++iter) {
+    std::string s;
+    int len = len_dist(rng);
+    for (int i = 0; i < len; ++i) {
+      s.push_back(static_cast<char>(byte_dist(rng)));
+    }
+    std::string escaped = EscapeToken(s);
+    EXPECT_EQ(escaped.find(' '), std::string::npos);
+    EXPECT_EQ(escaped.find('\n'), std::string::npos);
+    EXPECT_EQ(escaped.find('\r'), std::string::npos);
+    EXPECT_EQ(UnescapeToken(escaped), s);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EscapeRoundtrip, ::testing::Range(1, 9));
+
+}  // namespace
+}  // namespace heidi::str

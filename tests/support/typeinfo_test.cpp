@@ -1,0 +1,93 @@
+#include "support/typeinfo.h"
+
+#include <gtest/gtest.h>
+
+namespace heidi {
+namespace {
+
+// A diamond: Base <- Left, Base <- Right, Left+Right <- Most.
+class Base : public virtual HdObject {
+ public:
+  HD_DECLARE_TYPE();
+};
+class Left : public virtual Base {
+ public:
+  HD_DECLARE_TYPE();
+};
+class Right : public virtual Base {
+ public:
+  HD_DECLARE_TYPE();
+};
+class Most : public Left, public Right {
+ public:
+  HD_DECLARE_TYPE();
+};
+
+HD_DEFINE_TYPE(Base, "IDL:Test/Base:1.0", &HdObject::TypeInfo())
+HD_DEFINE_TYPE(Left, "IDL:Test/Left:1.0", &Base::TypeInfo())
+HD_DEFINE_TYPE(Right, "IDL:Test/Right:1.0", &Base::TypeInfo())
+HD_DEFINE_TYPE(Most, "IDL:Test/Most:1.0", &Left::TypeInfo(),
+               &Right::TypeInfo())
+
+TEST(HdTypeInfo, IsAReflexive) {
+  EXPECT_TRUE(Base::TypeInfo().IsA(Base::TypeInfo()));
+  EXPECT_TRUE(Base::TypeInfo().IsA("IDL:Test/Base:1.0"));
+}
+
+TEST(HdTypeInfo, IsATransitiveThroughDiamond) {
+  const HdTypeInfo& most = Most::TypeInfo();
+  EXPECT_TRUE(most.IsA("IDL:Test/Left:1.0"));
+  EXPECT_TRUE(most.IsA("IDL:Test/Right:1.0"));
+  EXPECT_TRUE(most.IsA("IDL:Test/Base:1.0"));
+  EXPECT_TRUE(most.IsA(HdObject::TypeInfo()));
+}
+
+TEST(HdTypeInfo, IsANotSymmetric) {
+  EXPECT_FALSE(Base::TypeInfo().IsA("IDL:Test/Most:1.0"));
+  EXPECT_FALSE(Left::TypeInfo().IsA("IDL:Test/Right:1.0"));
+}
+
+TEST(HdTypeInfo, LocalName) {
+  EXPECT_EQ(Most::TypeInfo().LocalName(), "Most");
+  HdTypeInfo deep{"IDL:Mod/Sub/Deep:1.0", {}};
+  EXPECT_EQ(deep.LocalName(), "Deep");
+  HdTypeInfo bare{"IDL:Solo:1.0", {}};
+  EXPECT_EQ(bare.LocalName(), "Solo");
+}
+
+TEST(HdObject, DynamicTypeIsMostDerived) {
+  Most m;
+  HdObject* obj = &m;
+  EXPECT_EQ(&obj->DynamicType(), &Most::TypeInfo());
+  EXPECT_TRUE(obj->IsA("IDL:Test/Base:1.0"));
+  EXPECT_FALSE(obj->IsA("IDL:Test/Unknown:1.0"));
+}
+
+TEST(HdObject, BaseObjectType) {
+  class Plain : public HdObject {};
+  Plain p;
+  EXPECT_EQ(p.DynamicType().RepoId(), "IDL:Heidi/Object:1.0");
+}
+
+TEST(HdTypeRegistry, FindsRegisteredTypes) {
+  (void)Most::TypeInfo();  // force registration
+  const HdTypeInfo* found =
+      HdTypeRegistry::Instance().Find("IDL:Test/Most:1.0");
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found, &Most::TypeInfo());
+}
+
+TEST(HdTypeRegistry, UnknownReturnsNull) {
+  EXPECT_EQ(HdTypeRegistry::Instance().Find("IDL:No/Such:1.0"), nullptr);
+}
+
+TEST(HdTypeRegistry, ReregistrationIsIdempotent) {
+  (void)Most::TypeInfo();  // ensure the whole parent chain is registered
+  size_t before = HdTypeRegistry::Instance().Size();
+  HdTypeRegistry::Instance().Register(&Most::TypeInfo());
+  HdTypeRegistry::Instance().Register(&Most::TypeInfo());
+  EXPECT_EQ(HdTypeRegistry::Instance().Size(), before);
+}
+
+}  // namespace
+}  // namespace heidi

@@ -1,0 +1,45 @@
+#include "support/xbool.h"
+
+#include <gtest/gtest.h>
+
+namespace heidi {
+namespace {
+
+TEST(XBool, DefaultIsFalse) {
+  XBool b;
+  EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(XBool, ConstantsMatchBools) {
+  EXPECT_TRUE(static_cast<bool>(XTrue));
+  EXPECT_FALSE(static_cast<bool>(XFalse));
+}
+
+TEST(XBool, ImplicitConversionFromBool) {
+  XBool b = true;
+  EXPECT_TRUE(static_cast<bool>(b));
+  b = false;
+  EXPECT_FALSE(static_cast<bool>(b));
+}
+
+TEST(XBool, Equality) {
+  EXPECT_EQ(XTrue, XBool(true));
+  EXPECT_EQ(XFalse, XBool(false));
+  EXPECT_NE(XTrue, XFalse);
+}
+
+TEST(XBool, UsableInConditions) {
+  XBool b = XTrue;
+  int taken = 0;
+  if (b) taken = 1;
+  EXPECT_EQ(taken, 1);
+}
+
+TEST(XBool, ConstexprUsable) {
+  static_assert(XTrue == XBool(true));
+  static_assert(XFalse != XTrue);
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace heidi

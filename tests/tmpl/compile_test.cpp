@@ -1,0 +1,196 @@
+#include <gtest/gtest.h>
+
+#include "support/error.h"
+#include "tmpl/program.h"
+
+namespace heidi::tmpl {
+namespace {
+
+TEST(ParseSegments, PlainText) {
+  SegmentList segs = ParseSegments("hello world", "t");
+  ASSERT_EQ(segs.size(), 1u);
+  EXPECT_EQ(segs[0].kind, Segment::Kind::kLiteral);
+  EXPECT_EQ(segs[0].text, "hello world");
+}
+
+TEST(ParseSegments, Variables) {
+  SegmentList segs = ParseSegments("a ${x} b ${y}", "t");
+  ASSERT_EQ(segs.size(), 4u);
+  EXPECT_EQ(segs[1].kind, Segment::Kind::kVar);
+  EXPECT_EQ(segs[1].text, "x");
+  EXPECT_EQ(segs[3].text, "y");
+}
+
+TEST(ParseSegments, DollarEscape) {
+  SegmentList segs = ParseSegments("cost $$5 ${v}", "t");
+  EXPECT_EQ(segs[0].text, "cost $5 ");
+  EXPECT_EQ(segs[1].text, "v");
+}
+
+TEST(ParseSegments, AdjacentVars) {
+  SegmentList segs = ParseSegments("${a}${b}", "t");
+  ASSERT_EQ(segs.size(), 2u);
+  EXPECT_EQ(segs[0].text, "a");
+  EXPECT_EQ(segs[1].text, "b");
+}
+
+TEST(ParseSegments, UnterminatedThrows) {
+  EXPECT_THROW(ParseSegments("${oops", "t"), TemplateError);
+  EXPECT_THROW(ParseSegments("${}", "t"), TemplateError);
+}
+
+TEST(Compile, PlainLinesBecomeTextOps) {
+  TemplateProgram p = CompileTemplate("line one\nline two\n", "t");
+  ASSERT_EQ(p.Ops().size(), 2u);
+  EXPECT_EQ(p.Ops()[0].kind, Op::Kind::kText);
+}
+
+TEST(Compile, NoTrailingEmptyLineFromFinalNewline) {
+  TemplateProgram with = CompileTemplate("a\n", "t");
+  TemplateProgram without = CompileTemplate("a", "t");
+  EXPECT_EQ(with.Ops().size(), 1u);
+  EXPECT_EQ(without.Ops().size(), 1u);
+}
+
+TEST(Compile, Foreach) {
+  TemplateProgram p = CompileTemplate(
+      "@foreach methodList -ifMore ', ' -map returnType CPP::MapType\n"
+      "  body ${methodName}\n"
+      "@end methodList\n",
+      "t");
+  ASSERT_EQ(p.Ops().size(), 1u);
+  const Op& op = p.Ops()[0];
+  EXPECT_EQ(op.kind, Op::Kind::kForeach);
+  EXPECT_EQ(op.foreach_opts.list, "methodList");
+  EXPECT_TRUE(op.foreach_opts.has_if_more);
+  EXPECT_EQ(op.foreach_opts.if_more_sep, ", ");
+  ASSERT_EQ(op.foreach_opts.maps.size(), 1u);
+  EXPECT_EQ(op.foreach_opts.maps[0].first, "returnType");
+  EXPECT_EQ(op.foreach_opts.maps[0].second, "CPP::MapType");
+  EXPECT_EQ(op.body.size(), 1u);
+}
+
+TEST(Compile, ForeachEndNameMismatchThrows) {
+  EXPECT_THROW(
+      CompileTemplate("@foreach a\nx\n@end b\n", "t"), TemplateError);
+}
+
+TEST(Compile, ForeachBareEndAccepted) {
+  TemplateProgram p = CompileTemplate("@foreach a\nx\n@end\n", "t");
+  EXPECT_EQ(p.Ops().size(), 1u);
+}
+
+TEST(Compile, MissingEndThrows) {
+  EXPECT_THROW(CompileTemplate("@foreach a\nx\n", "t"), TemplateError);
+}
+
+TEST(Compile, IfElseFi) {
+  TemplateProgram p = CompileTemplate(
+      "@if ${x} == yes\nthen-line\n@else\nelse-line\n@fi\n", "t");
+  const Op& op = p.Ops()[0];
+  EXPECT_EQ(op.kind, Op::Kind::kIf);
+  EXPECT_FALSE(op.cond.negated);
+  EXPECT_EQ(op.body.size(), 1u);
+  EXPECT_EQ(op.else_body.size(), 1u);
+}
+
+TEST(Compile, IfNotEquals) {
+  TemplateProgram p =
+      CompileTemplate("@if ${q} != readonly\nx\n@fi\n", "t");
+  EXPECT_TRUE(p.Ops()[0].cond.negated);
+}
+
+TEST(Compile, IfQuotedEmptyOperand) {
+  TemplateProgram p = CompileTemplate("@if ${d} == ''\nx\n@fi\n", "t");
+  EXPECT_TRUE(p.Ops()[0].cond.rhs.empty());
+}
+
+TEST(Compile, MalformedIfThrows) {
+  EXPECT_THROW(CompileTemplate("@if ${x} yes\nz\n@fi\n", "t"),
+               TemplateError);
+  EXPECT_THROW(CompileTemplate("@if ${x} < 3\nz\n@fi\n", "t"),
+               TemplateError);
+}
+
+TEST(Compile, UnmatchedElseThrows) {
+  EXPECT_THROW(CompileTemplate("@else\n", "t"), TemplateError);
+  EXPECT_THROW(CompileTemplate("@fi\n", "t"), TemplateError);
+  EXPECT_THROW(CompileTemplate("@end x\n", "t"), TemplateError);
+}
+
+TEST(Compile, NestedStructures) {
+  TemplateProgram p = CompileTemplate(
+      "@foreach outer\n"
+      "@if ${a} == b\n"
+      "@foreach inner\n"
+      "deep\n"
+      "@end inner\n"
+      "@fi\n"
+      "@end outer\n",
+      "t");
+  // foreach + if + inner foreach + text line.
+  EXPECT_EQ(p.OpCount(), 4u);
+}
+
+TEST(Compile, OpenFileSetMapDirectives) {
+  TemplateProgram p = CompileTemplate(
+      "@openfile ${name}.hh\n"
+      "@set v 'a b'\n"
+      "@map w Upper v\n",
+      "t");
+  ASSERT_EQ(p.Ops().size(), 3u);
+  EXPECT_EQ(p.Ops()[0].kind, Op::Kind::kOpenFile);
+  EXPECT_EQ(p.Ops()[1].kind, Op::Kind::kSet);
+  const Op& map = p.Ops()[2];
+  EXPECT_EQ(map.kind, Op::Kind::kMap);
+  EXPECT_EQ(map.var, "w");
+  EXPECT_EQ(map.func, "Upper");
+  EXPECT_EQ(map.source_var, "v");
+}
+
+TEST(Compile, MapDefaultsSourceToVar) {
+  TemplateProgram p = CompileTemplate("@map v Upper\n", "t");
+  EXPECT_EQ(p.Ops()[0].source_var, "v");
+}
+
+TEST(Compile, CommentsDiscarded) {
+  TemplateProgram p = CompileTemplate("@// a comment\nreal\n", "t");
+  EXPECT_EQ(p.Ops().size(), 1u);
+}
+
+TEST(Compile, AtAtEscape) {
+  TemplateProgram p = CompileTemplate("@@foreach literal\n", "t");
+  ASSERT_EQ(p.Ops().size(), 1u);
+  EXPECT_EQ(p.Ops()[0].kind, Op::Kind::kText);
+  EXPECT_EQ(p.Ops()[0].segments[0].text, "@foreach literal");
+}
+
+TEST(Compile, UnknownDirectiveThrows) {
+  EXPECT_THROW(CompileTemplate("@frobnicate x\n", "t"), TemplateError);
+}
+
+TEST(Compile, ErrorsCarryTemplateNameAndLine) {
+  try {
+    CompileTemplate("ok\n@bogus\n", "mytmpl");
+    FAIL() << "expected TemplateError";
+  } catch (const TemplateError& e) {
+    EXPECT_NE(std::string(e.what()).find("mytmpl:2"), std::string::npos);
+  }
+}
+
+TEST(Compile, UnterminatedQuoteThrows) {
+  EXPECT_THROW(CompileTemplate("@set v 'oops\n", "t"), TemplateError);
+}
+
+TEST(Compile, IncludeUnavailableWithoutDir) {
+  EXPECT_THROW(CompileTemplate("@include other.tmpl\n", "t"),
+               TemplateError);
+}
+
+TEST(Compile, CarriageReturnsStripped) {
+  TemplateProgram p = CompileTemplate("a\r\nb\r\n", "t");
+  EXPECT_EQ(p.Ops()[0].segments[0].text, "a");
+}
+
+}  // namespace
+}  // namespace heidi::tmpl

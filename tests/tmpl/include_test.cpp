@@ -1,0 +1,100 @@
+// @include: compile-time splicing of template fragments, resolved
+// relative to the including file — how multi-file mapping sets share
+// common pieces.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "est/node.h"
+#include "support/error.h"
+#include "tmpl/interp.h"
+#include "tmpl/program.h"
+
+namespace heidi::tmpl {
+namespace {
+
+namespace fs = std::filesystem;
+
+class IncludeTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = fs::temp_directory_path() /
+           ("tmpl_include_" + std::to_string(::getpid()) + "_" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name());
+    fs::create_directories(dir_ / "sub");
+  }
+  void TearDown() override { fs::remove_all(dir_); }
+
+  void WriteFile(const std::string& name, const std::string& text) {
+    std::ofstream(dir_ / name) << text;
+  }
+
+  std::string Run(const std::string& main_name) {
+    TemplateProgram program =
+        CompileTemplateFile((dir_ / main_name).string());
+    est::Node root("Root", "");
+    root.SetProp("who", "world");
+    MapRegistry maps = MapRegistry::Builtins();
+    return ExecuteToString(program, root, maps);
+  }
+
+  fs::path dir_;
+};
+
+TEST_F(IncludeTest, SplicesFragment) {
+  WriteFile("frag.tmpl", "hello ${who}\n");
+  WriteFile("main.tmpl", "before\n@include frag.tmpl\nafter\n");
+  EXPECT_EQ(Run("main.tmpl"), "before\nhello world\nafter\n");
+}
+
+TEST_F(IncludeTest, NestedIncludes) {
+  WriteFile("inner.tmpl", "deep\n");
+  WriteFile("mid.tmpl", "@include inner.tmpl\nmid\n");
+  WriteFile("main.tmpl", "@include mid.tmpl\ntop\n");
+  EXPECT_EQ(Run("main.tmpl"), "deep\nmid\ntop\n");
+}
+
+TEST_F(IncludeTest, RelativeToIncludingFile) {
+  WriteFile("sub/frag.tmpl", "from sub\n");
+  WriteFile("main.tmpl", "@include sub/frag.tmpl\n");
+  EXPECT_EQ(Run("main.tmpl"), "from sub\n");
+}
+
+TEST_F(IncludeTest, IncludedDirectivesWork) {
+  WriteFile("frag.tmpl", "@set v included\n");
+  WriteFile("main.tmpl", "@include frag.tmpl\nvalue=${v}\n");
+  EXPECT_EQ(Run("main.tmpl"), "value=included\n");
+}
+
+TEST_F(IncludeTest, MissingFileThrowsWithPosition) {
+  WriteFile("main.tmpl", "ok\n@include ghost.tmpl\n");
+  try {
+    Run("main.tmpl");
+    FAIL() << "expected TemplateError";
+  } catch (const TemplateError& e) {
+    std::string what = e.what();
+    EXPECT_NE(what.find("cannot open"), std::string::npos);
+    EXPECT_NE(what.find(":2"), std::string::npos);
+  }
+}
+
+TEST_F(IncludeTest, ErrorsInsideFragmentNameTheFragment) {
+  WriteFile("frag.tmpl", "@bogus\n");
+  WriteFile("main.tmpl", "@include frag.tmpl\n");
+  try {
+    Run("main.tmpl");
+    FAIL() << "expected TemplateError";
+  } catch (const TemplateError& e) {
+    EXPECT_NE(std::string(e.what()).find("frag.tmpl:1"), std::string::npos);
+  }
+}
+
+TEST_F(IncludeTest, MissingTemplateFileThrows) {
+  EXPECT_THROW(CompileTemplateFile((dir_ / "nope.tmpl").string()),
+               TemplateError);
+}
+
+}  // namespace
+}  // namespace heidi::tmpl

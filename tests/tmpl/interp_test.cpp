@@ -1,0 +1,213 @@
+#include "tmpl/interp.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <fstream>
+
+#include "support/error.h"
+#include "tmpl/program.h"
+
+namespace heidi::tmpl {
+namespace {
+
+// A small EST by hand: Root with an interfaceList of two interfaces, the
+// first holding a methodList.
+std::unique_ptr<est::Node> MakeTree() {
+  auto root = std::make_unique<est::Node>("Root", "demo");
+  root->SetProp("sourceName", "demo.idl");
+  est::Node& a = root->NewChild("interfaceList", "Interface", "A");
+  a.SetProp("interfaceName", "Heidi::A");
+  a.SetProp("flag", "yes");
+  est::Node& f = a.NewChild("methodList", "Operation", "f");
+  f.SetProp("methodName", "f");
+  est::Node& g = a.NewChild("methodList", "Operation", "g");
+  g.SetProp("methodName", "g");
+  est::Node& b = root->NewChild("interfaceList", "Interface", "B");
+  b.SetProp("interfaceName", "Heidi::B");
+  b.SetProp("flag", "");
+  return root;
+}
+
+std::string RunTmpl(const std::string& tmpl_text,
+                const ExecOptions& options = {}) {
+  auto tree = MakeTree();
+  TemplateProgram program = CompileTemplate(tmpl_text, "t");
+  MapRegistry maps = MapRegistry::Builtins();
+  return ExecuteToString(program, *tree, maps, options);
+}
+
+TEST(Interp, LiteralLines) {
+  EXPECT_EQ(RunTmpl("hello\nworld\n"), "hello\nworld\n");
+}
+
+TEST(Interp, RootPropsVisible) {
+  EXPECT_EQ(RunTmpl("src=${sourceName}\n"), "src=demo.idl\n");
+}
+
+TEST(Interp, GlobalsVisible) {
+  ExecOptions options;
+  options.globals["who"] = "tester";
+  EXPECT_EQ(RunTmpl("hi ${who}\n", options), "hi tester\n");
+}
+
+TEST(Interp, UnknownVariableThrows) {
+  EXPECT_THROW(RunTmpl("${nope}\n"), TemplateError);
+}
+
+TEST(Interp, ForeachIteratesList) {
+  EXPECT_EQ(RunTmpl("@foreach interfaceList\n${interfaceName}\n@end\n"),
+            "Heidi::A\nHeidi::B\n");
+}
+
+TEST(Interp, ForeachAbsentListIsEmpty) {
+  EXPECT_EQ(RunTmpl("@foreach ghostList\nnever\n@end\n"), "");
+}
+
+TEST(Interp, NestedForeachUsesInnerNode) {
+  EXPECT_EQ(
+      RunTmpl("@foreach interfaceList\n"
+          "@foreach methodList\n"
+          "${interfaceName}.${methodName}\n"
+          "@end methodList\n"
+          "@end interfaceList\n"),
+      "Heidi::A.f\nHeidi::A.g\n");  // B has no methodList
+}
+
+TEST(Interp, IfMoreSeparator) {
+  EXPECT_EQ(
+      RunTmpl("@foreach interfaceList -ifMore ','\n${interfaceName}${ifMore}\n"
+          "@end\n"),
+      "Heidi::A,\nHeidi::B\n");
+}
+
+TEST(Interp, LoopSpecials) {
+  EXPECT_EQ(RunTmpl("@foreach interfaceList\n"
+                "${index}/${index1} first=${isFirst} last=${isLast}\n"
+                "@end\n"),
+            "0/1 first=true last=\n1/2 first= last=true\n");
+}
+
+TEST(Interp, MapOptionRewritesVariable) {
+  EXPECT_EQ(
+      RunTmpl("@foreach interfaceList -map interfaceName CPP::MapClassName\n"
+          "${interfaceName}\n@end\n"),
+      "HdA\nHdB\n");
+}
+
+TEST(Interp, UnknownMapFunctionThrows) {
+  EXPECT_THROW(
+      RunTmpl("@foreach interfaceList -map interfaceName No::Such\nx\n@end\n"),
+      TemplateError);
+}
+
+TEST(Interp, MapMissingPropertyThrows) {
+  EXPECT_THROW(RunTmpl("@foreach interfaceList -map ghost Upper\nx\n@end\n"),
+               TemplateError);
+}
+
+TEST(Interp, IfBranches) {
+  EXPECT_EQ(RunTmpl("@foreach interfaceList\n"
+                "@if ${flag} == yes\nY:${interfaceName}\n"
+                "@else\nN:${interfaceName}\n@fi\n"
+                "@end\n"),
+            "Y:Heidi::A\nN:Heidi::B\n");
+}
+
+TEST(Interp, IfNegated) {
+  EXPECT_EQ(RunTmpl("@foreach interfaceList\n"
+                "@if ${flag} != yes\nN\n@fi\n"
+                "@end\n"),
+            "N\n");
+}
+
+TEST(Interp, SetCreatesInCurrentScopeAndAssignsOuter) {
+  // The accumulator pattern: @set in the outer scope, appended inside the
+  // loop, visible after the loop.
+  EXPECT_EQ(RunTmpl("@set acc ''\n"
+                "@foreach interfaceList -ifMore ', '\n"
+                "@map short CPP::MapClassName interfaceName\n"
+                "@set acc '${acc}${short}${ifMore}'\n"
+                "@end\n"
+                "joined: ${acc}\n"),
+            "joined: HdA, HdB\n");
+}
+
+TEST(Interp, SetScopeDiesWithLoopFrame) {
+  // A variable first @set inside a loop body does not leak out.
+  EXPECT_THROW(RunTmpl("@foreach interfaceList\n"
+                   "@set inner x\n"
+                   "@end\n"
+                   "${inner}\n"),
+               TemplateError);
+}
+
+TEST(Interp, MapDirective) {
+  EXPECT_EQ(RunTmpl("@set v heidi\n@map u Upper v\n${u} ${v}\n"),
+            "HEIDI heidi\n");
+}
+
+TEST(Interp, DollarEscapeInOutput) {
+  EXPECT_EQ(RunTmpl("price $$10\n"), "price $10\n");
+}
+
+TEST(Interp, OpenFileRoutesOutput) {
+  auto tree = MakeTree();
+  TemplateProgram program = CompileTemplate(
+      "before\n"
+      "@foreach interfaceList -map interfaceName CPP::MapClassName\n"
+      "@openfile ${interfaceName}.hh\n"
+      "content of ${interfaceName}\n"
+      "@end\n",
+      "t");
+  MapRegistry maps = MapRegistry::Builtins();
+  StringSink sink;
+  Execute(program, *tree, maps, sink);
+  EXPECT_EQ(sink.File(""), "before\n");
+  EXPECT_EQ(sink.File("HdA.hh"), "content of HdA\n");
+  EXPECT_EQ(sink.File("HdB.hh"), "content of HdB\n");
+  EXPECT_EQ(sink.FileNames().size(), 3u);
+}
+
+TEST(Interp, OuterListReachableFromInnerFrame) {
+  // interfaceList lives on Root; from inside an interface frame a foreach
+  // over interfaceList still resolves (outward list lookup).
+  EXPECT_EQ(RunTmpl("@foreach interfaceList\n"
+                "@foreach interfaceList\n"
+                "x\n"
+                "@end interfaceList\n"
+                "@end interfaceList\n"),
+            "x\nx\nx\nx\n");
+}
+
+TEST(Interp, ErrorsCarryLineNumbers) {
+  try {
+    RunTmpl("fine\n${missing}\n");
+    FAIL() << "expected TemplateError";
+  } catch (const TemplateError& e) {
+    EXPECT_NE(std::string(e.what()).find("t:2"), std::string::npos);
+  }
+}
+
+TEST(FileSink, WritesFilesUnderRoot) {
+  std::string dir =
+      ::testing::TempDir() + "/heidi_filesink_" +
+      std::to_string(::getpid());
+  {
+    FileSink sink(dir);
+    sink.Open("sub/a.txt");
+    sink.Write("hello\n");
+    sink.Open("b.txt");
+    sink.Write("world\n");
+  }
+  std::ifstream a(dir + "/sub/a.txt");
+  std::string line;
+  ASSERT_TRUE(std::getline(a, line));
+  EXPECT_EQ(line, "hello");
+  std::ifstream b(dir + "/b.txt");
+  ASSERT_TRUE(std::getline(b, line));
+  EXPECT_EQ(line, "world");
+}
+
+}  // namespace
+}  // namespace heidi::tmpl

@@ -1,0 +1,192 @@
+// Table 1 of the paper side by side: the prescribed CORBA C++ mapping and
+// the alternate (HeidiRMI) mapping, plus the Java and wire-suffix maps.
+#include "tmpl/mapfuncs.h"
+
+#include <gtest/gtest.h>
+
+#include "est/builder.h"
+#include "idl/sema.h"
+
+namespace heidi::tmpl {
+namespace {
+
+class MapFuncsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    idl::Specification spec = idl::ParseAndResolve(R"(
+      module Heidi {
+        interface S;
+        enum Status { Start, Stop };
+        typedef sequence<S> SSequence;
+        typedef long Counter;
+        struct Point { double x, y; };
+        interface A : S { void f(); };
+      };
+    )");
+    root_ = est::BuildEst(spec);
+    index_ = std::make_unique<TypeIndex>(*root_);
+    ctx_.root = root_.get();
+    ctx_.types = index_.get();
+  }
+
+  std::string Heidi(std::string_view s) { return HeidiMapType(s, ctx_); }
+  std::string Corba(std::string_view s) { return CorbaMapType(s, ctx_); }
+  std::string Java(std::string_view s) { return JavaMapType(s, ctx_); }
+  std::string Wire(std::string_view s) { return WireCallKind(s, ctx_); }
+
+  std::unique_ptr<est::Node> root_;
+  std::unique_ptr<TypeIndex> index_;
+  MapContext ctx_;
+};
+
+TEST_F(MapFuncsTest, TypeIndexClassifies) {
+  const TypeEntry* a = index_->Find("Heidi::A");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a->tag, "objref");
+  EXPECT_EQ(a->flat_name, "Heidi_A");
+  EXPECT_EQ(index_->Find("Heidi::Status")->tag, "enum");
+  EXPECT_EQ(index_->Find("Heidi::Point")->tag, "struct");
+  const TypeEntry* seq = index_->Find("Heidi::SSequence");
+  ASSERT_NE(seq, nullptr);
+  EXPECT_EQ(seq->tag, "alias");
+  EXPECT_TRUE(seq->is_variable);
+  EXPECT_FALSE(index_->Find("Heidi::Counter")->is_variable);
+  EXPECT_EQ(index_->Find("Heidi_A")->tag, "objref");  // flat key too
+  EXPECT_EQ(index_->Find("No::Such"), nullptr);
+}
+
+// --- Table 1: alternate (HeidiRMI) column ---------------------------------
+
+TEST_F(MapFuncsTest, HeidiPrimitives) {
+  EXPECT_EQ(Heidi("long"), "long");        // Table 1: long -> long
+  EXPECT_EQ(Heidi("boolean"), "XBool");    // Table 1: boolean -> XBool
+  EXPECT_EQ(Heidi("float"), "float");      // Table 1: float -> float
+  EXPECT_EQ(Heidi("void"), "void");
+  EXPECT_EQ(Heidi("unsigned long"), "unsigned long");
+  EXPECT_EQ(Heidi("octet"), "unsigned char");
+  EXPECT_EQ(Heidi("string"), "HdString");
+  EXPECT_EQ(Heidi("string<16>"), "HdString");
+}
+
+TEST_F(MapFuncsTest, HeidiClassNames) {
+  EXPECT_EQ(HeidiMapClassName("Heidi::A"), "HdA");
+  EXPECT_EQ(HeidiMapClassName("Heidi::Status"), "HdStatus");
+  EXPECT_EQ(HeidiMapClassName("A"), "HdA");
+  EXPECT_EQ(HeidiMapClassName("HdAlready"), "HdAlready");
+  EXPECT_EQ(HeidiMapClassName(""), "");
+}
+
+TEST_F(MapFuncsTest, HeidiNamedTypes) {
+  EXPECT_EQ(Heidi("Heidi::A"), "HdA*");          // objref -> pointer
+  EXPECT_EQ(Heidi("Heidi::Status"), "HdStatus"); // enum -> value
+  EXPECT_EQ(Heidi("Heidi::SSequence"), "HdSSequence*");  // variable alias
+  EXPECT_EQ(Heidi("Heidi::Counter"), "HdCounter");       // fixed alias
+  EXPECT_EQ(Heidi("Heidi::Point"), "HdPoint*");
+  EXPECT_EQ(Heidi("Heidi::S"), "HdS*");  // external interface: objref
+}
+
+TEST_F(MapFuncsTest, HeidiSequences) {
+  EXPECT_EQ(Heidi("sequence<Heidi::S>"), "HdList<HdS*>*");
+  EXPECT_EQ(Heidi("sequence<long>"), "HdList<long>*");
+  EXPECT_EQ(Heidi("sequence<boolean,4>"), "HdList<XBool>*");
+  EXPECT_EQ(Heidi("sequence<sequence<long>>"), "HdList<HdList<long>>*");
+  EXPECT_EQ(HeidiMapElemType("Heidi::Status", ctx_), "HdStatus");
+}
+
+// --- Table 1: prescribed CORBA column --------------------------------------
+
+TEST_F(MapFuncsTest, CorbaPrimitives) {
+  EXPECT_EQ(Corba("long"), "CORBA::Long");      // Table 1
+  EXPECT_EQ(Corba("boolean"), "CORBA::Boolean");  // Table 1
+  EXPECT_EQ(Corba("float"), "CORBA::Float");    // Table 1
+  EXPECT_EQ(Corba("double"), "CORBA::Double");
+  EXPECT_EQ(Corba("unsigned short"), "CORBA::UShort");
+  EXPECT_EQ(Corba("string"), "const char*");
+}
+
+TEST_F(MapFuncsTest, CorbaNamedTypes) {
+  EXPECT_EQ(Corba("Heidi::A"), "Heidi::A_ptr");
+  EXPECT_EQ(Corba("Heidi::Status"), "Heidi::Status");
+  EXPECT_EQ(Corba("Heidi::Point"), "const Heidi::Point&");
+  EXPECT_EQ(Corba("Heidi::SSequence"), "const Heidi::SSequence&");
+  EXPECT_EQ(Corba("Heidi::Counter"), "Heidi::Counter");
+}
+
+// --- Java mapping (§4.2) ----------------------------------------------------
+
+TEST_F(MapFuncsTest, JavaTypes) {
+  EXPECT_EQ(Java("long"), "int");  // IDL long is 32-bit
+  EXPECT_EQ(Java("long long"), "long");
+  EXPECT_EQ(Java("boolean"), "boolean");
+  EXPECT_EQ(Java("octet"), "byte");
+  EXPECT_EQ(Java("string"), "String");
+  EXPECT_EQ(Java("Heidi::A"), "A");
+  EXPECT_EQ(Java("Heidi::Status"), "int");  // pre-Java-5 enums
+  EXPECT_EQ(Java("sequence<Heidi::S>"), "S[]");
+  EXPECT_EQ(Java("Heidi::SSequence"), "S[]");  // alias resolves through
+}
+
+// --- Wire call-kind suffixes -------------------------------------------------
+
+TEST_F(MapFuncsTest, WireCallKinds) {
+  EXPECT_EQ(Wire("long"), "Long");
+  EXPECT_EQ(Wire("unsigned long"), "ULong");
+  EXPECT_EQ(Wire("boolean"), "Boolean");
+  EXPECT_EQ(Wire("string"), "String");
+  EXPECT_EQ(Wire("void"), "Void");
+  EXPECT_EQ(Wire("Heidi::Status"), "Enum");
+  EXPECT_EQ(Wire("Heidi::A"), "Object");
+  EXPECT_EQ(Wire("Heidi::SSequence"), "Sequence");  // alias of sequence
+  EXPECT_EQ(Wire("Heidi::Counter"), "Long");        // alias of long
+  EXPECT_EQ(Wire("Heidi::Point"), "Struct");
+}
+
+// --- registry ----------------------------------------------------------------
+
+TEST_F(MapFuncsTest, BuiltinRegistryComplete) {
+  MapRegistry reg = MapRegistry::Builtins();
+  for (const char* name :
+       {"Ident", "Upper", "Lower", "Capitalize", "Flat", "CPP::MapClassName",
+        "CPP::MapType", "CPP::MapReturnType", "CPP::MapElemType",
+        "CPP::MapLiteral", "CORBA::MapType", "CORBA::MapReturnType",
+        "CORBA::MapLiteral", "Java::MapType", "Java::MapClassName",
+        "Wire::MapCallKind", "Tcl::MapClassName"}) {
+    EXPECT_NE(reg.Find(name), nullptr) << name;
+  }
+  EXPECT_EQ(reg.Find("Nope"), nullptr);
+}
+
+TEST_F(MapFuncsTest, GenericHelpers) {
+  MapRegistry reg = MapRegistry::Builtins();
+  EXPECT_EQ((*reg.Find("Upper"))("abc", ctx_), "ABC");
+  EXPECT_EQ((*reg.Find("Capitalize"))("button", ctx_), "Button");
+  EXPECT_EQ((*reg.Find("Flat"))("A::B::C", ctx_), "A_B_C");
+  EXPECT_EQ((*reg.Find("Ident"))("x", ctx_), "x");
+}
+
+TEST_F(MapFuncsTest, LiteralMaps) {
+  MapRegistry reg = MapRegistry::Builtins();
+  EXPECT_EQ((*reg.Find("CPP::MapLiteral"))("TRUE", ctx_), "XTrue");
+  EXPECT_EQ((*reg.Find("CPP::MapLiteral"))("FALSE", ctx_), "XFalse");
+  EXPECT_EQ((*reg.Find("CPP::MapLiteral"))("0", ctx_), "0");
+  EXPECT_EQ((*reg.Find("CORBA::MapLiteral"))("TRUE", ctx_), "true");
+  EXPECT_EQ((*reg.Find("Java::MapLiteral"))("FALSE", ctx_), "false");
+}
+
+TEST_F(MapFuncsTest, CorbaReturnTypeStripsConstRef) {
+  MapRegistry reg = MapRegistry::Builtins();
+  EXPECT_EQ((*reg.Find("CORBA::MapReturnType"))("Heidi::Point", ctx_),
+            "Heidi::Point");
+  EXPECT_EQ((*reg.Find("CORBA::MapReturnType"))("string", ctx_), "char*");
+}
+
+TEST_F(MapFuncsTest, UserRegisteredFunction) {
+  MapRegistry reg = MapRegistry::Builtins();
+  reg.Register("My::Reverse", [](const std::string& v, const MapContext&) {
+    return std::string(v.rbegin(), v.rend());
+  });
+  EXPECT_EQ((*reg.Find("My::Reverse"))("abc", ctx_), "cba");
+}
+
+}  // namespace
+}  // namespace heidi::tmpl

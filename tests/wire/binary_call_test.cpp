@@ -1,0 +1,149 @@
+#include "wire/binary.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/error.h"
+
+namespace heidi::wire {
+namespace {
+
+BinaryCall Reread(const BinaryCall& written) {
+  return BinaryCall(written.Payload());
+}
+
+TEST(BinaryCall, PrimitiveRoundTrip) {
+  BinaryCall w;
+  w.PutBoolean(true);
+  w.PutChar('q');
+  w.PutOctet(200);
+  w.PutShort(-32768);
+  w.PutUShort(65535);
+  w.PutLong(-1);
+  w.PutULong(0xDEADBEEF);
+  w.PutLongLong(std::numeric_limits<int64_t>::max());
+  w.PutULongLong(0xFFFFFFFFFFFFFFFFull);
+  w.PutFloat(-2.5f);
+  w.PutDouble(6.02214076e23);
+  w.PutString("binary");
+  w.PutBytes(std::string("\x00\x01\x02", 3));
+
+  BinaryCall r = Reread(w);
+  EXPECT_TRUE(r.GetBoolean());
+  EXPECT_EQ(r.GetChar(), 'q');
+  EXPECT_EQ(r.GetOctet(), 200);
+  EXPECT_EQ(r.GetShort(), -32768);
+  EXPECT_EQ(r.GetUShort(), 65535);
+  EXPECT_EQ(r.GetLong(), -1);
+  EXPECT_EQ(r.GetULong(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetLongLong(), std::numeric_limits<int64_t>::max());
+  EXPECT_EQ(r.GetULongLong(), 0xFFFFFFFFFFFFFFFFull);
+  EXPECT_FLOAT_EQ(r.GetFloat(), -2.5f);
+  EXPECT_DOUBLE_EQ(r.GetDouble(), 6.02214076e23);
+  EXPECT_EQ(r.GetString(), "binary");
+  EXPECT_EQ(r.GetBytes(), std::string("\x00\x01\x02", 3));
+  EXPECT_FALSE(r.HasMore());
+}
+
+TEST(BinaryCall, CdrAlignment) {
+  // octet then long: CDR inserts 3 bytes of padding before the long.
+  BinaryCall w;
+  w.PutOctet(1);
+  w.PutLong(0x01020304);
+  EXPECT_EQ(w.Payload().size(), 8u);
+  // octet then double: 7 bytes of padding.
+  BinaryCall w2;
+  w2.PutOctet(1);
+  w2.PutDouble(1.0);
+  EXPECT_EQ(w2.Payload().size(), 16u);
+  // Reading applies the same alignment.
+  BinaryCall r = Reread(w);
+  EXPECT_EQ(r.GetOctet(), 1);
+  EXPECT_EQ(r.GetLong(), 0x01020304);
+}
+
+TEST(BinaryCall, StringsAreNulTerminatedWithLength) {
+  BinaryCall w;
+  w.PutString("ab");
+  // u32 len=3, 'a', 'b', NUL.
+  ASSERT_EQ(w.Payload().size(), 7u);
+  EXPECT_EQ(w.Payload()[0], 3);
+  EXPECT_EQ(w.Payload()[6], '\0');
+}
+
+TEST(BinaryCall, StringWithEmbeddedBytes) {
+  BinaryCall w;
+  w.PutString(std::string("a\x01b", 3));
+  BinaryCall r = Reread(w);
+  EXPECT_EQ(r.GetString(), std::string("a\x01b", 3));
+}
+
+TEST(BinaryCall, EmptyString) {
+  BinaryCall w;
+  w.PutString("");
+  BinaryCall r = Reread(w);
+  EXPECT_EQ(r.GetString(), "");
+}
+
+TEST(BinaryCall, BeginEndAreNoOps) {
+  BinaryCall w;
+  w.Begin("seq");
+  w.PutLong(7);
+  w.End();
+  EXPECT_EQ(w.Payload().size(), 4u);  // no group marker bytes
+  BinaryCall r = Reread(w);
+  r.Begin("anything");
+  EXPECT_EQ(r.GetLong(), 7);
+  r.End();
+}
+
+TEST(BinaryCall, TruncationThrows) {
+  BinaryCall w;
+  w.PutLong(1);
+  std::string partial = w.Payload().substr(0, 2);
+  BinaryCall r(std::move(partial));
+  EXPECT_THROW(r.GetLong(), MarshalError);
+}
+
+TEST(BinaryCall, TruncatedStringThrows) {
+  BinaryCall w;
+  w.PutString("hello");
+  std::string partial = w.Payload().substr(0, 6);
+  BinaryCall r(std::move(partial));
+  EXPECT_THROW(r.GetString(), MarshalError);
+}
+
+TEST(BinaryCall, ZeroLengthStringHeaderRejected) {
+  // CDR strings always contain at least the NUL, so length 0 is corrupt.
+  std::string payload(4, '\0');
+  BinaryCall r(std::move(payload));
+  EXPECT_THROW(r.GetString(), MarshalError);
+}
+
+TEST(BinaryCall, MalformedBooleanRejected) {
+  std::string payload(1, '\x05');
+  BinaryCall r(std::move(payload));
+  EXPECT_THROW(r.GetBoolean(), MarshalError);
+}
+
+TEST(BinaryCall, PutOnReadableThrows) {
+  BinaryCall r(std::string{});
+  EXPECT_THROW(r.PutLong(1), MarshalError);
+}
+
+TEST(BinaryCall, GetOnWritableThrows) {
+  BinaryCall w;
+  EXPECT_THROW(w.GetLong(), MarshalError);
+}
+
+TEST(BinaryCall, PayloadSmallerThanText) {
+  // The motivation for the binary protocol: numeric data is denser.
+  BinaryCall b;
+  wire::BinaryCall dummy;
+  for (int i = 0; i < 100; ++i) b.PutLong(1000000 + i);
+  EXPECT_EQ(b.PayloadSize(), 400u);
+}
+
+}  // namespace
+}  // namespace heidi::wire

@@ -1,0 +1,163 @@
+// Robustness property tests: random garbage fed to both protocol readers
+// must produce a clean exception or EOF — never a crash, hang, or silent
+// success — and a live server must survive a garbage-spewing peer.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "demo/demo.h"
+#include "net/inmemory.h"
+#include "net/tcp.h"
+#include "orb/orb.h"
+#include "support/error.h"
+#include "wire/protocol.h"
+
+namespace heidi::wire {
+namespace {
+
+struct FuzzParams {
+  const char* protocol;
+  int seed;
+};
+
+class ProtocolFuzz : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(ProtocolFuzz, RandomBytesNeverCrashTheReader) {
+  const Protocol* protocol = FindProtocol(GetParam().protocol);
+  std::mt19937 rng(GetParam().seed);
+  std::uniform_int_distribution<int> len_dist(0, 512);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string junk;
+    int len = len_dist(rng);
+    for (int i = 0; i < len; ++i) {
+      junk.push_back(static_cast<char>(byte_dist(rng)));
+    }
+    net::ChannelPair pair = net::CreateInMemoryPair();
+    pair.a->WriteAll(junk.data(), junk.size());
+    pair.a->Close();
+    net::BufferedReader reader(*pair.b);
+    try {
+      // Drain: every frame must decode or throw; EOF ends the loop.
+      while (protocol->ReadCall(reader) != nullptr) {
+      }
+    } catch (const HdError&) {
+      // Expected for malformed input.
+    }
+  }
+}
+
+TEST_P(ProtocolFuzz, TruncatedValidFramesThrowOrEof) {
+  const Protocol* protocol = FindProtocol(GetParam().protocol);
+  // Build one valid frame, then replay every strict prefix of it.
+  auto call = protocol->NewCall();
+  call->SetKind(CallKind::kRequest);
+  call->SetCallId(7);
+  call->SetTarget("@tcp:host:1234#1000#IDL:Heidi/Echo:1.0");
+  call->SetOperation("echo");
+  call->PutString("payload with some length to it");
+  call->PutLong(12345);
+  net::ChannelPair capture = net::CreateInMemoryPair();
+  protocol->WriteCall(*capture.a, *call);
+  std::string frame(8192, '\0');
+  size_t n = capture.b->Read(frame.data(), frame.size());
+  frame.resize(n);
+
+  for (size_t cut = 0; cut < frame.size(); cut += 7) {
+    net::ChannelPair pair = net::CreateInMemoryPair();
+    pair.a->WriteAll(frame.data(), cut);
+    pair.a->Close();
+    net::BufferedReader reader(*pair.b);
+    try {
+      std::unique_ptr<Call> read = protocol->ReadCall(reader);
+      // A successful read of a *prefix* is only acceptable at cut==0
+      // (clean EOF -> nullptr).
+      EXPECT_TRUE(read == nullptr) << "prefix of " << cut
+                                   << " bytes decoded as a full frame";
+    } catch (const HdError&) {
+      // Truncation detected — correct.
+    }
+  }
+}
+
+TEST_P(ProtocolFuzz, BitFlippedFramesNeverCrash) {
+  const Protocol* protocol = FindProtocol(GetParam().protocol);
+  auto call = protocol->NewCall();
+  call->SetKind(CallKind::kRequest);
+  call->SetCallId(9);
+  call->SetTarget("@tcp:h:1#1#IDL:T:1.0");
+  call->SetOperation("op");
+  call->PutString("abc");
+  call->PutDouble(2.5);
+  net::ChannelPair capture = net::CreateInMemoryPair();
+  protocol->WriteCall(*capture.a, *call);
+  std::string frame(4096, '\0');
+  frame.resize(capture.b->Read(frame.data(), frame.size()));
+
+  std::mt19937 rng(GetParam().seed);
+  std::uniform_int_distribution<size_t> pos_dist(0, frame.size() - 1);
+  std::uniform_int_distribution<int> bit_dist(0, 7);
+  for (int iter = 0; iter < 200; ++iter) {
+    std::string mutated = frame;
+    mutated[pos_dist(rng)] ^= static_cast<char>(1 << bit_dist(rng));
+    net::ChannelPair pair = net::CreateInMemoryPair();
+    pair.a->WriteAll(mutated.data(), mutated.size());
+    pair.a->Close();
+    net::BufferedReader reader(*pair.b);
+    try {
+      auto read = protocol->ReadCall(reader);
+      if (read != nullptr && read->Kind() == CallKind::kRequest) {
+        // Header survived; payload reads must still be bounded.
+        try {
+          (void)read->GetString();
+          (void)read->GetDouble();
+        } catch (const MarshalError&) {
+        }
+      }
+    } catch (const HdError&) {
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Protocols, ProtocolFuzz,
+    ::testing::Values(FuzzParams{"text", 11}, FuzzParams{"text", 12},
+                      FuzzParams{"hiop", 11}, FuzzParams{"hiop", 12}),
+    [](const ::testing::TestParamInfo<FuzzParams>& info) {
+      return std::string(info.param.protocol) + "_seed" +
+             std::to_string(info.param.seed);
+    });
+
+TEST(ServerFuzz, GarbageSpewingPeersDoNotTakeTheServerDown) {
+  heidi::demo::ForceDemoRegistration();
+  heidi::orb::Orb server;
+  server.ListenTcp();
+  heidi::demo::EchoImpl impl;
+  auto ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  std::mt19937 rng(99);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int conn = 0; conn < 20; ++conn) {
+    auto raw = net::TcpConnect("127.0.0.1", server.TcpPort());
+    std::string junk;
+    for (int i = 0; i < 256; ++i) {
+      junk.push_back(static_cast<char>(byte_dist(rng)));
+    }
+    try {
+      raw->WriteAll(junk.data(), junk.size());
+    } catch (const NetError&) {
+      // Server may already have slammed the door — fine.
+    }
+    raw->Close();
+  }
+
+  // A well-behaved client still gets service.
+  heidi::orb::Orb client;
+  auto echo = client.ResolveAs<HdEcho>(ref.ToString());
+  EXPECT_EQ(echo->add(2, 3), 5);
+  client.Shutdown();
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace heidi::wire

@@ -1,0 +1,208 @@
+#include "wire/protocol.h"
+
+#include <gtest/gtest.h>
+
+#include "net/inmemory.h"
+#include "support/error.h"
+#include "wire/binary.h"
+#include "wire/text.h"
+
+namespace heidi::wire {
+namespace {
+
+class ProtocolTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    protocol_ = FindProtocol(GetParam());
+    ASSERT_NE(protocol_, nullptr);
+    pair_ = net::CreateInMemoryPair();
+    reader_ = std::make_unique<net::BufferedReader>(*pair_.b);
+  }
+
+  const Protocol* protocol_;
+  net::ChannelPair pair_;
+  std::unique_ptr<net::BufferedReader> reader_;
+};
+
+TEST_P(ProtocolTest, RequestHeaderAndPayloadSurvivesFraming) {
+  auto call = protocol_->NewCall();
+  call->SetKind(CallKind::kRequest);
+  call->SetCallId(42);
+  call->SetTarget("@tcp:host:9#1000#IDL:Heidi/A:1.0");
+  call->SetOperation("frobnicate");
+  call->SetOneway(false);
+  call->PutLong(7);
+  call->PutString("payload data");
+  protocol_->WriteCall(*pair_.a, *call);
+
+  auto read = protocol_->ReadCall(*reader_);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->Kind(), CallKind::kRequest);
+  EXPECT_EQ(read->CallId(), 42u);
+  EXPECT_EQ(read->Target(), "@tcp:host:9#1000#IDL:Heidi/A:1.0");
+  EXPECT_EQ(read->Operation(), "frobnicate");
+  EXPECT_FALSE(read->Oneway());
+  EXPECT_EQ(read->GetLong(), 7);
+  EXPECT_EQ(read->GetString(), "payload data");
+}
+
+TEST_P(ProtocolTest, ReplyHeaderSurvivesFraming) {
+  auto reply = protocol_->NewCall();
+  reply->SetKind(CallKind::kReply);
+  reply->SetCallId(9);
+  reply->SetStatus(CallStatus::kUserException);
+  reply->SetErrorText("something bad happened");
+  protocol_->WriteCall(*pair_.a, *reply);
+
+  auto read = protocol_->ReadCall(*reader_);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->Kind(), CallKind::kReply);
+  EXPECT_EQ(read->CallId(), 9u);
+  EXPECT_EQ(read->Status(), CallStatus::kUserException);
+  EXPECT_EQ(read->ErrorText(), "something bad happened");
+}
+
+TEST_P(ProtocolTest, OnewayFlagSurvives) {
+  auto call = protocol_->NewCall();
+  call->SetKind(CallKind::kRequest);
+  call->SetTarget("@tcp:h:1#2#IDL:T:1.0");
+  call->SetOperation("fire");
+  call->SetOneway(true);
+  protocol_->WriteCall(*pair_.a, *call);
+  auto read = protocol_->ReadCall(*reader_);
+  EXPECT_TRUE(read->Oneway());
+}
+
+TEST_P(ProtocolTest, BackToBackCallsAreDemarcated) {
+  for (int i = 0; i < 3; ++i) {
+    auto call = protocol_->NewCall();
+    call->SetKind(CallKind::kRequest);
+    call->SetCallId(static_cast<uint64_t>(i));
+    call->SetTarget("@tcp:h:1#2#IDL:T:1.0");
+    call->SetOperation("op" + std::to_string(i));
+    call->PutLong(i * 10);
+    protocol_->WriteCall(*pair_.a, *call);
+  }
+  for (int i = 0; i < 3; ++i) {
+    auto read = protocol_->ReadCall(*reader_);
+    ASSERT_NE(read, nullptr);
+    EXPECT_EQ(read->CallId(), static_cast<uint64_t>(i));
+    EXPECT_EQ(read->Operation(), "op" + std::to_string(i));
+    EXPECT_EQ(read->GetLong(), i * 10);
+  }
+}
+
+TEST_P(ProtocolTest, CleanEofGivesNull) {
+  pair_.a->Close();
+  EXPECT_EQ(protocol_->ReadCall(*reader_), nullptr);
+}
+
+TEST_P(ProtocolTest, HeaderFieldsWithSpecialCharacters) {
+  auto call = protocol_->NewCall();
+  call->SetKind(CallKind::kReply);
+  call->SetErrorText("line one\nline two with spaces % and #");
+  protocol_->WriteCall(*pair_.a, *call);
+  auto read = protocol_->ReadCall(*reader_);
+  EXPECT_EQ(read->ErrorText(), "line one\nline two with spaces % and #");
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ProtocolTest,
+                         ::testing::Values("text", "hiop"));
+
+// --- text-protocol specifics -------------------------------------------------
+
+TEST(TextProtocol, HandTypedRequestParses) {
+  // The §4.2 telnet scenario: a human types a request line by hand.
+  const Protocol* text = FindProtocol("text");
+  net::ChannelPair pair = net::CreateInMemoryPair();
+  std::string line =
+      "REQ 1 W @tcp:localhost:99#1000#IDL:Heidi/Echo:1.0 echo s:hi\r\n";
+  pair.a->WriteAll(line.data(), line.size());
+  net::BufferedReader reader(*pair.b);
+  auto call = text->ReadCall(reader);
+  ASSERT_NE(call, nullptr);
+  EXPECT_EQ(call->Operation(), "echo");
+  EXPECT_EQ(call->GetString(), "hi");
+}
+
+TEST(TextProtocol, MalformedLinesThrow) {
+  const Protocol* text = FindProtocol("text");
+  for (const char* bad : {"GARBAGE 1 2 3\n", "REQ 1\n", "REP 1\n",
+                          "REQ 1 X target op\n", "REP 1 WAT err\n"}) {
+    net::ChannelPair pair = net::CreateInMemoryPair();
+    pair.a->WriteAll(bad, strlen(bad));
+    net::BufferedReader reader(*pair.b);
+    EXPECT_THROW(text->ReadCall(reader), MarshalError) << bad;
+  }
+}
+
+TEST(TextProtocol, WrongCallTypeRejected) {
+  const Protocol* text = FindProtocol("text");
+  BinaryCall binary;
+  net::ChannelPair pair = net::CreateInMemoryPair();
+  EXPECT_THROW(text->WriteCall(*pair.a, binary), MarshalError);
+}
+
+// --- hiop specifics -----------------------------------------------------------
+
+TEST(HiopProtocol, BadMagicThrows) {
+  const Protocol* hiop = FindProtocol("hiop");
+  net::ChannelPair pair = net::CreateInMemoryPair();
+  std::string junk = "NOPE............";
+  pair.a->WriteAll(junk.data(), junk.size());
+  net::BufferedReader reader(*pair.b);
+  EXPECT_THROW(hiop->ReadCall(reader), MarshalError);
+}
+
+TEST(HiopProtocol, OversizedFrameRejected) {
+  const Protocol* hiop = FindProtocol("hiop");
+  net::ChannelPair pair = net::CreateInMemoryPair();
+  std::string header = "HIOP";
+  header.push_back(1);   // version
+  header.push_back(1);   // request
+  header.append(2, 0);
+  uint32_t head_len = 0xFFFFFFFF, payload_len = 0;
+  header.append(reinterpret_cast<char*>(&head_len), 4);
+  header.append(reinterpret_cast<char*>(&payload_len), 4);
+  pair.a->WriteAll(header.data(), header.size());
+  net::BufferedReader reader(*pair.b);
+  EXPECT_THROW(hiop->ReadCall(reader), MarshalError);
+}
+
+TEST(HiopProtocol, TruncatedFrameThrows) {
+  const Protocol* hiop = FindProtocol("hiop");
+  net::ChannelPair pair = net::CreateInMemoryPair();
+  auto call = hiop->NewCall();
+  call->SetKind(CallKind::kRequest);
+  call->SetTarget("@tcp:h:1#2#IDL:T:1.0");
+  call->SetOperation("op");
+  call->PutString("some payload");
+  // Capture a full frame, then deliver only part of it.
+  net::ChannelPair capture = net::CreateInMemoryPair();
+  hiop->WriteCall(*capture.a, *call);
+  std::string frame(4096, '\0');
+  size_t n = capture.b->Read(frame.data(), frame.size());
+  frame.resize(n);
+  pair.a->WriteAll(frame.data(), frame.size() - 5);
+  pair.a->Close();
+  net::BufferedReader reader(*pair.b);
+  EXPECT_THROW(hiop->ReadCall(reader), NetError);
+}
+
+// --- registry -----------------------------------------------------------------
+
+TEST(ProtocolRegistry, BuiltinsPresent) {
+  EXPECT_NE(FindProtocol("text"), nullptr);
+  EXPECT_NE(FindProtocol("hiop"), nullptr);
+  EXPECT_EQ(FindProtocol("giop"), nullptr);
+  auto names = ProtocolNames();
+  EXPECT_GE(names.size(), 2u);
+}
+
+TEST(ProtocolRegistry, DuplicateRegistrationThrows) {
+  const Protocol* text = FindProtocol("text");
+  EXPECT_THROW(RegisterProtocol(text), HdError);
+}
+
+}  // namespace
+}  // namespace heidi::wire

@@ -1,0 +1,191 @@
+#include "wire/text.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "support/error.h"
+
+namespace heidi::wire {
+namespace {
+
+// Builds a readable call holding the writable call's payload.
+TextCall Reread(const TextCall& written) {
+  return TextCall(written.Tokens());
+}
+
+TEST(TextCall, PrimitiveRoundTrip) {
+  TextCall w;
+  w.PutBoolean(true);
+  w.PutBoolean(false);
+  w.PutChar('x');
+  w.PutOctet(255);
+  w.PutShort(-123);
+  w.PutUShort(60000);
+  w.PutLong(-2000000000);
+  w.PutULong(4000000000u);
+  w.PutLongLong(std::numeric_limits<int64_t>::min());
+  w.PutULongLong(std::numeric_limits<uint64_t>::max());
+  w.PutFloat(1.5f);
+  w.PutDouble(3.141592653589793);
+  w.PutString("hello world");
+  w.PutEnum(2);
+  w.PutBytes(std::string("\x00\x01\xff", 3));
+
+  TextCall r = Reread(w);
+  EXPECT_TRUE(r.GetBoolean());
+  EXPECT_FALSE(r.GetBoolean());
+  EXPECT_EQ(r.GetChar(), 'x');
+  EXPECT_EQ(r.GetOctet(), 255);
+  EXPECT_EQ(r.GetShort(), -123);
+  EXPECT_EQ(r.GetUShort(), 60000);
+  EXPECT_EQ(r.GetLong(), -2000000000);
+  EXPECT_EQ(r.GetULong(), 4000000000u);
+  EXPECT_EQ(r.GetLongLong(), std::numeric_limits<int64_t>::min());
+  EXPECT_EQ(r.GetULongLong(), std::numeric_limits<uint64_t>::max());
+  EXPECT_FLOAT_EQ(r.GetFloat(), 1.5f);
+  EXPECT_DOUBLE_EQ(r.GetDouble(), 3.141592653589793);
+  EXPECT_EQ(r.GetString(), "hello world");
+  EXPECT_EQ(r.GetEnum(), 2);
+  EXPECT_EQ(r.GetBytes(), std::string("\x00\x01\xff", 3));
+  EXPECT_FALSE(r.HasMore());
+}
+
+TEST(TextCall, TokensAreHumanReadable) {
+  // The §4.2 telnet story: the encoding must be legible ASCII.
+  TextCall w;
+  w.PutLong(42);
+  w.PutString("go");
+  ASSERT_EQ(w.Tokens().size(), 2u);
+  EXPECT_EQ(w.Tokens()[0], "i:42");
+  EXPECT_EQ(w.Tokens()[1], "s:go");
+}
+
+TEST(TextCall, StringWithSpacesAndNewlines) {
+  TextCall w;
+  w.PutString("a b\nc%d");
+  TextCall r = Reread(w);
+  EXPECT_EQ(r.GetString(), "a b\nc%d");
+  // The token itself must not contain raw demarcation bytes.
+  EXPECT_EQ(w.Tokens()[0].find(' '), std::string::npos);
+  EXPECT_EQ(w.Tokens()[0].find('\n'), std::string::npos);
+}
+
+TEST(TextCall, EmptyString) {
+  TextCall w;
+  w.PutString("");
+  TextCall r = Reread(w);
+  EXPECT_EQ(r.GetString(), "");
+}
+
+TEST(TextCall, BeginEndGroups) {
+  TextCall w;
+  w.Begin("seq");
+  w.PutLong(1);
+  w.Begin("inner");
+  w.PutLong(2);
+  w.End();
+  w.End();
+
+  TextCall r = Reread(w);
+  r.Begin("seq");
+  EXPECT_EQ(r.GetLong(), 1);
+  r.Begin("inner");
+  EXPECT_EQ(r.GetLong(), 2);
+  r.End();
+  r.End();
+  EXPECT_FALSE(r.HasMore());
+}
+
+TEST(TextCall, GroupLabelMismatchThrows) {
+  TextCall w;
+  w.Begin("seq");
+  w.End();
+  TextCall r = Reread(w);
+  EXPECT_THROW(r.Begin("other"), MarshalError);
+}
+
+TEST(TextCall, MissingEndThrows) {
+  TextCall w;
+  w.Begin("seq");
+  w.PutLong(1);
+  w.End();
+  TextCall r = Reread(w);
+  r.Begin("seq");
+  EXPECT_THROW(r.End(), MarshalError);  // next token is the long, not ']'
+}
+
+TEST(TextCall, TypeMismatchThrows) {
+  TextCall w;
+  w.PutLong(5);
+  TextCall r = Reread(w);
+  EXPECT_THROW(r.GetString(), MarshalError);
+}
+
+TEST(TextCall, ExhaustionThrows) {
+  TextCall r((std::vector<std::string>()));
+  EXPECT_THROW(r.GetLong(), MarshalError);
+}
+
+TEST(TextCall, RangeCheckingOnRead) {
+  // A short token holding a long-sized value must be rejected.
+  TextCall r(std::vector<std::string>{"i:70000"});
+  EXPECT_THROW(r.GetShort(), MarshalError);
+  TextCall r2(std::vector<std::string>{"u:4294967296"});
+  EXPECT_THROW(r2.GetULong(), MarshalError);
+  TextCall r3(std::vector<std::string>{"o:256"});
+  EXPECT_THROW(r3.GetOctet(), MarshalError);
+}
+
+TEST(TextCall, MalformedTokensThrow) {
+  EXPECT_THROW(TextCall(std::vector<std::string>{"i:abc"}).GetLong(),
+               MarshalError);
+  EXPECT_THROW(TextCall(std::vector<std::string>{"b:Q"}).GetBoolean(),
+               MarshalError);
+  EXPECT_THROW(TextCall(std::vector<std::string>{"x"}).GetLong(),
+               MarshalError);
+  EXPECT_THROW(TextCall(std::vector<std::string>{"u:-1"}).GetULong(),
+               MarshalError);
+}
+
+TEST(TextCall, PutOnReadableThrows) {
+  TextCall r(std::vector<std::string>{});
+  EXPECT_THROW(r.PutLong(1), MarshalError);
+}
+
+TEST(TextCall, GetOnWritableThrows) {
+  TextCall w;
+  w.PutLong(1);
+  EXPECT_THROW(w.GetLong(), MarshalError);
+}
+
+TEST(TextCall, FloatPrecisionSurvives) {
+  TextCall w;
+  w.PutDouble(1.0 / 3.0);
+  w.PutFloat(0.1f);
+  TextCall r = Reread(w);
+  EXPECT_DOUBLE_EQ(r.GetDouble(), 1.0 / 3.0);  // %.17g round-trips exactly
+  EXPECT_FLOAT_EQ(r.GetFloat(), 0.1f);
+}
+
+TEST(TextCall, HeaderFields) {
+  TextCall w;
+  w.SetKind(CallKind::kRequest);
+  w.SetCallId(77);
+  w.SetTarget("@tcp:h:1#2#IDL:X:1.0");
+  w.SetOperation("f");
+  w.SetOneway(true);
+  EXPECT_EQ(w.CallId(), 77u);
+  EXPECT_EQ(w.Operation(), "f");
+  EXPECT_TRUE(w.Oneway());
+}
+
+TEST(TextCall, PayloadSizeCountsTokens) {
+  TextCall w;
+  EXPECT_EQ(w.PayloadSize(), 0u);
+  w.PutLong(1);
+  EXPECT_GT(w.PayloadSize(), 0u);
+}
+
+}  // namespace
+}  // namespace heidi::wire
