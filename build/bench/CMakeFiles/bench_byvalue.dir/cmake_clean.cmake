@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_byvalue.dir/bench_byvalue.cpp.o"
+  "CMakeFiles/bench_byvalue.dir/bench_byvalue.cpp.o.d"
+  "bench_byvalue"
+  "bench_byvalue.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_byvalue.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_call.dir/bench_call.cpp.o"
+  "CMakeFiles/bench_call.dir/bench_call.cpp.o.d"
+  "bench_call"
+  "bench_call.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_call.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_conncache.dir/bench_conncache.cpp.o"
+  "CMakeFiles/bench_conncache.dir/bench_conncache.cpp.o.d"
+  "bench_conncache"
+  "bench_conncache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_conncache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

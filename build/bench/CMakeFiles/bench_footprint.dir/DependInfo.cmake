@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_footprint.cpp" "bench/CMakeFiles/bench_footprint.dir/bench_footprint.cpp.o" "gcc" "bench/CMakeFiles/bench_footprint.dir/bench_footprint.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/demo/CMakeFiles/heidi_demo.dir/DependInfo.cmake"
+  "/root/repo/build/src/codegen/CMakeFiles/heidi_codegen.dir/DependInfo.cmake"
+  "/root/repo/build/src/orb/CMakeFiles/heidi_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/tmpl/CMakeFiles/heidi_tmpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/est/CMakeFiles/heidi_est.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/heidi_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/heidi_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/heidi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heidi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_marshal.dir/bench_marshal.cpp.o"
+  "CMakeFiles/bench_marshal.dir/bench_marshal.cpp.o.d"
+  "bench_marshal"
+  "bench_marshal.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_marshal.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

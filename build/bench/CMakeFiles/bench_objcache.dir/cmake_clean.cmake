@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_objcache.dir/bench_objcache.cpp.o"
+  "CMakeFiles/bench_objcache.dir/bench_objcache.cpp.o.d"
+  "bench_objcache"
+  "bench_objcache.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_objcache.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

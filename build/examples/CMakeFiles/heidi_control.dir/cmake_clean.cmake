@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heidi_control.dir/heidi_control.cpp.o"
+  "CMakeFiles/heidi_control.dir/heidi_control.cpp.o.d"
+  "heidi_control"
+  "heidi_control.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heidi_control.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/legacy_integration.dir/legacy_integration.cpp.o"
+  "CMakeFiles/legacy_integration.dir/legacy_integration.cpp.o.d"
+  "legacy_integration"
+  "legacy_integration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/legacy_integration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

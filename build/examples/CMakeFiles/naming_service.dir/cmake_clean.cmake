@@ -1,0 +1,16 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/naming_service.dir/generated/naming_rmi.cc.o"
+  "CMakeFiles/naming_service.dir/generated/naming_rmi.cc.o.d"
+  "CMakeFiles/naming_service.dir/naming_service.cpp.o"
+  "CMakeFiles/naming_service.dir/naming_service.cpp.o.d"
+  "generated/naming.hh"
+  "generated/naming_rmi.cc"
+  "generated/naming_rmi.hh"
+  "naming_service"
+  "naming_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/naming_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

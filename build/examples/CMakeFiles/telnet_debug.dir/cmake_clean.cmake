@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/telnet_debug.dir/telnet_debug.cpp.o"
+  "CMakeFiles/telnet_debug.dir/telnet_debug.cpp.o.d"
+  "telnet_debug"
+  "telnet_debug.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/telnet_debug.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+/* File naming.hh */
+#pragma once
+#include "orb/heidi_types.h"
+
+class HdNameService;
+
+// IDL:Naming/NameService:1.0
+class HdNameService : virtual public ::heidi::HdObject
+{
+public:
+  virtual void bind(HdString, HdString) = 0;
+  virtual HdString resolve(HdString) = 0;
+  virtual XBool unbind(HdString) = 0;
+  virtual long size() = 0;
+  virtual HdString name_at(long) = 0;
+  virtual ~HdNameService() { }
+};
+

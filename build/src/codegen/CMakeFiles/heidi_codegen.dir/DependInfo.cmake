@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/codegen/driver.cpp" "src/codegen/CMakeFiles/heidi_codegen.dir/driver.cpp.o" "gcc" "src/codegen/CMakeFiles/heidi_codegen.dir/driver.cpp.o.d"
+  "/root/repo/src/codegen/mappings.cpp" "src/codegen/CMakeFiles/heidi_codegen.dir/mappings.cpp.o" "gcc" "src/codegen/CMakeFiles/heidi_codegen.dir/mappings.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tmpl/CMakeFiles/heidi_tmpl.dir/DependInfo.cmake"
+  "/root/repo/build/src/est/CMakeFiles/heidi_est.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/heidi_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heidi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

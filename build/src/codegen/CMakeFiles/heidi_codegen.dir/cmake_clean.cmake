@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heidi_codegen.dir/driver.cpp.o"
+  "CMakeFiles/heidi_codegen.dir/driver.cpp.o.d"
+  "CMakeFiles/heidi_codegen.dir/mappings.cpp.o"
+  "CMakeFiles/heidi_codegen.dir/mappings.cpp.o.d"
+  "libheidi_codegen.a"
+  "libheidi_codegen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heidi_codegen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libheidi_codegen.a"
+)

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/demo/impls.cpp" "src/demo/CMakeFiles/heidi_demo.dir/impls.cpp.o" "gcc" "src/demo/CMakeFiles/heidi_demo.dir/impls.cpp.o.d"
+  "/root/repo/src/demo/skels.cpp" "src/demo/CMakeFiles/heidi_demo.dir/skels.cpp.o" "gcc" "src/demo/CMakeFiles/heidi_demo.dir/skels.cpp.o.d"
+  "/root/repo/src/demo/stubs.cpp" "src/demo/CMakeFiles/heidi_demo.dir/stubs.cpp.o" "gcc" "src/demo/CMakeFiles/heidi_demo.dir/stubs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/orb/CMakeFiles/heidi_orb.dir/DependInfo.cmake"
+  "/root/repo/build/src/wire/CMakeFiles/heidi_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/heidi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heidi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

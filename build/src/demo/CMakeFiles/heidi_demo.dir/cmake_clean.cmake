@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heidi_demo.dir/impls.cpp.o"
+  "CMakeFiles/heidi_demo.dir/impls.cpp.o.d"
+  "CMakeFiles/heidi_demo.dir/skels.cpp.o"
+  "CMakeFiles/heidi_demo.dir/skels.cpp.o.d"
+  "CMakeFiles/heidi_demo.dir/stubs.cpp.o"
+  "CMakeFiles/heidi_demo.dir/stubs.cpp.o.d"
+  "libheidi_demo.a"
+  "libheidi_demo.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heidi_demo.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

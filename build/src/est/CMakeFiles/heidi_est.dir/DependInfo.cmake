@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/est/builder.cpp" "src/est/CMakeFiles/heidi_est.dir/builder.cpp.o" "gcc" "src/est/CMakeFiles/heidi_est.dir/builder.cpp.o.d"
+  "/root/repo/src/est/node.cpp" "src/est/CMakeFiles/heidi_est.dir/node.cpp.o" "gcc" "src/est/CMakeFiles/heidi_est.dir/node.cpp.o.d"
+  "/root/repo/src/est/repository.cpp" "src/est/CMakeFiles/heidi_est.dir/repository.cpp.o" "gcc" "src/est/CMakeFiles/heidi_est.dir/repository.cpp.o.d"
+  "/root/repo/src/est/serialize.cpp" "src/est/CMakeFiles/heidi_est.dir/serialize.cpp.o" "gcc" "src/est/CMakeFiles/heidi_est.dir/serialize.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/idl/CMakeFiles/heidi_idl.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heidi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

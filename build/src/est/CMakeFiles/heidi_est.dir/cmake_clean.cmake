@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heidi_est.dir/builder.cpp.o"
+  "CMakeFiles/heidi_est.dir/builder.cpp.o.d"
+  "CMakeFiles/heidi_est.dir/node.cpp.o"
+  "CMakeFiles/heidi_est.dir/node.cpp.o.d"
+  "CMakeFiles/heidi_est.dir/repository.cpp.o"
+  "CMakeFiles/heidi_est.dir/repository.cpp.o.d"
+  "CMakeFiles/heidi_est.dir/serialize.cpp.o"
+  "CMakeFiles/heidi_est.dir/serialize.cpp.o.d"
+  "libheidi_est.a"
+  "libheidi_est.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heidi_est.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

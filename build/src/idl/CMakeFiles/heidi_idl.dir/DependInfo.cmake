@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/idl/ast.cpp" "src/idl/CMakeFiles/heidi_idl.dir/ast.cpp.o" "gcc" "src/idl/CMakeFiles/heidi_idl.dir/ast.cpp.o.d"
+  "/root/repo/src/idl/lexer.cpp" "src/idl/CMakeFiles/heidi_idl.dir/lexer.cpp.o" "gcc" "src/idl/CMakeFiles/heidi_idl.dir/lexer.cpp.o.d"
+  "/root/repo/src/idl/parser.cpp" "src/idl/CMakeFiles/heidi_idl.dir/parser.cpp.o" "gcc" "src/idl/CMakeFiles/heidi_idl.dir/parser.cpp.o.d"
+  "/root/repo/src/idl/sema.cpp" "src/idl/CMakeFiles/heidi_idl.dir/sema.cpp.o" "gcc" "src/idl/CMakeFiles/heidi_idl.dir/sema.cpp.o.d"
+  "/root/repo/src/idl/token.cpp" "src/idl/CMakeFiles/heidi_idl.dir/token.cpp.o" "gcc" "src/idl/CMakeFiles/heidi_idl.dir/token.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/heidi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

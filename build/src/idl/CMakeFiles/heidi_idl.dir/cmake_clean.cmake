@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heidi_idl.dir/ast.cpp.o"
+  "CMakeFiles/heidi_idl.dir/ast.cpp.o.d"
+  "CMakeFiles/heidi_idl.dir/lexer.cpp.o"
+  "CMakeFiles/heidi_idl.dir/lexer.cpp.o.d"
+  "CMakeFiles/heidi_idl.dir/parser.cpp.o"
+  "CMakeFiles/heidi_idl.dir/parser.cpp.o.d"
+  "CMakeFiles/heidi_idl.dir/sema.cpp.o"
+  "CMakeFiles/heidi_idl.dir/sema.cpp.o.d"
+  "CMakeFiles/heidi_idl.dir/token.cpp.o"
+  "CMakeFiles/heidi_idl.dir/token.cpp.o.d"
+  "libheidi_idl.a"
+  "libheidi_idl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heidi_idl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/buffered.cpp" "src/net/CMakeFiles/heidi_net.dir/buffered.cpp.o" "gcc" "src/net/CMakeFiles/heidi_net.dir/buffered.cpp.o.d"
+  "/root/repo/src/net/channel.cpp" "src/net/CMakeFiles/heidi_net.dir/channel.cpp.o" "gcc" "src/net/CMakeFiles/heidi_net.dir/channel.cpp.o.d"
+  "/root/repo/src/net/inmemory.cpp" "src/net/CMakeFiles/heidi_net.dir/inmemory.cpp.o" "gcc" "src/net/CMakeFiles/heidi_net.dir/inmemory.cpp.o.d"
+  "/root/repo/src/net/tcp.cpp" "src/net/CMakeFiles/heidi_net.dir/tcp.cpp.o" "gcc" "src/net/CMakeFiles/heidi_net.dir/tcp.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/heidi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heidi_net.dir/buffered.cpp.o"
+  "CMakeFiles/heidi_net.dir/buffered.cpp.o.d"
+  "CMakeFiles/heidi_net.dir/channel.cpp.o"
+  "CMakeFiles/heidi_net.dir/channel.cpp.o.d"
+  "CMakeFiles/heidi_net.dir/inmemory.cpp.o"
+  "CMakeFiles/heidi_net.dir/inmemory.cpp.o.d"
+  "CMakeFiles/heidi_net.dir/tcp.cpp.o"
+  "CMakeFiles/heidi_net.dir/tcp.cpp.o.d"
+  "libheidi_net.a"
+  "libheidi_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heidi_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/orb/communicator.cpp" "src/orb/CMakeFiles/heidi_orb.dir/communicator.cpp.o" "gcc" "src/orb/CMakeFiles/heidi_orb.dir/communicator.cpp.o.d"
+  "/root/repo/src/orb/dispatch.cpp" "src/orb/CMakeFiles/heidi_orb.dir/dispatch.cpp.o" "gcc" "src/orb/CMakeFiles/heidi_orb.dir/dispatch.cpp.o.d"
+  "/root/repo/src/orb/objref.cpp" "src/orb/CMakeFiles/heidi_orb.dir/objref.cpp.o" "gcc" "src/orb/CMakeFiles/heidi_orb.dir/objref.cpp.o.d"
+  "/root/repo/src/orb/orb.cpp" "src/orb/CMakeFiles/heidi_orb.dir/orb.cpp.o" "gcc" "src/orb/CMakeFiles/heidi_orb.dir/orb.cpp.o.d"
+  "/root/repo/src/orb/registry.cpp" "src/orb/CMakeFiles/heidi_orb.dir/registry.cpp.o" "gcc" "src/orb/CMakeFiles/heidi_orb.dir/registry.cpp.o.d"
+  "/root/repo/src/orb/stub.cpp" "src/orb/CMakeFiles/heidi_orb.dir/stub.cpp.o" "gcc" "src/orb/CMakeFiles/heidi_orb.dir/stub.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/wire/CMakeFiles/heidi_wire.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/heidi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heidi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heidi_orb.dir/communicator.cpp.o"
+  "CMakeFiles/heidi_orb.dir/communicator.cpp.o.d"
+  "CMakeFiles/heidi_orb.dir/dispatch.cpp.o"
+  "CMakeFiles/heidi_orb.dir/dispatch.cpp.o.d"
+  "CMakeFiles/heidi_orb.dir/objref.cpp.o"
+  "CMakeFiles/heidi_orb.dir/objref.cpp.o.d"
+  "CMakeFiles/heidi_orb.dir/orb.cpp.o"
+  "CMakeFiles/heidi_orb.dir/orb.cpp.o.d"
+  "CMakeFiles/heidi_orb.dir/registry.cpp.o"
+  "CMakeFiles/heidi_orb.dir/registry.cpp.o.d"
+  "CMakeFiles/heidi_orb.dir/stub.cpp.o"
+  "CMakeFiles/heidi_orb.dir/stub.cpp.o.d"
+  "libheidi_orb.a"
+  "libheidi_orb.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heidi_orb.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

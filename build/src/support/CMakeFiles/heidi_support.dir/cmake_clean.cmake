@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heidi_support.dir/logging.cpp.o"
+  "CMakeFiles/heidi_support.dir/logging.cpp.o.d"
+  "CMakeFiles/heidi_support.dir/strings.cpp.o"
+  "CMakeFiles/heidi_support.dir/strings.cpp.o.d"
+  "CMakeFiles/heidi_support.dir/typeinfo.cpp.o"
+  "CMakeFiles/heidi_support.dir/typeinfo.cpp.o.d"
+  "libheidi_support.a"
+  "libheidi_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heidi_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

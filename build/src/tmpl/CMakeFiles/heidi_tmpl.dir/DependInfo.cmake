@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tmpl/compile.cpp" "src/tmpl/CMakeFiles/heidi_tmpl.dir/compile.cpp.o" "gcc" "src/tmpl/CMakeFiles/heidi_tmpl.dir/compile.cpp.o.d"
+  "/root/repo/src/tmpl/cppgen.cpp" "src/tmpl/CMakeFiles/heidi_tmpl.dir/cppgen.cpp.o" "gcc" "src/tmpl/CMakeFiles/heidi_tmpl.dir/cppgen.cpp.o.d"
+  "/root/repo/src/tmpl/interp.cpp" "src/tmpl/CMakeFiles/heidi_tmpl.dir/interp.cpp.o" "gcc" "src/tmpl/CMakeFiles/heidi_tmpl.dir/interp.cpp.o.d"
+  "/root/repo/src/tmpl/mapfuncs.cpp" "src/tmpl/CMakeFiles/heidi_tmpl.dir/mapfuncs.cpp.o" "gcc" "src/tmpl/CMakeFiles/heidi_tmpl.dir/mapfuncs.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/est/CMakeFiles/heidi_est.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heidi_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/idl/CMakeFiles/heidi_idl.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

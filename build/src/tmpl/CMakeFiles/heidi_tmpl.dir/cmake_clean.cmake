@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heidi_tmpl.dir/compile.cpp.o"
+  "CMakeFiles/heidi_tmpl.dir/compile.cpp.o.d"
+  "CMakeFiles/heidi_tmpl.dir/cppgen.cpp.o"
+  "CMakeFiles/heidi_tmpl.dir/cppgen.cpp.o.d"
+  "CMakeFiles/heidi_tmpl.dir/interp.cpp.o"
+  "CMakeFiles/heidi_tmpl.dir/interp.cpp.o.d"
+  "CMakeFiles/heidi_tmpl.dir/mapfuncs.cpp.o"
+  "CMakeFiles/heidi_tmpl.dir/mapfuncs.cpp.o.d"
+  "libheidi_tmpl.a"
+  "libheidi_tmpl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heidi_tmpl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

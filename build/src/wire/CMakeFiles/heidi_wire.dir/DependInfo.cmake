@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/wire/binary.cpp" "src/wire/CMakeFiles/heidi_wire.dir/binary.cpp.o" "gcc" "src/wire/CMakeFiles/heidi_wire.dir/binary.cpp.o.d"
+  "/root/repo/src/wire/protocol.cpp" "src/wire/CMakeFiles/heidi_wire.dir/protocol.cpp.o" "gcc" "src/wire/CMakeFiles/heidi_wire.dir/protocol.cpp.o.d"
+  "/root/repo/src/wire/serializable.cpp" "src/wire/CMakeFiles/heidi_wire.dir/serializable.cpp.o" "gcc" "src/wire/CMakeFiles/heidi_wire.dir/serializable.cpp.o.d"
+  "/root/repo/src/wire/text.cpp" "src/wire/CMakeFiles/heidi_wire.dir/text.cpp.o" "gcc" "src/wire/CMakeFiles/heidi_wire.dir/text.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/heidi_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/heidi_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/heidi_wire.dir/binary.cpp.o"
+  "CMakeFiles/heidi_wire.dir/binary.cpp.o.d"
+  "CMakeFiles/heidi_wire.dir/protocol.cpp.o"
+  "CMakeFiles/heidi_wire.dir/protocol.cpp.o.d"
+  "CMakeFiles/heidi_wire.dir/serializable.cpp.o"
+  "CMakeFiles/heidi_wire.dir/serializable.cpp.o.d"
+  "CMakeFiles/heidi_wire.dir/text.cpp.o"
+  "CMakeFiles/heidi_wire.dir/text.cpp.o.d"
+  "libheidi_wire.a"
+  "libheidi_wire.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/heidi_wire.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/codegen_tests.dir/codegen/driver_test.cpp.o"
+  "CMakeFiles/codegen_tests.dir/codegen/driver_test.cpp.o.d"
+  "CMakeFiles/codegen_tests.dir/codegen/heidi_mapping_test.cpp.o"
+  "CMakeFiles/codegen_tests.dir/codegen/heidi_mapping_test.cpp.o.d"
+  "CMakeFiles/codegen_tests.dir/codegen/other_mappings_test.cpp.o"
+  "CMakeFiles/codegen_tests.dir/codegen/other_mappings_test.cpp.o.d"
+  "CMakeFiles/codegen_tests.dir/codegen/rmi_mapping_test.cpp.o"
+  "CMakeFiles/codegen_tests.dir/codegen/rmi_mapping_test.cpp.o.d"
+  "codegen_tests"
+  "codegen_tests.pdb"
+  "codegen_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/codegen_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/est_tests.dir/est/builder_test.cpp.o"
+  "CMakeFiles/est_tests.dir/est/builder_test.cpp.o.d"
+  "CMakeFiles/est_tests.dir/est/node_test.cpp.o"
+  "CMakeFiles/est_tests.dir/est/node_test.cpp.o.d"
+  "CMakeFiles/est_tests.dir/est/repository_test.cpp.o"
+  "CMakeFiles/est_tests.dir/est/repository_test.cpp.o.d"
+  "CMakeFiles/est_tests.dir/est/serialize_test.cpp.o"
+  "CMakeFiles/est_tests.dir/est/serialize_test.cpp.o.d"
+  "est_tests"
+  "est_tests.pdb"
+  "est_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/est_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generated_runtime_tests.dir/codegen/generated_runtime_test.cpp.o"
+  "CMakeFiles/generated_runtime_tests.dir/codegen/generated_runtime_test.cpp.o.d"
+  "CMakeFiles/generated_runtime_tests.dir/generated/player_rmi.cc.o"
+  "CMakeFiles/generated_runtime_tests.dir/generated/player_rmi.cc.o.d"
+  "generated/player.hh"
+  "generated/player_rmi.cc"
+  "generated/player_rmi.hh"
+  "generated_runtime_tests"
+  "generated_runtime_tests.pdb"
+  "generated_runtime_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generated_runtime_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idl_tests.dir/idl/lexer_test.cpp.o"
+  "CMakeFiles/idl_tests.dir/idl/lexer_test.cpp.o.d"
+  "CMakeFiles/idl_tests.dir/idl/parser_test.cpp.o"
+  "CMakeFiles/idl_tests.dir/idl/parser_test.cpp.o.d"
+  "CMakeFiles/idl_tests.dir/idl/robustness_test.cpp.o"
+  "CMakeFiles/idl_tests.dir/idl/robustness_test.cpp.o.d"
+  "CMakeFiles/idl_tests.dir/idl/sema_test.cpp.o"
+  "CMakeFiles/idl_tests.dir/idl/sema_test.cpp.o.d"
+  "CMakeFiles/idl_tests.dir/idl/union_test.cpp.o"
+  "CMakeFiles/idl_tests.dir/idl/union_test.cpp.o.d"
+  "idl_tests"
+  "idl_tests.pdb"
+  "idl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

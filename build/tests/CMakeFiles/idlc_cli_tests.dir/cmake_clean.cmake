@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/idlc_cli_tests.dir/codegen/idlc_cli_test.cpp.o"
+  "CMakeFiles/idlc_cli_tests.dir/codegen/idlc_cli_test.cpp.o.d"
+  "idlc_cli_tests"
+  "idlc_cli_tests.pdb"
+  "idlc_cli_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/idlc_cli_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/orb_tests.dir/orb/caches_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/orb/caches_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/orb/custom_protocol_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/orb/custom_protocol_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/orb/dispatch_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/orb/dispatch_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/orb/failure_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/orb/failure_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/orb/integration_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/orb/integration_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/orb/interceptor_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/orb/interceptor_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/orb/objref_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/orb/objref_test.cpp.o.d"
+  "CMakeFiles/orb_tests.dir/orb/stress_test.cpp.o"
+  "CMakeFiles/orb_tests.dir/orb/stress_test.cpp.o.d"
+  "orb_tests"
+  "orb_tests.pdb"
+  "orb_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/orb_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/support_tests.dir/support/hdlist_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/hdlist_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/strings_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/strings_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/typeinfo_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/typeinfo_test.cpp.o.d"
+  "CMakeFiles/support_tests.dir/support/xbool_test.cpp.o"
+  "CMakeFiles/support_tests.dir/support/xbool_test.cpp.o.d"
+  "support_tests"
+  "support_tests.pdb"
+  "support_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/support_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tmpl_tests.dir/tmpl/compile_test.cpp.o"
+  "CMakeFiles/tmpl_tests.dir/tmpl/compile_test.cpp.o.d"
+  "CMakeFiles/tmpl_tests.dir/tmpl/include_test.cpp.o"
+  "CMakeFiles/tmpl_tests.dir/tmpl/include_test.cpp.o.d"
+  "CMakeFiles/tmpl_tests.dir/tmpl/interp_test.cpp.o"
+  "CMakeFiles/tmpl_tests.dir/tmpl/interp_test.cpp.o.d"
+  "CMakeFiles/tmpl_tests.dir/tmpl/mapfuncs_test.cpp.o"
+  "CMakeFiles/tmpl_tests.dir/tmpl/mapfuncs_test.cpp.o.d"
+  "tmpl_tests"
+  "tmpl_tests.pdb"
+  "tmpl_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tmpl_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wire_tests.dir/wire/binary_call_test.cpp.o"
+  "CMakeFiles/wire_tests.dir/wire/binary_call_test.cpp.o.d"
+  "CMakeFiles/wire_tests.dir/wire/fuzz_test.cpp.o"
+  "CMakeFiles/wire_tests.dir/wire/fuzz_test.cpp.o.d"
+  "CMakeFiles/wire_tests.dir/wire/protocol_test.cpp.o"
+  "CMakeFiles/wire_tests.dir/wire/protocol_test.cpp.o.d"
+  "CMakeFiles/wire_tests.dir/wire/roundtrip_property_test.cpp.o"
+  "CMakeFiles/wire_tests.dir/wire/roundtrip_property_test.cpp.o.d"
+  "CMakeFiles/wire_tests.dir/wire/text_call_test.cpp.o"
+  "CMakeFiles/wire_tests.dir/wire/text_call_test.cpp.o.d"
+  "wire_tests"
+  "wire_tests.pdb"
+  "wire_tests[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wire_tests.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,16 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_tests[1]_include.cmake")
+include("/root/repo/build/tests/idl_tests[1]_include.cmake")
+include("/root/repo/build/tests/est_tests[1]_include.cmake")
+include("/root/repo/build/tests/tmpl_tests[1]_include.cmake")
+include("/root/repo/build/tests/codegen_tests[1]_include.cmake")
+include("/root/repo/build/tests/net_tests[1]_include.cmake")
+include("/root/repo/build/tests/wire_tests[1]_include.cmake")
+include("/root/repo/build/tests/idlc_cli_tests[1]_include.cmake")
+include("/root/repo/build/tests/generated_runtime_tests[1]_include.cmake")
+include("/root/repo/build/tests/orb_tests[1]_include.cmake")

@@ -1,0 +1,47 @@
+/* File player.hh */
+#pragma once
+#include "orb/heidi_types.h"
+
+class HdSource;
+class HdPlayer;
+
+// IDL:Media/Mode:1.0
+enum HdMode { Playing, Paused, Stopped };
+
+// IDL:Media/SourceList:1.0
+typedef HdList<HdSource*> HdSourceList;
+typedef HdListIterator<HdSource*> HdSourceListIter;
+
+// IDL:Media/MediaError:1.0
+class HdMediaError : public ::heidi::RemoteError {
+public:
+  HdMediaError() : ::heidi::RemoteError("IDL:Media/MediaError:1.0") { }
+  long code{};
+  HdString reason{};
+};
+
+// IDL:Media/Source:1.0
+class HdSource : virtual public ::heidi::HdObject
+{
+public:
+  virtual long id() = 0;
+  virtual ~HdSource() { }
+};
+
+// IDL:Media/Player:1.0
+class HdPlayer : virtual public HdSource
+{
+public:
+  virtual void play(HdString, long position = 0) = 0;
+  virtual long seek(long, long&) = 0;
+  virtual HdString describe(HdMode, XBool verbose = XFalse) = 0;
+  virtual void attach(HdSource*) = 0;
+  virtual void mix(HdSourceList*) = 0;
+  virtual void load(HdString) = 0;
+  virtual void log(HdString) = 0;
+  virtual HdMode GetMode() = 0;
+  virtual long GetVolume() = 0;
+  virtual void SetVolume(long) = 0;
+  virtual ~HdPlayer() { }
+};
+
