@@ -1,0 +1,125 @@
+// Tentpole benchmark: serialized vs. multiplexed invocation over ONE
+// cached TCP connection.
+//
+// The old client admitted one call at a time per connection (an exchange
+// mutex around write+read). The call multiplexer instead sends under a
+// short write lock and parks each caller on its own reply future, so many
+// callers share the connection concurrently and the server's worker pool
+// overlaps their dispatch. "Serialized" below reproduces the old behavior
+// with a global mutex around each call; "Multiplexed" lets the mux do its
+// job. Expected shape: near-parity at 1 caller, and a multiple (>= 2x) of
+// the serialized throughput at 16 callers, bounded by the server worker
+// pool's width.
+#include <benchmark/benchmark.h>
+
+#include <chrono>
+#include <memory>
+#include <mutex>
+#include <thread>
+
+#include "demo/demo.h"
+#include "orb/orb.h"
+
+namespace {
+
+using heidi::orb::ObjectRef;
+using heidi::orb::Orb;
+using heidi::orb::OrbOptions;
+
+// An Echo whose add() holds its worker for a fixed slice of wall time, as
+// a method waiting on a downstream resource (disk, another orb) would.
+// That wait is what pipelining recovers: the worker pool overlaps it even
+// on a single CPU. Trivial bodies would leave both configurations bounded
+// by framing/loopback latency and hide the overlap; pure CPU spinning
+// cannot overlap at all on one core.
+class BusyEcho : public heidi::demo::EchoImpl {
+ public:
+  long add(long a, long b) override {
+    std::this_thread::sleep_for(std::chrono::microseconds(300));
+    return a + b;
+  }
+};
+
+// One server/client pair shared by all benchmark threads, refcounted so
+// the last thread out tears it down (thread 0 is not guaranteed to be
+// last, so setup/teardown cannot key off thread_index alone).
+struct SharedOrbs {
+  Orb server;
+  Orb client;
+  BusyEcho impl;
+  std::shared_ptr<HdEcho> echo;
+
+  SharedOrbs() {
+    heidi::demo::ForceDemoRegistration();
+    server.ListenTcp();
+    ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+    echo = client.ResolveAs<HdEcho>(ref.ToString());
+  }
+  ~SharedOrbs() {
+    echo.reset();
+    client.Shutdown();
+    server.Shutdown();
+  }
+};
+
+std::mutex g_fixture_mutex;
+int g_fixture_refs = 0;
+SharedOrbs* g_orbs = nullptr;
+std::mutex g_serialize_mutex;  // the "old design" exchange lock
+
+SharedOrbs* AcquireOrbs() {
+  std::lock_guard lock(g_fixture_mutex);
+  if (g_fixture_refs++ == 0) g_orbs = new SharedOrbs();
+  return g_orbs;
+}
+
+void ReleaseOrbs() {
+  std::lock_guard lock(g_fixture_mutex);
+  if (--g_fixture_refs == 0) {
+    delete g_orbs;
+    g_orbs = nullptr;
+  }
+}
+
+void BM_PipelineSerialized(benchmark::State& state) {
+  SharedOrbs* orbs = AcquireOrbs();
+  for (auto _ : state) {
+    std::lock_guard lock(g_serialize_mutex);  // one call in flight, ever
+    benchmark::DoNotOptimize(orbs->echo->add(1, 2));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    state.counters["connections"] = benchmark::Counter(
+        static_cast<double>(orbs->client.Stats().connections_opened));
+  }
+  ReleaseOrbs();
+}
+
+void BM_PipelineMultiplexed(benchmark::State& state) {
+  SharedOrbs* orbs = AcquireOrbs();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(orbs->echo->add(1, 2));
+  }
+  state.SetItemsProcessed(state.iterations());
+  if (state.thread_index() == 0) {
+    const auto stats = orbs->client.Stats();
+    state.counters["connections"] =
+        benchmark::Counter(static_cast<double>(stats.connections_opened));
+    state.counters["inflight_hw"] =
+        benchmark::Counter(static_cast<double>(stats.inflight_highwater));
+  }
+  ReleaseOrbs();
+}
+
+BENCHMARK(BM_PipelineSerialized)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16)
+    ->UseRealTime();
+BENCHMARK(BM_PipelineMultiplexed)
+    ->Threads(1)
+    ->Threads(4)
+    ->Threads(16)
+    ->UseRealTime();
+
+}  // namespace

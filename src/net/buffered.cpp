@@ -11,6 +11,10 @@ constexpr size_t kChunk = 64 * 1024;
 }
 
 bool BufferedReader::Fill() {
+  if (read_timeout_ms_ >= 0 && !channel_->WaitReadable(read_timeout_ms_)) {
+    throw TimeoutError("read timed out after " +
+                       std::to_string(read_timeout_ms_) + "ms");
+  }
   if (pos_ > 0) {
     buffer_.erase(0, pos_);
     pos_ = 0;

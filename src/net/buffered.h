@@ -21,13 +21,25 @@ class BufferedReader {
   // boundary; throws NetError mid-message.
   bool ReadExact(char* buf, size_t n);
 
+  // Bounds every subsequent refill of the buffer: if the channel stays
+  // unreadable for `timeout_ms`, the pending ReadLine/ReadExact throws
+  // TimeoutError. The deadline applies per refill, not per message.
+  // timeout_ms < 0 (the default) restores plain blocking reads.
+  void SetReadTimeout(int timeout_ms) { read_timeout_ms_ = timeout_ms; }
+  int ReadTimeout() const { return read_timeout_ms_; }
+
+  // True if buffered bytes can satisfy a read without touching the
+  // channel (the demux thread polls this before parking in WaitReadable).
+  bool HasBuffered() const { return pos_ < buffer_.size(); }
+
  private:
-  // Refills the buffer; returns false on EOF.
+  // Refills the buffer; returns false on EOF. Honors the read timeout.
   bool Fill();
 
   ByteChannel* channel_;
   std::string buffer_;
   size_t pos_ = 0;
+  int read_timeout_ms_ = -1;
 };
 
 }  // namespace heidi::net

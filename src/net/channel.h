@@ -25,6 +25,16 @@ class ByteChannel {
   // (including writing to a closed channel).
   virtual void WriteAll(const char* data, size_t n) = 0;
 
+  // Waits until Read() would not block: data is buffered, the peer shut
+  // down (Read would return 0), or the channel was closed locally.
+  // Returns false if `timeout_ms` elapses first; timeout_ms < 0 waits
+  // forever. The base implementation reports "always readable" so custom
+  // channels without poll support degrade to plain blocking reads.
+  virtual bool WaitReadable(int timeout_ms) {
+    (void)timeout_ms;
+    return true;
+  }
+
   // Idempotent; unblocks any reader (locally and at the peer).
   virtual void Close() = 0;
 

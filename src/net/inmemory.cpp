@@ -1,5 +1,6 @@
 #include "net/inmemory.h"
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
@@ -37,6 +38,16 @@ struct Pipe {
     return take;
   }
 
+  bool WaitReadable(int timeout_ms) {
+    std::unique_lock lock(mutex);
+    auto ready = [&] { return !data.empty() || closed; };
+    if (timeout_ms < 0) {
+      cv.wait(lock, ready);
+      return true;
+    }
+    return cv.wait_for(lock, std::chrono::milliseconds(timeout_ms), ready);
+  }
+
   void Close() {
     std::lock_guard lock(mutex);
     closed = true;
@@ -52,6 +63,10 @@ class InMemoryChannel : public ByteChannel {
   ~InMemoryChannel() override { Close(); }
 
   size_t Read(char* buf, size_t n) override { return in_->Read(buf, n); }
+
+  bool WaitReadable(int timeout_ms) override {
+    return in_->WaitReadable(timeout_ms);
+  }
 
   void WriteAll(const char* data, size_t n) override { out_->Write(data, n); }
 

@@ -1,9 +1,11 @@
 #include "net/tcp.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netdb.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
@@ -30,11 +32,14 @@ class TcpChannel : public ByteChannel {
  public:
   TcpChannel(int fd, std::string peer) : fd_(fd), peer_(std::move(peer)) {}
 
-  ~TcpChannel() override { Close(); }
+  ~TcpChannel() override {
+    int fd = fd_.exchange(-1, std::memory_order_relaxed);
+    if (fd >= 0) ::close(fd);
+  }
 
   size_t Read(char* buf, size_t n) override {
     while (true) {
-      ssize_t r = ::recv(fd_, buf, n, 0);
+      ssize_t r = ::recv(fd_.load(std::memory_order_relaxed), buf, n, 0);
       if (r >= 0) return static_cast<size_t>(r);
       if (errno == EINTR) continue;
       // A reset from a peer that closed while we were mid-protocol is an
@@ -47,7 +52,8 @@ class TcpChannel : public ByteChannel {
   void WriteAll(const char* data, size_t n) override {
     size_t sent = 0;
     while (sent < n) {
-      ssize_t w = ::send(fd_, data + sent, n - sent, MSG_NOSIGNAL);
+      ssize_t w = ::send(fd_.load(std::memory_order_relaxed), data + sent,
+                         n - sent, MSG_NOSIGNAL);
       if (w < 0) {
         if (errno == EINTR) continue;
         FailErrno("send to " + peer_);
@@ -56,21 +62,35 @@ class TcpChannel : public ByteChannel {
     }
   }
 
-  void Close() override {
-    std::lock_guard lock(close_mutex_);
-    if (fd_ >= 0) {
-      ::shutdown(fd_, SHUT_RDWR);
-      ::close(fd_);
-      fd_ = -1;
+  bool WaitReadable(int timeout_ms) override {
+    while (true) {
+      pollfd pfd{};
+      pfd.fd = fd_.load(std::memory_order_relaxed);
+      pfd.events = POLLIN;
+      if (pfd.fd < 0) return true;  // closed: Read returns 0 immediately
+      int rc = ::poll(&pfd, 1, timeout_ms);
+      if (rc > 0) return true;  // readable, EOF, or error — Read resolves it
+      if (rc == 0) return false;
+      if (errno == EINTR) continue;
+      return true;  // poll itself failed; let Read surface the error
     }
+  }
+
+  void Close() override {
+    // Shutdown, don't close: Close racing a blocked Read/WaitReadable is
+    // the designed way to unwedge them (they resolve to EOF), and keeping
+    // the descriptor open until the destructor guarantees its number is
+    // not recycled out from under a thread still blocked on it. Safe to
+    // call from any thread, any number of times.
+    int fd = fd_.load(std::memory_order_relaxed);
+    if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
   }
 
   std::string PeerName() const override { return peer_; }
 
  private:
-  int fd_;
+  std::atomic<int> fd_;
   std::string peer_;
-  std::mutex close_mutex_;
 };
 
 std::string PeerOf(const sockaddr_storage& addr) {
@@ -84,8 +104,40 @@ std::string PeerOf(const sockaddr_storage& addr) {
 
 }  // namespace
 
-std::unique_ptr<ByteChannel> TcpConnect(const std::string& host,
-                                        uint16_t port) {
+namespace {
+
+// connect(2) against one address, optionally bounded by a deadline via a
+// non-blocking connect + poll. Returns 0 on success, an errno otherwise.
+int ConnectOne(int fd, const sockaddr* addr, socklen_t len, int timeout_ms) {
+  if (timeout_ms < 0) {
+    return ::connect(fd, addr, len) == 0 ? 0 : errno;
+  }
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, addr, len);
+  int err = 0;
+  if (rc != 0) {
+    if (errno != EINPROGRESS) return errno;
+    pollfd pfd{};
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    int ready = ::poll(&pfd, 1, timeout_ms);
+    if (ready == 0) return ETIMEDOUT;
+    if (ready < 0) return errno;
+    socklen_t err_len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      return errno;
+    }
+    if (err != 0) return err;
+  }
+  ::fcntl(fd, F_SETFL, flags);
+  return 0;
+}
+
+}  // namespace
+
+std::unique_ptr<ByteChannel> TcpConnect(const std::string& host, uint16_t port,
+                                        int timeout_ms) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -96,21 +148,28 @@ std::unique_ptr<ByteChannel> TcpConnect(const std::string& host,
     throw NetError("resolve " + host + ": " + ::gai_strerror(rc));
   }
   int fd = -1;
-  std::string last_error = "no addresses";
+  int last_error = 0;
+  bool timed_out = false;
   for (addrinfo* ai = result; ai != nullptr; ai = ai->ai_next) {
     fd = ::socket(ai->ai_family, ai->ai_socktype, ai->ai_protocol);
     if (fd < 0) {
-      last_error = std::strerror(errno);
+      last_error = errno;
       continue;
     }
-    if (::connect(fd, ai->ai_addr, ai->ai_addrlen) == 0) break;
-    last_error = std::strerror(errno);
+    int err = ConnectOne(fd, ai->ai_addr, ai->ai_addrlen, timeout_ms);
+    if (err == 0) break;
+    last_error = err;
+    timed_out = err == ETIMEDOUT;
     ::close(fd);
     fd = -1;
   }
   ::freeaddrinfo(result);
   if (fd < 0) {
-    throw NetError("connect " + host + ":" + service + ": " + last_error);
+    std::string what = "connect " + host + ":" + service + ": " +
+                       (last_error == 0 ? "no addresses"
+                                        : std::strerror(last_error));
+    if (timed_out) throw TimeoutError(what);
+    throw NetError(what);
   }
   SetNoDelay(fd);
   return std::make_unique<TcpChannel>(fd, host + ":" + service);
@@ -146,13 +205,18 @@ TcpAcceptor::TcpAcceptor(uint16_t port) {
   port_ = ntohs(addr.sin_port);
 }
 
-TcpAcceptor::~TcpAcceptor() { Close(); }
+TcpAcceptor::~TcpAcceptor() {
+  Close();
+  int fd = fd_.exchange(-1, std::memory_order_relaxed);
+  if (fd >= 0) ::close(fd);
+}
 
 std::unique_ptr<ByteChannel> TcpAcceptor::Accept() {
   while (true) {
     sockaddr_storage addr{};
     socklen_t len = sizeof addr;
-    int fd = ::accept(fd_, reinterpret_cast<sockaddr*>(&addr), &len);
+    int fd = ::accept(fd_.load(std::memory_order_relaxed),
+                      reinterpret_cast<sockaddr*>(&addr), &len);
     if (fd < 0) {
       if (errno == EINTR) continue;
       // Closed (or any terminal condition): report orderly shutdown.
@@ -164,11 +228,10 @@ std::unique_ptr<ByteChannel> TcpAcceptor::Accept() {
 }
 
 void TcpAcceptor::Close() {
-  if (fd_ >= 0) {
-    ::shutdown(fd_, SHUT_RDWR);
-    ::close(fd_);
-    fd_ = -1;
-  }
+  // Shutdown only (see TcpChannel::Close): on Linux this pops a blocked
+  // accept() out with EINVAL; the destructor reclaims the descriptor.
+  int fd = fd_.load(std::memory_order_relaxed);
+  if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
 }
 
 }  // namespace heidi::net

@@ -2,6 +2,7 @@
 // dominated by round trips; Nagle would serialize them).
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -10,9 +11,12 @@
 
 namespace heidi::net {
 
-// Connects to host:port (name resolution via getaddrinfo). Throws NetError.
-std::unique_ptr<ByteChannel> TcpConnect(const std::string& host,
-                                        uint16_t port);
+// Connects to host:port (name resolution via getaddrinfo). Throws
+// NetError; a non-negative `timeout_ms` bounds each connect attempt and
+// throws TimeoutError when the deadline passes first (timeout_ms < 0
+// blocks until the kernel gives up).
+std::unique_ptr<ByteChannel> TcpConnect(const std::string& host, uint16_t port,
+                                        int timeout_ms = -1);
 
 // Listening socket; the bootstrap port of an address space (§3.1 Fig 5).
 class TcpAcceptor {
@@ -27,13 +31,17 @@ class TcpAcceptor {
   // Blocking. Returns nullptr once Close() has been called.
   std::unique_ptr<ByteChannel> Accept();
 
-  // Unblocks Accept(); idempotent.
+  // Unblocks Accept(); idempotent and safe to call from another thread
+  // while Accept() is blocked. The descriptor itself is reclaimed by the
+  // destructor, never while a thread could still be blocked on it.
   void Close();
 
   uint16_t Port() const { return port_; }
 
  private:
-  int fd_ = -1;
+  // Atomic because Close() races with a blocked Accept() by design: that
+  // cross-thread close is exactly how an accept loop is shut down.
+  std::atomic<int> fd_{-1};
   uint16_t port_ = 0;
 };
 

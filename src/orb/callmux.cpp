@@ -1,0 +1,177 @@
+#include "orb/callmux.h"
+
+#include <utility>
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace heidi::orb {
+
+namespace {
+
+void RaiseHighwater(MuxCounters* counters, uint64_t inflight) {
+  if (counters == nullptr) return;
+  uint64_t seen =
+      counters->inflight_highwater.load(std::memory_order_relaxed);
+  while (inflight > seen &&
+         !counters->inflight_highwater.compare_exchange_weak(
+             seen, inflight, std::memory_order_relaxed)) {
+  }
+}
+
+void Bump(MuxCounters* counters, std::atomic<uint64_t> MuxCounters::*field) {
+  if (counters != nullptr) {
+    (counters->*field).fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace
+
+CallMux::CallMux(net::ByteChannel& channel, net::BufferedReader& reader,
+                 const wire::Protocol& protocol, MuxCounters* counters)
+    : channel_(channel),
+      reader_(reader),
+      protocol_(protocol),
+      counters_(counters) {}
+
+CallMux::~CallMux() { Stop(); }
+
+void CallMux::Start() {
+  std::lock_guard lock(pending_mutex_);
+  if (started_) return;
+  started_ = true;
+  demux_thread_ = std::thread([this] { DemuxLoop(); });
+}
+
+void CallMux::Stop() {
+  if (demux_thread_.joinable()) demux_thread_.join();
+}
+
+std::future<std::unique_ptr<wire::Call>> CallMux::Submit(
+    const wire::Call& request) {
+  Start();
+  std::promise<std::unique_ptr<wire::Call>> promise;
+  std::future<std::unique_ptr<wire::Call>> future = promise.get_future();
+  uint64_t id = request.CallId();
+  {
+    std::lock_guard lock(pending_mutex_);
+    if (broken_.load(std::memory_order_acquire)) {
+      throw NetError("connection to " + channel_.PeerName() +
+                     " is broken: " + failure_);
+    }
+    auto [it, inserted] = pending_.emplace(id, std::move(promise));
+    if (!inserted) {
+      throw MarshalError("duplicate in-flight call id " + std::to_string(id));
+    }
+    RaiseHighwater(counters_, pending_.size());
+  }
+  try {
+    std::lock_guard lock(write_mutex_);
+    protocol_.WriteCall(channel_, request);
+  } catch (const HdError& e) {
+    // A failed (possibly partial) frame write leaves the peer's stream
+    // position unknowable: condemn the connection rather than resync.
+    {
+      std::lock_guard lock(pending_mutex_);
+      pending_.erase(id);
+    }
+    channel_.Close();  // unblocks the demux thread
+    FailAll(e.what());
+    throw;
+  }
+  return future;
+}
+
+std::unique_ptr<wire::Call> CallMux::Await(
+    uint64_t id, std::future<std::unique_ptr<wire::Call>>& future,
+    int timeout_ms) {
+  if (timeout_ms >= 0 &&
+      future.wait_for(std::chrono::milliseconds(timeout_ms)) ==
+          std::future_status::timeout) {
+    bool abandoned;
+    {
+      std::lock_guard lock(pending_mutex_);
+      abandoned = pending_.erase(id) > 0;
+    }
+    if (abandoned) {
+      // Only this call dies; the connection (and every other pending
+      // call on it) stays live, and the late reply is dropped as stale.
+      Bump(counters_, &MuxCounters::timeouts);
+      throw TimeoutError("call " + std::to_string(id) + " to " +
+                         channel_.PeerName() + " exceeded its " +
+                         std::to_string(timeout_ms) + "ms deadline");
+    }
+    // The reply (or the connection's death) raced the deadline: take it.
+  }
+  return future.get();
+}
+
+void CallMux::SendOneway(const wire::Call& call) {
+  if (broken_.load(std::memory_order_acquire)) {
+    std::lock_guard lock(pending_mutex_);
+    throw NetError("connection to " + channel_.PeerName() +
+                   " is broken: " + failure_);
+  }
+  std::lock_guard lock(write_mutex_);
+  protocol_.WriteCall(channel_, call);
+}
+
+void CallMux::DemuxLoop() {
+  while (true) {
+    std::unique_ptr<wire::Call> reply;
+    try {
+      reply = protocol_.ReadCall(reader_);
+    } catch (const HdError& e) {
+      FailAll(e.what());
+      return;
+    }
+    Bump(counters_, &MuxCounters::wakeups);
+    if (reply == nullptr) {
+      FailAll("connection to " + channel_.PeerName() +
+              " closed while awaiting replies");
+      return;
+    }
+    if (reply->Kind() != wire::CallKind::kReply) {
+      channel_.Close();
+      FailAll("protocol violation: peer " + channel_.PeerName() +
+              " sent a request frame on a client connection");
+      return;
+    }
+    std::promise<std::unique_ptr<wire::Call>> promise;
+    bool found = false;
+    {
+      std::lock_guard lock(pending_mutex_);
+      auto it = pending_.find(reply->CallId());
+      if (it != pending_.end()) {
+        promise = std::move(it->second);
+        pending_.erase(it);
+        found = true;
+      }
+    }
+    if (!found) {
+      // Stale or abandoned id: drain the full frame (already consumed by
+      // ReadCall) and resync on the next one instead of dying mid-stream.
+      Bump(counters_, &MuxCounters::stale_replies);
+      HD_LOG_DEBUG << "dropping stale reply id " << reply->CallId()
+                   << " from " << channel_.PeerName();
+      continue;
+    }
+    promise.set_value(std::move(reply));
+  }
+}
+
+void CallMux::FailAll(const std::string& reason) {
+  std::map<uint64_t, std::promise<std::unique_ptr<wire::Call>>> victims;
+  {
+    std::lock_guard lock(pending_mutex_);
+    if (!broken_.load(std::memory_order_relaxed)) failure_ = reason;
+    broken_.store(true, std::memory_order_release);
+    victims.swap(pending_);
+  }
+  for (auto& [id, promise] : victims) {
+    promise.set_exception(std::make_exception_ptr(
+        NetError("call " + std::to_string(id) + " failed: " + reason)));
+  }
+}
+
+}  // namespace heidi::orb

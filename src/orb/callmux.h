@@ -1,0 +1,101 @@
+// CallMux: the client half of a multiplexed connection (the transmission-
+// policy axis of §3.1 — synchrony and deadlines are configurable without
+// touching the mapping). Many threads share one cached connection: a
+// sender registers its request's call id in a pending-call table, writes
+// the frame under a short write lock, and parks on a per-call future; a
+// per-connection demux thread reads reply frames and completes the
+// matching promise, in whatever order the replies arrive.
+//
+// Failure policy: a transport error (EOF, reset, malformed frame) fails
+// *all* pending calls with NetError and marks the mux broken — the orb
+// then drops the cached connection and the next invocation reconnects. A
+// deadline expiry fails only its own call: the waiter abandons its table
+// entry, and the late reply, when it eventually arrives, is drained and
+// dropped as stale (counted, never corrupting the stream).
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "net/buffered.h"
+#include "net/channel.h"
+#include "wire/call.h"
+#include "wire/protocol.h"
+
+namespace heidi::orb {
+
+// Mux counters, shared across every connection of one orb so OrbStats can
+// report them without chasing communicators (monotonic, best-effort).
+struct MuxCounters {
+  std::atomic<uint64_t> inflight_highwater{0};
+  std::atomic<uint64_t> timeouts{0};
+  std::atomic<uint64_t> wakeups{0};
+  std::atomic<uint64_t> stale_replies{0};
+};
+
+class CallMux {
+ public:
+  // The mux borrows the channel/reader/protocol from its communicator,
+  // which must outlive it. `counters` may be nullptr (standalone use).
+  CallMux(net::ByteChannel& channel, net::BufferedReader& reader,
+          const wire::Protocol& protocol, MuxCounters* counters);
+  ~CallMux();
+
+  CallMux(const CallMux&) = delete;
+  CallMux& operator=(const CallMux&) = delete;
+
+  // Starts the demux thread; idempotent.
+  void Start();
+
+  // Registers the request's call id and sends the frame (short write
+  // lock). Returns the future the reply will arrive on. Throws NetError
+  // if the connection is already broken; a write failure breaks the
+  // connection (the peer's stream position is unknowable mid-frame).
+  std::future<std::unique_ptr<wire::Call>> Submit(const wire::Call& request);
+
+  // Blocks on `future` for up to `timeout_ms` (< 0 = forever). On expiry
+  // abandons call `id` — the connection stays usable, the late reply is
+  // dropped — and throws TimeoutError. Rethrows the mux failure (NetError)
+  // if the connection died while waiting.
+  std::unique_ptr<wire::Call> Await(
+      uint64_t id, std::future<std::unique_ptr<wire::Call>>& future,
+      int timeout_ms);
+
+  // Frame write without a pending-table entry (oneways, raw sends).
+  void SendOneway(const wire::Call& call);
+
+  // True once a transport error has condemned the connection.
+  bool Broken() const { return broken_.load(std::memory_order_acquire); }
+
+  // Joins the demux thread. The channel must be closed first (that is
+  // what unblocks the demux read). Called by the destructor.
+  void Stop();
+
+ private:
+  void DemuxLoop();
+  // Fails every pending call with NetError(reason) and marks broken.
+  void FailAll(const std::string& reason);
+
+  net::ByteChannel& channel_;
+  net::BufferedReader& reader_;
+  const wire::Protocol& protocol_;
+  MuxCounters* counters_;
+
+  std::mutex write_mutex_;  // frame writes are atomic per call
+
+  std::mutex pending_mutex_;
+  std::map<uint64_t, std::promise<std::unique_ptr<wire::Call>>> pending_;
+  bool started_ = false;
+  std::string failure_;  // reason, once broken
+  std::atomic<bool> broken_{false};
+
+  std::thread demux_thread_;
+};
+
+}  // namespace heidi::orb

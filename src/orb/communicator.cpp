@@ -5,42 +5,44 @@
 namespace heidi::orb {
 
 ObjectCommunicator::ObjectCommunicator(
-    std::unique_ptr<net::ByteChannel> channel, const wire::Protocol* protocol)
+    std::unique_ptr<net::ByteChannel> channel, const wire::Protocol* protocol,
+    MuxCounters* counters)
     : channel_(std::move(channel)),
       reader_(*channel_),
-      protocol_(protocol) {}
+      protocol_(protocol),
+      mux_(std::make_unique<CallMux>(*channel_, reader_, *protocol_,
+                                     counters)) {}
 
 ObjectCommunicator::~ObjectCommunicator() { Close(); }
 
 std::unique_ptr<wire::Call> ObjectCommunicator::Invoke(
+    const wire::Call& request, int timeout_ms) {
+  std::future<std::unique_ptr<wire::Call>> future = mux_->Submit(request);
+  return mux_->Await(request.CallId(), future, timeout_ms);
+}
+
+std::future<std::unique_ptr<wire::Call>> ObjectCommunicator::SubmitCall(
     const wire::Call& request) {
-  std::lock_guard lock(exchange_mutex_);
-  protocol_->WriteCall(*channel_, request);
-  std::unique_ptr<wire::Call> reply = protocol_->ReadCall(reader_);
-  if (reply == nullptr) {
-    throw NetError("connection to " + channel_->PeerName() +
-                   " closed while awaiting reply");
-  }
-  if (reply->Kind() != wire::CallKind::kReply) {
-    throw MarshalError("expected a reply, got a request frame");
-  }
-  if (reply->CallId() != request.CallId()) {
-    throw MarshalError("reply call id " + std::to_string(reply->CallId()) +
-                       " does not match request " +
-                       std::to_string(request.CallId()));
-  }
-  return reply;
+  return mux_->Submit(request);
+}
+
+std::unique_ptr<wire::Call> ObjectCommunicator::AwaitReply(
+    uint64_t call_id, std::future<std::unique_ptr<wire::Call>>& future,
+    int timeout_ms) {
+  return mux_->Await(call_id, future, timeout_ms);
 }
 
 void ObjectCommunicator::Send(const wire::Call& call) {
-  std::lock_guard lock(exchange_mutex_);
-  protocol_->WriteCall(*channel_, call);
+  mux_->SendOneway(call);
 }
 
 std::unique_ptr<wire::Call> ObjectCommunicator::ReadCall() {
   return protocol_->ReadCall(reader_);
 }
 
-void ObjectCommunicator::Close() { channel_->Close(); }
+void ObjectCommunicator::Close() {
+  channel_->Close();
+  mux_->Stop();  // demux thread (if started) exits on the closed channel
+}
 
 }  // namespace heidi::orb

@@ -1,19 +1,22 @@
 // ObjectCommunicator (§3.1): the abstraction of a communication channel
 // on which individual requests can be demarcated. It binds a ByteChannel
-// to a Protocol: the client side runs whole request/reply exchanges
-// through it; the server side reads requests and writes replies.
+// to a Protocol: the client side runs request/reply exchanges through it;
+// the server side reads requests and writes replies.
 //
-// Exchanges are serialized by a per-communicator mutex, so one cached
-// connection can be shared by many client threads (replies are matched by
-// call id as a protocol check; out-of-order replies are impossible under
-// the lock).
+// Client exchanges are *multiplexed*, not serialized: a CallMux keyed by
+// the wire call id lets many threads share one cached connection with any
+// number of calls in flight, their replies matched out of order by a
+// per-connection demux thread (see callmux.h for the failure policy).
+// Server-side use (ReadCall/Send) never starts the demux thread; Send is
+// safe from concurrent worker threads (frame writes take the write lock).
 #pragma once
 
+#include <future>
 #include <memory>
-#include <mutex>
 
 #include "net/buffered.h"
 #include "net/channel.h"
+#include "orb/callmux.h"
 #include "wire/call.h"
 #include "wire/protocol.h"
 
@@ -21,23 +24,44 @@ namespace heidi::orb {
 
 class ObjectCommunicator {
  public:
+  // `counters` (optional) receives mux statistics; it must outlive the
+  // communicator (the orb passes its own).
   ObjectCommunicator(std::unique_ptr<net::ByteChannel> channel,
-                     const wire::Protocol* protocol);
+                     const wire::Protocol* protocol,
+                     MuxCounters* counters = nullptr);
   ~ObjectCommunicator();
 
   ObjectCommunicator(const ObjectCommunicator&) = delete;
   ObjectCommunicator& operator=(const ObjectCommunicator&) = delete;
 
-  // Client: sends `request`, blocks for the matching reply. Throws
-  // NetError on transport failure, MarshalError on protocol violations
-  // (including a reply whose call id does not match).
-  std::unique_ptr<wire::Call> Invoke(const wire::Call& request);
+  // Client: sends `request`, blocks for the matching reply for up to
+  // `timeout_ms` (< 0 = forever). Throws TimeoutError when the deadline
+  // expires (the connection survives; the late reply is dropped), NetError
+  // on transport failure (which fails every pending call on this
+  // connection), MarshalError on protocol violations.
+  std::unique_ptr<wire::Call> Invoke(const wire::Call& request,
+                                     int timeout_ms = -1);
 
-  // Sends without waiting (oneway requests, server replies).
+  // Client, asynchronous: registers and sends `request`, returns the
+  // reply future. Resolve it with AwaitReply (which owns the deadline /
+  // abandon logic); request.CallId() is the correlation key.
+  std::future<std::unique_ptr<wire::Call>> SubmitCall(
+      const wire::Call& request);
+  std::unique_ptr<wire::Call> AwaitReply(
+      uint64_t call_id, std::future<std::unique_ptr<wire::Call>>& future,
+      int timeout_ms);
+
+  // Sends without waiting (oneway requests, server replies). Thread-safe.
   void Send(const wire::Call& call);
 
   // Server: blocking read of the next request; nullptr on clean EOF.
+  // Never mix with Invoke/SubmitCall on the same communicator — the
+  // client side's demux thread owns the read half.
   std::unique_ptr<wire::Call> ReadCall();
+
+  // True once a transport error has condemned the connection; the orb
+  // replaces broken cached communicators on the next call.
+  bool Broken() const { return mux_->Broken(); }
 
   void Close();
 
@@ -48,7 +72,7 @@ class ObjectCommunicator {
   std::unique_ptr<net::ByteChannel> channel_;
   net::BufferedReader reader_;
   const wire::Protocol* protocol_;
-  std::mutex exchange_mutex_;
+  std::unique_ptr<CallMux> mux_;
 };
 
 }  // namespace heidi::orb

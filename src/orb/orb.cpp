@@ -1,5 +1,7 @@
 #include "orb/orb.h"
 
+#include <algorithm>
+
 #include "net/inmemory.h"
 #include "support/logging.h"
 #include "support/strings.h"
@@ -52,6 +54,9 @@ Orb::Orb(OrbOptions options) : options_(std::move(options)) {
   protocol_ = wire::FindProtocol(options_.protocol);
   if (protocol_ == nullptr) {
     throw HdError("unknown wire protocol '" + options_.protocol + "'");
+  }
+  if (options_.server_workers > 0) {
+    worker_pool_ = std::make_unique<WorkPool>(options_.server_workers);
   }
   InprocRegister(options_.inproc_name, this);
 }
@@ -115,6 +120,10 @@ void Orb::Shutdown() {
   for (std::thread& t : handlers) {
     if (t.joinable()) t.join();
   }
+  // Drain the dispatch pool after the reader threads are gone: queued
+  // tasks run to completion (their reply Send fails harmlessly on the
+  // closed connection), then the workers join.
+  if (worker_pool_ != nullptr) worker_pool_->Stop();
   std::lock_guard lock(client_mutex_);
   for (auto& [endpoint, comm] : connections_) comm->Close();
   connections_.clear();
@@ -208,19 +217,38 @@ void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
                   << " sent a reply where a request was expected; closing";
       break;
     }
-    std::unique_ptr<wire::Call> reply = HandleRequest(*request);
-    requests_served_.fetch_add(1, std::memory_order_relaxed);
-    if (!request->Oneway()) {
+    if (request->Oneway()) {
+      // Inline on the reader thread: oneways from one connection execute
+      // in submission order, whatever the pool's workers are doing.
+      HandleRequest(*request);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      continue;
+    }
+    // Twoway: dispatch on the pool so calls pipelined on this connection
+    // overlap. Send is thread-safe; replies go out in completion order
+    // and the client's mux matches them by call id.
+    std::shared_ptr<wire::Call> shared_request(std::move(request));
+    auto task = [this, comm, shared_request] {
+      std::unique_ptr<wire::Call> reply = HandleRequest(*shared_request);
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
       try {
         comm->Send(*reply);
       } catch (const HdError& e) {
         HD_LOG_DEBUG << "reply to " << comm->PeerName()
                      << " failed: " << e.what();
-        break;
       }
-    }
+    };
+    if (worker_pool_ == nullptr || !worker_pool_->Post(task)) task();
   }
   comm->Close();
+  // Drop the orb's reference so the channel (and its descriptor) is
+  // reclaimed once the last in-flight worker task releases its copy —
+  // without this, a long-lived server accretes one dead comm per
+  // connection it ever served.
+  std::lock_guard lock(server_mutex_);
+  server_comms_.erase(
+      std::remove(server_comms_.begin(), server_comms_.end(), comm),
+      server_comms_.end());
 }
 
 std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request) {
@@ -369,21 +397,35 @@ std::unique_ptr<net::ByteChannel> Orb::ConnectTo(const ObjectRef& ref) {
 std::shared_ptr<ObjectCommunicator> Orb::GetCommunicator(
     const ObjectRef& ref) {
   if (!options_.cache_connections) {
-    return std::make_shared<ObjectCommunicator>(ConnectTo(ref), protocol_);
+    return std::make_shared<ObjectCommunicator>(ConnectTo(ref), protocol_,
+                                                &mux_counters_);
   }
   std::string endpoint = ref.Endpoint();
   {
     std::lock_guard lock(client_mutex_);
     auto it = connections_.find(endpoint);
-    if (it != connections_.end()) return it->second;
+    if (it != connections_.end()) {
+      // A broken connection (transport error already failed its pending
+      // calls) is replaced eagerly instead of failing one more call.
+      if (!it->second->Broken()) return it->second;
+      it->second->Close();
+      connections_.erase(it);
+    }
   }
   // Connect without holding the lock; a racing thread may have inserted
   // one meanwhile — first in wins, the loser's connection is dropped.
-  auto comm =
-      std::make_shared<ObjectCommunicator>(ConnectTo(ref), protocol_);
+  auto comm = std::make_shared<ObjectCommunicator>(ConnectTo(ref), protocol_,
+                                                   &mux_counters_);
   std::lock_guard lock(client_mutex_);
   auto [it, inserted] = connections_.emplace(endpoint, comm);
-  if (!inserted) comm->Close();
+  if (!inserted) {
+    if (!it->second->Broken()) {
+      comm->Close();
+    } else {
+      it->second->Close();
+      it->second = comm;  // the racing winner broke meanwhile; replace it
+    }
+  }
   return it->second;
 }
 
@@ -409,25 +451,62 @@ std::unique_ptr<wire::Call> Orb::NewRequest(const ObjectRef& target,
 }
 
 std::unique_ptr<wire::Call> Orb::Invoke(const ObjectRef& target,
-                                        const wire::Call& request) {
+                                        const wire::Call& request,
+                                        int timeout_ms) {
+  return InvokeAsync(target, request, timeout_ms).Get();
+}
+
+ReplyHandle Orb::InvokeAsync(const ObjectRef& target,
+                             const wire::Call& request, int timeout_ms) {
   RunPreInvoke(target, request);
   std::shared_ptr<ObjectCommunicator> comm = GetCommunicator(target);
   calls_sent_.fetch_add(1, std::memory_order_relaxed);
-  std::unique_ptr<wire::Call> reply;
+  ReplyHandle handle;
+  handle.orb_ = this;
+  handle.target_ = target;
+  handle.comm_ = std::move(comm);
+  handle.call_id_ = request.CallId();
+  handle.timeout_ms_ = timeout_ms < 0 ? options_.call_timeout_ms : timeout_ms;
   try {
-    reply = comm->Invoke(request);
+    handle.future_ = handle.comm_->SubmitCall(request);
   } catch (const NetError&) {
     DropCachedCommunicator(target.Endpoint());
     throw;
   }
-  if (!options_.cache_connections) comm->Close();
-  RunPostInvoke(target, *reply);
+  return handle;
+}
+
+std::unique_ptr<wire::Call> ReplyHandle::Get() {
+  std::unique_ptr<wire::Call> reply;
+  try {
+    reply = comm_->AwaitReply(call_id_, future_, timeout_ms_);
+  } catch (const TimeoutError&) {
+    // The deadline expired but the connection is healthy: keep it cached
+    // (the late reply is drained by the demux thread), fail only this
+    // call.
+    throw;
+  } catch (const NetError&) {
+    orb_->DropCachedCommunicator(target_.Endpoint());
+    throw;
+  }
+  if (!orb_->options_.cache_connections) comm_->Close();
+  orb_->RunPostInvoke(target_, *reply);
+  return orb_->CheckReplyStatus(target_, std::move(reply));
+}
+
+std::unique_ptr<wire::Call> Orb::CheckReplyStatus(
+    const ObjectRef& target, std::unique_ptr<wire::Call> reply) {
   switch (reply->Status()) {
     case wire::CallStatus::kOk:
       return reply;
     case wire::CallStatus::kSystemError:
       throw DispatchError("remote system error from " + target.Endpoint() +
                           ": " + reply->ErrorText());
+    case wire::CallStatus::kTimeout:
+      // A deadline expired downstream (e.g. relayed by an intermediary);
+      // surface it like a locally-expired deadline.
+      throw TimeoutError("remote timeout from " + target.Endpoint() + ": " +
+                         reply->ErrorText());
     case wire::CallStatus::kUserException: {
       // Typed raises-exceptions: the error text is a repository id with a
       // registered thrower, which unmarshals the reply payload and throws
@@ -577,6 +656,13 @@ OrbStats Orb::Stats() const {
   stats.skeletons_created =
       skeletons_created_.load(std::memory_order_relaxed);
   stats.stubs_created = stubs_created_.load(std::memory_order_relaxed);
+  stats.inflight_highwater =
+      mux_counters_.inflight_highwater.load(std::memory_order_relaxed);
+  stats.calls_timed_out =
+      mux_counters_.timeouts.load(std::memory_order_relaxed);
+  stats.mux_wakeups = mux_counters_.wakeups.load(std::memory_order_relaxed);
+  stats.stale_replies_dropped =
+      mux_counters_.stale_replies.load(std::memory_order_relaxed);
   return stats;
 }
 

@@ -10,13 +10,26 @@
 //   cache_stubs       — one stub per reference string (§3.1)
 //   cache_skeletons   — keep lazily-created skeletons alive (§3.1)
 //
-// Threading model: ListenTcp starts an accept thread; each connection is
-// served by its own handler thread (requests on one connection are
-// processed in order). Client invocations may come from any thread;
-// cached connections serialize exchanges internally. Implementation
-// objects must therefore be prepared for concurrent calls arriving on
-// different connections — or the application keeps one connection per
-// client, as Heidi's non-preemptive model did.
+// Threading model.
+//
+// Server side: ListenTcp starts an accept thread; each connection gets a
+// reader thread that parses frames. Oneway requests are dispatched inline
+// on the reader thread, so oneways from one client execute in submission
+// order. Twoway requests are handed to a small shared worker pool
+// (OrbOptions::server_workers), so pipelined requests arriving on ONE
+// connection overlap — implementation objects must be prepared for
+// concurrent calls even from a single client. server_workers = 0 restores
+// the old strictly-per-connection-ordered inline dispatch.
+//
+// Client side: invocations may come from any thread. A cached connection
+// is multiplexed, not serialized: each in-flight call parks on its own
+// reply future while a per-connection demux thread matches reply frames
+// to callers by wire call id (see callmux.h). Any number of calls — sync
+// via Invoke, async via InvokeAsync — share one connection concurrently.
+// A transport error fails every call pending on that connection and the
+// next invocation reconnects; a deadline expiry (TimeoutError) fails only
+// its own call and leaves the connection (and its other pending calls)
+// intact.
 #pragma once
 
 #include <atomic>
@@ -31,8 +44,10 @@
 
 #include "net/channel.h"
 #include "net/tcp.h"
+#include "orb/callmux.h"
 #include "orb/communicator.h"
 #include "orb/dispatch.h"
+#include "orb/workpool.h"
 #include "orb/interceptor.h"
 #include "orb/objref.h"
 #include "orb/registry.h"
@@ -50,6 +65,16 @@ struct OrbOptions {
   bool cache_connections = true;
   bool cache_stubs = true;
   bool cache_skeletons = true;
+  // Transmission policy (the §3.1 configurability axis, extended):
+  // default per-call deadline in milliseconds; < 0 waits forever. An
+  // expired call throws TimeoutError without condemning the connection.
+  // Per-call overrides via the timeout_ms arguments of Invoke/InvokeAsync.
+  int call_timeout_ms = -1;
+  // Worker threads dispatching twoway requests, shared by all inbound
+  // connections; lets calls pipelined on one connection execute
+  // concurrently. 0 dispatches inline on each connection's reader thread
+  // (strict per-connection ordering, no overlap).
+  int server_workers = 4;
   // Name under which this orb is reachable through the in-process
   // transport ("inproc:<name>:0" bootstrap URLs). Empty = not registered.
   std::string inproc_name;
@@ -64,6 +89,44 @@ struct OrbStats {
   uint64_t requests_served = 0;
   uint64_t skeletons_created = 0;
   uint64_t stubs_created = 0;
+  // Multiplexer counters, aggregated over all client connections.
+  uint64_t inflight_highwater = 0;      // max calls pending at once
+  uint64_t calls_timed_out = 0;         // deadlines expired
+  uint64_t mux_wakeups = 0;             // demux thread frame wakeups
+  uint64_t stale_replies_dropped = 0;   // drained unmatched reply frames
+};
+
+class Orb;
+
+// Handle to one in-flight asynchronous invocation (Orb::InvokeAsync). The
+// request is already on the wire; Get() parks on the reply future until
+// the reply arrives or the call's deadline expires, then applies the same
+// status checks (and throws the same errors) as the synchronous Invoke.
+// One-shot: Get() may be called once. Destroying an un-Get() handle
+// abandons the call; the reply is drained and dropped when it arrives.
+class ReplyHandle {
+ public:
+  ReplyHandle(ReplyHandle&&) = default;
+  ReplyHandle& operator=(ReplyHandle&&) = default;
+
+  // Throws TimeoutError past the deadline (connection survives),
+  // DispatchError for remote system errors, RemoteError for remote user
+  // exceptions, NetError on transport failure. Returns the reply
+  // positioned at the first result.
+  std::unique_ptr<wire::Call> Get();
+
+  uint64_t CallId() const { return call_id_; }
+
+ private:
+  friend class Orb;
+  ReplyHandle() = default;
+
+  Orb* orb_ = nullptr;
+  ObjectRef target_;
+  std::shared_ptr<ObjectCommunicator> comm_;
+  std::future<std::unique_ptr<wire::Call>> future_;
+  uint64_t call_id_ = 0;
+  int timeout_ms_ = -1;
 };
 
 class Orb {
@@ -112,11 +175,19 @@ class Orb {
   // --- invocation plumbing (used by stubs / hand-written callers) ----------
   std::unique_ptr<wire::Call> NewRequest(const ObjectRef& target,
                                          std::string_view op, bool oneway);
-  // Sends, waits, checks status. Throws DispatchError for remote system
-  // errors, RemoteError for remote user exceptions, NetError on transport
-  // failure. Returns the reply positioned at the first result.
+  // Sends, waits, checks status. Throws TimeoutError when the deadline
+  // expires, DispatchError for remote system errors, RemoteError for
+  // remote user exceptions, NetError on transport failure. Returns the
+  // reply positioned at the first result. `timeout_ms` < 0 uses the orb's
+  // OrbOptions::call_timeout_ms.
   std::unique_ptr<wire::Call> Invoke(const ObjectRef& target,
-                                     const wire::Call& request);
+                                     const wire::Call& request,
+                                     int timeout_ms = -1);
+  // Sends without waiting and returns the handle the reply will arrive
+  // on; many InvokeAsync calls to one endpoint pipeline over the same
+  // cached connection. Invoke(t, r, ms) == InvokeAsync(t, r, ms).Get().
+  ReplyHandle InvokeAsync(const ObjectRef& target, const wire::Call& request,
+                          int timeout_ms = -1);
   void InvokeOneway(const ObjectRef& target, const wire::Call& request);
 
   // --- object parameter passing (§3.1) --------------------------------------
@@ -150,6 +221,8 @@ class Orb {
   std::string MyEndpoint() const;
 
  private:
+  friend class ReplyHandle;  // completion path shares the invoke plumbing
+
   struct ObjectEntry {
     HdObject* impl = nullptr;
     std::string repo_id;
@@ -161,6 +234,9 @@ class Orb {
   std::unique_ptr<net::ByteChannel> ConnectTo(const ObjectRef& ref);
   void HandlerLoop(std::shared_ptr<ObjectCommunicator> comm);
   std::unique_ptr<wire::Call> HandleRequest(wire::Call& request);
+  // Maps a reply's wire status to the caller-visible result/exception.
+  std::unique_ptr<wire::Call> CheckReplyStatus(
+      const ObjectRef& target, std::unique_ptr<wire::Call> reply);
   bool IsLocalEndpoint(const ObjectRef& ref) const;
 
   OrbOptions options_;
@@ -173,6 +249,7 @@ class Orb {
   bool shutting_down_ = false;
   std::vector<std::thread> handler_threads_;
   std::vector<std::shared_ptr<ObjectCommunicator>> server_comms_;
+  std::unique_ptr<WorkPool> worker_pool_;  // twoway dispatch overlap
 
   // Object table.
   mutable std::mutex table_mutex_;
@@ -194,6 +271,7 @@ class Orb {
   std::atomic<uint64_t> next_call_id_{1};
 
   // Stats.
+  MuxCounters mux_counters_;  // shared by every client-side communicator
   std::atomic<uint64_t> connections_opened_{0};
   std::atomic<uint64_t> calls_sent_{0};
   std::atomic<uint64_t> requests_served_{0};

@@ -11,9 +11,14 @@ std::unique_ptr<wire::Call> HdStub::NewCall(std::string_view op,
   return orb_->NewRequest(ref_, op, oneway);
 }
 
-std::unique_ptr<wire::Call> HdStub::Invoke(
-    std::unique_ptr<wire::Call> call) const {
-  return orb_->Invoke(ref_, *call);
+std::unique_ptr<wire::Call> HdStub::Invoke(std::unique_ptr<wire::Call> call,
+                                           int timeout_ms) const {
+  return orb_->Invoke(ref_, *call, timeout_ms);
+}
+
+ReplyHandle HdStub::InvokeAsync(std::unique_ptr<wire::Call> call,
+                                int timeout_ms) const {
+  return orb_->InvokeAsync(ref_, *call, timeout_ms);
 }
 
 void HdStub::InvokeOneway(std::unique_ptr<wire::Call> call) const {

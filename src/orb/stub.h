@@ -14,6 +14,7 @@
 namespace heidi::orb {
 
 class Orb;
+class ReplyHandle;
 
 class HdStub : public virtual HdObject {
  public:
@@ -35,8 +36,16 @@ class HdStub : public virtual HdObject {
 
   // Sends and waits; checks reply status. Throws RemoteError for a remote
   // user exception, DispatchError for a remote system error, NetError for
-  // transport failure. Returns the reply positioned at the first result.
-  std::unique_ptr<wire::Call> Invoke(std::unique_ptr<wire::Call> call) const;
+  // transport failure, TimeoutError when the call's deadline (the orb's
+  // default, or `timeout_ms` if >= 0) expires. Returns the reply
+  // positioned at the first result.
+  std::unique_ptr<wire::Call> Invoke(std::unique_ptr<wire::Call> call,
+                                     int timeout_ms = -1) const;
+
+  // Sends without waiting; the returned handle resolves to the checked
+  // reply. Successive async calls pipeline on the shared connection.
+  ReplyHandle InvokeAsync(std::unique_ptr<wire::Call> call,
+                          int timeout_ms = -1) const;
 
   // Fire-and-forget for oneway operations.
   void InvokeOneway(std::unique_ptr<wire::Call> call) const;

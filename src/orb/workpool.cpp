@@ -1,0 +1,52 @@
+#include "orb/workpool.h"
+
+#include <utility>
+
+namespace heidi::orb {
+
+bool WorkPool::Post(Task task) {
+  {
+    std::lock_guard lock(mutex_);
+    if (stopping_ || target_threads_ <= 0) return false;
+    if (workers_.empty()) {
+      workers_.reserve(static_cast<size_t>(target_threads_));
+      for (int i = 0; i < target_threads_; ++i) {
+        workers_.emplace_back([this] { WorkerLoop(); });
+      }
+    }
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return true;
+}
+
+void WorkPool::Stop() {
+  std::vector<std::thread> workers;
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+    workers.swap(workers_);
+  }
+  cv_.notify_all();
+  for (std::thread& t : workers) {
+    if (t.joinable()) t.join();
+  }
+}
+
+void WorkPool::WorkerLoop() {
+  while (true) {
+    Task task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [&] { return stopping_ || !queue_.empty(); });
+      // Drain even when stopping: queued requests already have a client
+      // parked on their reply.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+}  // namespace heidi::orb

@@ -1,0 +1,50 @@
+// WorkPool: a small fixed pool of dispatch threads. One connection's
+// reader thread used to both parse and execute every request, so a
+// multiplexed client pipelining N calls still saw them served one at a
+// time; handing twoway dispatch to the pool lets pipelined requests on a
+// single connection actually overlap (oneways stay on the reader thread
+// to preserve their submission order).
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace heidi::orb {
+
+class WorkPool {
+ public:
+  using Task = std::function<void()>;
+
+  // Threads start lazily, on the first Post().
+  explicit WorkPool(int threads) : target_threads_(threads) {}
+  ~WorkPool() { Stop(); }
+
+  WorkPool(const WorkPool&) = delete;
+  WorkPool& operator=(const WorkPool&) = delete;
+
+  // Enqueues `task`. Returns false (task not queued) after Stop() — the
+  // caller runs it inline or drops it. Tasks must not throw.
+  bool Post(Task task);
+
+  // Drains the queue, joins all workers; idempotent. Posting afterwards
+  // returns false.
+  void Stop();
+
+  int Threads() const { return target_threads_; }
+
+ private:
+  void WorkerLoop();
+
+  const int target_threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Task> queue_;
+  std::vector<std::thread> workers_;
+  bool stopping_ = false;
+};
+
+}  // namespace heidi::orb

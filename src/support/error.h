@@ -42,6 +42,16 @@ class NetError : public HdError {
   explicit NetError(const std::string& msg) : HdError(msg) {}
 };
 
+// A deadline expired before the operation completed: a poll-based read
+// ran out of time, or an invocation exceeded its per-call deadline. A
+// subclass of NetError so transport-level catch sites keep working, but
+// callers that care (the invocation path) must catch it *first*: a
+// timeout abandons one call, it does not condemn the connection.
+class TimeoutError : public NetError {
+ public:
+  explicit TimeoutError(const std::string& msg) : NetError(msg) {}
+};
+
 // A request reached a server but could not be routed: unknown object id,
 // unknown operation, or a skeleton chain that rejected the call.
 class DispatchError : public HdError {

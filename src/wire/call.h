@@ -26,6 +26,9 @@ enum class CallStatus : uint8_t {
   kOk = 0,
   kSystemError = 1,    // transport/dispatch failure (unknown object/op, ...)
   kUserException = 2,  // the remote implementation raised an IDL exception
+  kTimeout = 3,        // the call's deadline expired (or the connection is
+                       // dying and pending calls are being failed); both
+                       // protocols frame it so intermediaries can relay it
 };
 
 class Call {

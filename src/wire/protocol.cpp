@@ -15,7 +15,7 @@ namespace heidi::wire {
 //
 // Line grammar (one request/reply per newline-terminated line):
 //   REQ <id> <O|W> <target> <operation> <payload tokens...>
-//   REP <id> <OK|SYS|USR> <error> <payload tokens...>
+//   REP <id> <OK|SYS|USR|TMO> <error> <payload tokens...>
 
 namespace {
 
@@ -41,6 +41,7 @@ class TextProtocol final : public Protocol {
     } else {
       const char* status = call.Status() == CallStatus::kOk          ? "OK"
                            : call.Status() == CallStatus::kSystemError ? "SYS"
+                           : call.Status() == CallStatus::kTimeout     ? "TMO"
                                                                        : "USR";
       line = "REP " + std::to_string(call.CallId()) + " " + status + " " +
              str::EscapeToken(call.ErrorText());
@@ -89,6 +90,8 @@ class TextProtocol final : public Protocol {
         call->SetStatus(CallStatus::kSystemError);
       } else if (fields[2] == "USR") {
         call->SetStatus(CallStatus::kUserException);
+      } else if (fields[2] == "TMO") {
+        call->SetStatus(CallStatus::kTimeout);
       } else {
         throw MarshalError("malformed reply status '" + fields[2] + "'");
       }
@@ -191,7 +194,7 @@ class HiopProtocol final : public Protocol {
     } else {
       call->SetKind(CallKind::kReply);
       uint8_t status = head.GetOctet();
-      if (status > 2) throw MarshalError("malformed reply status");
+      if (status > 3) throw MarshalError("malformed reply status");
       call->SetStatus(static_cast<CallStatus>(status));
       call->SetErrorText(head.GetString());
     }

@@ -6,7 +6,9 @@
 //
 // Line grammar:
 //   REQ <id> <O|W> <target> <operation> <payload tokens...>
-//   REP <id> <OK|SYS|USR> <error> <payload tokens...>
+//   REP <id> <OK|SYS|USR|TMO> <error> <payload tokens...>
+// <id> is the correlation field: a multiplexed connection matches REP
+// lines to outstanding REQ lines by it, in any order.
 // Payload tokens:
 //   b:T b:F      boolean            i:-42   signed integers (all widths)
 //   u:42         unsigned integers  f:1.5   float/double (%.17g)

@@ -1,0 +1,315 @@
+// The multiplexed invocation pipeline: many threads (and many logical
+// calls) share one cached connection, replies are matched out of order by
+// call id, deadlines fail single calls without condemning the connection,
+// and the server worker pool overlaps pipelined twoways while preserving
+// oneway submission order.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "demo/demo.h"
+#include "net/buffered.h"
+#include "net/tcp.h"
+#include "orb/orb.h"
+#include "support/strings.h"
+
+namespace heidi::orb {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+int ElapsedMs(Clock::time_point since) {
+  return static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                              Clock::now() - since)
+                              .count());
+}
+
+// An Echo whose echo() holds its worker for `delay`; add() stays fast, so
+// tests can prove calls overlap on one connection.
+class SlowEcho : public demo::EchoImpl {
+ public:
+  explicit SlowEcho(std::chrono::milliseconds delay) : delay_(delay) {}
+  HdString echo(HdString msg) override {
+    std::this_thread::sleep_for(delay_);
+    return msg;
+  }
+
+ private:
+  std::chrono::milliseconds delay_;
+};
+
+TEST(CallMux, ManyThreadsShareOneConnectionWithoutInterleaving) {
+  demo::ForceDemoRegistration();
+  Orb server;
+  server.ListenTcp();
+  demo::EchoImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  Orb client;
+  auto echo = client.ResolveAs<HdEcho>(ref.ToString());
+  constexpr int kThreads = 8;
+  constexpr int kCalls = 50;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kCalls; ++i) {
+        std::string msg = "t" + std::to_string(t) + "i" + std::to_string(i);
+        if (echo->echo(msg) != msg) failures.fetch_add(1);
+        if (echo->add(t, i) != t + i) failures.fetch_add(1);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  // All 800 calls shared ONE cached connection — the old design would
+  // have admitted them one at a time; the mux interleaves them safely.
+  EXPECT_EQ(client.Stats().connections_opened, 1u);
+  EXPECT_EQ(server.Stats().requests_served,
+            static_cast<uint64_t>(kThreads * kCalls * 2));
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(CallMux, AsyncCallsPipelineAndOverlapOnOneConnection) {
+  demo::ForceDemoRegistration();
+  Orb server;
+  server.ListenTcp();
+  SlowEcho impl(300ms);
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  Orb client;
+  auto echo = client.ResolveAs<HdEcho>(ref.ToString());
+  auto start = Clock::now();
+  constexpr int kInFlight = 4;
+  std::vector<ReplyHandle> handles;
+  for (int i = 0; i < kInFlight; ++i) {
+    auto call = client.NewRequest(ref, "echo", false);
+    call->PutString("m" + std::to_string(i));
+    handles.push_back(client.InvokeAsync(ref, *call));
+  }
+  for (int i = 0; i < kInFlight; ++i) {
+    auto reply = handles[static_cast<size_t>(i)].Get();
+    EXPECT_EQ(reply->GetString(), "m" + std::to_string(i));
+  }
+  // Four 300ms calls pipelined over one connection into the server's
+  // worker pool: far less than the 1200ms the serialized path needed.
+  EXPECT_LT(ElapsedMs(start), 900);
+  EXPECT_EQ(client.Stats().connections_opened, 1u);
+  EXPECT_GE(client.Stats().inflight_highwater, 2u);
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(CallMux, DeadlineExpiryFailsOneCallNotTheConnection) {
+  demo::ForceDemoRegistration();
+  Orb server;
+  server.ListenTcp();
+  SlowEcho impl(2000ms);
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  Orb client;
+  auto call = client.NewRequest(ref, "echo", false);
+  call->PutString("slow");
+  auto start = Clock::now();
+  EXPECT_THROW(client.Invoke(ref, *call, /*timeout_ms=*/500), TimeoutError);
+  // Acceptance bound: the timeout error lands within 2x the deadline.
+  EXPECT_LT(ElapsedMs(start), 1000);
+  EXPECT_EQ(client.Stats().calls_timed_out, 1u);
+
+  // The connection is NOT condemned: a fast call on the same cached
+  // connection succeeds while the abandoned one is still cooking
+  // server-side (the worker pool lets it through).
+  auto add = client.NewRequest(ref, "add", false);
+  add->PutLong(20);
+  add->PutLong(22);
+  auto reply = client.Invoke(ref, *add, /*timeout_ms=*/-1);
+  EXPECT_EQ(reply->GetLong(), 42);
+  EXPECT_EQ(client.Stats().connections_opened, 1u);
+
+  // When the abandoned call's reply finally arrives, the demux thread
+  // drains and drops it instead of corrupting the stream.
+  auto wait_start = Clock::now();
+  while (client.Stats().stale_replies_dropped < 1 &&
+         ElapsedMs(wait_start) < 5000) {
+    std::this_thread::sleep_for(10ms);
+  }
+  EXPECT_EQ(client.Stats().stale_replies_dropped, 1u);
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(CallMux, PerOrbDefaultDeadlineApplies) {
+  demo::ForceDemoRegistration();
+  Orb server;
+  server.ListenTcp();
+  SlowEcho impl(2000ms);
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  OrbOptions client_options;
+  client_options.call_timeout_ms = 300;  // transmission policy, per-orb
+  Orb client(client_options);
+  auto echo = client.ResolveAs<HdEcho>(ref.ToString());
+  EXPECT_THROW(echo->echo("slow"), TimeoutError);  // stub path, orb default
+  EXPECT_EQ(echo->add(1, 2), 3);                   // fast ops unaffected
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(CallMux, AbandonedAsyncHandleDoesNotWedgeTheConnection) {
+  demo::ForceDemoRegistration();
+  Orb server;
+  server.ListenTcp();
+  demo::EchoImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  Orb client;
+  {
+    auto call = client.NewRequest(ref, "echo", false);
+    call->PutString("never collected");
+    ReplyHandle dropped = client.InvokeAsync(ref, *call);
+    // Handle destroyed without Get(): the call is abandoned.
+  }
+  auto echo = client.ResolveAs<HdEcho>(ref.ToString());
+  EXPECT_EQ(echo->echo("still fine"), "still fine");
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(CallMux, StaleReplyIsDrainedAndResynced) {
+  // Regression for the old drop-everything behavior: a peer that emits a
+  // reply with an unknown call id before the real one must not wedge or
+  // kill the connection — the stale frame is drained, the real reply is
+  // matched.
+  net::TcpAcceptor acceptor;
+  std::thread fake_server([&] {
+    auto channel = acceptor.Accept();
+    ASSERT_NE(channel, nullptr);
+    net::BufferedReader reader(*channel);
+    std::string line;
+    ASSERT_TRUE(reader.ReadLine(line));
+    std::vector<std::string> fields = str::Split(line, ' ');
+    ASSERT_GE(fields.size(), 2u);
+    // REP grammar: REP <id> <status> <error> <payload...>; the empty
+    // error token between OK and the payload is deliberate.
+    std::string stale = "REP 999999 OK  s:stale\n";
+    std::string good = "REP " + fields[1] + " OK  s:pong\n";
+    channel->WriteAll(stale.data(), stale.size());
+    channel->WriteAll(good.data(), good.size());
+    // Hold the connection open until the client is done with it.
+    char buf[16];
+    while (channel->Read(buf, sizeof buf) != 0) {
+    }
+  });
+
+  Orb client;
+  ObjectRef ref = ObjectRef::Parse(
+      "@tcp:127.0.0.1:" + std::to_string(acceptor.Port()) +
+      "#1#IDL:Heidi/Echo:1.0");
+  auto call = client.NewRequest(ref, "ping", false);
+  auto reply = client.Invoke(ref, *call);
+  EXPECT_EQ(reply->GetString(), "pong");
+  EXPECT_EQ(client.Stats().stale_replies_dropped, 1u);
+  client.Shutdown();
+  fake_server.join();
+}
+
+TEST(CallMux, RemoteTimeoutStatusSurfacesAsTimeoutError) {
+  // A TMO reply frame (e.g. relayed by a gateway that gave up) maps to
+  // TimeoutError at the caller, same as a locally-expired deadline.
+  net::TcpAcceptor acceptor;
+  std::thread fake_server([&] {
+    auto channel = acceptor.Accept();
+    ASSERT_NE(channel, nullptr);
+    net::BufferedReader reader(*channel);
+    std::string line;
+    ASSERT_TRUE(reader.ReadLine(line));
+    std::vector<std::string> fields = str::Split(line, ' ');
+    std::string reply = "REP " + fields[1] + " TMO upstream%20gave%20up\n";
+    channel->WriteAll(reply.data(), reply.size());
+    char buf[16];
+    while (channel->Read(buf, sizeof buf) != 0) {
+    }
+  });
+
+  Orb client;
+  ObjectRef ref = ObjectRef::Parse(
+      "@tcp:127.0.0.1:" + std::to_string(acceptor.Port()) +
+      "#1#IDL:Heidi/Echo:1.0");
+  auto call = client.NewRequest(ref, "ping", false);
+  EXPECT_THROW(client.Invoke(ref, *call), TimeoutError);
+  client.Shutdown();
+  fake_server.join();
+}
+
+TEST(CallMux, TransportFailureFailsAllPendingCalls) {
+  demo::ForceDemoRegistration();
+  auto server = std::make_unique<Orb>();
+  server->ListenTcp();
+  SlowEcho impl(1000ms);
+  ObjectRef ref = server->ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  Orb client;
+  std::vector<ReplyHandle> handles;
+  for (int i = 0; i < 3; ++i) {
+    auto call = client.NewRequest(ref, "echo", false);
+    call->PutString("doomed");
+    handles.push_back(client.InvokeAsync(ref, *call));
+  }
+  server->Shutdown();  // connection dies with three calls parked
+  for (auto& handle : handles) {
+    EXPECT_THROW(handle.Get(), NetError);
+  }
+  client.Shutdown();
+}
+
+TEST(WorkerPool, OnewayOrderIsPreserved) {
+  demo::ForceDemoRegistration();
+  Orb server;  // default worker pool active
+  server.ListenTcp();
+  demo::EchoImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  Orb client;
+  auto echo = client.ResolveAs<HdEcho>(ref.ToString());
+  constexpr int kPosts = 100;
+  for (int i = 0; i < kPosts; ++i) {
+    echo->post("event-" + std::to_string(i));
+  }
+  // Oneways dispatch inline on the reader thread, so by the time this
+  // twoway's reply is back every earlier oneway has fully executed.
+  echo->echo("barrier");
+  std::vector<HdString> events = impl.Events();
+  ASSERT_EQ(events.size(), static_cast<size_t>(kPosts));
+  for (int i = 0; i < kPosts; ++i) {
+    EXPECT_EQ(events[static_cast<size_t>(i)], "event-" + std::to_string(i));
+  }
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(WorkerPool, DisabledPoolFallsBackToInlineDispatch) {
+  demo::ForceDemoRegistration();
+  OrbOptions server_options;
+  server_options.server_workers = 0;  // strict per-connection ordering
+  Orb server(server_options);
+  server.ListenTcp();
+  demo::EchoImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  Orb client;
+  auto echo = client.ResolveAs<HdEcho>(ref.ToString());
+  for (int i = 0; i < 20; ++i) {
+    EXPECT_EQ(echo->add(i, i), 2 * i);
+  }
+  client.Shutdown();
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace heidi::orb

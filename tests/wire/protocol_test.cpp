@@ -62,6 +62,42 @@ TEST_P(ProtocolTest, ReplyHeaderSurvivesFraming) {
   EXPECT_EQ(read->ErrorText(), "something bad happened");
 }
 
+TEST_P(ProtocolTest, TimeoutStatusSurvivesFraming) {
+  // The mux's "call timed out / connection dying" frame must be relayable
+  // through either protocol, not just synthesized locally.
+  auto reply = protocol_->NewCall();
+  reply->SetKind(CallKind::kReply);
+  reply->SetCallId(77);
+  reply->SetStatus(CallStatus::kTimeout);
+  reply->SetErrorText("deadline exceeded");
+  protocol_->WriteCall(*pair_.a, *reply);
+
+  auto read = protocol_->ReadCall(*reader_);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->Kind(), CallKind::kReply);
+  EXPECT_EQ(read->CallId(), 77u);
+  EXPECT_EQ(read->Status(), CallStatus::kTimeout);
+  EXPECT_EQ(read->ErrorText(), "deadline exceeded");
+}
+
+TEST_P(ProtocolTest, ReplyCorrelationIdsSurviveOutOfOrder) {
+  // Call ids are the mux's correlation field: frames written in one order
+  // must come back with their ids intact so replies can be matched out of
+  // order.
+  for (uint64_t id : {31u, 7u, 1003u}) {
+    auto reply = protocol_->NewCall();
+    reply->SetKind(CallKind::kReply);
+    reply->SetCallId(id);
+    reply->SetStatus(CallStatus::kOk);
+    protocol_->WriteCall(*pair_.a, *reply);
+  }
+  for (uint64_t id : {31u, 7u, 1003u}) {
+    auto read = protocol_->ReadCall(*reader_);
+    ASSERT_NE(read, nullptr);
+    EXPECT_EQ(read->CallId(), id);
+  }
+}
+
 TEST_P(ProtocolTest, OnewayFlagSurvives) {
   auto call = protocol_->NewCall();
   call->SetKind(CallKind::kRequest);
