@@ -26,17 +26,25 @@ bool BufferedReader::Fill() {
   return r > 0;
 }
 
-bool BufferedReader::ReadLine(std::string& line) {
+bool BufferedReader::ReadLine(std::string& line, size_t max_len) {
   line.clear();
   while (true) {
     size_t nl = buffer_.find('\n', pos_);
     if (nl != std::string::npos) {
       line.append(buffer_, pos_, nl - pos_);
       pos_ = nl + 1;
+      if (max_len != 0 && line.size() > max_len) {
+        throw NetError("line exceeds the " + std::to_string(max_len) +
+                       "-byte cap");
+      }
       return true;
     }
     line.append(buffer_, pos_, buffer_.size() - pos_);
     pos_ = buffer_.size();
+    if (max_len != 0 && line.size() > max_len) {
+      throw NetError("line exceeds the " + std::to_string(max_len) +
+                     "-byte cap");
+    }
     if (!Fill()) {
       if (line.empty()) return false;
       throw NetError("connection closed mid-line");

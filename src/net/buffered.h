@@ -14,8 +14,10 @@ class BufferedReader {
 
   // Reads up to and including '\n'; the newline is stripped from `line`.
   // Returns false on clean EOF before any byte of a new line; throws
-  // NetError if EOF interrupts a partial line.
-  bool ReadLine(std::string& line);
+  // NetError if EOF interrupts a partial line, or once a line exceeds
+  // `max_len` bytes (0 = unlimited) — a corrupted or hostile stream must
+  // not buffer unboundedly while hunting for a newline.
+  bool ReadLine(std::string& line, size_t max_len = 0);
 
   // Reads exactly n bytes. Returns false on clean EOF at a message
   // boundary; throws NetError mid-message.

@@ -1,0 +1,212 @@
+#include "net/fault.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+
+#include "support/error.h"
+
+namespace heidi::net {
+
+namespace {
+
+// Per-operation-kind stream tags folded into the master seed so read,
+// write and connect schedules advance independently of each other's
+// thread interleaving.
+constexpr uint64_t kReadStream = 0x9E3779B97F4A7C15ull;
+constexpr uint64_t kWriteStream = 0xC2B2AE3D27D4EB4Full;
+constexpr uint64_t kConnectStream = 0x165667B19E3779F9ull;
+
+}  // namespace
+
+FaultInjector::FaultInjector(FaultPlan plan)
+    : plan_(plan),
+      read_rng_(plan.seed ^ kReadStream),
+      write_rng_(plan.seed ^ kWriteStream),
+      connect_rng_(plan.seed ^ kConnectStream) {}
+
+bool FaultInjector::Draw(std::mt19937_64& rng, double rate) {
+  if (rate <= 0) return false;
+  return std::uniform_real_distribution<double>(0.0, 1.0)(rng) < rate;
+}
+
+FaultStats FaultInjector::Stats() const {
+  FaultStats stats;
+  stats.reads_failed = reads_failed_.load(std::memory_order_relaxed);
+  stats.writes_failed = writes_failed_.load(std::memory_order_relaxed);
+  stats.bytes_corrupted = bytes_corrupted_.load(std::memory_order_relaxed);
+  stats.short_reads = short_reads_.load(std::memory_order_relaxed);
+  stats.delays_injected = delays_injected_.load(std::memory_order_relaxed);
+  stats.connects_refused = connects_refused_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void FaultInjector::OnConnect() {
+  bool refuse;
+  {
+    std::lock_guard lock(mutex_);
+    ++connects_;
+    refuse = (plan_.refuse_connect_at != 0 &&
+              connects_ == plan_.refuse_connect_at) ||
+             Draw(connect_rng_, plan_.connect_refuse_rate);
+  }
+  if (refuse) {
+    connects_refused_.fetch_add(1, std::memory_order_relaxed);
+    throw ConnectError("injected connect refusal");
+  }
+}
+
+FaultInjector::ReadDecision FaultInjector::OnRead() {
+  ReadDecision d;
+  std::lock_guard lock(mutex_);
+  ++reads_;
+  d.fail = (plan_.fail_read_at != 0 && reads_ == plan_.fail_read_at) ||
+           Draw(read_rng_, plan_.read_error_rate);
+  d.corrupt = (plan_.corrupt_read_at != 0 && reads_ == plan_.corrupt_read_at) ||
+              Draw(read_rng_, plan_.corrupt_rate);
+  d.shorten = Draw(read_rng_, plan_.short_read_rate);
+  if (plan_.delay_ms > 0 && Draw(read_rng_, plan_.delay_rate)) {
+    d.delay_ms = plan_.delay_ms;
+  }
+  return d;
+}
+
+FaultInjector::WriteDecision FaultInjector::OnWrite() {
+  WriteDecision d;
+  std::lock_guard lock(mutex_);
+  ++writes_;
+  d.fail = (plan_.fail_write_at != 0 && writes_ == plan_.fail_write_at) ||
+           Draw(write_rng_, plan_.write_error_rate);
+  if (plan_.delay_ms > 0 && Draw(write_rng_, plan_.delay_rate)) {
+    d.delay_ms = plan_.delay_ms;
+  }
+  return d;
+}
+
+void FaultInjector::CountReadFailed() {
+  reads_failed_.fetch_add(1, std::memory_order_relaxed);
+}
+void FaultInjector::CountWriteFailed() {
+  writes_failed_.fetch_add(1, std::memory_order_relaxed);
+}
+void FaultInjector::CountCorrupted() {
+  bytes_corrupted_.fetch_add(1, std::memory_order_relaxed);
+}
+void FaultInjector::CountShortRead() {
+  short_reads_.fetch_add(1, std::memory_order_relaxed);
+}
+void FaultInjector::CountDelay() {
+  delays_injected_.fetch_add(1, std::memory_order_relaxed);
+}
+
+namespace {
+
+class FaultyChannel : public ByteChannel {
+ public:
+  FaultyChannel(std::unique_ptr<ByteChannel> inner,
+                std::shared_ptr<FaultInjector> injector)
+      : inner_(std::move(inner)), injector_(std::move(injector)) {}
+
+  size_t Read(char* buf, size_t n) override {
+    FaultInjector::ReadDecision d = injector_->OnRead();
+    if (d.delay_ms > 0) {
+      injector_->CountDelay();
+      std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+    }
+    if (d.fail) {
+      injector_->CountReadFailed();
+      inner_->Close();  // a real disconnect kills both directions
+      throw NetError("injected read failure (mid-message disconnect) on " +
+                     inner_->PeerName());
+    }
+    size_t want = d.shorten ? std::min<size_t>(n, 1) : n;
+    if (d.shorten) injector_->CountShortRead();
+    size_t got = inner_->Read(buf, want);
+    if (d.corrupt && got > 0) {
+      injector_->CountCorrupted();
+      buf[0] = static_cast<char>(buf[0] ^ 0x20);
+    }
+    return got;
+  }
+
+  void WriteAll(const char* data, size_t n) override {
+    FaultInjector::WriteDecision d = injector_->OnWrite();
+    if (d.delay_ms > 0) {
+      injector_->CountDelay();
+      std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+    }
+    if (d.fail) {
+      injector_->CountWriteFailed();
+      // A mid-message disconnect leaves a prefix of the frame on the
+      // wire: write half, then die. This is the *indeterminate* failure
+      // the retry policy's idempotency gate exists for.
+      size_t prefix = n / 2;
+      if (prefix > 0) {
+        try {
+          inner_->WriteAll(data, prefix);
+        } catch (const NetError&) {
+          // The channel beat us to dying; the injected fault still wins.
+        }
+      }
+      inner_->Close();
+      throw NetError("injected write failure (mid-message disconnect) on " +
+                     inner_->PeerName());
+    }
+    inner_->WriteAll(data, n);
+  }
+
+  bool WaitReadable(int timeout_ms) override {
+    return inner_->WaitReadable(timeout_ms);
+  }
+
+  void Close() override { inner_->Close(); }
+
+  std::string PeerName() const override {
+    return "faulty+" + inner_->PeerName();
+  }
+
+ private:
+  std::unique_ptr<ByteChannel> inner_;
+  std::shared_ptr<FaultInjector> injector_;
+};
+
+}  // namespace
+
+std::unique_ptr<ByteChannel> WrapFaulty(
+    std::unique_ptr<ByteChannel> inner,
+    std::shared_ptr<FaultInjector> injector) {
+  if (injector == nullptr) return inner;
+  return std::make_unique<FaultyChannel>(std::move(inner),
+                                         std::move(injector));
+}
+
+std::unique_ptr<ByteChannel> FaultyTcpConnect(
+    const std::string& host, uint16_t port,
+    std::shared_ptr<FaultInjector> injector, int timeout_ms) {
+  if (injector == nullptr) return TcpConnect(host, port, timeout_ms);
+  injector->OnConnect();  // throws ConnectError when the plan refuses
+  return WrapFaulty(TcpConnect(host, port, timeout_ms), std::move(injector));
+}
+
+FaultyAcceptor::FaultyAcceptor(uint16_t port,
+                               std::shared_ptr<FaultInjector> injector)
+    : inner_(port), injector_(std::move(injector)) {}
+
+std::unique_ptr<ByteChannel> FaultyAcceptor::Accept() {
+  while (true) {
+    std::unique_ptr<ByteChannel> channel = inner_.Accept();
+    if (channel == nullptr) return nullptr;
+    if (injector_ == nullptr) return channel;
+    try {
+      injector_->OnConnect();
+    } catch (const NetError&) {
+      channel->Close();  // refused: drop this one, keep accepting
+      continue;
+    }
+    return WrapFaulty(std::move(channel), injector_);
+  }
+}
+
+void FaultyAcceptor::Close() { inner_.Close(); }
+
+}  // namespace heidi::net

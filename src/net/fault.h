@@ -1,0 +1,156 @@
+// Fault injection for the transport substrate: a FaultyChannel decorator
+// over any ByteChannel plus a faulty acceptor/connector, all driven by a
+// seeded, deterministic FaultPlan. The point is to make flaky-network
+// behavior *reproducible*: the same plan + seed produces the same fault
+// schedule for the same sequence of channel operations, so a CI matrix of
+// seeds exercises disconnects, corruption, latency and short reads/writes
+// on every push without flaking.
+//
+// Faults come in two flavors:
+//   - scripted triggers ("fail the Nth read"), exact and per-operation
+//     deterministic regardless of threading;
+//   - probabilistic rates, drawn from per-operation-kind RNG streams
+//     derived from the seed (reads and writes usually live on different
+//     threads; separate streams keep each op kind's schedule stable).
+//
+// The injector is shared: one FaultInjector can back many channels (e.g.
+// every connection an orb opens), aggregating fault statistics that
+// OrbStats reports as `faults_injected`.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <random>
+#include <string>
+
+#include "net/channel.h"
+#include "net/tcp.h"
+
+namespace heidi::net {
+
+// What to break, how often. Rates are probabilities in [0, 1]; scripted
+// `*_at` triggers are 1-based operation ordinals (0 = disabled) counted
+// per injector across all channels it backs.
+struct FaultPlan {
+  uint64_t seed = 1;  // master seed; everything derives from it
+
+  // Probabilistic faults.
+  double read_error_rate = 0;     // Read throws NetError (mid-message
+                                  // disconnect: the channel is closed)
+  double write_error_rate = 0;    // WriteAll writes a prefix, then throws
+  double corrupt_rate = 0;        // Read flips one byte of what it returns
+  double short_read_rate = 0;     // Read returns at most one byte
+  double delay_rate = 0;          // sleep delay_ms before the operation
+  double connect_refuse_rate = 0; // connector/acceptor refuses the channel
+  int delay_ms = 0;
+
+  // Scripted triggers (exact, threading-independent per op kind).
+  uint64_t fail_read_at = 0;      // Nth Read: close + throw NetError
+  uint64_t fail_write_at = 0;     // Nth WriteAll: partial write + throw
+  uint64_t corrupt_read_at = 0;   // Nth Read: flip its first byte
+  uint64_t refuse_connect_at = 0; // Nth connect/accept: throw ConnectError
+};
+
+// Aggregated injection counts (monotonic, best-effort).
+struct FaultStats {
+  uint64_t reads_failed = 0;
+  uint64_t writes_failed = 0;
+  uint64_t bytes_corrupted = 0;
+  uint64_t short_reads = 0;
+  uint64_t delays_injected = 0;
+  uint64_t connects_refused = 0;
+
+  uint64_t Total() const {
+    return reads_failed + writes_failed + bytes_corrupted + short_reads +
+           delays_injected + connects_refused;
+  }
+};
+
+// Shared fault state: the plan, the op counters, and one RNG stream per
+// operation kind. Thread-safe; intended to be shared by every channel of
+// one logical peer/orb.
+class FaultInjector {
+ public:
+  explicit FaultInjector(FaultPlan plan);
+
+  const FaultPlan& Plan() const { return plan_; }
+  FaultStats Stats() const;
+
+  // Called by the connector/acceptor before handing out a channel.
+  // Throws ConnectError when the plan refuses this connect.
+  void OnConnect();
+
+  // Decisions for FaultyChannel (exposed for tests that script their own
+  // channel behavior). Each advances the per-kind counters/streams.
+  struct ReadDecision {
+    bool fail = false;
+    bool corrupt = false;
+    bool shorten = false;
+    int delay_ms = 0;
+  };
+  struct WriteDecision {
+    bool fail = false;
+    int delay_ms = 0;
+  };
+  ReadDecision OnRead();
+  WriteDecision OnWrite();
+
+  // Stat bumps (FaultyChannel reports what it actually did).
+  void CountReadFailed();
+  void CountWriteFailed();
+  void CountCorrupted();
+  void CountShortRead();
+  void CountDelay();
+
+ private:
+  bool Draw(std::mt19937_64& rng, double rate);
+
+  const FaultPlan plan_;
+  mutable std::mutex mutex_;
+  std::mt19937_64 read_rng_;
+  std::mt19937_64 write_rng_;
+  std::mt19937_64 connect_rng_;
+  uint64_t reads_ = 0;
+  uint64_t writes_ = 0;
+  uint64_t connects_ = 0;
+
+  std::atomic<uint64_t> reads_failed_{0};
+  std::atomic<uint64_t> writes_failed_{0};
+  std::atomic<uint64_t> bytes_corrupted_{0};
+  std::atomic<uint64_t> short_reads_{0};
+  std::atomic<uint64_t> delays_injected_{0};
+  std::atomic<uint64_t> connects_refused_{0};
+};
+
+// Decorates `inner` with the injector's fault schedule. An injected read
+// or write failure also closes the inner channel — a real mid-message
+// disconnect leaves the peer's stream position unknowable, and the layers
+// above (BufferedReader, CallMux) must cope with exactly that.
+std::unique_ptr<ByteChannel> WrapFaulty(std::unique_ptr<ByteChannel> inner,
+                                        std::shared_ptr<FaultInjector> injector);
+
+// Faulty connector: TcpConnect that consults the injector (connect
+// refusals) and wraps the result.
+std::unique_ptr<ByteChannel> FaultyTcpConnect(
+    const std::string& host, uint16_t port,
+    std::shared_ptr<FaultInjector> injector, int timeout_ms = -1);
+
+// Faulty acceptor: every accepted channel is wrapped; a refused accept
+// closes the inbound connection immediately and waits for the next one.
+class FaultyAcceptor {
+ public:
+  FaultyAcceptor(uint16_t port, std::shared_ptr<FaultInjector> injector);
+
+  // Blocking. Returns nullptr once Close() has been called.
+  std::unique_ptr<ByteChannel> Accept();
+  void Close();
+  uint16_t Port() const { return inner_.Port(); }
+
+ private:
+  TcpAcceptor inner_;
+  std::shared_ptr<FaultInjector> injector_;
+};
+
+}  // namespace heidi::net

@@ -56,8 +56,10 @@ std::future<std::unique_ptr<wire::Call>> CallMux::Submit(
   {
     std::lock_guard lock(pending_mutex_);
     if (broken_.load(std::memory_order_acquire)) {
-      throw NetError("connection to " + channel_.PeerName() +
-                     " is broken: " + failure_);
+      // Nothing of this request was transmitted: a determinate failure,
+      // so the retry policy may resend any operation.
+      throw ConnectError("connection to " + channel_.PeerName() +
+                         " is broken: " + failure_);
     }
     auto [it, inserted] = pending_.emplace(id, std::move(promise));
     if (!inserted) {
@@ -109,8 +111,8 @@ std::unique_ptr<wire::Call> CallMux::Await(
 void CallMux::SendOneway(const wire::Call& call) {
   if (broken_.load(std::memory_order_acquire)) {
     std::lock_guard lock(pending_mutex_);
-    throw NetError("connection to " + channel_.PeerName() +
-                   " is broken: " + failure_);
+    throw ConnectError("connection to " + channel_.PeerName() +
+                       " is broken: " + failure_);
   }
   std::lock_guard lock(write_mutex_);
   protocol_.WriteCall(channel_, call);
@@ -164,7 +166,10 @@ void CallMux::FailAll(const std::string& reason) {
   std::map<uint64_t, std::promise<std::unique_ptr<wire::Call>>> victims;
   {
     std::lock_guard lock(pending_mutex_);
-    if (!broken_.load(std::memory_order_relaxed)) failure_ = reason;
+    if (!broken_.load(std::memory_order_relaxed)) {
+      failure_ = reason;
+      Bump(counters_, &MuxCounters::connections_broken);
+    }
     broken_.store(true, std::memory_order_release);
     victims.swap(pending_);
   }

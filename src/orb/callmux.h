@@ -37,6 +37,7 @@ struct MuxCounters {
   std::atomic<uint64_t> timeouts{0};
   std::atomic<uint64_t> wakeups{0};
   std::atomic<uint64_t> stale_replies{0};
+  std::atomic<uint64_t> connections_broken{0};  // FailAll condemnations
 };
 
 class CallMux {
@@ -54,9 +55,11 @@ class CallMux {
   void Start();
 
   // Registers the request's call id and sends the frame (short write
-  // lock). Returns the future the reply will arrive on. Throws NetError
-  // if the connection is already broken; a write failure breaks the
-  // connection (the peer's stream position is unknowable mid-frame).
+  // lock). Returns the future the reply will arrive on. Throws
+  // ConnectError if the connection is already broken (nothing was
+  // transmitted — a determinate failure); a write failure breaks the
+  // connection and throws plain NetError (the peer's stream position is
+  // unknowable mid-frame, so the failure is indeterminate).
   std::future<std::unique_ptr<wire::Call>> Submit(const wire::Call& request);
 
   // Blocks on `future` for up to `timeout_ms` (< 0 = forever). On expiry

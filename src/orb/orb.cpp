@@ -1,6 +1,9 @@
 #include "orb/orb.h"
 
 #include <algorithm>
+#include <chrono>
+#include <random>
+#include <thread>
 
 #include "net/inmemory.h"
 #include "support/logging.h"
@@ -45,12 +48,43 @@ Orb* InprocFind(const std::string& name) {
   return it == InprocOrbs().end() ? nullptr : it->second;
 }
 
+using Clock = std::chrono::steady_clock;
+
+// Remaining milliseconds of the invocation's deadline (clamped at 0 so an
+// overdue attempt fails fast with TimeoutError instead of blocking); -1
+// when there is no deadline.
+int RemainingMs(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - Clock::now())
+                  .count();
+  return left > 0 ? static_cast<int>(left) : 0;
+}
+
+// Exponential backoff for the retry that follows failed attempt number
+// `attempt` (1-based), with bounded uniform jitter on top.
+int BackoffDelayMs(const RetryPolicy& policy, int attempt) {
+  double base = policy.initial_backoff_ms;
+  for (int i = 1; i < attempt; ++i) base *= policy.backoff_multiplier;
+  base = std::min(base, static_cast<double>(policy.max_backoff_ms));
+  if (base <= 0) return 0;
+  int jitter = 0;
+  int bound = static_cast<int>(base * policy.jitter_pct / 100.0);
+  if (bound > 0) {
+    thread_local std::mt19937 rng{std::random_device{}()};
+    jitter = std::uniform_int_distribution<int>(0, bound)(rng);
+  }
+  return static_cast<int>(base) + jitter;
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
 // Lifecycle
 
 Orb::Orb(OrbOptions options) : options_(std::move(options)) {
+  retry_budget_left_.store(options_.retry.retry_budget,
+                           std::memory_order_relaxed);
   protocol_ = wire::FindProtocol(options_.protocol);
   if (protocol_ == nullptr) {
     throw HdError("unknown wire protocol '" + options_.protocol + "'");
@@ -127,6 +161,9 @@ void Orb::Shutdown() {
   std::lock_guard lock(client_mutex_);
   for (auto& [endpoint, comm] : connections_) comm->Close();
   connections_.clear();
+  // Safe even if a straggler is mid-connect: it owns its lock via
+  // shared_ptr and caches its connection into the cleared (empty) map.
+  connect_locks_.clear();
   stubs_.clear();
 }
 
@@ -378,20 +415,38 @@ void Orb::RunPostInvoke(const ObjectRef& target, const wire::Call& reply) {
 // Client: connections and invocation
 
 std::unique_ptr<net::ByteChannel> Orb::ConnectTo(const ObjectRef& ref) {
-  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  std::unique_ptr<net::ByteChannel> channel;
   if (ref.protocol == "tcp") {
-    return net::TcpConnect(ref.host, ref.port);
-  }
-  if (ref.protocol == "inproc") {
+    try {
+      channel = options_.fault_injector != nullptr
+                    ? net::FaultyTcpConnect(ref.host, ref.port,
+                                            options_.fault_injector)
+                    : net::TcpConnect(ref.host, ref.port);
+    } catch (const TimeoutError&) {
+      throw;
+    } catch (const ConnectError&) {
+      throw;
+    } catch (const NetError& e) {
+      // Nothing was transmitted: a connect failure is determinate, so
+      // the retry policy may resend any operation.
+      throw ConnectError(e.what());
+    }
+  } else if (ref.protocol == "inproc") {
     Orb* target = InprocFind(ref.host);
     if (target == nullptr) {
-      throw NetError("no in-process orb named '" + ref.host + "'");
+      throw ConnectError("no in-process orb named '" + ref.host + "'");
+    }
+    if (options_.fault_injector != nullptr) {
+      options_.fault_injector->OnConnect();  // may refuse (ConnectError)
     }
     net::ChannelPair pair = net::CreateInMemoryPair();
     target->ServeChannel(std::move(pair.b));
-    return std::move(pair.a);
+    channel = net::WrapFaulty(std::move(pair.a), options_.fault_injector);
+  } else {
+    throw NetError("unknown transport protocol '" + ref.protocol + "'");
   }
-  throw NetError("unknown transport protocol '" + ref.protocol + "'");
+  connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  return channel;
 }
 
 std::shared_ptr<ObjectCommunicator> Orb::GetCommunicator(
@@ -401,7 +456,26 @@ std::shared_ptr<ObjectCommunicator> Orb::GetCommunicator(
                                                 &mux_counters_);
   }
   std::string endpoint = ref.Endpoint();
+  // Establishment is serialized per endpoint: racing callers would each
+  // open (and then discard all but one of) their own socket, which wastes
+  // connects and makes `connections_opened`/`reconnects` nondeterministic.
+  // The per-endpoint lock lets exactly one thread connect while the rest
+  // park and pick up the cached entry on recheck; connects to *different*
+  // endpoints still proceed concurrently, and client_mutex_ is never held
+  // across a (potentially slow) connect.
+  std::shared_ptr<std::mutex> connect_lock;
   {
+    std::lock_guard lock(client_mutex_);
+    auto it = connections_.find(endpoint);
+    if (it != connections_.end() && !it->second->Broken()) return it->second;
+    auto& slot = connect_locks_[endpoint];
+    if (slot == nullptr) slot = std::make_shared<std::mutex>();
+    connect_lock = slot;
+  }
+  std::lock_guard establishing(*connect_lock);
+  {
+    // Recheck: the thread that held the connect lock before us has
+    // usually cached a fresh connection by now.
     std::lock_guard lock(client_mutex_);
     auto it = connections_.find(endpoint);
     if (it != connections_.end()) {
@@ -410,23 +484,17 @@ std::shared_ptr<ObjectCommunicator> Orb::GetCommunicator(
       if (!it->second->Broken()) return it->second;
       it->second->Close();
       connections_.erase(it);
+      pending_reconnect_.insert(endpoint);
     }
   }
-  // Connect without holding the lock; a racing thread may have inserted
-  // one meanwhile — first in wins, the loser's connection is dropped.
   auto comm = std::make_shared<ObjectCommunicator>(ConnectTo(ref), protocol_,
                                                    &mux_counters_);
   std::lock_guard lock(client_mutex_);
-  auto [it, inserted] = connections_.emplace(endpoint, comm);
-  if (!inserted) {
-    if (!it->second->Broken()) {
-      comm->Close();
-    } else {
-      it->second->Close();
-      it->second = comm;  // the racing winner broke meanwhile; replace it
-    }
+  if (pending_reconnect_.erase(endpoint) > 0) {
+    reconnects_.fetch_add(1, std::memory_order_relaxed);
   }
-  return it->second;
+  connections_[endpoint] = comm;  // sole owner of the connect lock: no race
+  return comm;
 }
 
 void Orb::DropCachedCommunicator(const std::string& endpoint) {
@@ -435,6 +503,9 @@ void Orb::DropCachedCommunicator(const std::string& endpoint) {
   if (it != connections_.end()) {
     it->second->Close();
     connections_.erase(it);
+    // The entry died of a transport error; the next connect to this
+    // endpoint is a reconnect.
+    pending_reconnect_.insert(endpoint);
   }
 }
 
@@ -450,14 +521,106 @@ std::unique_ptr<wire::Call> Orb::NewRequest(const ObjectRef& target,
   return call;
 }
 
+bool Orb::PrepareRetry(const wire::Call& request, bool indeterminate,
+                       int attempt, bool has_deadline,
+                       Clock::time_point deadline) {
+  const RetryPolicy& policy = options_.retry;
+  if (policy.max_attempts <= 1) return false;  // retrying not configured
+  auto give_up = [this] {
+    retry_give_ups_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  };
+  if (attempt >= policy.max_attempts) return give_up();
+  // The idempotency gate: after an indeterminate failure the server may
+  // already have executed the request, so only operations that tolerate
+  // re-execution are resent.
+  if (indeterminate && !request.Oneway() && !request.Idempotent() &&
+      !policy.retry_indeterminate) {
+    return give_up();
+  }
+  if (policy.retry_budget >= 0) {
+    if (retry_budget_left_.fetch_sub(1, std::memory_order_relaxed) <= 0) {
+      retry_budget_left_.fetch_add(1, std::memory_order_relaxed);
+      return give_up();
+    }
+  }
+  int delay_ms = BackoffDelayMs(policy, attempt);
+  if (has_deadline && delay_ms >= RemainingMs(true, deadline)) {
+    // Backoff respects the call's deadline: if sleeping would overrun
+    // it, the invocation gives up now instead of timing out later.
+    return give_up();
+  }
+  if (delay_ms > 0) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
+  }
+  retries_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
 std::unique_ptr<wire::Call> Orb::Invoke(const ObjectRef& target,
                                         const wire::Call& request,
                                         int timeout_ms) {
-  return InvokeAsync(target, request, timeout_ms).Get();
+  int effective = timeout_ms < 0 ? options_.call_timeout_ms : timeout_ms;
+  bool has_deadline = effective >= 0;
+  Clock::time_point deadline =
+      has_deadline ? Clock::now() + std::chrono::milliseconds(effective)
+                   : Clock::time_point();
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    std::exception_ptr failure;
+    bool indeterminate = false;
+    try {
+      ReplyHandle handle = InvokeAsyncOnce(
+          target, request, RemainingMs(has_deadline, deadline));
+      return handle.Get();
+    } catch (const TimeoutError&) {
+      throw;  // the call's time is spent; a retry could not finish either
+    } catch (const ConnectError&) {
+      failure = std::current_exception();  // determinate: never sent
+    } catch (const NetError&) {
+      failure = std::current_exception();
+      indeterminate = true;  // bytes may have reached the server
+    }
+    if (!PrepareRetry(request, indeterminate, attempt, has_deadline,
+                      deadline)) {
+      std::rethrow_exception(failure);
+    }
+  }
 }
 
 ReplyHandle Orb::InvokeAsync(const ObjectRef& target,
                              const wire::Call& request, int timeout_ms) {
+  int effective = timeout_ms < 0 ? options_.call_timeout_ms : timeout_ms;
+  bool has_deadline = effective >= 0;
+  Clock::time_point deadline =
+      has_deadline ? Clock::now() + std::chrono::milliseconds(effective)
+                   : Clock::time_point();
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    std::exception_ptr failure;
+    bool indeterminate = false;
+    try {
+      return InvokeAsyncOnce(target, request,
+                             RemainingMs(has_deadline, deadline));
+    } catch (const TimeoutError&) {
+      throw;
+    } catch (const ConnectError&) {
+      failure = std::current_exception();
+    } catch (const NetError&) {
+      failure = std::current_exception();
+      indeterminate = true;
+    }
+    if (!PrepareRetry(request, indeterminate, attempt, has_deadline,
+                      deadline)) {
+      std::rethrow_exception(failure);
+    }
+  }
+}
+
+ReplyHandle Orb::InvokeAsyncOnce(const ObjectRef& target,
+                                 const wire::Call& request, int timeout_ms) {
   RunPreInvoke(target, request);
   std::shared_ptr<ObjectCommunicator> comm = GetCommunicator(target);
   calls_sent_.fetch_add(1, std::memory_order_relaxed);
@@ -525,16 +688,39 @@ std::unique_ptr<wire::Call> Orb::CheckReplyStatus(
 }
 
 void Orb::InvokeOneway(const ObjectRef& target, const wire::Call& request) {
-  RunPreInvoke(target, request);
-  std::shared_ptr<ObjectCommunicator> comm = GetCommunicator(target);
-  calls_sent_.fetch_add(1, std::memory_order_relaxed);
-  try {
-    comm->Send(request);
-  } catch (const NetError&) {
-    DropCachedCommunicator(target.Endpoint());
-    throw;
+  int attempt = 0;
+  for (;;) {
+    ++attempt;
+    std::exception_ptr failure;
+    bool indeterminate = false;
+    try {
+      RunPreInvoke(target, request);
+      std::shared_ptr<ObjectCommunicator> comm = GetCommunicator(target);
+      calls_sent_.fetch_add(1, std::memory_order_relaxed);
+      try {
+        comm->Send(request);
+      } catch (const NetError&) {
+        DropCachedCommunicator(target.Endpoint());
+        throw;
+      }
+      if (!options_.cache_connections) comm->Close();
+      return;
+    } catch (const TimeoutError&) {
+      throw;
+    } catch (const ConnectError&) {
+      failure = std::current_exception();
+    } catch (const NetError&) {
+      failure = std::current_exception();
+      indeterminate = true;
+    }
+    // A oneway request passes the idempotency gate either way:
+    // fire-and-forget semantics accept a possible duplicate over a
+    // silent loss.
+    if (!PrepareRetry(request, indeterminate, attempt,
+                      /*has_deadline=*/false, Clock::time_point())) {
+      std::rethrow_exception(failure);
+    }
   }
-  if (!options_.cache_connections) comm->Close();
 }
 
 // ---------------------------------------------------------------------------
@@ -663,6 +849,14 @@ OrbStats Orb::Stats() const {
   stats.mux_wakeups = mux_counters_.wakeups.load(std::memory_order_relaxed);
   stats.stale_replies_dropped =
       mux_counters_.stale_replies.load(std::memory_order_relaxed);
+  stats.connections_broken =
+      mux_counters_.connections_broken.load(std::memory_order_relaxed);
+  stats.reconnects = reconnects_.load(std::memory_order_relaxed);
+  stats.retries = retries_.load(std::memory_order_relaxed);
+  stats.retry_give_ups = retry_give_ups_.load(std::memory_order_relaxed);
+  if (options_.fault_injector != nullptr) {
+    stats.faults_injected = options_.fault_injector->Stats().Total();
+  }
   return stats;
 }
 

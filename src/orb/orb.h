@@ -33,20 +33,24 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <map>
 #include <memory>
 #include <mutex>
+#include <set>
 #include <string>
 #include <string_view>
 #include <thread>
 #include <vector>
 
 #include "net/channel.h"
+#include "net/fault.h"
 #include "net/tcp.h"
 #include "orb/callmux.h"
 #include "orb/communicator.h"
 #include "orb/dispatch.h"
+#include "orb/retry.h"
 #include "orb/workpool.h"
 #include "orb/interceptor.h"
 #include "orb/objref.h"
@@ -80,6 +84,15 @@ struct OrbOptions {
   std::string inproc_name;
   // Host written into exported references once ListenTcp is active.
   std::string advertise_host = "127.0.0.1";
+  // Failure handling as policy (see retry.h): how many attempts an
+  // invocation gets, backoff between them, and whether indeterminate
+  // failures may be retried. The default (max_attempts = 1) preserves
+  // fail-fast semantics.
+  RetryPolicy retry;
+  // Fault injection (tests/CI): every outbound connection is wrapped in
+  // a FaultyChannel driven by this injector, and connects may be
+  // refused. nullptr (the default) disables injection entirely.
+  std::shared_ptr<net::FaultInjector> fault_injector;
 };
 
 // Counters exposed for benchmarks and tests (monotonic, best-effort).
@@ -94,6 +107,12 @@ struct OrbStats {
   uint64_t calls_timed_out = 0;         // deadlines expired
   uint64_t mux_wakeups = 0;             // demux thread frame wakeups
   uint64_t stale_replies_dropped = 0;   // drained unmatched reply frames
+  // Failure/retry counters (the retry policy at work).
+  uint64_t connections_broken = 0;      // transport errors condemning a mux
+  uint64_t reconnects = 0;              // condemned cache entries replaced
+  uint64_t retries = 0;                 // invocation attempts re-sent
+  uint64_t retry_give_ups = 0;          // retryable failures abandoned
+  uint64_t faults_injected = 0;         // from OrbOptions::fault_injector
 };
 
 class Orb;
@@ -180,14 +199,28 @@ class Orb {
   // remote user exceptions, NetError on transport failure. Returns the
   // reply positioned at the first result. `timeout_ms` < 0 uses the orb's
   // OrbOptions::call_timeout_ms.
+  //
+  // Transport failures are retried per OrbOptions::retry: the condemned
+  // cache entry is dropped, the orb reconnects, backs off (bounded by
+  // the call's deadline), and resends — any operation after a
+  // determinate failure (ConnectError: the request never left), but only
+  // oneway/idempotent ones (wire::Call::SetIdempotent) after an
+  // indeterminate one, unless RetryPolicy::retry_indeterminate opts in.
+  // An expired deadline (TimeoutError) is never retried.
   std::unique_ptr<wire::Call> Invoke(const ObjectRef& target,
                                      const wire::Call& request,
                                      int timeout_ms = -1);
   // Sends without waiting and returns the handle the reply will arrive
   // on; many InvokeAsync calls to one endpoint pipeline over the same
   // cached connection. Invoke(t, r, ms) == InvokeAsync(t, r, ms).Get().
+  // The retry policy covers the connect/submit stage only; once the
+  // request is on the wire the returned handle resolves exactly once
+  // (reply-stage retry is the synchronous Invoke's job — the async
+  // caller keeps the request and decides).
   ReplyHandle InvokeAsync(const ObjectRef& target, const wire::Call& request,
                           int timeout_ms = -1);
+  // Fire-and-forget; send failures are retried per OrbOptions::retry
+  // (oneways always pass the idempotency gate).
   void InvokeOneway(const ObjectRef& target, const wire::Call& request);
 
   // --- object parameter passing (§3.1) --------------------------------------
@@ -232,6 +265,17 @@ class Orb {
   std::shared_ptr<ObjectCommunicator> GetCommunicator(const ObjectRef& ref);
   void DropCachedCommunicator(const std::string& endpoint);
   std::unique_ptr<net::ByteChannel> ConnectTo(const ObjectRef& ref);
+  // One connect+submit attempt, no retrying (`timeout_ms` already
+  // resolved against the orb default by the caller).
+  ReplyHandle InvokeAsyncOnce(const ObjectRef& target,
+                              const wire::Call& request, int timeout_ms);
+  // Decides whether a failed attempt is retried: applies the idempotency
+  // gate, the attempt/budget limits, and the deadline-bounded backoff
+  // sleep. Returns true after sleeping (caller reattempts) or false
+  // (caller rethrows); maintains the retry counters.
+  bool PrepareRetry(const wire::Call& request, bool indeterminate,
+                    int attempt, bool has_deadline,
+                    std::chrono::steady_clock::time_point deadline);
   void HandlerLoop(std::shared_ptr<ObjectCommunicator> comm);
   std::unique_ptr<wire::Call> HandleRequest(wire::Call& request);
   // Maps a reply's wire status to the caller-visible result/exception.
@@ -267,8 +311,16 @@ class Orb {
   // Client state.
   std::mutex client_mutex_;
   std::map<std::string, std::shared_ptr<ObjectCommunicator>> connections_;
+  // Per-endpoint connection-establishment locks (see GetCommunicator):
+  // one thread connects, concurrent callers for the same endpoint wait
+  // and reuse its cached result. Guarded by client_mutex_.
+  std::map<std::string, std::shared_ptr<std::mutex>> connect_locks_;
   std::map<std::string, std::shared_ptr<HdStub>> stubs_;
+  // Endpoints whose cached connection was condemned by a transport error;
+  // the next successful connect to one counts as a reconnect.
+  std::set<std::string> pending_reconnect_;
   std::atomic<uint64_t> next_call_id_{1};
+  std::atomic<int64_t> retry_budget_left_{0};  // from RetryPolicy, in ctor
 
   // Stats.
   MuxCounters mux_counters_;  // shared by every client-side communicator
@@ -277,6 +329,9 @@ class Orb {
   std::atomic<uint64_t> requests_served_{0};
   std::atomic<uint64_t> skeletons_created_{0};
   std::atomic<uint64_t> stubs_created_{0};
+  std::atomic<uint64_t> reconnects_{0};
+  std::atomic<uint64_t> retries_{0};
+  std::atomic<uint64_t> retry_give_ups_{0};
 };
 
 }  // namespace heidi::orb

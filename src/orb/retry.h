@@ -1,0 +1,49 @@
+// RetryPolicy: failure handling as a pluggable transmission policy (the
+// §3.1 configurability axis once more — what to do when the wire breaks
+// is an application decision, not something baked into stubs).
+//
+// The failure taxonomy the policy works from:
+//   - determinate   (ConnectError): the request provably never left this
+//     process. Always safe to retry, for any operation.
+//   - indeterminate (NetError mid-call): bytes may have reached the
+//     server and the operation may have executed. Only oneway requests,
+//     requests marked idempotent (wire::Call::SetIdempotent), or a
+//     policy with retry_indeterminate = true are retried.
+//   - deadline      (TimeoutError): never retried — the call's time is
+//     spent, and PR 1's deadline semantics (fail the call, keep the
+//     connection) already apply.
+//
+// Backoff between attempts is exponential with bounded jitter, and it
+// respects the per-call deadline: if the next backoff sleep would
+// overrun the deadline, the orb gives up and rethrows the transport
+// failure (counted in OrbStats::retry_give_ups).
+#pragma once
+
+#include <cstdint>
+
+namespace heidi::orb {
+
+struct RetryPolicy {
+  // Total attempts per invocation (first try included); 1 disables
+  // retrying entirely.
+  int max_attempts = 1;
+
+  // Exponential backoff: attempt k (k >= 1 retries) sleeps
+  // initial_backoff_ms * backoff_multiplier^(k-1), capped at
+  // max_backoff_ms, plus uniform jitter in [0, jitter_pct% of the delay].
+  int initial_backoff_ms = 2;
+  double backoff_multiplier = 2.0;
+  int max_backoff_ms = 200;
+  int jitter_pct = 25;
+
+  // Total retries this orb may spend across all calls (a safety valve
+  // against retry storms); < 0 = unlimited.
+  int64_t retry_budget = -1;
+
+  // Opt out of the idempotency gate: retry twoways even after an
+  // indeterminate failure (at-least-once semantics; the application
+  // accepts possible duplicate execution).
+  bool retry_indeterminate = false;
+};
+
+}  // namespace heidi::orb

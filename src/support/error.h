@@ -42,6 +42,18 @@ class NetError : public HdError {
   explicit NetError(const std::string& msg) : HdError(msg) {}
 };
 
+// Transport failure *before any byte of a request left the process*:
+// connecting failed, the connector refused, or a send was attempted on a
+// connection already condemned by an earlier error. The distinction
+// matters to the retry policy: a ConnectError is provably determinate
+// (the remote side cannot have executed anything), so any operation may
+// be retried; a plain NetError mid-call is indeterminate and only
+// oneway/idempotent operations pass the retry gate.
+class ConnectError : public NetError {
+ public:
+  explicit ConnectError(const std::string& msg) : NetError(msg) {}
+};
+
 // A deadline expired before the operation completed: a poll-based read
 // ran out of time, or an invocation exceeded its per-call deadline. A
 // subclass of NetError so transport-level catch sites keep working, but

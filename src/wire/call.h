@@ -55,6 +55,13 @@ class Call {
   CallStatus Status() const { return status_; }
   void SetStatus(CallStatus status) { status_ = status; }
 
+  // Client-side transmission hint, never marshaled: marks the operation
+  // safe to re-execute, so the retry policy may resend the request after
+  // an *indeterminate* transport failure (one where the server may have
+  // already executed it). Oneways are implicitly retryable.
+  bool Idempotent() const { return idempotent_; }
+  void SetIdempotent(bool idempotent) { idempotent_ = idempotent; }
+
   // Error/exception text for non-kOk replies.
   const std::string& ErrorText() const { return error_text_; }
   void SetErrorText(std::string text) { error_text_ = std::move(text); }
@@ -115,6 +122,7 @@ class Call {
   std::string target_;
   std::string operation_;
   bool oneway_ = false;
+  bool idempotent_ = false;
   CallStatus status_ = CallStatus::kOk;
   std::string error_text_;
 };

@@ -56,7 +56,9 @@ class TextProtocol final : public Protocol {
 
   std::unique_ptr<Call> ReadCall(net::BufferedReader& reader) const override {
     std::string line;
-    if (!reader.ReadLine(line)) return nullptr;
+    // 64 MiB line cap, mirroring HIOP's frame cap: a corrupted stream
+    // that lost its newline must not buffer unboundedly.
+    if (!reader.ReadLine(line, 64u << 20)) return nullptr;
     // Telnet clients send \r\n (§4.2's human-typed requests).
     if (!line.empty() && line.back() == '\r') line.pop_back();
     std::vector<std::string> fields = str::Split(line, ' ');
@@ -165,6 +167,11 @@ class HiopProtocol final : public Protocol {
     uint8_t msgtype = static_cast<uint8_t>(header[5]);
     if (msgtype != 1 && msgtype != 2) {
       throw MarshalError("unknown HIOP message type");
+    }
+    // The reserved bytes are always written as zero; anything else means
+    // the stream is corrupt — fail the frame before trusting its lengths.
+    if (header[6] != 0 || header[7] != 0) {
+      throw MarshalError("corrupt HIOP header (reserved bytes set)");
     }
     uint32_t head_len = 0;
     uint32_t payload_len = 0;

@@ -1,0 +1,214 @@
+// The fault-injection layer itself: scripted triggers fire exactly where
+// the plan says, probabilistic schedules are reproducible from the seed,
+// and injected failures look like real transport failures to the layers
+// above (closed channel, partial frames, corrupted bytes).
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/buffered.h"
+#include "net/fault.h"
+#include "net/inmemory.h"
+#include "net/tcp.h"
+#include "support/error.h"
+
+namespace heidi::net {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::shared_ptr<FaultInjector> MakeInjector(const FaultPlan& plan) {
+  return std::make_shared<FaultInjector>(plan);
+}
+
+TEST(FaultInjector, ScriptedReadFailureDisconnects) {
+  FaultPlan plan;
+  plan.fail_read_at = 2;
+  auto injector = MakeInjector(plan);
+  ChannelPair pair = CreateInMemoryPair();
+  auto faulty = WrapFaulty(std::move(pair.a), injector);
+
+  std::string hello = "hello";
+  pair.b->WriteAll(hello.data(), hello.size());
+  char buf[16];
+  EXPECT_EQ(faulty->Read(buf, sizeof buf), hello.size());  // read #1 fine
+  EXPECT_THROW(faulty->Read(buf, sizeof buf), NetError);   // read #2 dies
+  EXPECT_EQ(injector->Stats().reads_failed, 1u);
+  // The injected disconnect closed the channel: the peer sees EOF, like
+  // a real mid-message connection loss.
+  EXPECT_EQ(pair.b->Read(buf, sizeof buf), 0u);
+}
+
+TEST(FaultInjector, ScriptedWriteFailureLeavesPartialFrame) {
+  FaultPlan plan;
+  plan.fail_write_at = 1;
+  auto injector = MakeInjector(plan);
+  ChannelPair pair = CreateInMemoryPair();
+  auto faulty = WrapFaulty(std::move(pair.a), injector);
+
+  std::string frame = "0123456789";
+  EXPECT_THROW(faulty->WriteAll(frame.data(), frame.size()), NetError);
+  EXPECT_EQ(injector->Stats().writes_failed, 1u);
+  // Half the frame reached the peer before the "disconnect" — the
+  // indeterminate-failure shape the retry gate exists for.
+  char buf[16];
+  size_t got = pair.b->Read(buf, sizeof buf);
+  EXPECT_GT(got, 0u);
+  EXPECT_LT(got, frame.size());
+  EXPECT_EQ(std::string(buf, got), frame.substr(0, got));
+}
+
+TEST(FaultInjector, ScriptedCorruptionFlipsOneByte) {
+  FaultPlan plan;
+  plan.corrupt_read_at = 1;
+  auto injector = MakeInjector(plan);
+  ChannelPair pair = CreateInMemoryPair();
+  auto faulty = WrapFaulty(std::move(pair.a), injector);
+
+  std::string data = "AAAA";
+  pair.b->WriteAll(data.data(), data.size());
+  char buf[16];
+  size_t got = faulty->Read(buf, sizeof buf);
+  ASSERT_EQ(got, data.size());
+  EXPECT_NE(buf[0], 'A');
+  EXPECT_EQ(buf[1], 'A');
+  EXPECT_EQ(injector->Stats().bytes_corrupted, 1u);
+}
+
+TEST(FaultInjector, ScriptedConnectRefusalIsDeterminate) {
+  FaultPlan plan;
+  plan.refuse_connect_at = 1;
+  auto injector = MakeInjector(plan);
+  EXPECT_THROW(injector->OnConnect(), ConnectError);
+  EXPECT_NO_THROW(injector->OnConnect());  // only the scripted one refuses
+  EXPECT_EQ(injector->Stats().connects_refused, 1u);
+}
+
+TEST(FaultInjector, InjectedLatencyDelaysReads) {
+  FaultPlan plan;
+  plan.delay_rate = 1.0;
+  plan.delay_ms = 30;
+  auto injector = MakeInjector(plan);
+  ChannelPair pair = CreateInMemoryPair();
+  auto faulty = WrapFaulty(std::move(pair.a), injector);
+
+  std::string data = "x";
+  pair.b->WriteAll(data.data(), data.size());
+  auto start = Clock::now();
+  char buf[4];
+  EXPECT_EQ(faulty->Read(buf, sizeof buf), 1u);
+  auto elapsed = std::chrono::duration_cast<std::chrono::milliseconds>(
+                     Clock::now() - start)
+                     .count();
+  EXPECT_GE(elapsed, 25);
+  EXPECT_GE(injector->Stats().delays_injected, 1u);
+}
+
+TEST(FaultInjector, ShortReadsStillDeliverEverythingThroughBufferedReader) {
+  FaultPlan plan;
+  plan.short_read_rate = 1.0;  // every read returns at most one byte
+  auto injector = MakeInjector(plan);
+  ChannelPair pair = CreateInMemoryPair();
+  auto faulty = WrapFaulty(std::move(pair.a), injector);
+
+  std::string line = "short reads exercise the reassembly path\n";
+  pair.b->WriteAll(line.data(), line.size());
+  BufferedReader reader(*faulty);
+  std::string got;
+  ASSERT_TRUE(reader.ReadLine(got));
+  EXPECT_EQ(got + "\n", line);
+  EXPECT_GE(injector->Stats().short_reads, line.size());
+}
+
+TEST(FaultInjector, SameSeedSameSchedule) {
+  // Two injectors with the same plan+seed make identical decisions for
+  // the same operation sequence — the reproducibility CI relies on.
+  FaultPlan plan;
+  plan.seed = 42;
+  plan.read_error_rate = 0.3;
+  plan.corrupt_rate = 0.2;
+  plan.connect_refuse_rate = 0.25;
+  auto a = MakeInjector(plan);
+  auto b = MakeInjector(plan);
+  for (int i = 0; i < 200; ++i) {
+    FaultInjector::ReadDecision da = a->OnRead();
+    FaultInjector::ReadDecision db = b->OnRead();
+    EXPECT_EQ(da.fail, db.fail) << "read decision diverged at op " << i;
+    EXPECT_EQ(da.corrupt, db.corrupt) << "corrupt diverged at op " << i;
+  }
+  int refusals_a = 0;
+  int refusals_b = 0;
+  for (int i = 0; i < 100; ++i) {
+    try {
+      a->OnConnect();
+    } catch (const ConnectError&) {
+      refusals_a++;
+    }
+    try {
+      b->OnConnect();
+    } catch (const ConnectError&) {
+      refusals_b++;
+    }
+  }
+  EXPECT_EQ(refusals_a, refusals_b);
+  EXPECT_GT(refusals_a, 0);
+}
+
+TEST(FaultInjector, DifferentSeedsDiverge) {
+  FaultPlan plan_a;
+  plan_a.seed = 1;
+  plan_a.read_error_rate = 0.5;
+  FaultPlan plan_b = plan_a;
+  plan_b.seed = 2;
+  auto a = MakeInjector(plan_a);
+  auto b = MakeInjector(plan_b);
+  int diverged = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (a->OnRead().fail != b->OnRead().fail) ++diverged;
+  }
+  EXPECT_GT(diverged, 0);
+}
+
+TEST(FaultyAcceptor, WrapsAcceptedChannelsAndRefusesScripted) {
+  FaultPlan plan;
+  plan.refuse_connect_at = 1;   // first inbound connection is dropped
+  plan.corrupt_read_at = 1;     // first server-side read is corrupted
+  auto injector = MakeInjector(plan);
+  FaultyAcceptor acceptor(0, injector);
+
+  std::unique_ptr<ByteChannel> accepted;
+  std::thread server([&] { accepted = acceptor.Accept(); });
+
+  // Connection #1 is refused: the client observes EOF.
+  auto refused = TcpConnect("127.0.0.1", acceptor.Port());
+  char buf[8];
+  EXPECT_EQ(refused->Read(buf, sizeof buf), 0u);
+
+  // Connection #2 is accepted, wrapped in the faulty decorator.
+  auto ok = TcpConnect("127.0.0.1", acceptor.Port());
+  server.join();
+  ASSERT_NE(accepted, nullptr);
+  std::string data = "ZZZZ";
+  ok->WriteAll(data.data(), data.size());
+  size_t got = accepted->Read(buf, sizeof buf);
+  ASSERT_GT(got, 0u);
+  EXPECT_NE(buf[0], 'Z');  // server-side corruption injected
+  EXPECT_EQ(injector->Stats().connects_refused, 1u);
+  EXPECT_EQ(injector->Stats().bytes_corrupted, 1u);
+  acceptor.Close();
+}
+
+TEST(BufferedReader, LineCapKillsRunawayLines) {
+  ChannelPair pair = CreateInMemoryPair();
+  std::string noise(4096, 'x');  // no newline anywhere
+  pair.b->WriteAll(noise.data(), noise.size());
+  BufferedReader reader(*pair.a);
+  std::string line;
+  EXPECT_THROW(reader.ReadLine(line, 1024), NetError);
+}
+
+}  // namespace
+}  // namespace heidi::net

@@ -1,0 +1,339 @@
+// Transport-failure semantics of the invocation path: which failures are
+// retried (determinate always, indeterminate only behind the idempotency
+// gate), how the connection cache is invalidated and transparently
+// re-resolved, and how backoff defers to the per-call deadline. The
+// OrbStats retry counters prove each behavior rather than inferring it
+// from timing.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "demo/demo.h"
+#include "net/buffered.h"
+#include "net/fault.h"
+#include "net/tcp.h"
+#include "orb/orb.h"
+#include "support/strings.h"
+
+namespace heidi::orb {
+namespace {
+
+using namespace std::chrono_literals;
+using Clock = std::chrono::steady_clock;
+
+int ElapsedMs(Clock::time_point since) {
+  return static_cast<int>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                              Clock::now() - since)
+                              .count());
+}
+
+class SlowEcho : public demo::EchoImpl {
+ public:
+  explicit SlowEcho(std::chrono::milliseconds delay) : delay_(delay) {}
+  HdString echo(HdString msg) override {
+    std::this_thread::sleep_for(delay_);
+    return msg;
+  }
+
+ private:
+  std::chrono::milliseconds delay_;
+};
+
+// Grabs an ephemeral port nothing listens on: connects to it are refused
+// by the kernel immediately (determinate failure, zero bytes sent).
+uint16_t DeadPort() {
+  net::TcpAcceptor acceptor;
+  uint16_t port = acceptor.Port();
+  acceptor.Close();
+  return port;
+}
+
+// The acceptance-criteria demo: a twoway invocation survives an injected
+// mid-reply disconnect because the orb invalidates the cached connection,
+// reconnects, and resends — and the stats counters prove every step.
+TEST(Retry, InvocationSurvivesInjectedDisconnect) {
+  demo::ForceDemoRegistration();
+  Orb server;
+  server.ListenTcp();
+  demo::EchoImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  net::FaultPlan plan;
+  plan.fail_read_at = 1;  // the first reply read dies mid-message
+  OrbOptions options;
+  options.fault_injector = std::make_shared<net::FaultInjector>(plan);
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 1;
+  Orb client(options);
+
+  auto call = client.NewRequest(ref, "add", false);
+  call->PutLong(20);
+  call->PutLong(22);
+  call->SetIdempotent(true);  // indeterminate failures may resend
+  auto reply = client.Invoke(ref, *call);
+  EXPECT_EQ(reply->GetLong(), 42);
+
+  OrbStats stats = client.Stats();
+  EXPECT_EQ(stats.connections_broken, 1u);  // injected disconnect condemned it
+  EXPECT_EQ(stats.reconnects, 1u);          // cache entry was re-resolved
+  EXPECT_EQ(stats.retries, 1u);             // the request was resent once
+  EXPECT_EQ(stats.retry_give_ups, 0u);
+  EXPECT_EQ(stats.connections_opened, 2u);
+  EXPECT_GE(stats.faults_injected, 1u);
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(Retry, MidReplyDisconnectFailsOnlyAffectedPendingCalls) {
+  demo::ForceDemoRegistration();
+  auto doomed_server = std::make_unique<Orb>();
+  doomed_server->ListenTcp();
+  SlowEcho doomed_impl(1500ms);  // still cooking when the plug is pulled
+  ObjectRef doomed_ref =
+      doomed_server->ExportObject(&doomed_impl, "IDL:Heidi/Echo:1.0");
+
+  Orb healthy_server;
+  healthy_server.ListenTcp();
+  SlowEcho healthy_impl(300ms);
+  ObjectRef healthy_ref =
+      healthy_server.ExportObject(&healthy_impl, "IDL:Heidi/Echo:1.0");
+
+  Orb client;  // default policy: fail fast, no retries
+  auto doomed_call = client.NewRequest(doomed_ref, "echo", false);
+  doomed_call->PutString("never");
+  ReplyHandle doomed = client.InvokeAsync(doomed_ref, *doomed_call);
+  auto healthy_call = client.NewRequest(healthy_ref, "echo", false);
+  healthy_call->PutString("fine");
+  ReplyHandle healthy = client.InvokeAsync(healthy_ref, *healthy_call);
+
+  doomed_server->Shutdown();  // disconnect with both calls in flight
+  EXPECT_THROW(doomed.Get(), NetError);
+  // The other connection's pending call is untouched by the disconnect.
+  EXPECT_EQ(healthy.Get()->GetString(), "fine");
+  EXPECT_EQ(client.Stats().connections_broken, 1u);
+  client.Shutdown();
+  healthy_server.Shutdown();
+}
+
+TEST(Retry, RetriedOnewayIsNotDuplicatedWhenRequestNeverLeft) {
+  // A oneway submitted to a broken connection fails determinately (the
+  // bytes provably never left this process), so the retry resends it —
+  // and the server must observe the request EXACTLY once. The injected
+  // connect refusal forces an actual retry (a plain reconnect-on-broken
+  // would not bump `retries`).
+  net::TcpAcceptor acceptor;
+  std::atomic<int> posts_seen{0};
+  std::thread fake_server([&] {
+    {  // connection #1: answer one call, then drop the connection
+      auto channel = acceptor.Accept();
+      ASSERT_NE(channel, nullptr);
+      net::BufferedReader reader(*channel);
+      std::string line;
+      ASSERT_TRUE(reader.ReadLine(line));
+      std::vector<std::string> fields = str::Split(line, ' ');
+      ASSERT_GE(fields.size(), 5u);
+      std::string reply = "REP " + fields[1] + " OK  s:pong\n";
+      channel->WriteAll(reply.data(), reply.size());
+    }  // channel destroyed: client's demux sees EOF and condemns the mux
+    {  // connection #2: count oneways until the barrier twoway arrives
+      auto channel = acceptor.Accept();
+      ASSERT_NE(channel, nullptr);
+      net::BufferedReader reader(*channel);
+      std::string line;
+      while (reader.ReadLine(line)) {
+        std::vector<std::string> fields = str::Split(line, ' ');
+        ASSERT_GE(fields.size(), 5u);
+        if (fields[4] == "post") {
+          EXPECT_EQ(fields[2], "O");
+          posts_seen.fetch_add(1);
+          continue;
+        }
+        ASSERT_EQ(fields[4], "echo");
+        std::string reply = "REP " + fields[1] + " OK  s:done\n";
+        channel->WriteAll(reply.data(), reply.size());
+        break;
+      }
+      char buf[16];
+      while (channel->Read(buf, sizeof buf) != 0) {
+      }
+    }
+  });
+
+  net::FaultPlan plan;
+  plan.refuse_connect_at = 2;  // the reconnect's first attempt is refused
+  OrbOptions options;
+  options.fault_injector = std::make_shared<net::FaultInjector>(plan);
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 1;
+  Orb client(options);
+  ObjectRef ref = ObjectRef::Parse("@tcp:127.0.0.1:" +
+                                   std::to_string(acceptor.Port()) +
+                                   "#1#IDL:Heidi/Echo:1.0");
+
+  auto ping = client.NewRequest(ref, "ping", false);
+  EXPECT_EQ(client.Invoke(ref, *ping)->GetString(), "pong");
+
+  // Wait until the client has noticed the dropped connection, so the
+  // oneway deterministically hits a broken mux.
+  auto wait_start = Clock::now();
+  while (client.Stats().connections_broken < 1 && ElapsedMs(wait_start) < 5000) {
+    std::this_thread::sleep_for(2ms);
+  }
+  ASSERT_EQ(client.Stats().connections_broken, 1u);
+
+  auto post = client.NewRequest(ref, "post", true);
+  post->PutString("only-once");
+  client.InvokeOneway(ref, *post);
+
+  auto barrier = client.NewRequest(ref, "echo", false);
+  barrier->PutString("barrier");
+  EXPECT_EQ(client.Invoke(ref, *barrier)->GetString(), "done");
+
+  OrbStats stats = client.Stats();
+  EXPECT_EQ(stats.retries, 1u);             // the refused connect was retried
+  EXPECT_EQ(stats.reconnects, 1u);          // broken entry replaced once
+  EXPECT_EQ(stats.connections_opened, 2u);  // refused attempt never counted
+  EXPECT_EQ(stats.retry_give_ups, 0u);
+  client.Shutdown();  // closes connection #2: the fake server sees EOF
+  fake_server.join();
+  EXPECT_EQ(posts_seen.load(), 1);  // retried, yet delivered exactly once
+}
+
+TEST(Retry, BackoffRespectsPerCallDeadline) {
+  // The configured backoff (60s) dwarfs the call's 300ms deadline: rather
+  // than sleeping past the deadline and timing out anyway, the policy
+  // gives up immediately.
+  OrbOptions options;
+  options.retry.max_attempts = 5;
+  options.retry.initial_backoff_ms = 60000;
+  options.retry.max_backoff_ms = 60000;  // don't let the cap rescue it
+  Orb client(options);
+  ObjectRef ref = ObjectRef::Parse("@tcp:127.0.0.1:" +
+                                   std::to_string(DeadPort()) +
+                                   "#1#IDL:Heidi/Echo:1.0");
+  auto call = client.NewRequest(ref, "ping", false);
+  auto start = Clock::now();
+  EXPECT_THROW(client.Invoke(ref, *call, /*timeout_ms=*/300), NetError);
+  EXPECT_LT(ElapsedMs(start), 2000);  // did NOT serve the 60s backoff
+  OrbStats stats = client.Stats();
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.retry_give_ups, 1u);
+  client.Shutdown();
+}
+
+TEST(Retry, RetryBudgetBoundsTotalRetries) {
+  OrbOptions options;
+  options.retry.max_attempts = 10;
+  options.retry.initial_backoff_ms = 1;
+  options.retry.retry_budget = 2;  // orb-wide, across all invocations
+  Orb client(options);
+  ObjectRef ref = ObjectRef::Parse("@tcp:127.0.0.1:" +
+                                   std::to_string(DeadPort()) +
+                                   "#1#IDL:Heidi/Echo:1.0");
+  auto call = client.NewRequest(ref, "ping", false);
+  EXPECT_THROW(client.Invoke(ref, *call), NetError);
+  OrbStats stats = client.Stats();
+  EXPECT_EQ(stats.retries, 2u);  // budget spent, then the failure surfaced
+  EXPECT_EQ(stats.retry_give_ups, 1u);
+  client.Shutdown();
+}
+
+TEST(Retry, IndeterminateFailureIsNotRetriedWithoutIdempotencyMark) {
+  // A mid-call disconnect leaves the call's fate unknown: the request may
+  // have executed server-side. An unmarked twoway must NOT be resent —
+  // but the condemned connection is still replaced, so the *next* call
+  // transparently reconnects.
+  demo::ForceDemoRegistration();
+  Orb server;
+  server.ListenTcp();
+  demo::EchoImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  net::FaultPlan plan;
+  plan.fail_read_at = 1;
+  OrbOptions options;
+  options.fault_injector = std::make_shared<net::FaultInjector>(plan);
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 1;
+  Orb client(options);
+
+  auto call = client.NewRequest(ref, "add", false);
+  call->PutLong(1);
+  call->PutLong(2);
+  EXPECT_THROW(client.Invoke(ref, *call), NetError);
+  OrbStats stats = client.Stats();
+  EXPECT_EQ(stats.retries, 0u);
+  EXPECT_EQ(stats.retry_give_ups, 1u);  // retryable policy, gated call
+
+  // The cache entry was invalidated: a fresh call reconnects and works.
+  auto again = client.NewRequest(ref, "add", false);
+  again->PutLong(1);
+  again->PutLong(2);
+  EXPECT_EQ(client.Invoke(ref, *again)->GetLong(), 3);
+  stats = client.Stats();
+  EXPECT_EQ(stats.reconnects, 1u);
+  EXPECT_EQ(stats.connections_opened, 2u);
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(Retry, RetryIndeterminateOptInRetriesUnmarkedTwoway) {
+  demo::ForceDemoRegistration();
+  Orb server;
+  server.ListenTcp();
+  demo::EchoImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  net::FaultPlan plan;
+  plan.fail_read_at = 1;
+  OrbOptions options;
+  options.fault_injector = std::make_shared<net::FaultInjector>(plan);
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 1;
+  options.retry.retry_indeterminate = true;  // caller accepts at-least-once
+  Orb client(options);
+
+  auto call = client.NewRequest(ref, "add", false);
+  call->PutLong(20);
+  call->PutLong(1);
+  EXPECT_EQ(client.Invoke(ref, *call)->GetLong(), 21);
+  EXPECT_EQ(client.Stats().retries, 1u);
+  client.Shutdown();
+  server.Shutdown();
+}
+
+TEST(Retry, DeterminateRefusalRetriedThroughTheStubPath) {
+  // ConnectError means the request never left, so even a plain
+  // non-idempotent stub call retries — transparently, inside the stub's
+  // normal Invoke.
+  demo::ForceDemoRegistration();
+  Orb server;
+  server.ListenTcp();
+  demo::EchoImpl impl;
+  ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  net::FaultPlan plan;
+  plan.refuse_connect_at = 1;  // very first connect refused
+  OrbOptions options;
+  options.fault_injector = std::make_shared<net::FaultInjector>(plan);
+  options.retry.max_attempts = 2;
+  options.retry.initial_backoff_ms = 1;
+  Orb client(options);
+
+  auto echo = client.ResolveAs<HdEcho>(ref.ToString());
+  EXPECT_EQ(echo->echo("through the storm"), "through the storm");
+  OrbStats stats = client.Stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.connections_opened, 1u);  // only the successful connect
+  EXPECT_GE(stats.faults_injected, 1u);
+  client.Shutdown();
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace heidi::orb
