@@ -9,6 +9,7 @@
 
 #include <atomic>
 
+#include "bench_report.h"
 #include "demo/demo.h"
 #include "orb/orb.h"
 
@@ -26,6 +27,9 @@ struct World {
     int id = counter.fetch_add(1);
     OrbOptions server_options;
     server_options.protocol = protocol;
+    // Observability per HEIDI_BENCH_TRACER: off (baseline), never
+    // (histograms on, timelines sampled out), always (full timelines).
+    server_options.tracer = heidi::bench::GlobalTracer();
     OrbOptions client_options = server_options;
     if (!tcp) {
       server_options.inproc_name = "bench-server-" + std::to_string(id);
@@ -127,6 +131,7 @@ void BM_CallDispatchStrategy(benchmark::State& state) {
   heidi::demo::ForceDemoRegistration();
   OrbOptions server_options;
   server_options.dispatch = strategy;
+  server_options.tracer = heidi::bench::GlobalTracer();
   Orb server(server_options);
   server.ListenTcp();
   Orb client;
@@ -144,3 +149,8 @@ void BM_CallDispatchStrategy(benchmark::State& state) {
 BENCHMARK(BM_CallDispatchStrategy)->Arg(0)->Arg(1)->Arg(2)->UseRealTime();
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return heidi::bench::RunReported(
+      argc, argv, {"op.add", "op.echo", "op.post", "op.p", "op.ping"});
+}

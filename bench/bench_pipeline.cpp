@@ -17,6 +17,7 @@
 #include <mutex>
 #include <thread>
 
+#include "bench_report.h"
 #include "demo/demo.h"
 #include "orb/orb.h"
 
@@ -44,8 +45,15 @@ class BusyEcho : public heidi::demo::EchoImpl {
 // the last thread out tears it down (thread 0 is not guaranteed to be
 // last, so setup/teardown cannot key off thread_index alone).
 struct SharedOrbs {
-  Orb server;
-  Orb client;
+  // Observability per HEIDI_BENCH_TRACER (see bench_report.h).
+  static OrbOptions Traced() {
+    OrbOptions options;
+    options.tracer = heidi::bench::GlobalTracer();
+    return options;
+  }
+
+  Orb server{Traced()};
+  Orb client{Traced()};
   BusyEcho impl;
   std::shared_ptr<HdEcho> echo;
 
@@ -123,3 +131,7 @@ BENCHMARK(BM_PipelineMultiplexed)
     ->UseRealTime();
 
 }  // namespace
+
+int main(int argc, char** argv) {
+  return heidi::bench::RunReported(argc, argv, {"op.add"});
+}

@@ -1,0 +1,212 @@
+// Bench reporting harness for the observability-instrumented benchmark
+// binaries (bench_call, bench_pipeline). Adds three things on top of the
+// stock google-benchmark main:
+//
+//   1. A process-wide tracer selected by HEIDI_BENCH_TRACER:
+//        off     (default) no tracer attached — the zero-cost baseline
+//        never   tracer attached, every call sampled out: always-on
+//                histograms live, span timelines off — the production
+//                configuration whose overhead the <5% budget bounds
+//        always  every call carries a sampled span timeline
+//   2. BENCH_<name>.json next to the binary's cwd: per-benchmark
+//      iterations and ns/op, plus call-latency p50/p99 computed from the
+//      tracer's own op.* histograms (bucket-delta per benchmark run), and
+//      the full metrics dump. <name> is HEIDI_BENCH_NAME or the binary's
+//      basename.
+//   3. HEIDI_TRACE_OUT=<path>: the tracer's span ring exported as a
+//      Chrome trace_event file on exit (the CI artifact).
+//
+// Usage — instead of linking benchmark_main:
+//
+//   int main(int argc, char** argv) {
+//     return heidi::bench::RunReported(argc, argv, {"op.add", "op.echo"});
+//   }
+//
+// and attach heidi::bench::GlobalTracer() to the OrbOptions of every orb
+// the benchmarks construct.
+#pragma once
+
+#include <benchmark/benchmark.h>
+
+#include <cstdlib>
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "obs/tracer.h"
+
+namespace heidi::bench {
+
+inline const char* TracerModeFromEnv() {
+  const char* mode = std::getenv("HEIDI_BENCH_TRACER");
+  if (mode == nullptr || *mode == '\0') return "off";
+  return mode;
+}
+
+// The one tracer every benchmark orb attaches; nullptr when the baseline
+// configuration (HEIDI_BENCH_TRACER=off / unset) is being measured.
+inline const std::shared_ptr<obs::Tracer>& GlobalTracer() {
+  static const std::shared_ptr<obs::Tracer> tracer = [] {
+    std::string mode = TracerModeFromEnv();
+    if (mode == "never") {
+      return std::make_shared<obs::Tracer>(
+          obs::TracerOptions{.mode = obs::SampleMode::kNever});
+    }
+    if (mode == "always") {
+      // Benchmarks record far more spans than the default ring holds;
+      // size it so the Chrome artifact keeps a useful window.
+      return std::make_shared<obs::Tracer>(
+          obs::TracerOptions{.mode = obs::SampleMode::kAlways,
+                             .ring_capacity = 16384});
+    }
+    return std::shared_ptr<obs::Tracer>();  // "off"
+  }();
+  return tracer;
+}
+
+// Console output as usual, plus a JSON record per benchmark run. The
+// p50/p99 come from the watched op.* histograms: bucket counts are
+// snapshotted before each run and the delta distribution — exactly the
+// calls that run made — is walked for its percentiles.
+class JsonReporter : public benchmark::ConsoleReporter {
+ public:
+  explicit JsonReporter(std::vector<std::string> watch_ops)
+      : watch_ops_(std::move(watch_ops)),
+        baseline_(obs::LatencyHistogram::kBucketCount, 0) {
+    SnapshotBaseline();
+  }
+
+  void ReportRuns(const std::vector<Run>& runs) override {
+    ConsoleReporter::ReportRuns(runs);
+    std::vector<uint64_t> delta = TakeDelta();
+    uint64_t total = 0;
+    for (uint64_t n : delta) total += n;
+    for (const Run& run : runs) {
+      if (run.error_occurred || run.iterations <= 0) continue;
+      double ns_per_op = run.real_accumulated_time * 1e9 /
+                         static_cast<double>(run.iterations);
+      std::string entry = "    {\"name\":\"" + JsonEscape(run.benchmark_name()) +
+                          "\",\"iterations\":" + std::to_string(run.iterations) +
+                          ",\"ns_per_op\":" + std::to_string(ns_per_op);
+      if (total > 0) {
+        entry += ",\"p50_ns\":" + std::to_string(DeltaPercentile(delta, total, 50)) +
+                 ",\"p99_ns\":" + std::to_string(DeltaPercentile(delta, total, 99));
+      }
+      entry += "}";
+      entries_.push_back(std::move(entry));
+    }
+  }
+
+  // {"name":…,"tracer":…,"benchmarks":[…],"metrics":{…}}
+  std::string ToJson(const std::string& name) const {
+    std::string out = "{\n  \"name\":\"" + JsonEscape(name) + "\",\n";
+    out += "  \"tracer\":\"" + JsonEscape(TracerModeFromEnv()) + "\",\n";
+    out += "  \"benchmarks\":[\n";
+    for (size_t i = 0; i < entries_.size(); ++i) {
+      out += entries_[i];
+      if (i + 1 < entries_.size()) out += ",";
+      out += "\n";
+    }
+    out += "  ]";
+    if (GlobalTracer() != nullptr) {
+      out += ",\n  \"metrics\":" + GlobalTracer()->Metrics().RenderJson();
+    }
+    out += "\n}\n";
+    return out;
+  }
+
+ private:
+  void SnapshotBaseline() {
+    const auto& tracer = GlobalTracer();
+    for (int i = 0; i < obs::LatencyHistogram::kBucketCount; ++i) {
+      uint64_t sum = 0;
+      if (tracer != nullptr) {
+        for (const std::string& op : watch_ops_) {
+          sum += tracer->Metrics().Histogram(op)->BucketCountAt(i);
+        }
+      }
+      baseline_[static_cast<size_t>(i)] = sum;
+    }
+  }
+
+  std::vector<uint64_t> TakeDelta() {
+    std::vector<uint64_t> old = baseline_;
+    SnapshotBaseline();
+    std::vector<uint64_t> delta(baseline_.size(), 0);
+    for (size_t i = 0; i < delta.size(); ++i) {
+      delta[i] = baseline_[i] - old[i];
+    }
+    return delta;
+  }
+
+  // Same midpoint convention as LatencyHistogram::Percentile, over the
+  // delta distribution (the open-ended top bucket reports its lower
+  // bound; the per-run max is not recoverable from bucket deltas).
+  static uint64_t DeltaPercentile(const std::vector<uint64_t>& delta,
+                                  uint64_t total, double pct) {
+    uint64_t rank = static_cast<uint64_t>(pct / 100.0 *
+                                          static_cast<double>(total));
+    if (rank == 0) rank = 1;
+    uint64_t seen = 0;
+    for (size_t i = 0; i < delta.size(); ++i) {
+      if (delta[i] == 0) continue;
+      seen += delta[i];
+      if (seen >= rank) {
+        int idx = static_cast<int>(i);
+        uint64_t lo = obs::LatencyHistogram::BucketLow(idx);
+        if (idx == obs::LatencyHistogram::kBucketCount - 1) return lo;
+        uint64_t hi = obs::LatencyHistogram::BucketHigh(idx);
+        return lo + (hi - lo) / 2;
+      }
+    }
+    return 0;
+  }
+
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    for (char c : s) {
+      if (c == '"' || c == '\\') out.push_back('\\');
+      if (static_cast<unsigned char>(c) < 0x20) continue;
+      out.push_back(c);
+    }
+    return out;
+  }
+
+  std::vector<std::string> watch_ops_;
+  std::vector<uint64_t> baseline_;
+  std::vector<std::string> entries_;
+};
+
+// Drop-in replacement for the benchmark_main body: runs all registered
+// benchmarks through the JsonReporter, writes BENCH_<name>.json, and
+// exports the Chrome trace artifact when HEIDI_TRACE_OUT is set.
+inline int RunReported(int argc, char** argv,
+                       std::vector<std::string> watch_ops) {
+  std::string name;
+  if (const char* env = std::getenv("HEIDI_BENCH_NAME")) name = env;
+  if (name.empty() && argc > 0) {
+    name = argv[0];
+    size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+  }
+  if (name.empty()) name = "bench";
+
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  JsonReporter reporter(std::move(watch_ops));
+  benchmark::RunSpecifiedBenchmarks(&reporter);
+  benchmark::Shutdown();
+
+  std::string path = "BENCH_" + name + ".json";
+  obs::WriteStringToFile(path, reporter.ToJson(name));
+
+  const auto& tracer = GlobalTracer();
+  const char* trace_out = std::getenv("HEIDI_TRACE_OUT");
+  if (tracer != nullptr && trace_out != nullptr && *trace_out != '\0') {
+    tracer->WriteChromeTrace(trace_out);
+  }
+  return 0;
+}
+
+}  // namespace heidi::bench

@@ -6,21 +6,140 @@
 // opens a raw TCP connection to the bootstrap port and writes request
 // lines exactly as one would type them into telnet, printing the raw
 // bytes both ways.
+//
+// New in this version: the server exports a hand-written *debug servant*
+// ("IDL:Heidi/Debug:1.0") wired to the orb's observability policy, so the
+// human can interrogate a live system:
+//
+//   stats           orb counters (calls, retries, spans recorded, ...)
+//   metrics         per-operation / per-stage latency histograms
+//   trace i:<n>     the last <n> span timelines from the trace ring
+//
+// and — because trace context is itself a text header line — the human
+// can hand-type a `trace:` line to inject a sampled trace context and
+// then watch their own call show up in `trace`.
+#include <cstdio>
 #include <iostream>
+#include <sstream>
+#include <string>
 
 #include "demo/demo.h"
 #include "net/buffered.h"
 #include "net/tcp.h"
+#include "obs/tracer.h"
 #include "orb/orb.h"
 
+namespace {
+
+using namespace heidi;
+
+// The debug servant: a legacy-style implementation object that renders
+// orb and tracer state as strings. It is deliberately interface-free —
+// no IDL, no stub — because its only client is a human with telnet.
+class DebugImpl : public virtual HdObject {
+ public:
+  DebugImpl(orb::Orb* orb, std::shared_ptr<obs::Tracer> tracer)
+      : orb_(orb), tracer_(std::move(tracer)) {}
+
+  std::string Stats() const {
+    orb::OrbStats s = orb_->Stats();
+    std::ostringstream out;
+    out << "requests_served=" << s.requests_served
+        << " calls_sent=" << s.calls_sent
+        << " connections_opened=" << s.connections_opened
+        << " retries=" << s.retries
+        << " spans_recorded=" << s.spans_recorded
+        << " spans_dropped=" << s.spans_dropped
+        << " dispatch_queue_highwater=" << s.dispatch_queue_highwater;
+    return out.str();
+  }
+
+  std::string Metrics() const { return tracer_->Metrics().Render(); }
+
+  std::string Trace(long n) const {
+    std::vector<obs::SpanRecord> spans = tracer_->Snapshot();
+    size_t count = n < 0 ? 0 : static_cast<size_t>(n);
+    size_t begin = spans.size() > count ? spans.size() - count : 0;
+    std::ostringstream out;
+    for (size_t i = begin; i < spans.size(); ++i) {
+      const obs::SpanRecord& s = spans[i];
+      char ids[64];
+      std::snprintf(ids, sizeof ids, "%016llx%016llx/%016llx",
+                    static_cast<unsigned long long>(s.ctx.trace_hi),
+                    static_cast<unsigned long long>(s.ctx.trace_lo),
+                    static_cast<unsigned long long>(s.ctx.span_id));
+      out << ids << " " << obs::SpanKindName(s.kind) << " " << s.operation
+          << " " << (s.end_ns - s.start_ns) / 1000 << "us";
+      if (!s.error.empty()) out << " error=" << s.error;
+      out << "\n";
+    }
+    return out.str();
+  }
+
+ private:
+  orb::Orb* orb_;
+  std::shared_ptr<obs::Tracer> tracer_;
+};
+
+class Debug_skel : public orb::HdSkeleton {
+ public:
+  Debug_skel(orb::Orb& o, HdObject* impl)
+      : orb::HdSkeleton(o, impl), table_(o.Options().dispatch) {
+    obj_ = dynamic_cast<DebugImpl*>(impl);
+    if (obj_ == nullptr) {
+      throw DispatchError("implementation object is not a DebugImpl");
+    }
+    table_.Add("stats", [this](wire::Call&, wire::Call& out) {
+      out.PutString(obj_->Stats());
+    });
+    table_.Add("metrics", [this](wire::Call&, wire::Call& out) {
+      out.PutString(obj_->Metrics());
+    });
+    table_.Add("trace", [this](wire::Call& in, wire::Call& out) {
+      out.PutString(obj_->Trace(in.GetLong()));
+    });
+    table_.Seal();
+  }
+
+  bool Dispatch(const std::string& op, wire::Call& in,
+                wire::Call& out) override {
+    if (const auto* handler = table_.Find(op)) {
+      (*handler)(in, out);
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  DebugImpl* obj_;
+  orb::DispatchTable table_;
+};
+
+// Skeleton only — nobody resolves a stub for the debug interface.
+orb::RegisterInterface kRegisterDebug{
+    "IDL:Heidi/Debug:1.0",
+    [](orb::Orb& o, HdObject* impl) {
+      return std::make_unique<Debug_skel>(o, impl);
+    },
+    nullptr};
+
+}  // namespace
+
 int main() {
-  using namespace heidi;
   demo::ForceDemoRegistration();
 
-  orb::Orb server;  // default protocol is the newline-terminated text one
+  // Observability as policy: attach a tracer that samples everything so
+  // the debug servant has timelines to show.
+  auto tracer = std::make_shared<obs::Tracer>(
+      obs::TracerOptions{.mode = obs::SampleMode::kAlways});
+  orb::OrbOptions options;  // default protocol is the text one
+  options.tracer = tracer;
+  orb::Orb server(options);
   server.ListenTcp();
   demo::EchoImpl impl;
   orb::ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+  DebugImpl debug(&server, tracer);
+  orb::ObjectRef dbg = server.ExportObject(&debug, "IDL:Heidi/Debug:1.0");
 
   std::cout << "server up. You could now literally run:\n"
             << "  telnet 127.0.0.1 " << server.TcpPort() << "\n"
@@ -33,10 +152,15 @@ int main() {
     std::cout << "you type > " << line << "\n";
     std::string wire = line + "\r\n";  // exactly what telnet sends
     raw->WriteAll(wire.data(), wire.size());
+    if (line.rfind("trace:", 0) == 0) return;  // header line: no reply yet
+    // A traced call's reply is prefixed by its own `trace:` header line;
+    // keep reading until the REP line itself arrives.
     std::string reply;
-    if (reader.ReadLine(reply)) {
-      std::cout << "server    < " << reply << "\n\n";
+    while (reader.ReadLine(reply)) {
+      std::cout << "server    < " << reply << "\n";
+      if (reply.rfind("trace:", 0) != 0) break;
     }
+    std::cout << "\n";
   };
 
   std::string target = ref.ToString();
@@ -46,6 +170,19 @@ int main() {
   type_line("REQ 3 W " + target + " flip b:T");
   // Typos are survivable and the error is legible too:
   type_line("REQ 4 W " + target + " no_such_method");
+
+  // Trace context is one more text header line — typed by hand, it makes
+  // the *next* request a sampled member of trace 0xdeb9. The reply echoes
+  // the context back (with the server's own span id).
+  type_line("trace: 00000000000000000000000000000deb-00000000000000a1-"
+            "0000000000000000-01");
+  type_line("REQ 5 W " + target + " echo s:follow%20the%20trace");
+
+  // Now interrogate the live system through the debug servant.
+  std::string dbg_target = dbg.ToString();
+  type_line("REQ 6 W " + dbg_target + " stats");
+  type_line("REQ 7 W " + dbg_target + " trace i:4");
+  type_line("REQ 8 W " + dbg_target + " metrics");
 
   raw->Close();
   server.Shutdown();

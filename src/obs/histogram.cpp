@@ -1,0 +1,32 @@
+#include "obs/histogram.h"
+
+#include <algorithm>
+
+namespace heidi::obs {
+
+uint64_t LatencyHistogram::Percentile(double pct) const {
+  uint64_t total = Count();
+  if (total == 0) return 0;
+  pct = std::clamp(pct, 0.0, 100.0);
+  if (pct >= 100.0) return Max();
+  // Rank of the sample we want, 1-based: ceil(pct/100 * total), at least 1.
+  uint64_t rank = static_cast<uint64_t>(pct / 100.0 * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  uint64_t seen = 0;
+  for (int i = 0; i < kBucketCount; ++i) {
+    uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    seen += n;
+    if (seen >= rank) {
+      uint64_t lo = BucketLow(i);
+      uint64_t hi = BucketHigh(i);
+      // Midpoint, clamped so the top (open-ended) bucket reports its
+      // observed max rather than an astronomical midpoint.
+      if (i == kBucketCount - 1) return std::max(lo, Max());
+      return lo + (hi - lo) / 2;
+    }
+  }
+  return Max();  // unreachable unless racing with writers; best effort
+}
+
+}  // namespace heidi::obs

@@ -1,0 +1,96 @@
+// LatencyHistogram — fixed-size log-linear latency histogram, the
+// always-on half of the observability layer. Designed so Record() is
+// cheap enough to leave enabled in production: one bit-scan, one index
+// computation, four relaxed atomic RMWs, no locks, no allocation.
+//
+// Bucketing is HDR-style log-linear: values below 2^kSubBits land in
+// exact unit buckets; above that, each power-of-two octave is split into
+// 2^kSubBits linear sub-buckets, giving a constant ~12.5% relative error
+// (kSubBits = 3) across the full range [0, ~17 minutes in ns].
+// Percentile extraction walks the fixed bucket array and reports the
+// bucket midpoint — see tests/obs/histogram_test.cpp for the exact
+// boundary math this relies on.
+#pragma once
+
+#include <atomic>
+#include <bit>
+#include <cstdint>
+
+namespace heidi::obs {
+
+class LatencyHistogram {
+ public:
+  static constexpr int kSubBits = 3;  // 8 linear sub-buckets per octave
+  static constexpr int kSubCount = 1 << kSubBits;
+  // Octaves above the linear region; bucket count covers values up to
+  // 2^(kSubBits + kOctaves) - 1 ns, everything larger clamps to the top.
+  static constexpr int kOctaves = 37;  // ~2^40 ns ≈ 18 minutes
+  static constexpr int kBucketCount = kSubCount * (kOctaves + 1);
+
+  LatencyHistogram() = default;
+
+  // Maps a value to its bucket index (pure function, exposed for tests).
+  static int BucketIndex(uint64_t v) {
+    if (v < kSubCount) return static_cast<int>(v);
+    int exp = 63 - std::countl_zero(v);          // highest set bit
+    int octave = exp - kSubBits + 1;             // 1-based above linear
+    if (octave > kOctaves) {                     // clamp oversize values
+      octave = kOctaves;
+      return kBucketCount - 1;
+    }
+    int sub = static_cast<int>((v >> (exp - kSubBits)) & (kSubCount - 1));
+    return octave * kSubCount + sub;
+  }
+
+  // Smallest value mapping to bucket `idx` (inclusive lower bound).
+  static uint64_t BucketLow(int idx) {
+    if (idx < kSubCount) return static_cast<uint64_t>(idx);
+    int octave = idx / kSubCount;
+    int sub = idx % kSubCount;
+    int exp = octave + kSubBits - 1;
+    return (uint64_t{1} << exp) +
+           (static_cast<uint64_t>(sub) << (exp - kSubBits));
+  }
+
+  // Largest value mapping to bucket `idx`.
+  static uint64_t BucketHigh(int idx) {
+    if (idx < kSubCount) return static_cast<uint64_t>(idx);
+    if (idx == kBucketCount - 1) return UINT64_MAX;
+    return BucketLow(idx + 1) - 1;
+  }
+
+  void Record(uint64_t v) {
+    buckets_[BucketIndex(v)].fetch_add(1, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+    sum_.fetch_add(v, std::memory_order_relaxed);
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (v > seen &&
+           !max_.compare_exchange_weak(seen, v, std::memory_order_relaxed)) {
+    }
+  }
+
+  uint64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t Max() const { return max_.load(std::memory_order_relaxed); }
+  uint64_t Mean() const {
+    uint64_t n = Count();
+    return n == 0 ? 0 : Sum() / n;
+  }
+
+  // Value v such that ~`pct`% of recorded samples are <= v (bucket
+  // midpoint of the bucket holding the pct-th sample; Max() for pct=100).
+  // `pct` in [0, 100]. Returns 0 on an empty histogram.
+  uint64_t Percentile(double pct) const;
+
+  uint64_t BucketCountAt(int idx) const {
+    return buckets_[idx].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBucketCount] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> max_{0};
+};
+
+}  // namespace heidi::obs

@@ -1,0 +1,151 @@
+#include "obs/metrics.h"
+
+#include <algorithm>
+#include <functional>
+#include <vector>
+
+namespace heidi::obs {
+
+namespace {
+
+// One escape pass is enough for the keys and values we emit (operation
+// names, stage names); quotes/backslashes/control bytes are the only
+// characters that could break the JSON framing.
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+MetricsRegistry::MetricsRegistry() { overflow_.key = "(overflow)"; }
+
+MetricsRegistry::~MetricsRegistry() {
+  for (auto& slot : slots_) delete slot.load(std::memory_order_relaxed);
+}
+
+MetricsRegistry::Entry* MetricsRegistry::Lookup(std::string_view key) {
+  size_t hash = std::hash<std::string_view>{}(key);
+  size_t idx = hash & (kSlots - 1);
+  // Bounded probe: a full table (or a pathological cluster) falls back to
+  // the shared overflow entry rather than looping or allocating.
+  for (size_t probes = 0; probes < kSlots; ++probes) {
+    Entry* entry = slots_[idx].load(std::memory_order_acquire);
+    if (entry == nullptr) {
+      auto* fresh = new Entry();
+      fresh->key = std::string(key);
+      Entry* expected = nullptr;
+      if (slots_[idx].compare_exchange_strong(expected, fresh,
+                                              std::memory_order_acq_rel)) {
+        return fresh;
+      }
+      delete fresh;
+      entry = expected;  // somebody else installed this slot; inspect it
+    }
+    if (entry->key == key) return entry;
+    idx = (idx + 1) & (kSlots - 1);
+  }
+  return &overflow_;
+}
+
+LatencyHistogram* MetricsRegistry::Histogram(std::string_view key) {
+  return &Lookup(key)->histogram;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view key) {
+  return &Lookup(key)->counter;
+}
+
+std::string MetricsRegistry::Render() const {
+  std::vector<const Entry*> entries;
+  for (const auto& slot : slots_) {
+    const Entry* e = slot.load(std::memory_order_acquire);
+    if (e != nullptr) entries.push_back(e);
+  }
+  if (overflow_.counter.Value() != 0 || overflow_.histogram.Count() != 0) {
+    entries.push_back(&overflow_);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry* a, const Entry* b) { return a->key < b->key; });
+  std::string out;
+  for (const Entry* e : entries) {
+    const LatencyHistogram& h = e->histogram;
+    if (h.Count() != 0) {
+      out += e->key;
+      out += "  count=" + std::to_string(h.Count());
+      out += " p50=" + std::to_string(h.Percentile(50)) + "ns";
+      out += " p90=" + std::to_string(h.Percentile(90)) + "ns";
+      out += " p99=" + std::to_string(h.Percentile(99)) + "ns";
+      out += " max=" + std::to_string(h.Max()) + "ns";
+      out += " mean=" + std::to_string(h.Mean()) + "ns";
+      out.push_back('\n');
+    }
+    if (e->counter.Value() != 0) {
+      out += e->key;
+      out += "  " + std::to_string(e->counter.Value());
+      out.push_back('\n');
+    }
+  }
+  return out;
+}
+
+std::string MetricsRegistry::RenderJson() const {
+  std::vector<const Entry*> entries;
+  for (const auto& slot : slots_) {
+    const Entry* e = slot.load(std::memory_order_acquire);
+    if (e != nullptr) entries.push_back(e);
+  }
+  if (overflow_.counter.Value() != 0 || overflow_.histogram.Count() != 0) {
+    entries.push_back(&overflow_);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry* a, const Entry* b) { return a->key < b->key; });
+  std::string counters = "{";
+  std::string histograms = "{";
+  bool first_counter = true;
+  bool first_histogram = true;
+  for (const Entry* e : entries) {
+    if (e->counter.Value() != 0) {
+      if (!first_counter) counters.push_back(',');
+      first_counter = false;
+      counters += "\"" + JsonEscape(e->key) +
+                  "\":" + std::to_string(e->counter.Value());
+    }
+    const LatencyHistogram& h = e->histogram;
+    if (h.Count() != 0) {
+      if (!first_histogram) histograms.push_back(',');
+      first_histogram = false;
+      histograms += "\"" + JsonEscape(e->key) + "\":{";
+      histograms += "\"count\":" + std::to_string(h.Count());
+      histograms += ",\"p50_ns\":" + std::to_string(h.Percentile(50));
+      histograms += ",\"p90_ns\":" + std::to_string(h.Percentile(90));
+      histograms += ",\"p99_ns\":" + std::to_string(h.Percentile(99));
+      histograms += ",\"max_ns\":" + std::to_string(h.Max());
+      histograms += ",\"mean_ns\":" + std::to_string(h.Mean());
+      histograms.push_back('}');
+    }
+  }
+  counters.push_back('}');
+  histograms.push_back('}');
+  return "{\"counters\":" + counters + ",\"histograms\":" + histograms + "}";
+}
+
+}  // namespace heidi::obs

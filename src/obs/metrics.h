@@ -1,0 +1,67 @@
+// MetricsRegistry — named counters and latency histograms with a
+// lock-free hot path. The registry is a fixed-size, insert-only,
+// open-addressed hash table of heap-allocated entries: readers (every
+// call on the invocation path) probe with acquire loads only; writers
+// (the first call for a new key) install entries with CAS. Entries are
+// never removed, so a pointer returned once is valid for the registry's
+// lifetime — callers cache it and skip the probe entirely.
+//
+// Key budget: kSlots names per registry. An overflowing insert lands on
+// the shared "(overflow)" entry instead of failing, and the overflow is
+// visible in Render() — bounded memory beats silent growth on a server
+// fed hostile operation names.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "obs/histogram.h"
+
+namespace heidi::obs {
+
+class Counter {
+ public:
+  void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
+  uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+class MetricsRegistry {
+ public:
+  static constexpr size_t kSlots = 512;  // power of two (mask probing)
+
+  MetricsRegistry();
+  ~MetricsRegistry();
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  // Get-or-create. Never returns nullptr; the returned pointer is stable
+  // for the registry's lifetime (cache it on hot paths).
+  LatencyHistogram* Histogram(std::string_view key);
+  Counter* GetCounter(std::string_view key);
+
+  // Human-readable dump: one line per metric, sorted by key —
+  //   <key>  count=N p50=… p90=… p99=… max=… mean=…   (histograms, ns)
+  //   <key>  N                                        (counters)
+  std::string Render() const;
+  // Machine-readable dump: {"counters":{...},"histograms":{key:{...}}}.
+  std::string RenderJson() const;
+
+ private:
+  struct Entry {
+    std::string key;
+    LatencyHistogram histogram;
+    Counter counter;
+  };
+
+  Entry* Lookup(std::string_view key);
+
+  std::atomic<Entry*> slots_[kSlots] = {};
+  Entry overflow_;  // shared sink once the table is full
+};
+
+}  // namespace heidi::obs

@@ -1,0 +1,64 @@
+#include "obs/span.h"
+
+#include <algorithm>
+
+namespace heidi::obs {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kClient: return "client";
+    case SpanKind::kServer: return "server";
+    case SpanKind::kAttempt: return "attempt";
+  }
+  return "?";
+}
+
+uint64_t ThreadOrdinal() {
+  static std::atomic<uint64_t> next{1};
+  thread_local uint64_t ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
+SpanRing::SpanRing(size_t capacity, size_t shards)
+    : shards_(std::max<size_t>(shards, 1)),
+      per_shard_(std::max<size_t>(capacity / std::max<size_t>(shards, 1), 1)) {
+  for (Shard& shard : shards_) shard.records.resize(per_shard_);
+}
+
+SpanRing::~SpanRing() = default;
+
+void SpanRing::Record(SpanRecord&& record) {
+  Shard& shard = shards_[record.ctx.span_id % shards_.size()];
+  std::unique_lock lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  shard.records[shard.next] = std::move(record);
+  shard.next = (shard.next + 1) % per_shard_;
+  if (shard.size < per_shard_) ++shard.size;
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<SpanRecord> SpanRing::Snapshot() const {
+  std::vector<SpanRecord> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    out.insert(out.end(), shard.records.begin(),
+               shard.records.begin() + static_cast<ptrdiff_t>(shard.size));
+  }
+  std::sort(out.begin(), out.end(),
+            [](const SpanRecord& a, const SpanRecord& b) {
+              return a.start_ns < b.start_ns;
+            });
+  return out;
+}
+
+void SpanRing::WithShardLockedForTest(size_t shard_index,
+                                      const std::function<void()>& fn) {
+  Shard& shard = shards_[shard_index % shards_.size()];
+  std::lock_guard lock(shard.mutex);
+  fn();
+}
+
+}  // namespace heidi::obs

@@ -1,0 +1,107 @@
+// Span records and the bounded ring they land in.
+//
+// A SpanRecord is one completed hop of a traced invocation: the client
+// side of a call, the server side of a call, or one retry attempt inside
+// a client call. Each record carries up to kMaxStages named sub-intervals
+// (marshal/send/wait/… on the client, queue/exec/reply/… on the server)
+// so a timeline answers "where did this call spend its time" without a
+// record per stage.
+//
+// SpanRing is the capture buffer: sharded, bounded, overwrite-oldest.
+// Writers pick a shard by span id and *try* its lock; a contended shard
+// drops the record and counts the drop instead of blocking the invocation
+// path — recording telemetry must never add latency to the traffic it
+// observes. Readers (exporters, the telnet `trace` command) lock shards
+// one at a time and snapshot.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+
+namespace heidi::obs {
+
+enum class SpanKind : uint8_t { kClient, kServer, kAttempt };
+
+const char* SpanKindName(SpanKind kind);
+
+struct StageRecord {
+  const char* name;  // static string (stage names are compile-time)
+  int64_t start_ns;
+  int64_t end_ns;
+};
+
+struct SpanRecord {
+  static constexpr int kMaxStages = 8;
+
+  TraceContext ctx;  // span_id = this record's own id
+  SpanKind kind = SpanKind::kClient;
+  std::string operation;
+  std::string error;  // empty = success; else the error tag
+  int64_t start_ns = 0;
+  int64_t end_ns = 0;
+  uint64_t thread_id = 0;  // small per-thread ordinal, for trace lanes
+  int stage_count = 0;
+  StageRecord stages[kMaxStages];
+
+  void AddStage(const char* name, int64_t start_ns_, int64_t end_ns_) {
+    if (stage_count < kMaxStages) {
+      stages[stage_count++] = StageRecord{name, start_ns_, end_ns_};
+    }
+  }
+};
+
+// Small per-thread ordinal (1, 2, 3, …) — stabler across runs than the
+// platform thread id, and compact in trace lanes.
+uint64_t ThreadOrdinal();
+
+class SpanRing {
+ public:
+  // `capacity` total records, split across `shards` (both rounded up to
+  // at least one record per shard).
+  explicit SpanRing(size_t capacity = 4096, size_t shards = 8);
+  ~SpanRing();
+  SpanRing(const SpanRing&) = delete;
+  SpanRing& operator=(const SpanRing&) = delete;
+
+  // Non-blocking: try-locks the record's shard; on contention the record
+  // is dropped and counted. A full shard overwrites its oldest record
+  // (the ring keeps the *newest* history, which is what `trace <n>` and
+  // post-mortem exports want).
+  void Record(SpanRecord&& record);
+
+  uint64_t Recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t Dropped() const { return dropped_.load(std::memory_order_relaxed); }
+  size_t Capacity() const { return shards_.size() * per_shard_; }
+
+  // All retained records, oldest-first by start timestamp.
+  std::vector<SpanRecord> Snapshot() const;
+
+  // Test hook: runs `fn` while shard `shard_index % shards` is locked, so
+  // a concurrent Record() into that shard deterministically takes the
+  // drop path (see tests/obs/spanring_test.cpp).
+  void WithShardLockedForTest(size_t shard_index,
+                              const std::function<void()>& fn);
+
+ private:
+  struct Shard {
+    mutable std::mutex mutex;
+    std::vector<SpanRecord> records;  // ring storage
+    size_t next = 0;                  // next write position
+    size_t size = 0;                  // valid records (<= per_shard_)
+  };
+
+  std::vector<Shard> shards_;
+  size_t per_shard_;
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+}  // namespace heidi::obs

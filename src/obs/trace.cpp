@@ -1,0 +1,127 @@
+#include "obs/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <random>
+
+namespace heidi::obs {
+
+namespace {
+
+uint64_t Rand64() {
+  // random_device seeds once per thread; the counter guarantees distinct
+  // values even on platforms with a weak random_device.
+  thread_local std::mt19937_64 rng = [] {
+    std::random_device rd;
+    uint64_t seed = (static_cast<uint64_t>(rd()) << 32) ^ rd() ^
+                    static_cast<uint64_t>(
+                        std::chrono::steady_clock::now().time_since_epoch().count());
+    return std::mt19937_64(seed);
+  }();
+  return rng();
+}
+
+void PutHex64(std::string& out, uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016llx",
+                static_cast<unsigned long long>(v));
+  out += buf;
+}
+
+bool ParseHex(std::string_view text, uint64_t* out) {
+  if (text.empty() || text.size() > 16) return false;
+  uint64_t v = 0;
+  for (char c : text) {
+    int digit;
+    if (c >= '0' && c <= '9') digit = c - '0';
+    else if (c >= 'a' && c <= 'f') digit = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') digit = c - 'A' + 10;
+    else return false;
+    v = (v << 4) | static_cast<uint64_t>(digit);
+  }
+  *out = v;
+  return true;
+}
+
+thread_local TraceContext g_current;
+
+}  // namespace
+
+std::string TraceContext::ToString() const {
+  if (!Valid()) return "";
+  std::string out;
+  out.reserve(32 + 1 + 16 + 1 + 16 + 1 + 2);
+  PutHex64(out, trace_hi);
+  PutHex64(out, trace_lo);
+  out.push_back('-');
+  PutHex64(out, span_id);
+  out.push_back('-');
+  PutHex64(out, parent_span_id);
+  out.push_back('-');
+  char flags[3];
+  std::snprintf(flags, sizeof flags, "%02x", sampled ? 1 : 0);
+  out += flags;
+  return out;
+}
+
+bool TraceContext::Parse(std::string_view text, TraceContext* out) {
+  // <32 hex>-<16 hex>-<16 hex>-<2 hex>
+  if (text.size() != 32 + 1 + 16 + 1 + 16 + 1 + 2) return false;
+  if (text[32] != '-' || text[49] != '-' || text[66] != '-') return false;
+  TraceContext ctx;
+  uint64_t flags = 0;
+  if (!ParseHex(text.substr(0, 16), &ctx.trace_hi) ||
+      !ParseHex(text.substr(16, 16), &ctx.trace_lo) ||
+      !ParseHex(text.substr(33, 16), &ctx.span_id) ||
+      !ParseHex(text.substr(50, 16), &ctx.parent_span_id) ||
+      !ParseHex(text.substr(67, 2), &flags)) {
+    return false;
+  }
+  ctx.sampled = (flags & 1) != 0;
+  if (!ctx.Valid()) return false;
+  *out = ctx;
+  return true;
+}
+
+uint64_t NewSpanId() {
+  uint64_t id;
+  do {
+    id = Rand64();
+  } while (id == 0);
+  return id;
+}
+
+TraceContext NewRootContext(bool sampled) {
+  TraceContext ctx;
+  do {
+    ctx.trace_hi = Rand64();
+    ctx.trace_lo = Rand64();
+  } while ((ctx.trace_hi | ctx.trace_lo) == 0);
+  ctx.span_id = NewSpanId();
+  ctx.parent_span_id = 0;
+  ctx.sampled = sampled;
+  return ctx;
+}
+
+TraceContext ChildContext(const TraceContext& parent) {
+  TraceContext ctx = parent;
+  ctx.parent_span_id = parent.span_id;
+  ctx.span_id = NewSpanId();
+  return ctx;
+}
+
+const TraceContext& CurrentContext() { return g_current; }
+
+ScopedContext::ScopedContext(const TraceContext& ctx) : saved_(g_current) {
+  g_current = ctx;
+}
+
+ScopedContext::~ScopedContext() { g_current = saved_; }
+
+int64_t NowNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace heidi::obs

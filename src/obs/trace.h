@@ -1,0 +1,73 @@
+// TraceContext — the wire-propagated identity of one distributed
+// invocation (the observability layer's analogue of the paper's §3.1
+// "Call header": data every hop must relay without understanding it).
+//
+// A context names one *trace* (128-bit id shared by every span the
+// invocation touches, across processes), one *span* (the 64-bit id of
+// the hop that sent it), the sender's parent span, and a sampled flag
+// that tells downstream hops whether to record timelines for this call.
+// Both wire protocols carry it version-tolerantly (see wire/protocol.cpp)
+// so peers built before this field existed still interoperate.
+//
+// The textual form is fixed so the text protocol (and a human on telnet)
+// can read it:  <32 hex trace>-<16 hex span>-<16 hex parent>-<2 hex flags>
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace heidi::obs {
+
+struct TraceContext {
+  uint64_t trace_hi = 0;        // 128-bit trace id, big half
+  uint64_t trace_lo = 0;        //                  little half
+  uint64_t span_id = 0;         // the sending hop's span
+  uint64_t parent_span_id = 0;  // the sending hop's parent (0 = root)
+  bool sampled = false;         // downstream hops record timelines iff set
+
+  // A context with a zero trace id is "absent" — the call was made by a
+  // peer without (or with disabled) tracing.
+  bool Valid() const { return (trace_hi | trace_lo) != 0; }
+
+  // "a1b2...-c3d4...-e5f6...-01"; empty string for an invalid context.
+  std::string ToString() const;
+
+  // Parses the textual form; returns false (and leaves *out untouched)
+  // on malformed input. Accepts unknown flag bits (forward tolerance).
+  static bool Parse(std::string_view text, TraceContext* out);
+
+  bool operator==(const TraceContext&) const = default;
+};
+
+// Fresh random ids (thread-local PRNG seeded once per thread; never 0).
+uint64_t NewSpanId();
+TraceContext NewRootContext(bool sampled);
+
+// Derives the context a child hop should send: same trace, the child's
+// fresh span id, parent = the sender's span, sampled inherited.
+TraceContext ChildContext(const TraceContext& parent);
+
+// --- ambient context ---------------------------------------------------------
+// The server dispatch path installs the inbound request's context for the
+// duration of the skeleton call, so *nested* invocations made by the
+// implementation join the same trace (multi-hop end-to-end tracing).
+const TraceContext& CurrentContext();
+
+class ScopedContext {
+ public:
+  explicit ScopedContext(const TraceContext& ctx);
+  ~ScopedContext();
+  ScopedContext(const ScopedContext&) = delete;
+  ScopedContext& operator=(const ScopedContext&) = delete;
+
+ private:
+  TraceContext saved_;
+};
+
+// Monotonic nanoseconds used for every span/stage timestamp (one clock so
+// client and server timelines line up within a process; across processes
+// Perfetto aligns per-track).
+int64_t NowNs();
+
+}  // namespace heidi::obs

@@ -1,0 +1,211 @@
+#include "obs/tracer.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "support/logging.h"
+
+namespace heidi::obs {
+
+namespace {
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string Hex64(uint64_t v) {
+  char buf[17];
+  std::snprintf(buf, sizeof buf, "%016" PRIx64, v);
+  return buf;
+}
+
+std::string TraceIdHex(const TraceContext& ctx) {
+  return Hex64(ctx.trace_hi) + Hex64(ctx.trace_lo);
+}
+
+// Microsecond timestamp with ns precision kept as decimals (the Chrome
+// trace_event "ts"/"dur" unit is microseconds).
+std::string Micros(int64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%" PRId64 ".%03d", ns / 1000,
+                static_cast<int>(ns % 1000));
+  return buf;
+}
+
+// Lanes: client-side spans under pid 1, server-side under pid 2, so a
+// loopback trace shows the two halves as separate "processes" even when
+// both orbs share one address space.
+int LanePid(SpanKind kind) { return kind == SpanKind::kServer ? 2 : 1; }
+
+void AppendChromeEvent(std::string& out, bool& first, std::string_view name,
+                       std::string_view cat, int pid, uint64_t tid,
+                       int64_t start_ns, int64_t end_ns,
+                       const std::string& args_json) {
+  if (!first) out += ",\n";
+  first = false;
+  out += "{\"name\":\"" + std::string(JsonEscape(name)) + "\",\"cat\":\"" +
+         std::string(cat) + "\",\"ph\":\"X\",\"ts\":" + Micros(start_ns) +
+         ",\"dur\":" + Micros(end_ns > start_ns ? end_ns - start_ns : 0) +
+         ",\"pid\":" + std::to_string(pid) +
+         ",\"tid\":" + std::to_string(tid) + ",\"args\":" + args_json + "}";
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Span
+
+Span::~Span() {
+  if (!ended_) {
+    if (record_.error.empty()) record_.error = "abandoned";
+    End();
+  }
+}
+
+void Span::End() {
+  if (ended_) return;
+  ended_ = true;
+  record_.end_ns = NowNs();
+  tracer_->Commit(std::move(record_));
+}
+
+// ---------------------------------------------------------------------------
+// Tracer
+
+Tracer::Tracer(TracerOptions options)
+    : options_(options),
+      ring_(options.ring_capacity, options.ring_shards) {}
+
+bool Tracer::SampleNext() {
+  switch (options_.mode) {
+    case SampleMode::kNever: return false;
+    case SampleMode::kAlways: return true;
+    case SampleMode::kRatio: {
+      uint32_t every = options_.sample_every == 0 ? 1 : options_.sample_every;
+      return sample_counter_.fetch_add(1, std::memory_order_relaxed) %
+                 every ==
+             0;
+    }
+  }
+  return false;
+}
+
+std::unique_ptr<Span> Tracer::StartSpan(SpanKind kind,
+                                        std::string_view operation,
+                                        const TraceContext& ctx) {
+  SpanRecord record;
+  record.ctx = ctx;
+  record.kind = kind;
+  record.operation = std::string(operation);
+  record.start_ns = NowNs();
+  record.thread_id = ThreadOrdinal();
+  return std::unique_ptr<Span>(new Span(this, std::move(record)));
+}
+
+void Tracer::Commit(SpanRecord&& record) { ring_.Record(std::move(record)); }
+
+bool Tracer::WriteChromeTrace(const std::string& path) const {
+  return WriteStringToFile(path, ExportChromeTrace());
+}
+
+// ---------------------------------------------------------------------------
+// Exporters
+
+std::string SpansToJsonl(const std::vector<SpanRecord>& spans) {
+  std::string out;
+  for (const SpanRecord& span : spans) {
+    out += "{\"trace_id\":\"" + TraceIdHex(span.ctx) + "\"";
+    out += ",\"span_id\":\"" + Hex64(span.ctx.span_id) + "\"";
+    out += ",\"parent_span_id\":\"" + Hex64(span.ctx.parent_span_id) + "\"";
+    out += ",\"kind\":\"" + std::string(SpanKindName(span.kind)) + "\"";
+    out += ",\"operation\":\"" + JsonEscape(span.operation) + "\"";
+    out += ",\"start_ns\":" + std::to_string(span.start_ns);
+    out += ",\"end_ns\":" + std::to_string(span.end_ns);
+    out += ",\"thread\":" + std::to_string(span.thread_id);
+    if (!span.error.empty()) {
+      out += ",\"error\":\"" + JsonEscape(span.error) + "\"";
+    }
+    out += ",\"stages\":[";
+    for (int i = 0; i < span.stage_count; ++i) {
+      if (i != 0) out.push_back(',');
+      const StageRecord& stage = span.stages[i];
+      out += "{\"name\":\"" + std::string(stage.name) + "\"";
+      out += ",\"start_ns\":" + std::to_string(stage.start_ns);
+      out += ",\"end_ns\":" + std::to_string(stage.end_ns) + "}";
+    }
+    out += "]}\n";
+  }
+  return out;
+}
+
+std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans) {
+  std::string out = "{\"traceEvents\":[\n";
+  bool first = true;
+  // Lane labels so Perfetto shows "client" / "server" instead of pids.
+  out +=
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"client\"}},\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,\"tid\":0,"
+      "\"args\":{\"name\":\"server\"}}";
+  first = false;
+  for (const SpanRecord& span : spans) {
+    std::string args = "{\"trace_id\":\"" + TraceIdHex(span.ctx) +
+                       "\",\"span_id\":\"" + Hex64(span.ctx.span_id) +
+                       "\",\"parent_span_id\":\"" +
+                       Hex64(span.ctx.parent_span_id) + "\"";
+    if (!span.error.empty()) {
+      args += ",\"error\":\"" + JsonEscape(span.error) + "\"";
+    }
+    args += "}";
+    std::string name =
+        std::string(SpanKindName(span.kind)) + " " + span.operation;
+    int pid = LanePid(span.kind);
+    AppendChromeEvent(out, first, name, SpanKindName(span.kind), pid,
+                      span.thread_id, span.start_ns, span.end_ns, args);
+    for (int i = 0; i < span.stage_count; ++i) {
+      const StageRecord& stage = span.stages[i];
+      AppendChromeEvent(out, first, stage.name, "stage", pid, span.thread_id,
+                        stage.start_ns, stage.end_ns,
+                        "{\"span_id\":\"" + Hex64(span.ctx.span_id) + "\"}");
+    }
+  }
+  out += "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+bool WriteStringToFile(const std::string& path, std::string_view content) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    HD_LOG_WARN << "obs: cannot open '" << path << "' for writing";
+    return false;
+  }
+  size_t written = std::fwrite(content.data(), 1, content.size(), f);
+  int rc = std::fclose(f);
+  if (written != content.size() || rc != 0) {
+    HD_LOG_WARN << "obs: short write to '" << path << "'";
+    return false;
+  }
+  HD_LOG_DEBUG << "obs: wrote " << content.size() << " bytes to " << path;
+  return true;
+}
+
+}  // namespace heidi::obs

@@ -1,0 +1,135 @@
+// Tracer — the attachable observability policy (ISSUE/§5: filters and
+// interceptors exist so a deployment can bolt cross-cutting concerns onto
+// the ORB without touching generated code; a tracer is exactly such a
+// concern). One Tracer owns:
+//
+//   * a sampling decision (always / never / 1-in-N) for span *timelines*,
+//   * the bounded SpanRing sampled timelines land in,
+//   * an always-on MetricsRegistry (per-operation and per-stage latency
+//     histograms + counters) that records every call whether sampled or
+//     not — cheap enough to leave enabled (see obs/metrics.h).
+//
+// Attach via OrbOptions::tracer (instruments the ORB core's invocation
+// and dispatch paths) and/or via the shipped Tracing*Interceptor classes
+// in orb/tracing.h (pure-policy attachment, no core hooks).
+//
+// Exports: JSONL (one span object per line) and Chrome trace_event JSON —
+// the latter opens directly in chrome://tracing or https://ui.perfetto.dev.
+#pragma once
+
+#include <atomic>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace heidi::obs {
+
+enum class SampleMode : uint8_t {
+  kNever,   // metrics only, no span timelines
+  kAlways,  // every root call records a timeline
+  kRatio,   // 1-in-N root calls record a timeline
+};
+
+struct TracerOptions {
+  SampleMode mode = SampleMode::kAlways;
+  uint32_t sample_every = 64;  // the N of 1-in-N (kRatio only)
+  size_t ring_capacity = 4096;
+  size_t ring_shards = 8;
+};
+
+class Tracer;
+
+// Span-set exporters, usable on merged snapshots from several tracers
+// (e.g. client + server rings combined into one timeline).
+std::string SpansToJsonl(const std::vector<SpanRecord>& spans);
+std::string SpansToChromeTrace(const std::vector<SpanRecord>& spans);
+
+// Best-effort file write used by the exporters' callers; logs on failure.
+bool WriteStringToFile(const std::string& path, std::string_view content);
+
+// A live span under construction. Created by Tracer::StartSpan, finished
+// by End() (or the destructor, which tags an un-ended span "abandoned").
+// Not thread-safe: a span belongs to the call it describes, and exactly
+// one thread works on a call at a time at each stage boundary.
+class Span {
+ public:
+  ~Span();
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  const TraceContext& Context() const { return record_.ctx; }
+
+  // Backdates the span's start, e.g. to a request's creation timestamp so
+  // marshal time that happened before StartSpan is on the timeline.
+  void SetStart(int64_t start_ns) { record_.start_ns = start_ns; }
+
+  // Appends a completed stage [start_ns, now).
+  void AddStage(const char* name, int64_t start_ns) {
+    record_.AddStage(name, start_ns, NowNs());
+  }
+  void AddStageInterval(const char* name, int64_t start_ns, int64_t end_ns) {
+    record_.AddStage(name, start_ns, end_ns);
+  }
+
+  void SetError(std::string_view what) { record_.error = what; }
+
+  // Stamps the end time and commits the record to the tracer's ring.
+  // Idempotent; later calls are no-ops.
+  void End();
+
+ private:
+  friend class Tracer;
+  Span(Tracer* tracer, SpanRecord record)
+      : tracer_(tracer), record_(std::move(record)) {}
+
+  Tracer* tracer_;
+  SpanRecord record_;
+  bool ended_ = false;
+};
+
+class Tracer {
+ public:
+  explicit Tracer(TracerOptions options = {});
+
+  const TracerOptions& Options() const { return options_; }
+
+  // The sampling decision for a new *root* call (non-root hops inherit
+  // the inbound context's sampled flag instead of asking).
+  bool SampleNext();
+
+  // Starts a span whose identity is `ctx` (ctx.span_id is the new span's
+  // own id). The caller owns the span; End() commits it.
+  std::unique_ptr<Span> StartSpan(SpanKind kind, std::string_view operation,
+                                  const TraceContext& ctx);
+
+  MetricsRegistry& Metrics() { return metrics_; }
+  const MetricsRegistry& Metrics() const { return metrics_; }
+  SpanRing& Ring() { return ring_; }
+  const SpanRing& Ring() const { return ring_; }
+
+  std::vector<SpanRecord> Snapshot() const { return ring_.Snapshot(); }
+
+  std::string ExportJsonl() const { return SpansToJsonl(Snapshot()); }
+  std::string ExportChromeTrace() const {
+    return SpansToChromeTrace(Snapshot());
+  }
+  // Writes the Chrome trace_event JSON to `path`; false on I/O failure
+  // (logged, never thrown — telemetry must not fail the application).
+  bool WriteChromeTrace(const std::string& path) const;
+
+ private:
+  friend class Span;
+  void Commit(SpanRecord&& record);
+
+  TracerOptions options_;
+  std::atomic<uint64_t> sample_counter_{0};
+  MetricsRegistry metrics_;
+  SpanRing ring_;
+};
+
+}  // namespace heidi::obs

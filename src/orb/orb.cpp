@@ -77,6 +77,16 @@ int BackoffDelayMs(const RetryPolicy& policy, int attempt) {
   return static_cast<int>(base) + jitter;
 }
 
+// Stage names must outlive their span (StageRecord keeps the pointer),
+// so attempt stages draw from a static table.
+const char* AttemptStageName(int attempt) {
+  static const char* const kNames[] = {"attempt.1", "attempt.2", "attempt.3",
+                                       "attempt.4", "attempt.5", "attempt.6",
+                                       "attempt.7", "attempt.8"};
+  if (attempt >= 1 && attempt <= 8) return kNames[attempt - 1];
+  return "attempt.n";
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -91,6 +101,24 @@ Orb::Orb(OrbOptions options) : options_(std::move(options)) {
   }
   if (options_.server_workers > 0) {
     worker_pool_ = std::make_unique<WorkPool>(options_.server_workers);
+  }
+  if (options_.tracer != nullptr) {
+    // Stage keys are fixed, so resolve their histogram slots once here —
+    // MetricsRegistry hands out stable pointers — and keep the hot path
+    // free of registry lookups (per-operation keys are looked up per
+    // call; short names stay within std::string's SSO buffer).
+    obs::MetricsRegistry& metrics = options_.tracer->Metrics();
+    stage_client_acquire_ = metrics.Histogram("stage.client.acquire");
+    stage_client_send_ = metrics.Histogram("stage.client.send");
+    stage_client_wait_ = metrics.Histogram("stage.client.wait");
+    stage_client_unmarshal_ = metrics.Histogram("stage.client.unmarshal");
+    stage_server_queue_ = metrics.Histogram("stage.server.queue");
+    stage_server_exec_ = metrics.Histogram("stage.server.exec");
+    stage_server_reply_ = metrics.Histogram("stage.server.reply");
+    ctr_calls_ = metrics.GetCounter("client.calls");
+    ctr_call_errors_ = metrics.GetCounter("client.errors");
+    ctr_requests_ = metrics.GetCounter("server.requests");
+    ctr_request_errors_ = metrics.GetCounter("server.errors");
   }
   InprocRegister(options_.inproc_name, this);
 }
@@ -240,8 +268,10 @@ size_t Orb::ExportedCount() const {
 // Server: request handling
 
 void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
+  obs::Tracer* tracer = options_.tracer.get();
   while (true) {
     std::unique_ptr<wire::Call> request;
+    int64_t t_read = tracer != nullptr ? obs::NowNs() : 0;
     try {
       request = comm->ReadCall();
     } catch (const HdError& e) {
@@ -254,25 +284,62 @@ void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
                   << " sent a reply where a request was expected; closing";
       break;
     }
+    // The server span continues the inbound trace: same trace id, fresh
+    // span id, parented on the client's wire-propagated span. Created
+    // only when the client sampled the call. Its "read" stage spans the
+    // wire read, which on an idle connection includes time spent waiting
+    // for the request to arrive — interpretable on a timeline, so it is
+    // deliberately kept off the always-on stage histograms.
+    std::shared_ptr<obs::Span> span;
+    if (tracer != nullptr && request->Trace().Valid() &&
+        request->Trace().sampled) {
+      obs::TraceContext ctx = request->Trace();
+      ctx.parent_span_id = ctx.span_id;
+      ctx.span_id = obs::NewSpanId();
+      span = tracer->StartSpan(obs::SpanKind::kServer, request->Operation(),
+                               ctx);
+      span->SetStart(t_read);
+      span->AddStage("read", t_read);
+    }
     if (request->Oneway()) {
       // Inline on the reader thread: oneways from one connection execute
       // in submission order, whatever the pool's workers are doing.
-      HandleRequest(*request);
+      HandleRequest(*request, span.get());
       requests_served_.fetch_add(1, std::memory_order_relaxed);
+      if (span != nullptr) span->End();
       continue;
     }
     // Twoway: dispatch on the pool so calls pipelined on this connection
     // overlap. Send is thread-safe; replies go out in completion order
     // and the client's mux matches them by call id.
     std::shared_ptr<wire::Call> shared_request(std::move(request));
-    auto task = [this, comm, shared_request] {
-      std::unique_ptr<wire::Call> reply = HandleRequest(*shared_request);
+    int64_t t_queued = tracer != nullptr ? obs::NowNs() : 0;
+    auto task = [this, comm, shared_request, span, t_queued, tracer] {
+      if (tracer != nullptr) {
+        // Queue wait: from Post() to a pool worker picking the task up
+        // (zero-ish when dispatching inline on the reader thread).
+        int64_t t_start = obs::NowNs();
+        stage_server_queue_->Record(static_cast<uint64_t>(t_start - t_queued));
+        if (span != nullptr) span->AddStageInterval("queue", t_queued, t_start);
+      }
+      std::unique_ptr<wire::Call> reply =
+          HandleRequest(*shared_request, span.get());
       requests_served_.fetch_add(1, std::memory_order_relaxed);
+      int64_t t_reply = tracer != nullptr ? obs::NowNs() : 0;
       try {
         comm->Send(*reply);
       } catch (const HdError& e) {
         HD_LOG_DEBUG << "reply to " << comm->PeerName()
                      << " failed: " << e.what();
+        if (span != nullptr) span->SetError(e.what());
+      }
+      if (tracer != nullptr) {
+        int64_t t_done = obs::NowNs();
+        stage_server_reply_->Record(static_cast<uint64_t>(t_done - t_reply));
+        if (span != nullptr) {
+          span->AddStageInterval("reply", t_reply, t_done);
+          span->End();
+        }
       }
     };
     if (worker_pool_ == nullptr || !worker_pool_->Post(task)) task();
@@ -288,7 +355,17 @@ void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
       server_comms_.end());
 }
 
-std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request) {
+std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request,
+                                               obs::Span* span) {
+  obs::Tracer* tracer = options_.tracer.get();
+  int64_t t_enter = tracer != nullptr ? obs::NowNs() : 0;
+  int64_t t_exec = 0;
+  // Nested invocations made by the implementation (or interceptors) on
+  // this thread join the inbound trace as children of the server span —
+  // or, when the call was not sampled, silently continue its trace id.
+  obs::TraceContext ambient =
+      span != nullptr ? span->Context() : request.Trace();
+  obs::ScopedContext trace_scope(ambient);
   std::unique_ptr<wire::Call> reply = protocol_->NewCall();
   reply->SetKind(wire::CallKind::kReply);
   reply->SetCallId(request.CallId());
@@ -300,6 +377,8 @@ std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request) {
         interceptor->PreDispatch(request);
       }
     }
+    if (span != nullptr) span->AddStage("predispatch", t_enter);
+    t_exec = tracer != nullptr ? obs::NowNs() : 0;
     ObjectRef target = ObjectRef::Parse(request.Target());
     HdSkeleton* skeleton = nullptr;
     std::unique_ptr<HdSkeleton> transient;
@@ -373,6 +452,27 @@ std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request) {
       } catch (const std::exception& e) {
         HD_LOG_WARN << "server interceptor PostDispatch threw: " << e.what();
       }
+    }
+  }
+  // The reply relays the trace context so the caller's wire peer can
+  // correlate frames; the span id is the server span's when one exists.
+  if (request.Trace().Valid()) {
+    reply->SetTrace(span != nullptr ? span->Context() : request.Trace());
+  }
+  if (tracer != nullptr) {
+    int64_t t_done = obs::NowNs();
+    if (t_exec == 0) t_exec = t_enter;  // PreDispatch rejected the request
+    stage_server_exec_->Record(static_cast<uint64_t>(t_done - t_exec));
+    int64_t served = t_done - t_enter;
+    tracer->Metrics()
+        .Histogram("srv." + request.Operation())
+        ->Record(static_cast<uint64_t>(served > 0 ? served : 0));
+    ctr_requests_->Add(1);
+    bool failed = reply->Status() != wire::CallStatus::kOk;
+    if (failed) ctr_request_errors_->Add(1);
+    if (span != nullptr) {
+      span->AddStageInterval("exec", t_exec, t_done);
+      if (failed) span->SetError(reply->ErrorText());
     }
   }
   return reply;
@@ -518,6 +618,25 @@ std::unique_ptr<wire::Call> Orb::NewRequest(const ObjectRef& target,
   call->SetTarget(target.ToString());
   call->SetOperation(std::string(op));
   call->SetOneway(oneway);
+  if (options_.tracer != nullptr) {
+    // Trace ids are stamped at request birth (Invoke only sees a const
+    // Call). A request created while a traced dispatch is executing on
+    // this thread joins the inbound trace as a child — that is how
+    // nested invocations end up on one end-to-end timeline; otherwise a
+    // fresh root is started only when the tracer samples this call. A
+    // sampled-out call gets NO context at all: nothing would ever read
+    // it, and keeping it off the wire is what holds the sampled-out
+    // overhead inside the <5% budget (the text protocol in particular
+    // pays a whole formatted header line per propagated context). The
+    // always-on histograms never depend on a context being present.
+    const obs::TraceContext& ambient = obs::CurrentContext();
+    if (ambient.Valid()) {
+      call->SetTrace(obs::ChildContext(ambient));
+    } else if (options_.tracer->SampleNext()) {
+      call->SetTrace(obs::NewRootContext(true));
+    }
+    call->SetBornNs(obs::NowNs());
+  }
   return call;
 }
 
@@ -557,6 +676,64 @@ bool Orb::PrepareRetry(const wire::Call& request, bool indeterminate,
   return true;
 }
 
+// ---------------------------------------------------------------------------
+// Client-side observability plumbing. All three helpers are cheap no-ops
+// (one branch) when no tracer is attached.
+
+InvokeTrace Orb::BeginInvokeTrace(const wire::Call& request) {
+  InvokeTrace trace;
+  if (options_.tracer == nullptr) return trace;
+  trace.tracer = options_.tracer.get();
+  trace.start_ns = obs::NowNs();
+  trace.operation = request.Operation();
+  const obs::TraceContext& ctx = request.Trace();
+  if (ctx.Valid() && ctx.sampled) {
+    trace.span = trace.tracer->StartSpan(obs::SpanKind::kClient,
+                                         request.Operation(), ctx);
+    // Backdate the span to the request's creation so the marshal stage
+    // (NewRequest -> Invoke: the stub's Put* calls) is on the timeline.
+    if (request.BornNs() != 0 && request.BornNs() < trace.start_ns) {
+      trace.span->SetStart(request.BornNs());
+      trace.span->AddStageInterval("marshal", request.BornNs(),
+                                   trace.start_ns);
+    }
+  }
+  return trace;
+}
+
+void Orb::RecordAttemptSpan(InvokeTrace& trace, int attempt,
+                            int64_t attempt_start_ns, const char* error) {
+  // Attempt sub-spans exist only once the attempt structure is
+  // interesting — a failure, or a success that needed retries — so the
+  // common single-attempt timeline stays one span deep.
+  if (trace.span == nullptr) return;
+  if (error == nullptr && attempt <= 1) return;
+  obs::TraceContext ctx = obs::ChildContext(trace.span->Context());
+  auto sub = trace.tracer->StartSpan(obs::SpanKind::kAttempt,
+                                     trace.operation, ctx);
+  sub->SetStart(attempt_start_ns);
+  sub->AddStageInterval(AttemptStageName(attempt), attempt_start_ns,
+                        obs::NowNs());
+  if (error != nullptr) sub->SetError(error);
+  sub->End();
+}
+
+void Orb::FinishInvokeTrace(InvokeTrace& trace, const char* error) {
+  if (trace.tracer == nullptr) return;
+  int64_t elapsed = obs::NowNs() - trace.start_ns;
+  trace.tracer->Metrics()
+      .Histogram("op." + trace.operation)
+      ->Record(static_cast<uint64_t>(elapsed > 0 ? elapsed : 0));
+  ctr_calls_->Add(1);
+  if (error != nullptr) ctr_call_errors_->Add(1);
+  if (trace.span != nullptr) {
+    if (error != nullptr) trace.span->SetError(error);
+    trace.span->End();
+    trace.span.reset();
+  }
+  trace.tracer = nullptr;  // finished: the handle/caller must not re-run
+}
+
 std::unique_ptr<wire::Call> Orb::Invoke(const ObjectRef& target,
                                         const wire::Call& request,
                                         int timeout_ms) {
@@ -565,27 +742,44 @@ std::unique_ptr<wire::Call> Orb::Invoke(const ObjectRef& target,
   Clock::time_point deadline =
       has_deadline ? Clock::now() + std::chrono::milliseconds(effective)
                    : Clock::time_point();
+  InvokeTrace trace = BeginInvokeTrace(request);
   int attempt = 0;
-  for (;;) {
-    ++attempt;
-    std::exception_ptr failure;
-    bool indeterminate = false;
-    try {
-      ReplyHandle handle = InvokeAsyncOnce(
-          target, request, RemainingMs(has_deadline, deadline));
-      return handle.Get();
-    } catch (const TimeoutError&) {
-      throw;  // the call's time is spent; a retry could not finish either
-    } catch (const ConnectError&) {
-      failure = std::current_exception();  // determinate: never sent
-    } catch (const NetError&) {
-      failure = std::current_exception();
-      indeterminate = true;  // bytes may have reached the server
+  try {
+    for (;;) {
+      ++attempt;
+      int64_t attempt_start =
+          trace.span != nullptr ? obs::NowNs() : trace.start_ns;
+      std::exception_ptr failure;
+      bool indeterminate = false;
+      try {
+        ReplyHandle handle = InvokeAsyncOnce(
+            target, request, RemainingMs(has_deadline, deadline),
+            trace.span.get());
+        std::unique_ptr<wire::Call> reply = handle.Get();
+        RecordAttemptSpan(trace, attempt, attempt_start, nullptr);
+        FinishInvokeTrace(trace, nullptr);
+        return reply;
+      } catch (const TimeoutError&) {
+        throw;  // the call's time is spent; a retry could not finish either
+      } catch (const ConnectError& e) {
+        failure = std::current_exception();  // determinate: never sent
+        RecordAttemptSpan(trace, attempt, attempt_start, e.what());
+      } catch (const NetError& e) {
+        failure = std::current_exception();
+        indeterminate = true;  // bytes may have reached the server
+        RecordAttemptSpan(trace, attempt, attempt_start, e.what());
+      }
+      if (!PrepareRetry(request, indeterminate, attempt, has_deadline,
+                        deadline)) {
+        std::rethrow_exception(failure);
+      }
     }
-    if (!PrepareRetry(request, indeterminate, attempt, has_deadline,
-                      deadline)) {
-      std::rethrow_exception(failure);
-    }
+  } catch (const std::exception& e) {
+    // Covers the retry exhaustion above plus errors that bypass the
+    // retry loop entirely (deadline expiry, remote system errors / user
+    // exceptions out of Get): the client span always closes, tagged.
+    FinishInvokeTrace(trace, e.what());
+    throw;
   }
 }
 
@@ -596,33 +790,55 @@ ReplyHandle Orb::InvokeAsync(const ObjectRef& target,
   Clock::time_point deadline =
       has_deadline ? Clock::now() + std::chrono::milliseconds(effective)
                    : Clock::time_point();
+  InvokeTrace trace = BeginInvokeTrace(request);
   int attempt = 0;
   for (;;) {
     ++attempt;
+    int64_t attempt_start =
+        trace.span != nullptr ? obs::NowNs() : trace.start_ns;
     std::exception_ptr failure;
     bool indeterminate = false;
     try {
-      return InvokeAsyncOnce(target, request,
-                             RemainingMs(has_deadline, deadline));
-    } catch (const TimeoutError&) {
+      ReplyHandle handle = InvokeAsyncOnce(
+          target, request, RemainingMs(has_deadline, deadline),
+          trace.span.get());
+      // The handle finishes the trace when Get() resolves (or never, if
+      // the caller abandons it — the span's destructor then closes it
+      // tagged "abandoned", which is the truth).
+      handle.trace_ = std::move(trace);
+      handle.borrowed_span_ = nullptr;
+      return handle;
+    } catch (const TimeoutError& e) {
+      FinishInvokeTrace(trace, e.what());
       throw;
-    } catch (const ConnectError&) {
+    } catch (const ConnectError& e) {
       failure = std::current_exception();
-    } catch (const NetError&) {
+      RecordAttemptSpan(trace, attempt, attempt_start, e.what());
+    } catch (const NetError& e) {
       failure = std::current_exception();
       indeterminate = true;
+      RecordAttemptSpan(trace, attempt, attempt_start, e.what());
     }
     if (!PrepareRetry(request, indeterminate, attempt, has_deadline,
                       deadline)) {
-      std::rethrow_exception(failure);
+      try {
+        std::rethrow_exception(failure);
+      } catch (const std::exception& e) {
+        FinishInvokeTrace(trace, e.what());
+        throw;
+      }
     }
   }
 }
 
 ReplyHandle Orb::InvokeAsyncOnce(const ObjectRef& target,
-                                 const wire::Call& request, int timeout_ms) {
+                                 const wire::Call& request, int timeout_ms,
+                                 obs::Span* span) {
+  obs::Tracer* tracer = options_.tracer.get();
   RunPreInvoke(target, request);
+  int64_t t_acquire = tracer != nullptr ? obs::NowNs() : 0;
   std::shared_ptr<ObjectCommunicator> comm = GetCommunicator(target);
+  int64_t t_send = tracer != nullptr ? obs::NowNs() : 0;
   calls_sent_.fetch_add(1, std::memory_order_relaxed);
   ReplyHandle handle;
   handle.orb_ = this;
@@ -630,31 +846,71 @@ ReplyHandle Orb::InvokeAsyncOnce(const ObjectRef& target,
   handle.comm_ = std::move(comm);
   handle.call_id_ = request.CallId();
   handle.timeout_ms_ = timeout_ms < 0 ? options_.call_timeout_ms : timeout_ms;
+  handle.borrowed_span_ = span;
   try {
     handle.future_ = handle.comm_->SubmitCall(request);
   } catch (const NetError&) {
     DropCachedCommunicator(target.Endpoint());
     throw;
   }
+  if (tracer != nullptr) {
+    int64_t t_done = obs::NowNs();
+    stage_client_acquire_->Record(static_cast<uint64_t>(t_send - t_acquire));
+    stage_client_send_->Record(static_cast<uint64_t>(t_done - t_send));
+    if (span != nullptr) {
+      span->AddStageInterval("acquire", t_acquire, t_send);
+      span->AddStageInterval("send", t_send, t_done);
+    }
+  }
   return handle;
 }
 
 std::unique_ptr<wire::Call> ReplyHandle::Get() {
-  std::unique_ptr<wire::Call> reply;
+  // Sync path: the span is borrowed from Invoke's InvokeTrace (which
+  // also finishes it). Async path: this handle owns the whole trace and
+  // finishes it here.
+  obs::Span* span =
+      trace_.span != nullptr ? trace_.span.get() : borrowed_span_;
+  obs::Tracer* tracer = orb_->options_.tracer.get();
   try {
-    reply = comm_->AwaitReply(call_id_, future_, timeout_ms_);
-  } catch (const TimeoutError&) {
-    // The deadline expired but the connection is healthy: keep it cached
-    // (the late reply is drained by the demux thread), fail only this
-    // call.
-    throw;
-  } catch (const NetError&) {
-    orb_->DropCachedCommunicator(target_.Endpoint());
+    std::unique_ptr<wire::Call> reply;
+    int64_t t_wait = tracer != nullptr ? obs::NowNs() : 0;
+    try {
+      reply = comm_->AwaitReply(call_id_, future_, timeout_ms_);
+    } catch (const TimeoutError&) {
+      // The deadline expired but the connection is healthy: keep it cached
+      // (the late reply is drained by the demux thread), fail only this
+      // call.
+      throw;
+    } catch (const NetError&) {
+      orb_->DropCachedCommunicator(target_.Endpoint());
+      throw;
+    }
+    int64_t t_unmarshal = tracer != nullptr ? obs::NowNs() : 0;
+    if (!orb_->options_.cache_connections) comm_->Close();
+    orb_->RunPostInvoke(target_, *reply);
+    std::unique_ptr<wire::Call> result =
+        orb_->CheckReplyStatus(target_, std::move(reply));
+    if (tracer != nullptr) {
+      // "wait" covers the round trip including the demux thread's frame
+      // decode; "unmarshal" is the local tail (interceptors + status
+      // checks — the stub's Get* calls read an already-decoded buffer).
+      int64_t t_done = obs::NowNs();
+      orb_->stage_client_wait_->Record(
+          static_cast<uint64_t>(t_unmarshal - t_wait));
+      orb_->stage_client_unmarshal_->Record(
+          static_cast<uint64_t>(t_done - t_unmarshal));
+      if (span != nullptr) {
+        span->AddStageInterval("wait", t_wait, t_unmarshal);
+        span->AddStageInterval("unmarshal", t_unmarshal, t_done);
+      }
+    }
+    orb_->FinishInvokeTrace(trace_, nullptr);  // no-op for the sync path
+    return result;
+  } catch (const std::exception& e) {
+    orb_->FinishInvokeTrace(trace_, e.what());
     throw;
   }
-  if (!orb_->options_.cache_connections) comm_->Close();
-  orb_->RunPostInvoke(target_, *reply);
-  return orb_->CheckReplyStatus(target_, std::move(reply));
 }
 
 std::unique_ptr<wire::Call> Orb::CheckReplyStatus(
@@ -688,14 +944,19 @@ std::unique_ptr<wire::Call> Orb::CheckReplyStatus(
 }
 
 void Orb::InvokeOneway(const ObjectRef& target, const wire::Call& request) {
+  InvokeTrace trace = BeginInvokeTrace(request);
   int attempt = 0;
   for (;;) {
     ++attempt;
+    int64_t attempt_start =
+        trace.span != nullptr ? obs::NowNs() : trace.start_ns;
     std::exception_ptr failure;
     bool indeterminate = false;
     try {
       RunPreInvoke(target, request);
+      int64_t t_acquire = trace.tracer != nullptr ? obs::NowNs() : 0;
       std::shared_ptr<ObjectCommunicator> comm = GetCommunicator(target);
+      int64_t t_send = trace.tracer != nullptr ? obs::NowNs() : 0;
       calls_sent_.fetch_add(1, std::memory_order_relaxed);
       try {
         comm->Send(request);
@@ -704,21 +965,41 @@ void Orb::InvokeOneway(const ObjectRef& target, const wire::Call& request) {
         throw;
       }
       if (!options_.cache_connections) comm->Close();
+      if (trace.tracer != nullptr) {
+        int64_t t_done = obs::NowNs();
+        stage_client_acquire_->Record(
+            static_cast<uint64_t>(t_send - t_acquire));
+        stage_client_send_->Record(static_cast<uint64_t>(t_done - t_send));
+        if (trace.span != nullptr) {
+          trace.span->AddStageInterval("acquire", t_acquire, t_send);
+          trace.span->AddStageInterval("send", t_send, t_done);
+        }
+        RecordAttemptSpan(trace, attempt, attempt_start, nullptr);
+        FinishInvokeTrace(trace, nullptr);
+      }
       return;
-    } catch (const TimeoutError&) {
+    } catch (const TimeoutError& e) {
+      FinishInvokeTrace(trace, e.what());
       throw;
-    } catch (const ConnectError&) {
+    } catch (const ConnectError& e) {
       failure = std::current_exception();
-    } catch (const NetError&) {
+      RecordAttemptSpan(trace, attempt, attempt_start, e.what());
+    } catch (const NetError& e) {
       failure = std::current_exception();
       indeterminate = true;
+      RecordAttemptSpan(trace, attempt, attempt_start, e.what());
     }
     // A oneway request passes the idempotency gate either way:
     // fire-and-forget semantics accept a possible duplicate over a
     // silent loss.
     if (!PrepareRetry(request, indeterminate, attempt,
                       /*has_deadline=*/false, Clock::time_point())) {
-      std::rethrow_exception(failure);
+      try {
+        std::rethrow_exception(failure);
+      } catch (const std::exception& e) {
+        FinishInvokeTrace(trace, e.what());
+        throw;
+      }
     }
   }
 }
@@ -856,6 +1137,13 @@ OrbStats Orb::Stats() const {
   stats.retry_give_ups = retry_give_ups_.load(std::memory_order_relaxed);
   if (options_.fault_injector != nullptr) {
     stats.faults_injected = options_.fault_injector->Stats().Total();
+  }
+  if (options_.tracer != nullptr) {
+    stats.spans_recorded = options_.tracer->Ring().Recorded();
+    stats.spans_dropped = options_.tracer->Ring().Dropped();
+  }
+  if (worker_pool_ != nullptr) {
+    stats.dispatch_queue_highwater = worker_pool_->GetStats().queue_highwater;
   }
   return stats;
 }

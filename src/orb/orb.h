@@ -47,6 +47,7 @@
 #include "net/channel.h"
 #include "net/fault.h"
 #include "net/tcp.h"
+#include "obs/tracer.h"
 #include "orb/callmux.h"
 #include "orb/communicator.h"
 #include "orb/dispatch.h"
@@ -93,6 +94,16 @@ struct OrbOptions {
   // a FaultyChannel driven by this injector, and connects may be
   // refused. nullptr (the default) disables injection entirely.
   std::shared_ptr<net::FaultInjector> fault_injector;
+  // Observability as policy (the same §5 attachability argument as
+  // interceptors): when set, the orb instruments its invocation and
+  // dispatch paths — per-operation/per-stage latency histograms always
+  // on, span timelines per the tracer's sampling mode — and stamps
+  // sampled outbound requests (and any request joining an inbound
+  // trace) with a wire-propagated TraceContext; sampled-out calls carry
+  // no context and pay no wire cost. nullptr (the default) leaves the
+  // hot path untouched. Client and server orbs may share one tracer
+  // (single merged timeline) or own one each.
+  std::shared_ptr<obs::Tracer> tracer;
 };
 
 // Counters exposed for benchmarks and tests (monotonic, best-effort).
@@ -113,6 +124,21 @@ struct OrbStats {
   uint64_t retries = 0;                 // invocation attempts re-sent
   uint64_t retry_give_ups = 0;          // retryable failures abandoned
   uint64_t faults_injected = 0;         // from OrbOptions::fault_injector
+  // Observability counters (zero unless OrbOptions::tracer is set).
+  uint64_t spans_recorded = 0;          // span timelines kept in the ring
+  uint64_t spans_dropped = 0;           // timelines lost to ring contention
+  uint64_t dispatch_queue_highwater = 0;  // WorkPool max queued tasks
+};
+
+// Per-invocation observability state threaded through the invoke path
+// (internal; public only because ReplyHandle carries it by value for the
+// async path). `span` is non-null only for sampled calls; the metrics
+// fields are live whenever a tracer is attached.
+struct InvokeTrace {
+  obs::Tracer* tracer = nullptr;
+  std::unique_ptr<obs::Span> span;  // sampled timeline, else nullptr
+  int64_t start_ns = 0;             // Invoke/InvokeAsync entry
+  std::string operation;            // per-op histogram key at finish
 };
 
 class Orb;
@@ -146,6 +172,11 @@ class ReplyHandle {
   std::future<std::unique_ptr<wire::Call>> future_;
   uint64_t call_id_ = 0;
   int timeout_ms_ = -1;
+  // Observability: the async path moves its whole InvokeTrace into the
+  // handle (Get() finishes it); the sync path keeps ownership in Invoke
+  // and only lends the sampled span for wait/unmarshal stage timing.
+  InvokeTrace trace_;
+  obs::Span* borrowed_span_ = nullptr;
 };
 
 class Orb {
@@ -266,9 +297,12 @@ class Orb {
   void DropCachedCommunicator(const std::string& endpoint);
   std::unique_ptr<net::ByteChannel> ConnectTo(const ObjectRef& ref);
   // One connect+submit attempt, no retrying (`timeout_ms` already
-  // resolved against the orb default by the caller).
+  // resolved against the orb default by the caller). `span` (may be
+  // null) receives acquire/send stage intervals and is lent to the
+  // returned handle for wait/unmarshal timing.
   ReplyHandle InvokeAsyncOnce(const ObjectRef& target,
-                              const wire::Call& request, int timeout_ms);
+                              const wire::Call& request, int timeout_ms,
+                              obs::Span* span);
   // Decides whether a failed attempt is retried: applies the idempotency
   // gate, the attempt/budget limits, and the deadline-bounded backoff
   // sleep. Returns true after sleeping (caller reattempts) or false
@@ -277,7 +311,22 @@ class Orb {
                     int attempt, bool has_deadline,
                     std::chrono::steady_clock::time_point deadline);
   void HandlerLoop(std::shared_ptr<ObjectCommunicator> comm);
-  std::unique_ptr<wire::Call> HandleRequest(wire::Call& request);
+  // `span` (may be null) receives predispatch/exec stage intervals and
+  // an error tag when the dispatch fails.
+  std::unique_ptr<wire::Call> HandleRequest(wire::Call& request,
+                                            obs::Span* span);
+  // --- observability helpers (no-ops when options_.tracer is null) --------
+  // Starts per-invocation trace state: always-on metrics bookkeeping plus
+  // a client span when the request's context is sampled.
+  InvokeTrace BeginInvokeTrace(const wire::Call& request);
+  // Records one failed-or-retried attempt as a kAttempt sub-span sharing
+  // the parent's trace id (only sampled calls, and only once retries or
+  // failures make the attempt structure interesting).
+  void RecordAttemptSpan(InvokeTrace& trace, int attempt,
+                         int64_t attempt_start_ns, const char* error);
+  // Ends the span (tagging `error` if set) and records the per-operation
+  // latency histogram and call/error counters.
+  void FinishInvokeTrace(InvokeTrace& trace, const char* error);
   // Maps a reply's wire status to the caller-visible result/exception.
   std::unique_ptr<wire::Call> CheckReplyStatus(
       const ObjectRef& target, std::unique_ptr<wire::Call> reply);
@@ -332,6 +381,22 @@ class Orb {
   std::atomic<uint64_t> reconnects_{0};
   std::atomic<uint64_t> retries_{0};
   std::atomic<uint64_t> retry_give_ups_{0};
+
+  // Observability: stage histogram / counter pointers resolved once in
+  // the constructor (MetricsRegistry pointers are stable), so the hot
+  // path never does a registry lookup for the fixed stage keys. All null
+  // when options_.tracer is null.
+  obs::LatencyHistogram* stage_client_acquire_ = nullptr;
+  obs::LatencyHistogram* stage_client_send_ = nullptr;
+  obs::LatencyHistogram* stage_client_wait_ = nullptr;
+  obs::LatencyHistogram* stage_client_unmarshal_ = nullptr;
+  obs::LatencyHistogram* stage_server_queue_ = nullptr;
+  obs::LatencyHistogram* stage_server_exec_ = nullptr;
+  obs::LatencyHistogram* stage_server_reply_ = nullptr;
+  obs::Counter* ctr_calls_ = nullptr;
+  obs::Counter* ctr_call_errors_ = nullptr;
+  obs::Counter* ctr_requests_ = nullptr;
+  obs::Counter* ctr_request_errors_ = nullptr;
 };
 
 }  // namespace heidi::orb

@@ -1,0 +1,72 @@
+#include "orb/tracing.h"
+
+#include <utility>
+
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace heidi::orb {
+
+TracingClientInterceptor::TracingClientInterceptor(
+    std::shared_ptr<obs::Tracer> tracer)
+    : tracer_(std::move(tracer)) {
+  if (tracer_ == nullptr) {
+    throw HdError("TracingClientInterceptor needs a tracer");
+  }
+}
+
+void TracingClientInterceptor::PreInvoke(const ObjectRef& target,
+                                         const wire::Call& request) {
+  tracer_->Metrics()
+      .GetCounter("icpt.req." + request.Operation())
+      ->Add(1);
+  if (log::GetLevel() <= log::Level::kDebug) {
+    HD_LOG_DEBUG << "invoke " << request.Operation() << " -> "
+                 << target.Endpoint() << " trace="
+                 << request.Trace().ToString();
+  }
+}
+
+void TracingClientInterceptor::PostInvoke(const ObjectRef& target,
+                                          const wire::Call& reply) {
+  tracer_->Metrics().GetCounter("icpt.rep")->Add(1);
+  if (reply.Status() != wire::CallStatus::kOk) {
+    tracer_->Metrics().GetCounter("icpt.rep.errors")->Add(1);
+  }
+  if (log::GetLevel() <= log::Level::kDebug) {
+    HD_LOG_DEBUG << "reply from " << target.Endpoint() << " status="
+                 << static_cast<int>(reply.Status()) << " trace="
+                 << reply.Trace().ToString();
+  }
+}
+
+TracingServerInterceptor::TracingServerInterceptor(
+    std::shared_ptr<obs::Tracer> tracer)
+    : tracer_(std::move(tracer)) {
+  if (tracer_ == nullptr) {
+    throw HdError("TracingServerInterceptor needs a tracer");
+  }
+}
+
+void TracingServerInterceptor::PreDispatch(const wire::Call& request) {
+  tracer_->Metrics()
+      .GetCounter("icpt.dispatch." + request.Operation())
+      ->Add(1);
+  if (log::GetLevel() <= log::Level::kDebug) {
+    HD_LOG_DEBUG << "dispatch " << request.Operation() << " trace="
+                 << request.Trace().ToString();
+  }
+}
+
+void TracingServerInterceptor::PostDispatch(const wire::Call& request,
+                                            const wire::Call& reply) {
+  if (reply.Status() != wire::CallStatus::kOk) {
+    tracer_->Metrics().GetCounter("icpt.dispatch.errors")->Add(1);
+    if (log::GetLevel() <= log::Level::kDebug) {
+      HD_LOG_DEBUG << "dispatch " << request.Operation() << " failed: "
+                   << reply.ErrorText();
+    }
+  }
+}
+
+}  // namespace heidi::orb

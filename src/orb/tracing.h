@@ -1,0 +1,48 @@
+// Tracing as a pure-policy attachment (§5): interceptor implementations
+// that observe the invocation/dispatch paths through the public hook
+// points only — no ORB-core cooperation required. They complement the
+// deeper OrbOptions::tracer integration (which owns span timelines and
+// stage histograms); attach these when all you want is per-operation
+// counters and trace-id-stamped debug logging, or as a worked example of
+// how a deployment bolts its own telemetry onto the hooks.
+//
+// Both interceptors are thread-safe (the registry hot path is lock-free)
+// and may share the Tracer attached via OrbOptions.
+#pragma once
+
+#include <memory>
+
+#include "obs/tracer.h"
+#include "orb/interceptor.h"
+
+namespace heidi::orb {
+
+// Counts requests/replies per operation ("icpt.req.<op>" /
+// "icpt.rep.<op>" counters) and, at debug level, logs each call with its
+// wire trace context so log lines join up with exported span timelines.
+class TracingClientInterceptor : public ClientInterceptor {
+ public:
+  explicit TracingClientInterceptor(std::shared_ptr<obs::Tracer> tracer);
+
+  void PreInvoke(const ObjectRef& target, const wire::Call& request) override;
+  void PostInvoke(const ObjectRef& target, const wire::Call& reply) override;
+
+ private:
+  std::shared_ptr<obs::Tracer> tracer_;
+};
+
+// Server-side twin: "icpt.dispatch.<op>" counters plus error counting by
+// reply status, with the same trace-id debug logging.
+class TracingServerInterceptor : public ServerInterceptor {
+ public:
+  explicit TracingServerInterceptor(std::shared_ptr<obs::Tracer> tracer);
+
+  void PreDispatch(const wire::Call& request) override;
+  void PostDispatch(const wire::Call& request,
+                    const wire::Call& reply) override;
+
+ private:
+  std::shared_ptr<obs::Tracer> tracer_;
+};
+
+}  // namespace heidi::orb

@@ -15,9 +15,18 @@ bool WorkPool::Post(Task task) {
       }
     }
     queue_.push_back(std::move(task));
+    ++stats_.posted;
+    if (queue_.size() > stats_.queue_highwater) {
+      stats_.queue_highwater = queue_.size();
+    }
   }
   cv_.notify_one();
   return true;
+}
+
+WorkPool::Stats WorkPool::GetStats() const {
+  std::lock_guard lock(mutex_);
+  return stats_;
 }
 
 void WorkPool::Stop() {
@@ -46,6 +55,10 @@ void WorkPool::WorkerLoop() {
       queue_.pop_front();
     }
     task();
+    {
+      std::lock_guard lock(mutex_);
+      ++stats_.executed;
+    }
   }
 }
 

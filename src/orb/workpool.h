@@ -7,6 +7,7 @@
 #pragma once
 
 #include <condition_variable>
+#include <cstdint>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -36,15 +37,24 @@ class WorkPool {
 
   int Threads() const { return target_threads_; }
 
+  // Observability counters (monotonic; maintained under the pool mutex).
+  struct Stats {
+    uint64_t posted = 0;           // tasks accepted by Post()
+    uint64_t executed = 0;         // tasks completed by a worker
+    uint64_t queue_highwater = 0;  // max tasks queued at once
+  };
+  Stats GetStats() const;
+
  private:
   void WorkerLoop();
 
   const int target_threads_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<Task> queue_;
   std::vector<std::thread> workers_;
   bool stopping_ = false;
+  Stats stats_;
 };
 
 }  // namespace heidi::orb

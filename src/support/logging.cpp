@@ -1,14 +1,23 @@
 #include "support/logging.h"
 
 #include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <mutex>
+#include <utility>
 
 namespace heidi::log {
 
 namespace {
+
+// The compiled-in default; HEIDI_LOG (read once, below) can override it
+// until the first explicit SetLevel call.
 std::atomic<Level> g_level{Level::kWarn};
+std::atomic<bool> g_level_pinned{false};  // SetLevel beats the env var
 std::mutex g_mutex;
+Sink g_sink;  // under g_mutex; empty = default stderr sink
 
 const char* LevelName(Level level) {
   switch (level) {
@@ -20,15 +29,77 @@ const char* LevelName(Level level) {
   }
   return "?";
 }
+
+bool ParseLevel(const char* name, Level* out) {
+  if (name == nullptr) return false;
+  if (std::strcmp(name, "debug") == 0) *out = Level::kDebug;
+  else if (std::strcmp(name, "info") == 0) *out = Level::kInfo;
+  else if (std::strcmp(name, "warn") == 0) *out = Level::kWarn;
+  else if (std::strcmp(name, "error") == 0) *out = Level::kError;
+  else if (std::strcmp(name, "off") == 0) *out = Level::kOff;
+  else return false;
+  return true;
+}
+
+// One-time lazy read of HEIDI_LOG; losing to a concurrent SetLevel is
+// fine (explicit configuration wins).
+void ApplyEnvOnce() {
+  static const bool applied = [] {
+    Level level;
+    if (ParseLevel(std::getenv("HEIDI_LOG"), &level) &&
+        !g_level_pinned.load(std::memory_order_relaxed)) {
+      g_level.store(level, std::memory_order_relaxed);
+    }
+    return true;
+  }();
+  (void)applied;
+}
+
+// Monotonic seconds since the first log statement of the process — small
+// numbers that line up with the tracer's steady-clock span timestamps.
+double UptimeSeconds() {
+  using Clock = std::chrono::steady_clock;
+  static const Clock::time_point start = Clock::now();
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+// Small per-thread ordinal (1, 2, 3, ...) — readable where native thread
+// ids are not.
+int ThreadOrdinal() {
+  static std::atomic<int> next{1};
+  thread_local int ordinal = next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+
 }  // namespace
 
-void SetLevel(Level level) { g_level.store(level, std::memory_order_relaxed); }
-Level GetLevel() { return g_level.load(std::memory_order_relaxed); }
+void SetLevel(Level level) {
+  g_level_pinned.store(true, std::memory_order_relaxed);
+  g_level.store(level, std::memory_order_relaxed);
+}
+
+Level GetLevel() {
+  ApplyEnvOnce();
+  return g_level.load(std::memory_order_relaxed);
+}
+
+void SetSink(Sink sink) {
+  std::lock_guard lock(g_mutex);
+  g_sink = std::move(sink);
+}
 
 void Log(Level level, const std::string& msg) {
+  ApplyEnvOnce();
   if (level < g_level.load(std::memory_order_relaxed)) return;
+  char prefix[64];
+  std::snprintf(prefix, sizeof prefix, "[heidi %.6f t=%d %s] ",
+                UptimeSeconds(), ThreadOrdinal(), LevelName(level));
   std::lock_guard lock(g_mutex);
-  std::fprintf(stderr, "[heidi %s] %s\n", LevelName(level), msg.c_str());
+  if (g_sink) {
+    g_sink(level, prefix + msg);
+    return;
+  }
+  std::fprintf(stderr, "%s%s\n", prefix, msg.c_str());
 }
 
 }  // namespace heidi::log

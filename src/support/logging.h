@@ -1,9 +1,18 @@
 // Minimal leveled logger used by the runtime for diagnostics.
 //
 // Logging defaults to kWarn so tests and benchmarks stay quiet; examples
-// raise it to kInfo. Thread-safe: each Log() call writes one complete line.
+// raise it to kInfo, and the HEIDI_LOG environment variable overrides the
+// compiled-in default at first use (debug|info|warn|error|off). Each line
+// carries a monotonic timestamp (seconds since the process's first log
+// statement) and a small per-thread ordinal:
+//   [heidi 12.345678 t=3 INFO] message
+//
+// Thread-safe: each Log() call writes one complete line. The sink is
+// pluggable (SetSink) so embedders and tests can capture the stream; the
+// default sink writes to stderr.
 #pragma once
 
+#include <functional>
 #include <sstream>
 #include <string>
 
@@ -11,11 +20,19 @@ namespace heidi::log {
 
 enum class Level { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3, kOff = 4 };
 
-// Global threshold; messages below it are discarded.
+// Global threshold; messages below it are discarded. SetLevel wins over
+// the HEIDI_LOG environment variable (which is read once, lazily).
 void SetLevel(Level level);
 Level GetLevel();
 
-// Writes `msg` as a single line to stderr if `level` passes the threshold.
+// Receives one fully formatted line (no trailing newline) per Log() call.
+// The formatted prefix is already applied; `level` is passed so sinks can
+// route by severity. Pass nullptr to restore the default stderr sink.
+// Sinks run under the logger's mutex: they must not log re-entrantly.
+using Sink = std::function<void(Level level, const std::string& line)>;
+void SetSink(Sink sink);
+
+// Writes `msg` as a single line to the sink if `level` passes the threshold.
 void Log(Level level, const std::string& msg);
 
 namespace internal {

@@ -18,6 +18,8 @@
 #include <string>
 #include <string_view>
 
+#include "obs/trace.h"
+
 namespace heidi::wire {
 
 enum class CallKind : uint8_t { kRequest, kReply };
@@ -65,6 +67,19 @@ class Call {
   // Error/exception text for non-kOk replies.
   const std::string& ErrorText() const { return error_text_; }
   void SetErrorText(std::string text) { error_text_ = std::move(text); }
+
+  // Trace context carried alongside the call header and propagated on the
+  // wire by both protocols (a "trace:" header line in text, a flagged
+  // service-context field in HIOP). An invalid (all-zero) context means
+  // the peer sent none — old peers interoperate unchanged.
+  const obs::TraceContext& Trace() const { return trace_; }
+  void SetTrace(const obs::TraceContext& ctx) { trace_ = ctx; }
+
+  // Local-only creation timestamp (obs::NowNs), never marshaled: set by
+  // Orb::NewRequest when a tracer is attached so the invocation path can
+  // report marshal time (NewRequest -> Invoke) as a span stage. 0 = unset.
+  int64_t BornNs() const { return born_ns_; }
+  void SetBornNs(int64_t ns) { born_ns_ = ns; }
 
   // --- marshaling (writable calls) ----------------------------------------
   virtual void PutBoolean(bool v) = 0;
@@ -125,6 +140,8 @@ class Call {
   bool idempotent_ = false;
   CallStatus status_ = CallStatus::kOk;
   std::string error_text_;
+  obs::TraceContext trace_;
+  int64_t born_ns_ = 0;
 };
 
 }  // namespace heidi::wire

@@ -16,6 +16,13 @@ namespace heidi::wire {
 // Line grammar (one request/reply per newline-terminated line):
 //   REQ <id> <O|W> <target> <operation> <payload tokens...>
 //   REP <id> <OK|SYS|USR|TMO> <error> <payload tokens...>
+//
+// Trace propagation: a call carrying a trace context is preceded by one
+//   trace: <32 hex trace>-<16 hex span>-<16 hex parent>-<2 hex flags>
+// header line that applies to the immediately following REQ/REP line
+// (both lines go out in a single write, so the framing stays atomic per
+// call). Peers without the feature simply never send the line; readers
+// that predate it never see it from old peers — the field is additive.
 
 namespace {
 
@@ -33,18 +40,21 @@ class TextProtocol final : public Protocol {
       throw MarshalError("text protocol given a non-text Call");
     }
     std::string line;
+    if (call.Trace().Valid()) {
+      line = "trace: " + call.Trace().ToString() + "\n";
+    }
     if (call.Kind() == CallKind::kRequest) {
-      line = "REQ " + std::to_string(call.CallId()) + " " +
-             (call.Oneway() ? "O" : "W") + " " +
-             str::EscapeToken(call.Target()) + " " +
-             str::EscapeToken(call.Operation());
+      line += "REQ " + std::to_string(call.CallId()) + " " +
+              (call.Oneway() ? "O" : "W") + " " +
+              str::EscapeToken(call.Target()) + " " +
+              str::EscapeToken(call.Operation());
     } else {
       const char* status = call.Status() == CallStatus::kOk          ? "OK"
                            : call.Status() == CallStatus::kSystemError ? "SYS"
                            : call.Status() == CallStatus::kTimeout     ? "TMO"
                                                                        : "USR";
-      line = "REP " + std::to_string(call.CallId()) + " " + status + " " +
-             str::EscapeToken(call.ErrorText());
+      line += "REP " + std::to_string(call.CallId()) + " " + status + " " +
+              str::EscapeToken(call.ErrorText());
     }
     for (const std::string& token : text->Tokens()) {
       line.push_back(' ');
@@ -56,11 +66,23 @@ class TextProtocol final : public Protocol {
 
   std::unique_ptr<Call> ReadCall(net::BufferedReader& reader) const override {
     std::string line;
-    // 64 MiB line cap, mirroring HIOP's frame cap: a corrupted stream
-    // that lost its newline must not buffer unboundedly.
-    if (!reader.ReadLine(line, 64u << 20)) return nullptr;
-    // Telnet clients send \r\n (§4.2's human-typed requests).
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+    obs::TraceContext trace;
+    // A "trace:" header line, when present, precedes its call line.
+    for (;;) {
+      // 64 MiB line cap, mirroring HIOP's frame cap: a corrupted stream
+      // that lost its newline must not buffer unboundedly.
+      if (!reader.ReadLine(line, 64u << 20)) return nullptr;
+      // Telnet clients send \r\n (§4.2's human-typed requests).
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.rfind("trace: ", 0) == 0) {
+        if (!obs::TraceContext::Parse(
+                std::string_view(line).substr(7), &trace)) {
+          throw MarshalError("malformed trace header '" + line + "'");
+        }
+        continue;  // the call this context belongs to is the next line
+      }
+      break;
+    }
     std::vector<std::string> fields = str::Split(line, ' ');
     if (fields.empty() || fields[0].empty()) {
       throw MarshalError("empty request line");
@@ -78,6 +100,7 @@ class TextProtocol final : public Protocol {
       call->SetOneway(fields[2] == "O");
       call->SetTarget(str::UnescapeToken(fields[3]));
       call->SetOperation(str::UnescapeToken(fields[4]));
+      call->SetTrace(trace);
       return call;
     }
     if (verb == "REP") {
@@ -98,6 +121,7 @@ class TextProtocol final : public Protocol {
         throw MarshalError("malformed reply status '" + fields[2] + "'");
       }
       call->SetErrorText(str::UnescapeToken(fields[3]));
+      call->SetTrace(trace);
       return call;
     }
     throw MarshalError("unknown protocol verb '" + verb + "'");
@@ -108,11 +132,22 @@ class TextProtocol final : public Protocol {
 // HIOP binary protocol
 //
 // Frame: "HIOP" | u8 version(1) | u8 msgtype (1=request, 2=reply) |
-//        u16 reserved | u32 head_len | u32 payload_len | head | payload.
+//        u8 flags | u8 reserved | u32 head_len | u32 payload_len |
+//        head | payload.
 // Head and payload are independent CDR sections (alignment restarts at 0).
+//
+// The flags byte was one of two always-zero reserved bytes through
+// version 1; bit 0 now means "a trace service-context follows the
+// standard head fields" (4 x u64 ids + 1 bool, CDR-encoded in the head
+// section). Frames from peers that predate the field carry flags = 0 and
+// decode exactly as before — the extension is additive. Unknown flag
+// bits still fail the frame: they would change the head layout in ways
+// this decoder cannot skip.
 
 constexpr char kMagic[4] = {'H', 'I', 'O', 'P'};
 constexpr uint8_t kVersion = 1;
+constexpr uint8_t kFlagTrace = 0x01;  // head carries a trace context
+constexpr uint8_t kKnownFlags = kFlagTrace;
 
 class HiopProtocol final : public Protocol {
  public:
@@ -137,6 +172,16 @@ class HiopProtocol final : public Protocol {
       head.PutOctet(static_cast<uint8_t>(call.Status()));
       head.PutString(call.ErrorText());
     }
+    uint8_t flags = 0;
+    if (call.Trace().Valid()) {
+      flags |= kFlagTrace;
+      const obs::TraceContext& trace = call.Trace();
+      head.PutULongLong(trace.trace_hi);
+      head.PutULongLong(trace.trace_lo);
+      head.PutULongLong(trace.span_id);
+      head.PutULongLong(trace.parent_span_id);
+      head.PutBoolean(trace.sampled);
+    }
     const std::string& head_bytes = head.Payload();
     const std::string& payload = bin->Payload();
 
@@ -145,7 +190,8 @@ class HiopProtocol final : public Protocol {
     frame.append(kMagic, 4);
     frame.push_back(static_cast<char>(kVersion));
     frame.push_back(call.Kind() == CallKind::kRequest ? 1 : 2);
-    frame.append(2, '\0');
+    frame.push_back(static_cast<char>(flags));
+    frame.push_back('\0');
     uint32_t head_len = static_cast<uint32_t>(head_bytes.size());
     uint32_t payload_len = static_cast<uint32_t>(payload.size());
     frame.append(reinterpret_cast<const char*>(&head_len), 4);
@@ -168,10 +214,12 @@ class HiopProtocol final : public Protocol {
     if (msgtype != 1 && msgtype != 2) {
       throw MarshalError("unknown HIOP message type");
     }
-    // The reserved bytes are always written as zero; anything else means
-    // the stream is corrupt — fail the frame before trusting its lengths.
-    if (header[6] != 0 || header[7] != 0) {
-      throw MarshalError("corrupt HIOP header (reserved bytes set)");
+    uint8_t flags = static_cast<uint8_t>(header[6]);
+    // Unknown flag bits would change the head layout; the trailing
+    // reserved byte is still always zero — anything else means the
+    // stream is corrupt. Fail the frame before trusting its lengths.
+    if ((flags & ~kKnownFlags) != 0 || header[7] != 0) {
+      throw MarshalError("corrupt HIOP header (reserved bits set)");
     }
     uint32_t head_len = 0;
     uint32_t payload_len = 0;
@@ -204,6 +252,15 @@ class HiopProtocol final : public Protocol {
       if (status > 3) throw MarshalError("malformed reply status");
       call->SetStatus(static_cast<CallStatus>(status));
       call->SetErrorText(head.GetString());
+    }
+    if ((flags & kFlagTrace) != 0) {
+      obs::TraceContext trace;
+      trace.trace_hi = head.GetULongLong();
+      trace.trace_lo = head.GetULongLong();
+      trace.span_id = head.GetULongLong();
+      trace.parent_span_id = head.GetULongLong();
+      trace.sampled = head.GetBoolean();
+      call->SetTrace(trace);
     }
     return call;
   }

@@ -1,0 +1,209 @@
+#include "obs/histogram.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace heidi::obs {
+namespace {
+
+using Hist = LatencyHistogram;
+
+// --- bucket math -----------------------------------------------------------
+
+TEST(HistogramBuckets, LinearRegionIsExact) {
+  // Values below 2^kSubBits get one bucket each.
+  for (uint64_t v = 0; v < Hist::kSubCount; ++v) {
+    EXPECT_EQ(Hist::BucketIndex(v), static_cast<int>(v)) << "v=" << v;
+    EXPECT_EQ(Hist::BucketLow(static_cast<int>(v)), v);
+    EXPECT_EQ(Hist::BucketHigh(static_cast<int>(v)), v);
+  }
+}
+
+TEST(HistogramBuckets, BoundsBracketEveryProbe) {
+  // For a spread of values: the value must lie within [low, high] of its
+  // own bucket, and the neighbouring buckets must not contain it.
+  std::vector<uint64_t> probes;
+  for (uint64_t v = 0; v < 64; ++v) probes.push_back(v);
+  for (int shift = 6; shift < 40; ++shift) {
+    uint64_t base = uint64_t{1} << shift;
+    probes.push_back(base - 1);
+    probes.push_back(base);
+    probes.push_back(base + base / 3);
+  }
+  for (uint64_t v : probes) {
+    int idx = Hist::BucketIndex(v);
+    EXPECT_GE(v, Hist::BucketLow(idx)) << "v=" << v;
+    EXPECT_LE(v, Hist::BucketHigh(idx)) << "v=" << v;
+    if (idx > 0) {
+      EXPECT_LT(Hist::BucketHigh(idx - 1), v) << "v=" << v;
+    }
+    if (idx < Hist::kBucketCount - 1) {
+      EXPECT_GT(Hist::BucketLow(idx + 1), v) << "v=" << v;
+    }
+  }
+}
+
+TEST(HistogramBuckets, BucketsTileTheRangeWithoutGaps) {
+  for (int idx = 1; idx < Hist::kBucketCount - 1; ++idx) {
+    EXPECT_EQ(Hist::BucketLow(idx + 1), Hist::BucketHigh(idx) + 1)
+        << "gap after bucket " << idx;
+  }
+}
+
+TEST(HistogramBuckets, RelativeErrorIsBounded) {
+  // The log-linear design promise: bucket width / bucket low <= 1/2^kSubBits
+  // everywhere above the linear region (except the clamp bucket).
+  for (int idx = Hist::kSubCount * 2; idx < Hist::kBucketCount - 1; ++idx) {
+    uint64_t low = Hist::BucketLow(idx);
+    uint64_t width = Hist::BucketHigh(idx) - low + 1;
+    EXPECT_LE(width * Hist::kSubCount, low * 2)
+        << "bucket " << idx << " wider than ~12.5% of its value";
+  }
+}
+
+TEST(HistogramBuckets, OversizeValuesClampToTopBucket) {
+  EXPECT_EQ(Hist::BucketIndex(UINT64_MAX), Hist::kBucketCount - 1);
+  EXPECT_EQ(Hist::BucketHigh(Hist::kBucketCount - 1), UINT64_MAX);
+}
+
+// --- recording and percentiles --------------------------------------------
+
+TEST(Histogram, CountSumMaxMean) {
+  Hist h;
+  EXPECT_EQ(h.Percentile(50), 0u);  // empty
+  h.Record(10);
+  h.Record(20);
+  h.Record(30);
+  EXPECT_EQ(h.Count(), 3u);
+  EXPECT_EQ(h.Sum(), 60u);
+  EXPECT_EQ(h.Max(), 30u);
+  EXPECT_EQ(h.Mean(), 20u);
+}
+
+TEST(Histogram, PercentilesLandInTheRightBucket) {
+  Hist h;
+  // 90 fast samples, 10 slow ones: p50 must look fast, p99 slow.
+  for (int i = 0; i < 90; ++i) h.Record(1000);
+  for (int i = 0; i < 10; ++i) h.Record(1'000'000);
+  uint64_t p50 = h.Percentile(50);
+  uint64_t p99 = h.Percentile(99);
+  EXPECT_EQ(Hist::BucketIndex(p50), Hist::BucketIndex(1000));
+  EXPECT_EQ(Hist::BucketIndex(p99), Hist::BucketIndex(1'000'000));
+  EXPECT_EQ(h.Percentile(100), h.Max());
+}
+
+TEST(Histogram, PercentileWithinRelativeErrorBound) {
+  Hist h;
+  for (int i = 1; i <= 1000; ++i) h.Record(static_cast<uint64_t>(i) * 977);
+  // True p50 = 500 * 977; the bucket midpoint must be within ~12.5%.
+  double p50 = static_cast<double>(h.Percentile(50));
+  double truth = 500.0 * 977.0;
+  EXPECT_NEAR(p50 / truth, 1.0, 0.13);
+}
+
+TEST(Histogram, ConcurrentRecordLosesNothing) {
+  Hist h;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h] {
+      for (int i = 0; i < kPerThread; ++i) h.Record(static_cast<uint64_t>(i));
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(h.Count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_EQ(h.Max(), static_cast<uint64_t>(kPerThread - 1));
+}
+
+// --- metrics registry ------------------------------------------------------
+
+TEST(MetricsRegistry, PointersAreStableAndShared) {
+  MetricsRegistry reg;
+  LatencyHistogram* a = reg.Histogram("op.echo");
+  LatencyHistogram* b = reg.Histogram("op.echo");
+  ASSERT_NE(a, nullptr);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, reg.Histogram("op.add"));
+  Counter* c = reg.GetCounter("calls");
+  c->Add(41);
+  c->Add(1);
+  EXPECT_EQ(reg.GetCounter("calls")->Value(), 42u);
+}
+
+TEST(MetricsRegistry, RenderListsRecordedMetrics) {
+  MetricsRegistry reg;
+  reg.Histogram("op.echo")->Record(1000);
+  reg.GetCounter("calls")->Add(7);
+  std::string text = reg.Render();
+  EXPECT_NE(text.find("op.echo"), std::string::npos);
+  EXPECT_NE(text.find("calls"), std::string::npos);
+  EXPECT_NE(text.find("p99"), std::string::npos);
+  std::string json = reg.RenderJson();
+  EXPECT_NE(json.find("\"op.echo\""), std::string::npos);
+  EXPECT_NE(json.find("\"calls\":7"), std::string::npos);
+}
+
+TEST(MetricsRegistry, OverflowSharesOneSinkInsteadOfFailing) {
+  MetricsRegistry reg;
+  // Exhaust the table, then one more: the overflow entry absorbs it.
+  for (size_t i = 0; i < MetricsRegistry::kSlots + 10; ++i) {
+    ASSERT_NE(reg.Histogram("key." + std::to_string(i)), nullptr);
+  }
+  LatencyHistogram* extra1 = reg.Histogram("definitely.new.1");
+  LatencyHistogram* extra2 = reg.Histogram("definitely.new.2");
+  ASSERT_NE(extra1, nullptr);
+  EXPECT_EQ(extra1, extra2);  // both land on "(overflow)"
+}
+
+// --- trace context ---------------------------------------------------------
+
+TEST(TraceContext, TextualRoundTrip) {
+  TraceContext ctx = NewRootContext(true);
+  ctx.parent_span_id = 0x1234;
+  std::string s = ctx.ToString();
+  TraceContext back;
+  ASSERT_TRUE(TraceContext::Parse(s, &back));
+  EXPECT_EQ(back, ctx);
+}
+
+TEST(TraceContext, ParseRejectsGarbage) {
+  TraceContext out;
+  EXPECT_FALSE(TraceContext::Parse("", &out));
+  EXPECT_FALSE(TraceContext::Parse("not-a-trace", &out));
+  EXPECT_FALSE(TraceContext::Parse(
+      "0123456789abcdef0123456789abcdef-0123456789abcdef-0123456789abcdef",
+      &out));  // missing flags
+  EXPECT_FALSE(TraceContext::Parse(
+      "0123456789abcdeX0123456789abcdef-0123456789abcdef-0123456789abcdef-01",
+      &out));  // bad hex
+}
+
+TEST(TraceContext, ChildKeepsTraceAndParentsOnSender) {
+  TraceContext root = NewRootContext(true);
+  TraceContext child = ChildContext(root);
+  EXPECT_EQ(child.trace_hi, root.trace_hi);
+  EXPECT_EQ(child.trace_lo, root.trace_lo);
+  EXPECT_EQ(child.parent_span_id, root.span_id);
+  EXPECT_NE(child.span_id, root.span_id);
+  EXPECT_TRUE(child.sampled);
+}
+
+TEST(TraceContext, AmbientScopeRestores) {
+  EXPECT_FALSE(CurrentContext().Valid());
+  TraceContext ctx = NewRootContext(false);
+  {
+    ScopedContext scope(ctx);
+    EXPECT_TRUE(CurrentContext().Valid());
+    EXPECT_EQ(CurrentContext(), ctx);
+  }
+  EXPECT_FALSE(CurrentContext().Valid());
+}
+
+}  // namespace
+}  // namespace heidi::obs

@@ -1,0 +1,160 @@
+#include "obs/span.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "obs/tracer.h"
+
+namespace heidi::obs {
+namespace {
+
+SpanRecord MakeSpan(uint64_t span_id, int64_t start_ns) {
+  SpanRecord rec;
+  rec.ctx = NewRootContext(true);
+  rec.ctx.span_id = span_id;
+  rec.operation = "op" + std::to_string(span_id);
+  rec.start_ns = start_ns;
+  rec.end_ns = start_ns + 100;
+  return rec;
+}
+
+TEST(SpanRing, KeepsEverythingBelowCapacity) {
+  SpanRing ring(64, 4);
+  for (uint64_t i = 0; i < 40; ++i) {
+    ring.Record(MakeSpan(i, static_cast<int64_t>(i)));
+  }
+  EXPECT_EQ(ring.Recorded(), 40u);
+  EXPECT_EQ(ring.Dropped(), 0u);
+  EXPECT_EQ(ring.Snapshot().size(), 40u);
+}
+
+TEST(SpanRing, SnapshotIsOldestFirst) {
+  SpanRing ring(64, 4);
+  for (uint64_t i = 0; i < 20; ++i) {
+    ring.Record(MakeSpan(i, static_cast<int64_t>(1000 - i)));  // reversed
+  }
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 20u);
+  for (size_t i = 1; i < spans.size(); ++i) {
+    EXPECT_LE(spans[i - 1].start_ns, spans[i].start_ns);
+  }
+}
+
+TEST(SpanRing, BoundedAndOverwritesOldest) {
+  SpanRing ring(8, 1);  // one shard: strict FIFO eviction
+  ASSERT_EQ(ring.Capacity(), 8u);
+  for (uint64_t i = 0; i < 20; ++i) {
+    ring.Record(MakeSpan(/*span_id=*/1, static_cast<int64_t>(i)));
+  }
+  std::vector<SpanRecord> spans = ring.Snapshot();
+  ASSERT_EQ(spans.size(), 8u);  // bounded
+  // The *newest* history is retained: starts 12..19 survive.
+  EXPECT_EQ(spans.front().start_ns, 12);
+  EXPECT_EQ(spans.back().start_ns, 19);
+  EXPECT_EQ(ring.Recorded(), 20u);
+  EXPECT_EQ(ring.Dropped(), 0u);  // overwrite is not a drop
+}
+
+TEST(SpanRing, ContendedShardDropsInsteadOfBlocking) {
+  SpanRing ring(64, 4);
+  // Span ids pick the shard via span_id % shards; hold shard 2's lock and
+  // record into it from another thread — the try_lock must fail, the
+  // record must be counted dropped, and Record() must not block.
+  ring.WithShardLockedForTest(2, [&ring] {
+    std::thread writer([&ring] {
+      ring.Record(MakeSpan(/*span_id=*/2, 1));       // shard 2: dropped
+      ring.Record(MakeSpan(/*span_id=*/6, 2));       // also shard 2: dropped
+      ring.Record(MakeSpan(/*span_id=*/3, 3));       // shard 3: lands
+    });
+    writer.join();  // joining inside proves Record never blocked
+  });
+  EXPECT_EQ(ring.Dropped(), 2u);
+  EXPECT_EQ(ring.Recorded(), 1u);
+  EXPECT_EQ(ring.Snapshot().size(), 1u);
+}
+
+TEST(SpanRing, DropsAreInvisibleToSnapshot) {
+  SpanRing ring(16, 2);
+  ring.WithShardLockedForTest(0, [&ring] {
+    std::thread writer([&ring] {
+      ring.Record(MakeSpan(/*span_id=*/4, 1));  // shard 0: dropped
+    });
+    writer.join();
+  });
+  EXPECT_TRUE(ring.Snapshot().empty());
+  // The shard lock is released again: recording works normally now.
+  ring.Record(MakeSpan(/*span_id=*/4, 2));
+  EXPECT_EQ(ring.Snapshot().size(), 1u);
+}
+
+// --- tracer-level behaviour -------------------------------------------------
+
+TEST(Tracer, SamplingModes) {
+  TracerOptions never;
+  never.mode = SampleMode::kNever;
+  Tracer t_never(never);
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(t_never.SampleNext());
+
+  TracerOptions always;
+  always.mode = SampleMode::kAlways;
+  Tracer t_always(always);
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(t_always.SampleNext());
+
+  TracerOptions ratio;
+  ratio.mode = SampleMode::kRatio;
+  ratio.sample_every = 4;
+  Tracer t_ratio(ratio);
+  int sampled = 0;
+  for (int i = 0; i < 100; ++i) sampled += t_ratio.SampleNext() ? 1 : 0;
+  EXPECT_EQ(sampled, 25);
+}
+
+TEST(Tracer, SpanEndCommitsToRing) {
+  Tracer tracer;
+  auto span = tracer.StartSpan(SpanKind::kClient, "echo", NewRootContext(true));
+  span->AddStageInterval("send", 100, 200);
+  span->End();
+  span->End();  // idempotent
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].operation, "echo");
+  ASSERT_EQ(spans[0].stage_count, 1);
+  EXPECT_STREQ(spans[0].stages[0].name, "send");
+}
+
+TEST(Tracer, AbandonedSpanIsClosedAndTagged) {
+  Tracer tracer;
+  {
+    auto span =
+        tracer.StartSpan(SpanKind::kClient, "echo", NewRootContext(true));
+    // dropped without End(): the destructor must still commit it
+  }
+  std::vector<SpanRecord> spans = tracer.Snapshot();
+  ASSERT_EQ(spans.size(), 1u);
+  EXPECT_EQ(spans[0].error, "abandoned");
+  EXPECT_GE(spans[0].end_ns, spans[0].start_ns);
+}
+
+TEST(Tracer, ExportersEmitTraceIds) {
+  Tracer tracer;
+  TraceContext ctx = NewRootContext(true);
+  auto span = tracer.StartSpan(SpanKind::kClient, "echo", ctx);
+  span->AddStageInterval("send", 100, 200);
+  span->End();
+
+  std::string jsonl = tracer.ExportJsonl();
+  std::string chrome = tracer.ExportChromeTrace();
+  char trace_hex[33];
+  std::snprintf(trace_hex, sizeof trace_hex, "%016llx%016llx",
+                static_cast<unsigned long long>(ctx.trace_hi),
+                static_cast<unsigned long long>(ctx.trace_lo));
+  EXPECT_NE(jsonl.find(trace_hex), std::string::npos);
+  EXPECT_NE(chrome.find(trace_hex), std::string::npos);
+  // Chrome trace must be a complete-event JSON array.
+  EXPECT_NE(chrome.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(chrome.find("\"traceEvents\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace heidi::obs

@@ -1,0 +1,308 @@
+// End-to-end tracing through live orbs: one trace id spanning the client
+// and server halves of a TCP call on both wire protocols, attempt
+// sub-spans sharing the trace across a retry, error tagging when the
+// dispatch path rejects a request, and always-on metrics with sampling
+// off. The tracer here is exactly the OrbOptions::tracer policy object a
+// deployment would attach.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "demo/demo.h"
+#include "net/fault.h"
+#include "obs/tracer.h"
+#include "orb/orb.h"
+#include "orb/tracing.h"
+
+namespace heidi::orb {
+namespace {
+
+using obs::SpanKind;
+using obs::SpanRecord;
+
+std::vector<SpanRecord> SpansOfKind(const std::vector<SpanRecord>& spans,
+                                    SpanKind kind) {
+  std::vector<SpanRecord> out;
+  for (const SpanRecord& s : spans) {
+    if (s.kind == kind) out.push_back(s);
+  }
+  return out;
+}
+
+// The server span commits to the ring *after* the reply is written, so
+// the client can observe its reply before the span lands: poll briefly.
+template <typename Pred>
+bool WaitFor(Pred pred, int timeout_ms = 2000) {
+  auto deadline = std::chrono::steady_clock::now() +
+                  std::chrono::milliseconds(timeout_ms);
+  while (!pred()) {
+    if (std::chrono::steady_clock::now() > deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+bool HasStage(const SpanRecord& span, const std::string& name) {
+  for (int i = 0; i < span.stage_count; ++i) {
+    if (name == span.stages[i].name) return true;
+  }
+  return false;
+}
+
+class TracingTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    demo::ForceDemoRegistration();
+    // Client and server share one tracer: their spans land in one ring,
+    // so the snapshot is the merged end-to-end timeline.
+    tracer_ = std::make_shared<obs::Tracer>();
+    OrbOptions options;
+    options.protocol = GetParam();
+    options.tracer = tracer_;
+    server_ = std::make_unique<Orb>(options);
+    server_->ListenTcp();
+    client_ = std::make_unique<Orb>(options);
+    ref_ = server_->ExportObject(&impl_, "IDL:Heidi/Echo:1.0");
+  }
+
+  void TearDown() override {
+    client_->Shutdown();
+    server_->Shutdown();
+  }
+
+  std::shared_ptr<obs::Tracer> tracer_;
+  demo::EchoImpl impl_;
+  std::unique_ptr<Orb> server_;
+  std::unique_ptr<Orb> client_;
+  ObjectRef ref_;
+};
+
+TEST_P(TracingTest, OneTraceIdSpansClientAndServer) {
+  auto echo = client_->ResolveAs<HdEcho>(ref_.ToString());
+  EXPECT_EQ(echo->echo("traced"), "traced");
+  ASSERT_TRUE(WaitFor([this] {
+    return !SpansOfKind(tracer_->Snapshot(), SpanKind::kServer).empty();
+  }));
+
+  std::vector<SpanRecord> spans = tracer_->Snapshot();
+  std::vector<SpanRecord> clients = SpansOfKind(spans, SpanKind::kClient);
+  std::vector<SpanRecord> servers = SpansOfKind(spans, SpanKind::kServer);
+  ASSERT_EQ(clients.size(), 1u);
+  ASSERT_EQ(servers.size(), 1u);
+  const SpanRecord& client = clients[0];
+  const SpanRecord& server = servers[0];
+
+  EXPECT_EQ(client.operation, "echo");
+  EXPECT_EQ(server.operation, "echo");
+  // Same 128-bit trace id on both sides of the wire.
+  EXPECT_EQ(client.ctx.trace_hi, server.ctx.trace_hi);
+  EXPECT_EQ(client.ctx.trace_lo, server.ctx.trace_lo);
+  // The server span is a child of the client span, not a sibling.
+  EXPECT_EQ(server.ctx.parent_span_id, client.ctx.span_id);
+  EXPECT_NE(server.ctx.span_id, client.ctx.span_id);
+  EXPECT_TRUE(client.error.empty());
+  EXPECT_TRUE(server.error.empty());
+
+  // Stage timelines on both halves.
+  EXPECT_TRUE(HasStage(client, "send"));
+  EXPECT_TRUE(HasStage(client, "wait"));
+  EXPECT_TRUE(HasStage(server, "exec"));
+  EXPECT_TRUE(HasStage(server, "reply"));
+}
+
+TEST_P(TracingTest, ChromeExportContainsTheSharedTraceId) {
+  auto echo = client_->ResolveAs<HdEcho>(ref_.ToString());
+  EXPECT_EQ(echo->add(40, 2), 42);
+  ASSERT_TRUE(WaitFor([this] {
+    return !SpansOfKind(tracer_->Snapshot(), SpanKind::kServer).empty();
+  }));
+
+  std::vector<SpanRecord> clients =
+      SpansOfKind(tracer_->Snapshot(), SpanKind::kClient);
+  ASSERT_FALSE(clients.empty());
+  char trace_hex[33];
+  std::snprintf(trace_hex, sizeof trace_hex, "%016llx%016llx",
+                static_cast<unsigned long long>(clients[0].ctx.trace_hi),
+                static_cast<unsigned long long>(clients[0].ctx.trace_lo));
+
+  std::string chrome = tracer_->ExportChromeTrace();
+  // The id appears at least twice: once under the client lane (pid 1),
+  // once under the server lane (pid 2).
+  size_t first = chrome.find(trace_hex);
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_NE(chrome.find(trace_hex, first + 1), std::string::npos);
+  EXPECT_NE(chrome.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(chrome.find("\"pid\":2"), std::string::npos);
+
+  std::string jsonl = tracer_->ExportJsonl();
+  EXPECT_NE(jsonl.find(trace_hex), std::string::npos);
+}
+
+TEST_P(TracingTest, MetricsRecordWhenSampledOut) {
+  // A kNever tracer records no timelines but every histogram: the
+  // always-on half must not depend on the sampling decision.
+  auto never = std::make_shared<obs::Tracer>(obs::TracerOptions{
+      .mode = obs::SampleMode::kNever});
+  OrbOptions options;
+  options.protocol = GetParam();
+  options.tracer = never;
+  Orb client(options);
+  auto echo = client.ResolveAs<HdEcho>(ref_.ToString());
+  EXPECT_EQ(echo->echo("quiet"), "quiet");
+
+  EXPECT_TRUE(never->Snapshot().empty());
+  EXPECT_EQ(never->Metrics().GetCounter("client.calls")->Value(), 1u);
+  EXPECT_EQ(never->Metrics().Histogram("op.echo")->Count(), 1u);
+  EXPECT_GE(never->Metrics().Histogram("stage.client.wait")->Count(), 1u);
+  client.Shutdown();
+}
+
+TEST_P(TracingTest, OrbStatsExposeSpanCounters) {
+  auto echo = client_->ResolveAs<HdEcho>(ref_.ToString());
+  echo->echo("counted");
+  // Client and server share the tracer, so either orb's stats see both
+  // halves of the call land in the ring.
+  ASSERT_TRUE(
+      WaitFor([this] { return client_->Stats().spans_recorded >= 2; }));
+  EXPECT_EQ(client_->Stats().spans_dropped, 0u);
+}
+
+TEST_P(TracingTest, InterceptorsCountPerOperation) {
+  client_->AddClientInterceptor(
+      std::make_shared<TracingClientInterceptor>(tracer_));
+  server_->AddServerInterceptor(
+      std::make_shared<TracingServerInterceptor>(tracer_));
+  auto echo = client_->ResolveAs<HdEcho>(ref_.ToString());
+  echo->echo("a");
+  echo->echo("b");
+  EXPECT_EQ(tracer_->Metrics().GetCounter("icpt.req.echo")->Value(), 2u);
+  EXPECT_EQ(tracer_->Metrics().GetCounter("icpt.dispatch.echo")->Value(), 2u);
+  EXPECT_EQ(tracer_->Metrics().GetCounter("icpt.rep")->Value(), 2u);
+}
+
+TEST_P(TracingTest, RetryAttemptsShareTheTraceId) {
+  // First reply read dies mid-message (indeterminate); the idempotent
+  // call is resent and succeeds. The timeline must show the client span
+  // plus per-attempt sub-spans, all on one trace.
+  net::FaultPlan plan;
+  plan.fail_read_at = 1;
+  auto tracer = std::make_shared<obs::Tracer>();
+  OrbOptions options;
+  options.protocol = GetParam();
+  options.tracer = tracer;
+  options.fault_injector = std::make_shared<net::FaultInjector>(plan);
+  options.retry.max_attempts = 3;
+  options.retry.initial_backoff_ms = 1;
+  Orb client(options);
+
+  auto call = client.NewRequest(ref_, "add", false);
+  call->PutLong(20);
+  call->PutLong(22);
+  call->SetIdempotent(true);
+  EXPECT_EQ(client.Invoke(ref_, *call)->GetLong(), 42);
+  EXPECT_EQ(client.Stats().retries, 1u);
+  client.Shutdown();
+
+  std::vector<SpanRecord> spans = tracer->Snapshot();
+  std::vector<SpanRecord> clients = SpansOfKind(spans, SpanKind::kClient);
+  std::vector<SpanRecord> attempts = SpansOfKind(spans, SpanKind::kAttempt);
+  ASSERT_EQ(clients.size(), 1u);
+  ASSERT_EQ(attempts.size(), 2u);  // the failed first try + the resend
+  const SpanRecord& root = clients[0];
+  EXPECT_TRUE(root.error.empty());  // the invocation succeeded overall
+  int failed = 0;
+  for (const SpanRecord& attempt : attempts) {
+    EXPECT_EQ(attempt.ctx.trace_hi, root.ctx.trace_hi);
+    EXPECT_EQ(attempt.ctx.trace_lo, root.ctx.trace_lo);
+    EXPECT_EQ(attempt.ctx.parent_span_id, root.ctx.span_id);
+    failed += attempt.error.empty() ? 0 : 1;
+  }
+  EXPECT_EQ(failed, 1);  // exactly the first attempt carries the error tag
+}
+
+class ThrowingPreDispatch : public ServerInterceptor {
+ public:
+  void PreDispatch(const wire::Call&) override {
+    throw std::runtime_error("rejected by policy");
+  }
+};
+
+TEST_P(TracingTest, ThrowingPreDispatchClosesServerSpanWithErrorTag) {
+  server_->AddServerInterceptor(std::make_shared<ThrowingPreDispatch>());
+  auto echo = client_->ResolveAs<HdEcho>(ref_.ToString());
+  EXPECT_THROW(echo->echo("doomed"), RemoteError);
+  ASSERT_TRUE(WaitFor([this] {
+    return !SpansOfKind(tracer_->Snapshot(), SpanKind::kServer).empty();
+  }));
+
+  std::vector<SpanRecord> servers =
+      SpansOfKind(tracer_->Snapshot(), SpanKind::kServer);
+  ASSERT_EQ(servers.size(), 1u);
+  const SpanRecord& server = servers[0];
+  // The span was closed (End ran: end_ns stamped after start) and tagged
+  // with the rejection, even though the skeleton never executed.
+  EXPECT_GE(server.end_ns, server.start_ns);
+  EXPECT_NE(server.error.find("rejected by policy"), std::string::npos);
+  EXPECT_FALSE(HasStage(server, "predispatch"));  // it threw
+
+  // The client half is tagged too.
+  std::vector<SpanRecord> clients =
+      SpansOfKind(tracer_->Snapshot(), SpanKind::kClient);
+  ASSERT_EQ(clients.size(), 1u);
+  EXPECT_FALSE(clients[0].error.empty());
+}
+
+TEST_P(TracingTest, NestedInvocationJoinsTheInboundTrace) {
+  // An implementation that calls back out through an orb while serving a
+  // request: the nested client span must share the inbound trace id and
+  // parent on the server span (the ambient-context mechanism).
+  class Relay : public demo::EchoImpl {
+   public:
+    Relay(Orb* orb, std::string next_ref) : orb_(orb), next_(next_ref) {}
+    HdString echo(HdString msg) override {
+      auto downstream = orb_->ResolveAs<HdEcho>(next_);
+      return downstream->echo(msg);
+    }
+
+   private:
+    Orb* orb_;
+    std::string next_;
+  };
+
+  Relay relay(server_.get(), ref_.ToString());
+  ObjectRef relay_ref = server_->ExportObject(&relay, "IDL:Heidi/Echo:1.0");
+  auto echo = client_->ResolveAs<HdEcho>(relay_ref.ToString());
+  EXPECT_EQ(echo->echo("hop"), "hop");
+  ASSERT_TRUE(WaitFor([this] {
+    return SpansOfKind(tracer_->Snapshot(), SpanKind::kServer).size() >= 2;
+  }));
+
+  std::vector<SpanRecord> spans = tracer_->Snapshot();
+  std::vector<SpanRecord> clients = SpansOfKind(spans, SpanKind::kClient);
+  std::vector<SpanRecord> servers = SpansOfKind(spans, SpanKind::kServer);
+  ASSERT_EQ(clients.size(), 2u);  // outer call + nested call
+  ASSERT_EQ(servers.size(), 2u);  // relay dispatch + echo dispatch
+  for (const SpanRecord& s : spans) {
+    EXPECT_EQ(s.ctx.trace_hi, clients[0].ctx.trace_hi);
+    EXPECT_EQ(s.ctx.trace_lo, clients[0].ctx.trace_lo);
+  }
+  // One of the client spans is parented on one of the server spans: the
+  // nested hop hangs off the relay's server-side span.
+  int nested = 0;
+  for (const SpanRecord& c : clients) {
+    for (const SpanRecord& s : servers) {
+      if (c.ctx.parent_span_id == s.ctx.span_id) ++nested;
+    }
+  }
+  EXPECT_EQ(nested, 1);
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, TracingTest,
+                         ::testing::Values("text", "hiop"));
+
+}  // namespace
+}  // namespace heidi::orb

@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include "net/inmemory.h"
+#include "obs/trace.h"
 #include "support/error.h"
 #include "wire/binary.h"
 #include "wire/text.h"
@@ -142,6 +143,91 @@ TEST_P(ProtocolTest, HeaderFieldsWithSpecialCharacters) {
   EXPECT_EQ(read->ErrorText(), "line one\nline two with spaces % and #");
 }
 
+TEST_P(ProtocolTest, TraceContextSurvivesRequestFraming) {
+  obs::TraceContext ctx;
+  ctx.trace_hi = 0x0123456789abcdefULL;
+  ctx.trace_lo = 0xfedcba9876543210ULL;
+  ctx.span_id = 0x1111222233334444ULL;
+  ctx.parent_span_id = 0x5555666677778888ULL;
+  ctx.sampled = true;
+
+  auto call = protocol_->NewCall();
+  call->SetKind(CallKind::kRequest);
+  call->SetCallId(7);
+  call->SetTarget("@tcp:host:9#1000#IDL:Heidi/A:1.0");
+  call->SetOperation("op");
+  call->SetTrace(ctx);
+  call->PutString("arg");
+  protocol_->WriteCall(*pair_.a, *call);
+
+  auto read = protocol_->ReadCall(*reader_);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->Trace(), ctx);
+  EXPECT_EQ(read->Operation(), "op");
+  EXPECT_EQ(read->GetString(), "arg");  // payload framing undisturbed
+}
+
+TEST_P(ProtocolTest, TraceContextSurvivesReplyFraming) {
+  obs::TraceContext ctx = obs::NewRootContext(false);
+  ctx.parent_span_id = 42;
+
+  auto reply = protocol_->NewCall();
+  reply->SetKind(CallKind::kReply);
+  reply->SetCallId(9);
+  reply->SetStatus(CallStatus::kOk);
+  reply->SetTrace(ctx);
+  reply->PutLong(1);
+  protocol_->WriteCall(*pair_.a, *reply);
+
+  auto read = protocol_->ReadCall(*reader_);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->Trace(), ctx);
+  EXPECT_FALSE(read->Trace().sampled);
+  EXPECT_EQ(read->GetLong(), 1);
+}
+
+TEST_P(ProtocolTest, UntracedCallsDecodeWithInvalidContext) {
+  // Version tolerance, old-peer half: a frame written without a trace
+  // context (exactly what a pre-trace peer sends) decodes to an invalid
+  // (all-zero) context, not an error.
+  auto call = protocol_->NewCall();
+  call->SetKind(CallKind::kRequest);
+  call->SetCallId(1);
+  call->SetTarget("@tcp:host:9#1000#IDL:Heidi/A:1.0");
+  call->SetOperation("op");
+  protocol_->WriteCall(*pair_.a, *call);
+
+  auto read = protocol_->ReadCall(*reader_);
+  ASSERT_NE(read, nullptr);
+  EXPECT_FALSE(read->Trace().Valid());
+}
+
+TEST_P(ProtocolTest, TracedAndUntracedCallsInterleave) {
+  // New-peer-to-old-frame and back again on one stream: the trace header
+  // must apply to exactly the call it precedes, never leak to the next.
+  obs::TraceContext ctx = obs::NewRootContext(true);
+  auto traced = protocol_->NewCall();
+  traced->SetKind(CallKind::kRequest);
+  traced->SetCallId(1);
+  traced->SetTarget("@tcp:host:9#1000#IDL:Heidi/A:1.0");
+  traced->SetOperation("first");
+  traced->SetTrace(ctx);
+  auto untraced = protocol_->NewCall();
+  untraced->SetKind(CallKind::kRequest);
+  untraced->SetCallId(2);
+  untraced->SetTarget("@tcp:host:9#1000#IDL:Heidi/A:1.0");
+  untraced->SetOperation("second");
+  protocol_->WriteCall(*pair_.a, *traced);
+  protocol_->WriteCall(*pair_.a, *untraced);
+
+  auto first = protocol_->ReadCall(*reader_);
+  auto second = protocol_->ReadCall(*reader_);
+  ASSERT_NE(first, nullptr);
+  ASSERT_NE(second, nullptr);
+  EXPECT_EQ(first->Trace(), ctx);
+  EXPECT_FALSE(second->Trace().Valid());
+}
+
 INSTANTIATE_TEST_SUITE_P(Protocols, ProtocolTest,
                          ::testing::Values("text", "hiop"));
 
@@ -170,6 +256,32 @@ TEST(TextProtocol, MalformedLinesThrow) {
     net::BufferedReader reader(*pair.b);
     EXPECT_THROW(text->ReadCall(reader), MarshalError) << bad;
   }
+}
+
+TEST(TextProtocol, MalformedTraceHeaderThrows) {
+  const Protocol* protocol = FindProtocol("text");
+  net::ChannelPair pair = net::CreateInMemoryPair();
+  net::BufferedReader reader(*pair.b);
+  std::string line = "trace: not-a-context\nREQ 1 W t op\n";
+  pair.a->WriteAll(line.data(), line.size());
+  EXPECT_THROW(protocol->ReadCall(reader), MarshalError);
+}
+
+TEST(TextProtocol, HandTypedTraceHeaderParses) {
+  // The textual context is human-writable, so a telnet user can join a
+  // trace by hand.
+  const Protocol* protocol = FindProtocol("text");
+  net::ChannelPair pair = net::CreateInMemoryPair();
+  net::BufferedReader reader(*pair.b);
+  std::string line =
+      "trace: 0123456789abcdef0123456789abcdef-00000000000000aa-"
+      "0000000000000000-01\nREQ 7 W target echo s:hi\n";
+  pair.a->WriteAll(line.data(), line.size());
+  auto read = protocol->ReadCall(reader);
+  ASSERT_NE(read, nullptr);
+  EXPECT_TRUE(read->Trace().Valid());
+  EXPECT_TRUE(read->Trace().sampled);
+  EXPECT_EQ(read->Trace().span_id, 0xaau);
 }
 
 TEST(TextProtocol, WrongCallTypeRejected) {
