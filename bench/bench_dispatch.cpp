@@ -10,6 +10,7 @@
 // appears at small method counts already.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "orb/dispatch.h"
 #include "wire/text.h"
 
@@ -93,3 +94,9 @@ void BM_DispatchMiss(benchmark::State& state) {
 BENCHMARK(BM_DispatchMiss)->Arg(0)->Arg(1)->Arg(2);
 
 }  // namespace
+
+// Reported main: emits BENCH_<name>.json (dispatch touches no buffers,
+// so pool counters double as a regression tripwire — they should stay 0).
+int main(int argc, char** argv) {
+  return heidi::bench::RunReported(argc, argv, {});
+}

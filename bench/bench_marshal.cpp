@@ -10,6 +10,7 @@
 // strings; bulk bytes beats element-wise by an order of magnitude.
 #include <benchmark/benchmark.h>
 
+#include "bench_report.h"
 #include "net/inmemory.h"
 #include "wire/binary.h"
 #include "wire/protocol.h"
@@ -182,3 +183,10 @@ void BM_EncodedSize(benchmark::State& state) {
 BENCHMARK(BM_EncodedSize)->Args({0, 256})->Args({1, 256});
 
 }  // namespace
+
+// Reported main: BENCH_<name>.json carries pool_hits_per_op /
+// pool_misses_per_op so CI can watch allocations-per-call on the
+// marshaling fast path (no orb here, so no op.* histograms to watch).
+int main(int argc, char** argv) {
+  return heidi::bench::RunReported(argc, argv, {});
+}

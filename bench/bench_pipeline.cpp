@@ -13,6 +13,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -45,10 +46,16 @@ class BusyEcho : public heidi::demo::EchoImpl {
 // the last thread out tears it down (thread 0 is not guaranteed to be
 // last, so setup/teardown cannot key off thread_index alone).
 struct SharedOrbs {
-  // Observability per HEIDI_BENCH_TRACER (see bench_report.h).
+  // Observability per HEIDI_BENCH_TRACER (see bench_report.h); wire
+  // protocol per HEIDI_BENCH_PROTOCOL ("text" default, "hiop" engages
+  // the pooled zero-copy marshaling path so BENCH_*.json's iobuf_pool
+  // counters measure allocations-per-call end to end).
   static OrbOptions Traced() {
     OrbOptions options;
     options.tracer = heidi::bench::GlobalTracer();
+    if (const char* protocol = std::getenv("HEIDI_BENCH_PROTOCOL")) {
+      if (*protocol != '\0') options.protocol = protocol;
+    }
     return options;
   }
 

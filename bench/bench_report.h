@@ -35,6 +35,7 @@
 #include <vector>
 
 #include "obs/tracer.h"
+#include "support/bytes.h"
 
 namespace heidi::bench {
 
@@ -68,13 +69,18 @@ inline const std::shared_ptr<obs::Tracer>& GlobalTracer() {
 // Console output as usual, plus a JSON record per benchmark run. The
 // p50/p99 come from the watched op.* histograms: bucket counts are
 // snapshotted before each run and the delta distribution — exactly the
-// calls that run made — is walked for its percentiles.
+// calls that run made — is walked for its percentiles. Buffer-pool
+// hit/miss counters are snapshotted the same way, so each entry also
+// carries pool_hits_per_op / pool_misses_per_op: misses are fresh heap
+// slab allocations, hits are recycled slabs, and their sum per op is the
+// marshaling path's allocation traffic for that benchmark.
 class JsonReporter : public benchmark::ConsoleReporter {
  public:
   explicit JsonReporter(std::vector<std::string> watch_ops)
       : watch_ops_(std::move(watch_ops)),
         baseline_(obs::LatencyHistogram::kBucketCount, 0) {
     SnapshotBaseline();
+    SnapshotPool();
   }
 
   void ReportRuns(const std::vector<Run>& runs) override {
@@ -82,6 +88,19 @@ class JsonReporter : public benchmark::ConsoleReporter {
     std::vector<uint64_t> delta = TakeDelta();
     uint64_t total = 0;
     for (uint64_t n : delta) total += n;
+    bytes::IoBufPool::Stats pool = bytes::IoBufPool::Global().GetStats();
+    uint64_t pool_hits = pool.hits - pool_hits_base_;
+    uint64_t pool_misses = pool.misses - pool_misses_base_;
+    pool_hits_base_ = pool.hits;
+    pool_misses_base_ = pool.misses;
+    // A ReportRuns batch can carry several runs (repetitions, aggregates);
+    // attribute the pool delta to the per-op rates of each real run.
+    int64_t batch_iterations = 0;
+    for (const Run& run : runs) {
+      if (!run.error_occurred && run.iterations > 0) {
+        batch_iterations += run.iterations;
+      }
+    }
     for (const Run& run : runs) {
       if (run.error_occurred || run.iterations <= 0) continue;
       double ns_per_op = run.real_accumulated_time * 1e9 /
@@ -92,6 +111,13 @@ class JsonReporter : public benchmark::ConsoleReporter {
       if (total > 0) {
         entry += ",\"p50_ns\":" + std::to_string(DeltaPercentile(delta, total, 50)) +
                  ",\"p99_ns\":" + std::to_string(DeltaPercentile(delta, total, 99));
+      }
+      if (batch_iterations > 0) {
+        double per = static_cast<double>(batch_iterations);
+        entry += ",\"pool_hits_per_op\":" +
+                 std::to_string(static_cast<double>(pool_hits) / per) +
+                 ",\"pool_misses_per_op\":" +
+                 std::to_string(static_cast<double>(pool_misses) / per);
       }
       entry += "}";
       entries_.push_back(std::move(entry));
@@ -109,6 +135,13 @@ class JsonReporter : public benchmark::ConsoleReporter {
       out += "\n";
     }
     out += "  ]";
+    bytes::IoBufPool::Stats pool = bytes::IoBufPool::Global().GetStats();
+    out += ",\n  \"iobuf_pool\":{\"hits\":" + std::to_string(pool.hits) +
+           ",\"misses\":" + std::to_string(pool.misses) +
+           ",\"recycles\":" + std::to_string(pool.recycles) +
+           ",\"outstanding_bufs\":" + std::to_string(pool.outstanding_bufs) +
+           ",\"outstanding_bytes\":" + std::to_string(pool.outstanding_bytes) +
+           "}";
     if (GlobalTracer() != nullptr) {
       out += ",\n  \"metrics\":" + GlobalTracer()->Metrics().RenderJson();
     }
@@ -173,9 +206,17 @@ class JsonReporter : public benchmark::ConsoleReporter {
     return out;
   }
 
+  void SnapshotPool() {
+    bytes::IoBufPool::Stats pool = bytes::IoBufPool::Global().GetStats();
+    pool_hits_base_ = pool.hits;
+    pool_misses_base_ = pool.misses;
+  }
+
   std::vector<std::string> watch_ops_;
   std::vector<uint64_t> baseline_;
   std::vector<std::string> entries_;
+  uint64_t pool_hits_base_ = 0;
+  uint64_t pool_misses_base_ = 0;
 };
 
 // Drop-in replacement for the benchmark_main body: runs all registered

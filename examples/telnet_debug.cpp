@@ -14,6 +14,7 @@
 //   stats           orb counters (calls, retries, spans recorded, ...)
 //   metrics         per-operation / per-stage latency histograms
 //   trace i:<n>     the last <n> span timelines from the trace ring
+//   pool            zero-copy buffer pool state (hits, misses, retained)
 //
 // and — because trace context is itself a text header line — the human
 // can hand-type a `trace:` line to inject a sampled trace context and
@@ -28,6 +29,7 @@
 #include "net/tcp.h"
 #include "obs/tracer.h"
 #include "orb/orb.h"
+#include "support/bytes.h"
 
 namespace {
 
@@ -55,6 +57,16 @@ class DebugImpl : public virtual HdObject {
   }
 
   std::string Metrics() const { return tracer_->Metrics().Render(); }
+
+  std::string Pool() const {
+    bytes::IoBufPool::Stats s = bytes::IoBufPool::Global().GetStats();
+    std::ostringstream out;
+    out << "iobuf_pool hits=" << s.hits << " misses=" << s.misses
+        << " recycles=" << s.recycles
+        << " outstanding_bufs=" << s.outstanding_bufs
+        << " outstanding_bytes=" << s.outstanding_bytes;
+    return out.str();
+  }
 
   std::string Trace(long n) const {
     std::vector<obs::SpanRecord> spans = tracer_->Snapshot();
@@ -97,6 +109,9 @@ class Debug_skel : public orb::HdSkeleton {
     });
     table_.Add("trace", [this](wire::Call& in, wire::Call& out) {
       out.PutString(obj_->Trace(in.GetLong()));
+    });
+    table_.Add("pool", [this](wire::Call&, wire::Call& out) {
+      out.PutString(obj_->Pool());
     });
     table_.Seal();
   }
@@ -183,6 +198,7 @@ int main() {
   type_line("REQ 6 W " + dbg_target + " stats");
   type_line("REQ 7 W " + dbg_target + " trace i:4");
   type_line("REQ 8 W " + dbg_target + " metrics");
+  type_line("REQ 9 W " + dbg_target + " pool");
 
   raw->Close();
   server.Shutdown();

@@ -54,19 +54,27 @@ bool BufferedReader::ReadLine(std::string& line, size_t max_len) {
 
 bool BufferedReader::ReadExact(char* buf, size_t n) {
   size_t got = 0;
+  // Drain whatever the line reader / previous frame left buffered.
+  size_t available = buffer_.size() - pos_;
+  if (available > 0 && n > 0) {
+    size_t take = std::min(available, n);
+    std::memcpy(buf, buffer_.data() + pos_, take);
+    pos_ += take;
+    got = take;
+  }
+  // Read the remainder straight into the caller's buffer: a frame body
+  // headed for a pooled slab never takes a detour through buffer_.
   while (got < n) {
-    size_t available = buffer_.size() - pos_;
-    if (available > 0) {
-      size_t take = std::min(available, n - got);
-      std::memcpy(buf + got, buffer_.data() + pos_, take);
-      pos_ += take;
-      got += take;
-      continue;
+    if (read_timeout_ms_ >= 0 && !channel_->WaitReadable(read_timeout_ms_)) {
+      throw TimeoutError("read timed out after " +
+                         std::to_string(read_timeout_ms_) + "ms");
     }
-    if (!Fill()) {
+    size_t r = channel_->Read(buf + got, n - got);
+    if (r == 0) {
       if (got == 0) return false;
       throw NetError("connection closed mid-message");
     }
+    got += r;
   }
   return true;
 }

@@ -1,8 +1,15 @@
 #include "net/channel.h"
 
+#include "support/bytes.h"
 #include "support/error.h"
 
 namespace heidi::net {
+
+void ByteChannel::WritevAll(const bytes::BufferChain& chain) {
+  for (const bytes::BufSlice& slice : chain.Slices()) {
+    WriteAll(slice.Data(), slice.length);
+  }
+}
 
 bool ReadExact(ByteChannel& channel, char* buf, size_t n) {
   size_t got = 0;

@@ -10,6 +10,10 @@
 #include <memory>
 #include <string>
 
+namespace heidi::bytes {
+class BufferChain;
+}  // namespace heidi::bytes
+
 namespace heidi::net {
 
 class ByteChannel {
@@ -24,6 +28,14 @@ class ByteChannel {
   // Blocking write of the entire buffer. Throws NetError on failure
   // (including writing to a closed channel).
   virtual void WriteAll(const char* data, size_t n) = 0;
+
+  // Gathers every slice of `chain` onto the wire, back to back, as if
+  // the flattened bytes had gone through one WriteAll — but without
+  // assembling them. The base implementation loops WriteAll per slice;
+  // TcpChannel overrides it with real scatter-gather (sendmsg + iovec).
+  // Frame atomicity against concurrent writers is the caller's business,
+  // exactly as it is for WriteAll (CallMux serializes frame writes).
+  virtual void WritevAll(const bytes::BufferChain& chain);
 
   // Waits until Read() would not block: data is buffered, the peer shut
   // down (Read would return 0), or the channel was closed locally.

@@ -4,6 +4,7 @@
 #include <chrono>
 #include <thread>
 
+#include "support/bytes.h"
 #include "support/error.h"
 
 namespace heidi::net {
@@ -153,6 +154,38 @@ class FaultyChannel : public ByteChannel {
                      inner_->PeerName());
     }
     inner_->WriteAll(data, n);
+  }
+
+  void WritevAll(const bytes::BufferChain& chain) override {
+    // One frame = one fault decision, exactly as WriteAll: a gathered
+    // write is still a single logical operation against the plan, so a
+    // scripted "fail the Nth write" fires identically whether the frame
+    // was flattened or chained.
+    FaultInjector::WriteDecision d = injector_->OnWrite();
+    if (d.delay_ms > 0) {
+      injector_->CountDelay();
+      std::this_thread::sleep_for(std::chrono::milliseconds(d.delay_ms));
+    }
+    if (d.fail) {
+      injector_->CountWriteFailed();
+      // Half the frame reaches the wire, slice by slice (no flattening),
+      // then the connection dies mid-message.
+      size_t remaining = chain.Size() / 2;
+      for (const bytes::BufSlice& slice : chain.Slices()) {
+        if (remaining == 0) break;
+        size_t n = std::min<size_t>(slice.length, remaining);
+        try {
+          inner_->WriteAll(slice.Data(), n);
+        } catch (const NetError&) {
+          break;  // the channel beat us to dying; the fault still wins
+        }
+        remaining -= n;
+      }
+      inner_->Close();
+      throw NetError("injected write failure (mid-message disconnect) on " +
+                     inner_->PeerName());
+    }
+    inner_->WritevAll(chain);
   }
 
   bool WaitReadable(int timeout_ms) override {

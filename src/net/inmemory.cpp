@@ -5,6 +5,7 @@
 #include <deque>
 #include <mutex>
 
+#include "support/bytes.h"
 #include "support/error.h"
 
 namespace heidi::net {
@@ -23,6 +24,17 @@ struct Pipe {
     std::lock_guard lock(mutex);
     if (closed) throw NetError("write on closed in-memory channel");
     data.insert(data.end(), buf, buf + n);
+    cv.notify_all();
+  }
+
+  // Gathers a whole chain under one lock, so the frame lands atomically
+  // even against concurrent writers (mirrors a single Write call).
+  void WriteChain(const bytes::BufferChain& chain) {
+    std::lock_guard lock(mutex);
+    if (closed) throw NetError("write on closed in-memory channel");
+    for (const bytes::BufSlice& slice : chain.Slices()) {
+      data.insert(data.end(), slice.Data(), slice.Data() + slice.length);
+    }
     cv.notify_all();
   }
 
@@ -69,6 +81,10 @@ class InMemoryChannel : public ByteChannel {
   }
 
   void WriteAll(const char* data, size_t n) override { out_->Write(data, n); }
+
+  void WritevAll(const bytes::BufferChain& chain) override {
+    out_->WriteChain(chain);
+  }
 
   void Close() override {
     // Close both directions: the peer's reads EOF and our own pending

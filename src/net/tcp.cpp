@@ -13,6 +13,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "support/bytes.h"
 #include "support/error.h"
 
 namespace heidi::net {
@@ -59,6 +60,49 @@ class TcpChannel : public ByteChannel {
         FailErrno("send to " + peer_);
       }
       sent += static_cast<size_t>(w);
+    }
+  }
+
+  void WritevAll(const bytes::BufferChain& chain) override {
+    // Real scatter-gather: one sendmsg per batch of up to kIovBatch
+    // slices, resuming mid-slice after partial writes. The chain's
+    // bytes reach the kernel without ever being assembled in userspace.
+    static constexpr size_t kIovBatch = 64;  // <= IOV_MAX everywhere
+    const std::vector<bytes::BufSlice>& slices = chain.Slices();
+    size_t index = 0;   // first unsent slice
+    size_t offset = 0;  // bytes of slices[index] already sent
+    while (index < slices.size()) {
+      iovec iov[kIovBatch];
+      size_t iov_count = 0;
+      for (size_t i = index; i < slices.size() && iov_count < kIovBatch;
+           ++i) {
+        size_t skip = i == index ? offset : 0;
+        iov[iov_count].iov_base =
+            const_cast<char*>(slices[i].Data() + skip);
+        iov[iov_count].iov_len = slices[i].length - skip;
+        ++iov_count;
+      }
+      msghdr msg{};
+      msg.msg_iov = iov;
+      msg.msg_iovlen = iov_count;
+      ssize_t w = ::sendmsg(fd_.load(std::memory_order_relaxed), &msg,
+                            MSG_NOSIGNAL);
+      if (w < 0) {
+        if (errno == EINTR) continue;
+        FailErrno("sendmsg to " + peer_);
+      }
+      size_t sent = static_cast<size_t>(w);
+      while (sent > 0) {
+        size_t left = slices[index].length - offset;
+        if (sent < left) {
+          offset += sent;
+          sent = 0;
+        } else {
+          sent -= left;
+          ++index;
+          offset = 0;
+        }
+      }
     }
   }
 

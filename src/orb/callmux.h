@@ -12,6 +12,13 @@
 // deadline expiry fails only its own call: the waiter abandons its table
 // entry, and the late reply, when it eventually arrives, is drained and
 // dropped as stale (counted, never corrupting the stream).
+//
+// Buffer flow (see support/bytes.h): outbound frames are BufferChains
+// scatter-gathered by the channel under the write lock, and the demux
+// thread's ReadCall decodes each reply into a pooled slab it pops from
+// its thread-affine pool shard — the slabs this connection's replies
+// retire come straight back on its next frames, so a busy mux recycles
+// the same few slabs for its whole lifetime.
 #pragma once
 
 #include <atomic>

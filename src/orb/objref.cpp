@@ -49,6 +49,9 @@ ObjectRef ObjectRef::Parse(std::string_view text) {
     throw RefError("object reference missing type information");
   }
   ref.repo_id = parts[2];
+  // Parsed refs are the ones calls get addressed at; intern now, while
+  // the ref is still private to this thread.
+  ref.Intern();
   return ref;
 }
 

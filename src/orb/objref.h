@@ -13,6 +13,7 @@
 #pragma once
 
 #include <cstdint>
+#include <memory>
 #include <string>
 #include <string_view>
 
@@ -32,6 +33,21 @@ struct ObjectRef {
 
   std::string ToString() const;
 
+  // Caches the stringified form so ToStringShared() is allocation-free.
+  // Call while the ref is still thread-private (Parse and the stub
+  // constructor do); the identity fields must not change afterwards —
+  // copies of an interned ref share the cached string.
+  void Intern() { interned_ = std::make_shared<const std::string>(ToString()); }
+
+  // The interned stringified form, shared by every Call addressed at
+  // this ref (wire::Call::SetTarget's zero-copy overload). Falls back to
+  // a fresh string when Intern() was never called, so hand-built refs
+  // stay correct — merely not zero-copy.
+  std::shared_ptr<const std::string> ToStringShared() const {
+    if (interned_ != nullptr) return interned_;
+    return std::make_shared<const std::string>(ToString());
+  }
+
   // Throws RefError on malformed input. Accepts "@nil" and "".
   static ObjectRef Parse(std::string_view text);
 
@@ -41,6 +57,9 @@ struct ObjectRef {
     return a.protocol == b.protocol && a.host == b.host && a.port == b.port &&
            a.object_id == b.object_id && a.repo_id == b.repo_id;
   }
+
+ private:
+  std::shared_ptr<const std::string> interned_;
 };
 
 }  // namespace heidi::orb

@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "net/inmemory.h"
+#include "support/bytes.h"
 #include "support/logging.h"
 #include "support/strings.h"
 
@@ -77,6 +78,28 @@ int BackoffDelayMs(const RetryPolicy& policy, int attempt) {
   return static_cast<int>(base) + jitter;
 }
 
+// Operation names form a tiny closed set per process (the IDL's method
+// names), so intern them: every request of one operation shares a single
+// immortal string instead of copying the name per call. The table is
+// never pruned — hostile callers can at worst grow it by their distinct
+// operation names, which the dispatch layer already bounds interest in.
+std::shared_ptr<const std::string> InternedOperation(std::string_view op) {
+  static std::mutex mutex;
+  static std::map<std::string, std::shared_ptr<const std::string>,
+                  std::less<>>& table =
+      *new std::map<std::string, std::shared_ptr<const std::string>,
+                    std::less<>>();  // immortal: calls may outlive statics
+  std::lock_guard lock(mutex);
+  auto it = table.find(op);
+  if (it == table.end()) {
+    it = table
+             .emplace(std::string(op),
+                      std::make_shared<const std::string>(op))
+             .first;
+  }
+  return it->second;
+}
+
 // Stage names must outlive their span (StageRecord keeps the pointer),
 // so attempt stages draw from a static table.
 const char* AttemptStageName(int attempt) {
@@ -119,6 +142,11 @@ Orb::Orb(OrbOptions options) : options_(std::move(options)) {
     ctr_call_errors_ = metrics.GetCounter("client.errors");
     ctr_requests_ = metrics.GetCounter("server.requests");
     ctr_request_errors_ = metrics.GetCounter("server.errors");
+    // Mirror the global buffer pool's hit/miss/recycle events into this
+    // tracer's registry so bench/CI reports can compute allocations per
+    // call from metric deltas. (The pool is process-global; last tracer
+    // bound wins, which is fine — bench binaries attach exactly one.)
+    bytes::IoBufPool::Global().BindMetrics(metrics);
   }
   InprocRegister(options_.inproc_name, this);
 }
@@ -615,8 +643,11 @@ std::unique_ptr<wire::Call> Orb::NewRequest(const ObjectRef& target,
   std::unique_ptr<wire::Call> call = protocol_->NewCall();
   call->SetKind(wire::CallKind::kRequest);
   call->SetCallId(next_call_id_.fetch_add(1, std::memory_order_relaxed));
-  call->SetTarget(target.ToString());
-  call->SetOperation(std::string(op));
+  // Interned header fields: the target string is shared with the ref
+  // (stubs intern at construction) and the operation name with every
+  // other call of the same operation — no per-request copies of either.
+  call->SetTarget(target.ToStringShared());
+  call->SetOperation(InternedOperation(op));
   call->SetOneway(oneway);
   if (options_.tracer != nullptr) {
     // Trace ids are stamped at request birth (Invoke only sees a const
@@ -1145,6 +1176,10 @@ OrbStats Orb::Stats() const {
   if (worker_pool_ != nullptr) {
     stats.dispatch_queue_highwater = worker_pool_->GetStats().queue_highwater;
   }
+  bytes::IoBufPool::Stats pool = bytes::IoBufPool::Global().GetStats();
+  stats.iobuf_pool_hits = pool.hits;
+  stats.iobuf_pool_misses = pool.misses;
+  stats.iobuf_bytes_retained = pool.outstanding_bytes;
   return stats;
 }
 

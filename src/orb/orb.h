@@ -128,6 +128,13 @@ struct OrbStats {
   uint64_t spans_recorded = 0;          // span timelines kept in the ring
   uint64_t spans_dropped = 0;           // timelines lost to ring contention
   uint64_t dispatch_queue_highwater = 0;  // WorkPool max queued tasks
+  // Zero-copy buffer pool (process-global; see support/bytes.h). Hits vs
+  // misses say how often a frame's slab came off a free list instead of
+  // the heap; bytes_retained is the capacity currently held live by
+  // in-flight chains and retained readable calls.
+  uint64_t iobuf_pool_hits = 0;
+  uint64_t iobuf_pool_misses = 0;
+  uint64_t iobuf_bytes_retained = 0;
 };
 
 // Per-invocation observability state threaded through the invoke path

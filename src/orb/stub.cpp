@@ -4,7 +4,11 @@
 
 namespace heidi::orb {
 
-HdStub::HdStub(Orb& orb, ObjectRef ref) : orb_(&orb), ref_(std::move(ref)) {}
+HdStub::HdStub(Orb& orb, ObjectRef ref) : orb_(&orb), ref_(std::move(ref)) {
+  // Every NewCall through this stub shares the one interned target
+  // string instead of re-stringifying the ref per request.
+  ref_.Intern();
+}
 
 std::unique_ptr<wire::Call> HdStub::NewCall(std::string_view op,
                                             bool oneway) const {

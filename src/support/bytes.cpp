@@ -1,0 +1,199 @@
+#include "support/bytes.h"
+
+#include <cstring>
+#include <thread>
+
+namespace heidi::bytes {
+
+IoBuf::IoBuf(size_t capacity)
+    : data_(new char[capacity]), capacity_(capacity), pool_(nullptr) {}
+
+IoBuf::~IoBuf() { delete[] data_; }
+
+void IoBuf::Release() {
+  if (refs_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    if (pool_ != nullptr) {
+      pool_->Recycle(this);
+    } else {
+      delete this;
+    }
+  }
+}
+
+IoBufPool::~IoBufPool() {
+  for (Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (IoBuf* buf : shard.free) delete buf;
+    shard.free.clear();
+  }
+}
+
+IoBufPool::Shard& IoBufPool::HomeShard() {
+  // Thread-affine shard: a connection's demux/handler thread keeps
+  // hitting the slabs it just released — per-connection reuse with no
+  // per-connection bookkeeping.
+  size_t h = std::hash<std::thread::id>{}(std::this_thread::get_id());
+  return shards_[h % kShards];
+}
+
+IoBuf* IoBufPool::PopFrom(Shard& shard) {
+  std::lock_guard lock(shard.mutex);
+  if (shard.free.empty()) return nullptr;
+  IoBuf* buf = shard.free.back();
+  shard.free.pop_back();
+  return buf;
+}
+
+IoBufPtr IoBufPool::Get(size_t min_capacity) {
+  if (min_capacity <= kSlabBytes) {
+    size_t home =
+        std::hash<std::thread::id>{}(std::this_thread::get_id()) % kShards;
+    IoBuf* buf = PopFrom(shards_[home]);
+    // Steal before allocating: a producer-consumer flow (one thread
+    // Gets, another Releases) would otherwise drain the getter's shard
+    // forever while the releaser's shard sits at its cap.
+    for (size_t i = 1; buf == nullptr && i < kShards; ++i) {
+      buf = PopFrom(shards_[(home + i) % kShards]);
+    }
+    if (buf != nullptr) {
+      hits_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Counter* c = ctr_hits_.load(std::memory_order_relaxed)) {
+        c->Add();
+      }
+      outstanding_bufs_.fetch_add(1, std::memory_order_relaxed);
+      outstanding_bytes_.fetch_add(buf->Capacity(), std::memory_order_relaxed);
+      buf->size_ = 0;
+      buf->refs_.store(1, std::memory_order_relaxed);
+      return IoBufPtr::Adopt(buf);
+    }
+  }
+  misses_.fetch_add(1, std::memory_order_relaxed);
+  if (obs::Counter* c = ctr_misses_.load(std::memory_order_relaxed)) {
+    c->Add();
+  }
+  IoBuf* buf = new IoBuf(min_capacity <= kSlabBytes ? kSlabBytes
+                                                    : min_capacity);
+  buf->pool_ = this;
+  outstanding_bufs_.fetch_add(1, std::memory_order_relaxed);
+  outstanding_bytes_.fetch_add(buf->Capacity(), std::memory_order_relaxed);
+  return IoBufPtr::Adopt(buf);
+}
+
+void IoBufPool::Recycle(IoBuf* buf) {
+  outstanding_bufs_.fetch_sub(1, std::memory_order_relaxed);
+  outstanding_bytes_.fetch_sub(buf->Capacity(), std::memory_order_relaxed);
+  if (buf->Capacity() == kSlabBytes) {
+    Shard& shard = HomeShard();
+    std::unique_lock lock(shard.mutex);
+    if (shard.free.size() < kMaxFreePerShard) {
+      shard.free.push_back(buf);
+      lock.unlock();
+      recycles_.fetch_add(1, std::memory_order_relaxed);
+      if (obs::Counter* c = ctr_recycles_.load(std::memory_order_relaxed)) {
+        c->Add();
+      }
+      return;
+    }
+  }
+  delete buf;  // oversize one-off, or the shard is full
+}
+
+IoBufPool::Stats IoBufPool::GetStats() const {
+  Stats stats;
+  stats.hits = hits_.load(std::memory_order_relaxed);
+  stats.misses = misses_.load(std::memory_order_relaxed);
+  stats.recycles = recycles_.load(std::memory_order_relaxed);
+  stats.outstanding_bufs = outstanding_bufs_.load(std::memory_order_relaxed);
+  stats.outstanding_bytes = outstanding_bytes_.load(std::memory_order_relaxed);
+  return stats;
+}
+
+void IoBufPool::BindCounters(obs::Counter* hits, obs::Counter* misses,
+                             obs::Counter* recycles) {
+  ctr_hits_.store(hits, std::memory_order_relaxed);
+  ctr_misses_.store(misses, std::memory_order_relaxed);
+  ctr_recycles_.store(recycles, std::memory_order_relaxed);
+}
+
+IoBufPool& IoBufPool::Global() {
+  static IoBufPool* pool = new IoBufPool;  // immortal, see header
+  return *pool;
+}
+
+void BufferChain::Clear() {
+  slices_.clear();
+  size_ = 0;
+  tail_writable_ = false;
+}
+
+IoBuf* BufferChain::WritableTail() {
+  if (tail_writable_) {
+    IoBuf* tail = slices_.back().buf.get();
+    if (tail->Remaining() > 0) return tail;
+  }
+  IoBufPool& pool = pool_ != nullptr ? *pool_ : IoBufPool::Global();
+  IoBufPtr fresh = pool.Get();
+  IoBuf* raw = fresh.get();
+  slices_.push_back(BufSlice{std::move(fresh), 0, 0});
+  tail_writable_ = true;
+  return raw;
+}
+
+void BufferChain::AppendSlow(const char* src, size_t n) {
+  while (n > 0) {
+    IoBuf* tail = WritableTail();
+    size_t take = std::min(n, tail->Remaining());
+    std::memcpy(tail->WritePtr(), src, take);
+    tail->Advance(take);
+    slices_.back().length += static_cast<uint32_t>(take);
+    size_ += take;
+    src += take;
+    n -= take;
+  }
+}
+
+void BufferChain::AppendZeros(size_t n) {
+  while (n > 0) {
+    IoBuf* tail = WritableTail();
+    size_t take = std::min(n, tail->Remaining());
+    std::memset(tail->WritePtr(), 0, take);
+    tail->Advance(take);
+    slices_.back().length += static_cast<uint32_t>(take);
+    size_ += take;
+    n -= take;
+  }
+}
+
+void BufferChain::AppendChain(const BufferChain& other) {
+  for (const BufSlice& slice : other.slices_) {
+    if (slice.length == 0) continue;
+    slices_.push_back(slice);  // refcount bump, zero bytes copied
+    size_ += slice.length;
+  }
+  tail_writable_ = false;
+}
+
+void BufferChain::AppendSlice(const IoBufPtr& buf, size_t offset,
+                              size_t length) {
+  if (length == 0) return;
+  slices_.push_back(BufSlice{buf, static_cast<uint32_t>(offset),
+                             static_cast<uint32_t>(length)});
+  size_ += length;
+  tail_writable_ = false;
+}
+
+void BufferChain::CopyTo(char* out) const {
+  for (const BufSlice& slice : slices_) {
+    std::memcpy(out, slice.Data(), slice.length);
+    out += slice.length;
+  }
+}
+
+std::string BufferChain::ToString() const {
+  std::string out;
+  out.resize(size_);
+  CopyTo(out.data());
+  return out;
+}
+
+}  // namespace heidi::bytes

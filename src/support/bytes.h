@@ -1,0 +1,271 @@
+// Pooled, reference-counted I/O buffers — the zero-copy marshaling
+// substrate. The paper's Call abstraction hides the wire representation;
+// this layer makes that abstraction cheap: protocols marshal into a
+// BufferChain of pooled IoBuf slabs, the channel scatter-gathers the
+// chain onto the wire (net::ByteChannel::WritevAll), and inbound frames
+// are read into one pooled slab that readable calls retain and hand out
+// as std::string_views — a call's bytes are written once and never
+// copied again.
+//
+// Ownership model: an IoBuf is intrusively reference-counted; BufSlice /
+// BufferChain / readable Calls hold IoBufPtr references, and the slab
+// returns to its pool's free list when the last reference drops. The
+// pool is sharded by thread (each demux / handler thread leans on its
+// own shard), so a connection's read loop keeps recycling the same slabs
+// — per-connection slab reuse without per-connection state.
+//
+// Thread-safety: IoBufPool is fully thread-safe; a BufferChain (like the
+// Call that owns it) is a single-owner object.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace heidi::bytes {
+
+class IoBufPool;
+class IoBufPtr;
+
+// One slab of wire bytes. `Size()` is the write high-water mark: the
+// exclusive owner of a freshly pooled slab appends at WritePtr() and
+// Advances; once slices of the slab are shared (BufferChain::AppendChain,
+// a readable Call retaining its frame) the written region is immutable —
+// sharers only ever read [0, their slice bounds).
+class IoBuf {
+ public:
+  IoBuf(const IoBuf&) = delete;
+  IoBuf& operator=(const IoBuf&) = delete;
+
+  char* Data() { return data_; }
+  const char* Data() const { return data_; }
+  size_t Capacity() const { return capacity_; }
+
+  size_t Size() const { return size_; }
+  size_t Remaining() const { return capacity_ - size_; }
+  char* WritePtr() { return data_ + size_; }
+  void Advance(size_t n) { size_ += n; }
+
+ private:
+  friend class IoBufPool;
+  friend class IoBufPtr;
+
+  explicit IoBuf(size_t capacity);
+  ~IoBuf();
+
+  void Retain() { refs_.fetch_add(1, std::memory_order_relaxed); }
+  // Returns the slab to its pool (or frees it) on the last reference.
+  void Release();
+
+  char* data_;
+  size_t capacity_;
+  size_t size_ = 0;
+  std::atomic<uint32_t> refs_{1};
+  IoBufPool* pool_;
+};
+
+// Intrusive smart pointer over IoBuf.
+class IoBufPtr {
+ public:
+  IoBufPtr() = default;
+  IoBufPtr(const IoBufPtr& other) : buf_(other.buf_) {
+    if (buf_ != nullptr) buf_->Retain();
+  }
+  IoBufPtr(IoBufPtr&& other) noexcept : buf_(other.buf_) {
+    other.buf_ = nullptr;
+  }
+  IoBufPtr& operator=(IoBufPtr other) noexcept {
+    std::swap(buf_, other.buf_);
+    return *this;
+  }
+  ~IoBufPtr() {
+    if (buf_ != nullptr) buf_->Release();
+  }
+
+  IoBuf* get() const { return buf_; }
+  IoBuf* operator->() const { return buf_; }
+  IoBuf& operator*() const { return *buf_; }
+  explicit operator bool() const { return buf_ != nullptr; }
+
+  void reset() {
+    if (buf_ != nullptr) buf_->Release();
+    buf_ = nullptr;
+  }
+
+  // Takes ownership of an already-counted reference (refcount not bumped).
+  static IoBufPtr Adopt(IoBuf* buf) {
+    IoBufPtr p;
+    p.buf_ = buf;
+    return p;
+  }
+
+ private:
+  IoBuf* buf_ = nullptr;
+};
+
+// Sharded free list of fixed-size slabs. Get() pops from the calling
+// thread's shard (hit) or allocates (miss); the last IoBufPtr release
+// pushes the slab back. Requests larger than kSlabBytes are served by a
+// one-off heap slab that is freed, not recycled (counts as a miss) — the
+// free list stays homogeneous so any pooled slab satisfies any request.
+class IoBufPool {
+ public:
+  static constexpr size_t kSlabBytes = 16 * 1024;
+  static constexpr size_t kShards = 8;
+  // Idle-memory bound: a full shard frees instead of recycling.
+  static constexpr size_t kMaxFreePerShard = 64;
+
+  IoBufPool() = default;
+  ~IoBufPool();
+  IoBufPool(const IoBufPool&) = delete;
+  IoBufPool& operator=(const IoBufPool&) = delete;
+
+  // Never returns null. The slab's Size() is 0 and the caller is its
+  // exclusive owner until it shares references.
+  IoBufPtr Get(size_t min_capacity = kSlabBytes);
+
+  struct Stats {
+    uint64_t hits = 0;      // Get() served from a free list
+    uint64_t misses = 0;    // Get() had to allocate
+    uint64_t recycles = 0;  // slabs returned to a free list
+    uint64_t outstanding_bufs = 0;   // live slabs (gauge)
+    uint64_t outstanding_bytes = 0;  // capacity held by live slabs (gauge)
+  };
+  Stats GetStats() const;
+
+  // Mirrors the monotonic pool events into registry counters (the
+  // gauges stay poll-only via GetStats). Last binding wins; the counter
+  // pointers must outlive the pool's traffic (MetricsRegistry entries
+  // are immortal, so binding a registry's counters is always safe).
+  void BindCounters(obs::Counter* hits, obs::Counter* misses,
+                    obs::Counter* recycles);
+  // Inline so heidi_support never links against the registry's code.
+  void BindMetrics(obs::MetricsRegistry& metrics) {
+    BindCounters(metrics.GetCounter("iobuf.pool.hits"),
+                 metrics.GetCounter("iobuf.pool.misses"),
+                 metrics.GetCounter("iobuf.pool.recycles"));
+  }
+
+  // The process-wide pool every chain and protocol uses by default.
+  // Deliberately immortal (never destroyed): slabs may be released from
+  // static destructors of arbitrary order.
+  static IoBufPool& Global();
+
+ private:
+  friend class IoBuf;
+
+  struct alignas(64) Shard {
+    std::mutex mutex;
+    std::vector<IoBuf*> free;
+  };
+
+  Shard& HomeShard();
+  IoBuf* PopFrom(Shard& shard);
+  void Recycle(IoBuf* buf);
+
+  Shard shards_[kShards];
+  std::atomic<uint64_t> hits_{0};
+  std::atomic<uint64_t> misses_{0};
+  std::atomic<uint64_t> recycles_{0};
+  std::atomic<uint64_t> outstanding_bufs_{0};
+  std::atomic<uint64_t> outstanding_bytes_{0};
+  std::atomic<obs::Counter*> ctr_hits_{nullptr};
+  std::atomic<obs::Counter*> ctr_misses_{nullptr};
+  std::atomic<obs::Counter*> ctr_recycles_{nullptr};
+};
+
+// A contiguous [offset, offset+length) window of one slab.
+struct BufSlice {
+  IoBufPtr buf;
+  uint32_t offset = 0;
+  uint32_t length = 0;
+
+  const char* Data() const { return buf->Data() + offset; }
+  std::string_view View() const { return {Data(), length}; }
+};
+
+// An ordered sequence of slices — the unit protocols marshal into and
+// channels gather out of. Append() copies bytes into the chain's own
+// tail slab (splitting across slabs as needed); AppendChain/AppendSlice
+// share existing slabs by reference without copying a byte.
+//
+// Chains are move-only: sharing is explicit (AppendChain), never an
+// accidental copy.
+class BufferChain {
+ public:
+  BufferChain() = default;
+  explicit BufferChain(IoBufPool* pool) : pool_(pool) {}
+  BufferChain(const BufferChain&) = delete;
+  BufferChain& operator=(const BufferChain&) = delete;
+  BufferChain(BufferChain&& other) noexcept { *this = std::move(other); }
+  BufferChain& operator=(BufferChain&& other) noexcept {
+    slices_ = std::move(other.slices_);
+    size_ = other.size_;
+    pool_ = other.pool_;
+    tail_writable_ = other.tail_writable_;
+    other.slices_.clear();
+    other.size_ = 0;
+    other.tail_writable_ = false;
+    return *this;
+  }
+
+  size_t Size() const { return size_; }
+  bool Empty() const { return size_ == 0; }
+  const std::vector<BufSlice>& Slices() const { return slices_; }
+
+  // Drops every slice reference (slabs with no other holder return to
+  // the pool).
+  void Clear();
+
+  // Copies `n` bytes into the chain's tail slab(s). The common case — a
+  // small primitive landing in the tail slab's free space — is inline;
+  // slab turnover and multi-slab splits take the out-of-line path.
+  void Append(const void* data, size_t n) {
+    if (tail_writable_) {
+      IoBuf* tail = slices_.back().buf.get();
+      if (n <= tail->Remaining()) {
+        std::memcpy(tail->WritePtr(), data, n);
+        tail->Advance(n);
+        slices_.back().length += static_cast<uint32_t>(n);
+        size_ += n;
+        return;
+      }
+    }
+    AppendSlow(static_cast<const char*>(data), n);
+  }
+  void Append(std::string_view s) { Append(s.data(), s.size()); }
+  // Appends `n` zero bytes (alignment padding).
+  void AppendZeros(size_t n);
+
+  // Shares `other`'s slices by reference — zero bytes copied. The source
+  // chain's already-written bytes are immutable from here on (it may
+  // still grow past them).
+  void AppendChain(const BufferChain& other);
+  void AppendSlice(const IoBufPtr& buf, size_t offset, size_t length);
+
+  // Flatten helpers (tests, fault paths, compatibility accessors).
+  void CopyTo(char* out) const;
+  std::string ToString() const;
+
+ private:
+  // A slab this chain may keep appending into, with >= 1 free byte.
+  IoBuf* WritableTail();
+  void AppendSlow(const char* src, size_t n);
+
+  IoBufPool* pool_ = nullptr;  // nullptr -> IoBufPool::Global()
+  std::vector<BufSlice> slices_;
+  size_t size_ = 0;
+  // True while the last slice is this chain's own append region ending
+  // exactly at its slab's high-water mark; shared slices clear it so
+  // Append never writes into a slab another chain is also growing.
+  bool tail_writable_ = false;
+};
+
+}  // namespace heidi::bytes

@@ -13,26 +13,29 @@ namespace heidi::wire {
 void BinaryCall::Align(size_t n) {
   if (readable_) {
     size_t aligned = (cursor_ + n - 1) & ~(n - 1);
-    if (aligned > buffer_.size()) {
+    if (aligned > view_.size()) {
       throw MarshalError("payload exhausted during alignment");
     }
     cursor_ = aligned;
   } else {
-    while (buffer_.size() % n != 0) buffer_.push_back('\0');
+    // CDR alignments are powers of two; mask instead of dividing.
+    size_t misaligned = chain_.Size() & (n - 1);
+    if (misaligned != 0) chain_.AppendZeros(n - misaligned);
   }
 }
 
 void BinaryCall::PutRaw(const void* data, size_t n) {
   if (readable_) throw MarshalError("Put on a readable call");
-  buffer_.append(static_cast<const char*>(data), n);
+  chain_.Append(data, n);
+  Touch();
 }
 
 void BinaryCall::GetRaw(void* data, size_t n, const char* what) {
   if (!readable_) throw MarshalError("Get on a writable call");
-  if (cursor_ + n > buffer_.size()) {
+  if (cursor_ + n > view_.size()) {
     throw MarshalError(std::string("payload exhausted reading ") + what);
   }
-  std::memcpy(data, buffer_.data() + cursor_, n);
+  std::memcpy(data, view_.data() + cursor_, n);
   cursor_ += n;
 }
 
@@ -77,29 +80,37 @@ uint64_t BinaryCall::GetULongLong() {
 float BinaryCall::GetFloat() { return GetPrim<float>("float"); }
 double BinaryCall::GetDouble() { return GetPrim<double>("double"); }
 
-std::string BinaryCall::GetString() {
+std::string_view BinaryCall::TakeStringView() {
   uint32_t len = GetPrim<uint32_t>("string length");
   if (len == 0) throw MarshalError("malformed string (zero length)");
-  if (cursor_ + len > buffer_.size()) {
+  if (cursor_ + len > view_.size()) {
     throw MarshalError("payload exhausted reading string");
   }
-  std::string out(buffer_.data() + cursor_, len - 1);
-  if (buffer_[cursor_ + len - 1] != '\0') {
+  std::string_view out(view_.data() + cursor_, len - 1);
+  if (view_[cursor_ + len - 1] != '\0') {
     throw MarshalError("string not NUL-terminated");
   }
   cursor_ += len;
   return out;
 }
 
-std::string BinaryCall::GetBytes() {
+std::string_view BinaryCall::TakeBytesView() {
   uint32_t len = GetPrim<uint32_t>("bytes length");
-  if (cursor_ + len > buffer_.size()) {
+  if (cursor_ + len > view_.size()) {
     throw MarshalError("payload exhausted reading bytes");
   }
-  std::string out(buffer_.data() + cursor_, len);
+  std::string_view out(view_.data() + cursor_, len);
   cursor_ += len;
   return out;
 }
+
+std::string BinaryCall::GetString() { return std::string(TakeStringView()); }
+std::string BinaryCall::GetBytes() { return std::string(TakeBytesView()); }
+
+// The views point into the retained frame slab (or the owned copy), so
+// they share the call's lifetime — no retention copy needed.
+std::string_view BinaryCall::GetStringView() { return TakeStringView(); }
+std::string_view BinaryCall::GetBytesView() { return TakeBytesView(); }
 
 void BinaryCall::Begin(std::string_view) {}
 void BinaryCall::End() {}

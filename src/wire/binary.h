@@ -5,11 +5,19 @@
 // (including NUL) + bytes + NUL; group markers are implicit (Begin/End
 // are no-ops). Framing (magic, version, message type, length) is handled
 // by the protocol layer in protocol.cpp.
+//
+// Zero-copy shape: a writable call marshals into a pooled BufferChain
+// that WriteCall scatter-gathers onto the wire; a readable call is a
+// view over the retained inbound frame slab (one pooled allocation per
+// frame, shared by head and payload), and GetStringView/GetBytesView
+// return views straight into it.
 #pragma once
 
 #include <memory>
 #include <string>
+#include <string_view>
 
+#include "support/bytes.h"
 #include "wire/call.h"
 
 namespace heidi::wire {
@@ -18,9 +26,17 @@ class BinaryCall final : public Call {
  public:
   // Writable, empty call.
   BinaryCall() = default;
-  // Readable call over a decoded payload.
+  // Readable call over an owned copy of a decoded payload
+  // (compatibility path: tests, hand-built frames).
   explicit BinaryCall(std::string payload)
-      : buffer_(std::move(payload)), readable_(true) {}
+      : owned_(std::move(payload)), view_(owned_), readable_(true) {}
+  // Readable call viewing [offset, offset+length) of a retained frame
+  // slab — the zero-copy path ReadCall uses. The call keeps the slab
+  // alive; views handed out by Get*View share its lifetime.
+  BinaryCall(bytes::IoBufPtr frame, size_t offset, size_t length)
+      : frame_(std::move(frame)),
+        view_(frame_->Data() + offset, length),
+        readable_(true) {}
 
   void PutBoolean(bool v) override;
   void PutChar(char v) override;
@@ -49,19 +65,34 @@ class BinaryCall final : public Call {
   double GetDouble() override;
   std::string GetString() override;
   std::string GetBytes() override;
+  std::string_view GetStringView() override;
+  std::string_view GetBytesView() override;
 
   void Begin(std::string_view label) override;
   void End() override;
 
-  bool HasMore() const override { return cursor_ < buffer_.size(); }
-  size_t PayloadSize() const override { return buffer_.size(); }
+  bool HasMore() const override {
+    return readable_ ? cursor_ < view_.size() : chain_.Size() > 0;
+  }
+  size_t PayloadSize() const override {
+    return readable_ ? view_.size() : chain_.Size();
+  }
 
-  const std::string& Payload() const { return buffer_; }
+  // The marshaled payload chain of a writable call (WriteCall appends it
+  // to the frame without copying).
+  const bytes::BufferChain& Chain() const { return chain_; }
+
+  // Flattened payload bytes (tests, diagnostics, re-reading).
+  std::string Payload() const {
+    return readable_ ? std::string(view_) : chain_.ToString();
+  }
 
  private:
   void Align(size_t n);
   void PutRaw(const void* data, size_t n);
   void GetRaw(void* data, size_t n, const char* what);
+  std::string_view TakeStringView();
+  std::string_view TakeBytesView();
 
   template <typename T>
   void PutPrim(T v) {
@@ -76,7 +107,10 @@ class BinaryCall final : public Call {
     return v;
   }
 
-  std::string buffer_;
+  bytes::BufferChain chain_;   // writable: marshal target
+  bytes::IoBufPtr frame_;      // readable: retained frame slab (may be null)
+  std::string owned_;          // readable: owned copy (compat ctor)
+  std::string_view view_;      // readable: the decode window
   size_t cursor_ = 0;
   bool readable_ = false;
 };

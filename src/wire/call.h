@@ -14,6 +14,7 @@
 #pragma once
 
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <string>
 #include <string_view>
@@ -39,23 +40,60 @@ class Call {
 
   // --- header ------------------------------------------------------------
   CallKind Kind() const { return kind_; }
-  void SetKind(CallKind kind) { kind_ = kind; }
+  void SetKind(CallKind kind) {
+    kind_ = kind;
+    Touch();
+  }
 
   uint64_t CallId() const { return call_id_; }
-  void SetCallId(uint64_t id) { call_id_ = id; }
+  void SetCallId(uint64_t id) {
+    call_id_ = id;
+    Touch();
+  }
 
   // Stringified object reference of the target (the Call header, §3.1).
-  const std::string& Target() const { return target_; }
-  void SetTarget(std::string target) { target_ = std::move(target); }
+  const std::string& Target() const {
+    return target_shared_ != nullptr ? *target_shared_ : target_;
+  }
+  void SetTarget(std::string target) {
+    target_ = std::move(target);
+    target_shared_.reset();
+    Touch();
+  }
+  // Interned form: the orb passes ObjectRef::ToStringShared() here so
+  // every request to one target shares a single immortal string instead
+  // of copying "@tcp:host:port#id#repoid" per call.
+  void SetTarget(std::shared_ptr<const std::string> target) {
+    target_shared_ = std::move(target);
+    target_.clear();
+    Touch();
+  }
 
-  const std::string& Operation() const { return operation_; }
-  void SetOperation(std::string op) { operation_ = std::move(op); }
+  const std::string& Operation() const {
+    return operation_shared_ != nullptr ? *operation_shared_ : operation_;
+  }
+  void SetOperation(std::string op) {
+    operation_ = std::move(op);
+    operation_shared_.reset();
+    Touch();
+  }
+  void SetOperation(std::shared_ptr<const std::string> op) {
+    operation_shared_ = std::move(op);
+    operation_.clear();
+    Touch();
+  }
 
   bool Oneway() const { return oneway_; }
-  void SetOneway(bool oneway) { oneway_ = oneway; }
+  void SetOneway(bool oneway) {
+    oneway_ = oneway;
+    Touch();
+  }
 
   CallStatus Status() const { return status_; }
-  void SetStatus(CallStatus status) { status_ = status; }
+  void SetStatus(CallStatus status) {
+    status_ = status;
+    Touch();
+  }
 
   // Client-side transmission hint, never marshaled: marks the operation
   // safe to re-execute, so the retry policy may resend the request after
@@ -66,14 +104,26 @@ class Call {
 
   // Error/exception text for non-kOk replies.
   const std::string& ErrorText() const { return error_text_; }
-  void SetErrorText(std::string text) { error_text_ = std::move(text); }
+  void SetErrorText(std::string text) {
+    error_text_ = std::move(text);
+    Touch();
+  }
 
   // Trace context carried alongside the call header and propagated on the
   // wire by both protocols (a "trace:" header line in text, a flagged
   // service-context field in HIOP). An invalid (all-zero) context means
   // the peer sent none — old peers interoperate unchanged.
   const obs::TraceContext& Trace() const { return trace_; }
-  void SetTrace(const obs::TraceContext& ctx) { trace_ = ctx; }
+  void SetTrace(const obs::TraceContext& ctx) {
+    trace_ = ctx;
+    Touch();
+  }
+
+  // Mutation counter over everything a protocol encodes (header fields
+  // and — via subclass Touch() calls — payload). Encode caches key on
+  // it: a WriteCall of an unchanged call (a retry resending the same
+  // request) can reuse previously rendered bytes.
+  uint64_t Revision() const { return revision_; }
 
   // Local-only creation timestamp (obs::NowNs), never marshaled: set by
   // Orb::NewRequest when a tracer is attached so the invocation path can
@@ -115,6 +165,15 @@ class Call {
   virtual int32_t GetEnum() { return GetLong(); }
   virtual std::string GetBytes() = 0;
 
+  // Zero-copy reads: the returned view stays valid for the life of this
+  // call (it points into the retained inbound frame, or into storage the
+  // call keeps). The copying GetString/GetBytes remain the compatibility
+  // surface; these are the fast path. The base implementations fall back
+  // to copy-and-retain so custom Call subclasses inherit correct —
+  // merely not zero-copy — behavior.
+  virtual std::string_view GetStringView() { return RetainForView(GetString()); }
+  virtual std::string_view GetBytesView() { return RetainForView(GetBytes()); }
+
   // --- structuring ---------------------------------------------------------
   // Writing: open/close a named group. Reading: consume and verify the
   // matching markers (text protocol); no-ops on self-delimiting encodings.
@@ -131,17 +190,38 @@ class Call {
   // Approximate encoded payload size in bytes (benchmarks).
   virtual size_t PayloadSize() const = 0;
 
+ protected:
+  // Subclasses call this whenever encoded payload changes (Put*), so
+  // Revision() covers the full wire image.
+  void Touch() { ++revision_; }
+
+  // Stashes a decoded value on the call so a view of it can outlive the
+  // decode step. Storage is created lazily: calls that never hand out a
+  // fallback view pay nothing.
+  std::string_view RetainForView(std::string value) {
+    if (retained_ == nullptr) {
+      retained_ = std::make_unique<std::deque<std::string>>();
+    }
+    retained_->push_back(std::move(value));
+    return retained_->back();
+  }
+
  private:
   CallKind kind_ = CallKind::kRequest;
   uint64_t call_id_ = 0;
   std::string target_;
+  std::shared_ptr<const std::string> target_shared_;
   std::string operation_;
+  std::shared_ptr<const std::string> operation_shared_;
   bool oneway_ = false;
   bool idempotent_ = false;
   CallStatus status_ = CallStatus::kOk;
   std::string error_text_;
   obs::TraceContext trace_;
   int64_t born_ns_ = 0;
+  uint64_t revision_ = 0;
+  // Deque: stable addresses across growth (views point into elements).
+  std::unique_ptr<std::deque<std::string>> retained_;
 };
 
 }  // namespace heidi::wire

@@ -3,6 +3,7 @@
 #include <cstring>
 #include <mutex>
 
+#include "support/bytes.h"
 #include "support/error.h"
 #include "support/strings.h"
 #include "wire/binary.h"
@@ -39,28 +40,38 @@ class TextProtocol final : public Protocol {
     if (text == nullptr) {
       throw MarshalError("text protocol given a non-text Call");
     }
-    std::string line;
-    if (call.Trace().Valid()) {
-      line = "trace: " + call.Trace().ToString() + "\n";
+    // The rendered frame is cached on the call keyed by its revision:
+    // an unchanged call (a retry resending the same request, a reply
+    // relayed twice) skips the whole rebuild. The lock is held across
+    // the channel write so a concurrently re-rendered frame can never
+    // be freed out from under WriteAll.
+    std::lock_guard lock(text->EncodeMutex());
+    if (!text->EncodingValidFor(call.Revision())) {
+      std::string line;
+      if (call.Trace().Valid()) {
+        line = "trace: " + call.Trace().ToString() + "\n";
+      }
+      if (call.Kind() == CallKind::kRequest) {
+        line += "REQ " + std::to_string(call.CallId()) + " " +
+                (call.Oneway() ? "O" : "W") + " " +
+                str::EscapeToken(call.Target()) + " " +
+                str::EscapeToken(call.Operation());
+      } else {
+        const char* status = call.Status() == CallStatus::kOk          ? "OK"
+                             : call.Status() == CallStatus::kSystemError ? "SYS"
+                             : call.Status() == CallStatus::kTimeout     ? "TMO"
+                                                                         : "USR";
+        line += "REP " + std::to_string(call.CallId()) + " " + status + " " +
+                str::EscapeToken(call.ErrorText());
+      }
+      for (const std::string& token : text->Tokens()) {
+        line.push_back(' ');
+        line += token;
+      }
+      line.push_back('\n');
+      text->StoreEncoding(std::move(line), call.Revision());
     }
-    if (call.Kind() == CallKind::kRequest) {
-      line += "REQ " + std::to_string(call.CallId()) + " " +
-              (call.Oneway() ? "O" : "W") + " " +
-              str::EscapeToken(call.Target()) + " " +
-              str::EscapeToken(call.Operation());
-    } else {
-      const char* status = call.Status() == CallStatus::kOk          ? "OK"
-                           : call.Status() == CallStatus::kSystemError ? "SYS"
-                           : call.Status() == CallStatus::kTimeout     ? "TMO"
-                                                                       : "USR";
-      line += "REP " + std::to_string(call.CallId()) + " " + status + " " +
-              str::EscapeToken(call.ErrorText());
-    }
-    for (const std::string& token : text->Tokens()) {
-      line.push_back(' ');
-      line += token;
-    }
-    line.push_back('\n');
+    const std::string& line = text->Encoding();
     channel.WriteAll(line.data(), line.size());
   }
 
@@ -182,23 +193,26 @@ class HiopProtocol final : public Protocol {
       head.PutULongLong(trace.parent_span_id);
       head.PutBoolean(trace.sampled);
     }
-    const std::string& head_bytes = head.Payload();
-    const std::string& payload = bin->Payload();
+    // Scatter-gather framing: the 16-byte header goes into a small
+    // chain of its own, then the head and payload chains are appended
+    // BY REFERENCE — the marshaled bytes are never assembled into a
+    // contiguous frame; WritevAll hands the slices to the kernel as-is.
+    char header[16];
+    std::memcpy(header, kMagic, 4);
+    header[4] = static_cast<char>(kVersion);
+    header[5] = call.Kind() == CallKind::kRequest ? 1 : 2;
+    header[6] = static_cast<char>(flags);
+    header[7] = '\0';
+    uint32_t head_len = static_cast<uint32_t>(head.PayloadSize());
+    uint32_t payload_len = static_cast<uint32_t>(bin->PayloadSize());
+    std::memcpy(header + 8, &head_len, 4);
+    std::memcpy(header + 12, &payload_len, 4);
 
-    std::string frame;
-    frame.reserve(16 + head_bytes.size() + payload.size());
-    frame.append(kMagic, 4);
-    frame.push_back(static_cast<char>(kVersion));
-    frame.push_back(call.Kind() == CallKind::kRequest ? 1 : 2);
-    frame.push_back(static_cast<char>(flags));
-    frame.push_back('\0');
-    uint32_t head_len = static_cast<uint32_t>(head_bytes.size());
-    uint32_t payload_len = static_cast<uint32_t>(payload.size());
-    frame.append(reinterpret_cast<const char*>(&head_len), 4);
-    frame.append(reinterpret_cast<const char*>(&payload_len), 4);
-    frame += head_bytes;
-    frame += payload;
-    channel.WriteAll(frame.data(), frame.size());
+    bytes::BufferChain frame;
+    frame.Append(header, sizeof header);
+    frame.AppendChain(head.Chain());
+    frame.AppendChain(bin->Chain());
+    channel.WritevAll(frame);
   }
 
   std::unique_ptr<Call> ReadCall(net::BufferedReader& reader) const override {
@@ -229,17 +243,19 @@ class HiopProtocol final : public Protocol {
     if (head_len > (1u << 20) || payload_len > (64u << 20)) {
       throw MarshalError("HIOP frame too large");
     }
-    std::string head_bytes(head_len, '\0');
-    if (head_len != 0 && !reader.ReadExact(head_bytes.data(), head_len)) {
-      throw NetError("connection closed mid-frame");
-    }
-    std::string payload(payload_len, '\0');
-    if (payload_len != 0 && !reader.ReadExact(payload.data(), payload_len)) {
+    // One pooled slab holds the whole frame body; the head decoder and
+    // the returned call are views into it (the call retains the slab, so
+    // Get*View results stay valid for the call's lifetime). The frame
+    // header already promised these bytes, so EOF here is mid-frame.
+    size_t total = static_cast<size_t>(head_len) + payload_len;
+    bytes::IoBufPtr slab =
+        bytes::IoBufPool::Global().Get(total > 0 ? total : 1);
+    if (total != 0 && !reader.ReadExact(slab->Data(), total)) {
       throw NetError("connection closed mid-frame");
     }
 
-    BinaryCall head(std::move(head_bytes));
-    auto call = std::make_unique<BinaryCall>(std::move(payload));
+    BinaryCall head(slab, 0, head_len);
+    auto call = std::make_unique<BinaryCall>(slab, head_len, payload_len);
     call->SetCallId(head.GetULongLong());
     if (msgtype == 1) {
       call->SetKind(CallKind::kRequest);

@@ -23,9 +23,10 @@ void TextCall::PutToken(char tag, std::string_view body) {
   token.push_back(':');
   token += str::EscapeToken(body);
   tokens_.push_back(std::move(token));
+  Touch();  // payload changed: any cached encoding is stale
 }
 
-std::string TextCall::TakeToken(char tag, const char* what) {
+const std::string& TextCall::NextToken(char tag, const char* what) {
   if (!readable_) throw MarshalError("Get on a writable call");
   if (cursor_ >= tokens_.size()) {
     throw MarshalError(std::string("call payload exhausted reading ") + what);
@@ -35,7 +36,21 @@ std::string TextCall::TakeToken(char tag, const char* what) {
     FailType(what, token);
   }
   ++cursor_;
+  return token;
+}
+
+std::string TextCall::TakeToken(char tag, const char* what) {
+  const std::string& token = NextToken(tag, what);
   return str::UnescapeToken(std::string_view(token).substr(2));
+}
+
+std::string_view TextCall::TakeTokenView(char tag, const char* what) {
+  const std::string& token = NextToken(tag, what);
+  std::string_view body = std::string_view(token).substr(2);
+  // No escapes: the stored token IS the value — view it in place
+  // (tokens_ is append-only while readable, so the address is stable).
+  if (body.find('%') == std::string_view::npos) return body;
+  return RetainForView(str::UnescapeToken(body));
 }
 
 int64_t TextCall::TakeSigned(int64_t min, int64_t max, const char* what) {
@@ -166,6 +181,13 @@ double TextCall::GetDouble() {
 std::string TextCall::GetString() { return TakeToken('s', "string"); }
 std::string TextCall::GetBytes() { return TakeToken('y', "bytes"); }
 
+std::string_view TextCall::GetStringView() {
+  return TakeTokenView('s', "string");
+}
+std::string_view TextCall::GetBytesView() {
+  return TakeTokenView('y', "bytes");
+}
+
 void TextCall::Begin(std::string_view label) {
   if (readable_) {
     std::string got = TakeToken('[', "group begin");
@@ -186,6 +208,7 @@ void TextCall::End() {
     ++cursor_;
   } else {
     tokens_.push_back("]");
+    Touch();
   }
 }
 

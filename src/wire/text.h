@@ -18,6 +18,7 @@
 #pragma once
 
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "wire/call.h"
@@ -59,6 +60,10 @@ class TextCall final : public Call {
   double GetDouble() override;
   std::string GetString() override;
   std::string GetBytes() override;
+  // Unescaped tokens are viewed in place (zero-copy); tokens containing
+  // a '%' escape are decoded once and retained on the call.
+  std::string_view GetStringView() override;
+  std::string_view GetBytesView() override;
 
   void Begin(std::string_view label) override;
   void End() override;
@@ -68,16 +73,41 @@ class TextCall final : public Call {
 
   const std::vector<std::string>& Tokens() const { return tokens_; }
 
+  // --- encode cache (used by the text protocol's WriteCall) --------------
+  // WriteCall renders the full wire frame (optional trace header line +
+  // call line) once and stores it here keyed on Revision(); an unchanged
+  // call — e.g. a retry resending the same request — reuses the bytes
+  // instead of rebuilding the line. The mutex also serializes the odd
+  // case of one call being written to two channels at once.
+  std::mutex& EncodeMutex() const { return encode_mutex_; }
+  bool EncodingValidFor(uint64_t revision) const {
+    return encode_valid_ && encoded_revision_ == revision;
+  }
+  const std::string& Encoding() const { return encoded_; }
+  void StoreEncoding(std::string encoded, uint64_t revision) const {
+    encoded_ = std::move(encoded);
+    encoded_revision_ = revision;
+    encode_valid_ = true;
+  }
+
  private:
   void PutToken(char tag, std::string_view body);
+  // Validates the next token's tag and advances past it.
+  const std::string& NextToken(char tag, const char* what);
   // Consumes the next token, checking its tag.
   std::string TakeToken(char tag, const char* what);
+  std::string_view TakeTokenView(char tag, const char* what);
   int64_t TakeSigned(int64_t min, int64_t max, const char* what);
   uint64_t TakeUnsigned(uint64_t max, const char* what);
 
   std::vector<std::string> tokens_;
   size_t cursor_ = 0;
   bool readable_ = false;
+
+  mutable std::mutex encode_mutex_;
+  mutable std::string encoded_;
+  mutable uint64_t encoded_revision_ = 0;
+  mutable bool encode_valid_ = false;
 };
 
 }  // namespace heidi::wire

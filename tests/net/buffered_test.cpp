@@ -4,7 +4,9 @@
 
 #include <thread>
 
+#include "net/fault.h"
 #include "net/inmemory.h"
+#include "support/bytes.h"
 #include "support/error.h"
 
 namespace heidi::net {
@@ -90,6 +92,122 @@ TEST(BufferedReader, ReadExactMidMessageEofThrows) {
   BufferedReader reader(*pair.b);
   char buf[4];
   EXPECT_THROW(reader.ReadExact(buf, 4), NetError);
+}
+
+TEST(BufferedReader, ReadExactZeroLength) {
+  ChannelPair pair = CreateInMemoryPair();
+  BufferedReader reader(*pair.b);
+  // A zero-length read succeeds without touching the channel — even
+  // with nothing buffered and nothing written (a blocking Read here
+  // would hang this test).
+  EXPECT_TRUE(reader.ReadExact(nullptr, 0));
+  pair.a->WriteAll("ab", 2);
+  pair.a->Close();
+  char buf[2];
+  EXPECT_TRUE(reader.ReadExact(buf, 2));
+  // And at EOF it still succeeds — zero bytes are always available.
+  EXPECT_TRUE(reader.ReadExact(nullptr, 0));
+  EXPECT_FALSE(reader.ReadExact(buf, 2));
+}
+
+TEST(BufferedReader, ReadExactDrainsBufferThenReadsDirect) {
+  ChannelPair pair = CreateInMemoryPair();
+  // ReadLine buffers past the newline; the following large ReadExact
+  // must splice the buffered prefix with direct channel reads.
+  std::string payload(200 * 1024, '\0');
+  for (size_t i = 0; i < payload.size(); ++i) {
+    payload[i] = static_cast<char>('A' + (i % 26));
+  }
+  std::thread writer([&] {
+    pair.a->WriteAll("header\n", 7);
+    pair.a->WriteAll(payload.data(), payload.size());
+  });
+  BufferedReader reader(*pair.b);
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(line));
+  EXPECT_EQ(line, "header");
+  std::string got(payload.size(), '?');
+  ASSERT_TRUE(reader.ReadExact(got.data(), got.size()));
+  writer.join();
+  EXPECT_EQ(got, payload);
+}
+
+TEST(BufferedReader, ReadExactEofMidLargeFrameThrows) {
+  ChannelPair pair = CreateInMemoryPair();
+  // The peer promised a large frame but died partway: several slabs'
+  // worth arrive, then EOF. The partial data must surface as NetError,
+  // not as a short success.
+  std::string partial(64 * 1024, 'p');
+  pair.a->WriteAll(partial.data(), partial.size());
+  pair.a->Close();
+  BufferedReader reader(*pair.b);
+  std::string buf(128 * 1024, '\0');
+  EXPECT_THROW(reader.ReadExact(buf.data(), buf.size()), NetError);
+}
+
+// --- WritevAll ---------------------------------------------------------------
+
+bytes::BufferChain MakeTestChain() {
+  bytes::BufferChain chain;
+  chain.Append("frame-header|");
+  bytes::BufferChain payload;
+  payload.Append(std::string(40 * 1024, 'q'));  // splits across slabs
+  chain.AppendChain(payload);
+  chain.Append("|trailer");
+  return chain;
+}
+
+TEST(WritevAll, MatchesByteForByteWrites) {
+  bytes::BufferChain chain = MakeTestChain();
+  std::string expected = chain.ToString();
+
+  ChannelPair pair = CreateInMemoryPair();
+  pair.a->WritevAll(chain);
+  pair.a->Close();
+  BufferedReader reader(*pair.b);
+  std::string got(expected.size(), '\0');
+  ASSERT_TRUE(reader.ReadExact(got.data(), got.size()));
+  EXPECT_EQ(got, expected);
+  char extra;
+  EXPECT_FALSE(reader.ReadExact(&extra, 1));  // nothing beyond the chain
+}
+
+TEST(WritevAll, CleanFaultyChannelPassesThrough) {
+  bytes::BufferChain chain = MakeTestChain();
+  std::string expected = chain.ToString();
+
+  ChannelPair pair = CreateInMemoryPair();
+  auto injector = std::make_shared<FaultInjector>(FaultPlan{.seed = 42});
+  auto faulty = WrapFaulty(std::move(pair.a), injector);
+  faulty->WritevAll(chain);
+  faulty->Close();
+  BufferedReader reader(*pair.b);
+  std::string got(expected.size(), '\0');
+  ASSERT_TRUE(reader.ReadExact(got.data(), got.size()));
+  EXPECT_EQ(got, expected);
+}
+
+TEST(WritevAll, ScriptedWriteFaultIsAMidMessageDisconnect) {
+  bytes::BufferChain chain = MakeTestChain();
+  std::string expected = chain.ToString();
+
+  ChannelPair pair = CreateInMemoryPair();
+  FaultPlan plan;
+  plan.seed = 7;
+  plan.fail_write_at = 1;  // the very first gathered frame fails
+  auto injector = std::make_shared<FaultInjector>(plan);
+  auto faulty = WrapFaulty(std::move(pair.a), injector);
+  EXPECT_THROW(faulty->WritevAll(chain), NetError);
+  EXPECT_EQ(injector->Stats().writes_failed, 1u);
+
+  // The fault writes a prefix then closes — the reader sees exactly the
+  // torn frame a real mid-message disconnect produces.
+  BufferedReader reader(*pair.b);
+  std::string got(chain.Size() / 2, '\0');
+  ASSERT_TRUE(reader.ReadExact(got.data(), got.size()));
+  EXPECT_EQ(got, expected.substr(0, got.size()));
+  char extra;
+  EXPECT_FALSE(reader.ReadExact(&extra, 1));  // then EOF
 }
 
 }  // namespace

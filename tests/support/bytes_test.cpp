@@ -1,0 +1,209 @@
+#include "support/bytes.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace heidi::bytes {
+namespace {
+
+// --- pool accounting ---------------------------------------------------------
+
+TEST(IoBufPool, FirstGetIsAMissReleaseRecycles) {
+  IoBufPool pool;
+  {
+    IoBufPtr buf = pool.Get();
+    ASSERT_TRUE(buf);
+    EXPECT_EQ(buf->Capacity(), IoBufPool::kSlabBytes);
+    EXPECT_EQ(buf->Size(), 0u);
+    IoBufPool::Stats s = pool.GetStats();
+    EXPECT_EQ(s.misses, 1u);
+    EXPECT_EQ(s.hits, 0u);
+    EXPECT_EQ(s.outstanding_bufs, 1u);
+    EXPECT_EQ(s.outstanding_bytes, IoBufPool::kSlabBytes);
+  }
+  IoBufPool::Stats s = pool.GetStats();
+  EXPECT_EQ(s.recycles, 1u);
+  EXPECT_EQ(s.outstanding_bufs, 0u);
+  EXPECT_EQ(s.outstanding_bytes, 0u);
+}
+
+TEST(IoBufPool, SecondGetOnSameThreadIsAHit) {
+  IoBufPool pool;
+  { IoBufPtr buf = pool.Get(); }
+  IoBufPtr again = pool.Get();
+  IoBufPool::Stats s = pool.GetStats();
+  EXPECT_EQ(s.hits, 1u);
+  EXPECT_EQ(s.misses, 1u);
+  // A recycled slab comes back reset, ready for exclusive appends.
+  EXPECT_EQ(again->Size(), 0u);
+}
+
+TEST(IoBufPool, OversizeGetIsServedButNeverRecycled) {
+  IoBufPool pool;
+  constexpr size_t kBig = IoBufPool::kSlabBytes * 4;
+  {
+    IoBufPtr buf = pool.Get(kBig);
+    EXPECT_GE(buf->Capacity(), kBig);
+    EXPECT_EQ(pool.GetStats().outstanding_bytes, kBig);
+  }
+  IoBufPool::Stats s = pool.GetStats();
+  EXPECT_EQ(s.misses, 1u);
+  EXPECT_EQ(s.recycles, 0u);  // freed: the free list stays homogeneous
+  EXPECT_EQ(s.outstanding_bufs, 0u);
+  // The next standard Get cannot be served by the freed oversize slab.
+  IoBufPtr small = pool.Get();
+  EXPECT_EQ(pool.GetStats().misses, 2u);
+}
+
+TEST(IoBufPool, SharedReferencesKeepTheSlabAlive) {
+  IoBufPool pool;
+  IoBufPtr a = pool.Get();
+  std::memcpy(a->WritePtr(), "hold", 4);
+  a->Advance(4);
+  IoBufPtr b = a;  // refcount 2
+  a.reset();
+  EXPECT_EQ(pool.GetStats().outstanding_bufs, 1u);
+  EXPECT_EQ(std::string_view(b->Data(), 4), "hold");
+  b.reset();
+  EXPECT_EQ(pool.GetStats().outstanding_bufs, 0u);
+  EXPECT_EQ(pool.GetStats().recycles, 1u);
+}
+
+TEST(IoBufPool, ConcurrentGetReleaseBalances) {
+  IoBufPool pool;
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 2000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&pool] {
+      for (int i = 0; i < kRounds; ++i) {
+        IoBufPtr buf = pool.Get();
+        std::memset(buf->WritePtr(), 0x5a, 64);
+        buf->Advance(64);
+        IoBufPtr shared = buf;  // exercise cross-reference release
+        buf.reset();
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  IoBufPool::Stats s = pool.GetStats();
+  EXPECT_EQ(s.hits + s.misses, static_cast<uint64_t>(kThreads) * kRounds);
+  EXPECT_EQ(s.outstanding_bufs, 0u);
+  EXPECT_EQ(s.outstanding_bytes, 0u);
+}
+
+// --- chain append ------------------------------------------------------------
+
+TEST(BufferChain, AppendAccumulatesInOneSlab) {
+  IoBufPool pool;
+  BufferChain chain(&pool);
+  chain.Append("hello ");
+  chain.Append("world");
+  EXPECT_EQ(chain.Size(), 11u);
+  ASSERT_EQ(chain.Slices().size(), 1u);  // both appends share the tail slab
+  EXPECT_EQ(chain.ToString(), "hello world");
+}
+
+TEST(BufferChain, AppendSplitsAcrossSlabs) {
+  IoBufPool pool;
+  BufferChain chain(&pool);
+  // Three slabs' worth in one call must split, preserving byte order.
+  std::string big(IoBufPool::kSlabBytes * 3 + 17, '\0');
+  for (size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<char>('a' + (i % 23));
+  }
+  chain.Append(big);
+  EXPECT_EQ(chain.Size(), big.size());
+  EXPECT_GE(chain.Slices().size(), 3u);
+  EXPECT_EQ(chain.ToString(), big);
+}
+
+TEST(BufferChain, AppendZerosPads) {
+  IoBufPool pool;
+  BufferChain chain(&pool);
+  chain.Append("x");
+  chain.AppendZeros(3);
+  chain.Append("y");
+  EXPECT_EQ(chain.ToString(), std::string("x\0\0\0y", 5));
+}
+
+TEST(BufferChain, CopyToMatchesToString) {
+  IoBufPool pool;
+  BufferChain chain(&pool);
+  chain.Append("scatter");
+  chain.Append("gather");
+  std::string out(chain.Size(), '?');
+  chain.CopyTo(out.data());
+  EXPECT_EQ(out, chain.ToString());
+}
+
+// --- chain sharing -----------------------------------------------------------
+
+TEST(BufferChain, AppendChainSharesWithoutCopying) {
+  IoBufPool pool;
+  BufferChain source(&pool);
+  source.Append("payload-bytes");
+  BufferChain frame(&pool);
+  frame.Append("header|");
+  frame.AppendChain(source);
+  EXPECT_EQ(frame.ToString(), "header|payload-bytes");
+  // Shared, not copied: both chains reference the same slab.
+  ASSERT_FALSE(source.Slices().empty());
+  EXPECT_EQ(frame.Slices().back().buf.get(), source.Slices().front().buf.get());
+}
+
+TEST(BufferChain, SharedBytesSurviveSourceClear) {
+  IoBufPool pool;
+  BufferChain frame(&pool);
+  {
+    BufferChain source(&pool);
+    source.Append("outlives the source chain");
+    frame.AppendChain(source);
+    source.Clear();
+  }
+  EXPECT_EQ(frame.ToString(), "outlives the source chain");
+  frame.Clear();
+  EXPECT_EQ(pool.GetStats().outstanding_bufs, 0u);
+}
+
+TEST(BufferChain, AppendAfterSharingNeverWritesSharedSlab) {
+  IoBufPool pool;
+  BufferChain source(&pool);
+  source.Append("stable");
+  BufferChain frame(&pool);
+  frame.AppendChain(source);
+  // Growing the consumer must not scribble into the shared slab's tail
+  // (the source chain may still be growing there).
+  frame.Append("-suffix");
+  source.Append("-more");
+  EXPECT_EQ(frame.ToString(), "stable-suffix");
+  EXPECT_EQ(source.ToString(), "stable-more");
+}
+
+TEST(BufferChain, AppendSliceWindowsIntoASlab) {
+  IoBufPool pool;
+  IoBufPtr buf = pool.Get();
+  std::memcpy(buf->WritePtr(), "0123456789", 10);
+  buf->Advance(10);
+  BufferChain chain(&pool);
+  chain.AppendSlice(buf, 2, 5);
+  EXPECT_EQ(chain.ToString(), "23456");
+}
+
+TEST(BufferChain, MoveTransfersOwnership) {
+  IoBufPool pool;
+  BufferChain a(&pool);
+  a.Append("moved");
+  BufferChain b = std::move(a);
+  EXPECT_EQ(b.ToString(), "moved");
+  EXPECT_TRUE(a.Empty());  // NOLINT(bugprone-use-after-move): post-move state is specified
+  a.Append("reused");
+  EXPECT_EQ(a.ToString(), "reused");
+}
+
+}  // namespace
+}  // namespace heidi::bytes

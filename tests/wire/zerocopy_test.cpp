@@ -1,0 +1,231 @@
+// Zero-copy unmarshaling and encode caching: readable calls hand out
+// string_views that stay valid for the call's lifetime (backed by the
+// retained inbound frame slab for HIOP, by the token vector or retained
+// unescape storage for text), and a TextCall re-sent unchanged reuses its
+// rendered frame byte-for-byte.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/buffered.h"
+#include "net/inmemory.h"
+#include "wire/binary.h"
+#include "wire/protocol.h"
+#include "wire/text.h"
+
+namespace heidi::wire {
+namespace {
+
+std::unique_ptr<Call> Roundtrip(const Protocol* protocol,
+                                const std::unique_ptr<Call>& call) {
+  net::ChannelPair pair = net::CreateInMemoryPair();
+  protocol->WriteCall(*pair.a, *call);
+  net::BufferedReader reader(*pair.b);
+  return protocol->ReadCall(reader);
+}
+
+class ZeroCopyViews : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(ZeroCopyViews, ViewsMatchCopyingGettersAndOutliveTheDecode) {
+  const Protocol* protocol = FindProtocol(GetParam());
+  ASSERT_NE(protocol, nullptr);
+  auto request = protocol->NewCall();
+  request->SetKind(CallKind::kRequest);
+  request->SetCallId(77);
+  request->SetTarget("@tcp:h:1#42#IDL:Heidi/Echo:1.0");
+  request->SetOperation("echo");
+  request->PutString("plain");
+  request->PutString("needs escaping: spaces\nand\tcontrol");
+  request->PutBytes(std::string("\x00\x01\x02 raw", 8));
+  request->PutLong(1234);
+
+  auto read = Roundtrip(protocol, request);
+  ASSERT_NE(read, nullptr);
+  EXPECT_EQ(read->CallId(), 77u);
+  EXPECT_EQ(read->Operation(), "echo");
+
+  std::string_view s1 = read->GetStringView();
+  std::string_view s2 = read->GetStringView();
+  std::string_view b = read->GetBytesView();
+  // Views survive further decoding — they reference retained storage,
+  // not a cursor that later Gets move.
+  EXPECT_EQ(read->GetLong(), 1234);
+  EXPECT_EQ(s1, "plain");
+  EXPECT_EQ(s2, "needs escaping: spaces\nand\tcontrol");
+  EXPECT_EQ(b, std::string_view("\x00\x01\x02 raw", 8));
+  EXPECT_FALSE(read->HasMore());
+}
+
+TEST_P(ZeroCopyViews, ViewAndCopyGettersDecodeIdentically) {
+  const Protocol* protocol = FindProtocol(GetParam());
+  ASSERT_NE(protocol, nullptr);
+  auto request = protocol->NewCall();
+  request->SetKind(CallKind::kRequest);
+  request->SetTarget("@tcp:h:1#1#IDL:T:1.0");
+  request->SetOperation("op");
+  request->PutString("alpha");
+  request->PutBytes("beta-bytes");
+
+  auto via_copy = Roundtrip(protocol, request);
+  auto via_view = Roundtrip(protocol, request);
+  EXPECT_EQ(via_copy->GetString(), via_view->GetStringView());
+  EXPECT_EQ(via_copy->GetBytes(), via_view->GetBytesView());
+}
+
+INSTANTIATE_TEST_SUITE_P(Protocols, ZeroCopyViews,
+                         ::testing::Values("text", "hiop"));
+
+// --- HIOP: views are windows into the retained frame slab -------------------
+
+TEST(HiopZeroCopy, StringViewPointsIntoRetainedFrame) {
+  const Protocol* protocol = FindProtocol("hiop");
+  auto request = protocol->NewCall();
+  request->SetKind(CallKind::kRequest);
+  request->SetTarget("@tcp:h:1#1#IDL:T:1.0");
+  request->SetOperation("op");
+  std::string big(4096, 'z');
+  request->PutString(big);
+
+  auto read = Roundtrip(protocol, request);
+  auto* bin = dynamic_cast<BinaryCall*>(read.get());
+  ASSERT_NE(bin, nullptr);
+  std::string_view view = bin->GetStringView();
+  EXPECT_EQ(view, big);
+  // Zero-copy means the view lives inside the call's payload image, not
+  // in a heap string of its own.
+  std::string payload = bin->Payload();
+  EXPECT_NE(payload.find(big), std::string::npos);
+}
+
+// --- text: escaped tokens fall back to retained unescapes -------------------
+
+TEST(TextZeroCopy, UnescapedTokenViewIsInPlace) {
+  TextCall call{std::vector<std::string>{"s:inplace", "s:two%20words"}};
+  std::string_view plain = call.GetStringView();
+  std::string_view escaped = call.GetStringView();
+  EXPECT_EQ(plain, "inplace");
+  EXPECT_EQ(escaped, "two words");
+  // The in-place view aliases the token storage itself.
+  EXPECT_EQ(static_cast<const void*>(plain.data()),
+            static_cast<const void*>(call.Tokens()[0].data() + 2));
+}
+
+// --- text: the encode cache -------------------------------------------------
+
+TEST(TextEncodeCache, UnchangedCallReusesItsRenderedFrame) {
+  const Protocol* protocol = FindProtocol("text");
+  TextCall call;
+  call.SetKind(CallKind::kRequest);
+  call.SetCallId(5);
+  call.SetTarget("@tcp:h:1#1#IDL:T:1.0");
+  call.SetOperation("retry_me");
+  call.PutString("same payload");
+
+  net::ChannelPair pair = net::CreateInMemoryPair();
+  protocol->WriteCall(*pair.a, call);
+  EXPECT_TRUE(call.EncodingValidFor(call.Revision()));
+  const char* cached_data = call.Encoding().data();
+  protocol->WriteCall(*pair.a, call);  // a retry resending the same call
+  // Same storage, not a re-render.
+  EXPECT_EQ(call.Encoding().data(), cached_data);
+
+  net::BufferedReader reader(*pair.b);
+  std::string first, second;
+  ASSERT_TRUE(reader.ReadLine(first));
+  ASSERT_TRUE(reader.ReadLine(second));
+  EXPECT_EQ(first, second);
+  EXPECT_NE(first.find("retry_me"), std::string::npos);
+}
+
+TEST(TextEncodeCache, AnyMutationInvalidatesTheCache) {
+  const Protocol* protocol = FindProtocol("text");
+  TextCall call;
+  call.SetKind(CallKind::kRequest);
+  call.SetCallId(1);
+  call.SetTarget("@tcp:h:1#1#IDL:T:1.0");
+  call.SetOperation("op");
+
+  net::ChannelPair pair = net::CreateInMemoryPair();
+  protocol->WriteCall(*pair.a, call);
+  ASSERT_TRUE(call.EncodingValidFor(call.Revision()));
+
+  call.SetCallId(2);  // header mutation bumps the revision
+  EXPECT_FALSE(call.EncodingValidFor(call.Revision()));
+  protocol->WriteCall(*pair.a, call);
+
+  call.PutString("late arg");  // payload mutation does too
+  EXPECT_FALSE(call.EncodingValidFor(call.Revision()));
+  protocol->WriteCall(*pair.a, call);
+
+  net::BufferedReader reader(*pair.b);
+  std::string line;
+  ASSERT_TRUE(reader.ReadLine(line));
+  EXPECT_NE(line.find("REQ 1"), std::string::npos);
+  ASSERT_TRUE(reader.ReadLine(line));
+  EXPECT_NE(line.find("REQ 2"), std::string::npos);
+  EXPECT_EQ(line.find("late"), std::string::npos);
+  ASSERT_TRUE(reader.ReadLine(line));
+  EXPECT_NE(line.find("REQ 2"), std::string::npos);
+  EXPECT_NE(line.find("late%20arg"), std::string::npos);
+}
+
+// --- base-class fallback for custom Call subclasses -------------------------
+
+// A deliberately minimal Call: only strings and bytes, stored decoded.
+// It does NOT override the view getters, so Call's copy-and-retain
+// fallback must make them correct anyway.
+class MiniCall final : public Call {
+ public:
+  void PutBoolean(bool) override {}
+  void PutChar(char) override {}
+  void PutOctet(uint8_t) override {}
+  void PutShort(int16_t) override {}
+  void PutUShort(uint16_t) override {}
+  void PutLong(int32_t) override {}
+  void PutULong(uint32_t) override {}
+  void PutLongLong(int64_t) override {}
+  void PutULongLong(uint64_t) override {}
+  void PutFloat(float) override {}
+  void PutDouble(double) override {}
+  void PutString(std::string_view v) override { values_.emplace_back(v); }
+  void PutBytes(std::string_view v) override { values_.emplace_back(v); }
+  bool GetBoolean() override { return false; }
+  char GetChar() override { return 0; }
+  uint8_t GetOctet() override { return 0; }
+  int16_t GetShort() override { return 0; }
+  uint16_t GetUShort() override { return 0; }
+  int32_t GetLong() override { return 0; }
+  uint32_t GetULong() override { return 0; }
+  int64_t GetLongLong() override { return 0; }
+  uint64_t GetULongLong() override { return 0; }
+  float GetFloat() override { return 0; }
+  double GetDouble() override { return 0; }
+  std::string GetString() override { return values_.at(cursor_++); }
+  std::string GetBytes() override { return values_.at(cursor_++); }
+  void Begin(std::string_view) override {}
+  void End() override {}
+  bool HasMore() const override { return cursor_ < values_.size(); }
+  size_t PayloadSize() const override { return values_.size(); }
+
+ private:
+  std::vector<std::string> values_;
+  size_t cursor_ = 0;
+};
+
+TEST(CallViewFallback, BaseClassRetainsCopiesForViews) {
+  MiniCall call;
+  call.PutString("fallback string");
+  call.PutBytes("fallback bytes");
+  std::string_view s = call.GetStringView();
+  std::string_view b = call.GetBytesView();
+  // Both views stay valid together — retained storage never reallocates
+  // out from under an earlier view.
+  EXPECT_EQ(s, "fallback string");
+  EXPECT_EQ(b, "fallback bytes");
+  EXPECT_FALSE(call.HasMore());
+}
+
+}  // namespace
+}  // namespace heidi::wire
