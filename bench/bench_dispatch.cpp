@@ -10,8 +10,13 @@
 // appears at small method counts already.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "bench_report.h"
+#include "heap_count.h"
 #include "orb/dispatch.h"
+#include "support/arena.h"
+#include "wire/binary.h"
 #include "wire/text.h"
 
 namespace {
@@ -92,6 +97,88 @@ void BM_DispatchMiss(benchmark::State& state) {
   state.SetLabel(std::string(DispatchStrategyName(strategy)));
 }
 BENCHMARK(BM_DispatchMiss)->Arg(0)->Arg(1)->Arg(2);
+
+// --- full skeleton dispatch: owned vs view mapping ---------------------------
+//
+// Models one complete server-side HIOP dispatch the way orb.cpp runs it:
+// a pooled frame slab holds the inbound payload, a dispatch arena is
+// seeded from the slab's free tail, and the reply stages into the
+// donated tail of the same slab. "owned" is the default IDL mapping
+// (the skeleton's GetString copies the argument out of the frame);
+// "view" is the --view-interfaces mapping (GetStringView hands the
+// implementation a window into the frame — no copy, and in steady state
+// no heap allocation at all).
+//
+// heap_allocs_per_op comes from the counting operator new in
+// heap_count.cpp; pool_{hits,misses}_per_op come from the reporter.
+// check_bench.py gates on view staying at ~0 heap allocs and ~0 pool
+// misses per op after warmup.
+void RunSkeletonEcho(benchmark::State& state, bool view_mapping) {
+  const size_t msg_len = static_cast<size_t>(state.range(0));
+  using heidi::support::Arena;
+  using heidi::wire::BinaryCall;
+
+  // The inbound frame payload: one marshaled string argument, exactly
+  // what Echo_stub::echo puts on the wire.
+  BinaryCall proto;
+  proto.PutString(std::string(msg_len, 'm'));
+  const std::string payload = proto.Payload();
+
+  auto& pool = heidi::bytes::IoBufPool::Global();
+  DispatchTable table(DispatchStrategy::kHash);
+  if (view_mapping) {
+    // The view-mapped Echo_skel handler: impl sees the bytes in place.
+    table.Add("echo", [](heidi::wire::Call& in, heidi::wire::Call& out) {
+      out.PutString(in.GetStringView());
+    });
+  } else {
+    // The owned-mapping handler: unmarshal copies into a fresh string.
+    table.Add("echo", [](heidi::wire::Call& in, heidi::wire::Call& out) {
+      out.PutString(in.GetString());
+    });
+  }
+  table.Seal();
+
+  const std::string op = "echo";
+  const auto* handler = table.Find(op);
+  BinaryCall reply;  // reused: ResetWritable keeps the slice capacity
+  auto run_once = [&] {
+    auto slab = pool.Get(payload.size());
+    std::memcpy(slab->WritePtr(), payload.data(), payload.size());
+    slab->Advance(payload.size());  // what HiopProtocol::ReadCall does
+    BinaryCall in(slab, 0, payload.size());
+    Arena arena(in.RetainedFrame());
+    in.AttachArena(&arena);
+    reply.ResetWritable();
+    reply.AttachArena(&arena);
+    (*handler)(in, reply);
+    benchmark::DoNotOptimize(reply.PayloadSize());
+    in.AttachArena(nullptr);
+    reply.AttachArena(nullptr);
+  };
+
+  // Warm the slab pool and the reply's slice vector so the timed loop
+  // measures the steady state the CI gate asserts on.
+  for (int i = 0; i < 64; ++i) run_once();
+
+  const uint64_t heap_before = heidi::bench::HeapAllocCount();
+  for (auto _ : state) run_once();
+  const uint64_t heap_delta = heidi::bench::HeapAllocCount() - heap_before;
+
+  state.counters["heap_allocs_per_op"] =
+      benchmark::Counter(static_cast<double>(heap_delta) /
+                         static_cast<double>(state.iterations()));
+  state.SetLabel(view_mapping ? "view" : "owned");
+}
+
+void BM_SkeletonEchoOwned(benchmark::State& state) {
+  RunSkeletonEcho(state, /*view_mapping=*/false);
+}
+void BM_SkeletonEchoView(benchmark::State& state) {
+  RunSkeletonEcho(state, /*view_mapping=*/true);
+}
+BENCHMARK(BM_SkeletonEchoOwned)->Arg(16)->Arg(256)->Arg(4096);
+BENCHMARK(BM_SkeletonEchoView)->Arg(16)->Arg(256)->Arg(4096);
 
 }  // namespace
 

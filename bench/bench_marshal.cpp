@@ -10,8 +10,12 @@
 // strings; bulk bytes beats element-wise by an order of magnitude.
 #include <benchmark/benchmark.h>
 
+#include <cstring>
+
 #include "bench_report.h"
+#include "heap_count.h"
 #include "net/inmemory.h"
+#include "support/arena.h"
 #include "wire/binary.h"
 #include "wire/protocol.h"
 #include "wire/text.h"
@@ -163,6 +167,106 @@ void BM_OctetSequenceBulk(benchmark::State& state) {
   state.SetLabel(ProtoName(protocol));
 }
 BENCHMARK(BM_OctetSequenceBulk)->Args({0, 4096})->Args({1, 4096});
+
+// --- unmarshal under the two IDL mappings --------------------------------------
+//
+// The owned mapping's GetString/GetBytes copy each argument out of the
+// frame into fresh std::strings; the view mapping's GetStringView /
+// GetBytesView return windows into the retained frame slab. Both read
+// the same prebuilt HIOP frame; heap_allocs_per_op (counting operator
+// new, heap_count.cpp) is the difference the sequence-view mapping
+// exists to eliminate.
+
+// One frame slab holding `count` marshaled strings of `length` bytes.
+heidi::bytes::IoBufPtr BuildStringFrame(int count, int length,
+                                        size_t* payload_size) {
+  BinaryCall proto;
+  std::string value(static_cast<size_t>(length), 'v');
+  for (int i = 0; i < count; ++i) proto.PutString(value);
+  std::string payload = proto.Payload();
+  auto slab = heidi::bytes::IoBufPool::Global().Get(payload.size());
+  std::memcpy(slab->WritePtr(), payload.data(), payload.size());
+  slab->Advance(payload.size());
+  *payload_size = payload.size();
+  return slab;
+}
+
+void RunUnmarshalStrings(benchmark::State& state, bool view_mapping) {
+  const int count = 64;
+  const int length = static_cast<int>(state.range(0));
+  size_t payload_size = 0;
+  auto slab = BuildStringFrame(count, length, &payload_size);
+
+  auto run_once = [&] {
+    BinaryCall call(slab, 0, payload_size);  // refcount bump, no copy
+    size_t total = 0;
+    if (view_mapping) {
+      for (int i = 0; i < count; ++i) total += call.GetStringView().size();
+    } else {
+      for (int i = 0; i < count; ++i) total += call.GetString().size();
+    }
+    benchmark::DoNotOptimize(total);
+  };
+  for (int i = 0; i < 8; ++i) run_once();  // warmup
+
+  const uint64_t heap_before = heidi::bench::HeapAllocCount();
+  for (auto _ : state) run_once();
+  const uint64_t heap_delta = heidi::bench::HeapAllocCount() - heap_before;
+
+  state.counters["heap_allocs_per_op"] =
+      benchmark::Counter(static_cast<double>(heap_delta) /
+                         static_cast<double>(state.iterations()));
+  state.SetItemsProcessed(state.iterations() * count);
+  state.SetLabel(view_mapping ? "view" : "owned");
+}
+
+void BM_UnmarshalStringsOwned(benchmark::State& state) {
+  RunUnmarshalStrings(state, /*view_mapping=*/false);
+}
+void BM_UnmarshalStringsView(benchmark::State& state) {
+  RunUnmarshalStrings(state, /*view_mapping=*/true);
+}
+BENCHMARK(BM_UnmarshalStringsOwned)->Arg(16)->Arg(1024);
+BENCHMARK(BM_UnmarshalStringsView)->Arg(16)->Arg(1024);
+
+void RunUnmarshalBytes(benchmark::State& state, bool view_mapping) {
+  const int bytes = static_cast<int>(state.range(0));
+  BinaryCall proto;
+  proto.PutBytes(std::string(static_cast<size_t>(bytes), 'x'));
+  std::string payload = proto.Payload();
+  auto slab = heidi::bytes::IoBufPool::Global().Get(payload.size());
+  std::memcpy(slab->WritePtr(), payload.data(), payload.size());
+  slab->Advance(payload.size());
+
+  auto run_once = [&] {
+    BinaryCall call(slab, 0, payload.size());
+    if (view_mapping) {
+      benchmark::DoNotOptimize(call.GetBytesView().size());
+    } else {
+      benchmark::DoNotOptimize(call.GetBytes().size());
+    }
+  };
+  for (int i = 0; i < 8; ++i) run_once();
+
+  const uint64_t heap_before = heidi::bench::HeapAllocCount();
+  for (auto _ : state) run_once();
+  const uint64_t heap_delta = heidi::bench::HeapAllocCount() - heap_before;
+
+  state.counters["heap_allocs_per_op"] =
+      benchmark::Counter(static_cast<double>(heap_delta) /
+                         static_cast<double>(state.iterations()));
+  state.SetBytesProcessed(state.iterations() * bytes);
+  state.SetLabel(view_mapping ? "view" : "owned");
+}
+
+void BM_UnmarshalBytesOwned(benchmark::State& state) {
+  RunUnmarshalBytes(state, /*view_mapping=*/false);
+}
+void BM_UnmarshalBytesView(benchmark::State& state) {
+  RunUnmarshalBytes(state, /*view_mapping=*/true);
+}
+BENCHMARK(BM_UnmarshalBytesOwned)->Arg(4096)->Arg(65536);
+BENCHMARK(BM_UnmarshalBytesView)->Arg(4096)->Arg(65536);
 
 // --- encoded size (printed as a counter) ---------------------------------------
 

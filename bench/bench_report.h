@@ -108,6 +108,12 @@ class JsonReporter : public benchmark::ConsoleReporter {
       std::string entry = "    {\"name\":\"" + JsonEscape(run.benchmark_name()) +
                           "\",\"iterations\":" + std::to_string(run.iterations) +
                           ",\"ns_per_op\":" + std::to_string(ns_per_op);
+      // User counters verbatim (already per-op where the benchmark says
+      // so — e.g. heap_allocs_per_op from the counting operator new).
+      for (const auto& [counter_name, counter] : run.counters) {
+        entry += ",\"" + JsonEscape(counter_name) +
+                 "\":" + std::to_string(counter.value);
+      }
       if (total > 0) {
         entry += ",\"p50_ns\":" + std::to_string(DeltaPercentile(delta, total, 50)) +
                  ",\"p99_ns\":" + std::to_string(DeltaPercentile(delta, total, 99));

@@ -1,0 +1,139 @@
+#!/usr/bin/env python3
+"""Bench regression gate: compare fresh BENCH_<name>.json reports against
+the committed baselines in bench/baselines/.
+
+Two kinds of invariants, checked per benchmark entry (matched by name):
+
+  1. Allocation invariants (machine-independent, strict). Wherever the
+     baseline says a benchmark runs allocation-free, it must stay that
+     way:
+       - pool_misses_per_op: a miss is a fresh heap slab the IoBuf pool
+         had to allocate; after warmup the zero-copy paths recycle
+         everything, so ~0 in the baseline must mean ~0 in the fresh run.
+       - heap_allocs_per_op: counted by the replacement operator new in
+         bench/heap_count.cpp; the view-mapped dispatch path claims ~0
+         and CI holds it to that.
+
+  2. Latency tolerance (machine-dependent, generous). p99_ns when both
+     sides report it, ns_per_op otherwise; the fresh value may not
+     exceed baseline * tolerance (default 5x — CI runners are noisy,
+     this catches order-of-magnitude regressions, not jitter).
+
+Usage:
+  python3 bench/check_bench.py [--baseline-dir bench/baselines]
+      [--fresh-dir .] [--tolerance 5.0] [name ...]
+
+Names default to "dispatch marshal" (the reports the verify job
+produces with HEIDI_BENCH_NAME). Exits non-zero on any violation.
+"""
+
+import argparse
+import json
+import os
+import sys
+
+POOL_MISS_EPS = 0.01   # "~0 misses per op" — allows stray warmup slabs
+HEAP_ALLOC_EPS = 0.05  # "~0 heap allocs per op" — allows harness noise
+MIN_LATENCY_NS = 50.0  # below this, ratios are timer noise; skip
+
+
+def load_report(path):
+    with open(path) as f:
+        report = json.load(f)
+    return {b["name"]: b for b in report.get("benchmarks", [])}
+
+
+def check_report(name, baseline_path, fresh_path, tolerance):
+    failures = []
+    notes = []
+    if not os.path.exists(baseline_path):
+        return [f"{name}: missing baseline {baseline_path} "
+                f"(commit one: copy the fresh report there)"], notes
+    if not os.path.exists(fresh_path):
+        return [f"{name}: missing fresh report {fresh_path} "
+                f"(did the bench binary run?)"], notes
+
+    baseline = load_report(baseline_path)
+    fresh = load_report(fresh_path)
+
+    for bench_name, base in baseline.items():
+        got = fresh.get(bench_name)
+        if got is None:
+            failures.append(f"{name}: benchmark '{bench_name}' present in "
+                            f"baseline but missing from fresh run")
+            continue
+
+        # Allocation invariants: zero-alloc in the baseline is a promise.
+        for key, eps, what in (
+                ("pool_misses_per_op", POOL_MISS_EPS, "pool misses"),
+                ("heap_allocs_per_op", HEAP_ALLOC_EPS, "heap allocs")):
+            base_v = base.get(key)
+            got_v = got.get(key)
+            if base_v is None or got_v is None:
+                continue
+            if base_v <= eps and got_v > eps:
+                failures.append(
+                    f"{name}: '{bench_name}' {what} regressed: "
+                    f"{got_v:.4f}/op (baseline {base_v:.4f}, limit {eps})")
+
+        # Latency tolerance: p99 preferred, ns_per_op fallback.
+        if "p99_ns" in base and "p99_ns" in got:
+            key = "p99_ns"
+        else:
+            key = "ns_per_op"
+        base_v = base.get(key)
+        got_v = got.get(key)
+        if base_v is not None and got_v is not None and base_v >= MIN_LATENCY_NS:
+            if got_v > base_v * tolerance:
+                failures.append(
+                    f"{name}: '{bench_name}' {key} regressed: "
+                    f"{got_v:.0f}ns vs baseline {base_v:.0f}ns "
+                    f"(tolerance {tolerance}x)")
+
+    extras = sorted(set(fresh) - set(baseline))
+    if extras:
+        notes.append(f"{name}: {len(extras)} benchmark(s) not in baseline "
+                     f"(unchecked): {', '.join(extras[:5])}"
+                     + ("..." if len(extras) > 5 else ""))
+    return failures, notes
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("names", nargs="*", default=None,
+                        help="report names (BENCH_<name>.json)")
+    parser.add_argument("--baseline-dir", default="bench/baselines")
+    parser.add_argument("--fresh-dir", default=".")
+    parser.add_argument("--tolerance", type=float,
+                        default=float(os.environ.get(
+                            "CHECK_BENCH_TOLERANCE", "5.0")))
+    args = parser.parse_args()
+    names = args.names or ["dispatch", "marshal"]
+
+    all_failures = []
+    for name in names:
+        fname = f"BENCH_{name}.json"
+        failures, notes = check_report(
+            name,
+            os.path.join(args.baseline_dir, fname),
+            os.path.join(args.fresh_dir, fname),
+            args.tolerance)
+        for note in notes:
+            print(f"note: {note}")
+        for failure in failures:
+            print(f"FAIL: {failure}")
+        if not failures:
+            print(f"ok: {name} within baseline "
+                  f"(alloc invariants strict, latency {args.tolerance}x)")
+        all_failures.extend(failures)
+
+    if all_failures:
+        print(f"\n{len(all_failures)} bench regression(s); to accept "
+              f"intentional changes, refresh bench/baselines/ from the "
+              f"fresh reports and commit.")
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,18 @@
+// Process-wide heap-allocation counter for the allocation-sensitive
+// benchmarks (bench_dispatch, bench_marshal). heap_count.cpp replaces
+// the global operator new/new[] with counting versions; benchmarks
+// snapshot HeapAllocCount() around their timed loop and report the
+// per-op delta, which is how the zero-copy dispatch path proves its
+// "~0 heap allocations per op" claim (and how CI catches a regression
+// that silently reintroduces copies).
+#pragma once
+
+#include <cstdint>
+
+namespace heidi::bench {
+
+// Number of global operator new / new[] calls since process start.
+// Monotonic; relaxed atomic, so cheap enough to leave always-on.
+uint64_t HeapAllocCount();
+
+}  // namespace heidi::bench

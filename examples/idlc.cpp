@@ -18,6 +18,7 @@
 #include <filesystem>
 #include <fstream>
 #include <iostream>
+#include <map>
 #include <sstream>
 #include <vector>
 
@@ -35,6 +36,10 @@ int Usage(const char* argv0) {
       << "  --mapping <name>        builtin mapping (default: heidi_cpp)\n"
       << "  --template <file.tmpl>  use a template file (repeatable)\n"
       << "  --out <dir>             output directory (default: .)\n"
+      << "  --view-interfaces <l>   comma-separated interfaces whose `in`\n"
+      << "                          strings/octet sequences map to views\n"
+      << "                          over the request frame ('*' = all;\n"
+      << "                          heidi_cpp mapping)\n"
       << "  --emit-est              print the EST instead of generating\n"
       << "  --list-mappings         list builtin mappings\n"
       << "  --dump-templates <dir>  export builtin templates as files\n";
@@ -84,6 +89,7 @@ int main(int argc, char** argv) {
   std::vector<std::string> template_files;
   std::string out_dir = ".";
   std::string input;
+  std::string view_interfaces;
   bool emit_est = false;
 
   for (int i = 1; i < argc; ++i) {
@@ -101,6 +107,8 @@ int main(int argc, char** argv) {
       template_files.push_back(next());
     } else if (arg == "--out") {
       out_dir = next();
+    } else if (arg == "--view-interfaces") {
+      view_interfaces = next();
     } else if (arg == "--emit-est") {
       emit_est = true;
     } else if (arg == "--list-mappings") {
@@ -133,6 +141,10 @@ int main(int argc, char** argv) {
     }
 
     heidi::tmpl::MapRegistry maps = heidi::tmpl::MapRegistry::Builtins();
+    std::map<std::string, std::string> globals;
+    if (!view_interfaces.empty()) {
+      globals["viewInterfaces"] = view_interfaces;
+    }
     heidi::codegen::GenerateResult result;
     if (!template_files.empty()) {
       // Explicit template files form an ad-hoc mapping.
@@ -141,7 +153,7 @@ int main(int argc, char** argv) {
       for (const std::string& file : template_files) {
         mapping.templates.push_back({file, ReadFile(file)});
       }
-      result = heidi::codegen::Generate(*est, mapping, maps);
+      result = heidi::codegen::Generate(*est, mapping, maps, globals);
     } else {
       const heidi::codegen::Mapping* mapping =
           heidi::codegen::FindBuiltinMapping(mapping_name);
@@ -150,7 +162,7 @@ int main(int argc, char** argv) {
                   << "' (see --list-mappings)\n";
         return 2;
       }
-      result = heidi::codegen::Generate(*est, *mapping, maps);
+      result = heidi::codegen::Generate(*est, *mapping, maps, globals);
     }
 
     for (const auto& [path, content] : result.files) {

@@ -135,18 +135,20 @@ class EchoImpl : public virtual HdEcho {
  public:
   HD_DECLARE_TYPE();
 
-  HdString echo(HdString msg) override { return msg; }
+  // View parameters are windows into the request frame — anything kept
+  // past the dispatch (events_) must be copied into owned storage.
+  HdString echo(HdStringView msg) override { return HdString(msg); }
   long add(long a, long b) override { return a + b; }
   double norm(double x, double y) override;
   XBool flip(XBool b) override { return XBool(!static_cast<bool>(b)); }
 
-  void post(HdString event) override {
+  void post(HdStringView event) override {
     std::lock_guard lock(mutex_);
-    events_.push_back(std::move(event));
+    events_.emplace_back(event);
     cv_.notify_all();
   }
 
-  HdString blob(HdString data) override {
+  HdString blob(HdBytesView data) override {
     return HdString(data.rbegin(), data.rend());
   }
 

@@ -27,6 +27,10 @@ class HdS : public virtual ::heidi::HdObject {
 typedef HdList<HdS*> HdSSequence;
 typedef HdListIterator<HdS*> HdSSequenceIter;
 
+// IDL:Heidi/Payload:1.0
+typedef HdList<unsigned char> HdPayload;
+typedef HdListIterator<unsigned char> HdPayloadIter;
+
 // IDL:Heidi/A:1.0
 class HdA : virtual public HdS {
  public:
@@ -41,15 +45,19 @@ class HdA : virtual public HdS {
   ~HdA() override = default;
 };
 
-// IDL:Heidi/Echo:1.0
+// IDL:Heidi/Echo:1.0 — generated under the *view* mapping
+// (`idlc --view-interfaces Echo`): `in` strings and octet sequences
+// arrive as HdStringView/HdBytesView windows over the retained request
+// frame, valid only for the duration of the dispatch. Implementations
+// copy what they keep.
 class HdEcho : public virtual ::heidi::HdObject {
  public:
   HD_DECLARE_INTERFACE_TYPE();
-  virtual HdString echo(HdString msg) = 0;
+  virtual HdString echo(HdStringView msg) = 0;
   virtual long add(long a, long b) = 0;
   virtual double norm(double x, double y) = 0;
   virtual XBool flip(XBool b) = 0;
-  virtual void post(HdString event) = 0;  // oneway
-  virtual HdString blob(HdString data) = 0;
+  virtual void post(HdStringView event) = 0;  // oneway
+  virtual HdString blob(HdBytesView data) = 0;
   ~HdEcho() override = default;
 };

@@ -117,8 +117,11 @@ Echo_skel::Echo_skel(orb::Orb& o, ::heidi::HdObject* impl)
     throw ::heidi::DispatchError(
         "implementation object does not implement HdEcho");
   }
+  // View-mapped handlers: `in` strings/octet sequences unmarshal as
+  // views straight into the retained frame slab (no copy); the views die
+  // when the dispatch returns.
   table_.Add("echo", [this](wire::Call& in, wire::Call& out) {
-    out.PutString(obj_->echo(in.GetString()));
+    out.PutString(obj_->echo(in.GetStringView()));
   });
   table_.Add("add", [this](wire::Call& in, wire::Call& out) {
     int32_t a = in.GetLong();
@@ -134,10 +137,10 @@ Echo_skel::Echo_skel(orb::Orb& o, ::heidi::HdObject* impl)
     out.PutBoolean(obj_->flip(XBool(in.GetBoolean())));
   });
   table_.Add("post", [this](wire::Call& in, wire::Call&) {
-    obj_->post(in.GetString());
+    obj_->post(in.GetStringView());
   });
   table_.Add("blob", [this](wire::Call& in, wire::Call& out) {
-    out.PutBytes(obj_->blob(in.GetBytes()));
+    out.PutBytes(obj_->blob(in.GetBytesView()));
   });
   table_.Seal();
 }

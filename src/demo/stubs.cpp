@@ -78,7 +78,7 @@ HdStatus A_stub::GetButton() {
 // ---------------------------------------------------------------------------
 // Echo_stub
 
-HdString Echo_stub::echo(HdString msg) {
+HdString Echo_stub::echo(HdStringView msg) {
   auto call = NewCall("echo");
   call->PutString(msg);
   auto reply = Invoke(std::move(call));
@@ -108,13 +108,13 @@ XBool Echo_stub::flip(XBool b) {
   return XBool(reply->GetBoolean());
 }
 
-void Echo_stub::post(HdString event) {
+void Echo_stub::post(HdStringView event) {
   auto call = NewCall("post", /*oneway=*/true);
   call->PutString(event);
   InvokeOneway(std::move(call));
 }
 
-HdString Echo_stub::blob(HdString data) {
+HdString Echo_stub::blob(HdBytesView data) {
   auto call = NewCall("blob");
   call->PutBytes(data);
   auto reply = Invoke(std::move(call));

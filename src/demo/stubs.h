@@ -45,12 +45,12 @@ class Echo_stub : public virtual HdEcho, public virtual orb::HdStub {
       : orb::HdStub(o, std::move(ref)) {}
   HD_DECLARE_TYPE();
 
-  HdString echo(HdString msg) override;
+  HdString echo(HdStringView msg) override;
   long add(long a, long b) override;
   double norm(double x, double y) override;
   XBool flip(XBool b) override;
-  void post(HdString event) override;
-  HdString blob(HdString data) override;
+  void post(HdStringView event) override;
+  HdString blob(HdBytesView data) override;
 };
 
 }  // namespace heidi::demo

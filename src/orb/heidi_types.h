@@ -8,6 +8,7 @@
 #pragma once
 
 #include <string>
+#include <string_view>
 
 #include "support/error.h"  // RemoteError: base of generated exceptions
 #include "support/hdlist.h"
@@ -24,3 +25,9 @@ template <typename T>
 using HdListIterator = ::heidi::HdListIterator<T>;
 
 using HdString = std::string;
+
+// View-mapping types (idlc --view-interfaces): non-owning windows over
+// the retained request frame, valid only for the duration of the
+// dispatch that produced them — implementations copy what they keep.
+using HdStringView = std::string_view;
+using HdBytesView = std::string_view;

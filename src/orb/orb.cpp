@@ -6,6 +6,7 @@
 #include <thread>
 
 #include "net/inmemory.h"
+#include "support/arena.h"
 #include "support/bytes.h"
 #include "support/logging.h"
 #include "support/strings.h"
@@ -394,9 +395,16 @@ std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request,
   obs::TraceContext ambient =
       span != nullptr ? span->Context() : request.Trace();
   obs::ScopedContext trace_scope(ambient);
+  // Per-dispatch scratch arena, seeded from the request's retained frame
+  // slab (HIOP) or pool-backed (text / owned decodes): unescape buffers,
+  // view-retention copies, and reply staging bump-allocate from it
+  // instead of the global heap. Stack-owned — detached before return.
+  support::Arena arena(request.RetainedFrame());
+  request.AttachArena(&arena);
   std::unique_ptr<wire::Call> reply = protocol_->NewCall();
   reply->SetKind(wire::CallKind::kReply);
   reply->SetCallId(request.CallId());
+  reply->AttachArena(&arena);
   try {
     {
       std::lock_guard lock(interceptor_mutex_);
@@ -457,12 +465,14 @@ std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request,
     reply->SetCallId(request.CallId());
     reply->SetStatus(wire::CallStatus::kSystemError);
     reply->SetErrorText(e.what());
+    reply->AttachArena(&arena);
   } catch (const RefError& e) {
     reply = protocol_->NewCall();
     reply->SetKind(wire::CallKind::kReply);
     reply->SetCallId(request.CallId());
     reply->SetStatus(wire::CallStatus::kSystemError);
     reply->SetErrorText(e.what());
+    reply->AttachArena(&arena);
   } catch (const std::exception& e) {
     // Implementation-raised: relayed as a user exception.
     reply = protocol_->NewCall();
@@ -470,6 +480,7 @@ std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request,
     reply->SetCallId(request.CallId());
     reply->SetStatus(wire::CallStatus::kUserException);
     reply->SetErrorText(e.what());
+    reply->AttachArena(&arena);
   }
   {
     std::lock_guard lock(interceptor_mutex_);
@@ -503,6 +514,16 @@ std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request,
       if (failed) span->SetError(reply->ErrorText());
     }
   }
+  // End of dispatch scope: the stack arena dies here, so both calls must
+  // drop their borrowed pointer, and every view handed out during the
+  // dispatch is dead. In debug builds the request's view storage is
+  // poisoned so an escaped view fails loudly (the staged reply bytes in
+  // the same slab are outside the poisoned window and survive the send).
+  request.AttachArena(nullptr);
+  reply->AttachArena(nullptr);
+#ifndef NDEBUG
+  request.InvalidateViews();
+#endif
   return reply;
 }
 

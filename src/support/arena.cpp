@@ -1,0 +1,112 @@
+#include "support/arena.h"
+
+#include <cstring>
+
+namespace heidi::support {
+
+namespace {
+constexpr size_t kSlab = bytes::IoBufPool::kSlabBytes;
+
+#ifndef NDEBUG
+void Poison(char* base, size_t from, size_t to) {
+  if (base != nullptr && to > from) std::memset(base + from, 0xDD, to - from);
+}
+#endif
+}  // namespace
+
+Arena::Arena(bytes::IoBufPtr seed, bytes::IoBufPool* pool)
+    : pool_(pool != nullptr ? pool : &bytes::IoBufPool::Global()),
+      seed_(std::move(seed)) {
+  if (seed_) {
+    seed_region_.base = seed_->WritePtr();
+    seed_region_.capacity = seed_->Remaining();
+  }
+}
+
+Arena::~Arena() {
+#ifndef NDEBUG
+  PoisonScratch();
+#endif
+}
+
+void* Arena::BumpFrom(Region& region, size_t n, size_t align) {
+  if (region.base == nullptr) return nullptr;
+  // Align the pointer, not the offset: the seed region starts right
+  // after the frame bytes, at an arbitrary address.
+  uintptr_t raw = reinterpret_cast<uintptr_t>(region.base) + region.cursor;
+  uintptr_t aligned = (raw + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+  size_t start = aligned - reinterpret_cast<uintptr_t>(region.base);
+  if (start + n > region.capacity) return nullptr;
+  region.cursor = start + n;
+  return region.base + start;
+}
+
+void* Arena::Allocate(size_t n, size_t align) {
+  if (n == 0) n = 1;
+  stats_.allocations++;
+  stats_.bytes_allocated += n;
+  // Oversize: a dedicated buffer the pool frees (not recycles) on
+  // release. Kept on the overflow list so lifetime matches the arena.
+  if (n + align > kSlab) {
+    stats_.oversize_allocations++;
+    bytes::IoBufPtr big = pool_->Get(n + align);
+    char* base = big->Data();
+    overflow_.push_back(std::move(big));
+    uintptr_t raw = reinterpret_cast<uintptr_t>(base);
+    uintptr_t aligned =
+        (raw + (align - 1)) & ~static_cast<uintptr_t>(align - 1);
+    return base + (aligned - raw);
+  }
+  if (!donated_) {
+    if (void* p = BumpFrom(seed_region_, n, align)) return p;
+  }
+  if (void* p = BumpFrom(active_, n, align)) return p;
+  // Exhaustion fallback: pull a fresh pooled slab and bump there.
+  stats_.slab_refills++;
+  bytes::IoBufPtr fresh = pool_->Get();
+  active_.base = fresh->Data();
+  active_.cursor = 0;
+  active_.capacity = fresh->Capacity();
+  overflow_.push_back(std::move(fresh));
+  return BumpFrom(active_, n, align);
+}
+
+std::string_view Arena::CopyString(std::string_view s) {
+  char* out = AllocateChars(s.size());
+  std::memcpy(out, s.data(), s.size());
+  return {out, s.size()};
+}
+
+bytes::IoBufPtr Arena::DonateTail() {
+  if (!seed_ || donated_) return {};
+  // Close the seed region: everything the arena bump-allocated becomes
+  // part of the slab's written prefix, and the chain owns what's left.
+  seed_->Advance(seed_region_.cursor);
+  donated_ = true;
+  if (seed_->Remaining() == 0) return {};
+  return seed_;
+}
+
+void Arena::Reset() {
+#ifndef NDEBUG
+  PoisonScratch();
+#endif
+  overflow_.clear();
+  active_ = Region{};
+  if (!donated_) seed_region_.cursor = 0;
+  stats_.resets++;
+}
+
+void Arena::PoisonScratch() {
+#ifndef NDEBUG
+  if (!donated_) Poison(seed_region_.base, 0, seed_region_.cursor);
+  Poison(active_.base, 0, active_.cursor);
+  for (bytes::IoBufPtr& slab : overflow_) {
+    if (slab.get() != nullptr && active_.base != slab->Data()) {
+      Poison(slab->Data(), 0, slab->Capacity());
+    }
+  }
+#endif
+}
+
+}  // namespace heidi::support

@@ -1,0 +1,101 @@
+// Per-dispatch scratch arena — the server-side half of the zero-copy
+// story. A request's frame arrives in one pooled IoBuf slab (DESIGN.md
+// §4e); the bytes after the frame are dead capacity for the rest of the
+// dispatch. Arena turns that tail into bump-allocated scratch: unescape
+// buffers, RetainForView copies, and reply staging come out of the very
+// slab the kernel already filled, so a dispatch that fits makes zero
+// heap allocations and zero extra pool trips.
+//
+// Layout of the seed slab during a dispatch:
+//
+//   [0 ............ frame bytes ............ Size()) [scratch ... Capacity())
+//    ^ views handed to the skeleton point here        ^ arena bump region
+//
+// The arena keeps a private cursor over the scratch region and never
+// Advances the slab for its own allocations — only DonateTail() (called
+// once, when reply staging adopts the remaining tail) syncs the slab's
+// high-water mark forward past the arena's scratch. Overflow beyond the
+// seed slab falls back to fresh pooled slabs; a single allocation larger
+// than a slab gets a dedicated oversize buffer. Either way Allocate
+// never fails and pointers stay stable until Reset()/destruction.
+//
+// Single-owner, not thread-safe — an Arena lives on one dispatch's
+// stack. All memory is released (slabs back to the pool) on Reset() or
+// destruction; in debug builds freed scratch is poisoned with 0xDD so an
+// escaped view fails loudly instead of silently reading stale bytes.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+#include <vector>
+
+#include "support/bytes.h"
+
+namespace heidi::support {
+
+class Arena {
+ public:
+  // `seed` is typically the request's retained frame slab (may be null:
+  // the arena then serves purely from `pool`). `pool` defaults to the
+  // process-global IoBuf pool.
+  explicit Arena(bytes::IoBufPtr seed = {}, bytes::IoBufPool* pool = nullptr);
+  ~Arena();
+  Arena(const Arena&) = delete;
+  Arena& operator=(const Arena&) = delete;
+
+  // Never returns null. `align` must be a power of two.
+  void* Allocate(size_t n, size_t align = alignof(std::max_align_t));
+  char* AllocateChars(size_t n) {
+    return static_cast<char*>(Allocate(n, 1));
+  }
+
+  // Copies `s` into arena storage and returns a view of the copy —
+  // the allocation-free twin of RetainForView's heap deque.
+  std::string_view CopyString(std::string_view s);
+
+  // Hands the seed slab's remaining free tail to reply staging: syncs
+  // the slab's Size() past this arena's scratch cursor and returns the
+  // slab (null if there is no seed, it has no free tail left, or the
+  // tail was already donated). After donation the arena stops bumping
+  // inside the seed region — later allocations go to overflow slabs —
+  // so the chain's append region and the arena never interleave.
+  bytes::IoBufPtr DonateTail();
+
+  // Rewinds to empty, dropping overflow/oversize slabs back to the pool
+  // and re-opening the seed region (unless it was donated). Outstanding
+  // pointers/views become invalid (and poisoned in debug builds).
+  void Reset();
+
+  struct Stats {
+    uint64_t allocations = 0;          // Allocate() calls served
+    uint64_t bytes_allocated = 0;      // sum of rounded request sizes
+    uint64_t slab_refills = 0;         // pooled overflow slabs fetched
+    uint64_t oversize_allocations = 0; // dedicated > kSlabBytes buffers
+    uint64_t resets = 0;
+  };
+  const Stats& GetStats() const { return stats_; }
+
+  bool HasSeed() const { return static_cast<bool>(seed_); }
+  bool TailDonated() const { return donated_; }
+
+ private:
+  struct Region {
+    char* base = nullptr;
+    size_t cursor = 0;
+    size_t capacity = 0;
+  };
+
+  void* BumpFrom(Region& region, size_t n, size_t align);
+  void PoisonScratch();
+
+  bytes::IoBufPool* pool_;
+  bytes::IoBufPtr seed_;
+  Region seed_region_;   // the seed slab's free tail (empty if no seed)
+  Region active_;        // current overflow slab's region
+  std::vector<bytes::IoBufPtr> overflow_;
+  bool donated_ = false;
+  Stats stats_;
+};
+
+}  // namespace heidi::support

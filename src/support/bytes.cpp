@@ -182,6 +182,14 @@ void BufferChain::AppendSlice(const IoBufPtr& buf, size_t offset,
   tail_writable_ = false;
 }
 
+void BufferChain::SeedWritableTail(IoBufPtr slab) {
+  if (!slab || slab->Remaining() == 0) return;
+  slices_.push_back(
+      BufSlice{std::move(slab), 0, 0});
+  slices_.back().offset = static_cast<uint32_t>(slices_.back().buf->Size());
+  tail_writable_ = true;
+}
+
 void BufferChain::CopyTo(char* out) const {
   for (const BufSlice& slice : slices_) {
     std::memcpy(out, slice.Data(), slice.length);

@@ -53,6 +53,10 @@ class IoBuf {
   char* WritePtr() { return data_ + size_; }
   void Advance(size_t n) { size_ += n; }
 
+  // Observability hook (tests assert deferred release of retained
+  // frames); the value is stale the moment another thread moves.
+  uint32_t RefCount() const { return refs_.load(std::memory_order_relaxed); }
+
  private:
   friend class IoBufPool;
   friend class IoBufPtr;
@@ -249,6 +253,14 @@ class BufferChain {
   // still grow past them).
   void AppendChain(const BufferChain& other);
   void AppendSlice(const IoBufPtr& buf, size_t offset, size_t length);
+
+  // Adopts `slab`'s free tail [Size(), Capacity()) as this chain's own
+  // append region: subsequent Append()s write there in place instead of
+  // pulling a fresh pooled slab. Used by reply staging to reuse the
+  // request frame slab an Arena donates back (Arena::DonateTail) — the
+  // reply then costs zero pool traffic. Caller guarantees no other
+  // writer touches the slab past Size().
+  void SeedWritableTail(IoBufPtr slab);
 
   // Flatten helpers (tests, fault paths, compatibility accessors).
   void CopyTo(char* out) const;

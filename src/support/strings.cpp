@@ -133,20 +133,26 @@ std::string EscapeToken(std::string_view s) {
 
 std::string UnescapeToken(std::string_view s) {
   std::string out;
-  out.reserve(s.size());
+  out.resize(s.size());
+  out.resize(UnescapeTokenInto(s, out.data()));
+  return out;
+}
+
+size_t UnescapeTokenInto(std::string_view s, char* out) {
+  char* w = out;
   for (size_t i = 0; i < s.size(); ++i) {
     if (s[i] != '%') {
-      out.push_back(s[i]);
+      *w++ = s[i];
       continue;
     }
     if (i + 2 >= s.size()) throw MarshalError("truncated %-escape in token");
     int hi = HexValue(s[i + 1]);
     int lo = HexValue(s[i + 2]);
     if (hi < 0 || lo < 0) throw MarshalError("malformed %-escape in token");
-    out.push_back(static_cast<char>((hi << 4) | lo));
+    *w++ = static_cast<char>((hi << 4) | lo);
     i += 2;
   }
-  return out;
+  return static_cast<size_t>(w - out);
 }
 
 }  // namespace heidi::str

@@ -41,4 +41,10 @@ bool IsIdentifier(std::string_view s);
 std::string EscapeToken(std::string_view s);
 std::string UnescapeToken(std::string_view s);
 
+// Unescapes into caller-provided storage (at least `s.size()` bytes —
+// unescaping never grows) and returns the unescaped length. Lets the
+// text protocol unescape straight into a dispatch arena instead of a
+// heap std::string.
+size_t UnescapeTokenInto(std::string_view s, char* out);
+
 }  // namespace heidi::str

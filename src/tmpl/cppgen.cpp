@@ -195,6 +195,57 @@ std::string MapParamType(const std::string& spell, const MapContext& ctx) {
   return base + "&";
 }
 
+// --- view parameter-passing mode ------------------------------------------
+//
+// The paper's custom-mapping axis applied to the zero-copy runtime: under
+// the `view` mode an interface's `in` strings map to HdStringView and its
+// `in` octet sequences to HdBytesView — non-owning windows over the
+// retained request frame (GetStringView/GetBytesView), valid for the
+// duration of the dispatch only. Everything else (out/inout, results,
+// attributes, other element types) keeps the owned mapping. Selected per
+// interface via the `viewInterfaces` global (idlc --view-interfaces).
+
+// True when `p` is an `in`/`incopy` octet sequence — the one sequence
+// shape with a bulk zero-copy wire form (PutBytes/GetBytesView).
+bool IsViewableBytes(const ParamCtx& p, const MapContext& ctx) {
+  if (p.kind != "Sequence" || IsOut(p) || IsInOut(p)) return false;
+  std::string elem_under = Unalias(SequenceElement(p.under), ctx);
+  return WireCallKind(elem_under, ctx) == "Octet";
+}
+
+bool IsViewableString(const ParamCtx& p) {
+  return p.kind == "String" && !IsOut(p) && !IsInOut(p);
+}
+
+// CPP::ViewMode — "view" if the current interface is named in the
+// viewInterfaces global (comma-separated flat/scoped names, or "*"),
+// else "owned". Applied to flatName so templates can branch with @if.
+std::string ViewMode(const std::string& flat_name, const MapContext& ctx) {
+  if (ctx.globals == nullptr) return "owned";
+  auto it = ctx.globals->find("viewInterfaces");
+  if (it == ctx.globals->end() || it->second.empty()) return "owned";
+  std::string scoped =
+      ctx.node != nullptr ? ctx.node->GetProp("interfaceName") : "";
+  std::string plain = ctx.node != nullptr ? ctx.node->GetProp("name") : "";
+  for (const std::string& raw : str::Split(it->second, ',')) {
+    std::string_view want = str::Trim(raw);
+    if (want.empty()) continue;
+    if (want == "*" || want == flat_name || want == scoped || want == plain) {
+      return "view";
+    }
+  }
+  return "owned";
+}
+
+// CPP::MapParamTypeView — like MapParamType, but viewable `in`
+// strings/octet sequences become non-owning view types.
+std::string MapParamTypeView(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  if (IsViewableString(p)) return "HdStringView";
+  if (IsViewableBytes(p, ctx)) return "HdBytesView";
+  return MapParamType(spell, ctx);
+}
+
 // CPPGen::PutParam — stub side, receiver *hd_call.
 std::string PutParam(const std::string& spell, const MapContext& ctx) {
   ParamCtx p = MakeParamCtx(spell, ctx);
@@ -211,6 +262,16 @@ std::string PutParam(const std::string& spell, const MapContext& ctx) {
   std::string stmt = PutPrim("hd_call->", p.kind, p.name);
   if (stmt.empty()) Unsupported("parameter type '" + spell + "'");
   return stmt;
+}
+
+// CPPGen::PutParamView — stub side under the view mapping: a viewable
+// octet sequence travels as one bulk PutBytes (the USC-style fast path)
+// instead of element-wise; viewable strings already marshal from a
+// string_view via PutString. Everything else delegates to PutParam.
+std::string PutParamView(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  if (IsViewableBytes(p, ctx)) return "hd_call->PutBytes(" + p.name + ");";
+  return PutParam(spell, ctx);
 }
 
 // CPPGen::GetOutParam — stub side, receiver *hd_reply, after the result.
@@ -341,6 +402,22 @@ std::string SkelGetParam(const std::string& spell, const MapContext& ctx) {
   return get.cpp_type + " " + p.local + " = " + get.expr + ";";
 }
 
+// CPPGen::SkelGetParamView — skeleton side under the view mapping:
+// viewable `in` strings/octet sequences unmarshal as views straight into
+// the retained frame slab (no copy); the rest delegates to SkelGetParam.
+// The view locals die with the dispatch — implementations must copy
+// anything they keep.
+std::string SkelGetParamView(const std::string& spell, const MapContext& ctx) {
+  ParamCtx p = MakeParamCtx(spell, ctx);
+  if (IsViewableString(p)) {
+    return "HdStringView " + p.local + " = hd_in.GetStringView();";
+  }
+  if (IsViewableBytes(p, ctx)) {
+    return "HdBytesView " + p.local + " = hd_in.GetBytesView();";
+  }
+  return SkelGetParam(spell, ctx);
+}
+
 // CPPGen::SkelArg — expression handed to the implementation.
 std::string SkelArg(const std::string& spell, const MapContext& ctx) {
   ParamCtx p = MakeParamCtx(spell, ctx);
@@ -405,8 +482,12 @@ std::string ExFieldGet(const std::string& spell, const MapContext& ctx) {
 }  // namespace
 
 void RegisterCppGen(MapRegistry& reg) {
+  reg.Register("CPP::ViewMode", ViewMode);
   reg.Register("CPP::MapParamType", MapParamType);
+  reg.Register("CPP::MapParamTypeView", MapParamTypeView);
   reg.Register("CPPGen::PutParam", PutParam);
+  reg.Register("CPPGen::PutParamView", PutParamView);
+  reg.Register("CPPGen::SkelGetParamView", SkelGetParamView);
   reg.Register("CPPGen::GetOutParam", GetOutParam);
   reg.Register("CPPGen::CaptureResult", CaptureResult);
   reg.Register("CPPGen::PutAttrValue", PutAttrValue);

@@ -77,6 +77,7 @@ class Interp {
     bottom.locals = options.globals;
     stack_.push_back(std::move(bottom));
     root_ = &root;
+    globals_ = &options.globals;
   }
 
   void Run() { RunBody(program_.Ops()); }
@@ -120,6 +121,7 @@ class Interp {
     ctx.node = stack_.back().node;
     ctx.root = root_;
     ctx.types = &index_;
+    ctx.globals = globals_;
     return ctx;
   }
 
@@ -228,6 +230,7 @@ class Interp {
   OutputSink& sink_;
   TypeIndex index_;
   const est::Node* root_ = nullptr;
+  const std::map<std::string, std::string>* globals_ = nullptr;
   std::vector<Frame> stack_;
 };
 

@@ -57,6 +57,10 @@ struct MapContext {
   const est::Node* node = nullptr;  // current loop node ("" props available)
   const est::Node* root = nullptr;
   const TypeIndex* types = nullptr;
+  // The caller-supplied ExecOptions::globals (idlc flags like
+  // "viewInterfaces"), so map functions can honor per-run mapping
+  // configuration. May be null (direct calls outside the interpreter).
+  const std::map<std::string, std::string>* globals = nullptr;
 };
 
 using MapFn = std::function<std::string(const std::string&, const MapContext&)>;

@@ -24,8 +24,19 @@ void BinaryCall::Align(size_t n) {
   }
 }
 
+void BinaryCall::EnsureStaged() {
+  staged_ = true;
+  support::Arena* arena = GetArena();
+  if (arena == nullptr) return;
+  // DonateTail() is one-shot: the arena stops bumping in the seed slab
+  // once the chain owns its tail, so scratch and reply bytes never
+  // interleave.
+  chain_.SeedWritableTail(arena->DonateTail());
+}
+
 void BinaryCall::PutRaw(const void* data, size_t n) {
   if (readable_) throw MarshalError("Put on a readable call");
+  if (!staged_) EnsureStaged();
   chain_.Append(data, n);
   Touch();
 }
@@ -114,5 +125,22 @@ std::string_view BinaryCall::GetBytesView() { return TakeBytesView(); }
 
 void BinaryCall::Begin(std::string_view) {}
 void BinaryCall::End() {}
+
+void BinaryCall::InvalidateViews() {
+#ifndef NDEBUG
+  // Poison only the decode window of a frame-backed readable call: the
+  // frame slab may also be carrying staged reply bytes past the window.
+  if (readable_ && frame_ && !view_.empty()) {
+    std::memset(const_cast<char*>(view_.data()), 0xDD, view_.size());
+  }
+#endif
+}
+
+void BinaryCall::ResetWritable() {
+  if (readable_) throw MarshalError("ResetWritable on a readable call");
+  chain_.Clear();
+  staged_ = false;
+  Touch();
+}
 
 }  // namespace heidi::wire

@@ -78,6 +78,21 @@ class BinaryCall final : public Call {
     return readable_ ? view_.size() : chain_.Size();
   }
 
+  // The pooled frame slab a zero-copy readable call retains (the seed
+  // for the dispatch arena); null for writable/owned calls.
+  bytes::IoBufPtr RetainedFrame() const override { return frame_; }
+
+  // Debug lifetime assertion: poisons the readable decode window so any
+  // view that escaped its dispatch reads 0xDD instead of stale data.
+  // (Only the request payload window is poisoned — a staged reply
+  // sharing the slab lives past the window and is untouched.)
+  void InvalidateViews() override;
+
+  // Rewinds a writable call for reuse (benchmarks, pooled replies):
+  // drops the staged chain but keeps the slice vector's capacity, so a
+  // steady-state re-marshal allocates nothing.
+  void ResetWritable();
+
   // The marshaled payload chain of a writable call (WriteCall appends it
   // to the frame without copying).
   const bytes::BufferChain& Chain() const { return chain_; }
@@ -89,6 +104,11 @@ class BinaryCall final : public Call {
 
  private:
   void Align(size_t n);
+  // First Put on a writable call: if a dispatch arena with a seed slab
+  // is attached, adopt the request frame's free tail as the chain's
+  // append region — the reply then stages into the same slab the
+  // request arrived in (zero pool traffic, zero heap).
+  void EnsureStaged();
   void PutRaw(const void* data, size_t n);
   void GetRaw(void* data, size_t n, const char* what);
   std::string_view TakeStringView();
@@ -113,6 +133,7 @@ class BinaryCall final : public Call {
   std::string_view view_;      // readable: the decode window
   size_t cursor_ = 0;
   bool readable_ = false;
+  bool staged_ = false;  // writable: arena tail adoption attempted
 };
 
 }  // namespace heidi::wire

@@ -20,6 +20,8 @@
 #include <string_view>
 
 #include "obs/trace.h"
+#include "support/arena.h"
+#include "support/bytes.h"
 
 namespace heidi::wire {
 
@@ -190,15 +192,39 @@ class Call {
   // Approximate encoded payload size in bytes (benchmarks).
   virtual size_t PayloadSize() const = 0;
 
+  // --- dispatch arena ------------------------------------------------------
+  // The server attaches one per-dispatch scratch arena to both the
+  // request and the reply call for the duration of a dispatch; decode
+  // scratch (unescape buffers, RetainForView copies) and reply staging
+  // then bump-allocate from it instead of the heap. The arena is stack-
+  // owned by the dispatch loop — it must be detached (AttachArena(nullptr))
+  // before the dispatch returns. Null = heap behavior, unchanged.
+  void AttachArena(support::Arena* arena) { arena_ = arena; }
+  support::Arena* GetArena() const { return arena_; }
+
+  // The pooled slab holding this (readable) call's inbound frame, if the
+  // protocol retained one — the seed for the dispatch arena. Default:
+  // none (writable calls, owned-copy decodes).
+  virtual bytes::IoBufPtr RetainedFrame() const { return {}; }
+
+  // Debug lifetime assertion hook: poisons every byte a Get*View of this
+  // call may have handed out, so a view that escaped its dispatch reads
+  // 0xDD garbage (and fails tests) instead of silently working until the
+  // slab is recycled. No-op in release builds and for owning decodes.
+  virtual void InvalidateViews() {}
+
  protected:
   // Subclasses call this whenever encoded payload changes (Put*), so
   // Revision() covers the full wire image.
   void Touch() { ++revision_; }
 
   // Stashes a decoded value on the call so a view of it can outlive the
-  // decode step. Storage is created lazily: calls that never hand out a
-  // fallback view pay nothing.
+  // decode step. With a dispatch arena attached the copy lands in arena
+  // scratch (freed wholesale when the dispatch ends); otherwise storage
+  // is a lazily created deque — calls that never hand out a fallback
+  // view pay nothing.
   std::string_view RetainForView(std::string value) {
+    if (arena_ != nullptr) return arena_->CopyString(value);
     if (retained_ == nullptr) {
       retained_ = std::make_unique<std::deque<std::string>>();
     }
@@ -220,6 +246,7 @@ class Call {
   obs::TraceContext trace_;
   int64_t born_ns_ = 0;
   uint64_t revision_ = 0;
+  support::Arena* arena_ = nullptr;  // borrowed, dispatch-scoped
   // Deque: stable addresses across growth (views point into elements).
   std::unique_ptr<std::deque<std::string>> retained_;
 };

@@ -253,6 +253,9 @@ class HiopProtocol final : public Protocol {
     if (total != 0 && !reader.ReadExact(slab->Data(), total)) {
       throw NetError("connection closed mid-frame");
     }
+    // Mark the frame bytes written: Size() is where a dispatch arena
+    // seeded from this slab starts its scratch region.
+    slab->Advance(total);
 
     BinaryCall head(slab, 0, head_len);
     auto call = std::make_unique<BinaryCall>(slab, head_len, payload_len);

@@ -2,6 +2,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 
 #include "support/error.h"
 #include "support/strings.h"
@@ -50,6 +51,13 @@ std::string_view TextCall::TakeTokenView(char tag, const char* what) {
   // No escapes: the stored token IS the value — view it in place
   // (tokens_ is append-only while readable, so the address is stable).
   if (body.find('%') == std::string_view::npos) return body;
+  // Escaped: unescape into the dispatch arena when one is attached
+  // (unescaping never grows, so body.size() bytes always suffice);
+  // otherwise fall back to a retained heap copy.
+  if (support::Arena* arena = GetArena()) {
+    char* out = arena->AllocateChars(body.size());
+    return {out, str::UnescapeTokenInto(body, out)};
+  }
   return RetainForView(str::UnescapeToken(body));
 }
 
@@ -210,6 +218,15 @@ void TextCall::End() {
     tokens_.push_back("]");
     Touch();
   }
+}
+
+void TextCall::InvalidateViews() {
+#ifndef NDEBUG
+  if (!readable_) return;
+  for (std::string& t : tokens_) {
+    if (t.size() > 2) std::memset(t.data() + 2, 0xDD, t.size() - 2);
+  }
+#endif
 }
 
 size_t TextCall::PayloadSize() const {

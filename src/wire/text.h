@@ -71,6 +71,11 @@ class TextCall final : public Call {
   bool HasMore() const override { return cursor_ < tokens_.size(); }
   size_t PayloadSize() const override;
 
+  // Debug lifetime assertion: poisons the readable token storage that
+  // in-place Get*View views point into, so a view that escaped its
+  // dispatch reads 0xDD garbage instead of silently stale bytes.
+  void InvalidateViews() override;
+
   const std::vector<std::string>& Tokens() const { return tokens_; }
 
   // --- encode cache (used by the text protocol's WriteCall) --------------

@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# Codegen golden check: idlc output for demo.idl under both the default
+# (owned) mapping and the view mapping (--view-interfaces Echo) must
+# match the checked-in goldens byte for byte. A diff here means the
+# generator's output changed — if the change is intentional, regenerate:
+#
+#   build/examples/idlc --out tests/codegen/goldens/demo/owned src/demo/demo.idl
+#   build/examples/idlc --view-interfaces Echo \
+#       --out tests/codegen/goldens/demo/view src/demo/demo.idl
+#
+# Usage: check_goldens.sh [path-to-idlc]   (default: build/examples/idlc)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+IDLC="${1:-$ROOT/build/examples/idlc}"
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+"$IDLC" --out "$TMP/owned" "$ROOT/src/demo/demo.idl" >/dev/null
+"$IDLC" --view-interfaces Echo --out "$TMP/view" \
+    "$ROOT/src/demo/demo.idl" >/dev/null
+
+diff -ru "$ROOT/tests/codegen/goldens/demo/owned" "$TMP/owned"
+diff -ru "$ROOT/tests/codegen/goldens/demo/view" "$TMP/view"
+echo "codegen goldens OK"

@@ -1,0 +1,55 @@
+/* File demo.hh */
+#pragma once
+#include "orb/heidi_types.h"
+
+class HdS;
+class HdA;
+class HdEcho;
+
+// IDL:Heidi/Status:1.0
+enum HdStatus { Start, Stop };
+
+// IDL:Heidi/SSequence:1.0
+typedef HdList<HdS*> HdSSequence;
+typedef HdListIterator<HdS*> HdSSequenceIter;
+
+// IDL:Heidi/Payload:1.0
+typedef HdList<unsigned char> HdPayload;
+typedef HdListIterator<unsigned char> HdPayloadIter;
+
+// IDL:Heidi/S:1.0
+class HdS : virtual public ::heidi::HdObject
+{
+public:
+  virtual void ping() = 0;
+  virtual long value() = 0;
+  virtual ~HdS() { }
+};
+
+// IDL:Heidi/A:1.0
+class HdA : virtual public HdS
+{
+public:
+  virtual void f(HdA*) = 0;
+  virtual void g(HdS*) = 0;
+  virtual void p(long l = 0) = 0;
+  virtual void q(HdStatus s = Start) = 0;
+  virtual void s(XBool b = XTrue) = 0;
+  virtual void t(HdSSequence*) = 0;
+  virtual HdStatus GetButton() = 0;
+  virtual ~HdA() { }
+};
+
+// IDL:Heidi/Echo:1.0
+class HdEcho : virtual public ::heidi::HdObject
+{
+public:
+  virtual HdString echo(HdStringView) = 0;
+  virtual long add(long, long) = 0;
+  virtual double norm(double, double) = 0;
+  virtual XBool flip(XBool) = 0;
+  virtual void post(HdStringView) = 0;
+  virtual HdString blob(HdBytesView) = 0;
+  virtual ~HdEcho() { }
+};
+

@@ -34,9 +34,9 @@ int ElapsedMs(Clock::time_point since) {
 class SlowEcho : public demo::EchoImpl {
  public:
   explicit SlowEcho(std::chrono::milliseconds delay) : delay_(delay) {}
-  HdString echo(HdString msg) override {
+  HdString echo(HdStringView msg) override {
     std::this_thread::sleep_for(delay_);
-    return msg;
+    return HdString(msg);
   }
 
  private:

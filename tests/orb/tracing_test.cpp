@@ -263,7 +263,7 @@ TEST_P(TracingTest, NestedInvocationJoinsTheInboundTrace) {
   class Relay : public demo::EchoImpl {
    public:
     Relay(Orb* orb, std::string next_ref) : orb_(orb), next_(next_ref) {}
-    HdString echo(HdString msg) override {
+    HdString echo(HdStringView msg) override {
       auto downstream = orb_->ResolveAs<HdEcho>(next_);
       return downstream->echo(msg);
     }

@@ -1,0 +1,182 @@
+// Dispatch-arena unit tests: bump allocation out of the seed slab's
+// tail, reset/reuse, pool-backed overflow when the seed is exhausted,
+// oversize fallback, and the one-shot DonateTail handoff to reply
+// staging.
+#include "support/arena.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "support/bytes.h"
+
+namespace heidi::support {
+namespace {
+
+constexpr size_t kSlab = bytes::IoBufPool::kSlabBytes;
+
+bool InSlab(const void* p, const bytes::IoBufPtr& slab) {
+  const char* c = static_cast<const char*>(p);
+  return c >= slab->Data() && c < slab->Data() + slab->Capacity();
+}
+
+// A seed slab with `frame_bytes` already written — the shape a retained
+// HIOP frame has when Orb::HandleRequest seeds the dispatch arena.
+bytes::IoBufPtr MakeFrame(bytes::IoBufPool& pool, size_t frame_bytes) {
+  auto slab = pool.Get();
+  std::memset(slab->WritePtr(), 'F', frame_bytes);
+  slab->Advance(frame_bytes);
+  return slab;
+}
+
+TEST(ArenaTest, SeedTailServesAllocations) {
+  bytes::IoBufPool pool;
+  auto slab = MakeFrame(pool, 100);
+  Arena arena(slab, &pool);
+  ASSERT_TRUE(arena.HasSeed());
+
+  void* p = arena.Allocate(64);
+  ASSERT_NE(p, nullptr);
+  EXPECT_TRUE(InSlab(p, slab));
+  // Scratch starts after the frame bytes, never inside them.
+  EXPECT_GE(static_cast<char*>(p), slab->Data() + 100);
+  // The arena bumps privately: the slab's own high-water mark is
+  // untouched until DonateTail.
+  EXPECT_EQ(slab->Size(), 100u);
+  // No extra pool traffic for an allocation that fits the tail.
+  EXPECT_EQ(arena.GetStats().slab_refills, 0u);
+  EXPECT_EQ(pool.GetStats().misses, 1u);  // just the seed itself
+}
+
+TEST(ArenaTest, AlignmentIsOnThePointer) {
+  bytes::IoBufPool pool;
+  // Odd frame size so the scratch base is misaligned on purpose.
+  auto slab = MakeFrame(pool, 33);
+  Arena arena(slab, &pool);
+  arena.AllocateChars(1);
+  void* p = arena.Allocate(8, 8);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
+  void* q = arena.Allocate(16, 16);
+  EXPECT_EQ(reinterpret_cast<uintptr_t>(q) % 16, 0u);
+}
+
+TEST(ArenaTest, CopyStringLandsInSeedSlab) {
+  bytes::IoBufPool pool;
+  auto slab = MakeFrame(pool, 50);
+  Arena arena(slab, &pool);
+  std::string original = "the quick brown fox";
+  std::string_view copy = arena.CopyString(original);
+  EXPECT_EQ(copy, original);
+  EXPECT_NE(copy.data(), original.data());
+  EXPECT_TRUE(InSlab(copy.data(), slab));
+}
+
+TEST(ArenaTest, NoSeedFallsBackToPool) {
+  bytes::IoBufPool pool;
+  Arena arena({}, &pool);
+  EXPECT_FALSE(arena.HasSeed());
+  void* p = arena.Allocate(128);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(arena.GetStats().slab_refills, 1u);
+  std::memset(p, 0xAB, 128);  // must be writable (ASan checks this)
+}
+
+TEST(ArenaTest, ExhaustedSeedOverflowsToPool) {
+  bytes::IoBufPool pool;
+  // Nearly-full seed: only 8 bytes of tail left.
+  auto slab = MakeFrame(pool, kSlab - 8);
+  Arena arena(slab, &pool);
+  void* p = arena.Allocate(256);
+  ASSERT_NE(p, nullptr);
+  EXPECT_FALSE(InSlab(p, slab));  // didn't fit: served by a fresh slab
+  EXPECT_EQ(arena.GetStats().slab_refills, 1u);
+  std::memset(p, 0xAB, 256);
+}
+
+TEST(ArenaTest, OversizeGetsDedicatedBuffer) {
+  bytes::IoBufPool pool;
+  Arena arena({}, &pool);
+  void* p = arena.Allocate(2 * kSlab);
+  ASSERT_NE(p, nullptr);
+  EXPECT_EQ(arena.GetStats().oversize_allocations, 1u);
+  std::memset(p, 0xAB, 2 * kSlab);
+}
+
+TEST(ArenaTest, ResetRewindsAndReleasesOverflow) {
+  bytes::IoBufPool pool;
+  auto slab = MakeFrame(pool, 100);
+  Arena arena(slab, &pool);
+
+  void* first = arena.Allocate(64, 8);
+  // Burn through the seed tail to force pooled overflow slabs.
+  for (int i = 0; i < 3; ++i) arena.Allocate(kSlab / 2);
+  EXPECT_GE(arena.GetStats().slab_refills, 1u);
+  uint64_t recycles_before = pool.GetStats().recycles;
+  arena.Reset();
+  EXPECT_EQ(arena.GetStats().resets, 1u);
+  // Overflow went back to the pool; the seed stays retained.
+  EXPECT_GT(pool.GetStats().recycles, recycles_before);
+
+  // The seed region reopened: same bytes get handed out again.
+  void* again = arena.Allocate(64, 8);
+  EXPECT_EQ(again, first);
+}
+
+TEST(ArenaTest, DonateTailSyncsSlabAndIsOneShot) {
+  bytes::IoBufPool pool;
+  auto slab = MakeFrame(pool, 200);
+  Arena arena(slab, &pool);
+  std::string_view scratch = arena.CopyString("scratch bytes");
+
+  bytes::IoBufPtr tail = arena.DonateTail();
+  ASSERT_TRUE(tail);
+  EXPECT_EQ(tail.get(), slab.get());
+  EXPECT_TRUE(arena.TailDonated());
+  // The slab's Size() moved past both the frame and the arena scratch,
+  // so reply staging appends after — never over — the scratch bytes.
+  EXPECT_GE(slab->Size(), 200u + scratch.size());
+  EXPECT_LE(slab->Data() + 200, scratch.data());
+  EXPECT_LE(scratch.data() + scratch.size(), slab->Data() + slab->Size());
+
+  // One-shot: a second donation yields nothing.
+  EXPECT_FALSE(arena.DonateTail());
+
+  // Post-donation allocations leave the slab's high-water mark alone
+  // (they must not interleave with the donated append region).
+  size_t size_after_donation = slab->Size();
+  arena.Allocate(512);
+  EXPECT_EQ(slab->Size(), size_after_donation);
+}
+
+TEST(ArenaTest, DonateTailWithoutSeedOrSpaceReturnsNull) {
+  bytes::IoBufPool pool;
+  Arena no_seed({}, &pool);
+  EXPECT_FALSE(no_seed.DonateTail());
+
+  auto full = MakeFrame(pool, kSlab);  // no free tail at all
+  Arena arena(full, &pool);
+  EXPECT_FALSE(arena.DonateTail());
+}
+
+TEST(ArenaTest, ManySmallAllocationsStayStable) {
+  // Pointer stability across refills: earlier allocations must survive
+  // later ones (views handed to a skeleton outlive further unescapes).
+  bytes::IoBufPool pool;
+  auto slab = MakeFrame(pool, kSlab / 2);
+  Arena arena(slab, &pool);
+  std::vector<std::pair<char*, char>> marks;
+  for (int i = 0; i < 200; ++i) {
+    char* p = arena.AllocateChars(257);
+    char mark = static_cast<char>('a' + (i % 26));
+    std::memset(p, mark, 257);
+    marks.emplace_back(p, mark);
+  }
+  EXPECT_GE(arena.GetStats().slab_refills, 1u);
+  for (auto& [p, mark] : marks) {
+    EXPECT_EQ(p[0], mark);
+    EXPECT_EQ(p[256], mark);
+  }
+}
+
+}  // namespace
+}  // namespace heidi::support
