@@ -9,12 +9,19 @@
 //     --out <dir>            write generated files under <dir> (default .)
 //     --emit-est             print the EST external representation instead
 //                            of generating code (Fig 8's hand-off format)
+//     --lint                 run the static safety checks (HLxxx) and exit
+//     --lint-fatal           treat lint warnings as errors
 //     --list-mappings        list builtin mappings and exit
 //     --dump-templates <dir> export the builtin templates as editable
 //                            .tmpl files and exit
 //
 // Customizing a mapping therefore never means recompiling this tool:
 // dump the builtin templates, edit, and pass them back with --template.
+//
+// The lint pass (codegen/lint.h) also runs automatically before any code
+// is generated: a mapping-contract error (view-lifetime violations,
+// oneway misuse, post-mapping name collisions) aborts generation with
+// file:line:col diagnostics instead of emitting unsafe bindings.
 #include <filesystem>
 #include <fstream>
 #include <iostream>
@@ -41,16 +48,28 @@ int Usage(const char* argv0) {
       << "                          over the request frame ('*' = all;\n"
       << "                          heidi_cpp mapping)\n"
       << "  --emit-est              print the EST instead of generating\n"
+      << "  --lint                  run the HLxxx static safety checks and\n"
+      << "                          exit (no code generation)\n"
+      << "  --lint-fatal            treat lint warnings as errors\n"
       << "  --list-mappings         list builtin mappings\n"
       << "  --dump-templates <dir>  export builtin templates as files\n";
   return 2;
 }
 
 std::string ReadFile(const std::string& path) {
+  // A directory opens "successfully" but reads nothing — without the
+  // explicit check, `--template <dir>` would silently behave like an
+  // empty template and generate nothing with exit 0.
+  if (std::filesystem::is_directory(path)) {
+    throw heidi::HdError("cannot read " + path + ": is a directory");
+  }
   std::ifstream in(path);
   if (!in) throw heidi::HdError("cannot open " + path);
   std::stringstream ss;
   ss << in.rdbuf();
+  if (in.bad() || ss.fail()) {
+    throw heidi::HdError("cannot read " + path);
+  }
   return ss.str();
 }
 
@@ -76,6 +95,11 @@ int DumpTemplates(const std::string& dir) {
       std::filesystem::create_directories(path.parent_path());
       std::ofstream out(path);
       out << t.text;
+      out.flush();
+      if (!out) {
+        std::cerr << "idlc: cannot write " << path.string() << "\n";
+        return 1;
+      }
       std::cout << "wrote " << path.string() << "\n";
     }
   }
@@ -91,6 +115,8 @@ int main(int argc, char** argv) {
   std::string input;
   std::string view_interfaces;
   bool emit_est = false;
+  bool lint_only = false;
+  bool lint_fatal = false;
 
   for (int i = 1; i < argc; ++i) {
     std::string arg = argv[i];
@@ -111,6 +137,10 @@ int main(int argc, char** argv) {
       view_interfaces = next();
     } else if (arg == "--emit-est") {
       emit_est = true;
+    } else if (arg == "--lint") {
+      lint_only = true;
+    } else if (arg == "--lint-fatal") {
+      lint_fatal = true;
     } else if (arg == "--list-mappings") {
       return ListMappings();
     } else if (arg == "--dump-templates") {
@@ -131,8 +161,31 @@ int main(int argc, char** argv) {
 
   try {
     std::string source = ReadFile(input);
-    heidi::idl::Specification spec =
-        heidi::idl::ParseAndResolve(source, input);
+    // Parse and resolve once, batching contract violations for the lint
+    // report instead of dying on the first (hard errors still throw).
+    heidi::idl::Specification spec = heidi::idl::Parse(source, input);
+    std::vector<heidi::idl::ContractDiag> contract_diags;
+    heidi::idl::Resolve(spec, [&](const heidi::idl::ContractDiag& d) {
+      contract_diags.push_back(d);
+    });
+
+    // The static safety layer runs before any code is generated; an
+    // error means the mapping contract cannot hold, so nothing is
+    // emitted (DESIGN.md §4g).
+    heidi::codegen::LintOptions lint_options;
+    lint_options.view_interfaces = view_interfaces;
+    lint_options.warnings_are_errors = lint_fatal;
+    heidi::codegen::LintResult lint =
+        heidi::codegen::Lint(spec, lint_options, contract_diags);
+    for (const heidi::codegen::LintDiag& diag : lint.diags) {
+      std::cerr << heidi::codegen::FormatLintDiag(diag) << "\n";
+    }
+    if (lint.HasErrors()) {
+      std::cerr << "idlc: lint found errors; no code generated\n";
+      return 1;
+    }
+    if (lint_only) return 0;
+
     std::unique_ptr<heidi::est::Node> est = heidi::est::BuildEst(spec);
 
     if (emit_est) {
@@ -176,6 +229,12 @@ int main(int argc, char** argv) {
       }
       std::ofstream out(full);
       out << content;
+      out.flush();
+      // An unwritable path must be a hard error, not a cheerful
+      // "generated" line over a zero-byte (or missing) file.
+      if (!out) {
+        throw heidi::HdError("cannot write " + full.string());
+      }
       std::cout << "generated " << full.string() << "\n";
     }
     return 0;

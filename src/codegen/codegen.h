@@ -1,5 +1,6 @@
-// Umbrella header for the code-generation layer: mappings + driver.
+// Umbrella header for the code-generation layer: mappings + driver + lint.
 #pragma once
 
 #include "codegen/driver.h"   // IWYU pragma: export
+#include "codegen/lint.h"     // IWYU pragma: export
 #include "codegen/mapping.h"  // IWYU pragma: export

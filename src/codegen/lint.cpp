@@ -1,0 +1,314 @@
+#include "codegen/lint.h"
+
+#include <algorithm>
+#include <cctype>
+#include <map>
+#include <sstream>
+
+#include "idl/parser.h"
+#include "support/strings.h"
+
+namespace heidi::codegen {
+
+namespace {
+
+using idl::AttributeDecl;
+using idl::Decl;
+using idl::DeclKind;
+using idl::InterfaceDecl;
+using idl::OperationDecl;
+using idl::ParamDecl;
+using idl::ParamDir;
+using idl::PrimKind;
+using idl::TypeRef;
+
+// First letter upper-cased — must match the template `Capitalize` map
+// function, because HL004 reasons about the names it produces.
+std::string Capitalize(std::string name) {
+  if (!name.empty()) {
+    name[0] =
+        static_cast<char>(std::toupper(static_cast<unsigned char>(name[0])));
+  }
+  return name;
+}
+
+// True if the unaliased type is a string (the view mapping's
+// HdStringView shape).
+bool IsStringType(const TypeRef& type) {
+  const TypeRef& t = idl::UnaliasType(type);
+  return t.kind == TypeRef::Kind::kPrimitive && t.prim == PrimKind::kString;
+}
+
+// True if the unaliased type is an octet sequence (the HdBytesView
+// shape), following typedefs on the element too.
+bool IsOctetSequenceType(const TypeRef& type) {
+  const TypeRef& t = idl::UnaliasType(type);
+  if (t.kind != TypeRef::Kind::kSequence || t.element == nullptr) return false;
+  const TypeRef& elem = idl::UnaliasType(*t.element);
+  return elem.kind == TypeRef::Kind::kPrimitive &&
+         elem.prim == PrimKind::kOctet;
+}
+
+bool IsViewableType(const TypeRef& type) {
+  return IsStringType(type) || IsOctetSequenceType(type);
+}
+
+// True if the unaliased type is any sequence (HL003 casts wider than
+// the viewable shapes: every settable container tempts retention).
+bool IsSequenceType(const TypeRef& type) {
+  return idl::UnaliasType(type).kind == TypeRef::Kind::kSequence;
+}
+
+std::string_view ViewableSpelling(const TypeRef& type) {
+  return IsStringType(type) ? "string" : "octet sequence";
+}
+
+// Mirrors CPP::ViewMode in cppgen.cpp: an interface is view-mapped if
+// the selection names it (plain, scoped, or flat spelling) or is "*".
+bool IsViewSelected(const InterfaceDecl& iface,
+                    const std::string& selection) {
+  if (selection.empty()) return false;
+  for (const std::string& raw : str::Split(selection, ',')) {
+    std::string_view want = str::Trim(raw);
+    if (want.empty()) continue;
+    if (want == "*" || want == iface.name || want == iface.ScopedName() ||
+        want == iface.FlatName()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+// Transitive *defined* bases (external forward-declared bases have no
+// members to collide with) — same walk as sema's CollectBases.
+void CollectBases(const InterfaceDecl& iface,
+                  std::vector<const InterfaceDecl*>& out) {
+  for (const Decl* base_decl : iface.bases) {
+    if (base_decl->decl_kind != DeclKind::kInterface) continue;
+    const auto* base = static_cast<const InterfaceDecl*>(base_decl);
+    bool seen = false;
+    for (const auto* b : out) seen = seen || b == base;
+    if (seen) continue;
+    out.push_back(base);
+    CollectBases(*base, out);
+  }
+}
+
+class Linter {
+ public:
+  Linter(const idl::Specification& spec, const LintOptions& options)
+      : spec_(spec), options_(options) {}
+
+  LintResult Run(const std::vector<idl::ContractDiag>& contract_diags) {
+    for (const auto& d : spec_.decls) Walk(*d);
+    for (const idl::ContractDiag& cd : contract_diags) {
+      Report("HL002", LintSeverity::kError, cd.line, cd.column, cd.message);
+    }
+    CheckViewSelection();
+    std::stable_sort(result_.diags.begin(), result_.diags.end(),
+                     [](const LintDiag& a, const LintDiag& b) {
+                       if (a.line != b.line) return a.line < b.line;
+                       if (a.column != b.column) return a.column < b.column;
+                       return a.code < b.code;
+                     });
+    if (options_.warnings_are_errors) {
+      for (LintDiag& d : result_.diags) d.severity = LintSeverity::kError;
+    }
+    return std::move(result_);
+  }
+
+ private:
+  void Report(std::string code, LintSeverity severity, int line, int column,
+              std::string message) {
+    result_.diags.push_back(LintDiag{std::move(code), severity,
+                                     spec_.source_name, line, column,
+                                     std::move(message)});
+  }
+
+  void Walk(const Decl& decl) {
+    switch (decl.decl_kind) {
+      case DeclKind::kModule: {
+        const auto& mod = static_cast<const idl::ModuleDecl&>(decl);
+        for (const auto& d : mod.decls) Walk(*d);
+        break;
+      }
+      case DeclKind::kInterface: {
+        const auto& iface = static_cast<const InterfaceDecl&>(decl);
+        interfaces_.push_back(&iface);
+        for (const auto& d : iface.nested) Walk(*d);
+        CheckInterface(iface);
+        break;
+      }
+      default:
+        break;
+    }
+  }
+
+  void CheckInterface(const InterfaceDecl& iface) {
+    const bool view = IsViewSelected(iface, options_.view_interfaces);
+    if (view) CheckViewContract(iface);
+    CheckMappedNames(iface);
+  }
+
+  // HL001 + HL005: the view mapping's parameter-direction contract.
+  void CheckViewContract(const InterfaceDecl& iface) {
+    for (const OperationDecl& op : iface.operations) {
+      for (const ParamDecl& p : op.params) {
+        if (!IsViewableType(p.type)) continue;
+        if (p.direction == ParamDir::kOut ||
+            p.direction == ParamDir::kInOut) {
+          Report("HL001", LintSeverity::kError, p.line, p.column,
+                 "view-mapped interface '" + iface.name + "': " +
+                     std::string(idl::ParamDirName(p.direction)) +
+                     " parameter '" + p.name + "' of " +
+                     std::string(ViewableSpelling(p.type)) +
+                     " type cannot be a view (views are read-only windows "
+                     "over the request frame; remove the interface from "
+                     "--view-interfaces or pass the value in)");
+        } else if (p.direction == ParamDir::kInCopy) {
+          Report("HL005", LintSeverity::kError, p.line, p.column,
+                 "view-mapped interface '" + iface.name +
+                     "': incopy parameter '" + p.name +
+                     "' would map to a view — incopy lets the callee "
+                     "retain its copy, but a view must not outlive the "
+                     "dispatch (use `in`, or drop the view mapping)");
+        }
+      }
+    }
+    // HL003: a settable string/sequence attribute means the servant
+    // stores caller data across dispatches — the exact pattern that
+    // turns a stored view parameter into a dangling one.
+    for (const AttributeDecl& at : iface.attributes) {
+      if (at.readonly) continue;
+      if (!IsStringType(at.type) && !IsSequenceType(at.type)) continue;
+      Report("HL003", LintSeverity::kWarning, at.line, at.column,
+             "view-mapped interface '" + iface.name + "': attribute '" +
+                 at.name + "' has a setter that stores a " +
+                 (IsStringType(at.type) ? "string" : "sequence") +
+                 " across dispatches — servants must copy view "
+                 "parameters before storing them (views die with the "
+                 "dispatch; see DESIGN.md §4g)");
+    }
+  }
+
+  // HL004: names that collide only *after* the C++ mapping. Sema
+  // already rejects raw-name duplicates (own and inherited); this
+  // checks the names the generator will actually emit: operations keep
+  // their spelling, attributes expand to Get<Name>/Set<Name>.
+  void CheckMappedNames(const InterfaceDecl& iface) {
+    struct Member {
+      std::string describe;  // "operation 'GetButton'"
+      int line = 0;
+      int column = 0;
+      bool inherited = false;
+    };
+    std::map<std::string, Member> mapped;
+
+    auto add = [&](const std::string& cpp_name, Member member) {
+      auto [it, inserted] = mapped.emplace(cpp_name, member);
+      if (inserted) return;
+      if (member.inherited && it->second.inherited) return;
+      // Report at the non-inherited site (own members win the blame).
+      const Member& at = member.inherited ? it->second : member;
+      const Member& other = member.inherited ? member : it->second;
+      Report("HL004", LintSeverity::kError, at.line, at.column,
+             "interface '" + iface.name + "': " + at.describe +
+                 " maps to C++ member '" + cpp_name + "', which collides "
+                 "with " + other.describe +
+                 (other.inherited ? " inherited from a base interface"
+                                  : "") +
+                 " after the heidi_cpp mapping");
+    };
+
+    auto add_members = [&](const InterfaceDecl& from, bool inherited) {
+      for (const OperationDecl& op : from.operations) {
+        add(op.name, Member{"operation '" + op.name + "'", op.line,
+                            op.column, inherited});
+      }
+      for (const AttributeDecl& at : from.attributes) {
+        std::string cap = Capitalize(at.name);
+        Member getter{"the generated getter of attribute '" + at.name + "'",
+                      at.line, at.column, inherited};
+        add("Get" + cap, getter);
+        if (!at.readonly) {
+          Member setter{"the generated setter of attribute '" + at.name +
+                            "'",
+                        at.line, at.column, inherited};
+          add("Set" + cap, setter);
+        }
+      }
+    };
+
+    add_members(iface, /*inherited=*/false);
+    std::vector<const InterfaceDecl*> bases;
+    CollectBases(iface, bases);
+    for (const InterfaceDecl* base : bases) {
+      add_members(*base, /*inherited=*/true);
+    }
+  }
+
+  // HL006: every non-"*" entry of --view-interfaces must name an
+  // interface that exists, else the zero-copy selection silently maps
+  // nothing and every "view" dispatch still copies.
+  void CheckViewSelection() {
+    for (const std::string& raw : str::Split(options_.view_interfaces, ',')) {
+      std::string want(str::Trim(raw));
+      if (want.empty() || want == "*") continue;
+      bool found = false;
+      for (const InterfaceDecl* iface : interfaces_) {
+        if (want == iface->name || want == iface->ScopedName() ||
+            want == iface->FlatName()) {
+          found = true;
+          break;
+        }
+      }
+      if (!found) {
+        Report("HL006", LintSeverity::kWarning, 0, 0,
+               "--view-interfaces names '" + want +
+                   "', which matches no interface in this file — the "
+                   "view mapping will not be applied anywhere");
+      }
+    }
+  }
+
+  const idl::Specification& spec_;
+  const LintOptions& options_;
+  std::vector<const InterfaceDecl*> interfaces_;
+  LintResult result_;
+};
+
+}  // namespace
+
+std::string_view LintSeverityName(LintSeverity severity) {
+  return severity == LintSeverity::kError ? "error" : "warning";
+}
+
+std::string FormatLintDiag(const LintDiag& diag) {
+  std::ostringstream os;
+  os << diag.file;
+  if (diag.line > 0) {
+    os << ":" << diag.line;
+    if (diag.column > 0) os << ":" << diag.column;
+  }
+  os << ": " << LintSeverityName(diag.severity) << ": " << diag.message
+     << " [" << diag.code << "]";
+  return os.str();
+}
+
+LintResult Lint(const idl::Specification& spec, const LintOptions& options,
+                const std::vector<idl::ContractDiag>& contract_diags) {
+  Linter linter(spec, options);
+  return linter.Run(contract_diags);
+}
+
+LintResult LintSource(std::string_view source, std::string source_name,
+                      const LintOptions& options) {
+  idl::Specification spec = idl::Parse(source, std::move(source_name));
+  std::vector<idl::ContractDiag> contract_diags;
+  idl::Resolve(spec, [&contract_diags](const idl::ContractDiag& d) {
+    contract_diags.push_back(d);
+  });
+  return Lint(spec, options, contract_diags);
+}
+
+}  // namespace heidi::codegen

@@ -1,0 +1,98 @@
+// `idlc --lint` — the static safety layer for custom mappings.
+//
+// The view mapping (DESIGN.md §4f) trades copies for lifetime contracts:
+// a view-mapped servant receives non-owning windows over the request
+// frame, valid only for the dispatch that produced them. The runtime
+// enforces that contract with debug poisoning — after the fact, at a
+// crash site. This pass enforces what it can *before* any code is
+// generated: it walks the resolved IDL AST together with the mapping
+// configuration (the same `viewInterfaces` selection the generator uses)
+// and reports structured file:line:col diagnostics with stable codes.
+//
+// Diagnostic codes (documented in DESIGN.md §4g):
+//
+//   HL001 error    view-mapped out/inout parameter — a view is a
+//                  read-only window; the owned fallback silently
+//                  reintroduces the copies the mapping was selected to
+//                  eliminate, so the contract rejects the signature.
+//   HL002 error    oneway operation with an out/inout parameter, a
+//                  non-void result, or a raises clause — nothing can
+//                  travel back on a oneway.
+//   HL003 warning  view mapping on an interface with an attribute
+//                  setter of string/sequence type — the setter stores
+//                  values across dispatches, the very pattern that
+//                  dangles a view parameter stored alongside it.
+//   HL004 error    duplicate/shadowed member name after the C++
+//                  mapping — e.g. an operation `GetButton` colliding
+//                  with the generated getter of attribute `button`.
+//   HL005 error    incopy parameter mapped to a view — incopy grants
+//                  the callee retention, a view forbids it.
+//   HL006 warning  --view-interfaces names an interface that does not
+//                  exist in the file (configuration drift).
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "idl/ast.h"
+#include "idl/sema.h"  // ContractDiag: sema's contract-check reports
+
+namespace heidi::codegen {
+
+enum class LintSeverity : uint8_t { kWarning, kError };
+
+std::string_view LintSeverityName(LintSeverity severity);  // "warning"/"error"
+
+struct LintDiag {
+  std::string code;  // "HL001" ... — stable across releases
+  LintSeverity severity = LintSeverity::kError;
+  std::string file;
+  int line = 0;
+  int column = 0;
+  std::string message;
+};
+
+// "file:line:col: error: message [HL001]" — the GCC/Clang diagnostic
+// shape, so editors and CI annotators parse it for free.
+std::string FormatLintDiag(const LintDiag& diag);
+
+struct LintOptions {
+  // Same syntax as `idlc --view-interfaces`: comma-separated interface
+  // names (plain, scoped, or flat), or "*" for all. Empty = no view
+  // mapping, so the view-contract checks (HL001/3/5/6) are idle.
+  std::string view_interfaces;
+  // Promote warnings to errors (`idlc --lint-fatal`).
+  bool warnings_are_errors = false;
+};
+
+struct LintResult {
+  std::vector<LintDiag> diags;  // sorted by line, then column, then code
+
+  bool HasErrors() const {
+    for (const auto& d : diags) {
+      if (d.severity == LintSeverity::kError) return true;
+    }
+    return false;
+  }
+  bool HasWarnings() const {
+    for (const auto& d : diags) {
+      if (d.severity == LintSeverity::kWarning) return true;
+    }
+    return false;
+  }
+};
+
+// Lints a *resolved* specification. `contract_diags` carries the
+// contract violations sema reported while resolving (see
+// idl::ContractSink); they become HL002 here. Never throws.
+LintResult Lint(const idl::Specification& spec, const LintOptions& options,
+                const std::vector<idl::ContractDiag>& contract_diags = {});
+
+// Parse + resolve (collecting contract violations instead of dying on
+// the first) + lint. Throws ParseError only for hard errors — input
+// that cannot be parsed or resolved at all.
+LintResult LintSource(std::string_view source, std::string source_name,
+                      const LintOptions& options);
+
+}  // namespace heidi::codegen

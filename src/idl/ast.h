@@ -137,6 +137,7 @@ struct Decl {
   Decl* enclosing = nullptr;  // lexical scope (module or interface); null at top level
   std::string repo_id;        // "IDL:Scope/Name:1.0", set by sema
   int line = 0;
+  int column = 0;  // 1-based column of the introducing token
 
   explicit Decl(DeclKind k) : decl_kind(k) {}
   virtual ~Decl() = default;
@@ -156,6 +157,7 @@ struct ParamDecl {
   std::string name;
   Literal default_value;  // paper extension; kNone if absent
   int line = 0;
+  int column = 0;
 };
 
 struct OperationDecl {
@@ -166,6 +168,7 @@ struct OperationDecl {
   std::vector<std::string> raises;  // exception scoped names as written
   std::vector<const Decl*> raises_resolved;  // filled by sema
   int line = 0;
+  int column = 0;
 };
 
 struct AttributeDecl {
@@ -173,6 +176,7 @@ struct AttributeDecl {
   TypeRef type;
   std::string name;
   int line = 0;
+  int column = 0;
 };
 
 // Interface members in source order, so generated code can preserve or
@@ -216,6 +220,7 @@ struct StructField {
   TypeRef type;
   std::string name;
   int line = 0;
+  int column = 0;
 };
 
 struct StructDecl : Decl {
@@ -236,6 +241,7 @@ struct UnionCase {
   TypeRef type;
   std::string name;
   int line = 0;
+  int column = 0;
 };
 
 struct UnionDecl : Decl {

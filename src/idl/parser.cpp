@@ -82,6 +82,7 @@ class Parser {
   std::unique_ptr<Decl> ParseModule() {
     auto mod = std::make_unique<ModuleDecl>();
     mod->line = Peek().line;
+    mod->column = Peek().column;
     Expect(Tok::kKwModule, "starting module");
     mod->name = Expect(Tok::kIdentifier, "naming module").text;
     Expect(Tok::kLBrace, "opening module body");
@@ -96,17 +97,20 @@ class Parser {
 
   std::unique_ptr<Decl> ParseInterfaceOrForward() {
     int line = Peek().line;
+    int column = Peek().column;
     Expect(Tok::kKwInterface, "starting interface");
     std::string name = Expect(Tok::kIdentifier, "naming interface").text;
     if (Match(Tok::kSemicolon)) {
       auto fwd = std::make_unique<ForwardInterfaceDecl>();
       fwd->name = std::move(name);
       fwd->line = line;
+      fwd->column = column;
       return fwd;
     }
     auto iface = std::make_unique<InterfaceDecl>();
     iface->name = std::move(name);
     iface->line = line;
+    iface->column = column;
     if (Match(Tok::kColon)) {
       iface->base_names.push_back(ParseScopedName());
       while (Match(Tok::kComma)) {
@@ -140,6 +144,7 @@ class Parser {
   void ParseAttribute(InterfaceDecl& iface) {
     AttributeDecl attr;
     attr.line = Peek().line;
+    attr.column = Peek().column;
     attr.readonly = Match(Tok::kKwReadonly);
     Expect(Tok::kKwAttribute, "starting attribute");
     attr.type = ParseType(/*allow_void=*/false);
@@ -161,6 +166,7 @@ class Parser {
   void ParseOperation(InterfaceDecl& iface) {
     OperationDecl op;
     op.line = Peek().line;
+    op.column = Peek().column;
     op.oneway = Match(Tok::kKwOneway);
     op.return_type = ParseType(/*allow_void=*/true);
     op.name = Expect(Tok::kIdentifier, "naming operation").text;
@@ -185,6 +191,7 @@ class Parser {
   ParamDecl ParseParam() {
     ParamDecl param;
     param.line = Peek().line;
+    param.column = Peek().column;
     switch (Peek().kind) {
       case Tok::kKwIn: param.direction = ParamDir::kIn; break;
       case Tok::kKwOut: param.direction = ParamDir::kOut; break;
@@ -204,6 +211,7 @@ class Parser {
   std::unique_ptr<Decl> ParseEnum() {
     auto en = std::make_unique<EnumDecl>();
     en->line = Peek().line;
+    en->column = Peek().column;
     Expect(Tok::kKwEnum, "starting enum");
     en->name = Expect(Tok::kIdentifier, "naming enum").text;
     Expect(Tok::kLBrace, "opening enum body");
@@ -225,12 +233,14 @@ class Parser {
       if (Check(Tok::kEof)) Fail("unterminated body");
       StructField field;
       field.line = Peek().line;
+    field.column = Peek().column;
       field.type = ParseType(/*allow_void=*/false);
       field.name = Expect(Tok::kIdentifier, "naming member").text;
       fields.push_back(field);
       while (Match(Tok::kComma)) {
         StructField extra;
         extra.line = Peek().line;
+    extra.column = Peek().column;
         extra.type = field.type;
         extra.name = Expect(Tok::kIdentifier, "naming member").text;
         fields.push_back(std::move(extra));
@@ -244,6 +254,7 @@ class Parser {
   std::unique_ptr<Decl> ParseStruct() {
     auto st = std::make_unique<StructDecl>();
     st->line = Peek().line;
+    st->column = Peek().column;
     Expect(Tok::kKwStruct, "starting struct");
     st->name = Expect(Tok::kIdentifier, "naming struct").text;
     st->fields = ParseFieldBlock("opening struct body");
@@ -257,6 +268,7 @@ class Parser {
   std::unique_ptr<Decl> ParseUnion() {
     auto un = std::make_unique<UnionDecl>();
     un->line = Peek().line;
+    un->column = Peek().column;
     Expect(Tok::kKwUnion, "starting union");
     un->name = Expect(Tok::kIdentifier, "naming union").text;
     Expect(Tok::kKwSwitch, "after union name");
@@ -268,6 +280,7 @@ class Parser {
       if (Check(Tok::kEof)) Fail("unterminated union body");
       UnionCase arm;
       arm.line = Peek().line;
+    arm.column = Peek().column;
       bool saw_label = false;
       while (true) {
         if (Match(Tok::kKwCase)) {
@@ -299,6 +312,7 @@ class Parser {
   std::unique_ptr<Decl> ParseException() {
     auto ex = std::make_unique<ExceptionDecl>();
     ex->line = Peek().line;
+    ex->column = Peek().column;
     Expect(Tok::kKwException, "starting exception");
     ex->name = Expect(Tok::kIdentifier, "naming exception").text;
     ex->fields = ParseFieldBlock("opening exception body");
@@ -309,6 +323,7 @@ class Parser {
   std::unique_ptr<Decl> ParseTypedef() {
     auto td = std::make_unique<TypedefDecl>();
     td->line = Peek().line;
+    td->column = Peek().column;
     Expect(Tok::kKwTypedef, "starting typedef");
     td->type = ParseType(/*allow_void=*/false);
     td->name = Expect(Tok::kIdentifier, "naming typedef").text;
@@ -320,6 +335,7 @@ class Parser {
   std::unique_ptr<Decl> ParseConst() {
     auto cd = std::make_unique<ConstDecl>();
     cd->line = Peek().line;
+    cd->column = Peek().column;
     Expect(Tok::kKwConst, "starting const");
     cd->type = ParseType(/*allow_void=*/false);
     cd->name = Expect(Tok::kIdentifier, "naming const").text;

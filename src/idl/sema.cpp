@@ -23,7 +23,8 @@ struct Entry {
 
 class Sema {
  public:
-  explicit Sema(Specification& spec) : spec_(spec) {}
+  explicit Sema(Specification& spec, const ContractSink& sink)
+      : spec_(spec), sink_(sink) {}
 
   void Run() {
     for (auto& d : spec_.decls) Collect(*d, /*enclosing=*/nullptr);
@@ -35,6 +36,17 @@ class Sema {
     std::ostringstream os;
     os << spec_.source_name << ":" << line << ": " << msg;
     throw ParseError(os.str());
+  }
+
+  // Contract violation: reported through the sink when one is installed
+  // (and resolution continues), thrown as a hard error otherwise.
+  void Contract(ContractDiag::Check check, int line, int column,
+                const std::string& msg) {
+    if (sink_) {
+      sink_(ContractDiag{check, line, column, msg});
+      return;
+    }
+    Fail(line, msg);
   }
 
   static std::string ScopePrefix(const Decl* enclosing) {
@@ -384,18 +396,22 @@ class Sema {
       if (op.oneway) {
         if (!(op.return_type.kind == TypeRef::Kind::kPrimitive &&
               op.return_type.prim == PrimKind::kVoid)) {
-          Fail(op.line, "oneway operation '" + op.name + "' must return void");
+          Contract(ContractDiag::Check::kOnewayNonVoidResult, op.line,
+                   op.column,
+                   "oneway operation '" + op.name + "' must return void");
         }
         for (const auto& p : op.params) {
           if (p.direction == ParamDir::kOut ||
               p.direction == ParamDir::kInOut) {
-            Fail(p.line, "oneway operation '" + op.name +
-                             "' cannot have out/inout parameters");
+            Contract(ContractDiag::Check::kOnewayOutParam, p.line, p.column,
+                     "oneway operation '" + op.name +
+                         "' cannot have out/inout parameters");
           }
         }
         if (!op.raises.empty()) {
-          Fail(op.line,
-               "oneway operation '" + op.name + "' cannot raise exceptions");
+          Contract(ContractDiag::Check::kOnewayRaises, op.line, op.column,
+                   "oneway operation '" + op.name +
+                       "' cannot raise exceptions");
         }
       }
       for (const std::string& r : op.raises) {
@@ -505,13 +521,14 @@ class Sema {
   }
 
   Specification& spec_;
+  const ContractSink& sink_;
   std::map<std::string, Entry> table_;
 };
 
 }  // namespace
 
-void Resolve(Specification& spec) {
-  Sema sema(spec);
+void Resolve(Specification& spec, const ContractSink& sink) {
+  Sema sema(spec, sink);
   sema.Run();
 }
 

@@ -19,6 +19,7 @@
 //    collide with inherited ones (CORBA forbids overloading/redefinition).
 #pragma once
 
+#include <functional>
 #include <string>
 #include <string_view>
 
@@ -26,8 +27,33 @@
 
 namespace heidi::idl {
 
-// Resolves and checks `spec` in place.
-void Resolve(Specification& spec);
+// A *contract* violation found during Resolve: the tree is structurally
+// sound (every name resolves, every literal type-checks) but a declared
+// operation breaks an invocation-model rule — today, the oneway rules.
+// Hard errors (unresolved names, duplicate declarations, malformed
+// literals) always throw ParseError; contract violations are routed
+// through a sink so batch tooling (`idlc --lint`) can collect them all
+// with source positions instead of dying on the first one.
+struct ContractDiag {
+  enum class Check : uint8_t {
+    kOnewayNonVoidResult,   // oneway operation with a non-void result
+    kOnewayOutParam,        // oneway operation with an out/inout parameter
+    kOnewayRaises,          // oneway operation with a raises clause
+  };
+  Check check;
+  int line = 0;
+  int column = 0;
+  std::string message;  // human-readable, without source position
+};
+
+// Receives each contract violation as it is found. Resolution continues
+// after the callback returns, so one pass reports every violation.
+using ContractSink = std::function<void(const ContractDiag&)>;
+
+// Resolves and checks `spec` in place. With no sink, contract violations
+// throw ParseError exactly like hard errors (the historical behavior);
+// with a sink they are reported and resolution continues.
+void Resolve(Specification& spec, const ContractSink& sink = nullptr);
 
 // Convenience: parse + resolve.
 Specification ParseAndResolve(std::string_view source,

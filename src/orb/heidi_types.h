@@ -10,6 +10,7 @@
 #include <string>
 #include <string_view>
 
+#include "support/annotations.h"  // HEIDI_VIEW_PARAM in generated signatures
 #include "support/error.h"  // RemoteError: base of generated exceptions
 #include "support/hdlist.h"
 #include "support/typeinfo.h"
@@ -29,5 +30,9 @@ using HdString = std::string;
 // View-mapping types (idlc --view-interfaces): non-owning windows over
 // the retained request frame, valid only for the duration of the
 // dispatch that produced them — implementations copy what they keep.
+// As std::string_view aliases they are [[gsl::Pointer]] types, so
+// clang's -Wdangling-gsl already rejects statement-local escapes;
+// generated signatures additionally tag each view parameter with
+// HEIDI_VIEW_PARAM (support/annotations.h) for external tooling.
 using HdStringView = std::string_view;
 using HdBytesView = std::string_view;

@@ -1,0 +1,59 @@
+// Static-safety annotations for the view-lifetime contract (DESIGN.md
+// §4g). The runtime hands out non-owning views over dispatch-scoped
+// storage (the retained request frame, the dispatch arena); these macros
+// teach the compiler the lifetime rules the runtime otherwise only
+// enforces with debug poisoning, so an escaping view is a *compile-time*
+// diagnostic under clang (-Wdangling, -Wreturn-stack-address,
+// -Wdangling-gsl) instead of a runtime 0xDD crash.
+//
+// Every macro degrades to nothing on compilers without the underlying
+// attribute — GCC builds see identical signatures and zero -Wattributes
+// noise. The negative-compilation suite (tests/static/) proves the
+// clang diagnostics actually fire; cases that need a clang-only
+// attribute are skipped on other toolchains.
+#pragma once
+
+#if defined(__has_cpp_attribute)
+
+// Binds the returned reference/view to the lifetime of the annotated
+// parameter — or, placed after a member function's parameter list, to
+// the object itself. `Arena::CopyString` returns a view into the arena:
+// annotating `this` makes `return local_arena.CopyString(s);` a
+// -Wreturn-stack-address error under clang.
+#if __has_cpp_attribute(clang::lifetimebound)
+#define HEIDI_LIFETIMEBOUND [[clang::lifetimebound]]
+#endif
+
+// Marks a hand-written class type as a non-owning view for clang's
+// statement-local dangling analysis (-Wdangling-gsl). HdStringView and
+// HdBytesView inherit the behavior for free as std::string_view
+// aliases; this macro exists for future view wrappers that are not.
+#if __has_cpp_attribute(gsl::Pointer)
+#define HEIDI_VIEW_TYPE [[gsl::Pointer(char)]]
+#endif
+
+// Tags a generated view-mode parameter for external tooling: the value
+// is a window over the request frame and must not be stored past the
+// dispatch. clang-tidy / clang-query checks match on the annotation
+// string; the compiler itself ignores it.
+#if __has_cpp_attribute(clang::annotate)
+#define HEIDI_VIEW_PARAM [[clang::annotate("heidi::view_param")]]
+#endif
+
+#endif  // defined(__has_cpp_attribute)
+
+#ifndef HEIDI_LIFETIMEBOUND
+#define HEIDI_LIFETIMEBOUND
+#endif
+#ifndef HEIDI_VIEW_TYPE
+#define HEIDI_VIEW_TYPE
+#endif
+#ifndef HEIDI_VIEW_PARAM
+#define HEIDI_VIEW_PARAM
+#endif
+
+// Discarding these return values is always a bug (a dropped arena
+// handle, an ignored view that cost a retain): plain C++17 attribute,
+// active on every compiler. The message parameter keeps the diagnostic
+// actionable at the call site.
+#define HEIDI_NODISCARD(msg) [[nodiscard(msg)]]

@@ -30,6 +30,7 @@
 #include <string_view>
 #include <vector>
 
+#include "support/annotations.h"
 #include "support/bytes.h"
 
 namespace heidi::support {
@@ -44,15 +45,24 @@ class Arena {
   Arena(const Arena&) = delete;
   Arena& operator=(const Arena&) = delete;
 
-  // Never returns null. `align` must be a power of two.
-  void* Allocate(size_t n, size_t align = alignof(std::max_align_t));
-  char* AllocateChars(size_t n) {
+  // Never returns null. `align` must be a power of two. The returned
+  // storage lives exactly as long as this arena (until Reset()/dtor) —
+  // lifetimebound lets clang flag pointers that outlive it.
+  HEIDI_NODISCARD("arena storage leaks its slab space if unused")
+  void* Allocate(size_t n,
+                 size_t align = alignof(std::max_align_t)) HEIDI_LIFETIMEBOUND;
+  HEIDI_NODISCARD("arena storage leaks its slab space if unused")
+  char* AllocateChars(size_t n) HEIDI_LIFETIMEBOUND {
     return static_cast<char*>(Allocate(n, 1));
   }
 
   // Copies `s` into arena storage and returns a view of the copy —
-  // the allocation-free twin of RetainForView's heap deque.
-  std::string_view CopyString(std::string_view s);
+  // the allocation-free twin of RetainForView's heap deque. The view
+  // dies with the arena: returning it past the dispatch is the exact
+  // escape the 0xDD poisoning catches at runtime, and lifetimebound
+  // catches at compile time.
+  HEIDI_NODISCARD("the copy exists only to be viewed")
+  std::string_view CopyString(std::string_view s) HEIDI_LIFETIMEBOUND;
 
   // Hands the seed slab's remaining free tail to reply staging: syncs
   // the slab's Size() past this arena's scratch cursor and returns the
@@ -60,6 +70,9 @@ class Arena {
   // tail was already donated). After donation the arena stops bumping
   // inside the seed region — later allocations go to overflow slabs —
   // so the chain's append region and the arena never interleave.
+  // Dropping the returned slab forfeits the zero-pool-traffic reply
+  // path (and the donated region) for this dispatch.
+  HEIDI_NODISCARD("dropping the donated tail wastes the seed slab")
   bytes::IoBufPtr DonateTail();
 
   // Rewinds to empty, dropping overflow/oversize slabs back to the pool

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "obs/metrics.h"
+#include "support/annotations.h"
 
 namespace heidi::bytes {
 
@@ -44,13 +45,13 @@ class IoBuf {
   IoBuf(const IoBuf&) = delete;
   IoBuf& operator=(const IoBuf&) = delete;
 
-  char* Data() { return data_; }
-  const char* Data() const { return data_; }
+  char* Data() HEIDI_LIFETIMEBOUND { return data_; }
+  const char* Data() const HEIDI_LIFETIMEBOUND { return data_; }
   size_t Capacity() const { return capacity_; }
 
   size_t Size() const { return size_; }
   size_t Remaining() const { return capacity_ - size_; }
-  char* WritePtr() { return data_ + size_; }
+  char* WritePtr() HEIDI_LIFETIMEBOUND { return data_ + size_; }
   void Advance(size_t n) { size_ += n; }
 
   // Observability hook (tests assert deferred release of retained
@@ -133,6 +134,7 @@ class IoBufPool {
 
   // Never returns null. The slab's Size() is 0 and the caller is its
   // exclusive owner until it shares references.
+  HEIDI_NODISCARD("a dropped slab is an immediate pool round-trip")
   IoBufPtr Get(size_t min_capacity = kSlabBytes);
 
   struct Stats {
@@ -191,8 +193,14 @@ struct BufSlice {
   uint32_t offset = 0;
   uint32_t length = 0;
 
-  const char* Data() const { return buf->Data() + offset; }
-  std::string_view View() const { return {Data(), length}; }
+  // The window is only guaranteed while this slice holds its slab
+  // reference — tie the pointer/view lifetimes to the slice.
+  const char* Data() const HEIDI_LIFETIMEBOUND {
+    return buf->Data() + offset;
+  }
+  std::string_view View() const HEIDI_LIFETIMEBOUND {
+    return {Data(), length};
+  }
 };
 
 // An ordered sequence of slices — the unit protocols marshal into and
@@ -222,7 +230,9 @@ class BufferChain {
 
   size_t Size() const { return size_; }
   bool Empty() const { return size_ == 0; }
-  const std::vector<BufSlice>& Slices() const { return slices_; }
+  const std::vector<BufSlice>& Slices() const HEIDI_LIFETIMEBOUND {
+    return slices_;
+  }
 
   // Drops every slice reference (slabs with no other holder return to
   // the pool).

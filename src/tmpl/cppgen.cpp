@@ -239,10 +239,13 @@ std::string ViewMode(const std::string& flat_name, const MapContext& ctx) {
 
 // CPP::MapParamTypeView — like MapParamType, but viewable `in`
 // strings/octet sequences become non-owning view types.
+// The view types carry a HEIDI_VIEW_PARAM tag (support/annotations.h,
+// reachable from every generated file via orb/heidi_types.h): inert for
+// the compiler, matchable by clang-tidy/clang-query lifetime tooling.
 std::string MapParamTypeView(const std::string& spell, const MapContext& ctx) {
   ParamCtx p = MakeParamCtx(spell, ctx);
-  if (IsViewableString(p)) return "HdStringView";
-  if (IsViewableBytes(p, ctx)) return "HdBytesView";
+  if (IsViewableString(p)) return "HEIDI_VIEW_PARAM HdStringView";
+  if (IsViewableBytes(p, ctx)) return "HEIDI_VIEW_PARAM HdBytesView";
   return MapParamType(spell, ctx);
 }
 

@@ -65,8 +65,8 @@ class BinaryCall final : public Call {
   double GetDouble() override;
   std::string GetString() override;
   std::string GetBytes() override;
-  std::string_view GetStringView() override;
-  std::string_view GetBytesView() override;
+  std::string_view GetStringView() HEIDI_LIFETIMEBOUND override;
+  std::string_view GetBytesView() HEIDI_LIFETIMEBOUND override;
 
   void Begin(std::string_view label) override;
   void End() override;

@@ -20,6 +20,7 @@
 #include <string_view>
 
 #include "obs/trace.h"
+#include "support/annotations.h"
 #include "support/arena.h"
 #include "support/bytes.h"
 
@@ -172,9 +173,18 @@ class Call {
   // call keeps). The copying GetString/GetBytes remain the compatibility
   // surface; these are the fast path. The base implementations fall back
   // to copy-and-retain so custom Call subclasses inherit correct —
-  // merely not zero-copy — behavior.
-  virtual std::string_view GetStringView() { return RetainForView(GetString()); }
-  virtual std::string_view GetBytesView() { return RetainForView(GetBytes()); }
+  // merely not zero-copy — behavior. The views die with this call (or
+  // with the dispatch arena, whichever ends first): lifetimebound makes
+  // clang reject views taken from a temporary or returned past a local
+  // call, and nodiscard catches a view whose retain was paid for nothing.
+  HEIDI_NODISCARD("an unconsumed view still pays its retain")
+  virtual std::string_view GetStringView() HEIDI_LIFETIMEBOUND {
+    return RetainForView(GetString());
+  }
+  HEIDI_NODISCARD("an unconsumed view still pays its retain")
+  virtual std::string_view GetBytesView() HEIDI_LIFETIMEBOUND {
+    return RetainForView(GetBytes());
+  }
 
   // --- structuring ---------------------------------------------------------
   // Writing: open/close a named group. Reading: consume and verify the
@@ -223,7 +233,7 @@ class Call {
   // scratch (freed wholesale when the dispatch ends); otherwise storage
   // is a lazily created deque — calls that never hand out a fallback
   // view pay nothing.
-  std::string_view RetainForView(std::string value) {
+  std::string_view RetainForView(std::string value) HEIDI_LIFETIMEBOUND {
     if (arena_ != nullptr) return arena_->CopyString(value);
     if (retained_ == nullptr) {
       retained_ = std::make_unique<std::deque<std::string>>();

@@ -62,8 +62,8 @@ class TextCall final : public Call {
   std::string GetBytes() override;
   // Unescaped tokens are viewed in place (zero-copy); tokens containing
   // a '%' escape are decoded once and retained on the call.
-  std::string_view GetStringView() override;
-  std::string_view GetBytesView() override;
+  std::string_view GetStringView() HEIDI_LIFETIMEBOUND override;
+  std::string_view GetBytesView() HEIDI_LIFETIMEBOUND override;
 
   void Begin(std::string_view label) override;
   void End() override;

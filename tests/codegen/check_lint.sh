@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Lint golden check: `idlc --lint` over the deliberately unsafe corpus
+# (bad.idl) must produce goldens/lint/bad.txt byte for byte and exit 1,
+# and a clean file (src/demo/demo.idl, under its real view selection)
+# must stay silent and exit 0. A diff here means a diagnostic's
+# spelling, order, or line:col anchor changed — if intentional,
+# regenerate:
+#
+#   (cd tests/codegen && ../../build/examples/idlc --lint \
+#       --view-interfaces Bad,Phantom bad.idl > goldens/lint/bad.txt 2>&1)
+#
+# Usage: check_lint.sh [path-to-idlc]   (default: build/examples/idlc)
+set -euo pipefail
+
+ROOT="$(cd "$(dirname "$0")/../.." && pwd)"
+IDLC="${1:-$ROOT/build/examples/idlc}"
+# Resolve to an absolute path: the checks below cd into tests/codegen,
+# which would break a caller-relative binary path.
+case "$IDLC" in /*) ;; *) IDLC="$(pwd)/$IDLC" ;; esac
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+# Run from tests/codegen so diagnostics print the bare file name the
+# golden pins (the path in each diagnostic is the path idlc was given).
+cd "$ROOT/tests/codegen"
+
+status=0
+"$IDLC" --lint --view-interfaces Bad,Phantom bad.idl \
+    > "$TMP/bad.txt" 2>&1 || status=$?
+if [[ "$status" -ne 1 ]]; then
+  echo "FAIL: lint of bad.idl exited $status, want 1" >&2
+  cat "$TMP/bad.txt" >&2
+  exit 1
+fi
+diff -u goldens/lint/bad.txt "$TMP/bad.txt"
+
+# --lint-fatal promotes the HL003/HL006 warnings: same corpus minus the
+# errors must flip from exit 0 to exit 1.
+status=0
+"$IDLC" --lint "$ROOT/src/demo/demo.idl" > "$TMP/clean.txt" 2>&1 || status=$?
+if [[ "$status" -ne 0 || -s "$TMP/clean.txt" ]]; then
+  echo "FAIL: lint of demo.idl exited $status with output:" >&2
+  cat "$TMP/clean.txt" >&2
+  exit 1
+fi
+
+status=0
+"$IDLC" --lint --view-interfaces Echo "$ROOT/src/demo/demo.idl" \
+    > "$TMP/clean_view.txt" 2>&1 || status=$?
+if [[ "$status" -ne 0 || -s "$TMP/clean_view.txt" ]]; then
+  echo "FAIL: view-mapped lint of demo.idl exited $status with output:" >&2
+  cat "$TMP/clean_view.txt" >&2
+  exit 1
+fi
+
+echo "lint goldens OK"

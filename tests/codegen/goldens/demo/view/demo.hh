@@ -44,12 +44,12 @@ public:
 class HdEcho : virtual public ::heidi::HdObject
 {
 public:
-  virtual HdString echo(HdStringView) = 0;
+  virtual HdString echo(HEIDI_VIEW_PARAM HdStringView) = 0;
   virtual long add(long, long) = 0;
   virtual double norm(double, double) = 0;
   virtual XBool flip(XBool) = 0;
-  virtual void post(HdStringView) = 0;
-  virtual HdString blob(HdBytesView) = 0;
+  virtual void post(HEIDI_VIEW_PARAM HdStringView) = 0;
+  virtual HdString blob(HEIDI_VIEW_PARAM HdBytesView) = 0;
   virtual ~HdEcho() { }
 };
 

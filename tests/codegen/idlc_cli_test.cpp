@@ -119,6 +119,107 @@ TEST_F(IdlcCli, MissingInputFileReported) {
   EXPECT_NE(r.output.find("cannot open"), std::string::npos);
 }
 
+TEST_F(IdlcCli, MalformedTemplateReportsPositionAndExitsNonZero) {
+  fs::path tmpl = dir_ / "broken.tmpl";
+  std::ofstream(tmpl) << "@foreach interfaceList\n${interfaceName}\n";
+  RunResult r = RunIdlc("--template " + tmpl.string() + " " + idl_path_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("broken.tmpl:2"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("missing @end"), std::string::npos) << r.output;
+}
+
+TEST_F(IdlcCli, UnknownMapFunctionReported) {
+  fs::path tmpl = dir_ / "badmap.tmpl";
+  std::ofstream(tmpl) << "@foreach interfaceList\n"
+                         "@map y NoSuch::Func interfaceName\n"
+                         "${y}\n@end\n";
+  RunResult r = RunIdlc("--template " + tmpl.string() + " " + idl_path_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown map function 'NoSuch::Func'"),
+            std::string::npos)
+      << r.output;
+}
+
+TEST_F(IdlcCli, UnknownDirectiveReported) {
+  fs::path tmpl = dir_ / "garbage.tmpl";
+  std::ofstream(tmpl) << "@garbage directive\n";
+  RunResult r = RunIdlc("--template " + tmpl.string() + " " + idl_path_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("unknown directive"), std::string::npos)
+      << r.output;
+}
+
+TEST_F(IdlcCli, TemplateDirectoryRejected) {
+  // A directory "opens" and reads as empty — it must not silently act
+  // as an empty template.
+  RunResult r = RunIdlc("--template " + dir_.string() + " " + idl_path_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("is a directory"), std::string::npos) << r.output;
+}
+
+TEST_F(IdlcCli, UnwritableOutputIsAHardError) {
+  // thing.hh exists as a *directory*, so the generated file cannot be
+  // opened — idlc must fail instead of printing "generated" over it.
+  fs::create_directories(dir_ / "thing.hh");
+  RunResult r = RunIdlc("--out " + dir_.string() + " " + idl_path_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("cannot write"), std::string::npos) << r.output;
+}
+
+TEST_F(IdlcCli, LintCleanFileExitsZeroSilently) {
+  RunResult r = RunIdlc("--lint " + idl_path_);
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_TRUE(r.output.empty()) << r.output;
+  // --lint generates nothing even on success.
+  EXPECT_FALSE(fs::exists(dir_ / "thing.hh"));
+}
+
+TEST_F(IdlcCli, LintReportsStructuredDiagnostics) {
+  std::ofstream(idl_path_)
+      << "interface Thing {\n"
+         "  void f(out string s);\n"
+         "  oneway long g(in long x);\n"
+         "};\n";
+  RunResult r = RunIdlc("--lint --view-interfaces Thing " + idl_path_);
+  EXPECT_EQ(r.exit_code, 1);
+  // file:line:col: severity: message [code] — the GCC diagnostic shape.
+  EXPECT_NE(r.output.find("thing.idl:2:"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[HL001]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("[HL002]"), std::string::npos) << r.output;
+  EXPECT_NE(r.output.find("no code generated"), std::string::npos);
+}
+
+TEST_F(IdlcCli, LintFatalPromotesWarnings) {
+  std::ofstream(idl_path_)
+      << "interface Thing { attribute string label; };\n";
+  const std::string args = "--view-interfaces Thing " + idl_path_;
+  RunResult lenient = RunIdlc("--lint " + args);
+  EXPECT_EQ(lenient.exit_code, 0) << lenient.output;
+  EXPECT_NE(lenient.output.find("warning"), std::string::npos);
+  EXPECT_NE(lenient.output.find("[HL003]"), std::string::npos);
+  RunResult fatal = RunIdlc("--lint --lint-fatal " + args);
+  EXPECT_EQ(fatal.exit_code, 1);
+  EXPECT_NE(fatal.output.find("error"), std::string::npos);
+}
+
+TEST_F(IdlcCli, LintGatesCodeGeneration) {
+  // No --lint flag: the safety layer still runs before codegen and a
+  // contract error aborts generation entirely.
+  std::ofstream(idl_path_)
+      << "interface Thing { void f(out string s); };\n";
+  RunResult r = RunIdlc("--view-interfaces Thing --out " + dir_.string() +
+                        " " + idl_path_);
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("[HL001]"), std::string::npos) << r.output;
+  EXPECT_FALSE(fs::exists(dir_ / "thing.hh"));
+  EXPECT_FALSE(fs::exists(dir_ / "thing_rmi.cc"));
+  // The same file is fine under the owned mapping: the gate is about
+  // the mapping contract, not the IDL alone.
+  RunResult owned = RunIdlc("--out " + dir_.string() + " " + idl_path_);
+  EXPECT_EQ(owned.exit_code, 0) << owned.output;
+  EXPECT_TRUE(fs::exists(dir_ / "thing.hh"));
+}
+
 TEST_F(IdlcCli, DumpTemplatesWritesFiles) {
   RunResult r = RunIdlc("--dump-templates " + (dir_ / "tmpl").string());
   EXPECT_EQ(r.exit_code, 0);

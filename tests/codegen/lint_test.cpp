@@ -1,0 +1,267 @@
+// Unit tests for the static safety layer (codegen/lint.h): one suite
+// per HLxxx code, plus the formatting/severity machinery. These go
+// through LintSource (parse + resolve-with-sink + lint) so they also
+// cover the ContractSink path that lets sema report oneway violations
+// without aborting the compile.
+#include "codegen/lint.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace heidi::codegen {
+namespace {
+
+LintResult LintIdl(std::string_view source, std::string view_interfaces = "",
+                   bool fatal = false) {
+  LintOptions options;
+  options.view_interfaces = std::move(view_interfaces);
+  options.warnings_are_errors = fatal;
+  return LintSource(source, "test.idl", options);
+}
+
+std::vector<std::string> Codes(const LintResult& result) {
+  std::vector<std::string> codes;
+  for (const LintDiag& d : result.diags) codes.push_back(d.code);
+  return codes;
+}
+
+bool HasCode(const LintResult& result, std::string_view code) {
+  for (const LintDiag& d : result.diags) {
+    if (d.code == code) return true;
+  }
+  return false;
+}
+
+// --- HL001: view-mapped out/inout parameters ------------------------------
+
+TEST(LintHL001, OutStringParamInViewInterfaceIsError) {
+  LintResult r = LintIdl("interface V { void f(out string s); };", "V");
+  ASSERT_EQ(r.diags.size(), 1u);
+  EXPECT_EQ(r.diags[0].code, "HL001");
+  EXPECT_EQ(r.diags[0].severity, LintSeverity::kError);
+  EXPECT_EQ(r.diags[0].line, 1);
+  EXPECT_GT(r.diags[0].column, 0);
+  EXPECT_TRUE(r.HasErrors());
+}
+
+TEST(LintHL001, InoutOctetSequenceThroughTypedefIsError) {
+  LintResult r = LintIdl(
+      "typedef sequence<octet> Blob;\n"
+      "interface V { void f(inout Blob b); };",
+      "V");
+  EXPECT_EQ(Codes(r), std::vector<std::string>{"HL001"});
+  EXPECT_EQ(r.diags[0].line, 2);
+}
+
+TEST(LintHL001, SilentWithoutViewMapping) {
+  EXPECT_TRUE(LintIdl("interface V { void f(out string s); };").diags.empty());
+}
+
+TEST(LintHL001, SilentForNonViewableTypes) {
+  // out long is fine: only strings/octet sequences map to views.
+  EXPECT_TRUE(
+      LintIdl("interface V { void f(out long n); };", "V").diags.empty());
+}
+
+TEST(LintHL001, StarSelectsEveryInterface) {
+  LintResult r = LintIdl("interface V { void f(out string s); };", "*");
+  EXPECT_EQ(Codes(r), std::vector<std::string>{"HL001"});
+}
+
+TEST(LintHL001, ScopedAndFlatSpellingsSelect) {
+  const char* idl = "module M { interface V { void f(out string s); }; };";
+  EXPECT_TRUE(HasCode(LintIdl(idl, "M::V"), "HL001"));
+  EXPECT_TRUE(HasCode(LintIdl(idl, "M_V"), "HL001"));
+  EXPECT_TRUE(HasCode(LintIdl(idl, "V"), "HL001"));
+}
+
+// --- HL002: oneway contract (batched from sema's ContractSink) ------------
+
+TEST(LintHL002, OnewayWithNonVoidResultIsError) {
+  LintResult r = LintIdl("interface V { oneway long f(in long x); };");
+  EXPECT_EQ(Codes(r), std::vector<std::string>{"HL002"});
+  EXPECT_TRUE(r.HasErrors());
+}
+
+TEST(LintHL002, OnewayWithOutParamIsError) {
+  LintResult r = LintIdl("interface V { oneway void f(out long x); };");
+  EXPECT_EQ(Codes(r), std::vector<std::string>{"HL002"});
+}
+
+TEST(LintHL002, OnewayWithRaisesIsError) {
+  LintResult r = LintIdl(
+      "exception E { long code; };\n"
+      "interface V { oneway void f(in long x) raises (E); };");
+  EXPECT_EQ(Codes(r), std::vector<std::string>{"HL002"});
+}
+
+TEST(LintHL002, AllOnewayViolationsAreBatched) {
+  // Three independent violations arrive in one report — the sink keeps
+  // sema resolving instead of throwing on the first.
+  LintResult r = LintIdl(
+      "interface V {\n"
+      "  oneway long a(in long x);\n"
+      "  oneway void b(out long x);\n"
+      "  oneway long c(inout long x);\n"
+      "};");
+  EXPECT_EQ(Codes(r),
+            (std::vector<std::string>{"HL002", "HL002", "HL002", "HL002"}));
+}
+
+// --- HL003: settable attributes on view-mapped interfaces -----------------
+
+TEST(LintHL003, SettableStringAttributeIsWarning) {
+  LintResult r = LintIdl("interface V { attribute string label; };", "V");
+  ASSERT_EQ(r.diags.size(), 1u);
+  EXPECT_EQ(r.diags[0].code, "HL003");
+  EXPECT_EQ(r.diags[0].severity, LintSeverity::kWarning);
+  EXPECT_FALSE(r.HasErrors());
+  EXPECT_TRUE(r.HasWarnings());
+}
+
+TEST(LintHL003, ReadonlyAttributeIsSilent) {
+  EXPECT_TRUE(
+      LintIdl("interface V { readonly attribute string label; };", "V")
+          .diags.empty());
+}
+
+TEST(LintHL003, SettableSequenceAttributeIsWarning) {
+  LintResult r = LintIdl(
+      "typedef sequence<long> Longs;\n"
+      "interface V { attribute Longs data; };",
+      "V");
+  EXPECT_EQ(Codes(r), std::vector<std::string>{"HL003"});
+}
+
+TEST(LintHL003, SettableScalarAttributeIsSilent) {
+  EXPECT_TRUE(
+      LintIdl("interface V { attribute long count; };", "V").diags.empty());
+}
+
+// --- HL004: post-mapping name collisions ----------------------------------
+
+TEST(LintHL004, OperationCollidesWithGeneratedGetter) {
+  LintResult r = LintIdl(
+      "interface V { readonly attribute long button; void GetButton(); };");
+  EXPECT_EQ(Codes(r), std::vector<std::string>{"HL004"});
+  EXPECT_TRUE(r.HasErrors());
+}
+
+TEST(LintHL004, OperationCollidesWithGeneratedSetter) {
+  LintResult r = LintIdl(
+      "interface V { attribute long button; void SetButton(in long b); };");
+  EXPECT_EQ(Codes(r), std::vector<std::string>{"HL004"});
+}
+
+TEST(LintHL004, ReadonlyAttributeGeneratesNoSetter) {
+  EXPECT_TRUE(LintIdl("interface V { readonly attribute long button; "
+                      "void SetButton(in long b); };")
+                  .diags.empty());
+}
+
+TEST(LintHL004, InheritedGetterCollides) {
+  LintResult r = LintIdl(
+      "interface Base { readonly attribute long tag; };\n"
+      "interface V : Base { void GetTag(); };");
+  ASSERT_EQ(Codes(r), std::vector<std::string>{"HL004"});
+  // Blame lands on the derived operation, not the inherited attribute.
+  EXPECT_EQ(r.diags[0].line, 2);
+}
+
+TEST(LintHL004, TwoAttributesCollidingByCapitalization) {
+  // `button` and `Button` survive sema (distinct raw names) but both
+  // map their getter to GetButton.
+  LintResult r = LintIdl(
+      "interface V { readonly attribute long button; "
+      "readonly attribute long Button; };");
+  EXPECT_EQ(Codes(r), std::vector<std::string>{"HL004"});
+}
+
+TEST(LintHL004, DistinctNamesAreSilent) {
+  EXPECT_TRUE(LintIdl("interface V { readonly attribute long button; "
+                      "void Press(); };")
+                  .diags.empty());
+}
+
+// --- HL005: incopy parameters under the view mapping ----------------------
+
+TEST(LintHL005, IncopyStringInViewInterfaceIsError) {
+  LintResult r = LintIdl("interface V { void f(incopy string s); };", "V");
+  ASSERT_EQ(Codes(r), std::vector<std::string>{"HL005"});
+  EXPECT_EQ(r.diags[0].severity, LintSeverity::kError);
+}
+
+TEST(LintHL005, IncopyIsFineWithoutViewMapping) {
+  EXPECT_TRUE(
+      LintIdl("interface V { void f(incopy string s); };").diags.empty());
+}
+
+// --- HL006: --view-interfaces configuration drift -------------------------
+
+TEST(LintHL006, UnknownViewInterfaceIsWarning) {
+  LintResult r = LintIdl("interface V { void f(in string s); };", "V,Ghost");
+  ASSERT_EQ(Codes(r), std::vector<std::string>{"HL006"});
+  EXPECT_EQ(r.diags[0].severity, LintSeverity::kWarning);
+  EXPECT_EQ(r.diags[0].line, 0);  // no source anchor: it is a flag problem
+}
+
+TEST(LintHL006, StarNeverWarns) {
+  EXPECT_TRUE(
+      LintIdl("interface V { void f(in string s); };", "*").diags.empty());
+}
+
+// --- severity machinery ---------------------------------------------------
+
+TEST(LintSeverityTest, LintFatalPromotesWarningsToErrors) {
+  const char* idl = "interface V { attribute string label; };";
+  EXPECT_FALSE(LintIdl(idl, "V").HasErrors());
+  LintResult fatal = LintIdl(idl, "V", /*fatal=*/true);
+  EXPECT_TRUE(fatal.HasErrors());
+  EXPECT_FALSE(fatal.HasWarnings());
+}
+
+TEST(LintSeverityTest, DiagsAreSortedBySourcePosition) {
+  LintResult r = LintIdl(
+      "interface V {\n"
+      "  oneway long z(in long x);\n"
+      "  void f(out string s);\n"
+      "  attribute string label;\n"
+      "};",
+      "V");
+  ASSERT_EQ(r.diags.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      r.diags.begin(), r.diags.end(),
+      [](const LintDiag& a, const LintDiag& b) { return a.line < b.line; }));
+  EXPECT_EQ(Codes(r), (std::vector<std::string>{"HL002", "HL001", "HL003"}));
+}
+
+TEST(LintFormatTest, DiagnosticShapeIsGccLike) {
+  LintDiag diag{"HL001", LintSeverity::kError, "a.idl", 3, 14, "boom"};
+  EXPECT_EQ(FormatLintDiag(diag), "a.idl:3:14: error: boom [HL001]");
+  LintDiag flag{"HL006", LintSeverity::kWarning, "a.idl", 0, 0, "drift"};
+  EXPECT_EQ(FormatLintDiag(flag), "a.idl: warning: drift [HL006]");
+}
+
+TEST(LintFormatTest, SeverityNames) {
+  EXPECT_EQ(LintSeverityName(LintSeverity::kError), "error");
+  EXPECT_EQ(LintSeverityName(LintSeverity::kWarning), "warning");
+}
+
+// A fully clean interface stays clean under every option combination.
+TEST(LintCleanTest, ViewFriendlyInterfaceIsSilent) {
+  const char* idl =
+      "typedef sequence<octet> Payload;\n"
+      "interface Echo {\n"
+      "  string echo(in string msg);\n"
+      "  string blob(in Payload data);\n"
+      "  oneway void post(in string event);\n"
+      "  readonly attribute string name;\n"
+      "};";
+  EXPECT_TRUE(LintIdl(idl).diags.empty());
+  EXPECT_TRUE(LintIdl(idl, "Echo").diags.empty());
+  EXPECT_TRUE(LintIdl(idl, "Echo", /*fatal=*/true).diags.empty());
+}
+
+}  // namespace
+}  // namespace heidi::codegen

@@ -69,8 +69,8 @@ INSTANTIATE_TEST_SUITE_P(
     AllStrategies, DispatchStrategies,
     ::testing::Values(DispatchStrategy::kLinear, DispatchStrategy::kBinary,
                       DispatchStrategy::kHash),
-    [](const ::testing::TestParamInfo<DispatchStrategy>& info) {
-      return std::string(DispatchStrategyName(info.param));
+    [](const ::testing::TestParamInfo<DispatchStrategy>& param_info) {
+      return std::string(DispatchStrategyName(param_info.param));
     });
 
 TEST(DispatchTable, DuplicateNameThrows) {

@@ -172,8 +172,8 @@ TEST_P(FaultMatrixTest, ChaosCallsSucceedOrFailCleanly) {
 
 INSTANTIATE_TEST_SUITE_P(
     Protocols, FaultMatrixTest, ::testing::Values("text", "hiop"),
-    [](const ::testing::TestParamInfo<std::string>& info) {
-      return info.param;
+    [](const ::testing::TestParamInfo<std::string>& param_info) {
+      return param_info.param;
     });
 
 }  // namespace

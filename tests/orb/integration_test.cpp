@@ -311,8 +311,9 @@ INSTANTIATE_TEST_SUITE_P(
     Combos, Integration,
     ::testing::Values(Combo{"text", "tcp"}, Combo{"text", "inproc"},
                       Combo{"hiop", "tcp"}, Combo{"hiop", "inproc"}),
-    [](const ::testing::TestParamInfo<Combo>& info) {
-      return std::string(info.param.protocol) + "_" + info.param.transport;
+    [](const ::testing::TestParamInfo<Combo>& param_info) {
+      return std::string(param_info.param.protocol) + "_" +
+             param_info.param.transport;
     });
 
 }  // namespace

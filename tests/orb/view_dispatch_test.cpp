@@ -146,6 +146,63 @@ TEST(ViewDispatchTest, EscapedViewReadsPoisonAfterInvalidate) {
 }
 #endif  // NDEBUG
 
+#ifndef NDEBUG
+TEST(ViewDispatchTest, TextEscapedViewReadsPoisonAfterInvalidate) {
+  // Same contract as the hiop escape test, on the other protocol: a
+  // text-protocol view points into the call's token storage, and
+  // InvalidateViews poisons that storage when the dispatch ends.
+  const wire::Protocol* protocol = wire::FindProtocol("text");
+  ASSERT_NE(protocol, nullptr);
+  const std::string msg = "plain token view that must not escape";
+  auto request = FrameRequest(protocol, msg);
+
+  Orb orb;
+  CapturingEcho impl;
+  demo::Echo_skel skel(orb, &impl);
+
+  support::Arena arena;
+  request->AttachArena(&arena);
+  auto reply = protocol->NewCall();
+  reply->AttachArena(&arena);
+  ASSERT_TRUE(skel.Dispatch("echo", *request, *reply));
+  ASSERT_NE(impl.seen_data, nullptr);
+  EXPECT_EQ(impl.seen_data[0], msg[0]);
+
+  request->InvalidateViews();
+  EXPECT_EQ(static_cast<unsigned char>(impl.seen_data[0]), 0xDD);
+  EXPECT_EQ(static_cast<unsigned char>(impl.seen_data[impl.seen_size - 1]),
+            0xDD);
+}
+
+TEST(ViewDispatchTest, TextArenaBackedViewReadsPoisonAfterArenaReset) {
+  // An escaped payload ('%' forms) unescapes into the dispatch arena;
+  // the arena poisons its scratch on Reset, so a view stored past the
+  // dispatch reads 0xDD from this path too.
+  const wire::Protocol* protocol = wire::FindProtocol("text");
+  const std::string msg = "100% escaped\ttoken\nthat must not escape";
+  auto request = FrameRequest(protocol, msg);
+
+  Orb orb;
+  CapturingEcho impl;
+  demo::Echo_skel skel(orb, &impl);
+
+  support::Arena arena;
+  request->AttachArena(&arena);
+  auto reply = protocol->NewCall();
+  reply->AttachArena(&arena);
+  ASSERT_TRUE(skel.Dispatch("echo", *request, *reply));
+  ASSERT_NE(impl.seen_data, nullptr);
+  EXPECT_EQ(impl.seen_value, msg);
+  EXPECT_EQ(impl.seen_data[0], msg[0]);
+
+  // Detach before the arena goes away, as the dispatch loop does.
+  request->AttachArena(nullptr);
+  reply->AttachArena(nullptr);
+  arena.Reset();
+  EXPECT_EQ(static_cast<unsigned char>(impl.seen_data[0]), 0xDD);
+}
+#endif  // NDEBUG
+
 TEST(ViewDispatchTest, TextProtocolUnescapesIntoArena) {
   // The text protocol has no retained frame; escaped tokens ('%' forms)
   // unescape into the dispatch arena instead of a per-call heap deque.

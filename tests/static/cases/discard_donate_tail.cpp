@@ -1,0 +1,10 @@
+// Arena::DonateTail is HEIDI_NODISCARD and one-shot: dropping the
+// returned slab forfeits the donated region for the whole dispatch —
+// the reply silently falls back to pool traffic the caller thought it
+// had eliminated.
+// STATIC-EXPECT: nodiscard|ignoring return value|unused result
+#include "support/arena.h"
+
+void DropTail(heidi::support::Arena& arena) {
+  arena.DonateTail();  // the zero-copy reply path just evaporated
+}

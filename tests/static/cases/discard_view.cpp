@@ -1,0 +1,12 @@
+// Get*View is HEIDI_NODISCARD: a discarded view still pays its retain
+// (an arena copy or a deque entry), so ignoring the result is always a
+// bug — either dead code or a misunderstood unmarshal. clang-only: GCC
+// 12 does not diagnose a discarded call to a *virtual* nodiscard member
+// (non-virtual ones warn fine — see discard_donate_tail.cpp).
+// STATIC-REQUIRES: clang
+// STATIC-EXPECT: nodiscard|ignoring return value|unused result
+#include "wire/call.h"
+
+void SkipStringArg(heidi::wire::Call& call) {
+  call.GetStringView();  // paid for a view, threw it away
+}

@@ -1,0 +1,34 @@
+// Positive control: the *correct* servant patterns must stay warning-
+// free under the exact flags the failing cases use — copy a view into
+// owned storage before keeping it, consume every view, keep the arena
+// alive as long as its storage.
+// STATIC-OK
+#include <string>
+
+#include "orb/heidi_types.h"
+#include "support/arena.h"
+#include "wire/call.h"
+
+class CopyingServant {
+ public:
+  void Remember(HEIDI_VIEW_PARAM HdStringView v) { last_ = HdString(v); }
+  const HdString& last() const { return last_; }
+
+ private:
+  HdString last_;  // owned: outlives every dispatch by construction
+};
+
+std::string ConsumeView(heidi::wire::Call& call) {
+  return std::string(call.GetStringView());  // copied before it escapes
+}
+
+std::string_view ViewIntoLiveArena(heidi::support::Arena& arena,
+                                   std::string_view s) {
+  return arena.CopyString(s);  // caller owns the arena: view stays valid
+}
+
+char* ScratchFromLiveArena(heidi::support::Arena& arena) {
+  char* p = arena.AllocateChars(16);
+  p[0] = '\0';
+  return p;
+}

@@ -1,0 +1,15 @@
+// Storing dispatch data by reference member, bound to a temporary that
+// dies when the constructor exits. Both GCC (-Wextra) and clang
+// (-Wdangling-field) reject this under -Werror, so the case runs on
+// every toolchain the library builds with.
+// STATIC-EXPECT: temporary
+#include "orb/heidi_types.h"
+
+class RefServant {
+ public:
+  RefServant() : label_(HdString("boom")) {}  // dies at ctor exit
+  const HdString& label() const { return label_; }
+
+ private:
+  const HdString& label_;
+};

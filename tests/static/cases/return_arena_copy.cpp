@@ -1,0 +1,14 @@
+// Arena::CopyString is HEIDI_LIFETIMEBOUND: the returned view lives
+// exactly as long as the arena. Returning it past a local arena is the
+// same bug the runtime's 0xDD poisoning catches at dispatch end — here
+// it must already fail to compile.
+// STATIC-REQUIRES: clang
+// STATIC-EXPECT: dangling|stack|address
+#include <string_view>
+
+#include "support/arena.h"
+
+std::string_view LeakArenaCopy(std::string_view s) {
+  heidi::support::Arena arena;
+  return arena.CopyString(s);  // view into a dying arena
+}

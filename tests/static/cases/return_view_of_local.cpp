@@ -1,0 +1,14 @@
+// A view-mode servant method returning a view of its own local string —
+// the canonical escape: the HdString dies with the stack frame, the
+// caller reads freed memory. HdStringView is a std::string_view alias
+// ([[gsl::Pointer]]), so clang's statement-local lifetime analysis
+// rejects the return.
+// STATIC-REQUIRES: clang
+// STATIC-EXPECT: dangling|stack|temporary
+#include "orb/heidi_types.h"
+
+HdStringView EchoUpper(HEIDI_VIEW_PARAM HdStringView msg) {
+  HdString owned(msg);
+  for (char& c : owned) c = static_cast<char>(c & ~0x20);
+  return owned;  // view of a local — must not compile
+}

@@ -1,0 +1,17 @@
+// A servant "copying" a view parameter into a member — via a temporary
+// HdString that dies before the constructor body runs, leaving the
+// stored view pointing at freed memory. clang's -Wdangling-field
+// rejects initializing a gsl::Pointer member from a temporary owner.
+// STATIC-REQUIRES: clang
+// STATIC-EXPECT: dangling|temporary
+#include "orb/heidi_types.h"
+
+class StickyServant {
+ public:
+  explicit StickyServant(HEIDI_VIEW_PARAM HdStringView v)
+      : last_(HdString(v)) {}  // view of a temporary copy — must not compile
+  HdStringView last() const { return last_; }
+
+ private:
+  HdStringView last_;
+};

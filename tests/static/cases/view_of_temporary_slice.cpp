@@ -1,0 +1,16 @@
+// BufSlice::View() is HEIDI_LIFETIMEBOUND: the window is only good
+// while the slice holds its slab reference. Taking a view off a
+// temporary slice drops that reference at the end of the full
+// expression — the view dangles immediately.
+// STATIC-REQUIRES: clang
+// STATIC-EXPECT: dangling|full-expression|temporary
+#include <string_view>
+
+#include "support/bytes.h"
+
+heidi::bytes::BufSlice FirstSlice();
+
+std::string_view PeekFirst() {
+  std::string_view v = FirstSlice().View();  // slice dies, view survives
+  return v;
+}

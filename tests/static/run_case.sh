@@ -1,0 +1,72 @@
+#!/usr/bin/env bash
+# Negative-compilation runner: compiles one case file against the real
+# runtime headers and asserts the *compiler* enforces the view-lifetime
+# contract (DESIGN.md §4g).
+#
+# Case files are self-describing through comment directives:
+#
+#   // STATIC-OK                    positive control — must compile clean
+#   // STATIC-REQUIRES: clang      skip (exit 77) unless the compiler
+#                                   matches; lifetimebound/dangling
+#                                   analysis is clang-only
+#   // STATIC-EXPECT: <ERE>        compilation must FAIL, and stderr
+#                                   must match this extended regex
+#                                   (repeatable; all must match)
+#
+# Usage: run_case.sh <cxx> <cxx-id> <repo-root> <case.cpp>
+# Exit: 0 pass, 77 skipped (ctest SKIP_RETURN_CODE), 1 fail.
+set -u
+
+CXX="$1"
+CXX_ID="$2"
+ROOT="$3"
+CASE="$4"
+
+req="$(sed -n 's/.*STATIC-REQUIRES:[[:space:]]*\([A-Za-z+]*\).*/\1/p' "$CASE" | head -1)"
+if [[ -n "$req" ]]; then
+  case "$(printf '%s' "$CXX_ID" | tr '[:upper:]' '[:lower:]')" in
+    *"$(printf '%s' "$req" | tr '[:upper:]' '[:lower:]')"*) ;;
+    *)
+      echo "SKIP: case requires '$req', compiler is '$CXX_ID' ($CXX)"
+      exit 77
+      ;;
+  esac
+fi
+
+# Same dialect and warning floor as the library build (-Wall -Wextra),
+# plus -Werror: the contract holds only if the diagnostic is fatal.
+out="$("$CXX" -std=c++20 -fsyntax-only -I"$ROOT/src" \
+        -Wall -Wextra -Werror "$CASE" 2>&1)"
+status=$?
+
+if grep -q 'STATIC-OK' "$CASE"; then
+  if [[ $status -ne 0 ]]; then
+    echo "FAIL: positive control did not compile:"
+    printf '%s\n' "$out"
+    exit 1
+  fi
+  echo "PASS: compiled clean"
+  exit 0
+fi
+
+if [[ $status -eq 0 ]]; then
+  echo "FAIL: known-bad code compiled — the static contract has a hole"
+  exit 1
+fi
+
+failed=0
+while IFS= read -r pattern; do
+  [[ -z "$pattern" ]] && continue
+  if ! printf '%s\n' "$out" | grep -Eq -- "$pattern"; then
+    echo "FAIL: compiler output does not match /$pattern/"
+    failed=1
+  fi
+done < <(sed -n 's/.*STATIC-EXPECT:[[:space:]]*//p' "$CASE")
+
+if [[ $failed -ne 0 ]]; then
+  printf '%s\n' "$out"
+  exit 1
+fi
+
+echo "PASS: rejected with the expected diagnostic"
+exit 0

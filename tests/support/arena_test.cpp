@@ -53,7 +53,7 @@ TEST(ArenaTest, AlignmentIsOnThePointer) {
   // Odd frame size so the scratch base is misaligned on purpose.
   auto slab = MakeFrame(pool, 33);
   Arena arena(slab, &pool);
-  arena.AllocateChars(1);
+  (void)arena.AllocateChars(1);
   void* p = arena.Allocate(8, 8);
   EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % 8, 0u);
   void* q = arena.Allocate(16, 16);
@@ -109,7 +109,7 @@ TEST(ArenaTest, ResetRewindsAndReleasesOverflow) {
 
   void* first = arena.Allocate(64, 8);
   // Burn through the seed tail to force pooled overflow slabs.
-  for (int i = 0; i < 3; ++i) arena.Allocate(kSlab / 2);
+  for (int i = 0; i < 3; ++i) (void)arena.Allocate(kSlab / 2);
   EXPECT_GE(arena.GetStats().slab_refills, 1u);
   uint64_t recycles_before = pool.GetStats().recycles;
   arena.Reset();
@@ -144,7 +144,7 @@ TEST(ArenaTest, DonateTailSyncsSlabAndIsOneShot) {
   // Post-donation allocations leave the slab's high-water mark alone
   // (they must not interleave with the donated append region).
   size_t size_after_donation = slab->Size();
-  arena.Allocate(512);
+  (void)arena.Allocate(512);
   EXPECT_EQ(slab->Size(), size_after_donation);
 }
 

@@ -123,9 +123,9 @@ INSTANTIATE_TEST_SUITE_P(
     Protocols, ProtocolFuzz,
     ::testing::Values(FuzzParams{"text", 11}, FuzzParams{"text", 12},
                       FuzzParams{"hiop", 11}, FuzzParams{"hiop", 12}),
-    [](const ::testing::TestParamInfo<FuzzParams>& info) {
-      return std::string(info.param.protocol) + "_seed" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<FuzzParams>& param_info) {
+      return std::string(param_info.param.protocol) + "_seed" +
+             std::to_string(param_info.param.seed);
     });
 
 TEST(ServerFuzz, GarbageSpewingPeersDoNotTakeTheServerDown) {

@@ -148,9 +148,9 @@ INSTANTIATE_TEST_SUITE_P(
                       CaseParams{"text", 3}, CaseParams{"text", 4},
                       CaseParams{"hiop", 1}, CaseParams{"hiop", 2},
                       CaseParams{"hiop", 3}, CaseParams{"hiop", 4}),
-    [](const ::testing::TestParamInfo<CaseParams>& info) {
-      return std::string(info.param.protocol) + "_seed" +
-             std::to_string(info.param.seed);
+    [](const ::testing::TestParamInfo<CaseParams>& param_info) {
+      return std::string(param_info.param.protocol) + "_seed" +
+             std::to_string(param_info.param.seed);
     });
 
 }  // namespace
