@@ -7,7 +7,9 @@
 // transport isolates protocol cost from kernel socket cost.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <atomic>
+#include <vector>
 
 #include "bench_report.h"
 #include "demo/demo.h"
@@ -21,15 +23,19 @@ using heidi::orb::Orb;
 using heidi::orb::OrbOptions;
 
 struct World {
-  World(const char* protocol, bool tcp) {
+  World(const char* protocol, bool tcp,
+        std::shared_ptr<heidi::obs::Tracer> tracer =
+            heidi::bench::GlobalTracer()) {
     heidi::demo::ForceDemoRegistration();
     static std::atomic<int> counter{0};
     int id = counter.fetch_add(1);
     OrbOptions server_options;
     server_options.protocol = protocol;
     // Observability per HEIDI_BENCH_TRACER: off (baseline), never
-    // (histograms on, timelines sampled out), always (full timelines).
-    server_options.tracer = heidi::bench::GlobalTracer();
+    // (histograms on, timelines sampled out), always (full timelines),
+    // tail (provisional recording + completion-time promotion) — or an
+    // explicit tracer for A/B pairs measured inside one run.
+    server_options.tracer = std::move(tracer);
     OrbOptions client_options = server_options;
     if (!tcp) {
       server_options.inproc_name = "bench-server-" + std::to_string(id);
@@ -104,6 +110,78 @@ void BM_CallOneway(benchmark::State& state) {
   state.SetLabel(std::string(protocol) + "/tcp oneway");
 }
 BENCHMARK(BM_CallOneway)->Arg(0)->Arg(1)->UseRealTime();
+
+// Tail-retention overhead A/B: the same inproc add-call workload against
+// three worlds — no tracer at all ("off"), a tracer with tracing off
+// ("metrics": SampleMode::kNever, the always-on metrics layer that
+// predates tail retention and runs regardless of retention policy), and
+// a tail-retention tracer that additionally records every call into the
+// provisional ring and judges it at completion ("tail"). One iteration
+// makes one call into EACH world, per-call latencies are timed manually,
+// and the three p50s come out as counters: interleaving cancels machine
+// drift and the median cuts scheduler outliers, so check_bench.py can
+// hold ratios steady even on a noisy runner.
+//
+// Two gated ratios (see check_bench.py):
+//   tail_p50 / metrics_p50 <= 1.05 — what *tail retention* adds on top
+//     of the metrics layer a tracing-off deployment already runs: the
+//     provisional span machinery itself. This is the tail-retention
+//     overhead budget.
+//   tail_p50 / off_p50 <= 1.20 — the whole observability stack
+//     (metrics + tail spans) against a bare ORB, a coarser envelope
+//     guarding against regressions in the always-on layer.
+//
+// The tail world's own ring counters prove the mechanism engaged
+// (provisional ~2/call: client + server span) without promoting the
+// healthy workload (retained ~0).
+void BM_TailRetentionOverhead(benchmark::State& state) {
+  auto metrics_tracer =
+      std::make_shared<heidi::obs::Tracer>(heidi::obs::TracerOptions{
+          .mode = heidi::obs::SampleMode::kNever});
+  auto tail_tracer = std::make_shared<heidi::obs::Tracer>(
+      heidi::obs::TracerOptions{.retention = heidi::obs::MakeTailRetention()});
+  World off_world("text", /*tcp=*/false, nullptr);
+  World metrics_world("text", /*tcp=*/false, metrics_tracer);
+  World tail_world("text", /*tcp=*/false, tail_tracer);
+  std::vector<int64_t> off_ns;
+  std::vector<int64_t> metrics_ns;
+  std::vector<int64_t> tail_ns;
+  off_ns.reserve(1 << 16);
+  metrics_ns.reserve(1 << 16);
+  tail_ns.reserve(1 << 16);
+  long i = 0;
+  for (auto _ : state) {
+    int64_t t0 = heidi::obs::NowNs();
+    benchmark::DoNotOptimize(off_world.echo->add(i, i));
+    int64_t t1 = heidi::obs::NowNs();
+    benchmark::DoNotOptimize(metrics_world.echo->add(i, i));
+    int64_t t2 = heidi::obs::NowNs();
+    benchmark::DoNotOptimize(tail_world.echo->add(i, i));
+    int64_t t3 = heidi::obs::NowNs();
+    off_ns.push_back(t1 - t0);
+    metrics_ns.push_back(t2 - t1);
+    tail_ns.push_back(t3 - t2);
+    ++i;
+  }
+  auto p50 = [](std::vector<int64_t>& v) {
+    if (v.empty()) return 0.0;
+    auto mid = v.begin() + static_cast<long>(v.size() / 2);
+    std::nth_element(v.begin(), mid, v.end());
+    return static_cast<double>(*mid);
+  };
+  state.counters["off_p50_ns"] = p50(off_ns);
+  state.counters["metrics_p50_ns"] = p50(metrics_ns);
+  state.counters["tail_p50_ns"] = p50(tail_ns);
+  double per = state.iterations() > 0
+                   ? static_cast<double>(state.iterations())
+                   : 1.0;
+  state.counters["tail_provisional_per_op"] =
+      static_cast<double>(tail_tracer->ProvisionalRing().Recorded()) / per;
+  state.counters["tail_retained_per_op"] =
+      static_cast<double>(tail_tracer->Ring().Recorded()) / per;
+  state.SetLabel("text/inproc off-vs-metrics-vs-tail interleaved");
+}
+BENCHMARK(BM_TailRetentionOverhead)->UseRealTime();
 
 // Interceptor ablation (§5 filters pattern): cost of N no-op client and
 // N no-op server interceptors on the invocation path.

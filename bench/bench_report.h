@@ -8,6 +8,9 @@
 //                histograms live, span timelines off — the production
 //                configuration whose overhead the <5% budget bounds
 //        always  every call carries a sampled span timeline
+//        tail    tail-based retention: every call recorded provisionally
+//                (local span, no wire context), promoted to the retained
+//                ring only when it erred/retried/timed out/was slow
 //   2. BENCH_<name>.json next to the binary's cwd: per-benchmark
 //      iterations and ns/op, plus call-latency p50/p99 computed from the
 //      tracer's own op.* histograms (bucket-delta per benchmark run), and
@@ -60,6 +63,10 @@ inline const std::shared_ptr<obs::Tracer>& GlobalTracer() {
       return std::make_shared<obs::Tracer>(
           obs::TracerOptions{.mode = obs::SampleMode::kAlways,
                              .ring_capacity = 16384});
+    }
+    if (mode == "tail") {
+      return std::make_shared<obs::Tracer>(
+          obs::TracerOptions{.retention = obs::MakeTailRetention()});
     }
     return std::shared_ptr<obs::Tracer>();  // "off"
   }();
@@ -149,7 +156,20 @@ class JsonReporter : public benchmark::ConsoleReporter {
            ",\"outstanding_bytes\":" + std::to_string(pool.outstanding_bytes) +
            "}";
     if (GlobalTracer() != nullptr) {
-      out += ",\n  \"metrics\":" + GlobalTracer()->Metrics().RenderJson();
+      // Tail-retention overhead counters: how many spans the provisional
+      // ring absorbed vs how many the policy actually promoted. For a
+      // healthy benchmark workload retained should be a small fraction
+      // of provisional (only p99-threshold outliers survive).
+      const obs::Tracer& tracer = *GlobalTracer();
+      out += ",\n  \"tail\":{\"provisional_recorded\":" +
+             std::to_string(tracer.ProvisionalRing().Recorded()) +
+             ",\"provisional_dropped\":" +
+             std::to_string(tracer.ProvisionalRing().Dropped()) +
+             ",\"retained_recorded\":" +
+             std::to_string(tracer.Ring().Recorded()) +
+             ",\"retained_dropped\":" +
+             std::to_string(tracer.Ring().Dropped()) + "}";
+      out += ",\n  \"metrics\":" + tracer.Metrics().RenderJson();
     }
     out += "\n}\n";
     return out;

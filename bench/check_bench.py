@@ -19,6 +19,25 @@ Two kinds of invariants, checked per benchmark entry (matched by name):
      exceed baseline * tolerance (default 5x — CI runners are noisy,
      this catches order-of-magnitude regressions, not jitter).
 
+  3. Tail-retention overhead (in-run A/B, machine-independent ratio).
+     When a fresh report carries BM_TailRetentionOverhead — per
+     iteration, one call each into a bare world (no tracer), a
+     tracing-off world (tracer with SampleMode::kNever: the always-on
+     metrics layer only), and a tail-retention world, per-call
+     latencies timed in-benchmark — two ratios are held:
+       - tail_p50_ns / metrics_p50_ns <= CHECK_BENCH_TAIL_TOLERANCE
+         (default 1.05): the tail-retention budget. Tail retention is
+         a layer on top of the always-on metrics registry, so its
+         overhead is measured against the tracing-off configuration
+         that already runs those metrics.
+       - tail_p50_ns / off_p50_ns <= CHECK_BENCH_OBS_TOLERANCE
+         (default 1.20): the whole observability stack against a bare
+         ORB — a coarser envelope so a regression in the metrics layer
+         itself cannot hide under the tail gate.
+     The tail world's counters must also show the mechanism engaged
+     (tail_provisional_per_op >= 1) without promoting the healthy
+     workload wholesale (tail_retained_per_op <= 0.25).
+
 Usage:
   python3 bench/check_bench.py [--baseline-dir bench/baselines]
       [--fresh-dir .] [--tolerance 5.0] [name ...]
@@ -35,6 +54,10 @@ import sys
 POOL_MISS_EPS = 0.01   # "~0 misses per op" — allows stray warmup slabs
 HEAP_ALLOC_EPS = 0.05  # "~0 heap allocs per op" — allows harness noise
 MIN_LATENCY_NS = 50.0  # below this, ratios are timer noise; skip
+
+TAIL_AB = "BM_TailRetentionOverhead/real_time"
+TAIL_RETAINED_MAX = 0.25   # healthy calls must mostly not be promoted
+TAIL_PROVISIONAL_MIN = 1.0  # every call must hit the provisional ring
 
 
 def load_report(path):
@@ -90,12 +113,64 @@ def check_report(name, baseline_path, fresh_path, tolerance):
                     f"{got_v:.0f}ns vs baseline {base_v:.0f}ns "
                     f"(tolerance {tolerance}x)")
 
+    failures.extend(check_tail_pair(name, fresh))
+
     extras = sorted(set(fresh) - set(baseline))
     if extras:
         notes.append(f"{name}: {len(extras)} benchmark(s) not in baseline "
                      f"(unchecked): {', '.join(extras[:5])}"
                      + ("..." if len(extras) > 5 else ""))
     return failures, notes
+
+
+def check_tail_pair(name, fresh):
+    """Tail-retention overhead gate on the in-run A/B entry (see §3 above).
+
+    The ratios are p50-vs-p50 of interleaved calls from one process, so
+    they are immune to machine speed and scheduler outliers; only genuine
+    per-call overhead regressions trip them.
+    """
+    entry = fresh.get(TAIL_AB)
+    if entry is None:
+        return []
+    failures = []
+    tail_tol = float(os.environ.get("CHECK_BENCH_TAIL_TOLERANCE", "1.05"))
+    obs_tol = float(os.environ.get("CHECK_BENCH_OBS_TOLERANCE", "1.20"))
+    off_ns = entry.get("off_p50_ns")
+    metrics_ns = entry.get("metrics_p50_ns")
+    tail_ns = entry.get("tail_p50_ns")
+    if metrics_ns and tail_ns and metrics_ns >= MIN_LATENCY_NS:
+        ratio = tail_ns / metrics_ns
+        if ratio > tail_tol:
+            failures.append(
+                f"{name}: tail-retention p50 overhead {ratio:.3f}x over "
+                f"tracing-off/metrics-only ({tail_ns:.0f}ns vs "
+                f"{metrics_ns:.0f}ns, budget {tail_tol}x)")
+        else:
+            print(f"ok: {name} tail-retention p50 overhead {ratio:.3f}x "
+                  f"over tracing-off (budget {tail_tol}x)")
+    if off_ns and tail_ns and off_ns >= MIN_LATENCY_NS:
+        ratio = tail_ns / off_ns
+        if ratio > obs_tol:
+            failures.append(
+                f"{name}: observability-stack p50 overhead {ratio:.3f}x "
+                f"over bare ORB ({tail_ns:.0f}ns vs {off_ns:.0f}ns, "
+                f"envelope {obs_tol}x)")
+        else:
+            print(f"ok: {name} observability-stack p50 overhead "
+                  f"{ratio:.3f}x over bare ORB (envelope {obs_tol}x)")
+    provisional = entry.get("tail_provisional_per_op")
+    if provisional is not None and provisional < TAIL_PROVISIONAL_MIN:
+        failures.append(
+            f"{name}: tail_provisional_per_op {provisional:.3f} < "
+            f"{TAIL_PROVISIONAL_MIN} — provisional recording not engaged")
+    retained = entry.get("tail_retained_per_op")
+    if retained is not None and retained > TAIL_RETAINED_MAX:
+        failures.append(
+            f"{name}: tail_retained_per_op {retained:.3f} > "
+            f"{TAIL_RETAINED_MAX} — tail policy is promoting the healthy "
+            f"workload wholesale")
+    return failures
 
 
 def main():

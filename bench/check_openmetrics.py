@@ -1,0 +1,160 @@
+#!/usr/bin/env python3
+"""Validate an OpenMetrics text exposition (stdlib only).
+
+CI scrapes the demo server's /metrics endpoint and runs this over the
+body; it holds the exposition to the subset of the OpenMetrics grammar a
+Prometheus scraper depends on:
+
+  * every non-comment line is `name[{labels}] value`;
+  * every sample belongs to a family declared by a preceding `# TYPE`;
+  * counter samples use the `_total` suffix;
+  * histogram families expose `le` buckets with non-decreasing
+    cumulative counts, a `+Inf` bucket, and `_sum`/`_count` samples
+    where the `+Inf` bucket equals `_count`;
+  * the exposition ends with exactly one `# EOF` line, and nothing
+    follows it.
+
+Usage: check_openmetrics.py [file]     (defaults to stdin)
+Exits non-zero with one line per violation.
+"""
+
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r" (?P<value>[^ ]+)$")
+LABEL_RE = re.compile(r'^([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"$')
+
+
+def base_family(name, families):
+    """Strip a recognized sample suffix down to its declared family."""
+    for suffix in ("_total", "_bucket", "_sum", "_count", ""):
+        if suffix and not name.endswith(suffix):
+            continue
+        family = name[:len(name) - len(suffix)] if suffix else name
+        if family in families:
+            return family, suffix
+    return None, None
+
+
+def check(text):
+    errors = []
+    families = {}  # name -> type
+    buckets = {}   # family -> list of (le, count)
+    sums = {}
+    counts = {}
+    eof_seen = False
+
+    lines = text.split("\n")
+    if lines and lines[-1] == "":
+        lines.pop()
+    for lineno, line in enumerate(lines, 1):
+        if eof_seen:
+            errors.append(f"line {lineno}: content after # EOF")
+            break
+        if line == "# EOF":
+            eof_seen = True
+            continue
+        if line.startswith("#"):
+            parts = line.split(" ", 3)
+            if len(parts) >= 4 and parts[1] == "TYPE":
+                families[parts[2]] = parts[3]
+            elif len(parts) >= 2 and parts[1] in ("HELP", "UNIT"):
+                pass
+            else:
+                errors.append(f"line {lineno}: malformed comment: {line!r}")
+            continue
+        m = SAMPLE_RE.match(line)
+        if m is None:
+            errors.append(f"line {lineno}: not a sample line: {line!r}")
+            continue
+        name = m.group("name")
+        try:
+            value = float(m.group("value"))
+        except ValueError:
+            errors.append(f"line {lineno}: non-numeric value: {line!r}")
+            continue
+        labels = {}
+        if m.group("labels"):
+            for pair in m.group("labels").split(","):
+                lm = LABEL_RE.match(pair)
+                if lm is None:
+                    errors.append(f"line {lineno}: bad label {pair!r}")
+                else:
+                    labels[lm.group(1)] = lm.group(2)
+        family, suffix = base_family(name, families)
+        if family is None:
+            errors.append(f"line {lineno}: sample {name!r} has no "
+                          f"preceding # TYPE declaration")
+            continue
+        ftype = families[family]
+        if ftype == "counter" and suffix != "_total":
+            errors.append(f"line {lineno}: counter sample {name!r} "
+                          f"must use the _total suffix")
+        if ftype == "histogram":
+            if suffix == "_bucket":
+                le = labels.get("le")
+                if le is None:
+                    errors.append(f"line {lineno}: histogram bucket "
+                                  f"without le label")
+                else:
+                    buckets.setdefault(family, []).append((le, value))
+            elif suffix == "_sum":
+                sums[family] = value
+            elif suffix == "_count":
+                counts[family] = value
+            else:
+                errors.append(f"line {lineno}: unexpected histogram "
+                              f"sample {name!r}")
+        if ftype in ("counter",) and value < 0:
+            errors.append(f"line {lineno}: negative counter {name!r}")
+
+    if not eof_seen:
+        errors.append("exposition does not end with # EOF")
+
+    for family, series in buckets.items():
+        les = [le for le, _ in series]
+        if "+Inf" not in les:
+            errors.append(f"histogram {family!r}: no +Inf bucket")
+        prev = -1.0
+        for le, value in series:
+            if value < prev:
+                errors.append(f"histogram {family!r}: bucket le={le} "
+                              f"count {value} below previous {prev} "
+                              f"(buckets must be cumulative)")
+            prev = value
+        if family not in counts:
+            errors.append(f"histogram {family!r}: missing _count")
+        elif ("+Inf", counts[family]) not in series:
+            inf = next((v for le, v in series if le == "+Inf"), None)
+            if inf is not None and inf != counts[family]:
+                errors.append(f"histogram {family!r}: +Inf bucket {inf} "
+                              f"!= _count {counts[family]}")
+        if family not in sums:
+            errors.append(f"histogram {family!r}: missing _sum")
+
+    return errors, len(families)
+
+
+def main():
+    if len(sys.argv) > 1:
+        with open(sys.argv[1]) as f:
+            text = f.read()
+    else:
+        text = sys.stdin.read()
+    errors, nfamilies = check(text)
+    for error in errors:
+        print(f"FAIL: {error}")
+    if nfamilies == 0:
+        print("FAIL: no metric families in exposition")
+        return 1
+    if errors:
+        return 1
+    print(f"ok: valid OpenMetrics exposition ({nfamilies} families)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

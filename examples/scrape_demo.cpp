@@ -1,0 +1,74 @@
+// Scrape demo — a demo server with the OpenMetrics endpoint enabled
+// (OrbOptions::metrics_listen), used by CI's scrape smoke test and as
+// the minimal "how do I hook this up to Prometheus" reference.
+//
+// Usage: scrape_demo [metrics_port] [seconds]
+//
+// Starts a text-protocol Echo server with a tail-retention tracer, runs
+// a burst of local traffic (some of it intentionally slow/erroring so
+// the scrape shows non-trivial numbers), prints
+//
+//   METRICS_PORT=<port>
+//
+// on stdout, and keeps serving scrapes for <seconds> (default 10).
+// While it is up:
+//
+//   curl http://127.0.0.1:<port>/metrics   # OpenMetrics exposition
+//   curl http://127.0.0.1:<port>/flight    # flight-recorder JSONL
+#include <chrono>
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <thread>
+
+#include "demo/demo.h"
+#include "obs/retention.h"
+#include "obs/tracer.h"
+#include "orb/orb.h"
+
+using namespace heidi;
+
+int main(int argc, char** argv) {
+  demo::ForceDemoRegistration();
+  int metrics_port = argc > 1 ? std::atoi(argv[1]) : 0;
+  int seconds = argc > 2 ? std::atoi(argv[2]) : 10;
+
+  auto tracer = std::make_shared<obs::Tracer>();
+  orb::OrbOptions options;
+  options.tracer = tracer;
+  options.retention = obs::MakeTailRetention();
+  options.metrics_listen = metrics_port;
+  orb::Orb server(options);
+  server.ListenTcp();
+  demo::EchoImpl impl;
+  orb::ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+  demo::ThrowingEcho bad;
+  orb::ObjectRef bad_ref = server.ExportObject(&bad, "IDL:Heidi/Echo:1.0");
+
+  // Local traffic so the exposition carries real counters/histograms.
+  {
+    orb::OrbOptions client_options;
+    client_options.tracer = tracer;
+    client_options.retention = obs::MakeTailRetention();
+    orb::Orb client(client_options);
+    auto echo = client.ResolveAs<HdEcho>(ref.ToString());
+    for (int i = 0; i < 200; ++i) {
+      echo->echo("scrape me " + std::to_string(i));
+      echo->add(i, i + 1);
+    }
+    // A few erroring calls so tail retention has something to keep.
+    auto thrower = client.ResolveAs<HdEcho>(bad_ref.ToString());
+    for (int i = 0; i < 3; ++i) {
+      try {
+        thrower->add(1, 2);
+      } catch (const std::exception&) {
+      }
+    }
+    client.Shutdown();
+  }
+
+  std::cout << "METRICS_PORT=" << server.MetricsPort() << std::endl;
+  std::this_thread::sleep_for(std::chrono::seconds(seconds));
+  server.Shutdown();
+  return 0;
+}

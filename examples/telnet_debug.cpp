@@ -15,6 +15,7 @@
 //   metrics         per-operation / per-stage latency histograms
 //   trace i:<n>     the last <n> span timelines from the trace ring
 //   pool            zero-copy buffer pool state (hits, misses, retained)
+//   flight          black-box flight recorder (JSONL event journal)
 //
 // and — because trace context is itself a text header line — the human
 // can hand-type a `trace:` line to inject a sampled trace context and
@@ -68,6 +69,11 @@ class DebugImpl : public virtual HdObject {
     return out.str();
   }
 
+  // The black-box journal (connection lifecycle, retries, fault
+  // triggers, pressure events) as JSONL — what you read first when a
+  // server died and all you have is a telnet prompt.
+  std::string Flight() const { return orb_->DumpFlightRecorder(); }
+
   std::string Trace(long n) const {
     std::vector<obs::SpanRecord> spans = tracer_->Snapshot();
     size_t count = n < 0 ? 0 : static_cast<size_t>(n);
@@ -112,6 +118,9 @@ class Debug_skel : public orb::HdSkeleton {
     });
     table_.Add("pool", [this](wire::Call&, wire::Call& out) {
       out.PutString(obj_->Pool());
+    });
+    table_.Add("flight", [this](wire::Call&, wire::Call& out) {
+      out.PutString(obj_->Flight());
     });
     table_.Seal();
   }
@@ -199,6 +208,7 @@ int main() {
   type_line("REQ 7 W " + dbg_target + " trace i:4");
   type_line("REQ 8 W " + dbg_target + " metrics");
   type_line("REQ 9 W " + dbg_target + " pool");
+  type_line("REQ 10 W " + dbg_target + " flight");
 
   raw->Close();
   server.Shutdown();

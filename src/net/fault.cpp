@@ -18,7 +18,20 @@ constexpr uint64_t kReadStream = 0x9E3779B97F4A7C15ull;
 constexpr uint64_t kWriteStream = 0xC2B2AE3D27D4EB4Full;
 constexpr uint64_t kConnectStream = 0x165667B19E3779F9ull;
 
+std::atomic<FaultInjector::TriggerHook> g_trigger_hook{nullptr};
+
+void FireTrigger(const char* kind, uint64_t total) {
+  if (FaultInjector::TriggerHook hook =
+          g_trigger_hook.load(std::memory_order_relaxed)) {
+    hook(kind, total);
+  }
+}
+
 }  // namespace
+
+void FaultInjector::SetTriggerHook(TriggerHook hook) {
+  g_trigger_hook.store(hook, std::memory_order_relaxed);
+}
 
 FaultInjector::FaultInjector(FaultPlan plan)
     : plan_(plan),
@@ -52,7 +65,8 @@ void FaultInjector::OnConnect() {
              Draw(connect_rng_, plan_.connect_refuse_rate);
   }
   if (refuse) {
-    connects_refused_.fetch_add(1, std::memory_order_relaxed);
+    FireTrigger("connect_refused",
+                connects_refused_.fetch_add(1, std::memory_order_relaxed) + 1);
     throw ConnectError("injected connect refusal");
   }
 }
@@ -85,19 +99,24 @@ FaultInjector::WriteDecision FaultInjector::OnWrite() {
 }
 
 void FaultInjector::CountReadFailed() {
-  reads_failed_.fetch_add(1, std::memory_order_relaxed);
+  FireTrigger("read_failed",
+              reads_failed_.fetch_add(1, std::memory_order_relaxed) + 1);
 }
 void FaultInjector::CountWriteFailed() {
-  writes_failed_.fetch_add(1, std::memory_order_relaxed);
+  FireTrigger("write_failed",
+              writes_failed_.fetch_add(1, std::memory_order_relaxed) + 1);
 }
 void FaultInjector::CountCorrupted() {
-  bytes_corrupted_.fetch_add(1, std::memory_order_relaxed);
+  FireTrigger("corrupted",
+              bytes_corrupted_.fetch_add(1, std::memory_order_relaxed) + 1);
 }
 void FaultInjector::CountShortRead() {
-  short_reads_.fetch_add(1, std::memory_order_relaxed);
+  FireTrigger("short_read",
+              short_reads_.fetch_add(1, std::memory_order_relaxed) + 1);
 }
 void FaultInjector::CountDelay() {
-  delays_injected_.fetch_add(1, std::memory_order_relaxed);
+  FireTrigger("delay",
+              delays_injected_.fetch_add(1, std::memory_order_relaxed) + 1);
 }
 
 namespace {

@@ -104,6 +104,13 @@ class FaultInjector {
   void CountShortRead();
   void CountDelay();
 
+  // Process-wide notification fired on every injected fault, with the
+  // fault kind and the injector's running total. Function-registration
+  // (not std::function) so heidi_net never links the observer — the orb
+  // layer points this at its flight recorder.
+  using TriggerHook = void (*)(const char* kind, uint64_t total);
+  static void SetTriggerHook(TriggerHook hook);
+
  private:
   bool Draw(std::mt19937_64& rng, double rate);
 

@@ -1,0 +1,250 @@
+#include "obs/flight.h"
+
+#include <fcntl.h>
+#include <signal.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <cstring>
+
+#include "obs/span.h"
+#include "obs/trace.h"
+
+namespace heidi::obs {
+
+const char* FlightEventTypeName(FlightEventType type) {
+  switch (type) {
+    case FlightEventType::kNone: return "none";
+    case FlightEventType::kConnOpened: return "conn_opened";
+    case FlightEventType::kConnAccepted: return "conn_accepted";
+    case FlightEventType::kConnBroken: return "conn_broken";
+    case FlightEventType::kReconnect: return "reconnect";
+    case FlightEventType::kRetry: return "retry";
+    case FlightEventType::kRetryGiveUp: return "retry_give_up";
+    case FlightEventType::kFaultInjected: return "fault_injected";
+    case FlightEventType::kQueueHighWater: return "queue_high_water";
+    case FlightEventType::kPoolPressure: return "pool_pressure";
+    case FlightEventType::kArenaOversize: return "arena_oversize";
+    case FlightEventType::kListen: return "listen";
+    case FlightEventType::kShutdown: return "shutdown";
+    case FlightEventType::kFatalSignal: return "fatal_signal";
+  }
+  return "?";
+}
+
+FlightRecorder::FlightRecorder(size_t capacity, size_t shards)
+    : shards_(std::max<size_t>(shards, 1)),
+      per_shard_(std::max<size_t>(capacity / std::max<size_t>(shards, 1), 1)) {
+  for (Shard& shard : shards_) shard.events.resize(per_shard_);
+}
+
+void FlightRecorder::Record(FlightEventType type, uint64_t a, uint64_t b,
+                            std::string_view detail) {
+  Shard& shard = shards_[ThreadOrdinal() % shards_.size()];
+  std::unique_lock lock(shard.mutex, std::try_to_lock);
+  if (!lock.owns_lock()) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  FlightEvent& ev = shard.events[shard.next];
+  shard.next = (shard.next + 1) % per_shard_;
+  ev.ts_ns = NowNs();
+  ev.thread = static_cast<uint32_t>(ThreadOrdinal());
+  ev.type = type;
+  ev.a = a;
+  ev.b = b;
+  size_t n = std::min(detail.size(), sizeof(ev.detail) - 1);
+  std::memcpy(ev.detail, detail.data(), n);
+  ev.detail[n] = '\0';
+  recorded_.fetch_add(1, std::memory_order_relaxed);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot() const {
+  std::vector<FlightEvent> out;
+  for (const Shard& shard : shards_) {
+    std::lock_guard lock(shard.mutex);
+    for (const FlightEvent& ev : shard.events) {
+      if (ev.ts_ns != 0) out.push_back(ev);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& x, const FlightEvent& y) {
+              return x.ts_ns < y.ts_ns;
+            });
+  return out;
+}
+
+namespace {
+
+// Control bytes and quotes in `detail` would break the JSON line; they
+// only arrive from error texts, so flattening to '.' loses nothing.
+void AppendJsonSafe(std::string& out, const char* s) {
+  for (; *s != '\0'; ++s) {
+    char c = *s;
+    bool bad = c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20;
+    out.push_back(bad ? '.' : c);
+  }
+}
+
+}  // namespace
+
+std::string FlightRecorder::DumpJsonl() const {
+  std::string out;
+  for (const FlightEvent& ev : Snapshot()) {
+    out += "{\"ts_ns\":" + std::to_string(ev.ts_ns);
+    out += ",\"thread\":" + std::to_string(ev.thread);
+    out += ",\"type\":\"";
+    out += FlightEventTypeName(ev.type);
+    out += "\",\"a\":" + std::to_string(ev.a);
+    out += ",\"b\":" + std::to_string(ev.b);
+    out += ",\"detail\":\"";
+    AppendJsonSafe(out, ev.detail);
+    out += "\"}\n";
+  }
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Async-signal-safe dump
+
+namespace {
+
+// write(2) the whole buffer, retrying short writes; EINTR-safe.
+size_t WriteFully(int fd, const char* data, size_t n) {
+  size_t done = 0;
+  while (done < n) {
+    ssize_t w = ::write(fd, data + done, n - done);
+    if (w <= 0) {
+      if (w < 0 && errno == EINTR) continue;
+      break;
+    }
+    done += static_cast<size_t>(w);
+  }
+  return done;
+}
+
+// Decimal formatting into a caller's buffer — snprintf is not on the
+// async-signal-safe list. Returns chars written.
+size_t FormatU64(char* buf, uint64_t v) {
+  char tmp[20];
+  size_t n = 0;
+  do {
+    tmp[n++] = static_cast<char>('0' + v % 10);
+    v /= 10;
+  } while (v != 0);
+  for (size_t i = 0; i < n; ++i) buf[i] = tmp[n - 1 - i];
+  return n;
+}
+
+size_t FormatI64(char* buf, int64_t v) {
+  if (v < 0) {
+    buf[0] = '-';
+    return 1 + FormatU64(buf + 1, static_cast<uint64_t>(-v));
+  }
+  return FormatU64(buf, static_cast<uint64_t>(v));
+}
+
+struct LineBuf {
+  char data[256];
+  size_t len = 0;
+  void Str(const char* s) {
+    while (*s != '\0' && len < sizeof(data)) data[len++] = *s++;
+  }
+  void U64(uint64_t v) {
+    if (len + 20 <= sizeof(data)) len += FormatU64(data + len, v);
+  }
+  void I64(int64_t v) {
+    if (len + 21 <= sizeof(data)) len += FormatI64(data + len, v);
+  }
+  void SafeStr(const char* s, size_t max) {
+    for (size_t i = 0; i < max && s[i] != '\0' && len < sizeof(data); ++i) {
+      char c = s[i];
+      bool bad = c == '"' || c == '\\' || static_cast<unsigned char>(c) < 0x20;
+      data[len++] = bad ? '.' : c;
+    }
+  }
+};
+
+}  // namespace
+
+size_t FlightRecorder::DumpToFdSignalSafe(int fd) const {
+  size_t written = 0;
+  // Raw, lockless walk: the process is crashing; a torn event is better
+  // than a deadlock on a mutex the crashing thread may hold.
+  for (const Shard& shard : shards_) {
+    for (size_t i = 0; i < shard.events.size(); ++i) {
+      const FlightEvent& ev = shard.events[i];
+      if (ev.ts_ns == 0) continue;
+      LineBuf line;
+      line.Str("{\"ts_ns\":");
+      line.I64(ev.ts_ns);
+      line.Str(",\"thread\":");
+      line.U64(ev.thread);
+      line.Str(",\"type\":\"");
+      line.Str(FlightEventTypeName(ev.type));
+      line.Str("\",\"a\":");
+      line.U64(ev.a);
+      line.Str(",\"b\":");
+      line.U64(ev.b);
+      line.Str(",\"detail\":\"");
+      line.SafeStr(ev.detail, sizeof(ev.detail));
+      line.Str("\"}\n");
+      written += WriteFully(fd, line.data, line.len);
+    }
+  }
+  return written;
+}
+
+FlightRecorder& FlightRecorder::Global() {
+  // Immortal: subsystems record events from static destructors of
+  // arbitrary order, and the signal handler must never race teardown.
+  static FlightRecorder* recorder = new FlightRecorder();
+  return *recorder;
+}
+
+// ---------------------------------------------------------------------------
+// Fatal-signal dump
+
+namespace {
+
+// Fixed at install time; the handler must not touch std::string.
+char g_dump_path[512] = {};
+
+void FlightFatalSignalHandler(int signo) {
+  FlightRecorder& recorder = FlightRecorder::Global();
+  // Journal the signal itself, then dump. Record() try-locks: if the
+  // crashing thread holds the shard lock the event drops, but the dump
+  // below still proceeds locklessly.
+  recorder.Record(FlightEventType::kFatalSignal,
+                  static_cast<uint64_t>(signo));
+  int fd = ::open(g_dump_path, O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd >= 0) {
+    recorder.DumpToFdSignalSafe(fd);
+    ::close(fd);
+  }
+  // SA_RESETHAND restored default disposition; re-raise so the process
+  // dies with the real signal (core dumps, wait status intact).
+  ::raise(signo);
+}
+
+}  // namespace
+
+void InstallFatalSignalDump(const std::string& path) {
+  static std::once_flag once;
+  std::call_once(once, [&path] {
+    size_t n = std::min(path.size(), sizeof(g_dump_path) - 1);
+    std::memcpy(g_dump_path, path.data(), n);
+    g_dump_path[n] = '\0';
+    struct sigaction action;
+    std::memset(&action, 0, sizeof(action));
+    action.sa_handler = &FlightFatalSignalHandler;
+    action.sa_flags = SA_RESETHAND;
+    sigemptyset(&action.sa_mask);
+    for (int signo : {SIGSEGV, SIGABRT, SIGBUS, SIGFPE, SIGILL}) {
+      ::sigaction(signo, &action, nullptr);
+    }
+  });
+}
+
+}  // namespace heidi::obs

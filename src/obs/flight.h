@@ -1,0 +1,111 @@
+// FlightRecorder — the black-box event journal. Where SpanRing answers
+// "where did this call spend its time", the flight recorder answers
+// "what was the *process* doing just before things went wrong": a
+// bounded, lock-sharded ring of fixed-size binary events fed by the rare
+// but load-bearing transitions — connection lifecycle, retries and
+// give-ups, injected faults, workpool queue high-water marks, pool and
+// arena pressure. Recording one event is a try-lock and a 64-byte store;
+// a contended shard drops and counts, never blocks.
+//
+// Two dump paths:
+//   * DumpJsonl() — the cooperative path (telnet_debug `flight`,
+//     Orb::DumpFlightRecorder): locks shard-at-a-time, sorts by time,
+//     renders one JSON object per line.
+//   * DumpToFdSignalSafe(fd) — the postmortem path: no locks, no
+//     allocation, hand-rolled formatting, write(2) only, so
+//     InstallFatalSignalDump can call it from a SIGSEGV handler and the
+//     journal survives the crash it explains.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace heidi::obs {
+
+enum class FlightEventType : uint16_t {
+  kNone = 0,
+  kConnOpened = 1,     // a=generation, detail=peer
+  kConnAccepted = 2,   // detail=peer
+  kConnBroken = 3,     // a=pending calls failed, detail=why
+  kReconnect = 4,      // detail=target host:port
+  kRetry = 5,          // a=attempt, detail=operation
+  kRetryGiveUp = 6,    // a=attempts used, detail=operation
+  kFaultInjected = 7,  // a=total faults so far, detail=kind
+  kQueueHighWater = 8, // a=new high-water depth
+  kPoolPressure = 9,   // a=outstanding bytes, b=outstanding bufs
+  kArenaOversize = 10, // a=request bytes
+  kListen = 11,        // a=port
+  kShutdown = 12,
+  kFatalSignal = 13,   // a=signo
+};
+
+const char* FlightEventTypeName(FlightEventType type);
+
+// One fixed-size journal entry; 64 bytes so a shard's ring is a flat,
+// cache-line-aligned array a signal handler can walk raw.
+struct FlightEvent {
+  int64_t ts_ns = 0;  // obs::NowNs; 0 = slot never written
+  uint32_t thread = 0;
+  FlightEventType type = FlightEventType::kNone;
+  uint16_t reserved = 0;
+  uint64_t a = 0;
+  uint64_t b = 0;
+  char detail[32] = {};  // NUL-terminated, truncated
+};
+static_assert(sizeof(FlightEvent) == 64);
+
+class FlightRecorder {
+ public:
+  // `capacity` total events split across `shards` (each rounded up to at
+  // least one).
+  explicit FlightRecorder(size_t capacity = 4096, size_t shards = 16);
+  FlightRecorder(const FlightRecorder&) = delete;
+  FlightRecorder& operator=(const FlightRecorder&) = delete;
+
+  void Record(FlightEventType type, uint64_t a = 0, uint64_t b = 0,
+              std::string_view detail = {});
+
+  uint64_t Recorded() const {
+    return recorded_.load(std::memory_order_relaxed);
+  }
+  uint64_t Dropped() const { return dropped_.load(std::memory_order_relaxed); }
+
+  // Cooperative snapshot, oldest-first.
+  std::vector<FlightEvent> Snapshot() const;
+  // One JSON object per line, oldest-first, e.g.
+  //   {"ts_ns":123,"thread":2,"type":"conn_broken","a":1,"b":0,
+  //    "detail":"read: injected"}
+  std::string DumpJsonl() const;
+
+  // Async-signal-safe best-effort dump: walks the rings without locking
+  // (torn events possible — acceptable in a crashing process), formats
+  // with stack buffers, emits via write(2). Returns bytes written.
+  size_t DumpToFdSignalSafe(int fd) const;
+
+  // The process-wide recorder every subsystem feeds. Immortal.
+  static FlightRecorder& Global();
+
+ private:
+  struct alignas(64) Shard {
+    mutable std::mutex mutex;
+    std::vector<FlightEvent> events;  // ring storage
+    size_t next = 0;
+  };
+
+  std::vector<Shard> shards_;
+  size_t per_shard_;
+  std::atomic<uint64_t> recorded_{0};
+  std::atomic<uint64_t> dropped_{0};
+};
+
+// Installs handlers for SIGSEGV/SIGABRT/SIGBUS/SIGFPE/SIGILL that append
+// a kFatalSignal event and dump FlightRecorder::Global() to `path`
+// before re-raising with default disposition (so the exit status still
+// reflects the crash). Idempotent; the path is fixed at first install.
+void InstallFatalSignalDump(const std::string& path);
+
+}  // namespace heidi::obs

@@ -1,6 +1,7 @@
 #include "obs/metrics.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <functional>
 #include <vector>
 
@@ -74,6 +75,10 @@ Counter* MetricsRegistry::GetCounter(std::string_view key) {
   return &Lookup(key)->counter;
 }
 
+Gauge* MetricsRegistry::GetGauge(std::string_view key) {
+  return &Lookup(key)->gauge;
+}
+
 std::string MetricsRegistry::Render() const {
   std::vector<const Entry*> entries;
   for (const auto& slot : slots_) {
@@ -103,6 +108,11 @@ std::string MetricsRegistry::Render() const {
       out += "  " + std::to_string(e->counter.Value());
       out.push_back('\n');
     }
+    if (e->gauge.Touched()) {
+      out += e->key;
+      out += "  " + std::to_string(e->gauge.Value());
+      out.push_back('\n');
+    }
   }
   return out;
 }
@@ -119,8 +129,10 @@ std::string MetricsRegistry::RenderJson() const {
   std::sort(entries.begin(), entries.end(),
             [](const Entry* a, const Entry* b) { return a->key < b->key; });
   std::string counters = "{";
+  std::string gauges = "{";
   std::string histograms = "{";
   bool first_counter = true;
+  bool first_gauge = true;
   bool first_histogram = true;
   for (const Entry* e : entries) {
     if (e->counter.Value() != 0) {
@@ -128,6 +140,12 @@ std::string MetricsRegistry::RenderJson() const {
       first_counter = false;
       counters += "\"" + JsonEscape(e->key) +
                   "\":" + std::to_string(e->counter.Value());
+    }
+    if (e->gauge.Touched()) {
+      if (!first_gauge) gauges.push_back(',');
+      first_gauge = false;
+      gauges +=
+          "\"" + JsonEscape(e->key) + "\":" + std::to_string(e->gauge.Value());
     }
     const LatencyHistogram& h = e->histogram;
     if (h.Count() != 0) {
@@ -144,8 +162,113 @@ std::string MetricsRegistry::RenderJson() const {
     }
   }
   counters.push_back('}');
+  gauges.push_back('}');
   histograms.push_back('}');
-  return "{\"counters\":" + counters + ",\"histograms\":" + histograms + "}";
+  return "{\"counters\":" + counters + ",\"gauges\":" + gauges +
+         ",\"histograms\":" + histograms + "}";
+}
+
+// ---------------------------------------------------------------------------
+// OpenMetrics text exposition
+
+namespace {
+
+// Prometheus metric-name alphabet; everything else flattens to '_'. The
+// fixed prefix both namespaces the process and guarantees names never
+// start with a digit.
+std::string SanitizeMetricName(std::string_view key) {
+  std::string out = "heidi_";
+  out.reserve(out.size() + key.size());
+  for (char c : key) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+// Seconds with enough digits to round-trip ns; trailing-zero trimming is
+// not required by the exposition format.
+std::string SecondsFromNs(uint64_t ns) {
+  char buf[40];
+  std::snprintf(buf, sizeof buf, "%.9f", static_cast<double>(ns) / 1e9);
+  return buf;
+}
+
+// Cumulative `le` boundaries for exported histograms, in nanoseconds.
+// Decades from 1us to 10s cover every latency this ORB produces; the
+// native log-linear buckets are folded into them (a sample counts toward
+// the first boundary at or above its bucket's upper edge).
+constexpr uint64_t kLeBoundsNs[] = {
+    1'000,          10'000,        100'000,        1'000'000,
+    10'000'000,     100'000'000,   1'000'000'000,  10'000'000'000,
+};
+
+const char* kLeLabels[] = {
+    "1e-06", "1e-05", "0.0001", "0.001", "0.01", "0.1", "1", "10",
+};
+
+}  // namespace
+
+std::string MetricsRegistry::RenderOpenMetrics() const {
+  std::vector<const Entry*> entries;
+  for (const auto& slot : slots_) {
+    const Entry* e = slot.load(std::memory_order_acquire);
+    if (e != nullptr) entries.push_back(e);
+  }
+  if (overflow_.counter.Value() != 0 || overflow_.histogram.Count() != 0) {
+    entries.push_back(&overflow_);
+  }
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry* a, const Entry* b) { return a->key < b->key; });
+  std::string out;
+  for (const Entry* e : entries) {
+    std::string name = SanitizeMetricName(e->key);
+    if (e->counter.Value() != 0) {
+      out += "# TYPE " + name + " counter\n";
+      out += name + "_total " + std::to_string(e->counter.Value()) + "\n";
+    }
+    if (e->gauge.Touched()) {
+      out += "# TYPE " + name + " gauge\n";
+      out += name + " " + std::to_string(e->gauge.Value()) + "\n";
+    }
+    const LatencyHistogram& h = e->histogram;
+    if (h.Count() != 0) {
+      // A name can't be both a counter/gauge and a histogram family in
+      // one exposition; suffix the histogram if the key is overloaded.
+      std::string hname =
+          (e->counter.Value() != 0 || e->gauge.Touched()) ? name + "_seconds"
+                                                          : name;
+      out += "# TYPE " + hname + " histogram\n";
+      // Fold native buckets into the fixed boundaries, cumulatively.
+      constexpr int kBounds =
+          static_cast<int>(sizeof(kLeBoundsNs) / sizeof(kLeBoundsNs[0]));
+      uint64_t cumulative[kBounds] = {};
+      uint64_t total = 0;
+      for (int idx = 0; idx < LatencyHistogram::kBucketCount; ++idx) {
+        uint64_t n = h.BucketCountAt(idx);
+        if (n == 0) continue;
+        total += n;
+        uint64_t high = LatencyHistogram::BucketHigh(idx);
+        for (int b = 0; b < kBounds; ++b) {
+          if (high <= kLeBoundsNs[b]) cumulative[b] += n;
+        }
+      }
+      for (int b = 0; b < kBounds; ++b) {
+        out += hname + "_bucket{le=\"" + kLeLabels[b] +
+               "\"} " + std::to_string(cumulative[b]) + "\n";
+      }
+      out += hname + "_bucket{le=\"+Inf\"} " + std::to_string(total) + "\n";
+      out += hname + "_sum " + SecondsFromNs(h.Sum()) + "\n";
+      out += hname + "_count " + std::to_string(total) + "\n";
+    }
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+const char* MetricsRegistry::OpenMetricsContentType() {
+  return "application/openmetrics-text; version=1.0.0; charset=utf-8";
 }
 
 }  // namespace heidi::obs

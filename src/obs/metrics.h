@@ -26,8 +26,34 @@ class Counter {
   void Add(uint64_t n = 1) { value_.fetch_add(n, std::memory_order_relaxed); }
   uint64_t Value() const { return value_.load(std::memory_order_relaxed); }
 
+  // Scrape-time mirror of an externally maintained monotonic value
+  // (OrbStats fields): overwrite, don't accumulate. Callers own the
+  // monotonicity guarantee.
+  void Store(uint64_t v) { value_.store(v, std::memory_order_relaxed); }
+
  private:
   std::atomic<uint64_t> value_{0};
+};
+
+// A point-in-time signed level (pool occupancy, queue depth, open
+// connections). Rendered only once touched, so the registry's many
+// never-set gauges stay invisible.
+class Gauge {
+ public:
+  void Set(int64_t v) {
+    value_.store(v, std::memory_order_relaxed);
+    touched_.store(true, std::memory_order_relaxed);
+  }
+  void Add(int64_t n) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+    touched_.store(true, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+  bool Touched() const { return touched_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+  std::atomic<bool> touched_{false};
 };
 
 class MetricsRegistry {
@@ -43,19 +69,31 @@ class MetricsRegistry {
   // for the registry's lifetime (cache it on hot paths).
   LatencyHistogram* Histogram(std::string_view key);
   Counter* GetCounter(std::string_view key);
+  Gauge* GetGauge(std::string_view key);
 
   // Human-readable dump: one line per metric, sorted by key —
   //   <key>  count=N p50=… p90=… p99=… max=… mean=…   (histograms, ns)
-  //   <key>  N                                        (counters)
+  //   <key>  N                                        (counters/gauges)
   std::string Render() const;
-  // Machine-readable dump: {"counters":{...},"histograms":{key:{...}}}.
+  // Machine-readable dump: {"counters":{...},"gauges":{...},
+  // "histograms":{key:{...}}}.
   std::string RenderJson() const;
+  // OpenMetrics text exposition (version 1.0.0): counters as `_total`,
+  // gauges, histograms as cumulative `le` buckets + `_sum`/`_count`,
+  // terminated by `# EOF`. Keys are sanitized ([^a-zA-Z0-9_] -> '_') and
+  // prefixed `heidi_`. Histogram values are exposed in seconds (the
+  // Prometheus convention) although recorded in ns.
+  std::string RenderOpenMetrics() const;
+
+  // The content-type an OpenMetrics scrape response must carry.
+  static const char* OpenMetricsContentType();
 
  private:
   struct Entry {
     std::string key;
     LatencyHistogram histogram;
     Counter counter;
+    Gauge gauge;
   };
 
   Entry* Lookup(std::string_view key);

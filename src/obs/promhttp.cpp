@@ -1,0 +1,131 @@
+#include "obs/promhttp.h"
+
+#include <map>
+#include <mutex>
+
+#include "net/channel.h"
+#include "net/tcp.h"
+#include "support/error.h"
+#include "support/logging.h"
+
+namespace heidi::obs {
+
+struct PromHttpServer::Impl {
+  net::TcpAcceptor acceptor;
+  std::map<std::string, Page> pages;
+  std::thread server;
+  std::mutex stop_mutex;
+  bool started = false;
+  bool stopped = false;
+
+  explicit Impl(uint16_t port) : acceptor(port) {}
+};
+
+PromHttpServer::PromHttpServer(uint16_t port)
+    : impl_(std::make_unique<Impl>(port)) {}
+
+PromHttpServer::~PromHttpServer() { Stop(); }
+
+void PromHttpServer::Handle(std::string path, Page page) {
+  impl_->pages[std::move(path)] = std::move(page);
+}
+
+uint16_t PromHttpServer::Port() const { return impl_->acceptor.Port(); }
+
+void PromHttpServer::Start() {
+  if (impl_->started) return;
+  impl_->started = true;
+  impl_->server = std::thread([this] { ServeLoop(); });
+}
+
+void PromHttpServer::Stop() {
+  {
+    std::lock_guard lock(impl_->stop_mutex);
+    if (impl_->stopped) return;
+    impl_->stopped = true;
+  }
+  impl_->acceptor.Close();  // unblocks Accept()
+  if (impl_->server.joinable()) impl_->server.join();
+}
+
+namespace {
+
+// Reads up to the end of the request head ("\r\n\r\n") or a sane size
+// cap; a scraper's GET fits in one segment, so this is one Read in
+// practice. Returns the first line (the request line), or empty on a
+// malformed/oversized request.
+std::string ReadRequestLine(net::ByteChannel& channel) {
+  std::string head;
+  char buf[1024];
+  while (head.size() < 8192 && head.find("\r\n\r\n") == std::string::npos) {
+    // Scrapers send the whole request promptly; a peer that dribbles
+    // slower than this is not a scraper.
+    if (!channel.WaitReadable(2000)) return {};
+    size_t n = channel.Read(buf, sizeof buf);
+    if (n == 0) break;
+    head.append(buf, n);
+  }
+  size_t eol = head.find("\r\n");
+  if (eol == std::string::npos) eol = head.find('\n');
+  if (eol == std::string::npos) return {};
+  return head.substr(0, eol);
+}
+
+void WriteResponse(net::ByteChannel& channel, const char* status,
+                   const std::string& content_type, const std::string& body) {
+  std::string response = "HTTP/1.0 ";
+  response += status;
+  response += "\r\nContent-Type: " + content_type;
+  response += "\r\nContent-Length: " + std::to_string(body.size());
+  response += "\r\nConnection: close\r\n\r\n";
+  response += body;
+  channel.WriteAll(response.data(), response.size());
+}
+
+}  // namespace
+
+void PromHttpServer::ServeLoop() {
+  for (;;) {
+    std::unique_ptr<net::ByteChannel> channel;
+    try {
+      channel = impl_->acceptor.Accept();
+    } catch (const NetError&) {
+      return;
+    }
+    if (channel == nullptr) return;  // Stop() closed the acceptor
+    try {
+      std::string request = ReadRequestLine(*channel);
+      // "GET /metrics HTTP/1.x" — method, path, anything after.
+      size_t sp1 = request.find(' ');
+      size_t sp2 = request.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos) {
+        WriteResponse(*channel, "400 Bad Request",
+                      "text/plain; charset=utf-8", "bad request\n");
+      } else if (request.substr(0, sp1) != "GET") {
+        WriteResponse(*channel, "405 Method Not Allowed",
+                      "text/plain; charset=utf-8", "GET only\n");
+      } else {
+        std::string path = sp2 == std::string::npos
+                               ? request.substr(sp1 + 1)
+                               : request.substr(sp1 + 1, sp2 - sp1 - 1);
+        // Scrapers may append query params; route on the bare path.
+        size_t query = path.find('?');
+        if (query != std::string::npos) path.resize(query);
+        auto it = impl_->pages.find(path);
+        if (it == impl_->pages.end()) {
+          WriteResponse(*channel, "404 Not Found",
+                        "text/plain; charset=utf-8", "not found\n");
+        } else {
+          WriteResponse(*channel, "200 OK", it->second.content_type,
+                        it->second.render());
+        }
+      }
+    } catch (const std::exception& e) {
+      // One broken scrape must not take the endpoint down.
+      HD_LOG_DEBUG << "promhttp: request failed: " << e.what();
+    }
+    channel->Close();
+  }
+}
+
+}  // namespace heidi::obs

@@ -1,0 +1,54 @@
+// PromHttpServer — a deliberately tiny HTTP/1.0 scrape endpoint so any
+// pull-based collector (Prometheus, a curl in CI) can read this
+// process's metrics without telnet_debug's human-oriented framing. One
+// accept thread, one request per connection, close after response: a
+// scrape every few seconds is the design load, so the simplest correct
+// server wins over a real HTTP stack.
+//
+// Routes are registered as (path -> page callback); the callback renders
+// the body at scrape time (e.g. Orb syncs OrbStats into its registry and
+// calls RenderOpenMetrics). Unknown paths get 404; anything that is not
+// a GET gets 405.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace heidi::obs {
+
+class PromHttpServer {
+ public:
+  struct Page {
+    // Body renderer, called per scrape on the serving thread.
+    std::function<std::string()> render;
+    std::string content_type = "text/plain; charset=utf-8";
+  };
+
+  // Binds immediately (port 0 = ephemeral, see Port()); serving starts
+  // at Start(). Throws NetError if the port is taken.
+  explicit PromHttpServer(uint16_t port = 0);
+  ~PromHttpServer();
+  PromHttpServer(const PromHttpServer&) = delete;
+  PromHttpServer& operator=(const PromHttpServer&) = delete;
+
+  // Path must start with '/'. Register before Start().
+  void Handle(std::string path, Page page);
+
+  void Start();
+  // Idempotent; joins the accept thread.
+  void Stop();
+
+  uint16_t Port() const;
+
+ private:
+  void ServeLoop();
+
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace heidi::obs

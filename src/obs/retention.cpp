@@ -1,0 +1,150 @@
+#include "obs/retention.h"
+
+#include <atomic>
+
+namespace heidi::obs {
+
+namespace {
+
+// --- head policies ----------------------------------------------------------
+// SampleHead decides everything; RecordProvisional is false so the tracer
+// keeps (or skips) spans at creation exactly as before this layer existed.
+
+class AlwaysRetention : public RetentionPolicy {
+ public:
+  const char* Name() const override { return "always"; }
+  bool SampleHead() override { return true; }
+  bool RecordProvisional() const override { return false; }
+  bool KeepTail(const TailSignals&) override { return true; }
+};
+
+class NeverRetention : public RetentionPolicy {
+ public:
+  const char* Name() const override { return "never"; }
+  bool SampleHead() override { return false; }
+  bool RecordProvisional() const override { return false; }
+  bool KeepTail(const TailSignals&) override { return false; }
+};
+
+class RatioRetention : public RetentionPolicy {
+ public:
+  explicit RatioRetention(uint32_t every) : every_(every == 0 ? 1 : every) {}
+  const char* Name() const override { return "ratio"; }
+  bool SampleHead() override {
+    return counter_.fetch_add(1, std::memory_order_relaxed) % every_ == 0;
+  }
+  bool RecordProvisional() const override { return false; }
+  bool KeepTail(const TailSignals&) override { return true; }
+
+ private:
+  const uint32_t every_;
+  std::atomic<uint64_t> counter_{0};
+};
+
+// --- tail policy ------------------------------------------------------------
+
+// Per-histogram cached latency threshold. Keyed by the histogram pointer
+// (MetricsRegistry entries are immortal, so the key never dangles); a
+// fixed open-addressed table sized like the registry, insert-only, fully
+// lock-free. `countdown` ticks down per consultation and triggers a p99
+// recompute at zero — one bucket walk per refresh_every completions per
+// operation, never on the common path.
+class TailRetention : public RetentionPolicy {
+ public:
+  explicit TailRetention(TailRetentionOptions options) : options_(options) {
+    if (options_.refresh_every == 0) options_.refresh_every = 1;
+  }
+
+  const char* Name() const override { return "tail"; }
+
+  // Tail retention deliberately propagates no head-sampled context:
+  // healthy calls stay off the wire; anomalies are promoted locally.
+  bool SampleHead() override { return false; }
+  bool RecordProvisional() const override { return true; }
+
+  bool KeepTail(const TailSignals& s) override {
+    if (s.errored || s.retried || s.timed_out || s.faulted) return true;
+    if (s.latency_ns >= LatencyThreshold(s.history)) return true;
+    if (options_.healthy_every != 0 &&
+        healthy_counter_.fetch_add(1, std::memory_order_relaxed) %
+                options_.healthy_every ==
+            0) {
+      return true;
+    }
+    return false;
+  }
+
+  // Exposed for tests: the threshold currently applied to `history`.
+  uint64_t LatencyThreshold(const LatencyHistogram* history) {
+    if (history == nullptr) return options_.floor_ns;
+    Slot& slot = FindSlot(history);
+    if (slot.countdown.fetch_sub(1, std::memory_order_relaxed) <= 1) {
+      slot.countdown.store(static_cast<int64_t>(options_.refresh_every),
+                           std::memory_order_relaxed);
+      slot.threshold.store(ComputeThreshold(*history),
+                           std::memory_order_relaxed);
+    }
+    return slot.threshold.load(std::memory_order_relaxed);
+  }
+
+ private:
+  static constexpr size_t kSlots = 512;  // power of two, matches registry
+
+  struct Slot {
+    std::atomic<const LatencyHistogram*> key{nullptr};
+    std::atomic<uint64_t> threshold{0};
+    std::atomic<int64_t> countdown{0};
+  };
+
+  uint64_t ComputeThreshold(const LatencyHistogram& h) const {
+    if (h.Count() < options_.min_history) return options_.floor_ns;
+    uint64_t scaled = static_cast<uint64_t>(
+        static_cast<double>(h.Percentile(99)) * options_.p99_multiplier);
+    return scaled > options_.floor_ns ? scaled : options_.floor_ns;
+  }
+
+  Slot& FindSlot(const LatencyHistogram* history) {
+    size_t idx = (reinterpret_cast<uintptr_t>(history) >> 4) & (kSlots - 1);
+    for (size_t probes = 0; probes < kSlots; ++probes) {
+      const LatencyHistogram* key =
+          slots_[idx].key.load(std::memory_order_acquire);
+      if (key == history) return slots_[idx];
+      if (key == nullptr) {
+        const LatencyHistogram* expected = nullptr;
+        if (slots_[idx].key.compare_exchange_strong(
+                expected, history, std::memory_order_acq_rel)) {
+          return slots_[idx];
+        }
+        if (expected == history) return slots_[idx];
+      }
+      idx = (idx + 1) & (kSlots - 1);
+    }
+    return overflow_;  // table full: shared threshold, still correct-ish
+  }
+
+  TailRetentionOptions options_;
+  Slot slots_[kSlots];
+  Slot overflow_;
+  std::atomic<uint64_t> healthy_counter_{0};
+};
+
+}  // namespace
+
+std::shared_ptr<RetentionPolicy> MakeAlwaysRetention() {
+  return std::make_shared<AlwaysRetention>();
+}
+
+std::shared_ptr<RetentionPolicy> MakeNeverRetention() {
+  return std::make_shared<NeverRetention>();
+}
+
+std::shared_ptr<RetentionPolicy> MakeRatioRetention(uint32_t every) {
+  return std::make_shared<RatioRetention>(every);
+}
+
+std::shared_ptr<RetentionPolicy> MakeTailRetention(
+    TailRetentionOptions options) {
+  return std::make_shared<TailRetention>(options);
+}
+
+}  // namespace heidi::obs

@@ -1,0 +1,88 @@
+// RetentionPolicy — the runtime-swappable policy deciding which span
+// timelines the tracer keeps (RAFDA's policy/mechanism split applied to
+// observability, the way orb/ applies it to transmission and mapping).
+//
+// Two decision points:
+//
+//   * SampleHead() — before the call: should this root call carry a
+//     *propagating* (wire-visible) trace context? Head policies
+//     (always/never/1-in-N) answer here and keep everything they sample.
+//   * KeepTail(signals) — after the call: given what actually happened
+//     (error, retry, timeout, injected fault, latency vs the operation's
+//     own history), is this span worth promoting to the retained ring?
+//     Tail policies answer *here*; their SampleHead() says no, so healthy
+//     sampled-out calls never pay wire bytes, yet RecordProvisional()
+//     makes the tracer record every call locally and ask at completion.
+//
+// The tail policy's latency criterion is derived online: a span is kept
+// when its latency exceeds the operation's current p99 × multiplier
+// (with a floor so cold histograms don't flag everything). Thresholds
+// are cached per histogram and refreshed every ~refresh_every
+// completions, so the hot path never walks histogram buckets.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string_view>
+
+#include "obs/histogram.h"
+
+namespace heidi::obs {
+
+// What the tracer knows about a span at completion time.
+struct TailSignals {
+  std::string_view operation;
+  uint64_t latency_ns = 0;
+  bool errored = false;    // non-empty error tag
+  bool retried = false;    // kFlagRetried
+  bool timed_out = false;  // kFlagTimedOut
+  bool faulted = false;    // kFlagFaulted (injected fault fired in window)
+  // The operation's own latency history (op.<name> / srv.<name>), null if
+  // the registry has no entry yet.
+  const LatencyHistogram* history = nullptr;
+};
+
+class RetentionPolicy {
+ public:
+  virtual ~RetentionPolicy() = default;
+
+  virtual const char* Name() const = 0;
+
+  // Head decision for a new root call: propagate a sampled context?
+  virtual bool SampleHead() = 0;
+
+  // True if the tracer should record *every* call provisionally and ask
+  // KeepTail at completion (tail policies); false restores pure head
+  // sampling (the decision was final at SampleHead).
+  virtual bool RecordProvisional() const = 0;
+
+  // Tail decision: promote this completed span to the retained ring?
+  // Only consulted when RecordProvisional() is true, for spans that were
+  // not head-sampled.
+  virtual bool KeepTail(const TailSignals& signals) = 0;
+};
+
+// Degenerate head policies — always/never/1-in-N as before, expressed in
+// the same interface so OrbOptions carries exactly one knob.
+std::shared_ptr<RetentionPolicy> MakeAlwaysRetention();
+std::shared_ptr<RetentionPolicy> MakeNeverRetention();
+std::shared_ptr<RetentionPolicy> MakeRatioRetention(uint32_t every);
+
+struct TailRetentionOptions {
+  // Latency threshold = max(current p99 × p99_multiplier, floor_ns).
+  double p99_multiplier = 2.0;
+  uint64_t floor_ns = 1'000'000;  // 1 ms — cold histograms flag nothing
+  // Below this many samples the histogram is too cold to trust; only the
+  // floor applies.
+  uint64_t min_history = 100;
+  // Recompute a cached per-operation threshold after this many KeepTail
+  // consultations of it (the p99 walk is ~300 buckets — fine at 1/64).
+  uint32_t refresh_every = 64;
+  // Keep 1-in-N healthy calls as a baseline corpus (0 = none).
+  uint32_t healthy_every = 0;
+};
+
+std::shared_ptr<RetentionPolicy> MakeTailRetention(
+    TailRetentionOptions options = {});
+
+}  // namespace heidi::obs

@@ -28,7 +28,11 @@ SpanRing::SpanRing(size_t capacity, size_t shards)
 SpanRing::~SpanRing() = default;
 
 void SpanRing::Record(SpanRecord&& record) {
-  Shard& shard = shards_[record.ctx.span_id % shards_.size()];
+  RecordSharded(record.ctx.span_id, std::move(record));
+}
+
+void SpanRing::RecordSharded(size_t shard_hint, SpanRecord&& record) {
+  Shard& shard = shards_[shard_hint % shards_.size()];
   std::unique_lock lock(shard.mutex, std::try_to_lock);
   if (!lock.owns_lock()) {
     dropped_.fetch_add(1, std::memory_order_relaxed);

@@ -30,6 +30,14 @@ enum class SpanKind : uint8_t { kClient, kServer, kAttempt };
 
 const char* SpanKindName(SpanKind kind);
 
+// Anomaly flags a span accumulates while live — the tail-retention
+// signals that aren't derivable from the record itself at commit time.
+enum SpanFlags : uint8_t {
+  kSpanFlagRetried = 1 << 0,   // at least one retry attempt happened
+  kSpanFlagTimedOut = 1 << 1,  // the call's deadline expired
+  kSpanFlagFaulted = 1 << 2,   // an injected fault fired during the call
+};
+
 struct StageRecord {
   const char* name;  // static string (stage names are compile-time)
   int64_t start_ns;
@@ -46,8 +54,46 @@ struct SpanRecord {
   int64_t start_ns = 0;
   int64_t end_ns = 0;
   uint64_t thread_id = 0;  // small per-thread ordinal, for trace lanes
+  uint8_t flags = 0;       // SpanFlags bits
   int stage_count = 0;
   StageRecord stages[kMaxStages];
+
+  SpanRecord() = default;
+  // A record is moved several times between creation and its ring slot
+  // (span -> commit -> ring); copying only the stages actually used keeps
+  // each move at ~a cache line instead of the full 256-byte stage array.
+  // Moved-from stages past stage_count are never read (stage_count gates).
+  SpanRecord(SpanRecord&& other) noexcept
+      : ctx(other.ctx),
+        kind(other.kind),
+        operation(std::move(other.operation)),
+        error(std::move(other.error)),
+        start_ns(other.start_ns),
+        end_ns(other.end_ns),
+        thread_id(other.thread_id),
+        flags(other.flags),
+        stage_count(other.stage_count) {
+    for (int i = 0; i < stage_count; ++i) stages[i] = other.stages[i];
+  }
+  SpanRecord& operator=(SpanRecord&& other) noexcept {
+    ctx = other.ctx;
+    kind = other.kind;
+    operation = std::move(other.operation);
+    error = std::move(other.error);
+    start_ns = other.start_ns;
+    end_ns = other.end_ns;
+    thread_id = other.thread_id;
+    flags = other.flags;
+    stage_count = other.stage_count;
+    for (int i = 0; i < stage_count; ++i) stages[i] = other.stages[i];
+    return *this;
+  }
+  // Snapshot/export paths copy records wholesale; the default memberwise
+  // copy is correct (and cold).
+  SpanRecord(const SpanRecord&) = default;
+  SpanRecord& operator=(const SpanRecord&) = default;
+
+  bool HasFlag(SpanFlags flag) const { return (flags & flag) != 0; }
 
   void AddStage(const char* name, int64_t start_ns_, int64_t end_ns_) {
     if (stage_count < kMaxStages) {
@@ -74,6 +120,11 @@ class SpanRing {
   // (the ring keeps the *newest* history, which is what `trace <n>` and
   // post-mortem exports want).
   void Record(SpanRecord&& record);
+
+  // Same semantics, but the caller picks the shard (the provisional ring
+  // shards by committing thread so each worker overwrites only its own
+  // recent history and writers almost never contend).
+  void RecordSharded(size_t shard_hint, SpanRecord&& record);
 
   uint64_t Recorded() const {
     return recorded_.load(std::memory_order_relaxed);

@@ -74,6 +74,56 @@ void AppendChromeEvent(std::string& out, bool& first, std::string_view name,
 // ---------------------------------------------------------------------------
 // Span
 
+namespace {
+
+// Per-thread freelist backing Span::operator new/delete. Tail retention
+// allocates and frees two spans per call, so the allocation must not be
+// a malloc on the invocation path. Blocks migrate freely between threads
+// (every block is exactly sizeof(Span)); whatever a thread still holds
+// at exit is released by the thread_local destructor.
+struct SpanFreeBlock {
+  SpanFreeBlock* next;
+};
+
+struct SpanFreeList {
+  SpanFreeBlock* head = nullptr;
+  int count = 0;
+  static constexpr int kMax = 64;
+  ~SpanFreeList() {
+    while (head != nullptr) {
+      SpanFreeBlock* next = head->next;
+      ::operator delete(head);
+      head = next;
+    }
+  }
+};
+
+thread_local SpanFreeList g_span_free;
+
+}  // namespace
+
+void* Span::operator new(size_t size) {
+  if (size == sizeof(Span) && g_span_free.head != nullptr) {
+    SpanFreeBlock* block = g_span_free.head;
+    g_span_free.head = block->next;
+    --g_span_free.count;
+    return block;
+  }
+  return ::operator new(size);
+}
+
+void Span::operator delete(void* ptr) {
+  if (ptr == nullptr) return;
+  if (g_span_free.count < SpanFreeList::kMax) {
+    auto* block = static_cast<SpanFreeBlock*>(ptr);
+    block->next = g_span_free.head;
+    g_span_free.head = block;
+    ++g_span_free.count;
+    return;
+  }
+  ::operator delete(ptr);
+}
+
 Span::~Span() {
   if (!ended_) {
     if (record_.error.empty()) record_.error = "abandoned";
@@ -81,47 +131,106 @@ Span::~Span() {
   }
 }
 
-void Span::End() {
+void Span::End(int64_t end_ns) {
   if (ended_) return;
   ended_ = true;
-  record_.end_ns = NowNs();
-  tracer_->Commit(std::move(record_));
+  record_.end_ns = end_ns;
+  tracer_->Commit(std::move(record_), history_hint_);
 }
 
 // ---------------------------------------------------------------------------
 // Tracer
 
+namespace {
+
+// The degenerate policy matching a legacy SampleMode knob.
+std::shared_ptr<RetentionPolicy> PolicyFromMode(const TracerOptions& options) {
+  switch (options.mode) {
+    case SampleMode::kNever: return MakeNeverRetention();
+    case SampleMode::kAlways: return MakeAlwaysRetention();
+    case SampleMode::kRatio: return MakeRatioRetention(options.sample_every);
+  }
+  return MakeAlwaysRetention();
+}
+
+}  // namespace
+
 Tracer::Tracer(TracerOptions options)
     : options_(options),
-      ring_(options.ring_capacity, options.ring_shards) {}
+      ring_(options.ring_capacity, options.ring_shards),
+      provisional_(options.provisional_capacity, options.provisional_shards) {
+  std::shared_ptr<RetentionPolicy> policy =
+      options_.retention != nullptr ? options_.retention
+                                    : PolicyFromMode(options_);
+  policy_.store(policy.get(), std::memory_order_release);
+  owners_.push_back(std::move(policy));
+}
 
 bool Tracer::SampleNext() {
-  switch (options_.mode) {
-    case SampleMode::kNever: return false;
-    case SampleMode::kAlways: return true;
-    case SampleMode::kRatio: {
-      uint32_t every = options_.sample_every == 0 ? 1 : options_.sample_every;
-      return sample_counter_.fetch_add(1, std::memory_order_relaxed) %
-                 every ==
-             0;
-    }
-  }
-  return false;
+  return policy_.load(std::memory_order_acquire)->SampleHead();
+}
+
+void Tracer::SetRetention(std::shared_ptr<RetentionPolicy> policy) {
+  if (policy == nullptr) policy = PolicyFromMode(options_);
+  std::lock_guard lock(policy_mutex_);
+  policy_.store(policy.get(), std::memory_order_release);
+  owners_.push_back(std::move(policy));  // old policies stay alive: a
+  // racing Commit may still hold the previous raw pointer.
 }
 
 std::unique_ptr<Span> Tracer::StartSpan(SpanKind kind,
                                         std::string_view operation,
                                         const TraceContext& ctx) {
+  return StartSpan(kind, operation, ctx, NowNs());
+}
+
+std::unique_ptr<Span> Tracer::StartSpan(SpanKind kind,
+                                        std::string_view operation,
+                                        const TraceContext& ctx,
+                                        int64_t start_ns) {
   SpanRecord record;
   record.ctx = ctx;
   record.kind = kind;
   record.operation = std::string(operation);
-  record.start_ns = NowNs();
+  record.start_ns = start_ns;
   record.thread_id = ThreadOrdinal();
   return std::unique_ptr<Span>(new Span(this, std::move(record)));
 }
 
-void Tracer::Commit(SpanRecord&& record) { ring_.Record(std::move(record)); }
+void Tracer::Commit(SpanRecord&& record, const LatencyHistogram* history_hint) {
+  RetentionPolicy* policy = policy_.load(std::memory_order_acquire);
+  // Head policies decided at StartSpan time; everything that reaches
+  // Commit was meant to be kept. Attempt spans only exist because
+  // something went wrong (retry or error) — always worth retaining.
+  if (!policy->RecordProvisional() || record.kind == SpanKind::kAttempt) {
+    ring_.Record(std::move(record));
+    return;
+  }
+  // Tail mode: judge the completed span. The operation histogram was
+  // updated by the invocation path *before* End(), so the history the
+  // policy consults includes this very call.
+  TailSignals signals;
+  signals.operation = record.operation;
+  int64_t latency = record.end_ns - record.start_ns;
+  signals.latency_ns = latency > 0 ? static_cast<uint64_t>(latency) : 0;
+  signals.errored = !record.error.empty();
+  signals.retried = record.HasFlag(kSpanFlagRetried);
+  signals.timed_out = record.HasFlag(kSpanFlagTimedOut);
+  signals.faulted = record.HasFlag(kSpanFlagFaulted);
+  if (history_hint != nullptr) {
+    signals.history = history_hint;
+  } else {
+    // "op.add" fits in SSO, so this key costs no allocation for sane names.
+    std::string key = record.kind == SpanKind::kServer ? "srv." : "op.";
+    key += record.operation;
+    signals.history = metrics_.Histogram(key);
+  }
+  if (policy->KeepTail(signals)) {
+    ring_.Record(std::move(record));
+  } else {
+    provisional_.RecordSharded(ThreadOrdinal(), std::move(record));
+  }
+}
 
 bool Tracer::WriteChromeTrace(const std::string& path) const {
   return WriteStringToFile(path, ExportChromeTrace());
@@ -141,6 +250,9 @@ std::string SpansToJsonl(const std::vector<SpanRecord>& spans) {
     out += ",\"start_ns\":" + std::to_string(span.start_ns);
     out += ",\"end_ns\":" + std::to_string(span.end_ns);
     out += ",\"thread\":" + std::to_string(span.thread_id);
+    if (span.flags != 0) {
+      out += ",\"flags\":" + std::to_string(span.flags);
+    }
     if (!span.error.empty()) {
       out += ",\"error\":\"" + JsonEscape(span.error) + "\"";
     }

@@ -19,11 +19,13 @@
 
 #include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "obs/metrics.h"
+#include "obs/retention.h"
 #include "obs/span.h"
 #include "obs/trace.h"
 
@@ -40,6 +42,14 @@ struct TracerOptions {
   uint32_t sample_every = 64;  // the N of 1-in-N (kRatio only)
   size_t ring_capacity = 4096;
   size_t ring_shards = 8;
+  // Overrides `mode` when set: the retention policy owns both the head
+  // decision and (for tail policies) the post-completion keep decision.
+  // Null derives the matching degenerate policy from `mode`.
+  std::shared_ptr<RetentionPolicy> retention = nullptr;
+  // The provisional ring tail policies spill un-promoted spans into
+  // (recent history of *all* calls, per-thread sharded).
+  size_t provisional_capacity = 2048;
+  size_t provisional_shards = 16;
 };
 
 class Tracer;
@@ -62,6 +72,11 @@ class Span {
   Span(const Span&) = delete;
   Span& operator=(const Span&) = delete;
 
+  // Spans churn twice per traced call (client + server); a per-thread
+  // freelist makes this a pointer pop instead of a malloc (tracer.cpp).
+  static void* operator new(size_t size);
+  static void operator delete(void* ptr);
+
   const TraceContext& Context() const { return record_.ctx; }
 
   // Backdates the span's start, e.g. to a request's creation timestamp so
@@ -78,9 +93,23 @@ class Span {
 
   void SetError(std::string_view what) { record_.error = what; }
 
+  // Tags an anomaly observed while the span was live (retry, timeout,
+  // injected fault) — the tail-retention promotion signals.
+  void SetFlag(SpanFlags flag) { record_.flags |= flag; }
+  uint8_t Flags() const { return record_.flags; }
+
+  // Commit-time hint: the per-operation latency histogram the invocation
+  // path already looked up to record this call, so the tail policy does
+  // not probe the registry a second time. Optional.
+  void SetHistoryHint(const LatencyHistogram* history) {
+    history_hint_ = history;
+  }
+
   // Stamps the end time and commits the record to the tracer's ring.
-  // Idempotent; later calls are no-ops.
-  void End();
+  // Idempotent; later calls are no-ops. The second form takes an end
+  // timestamp the caller already read for its own stage accounting.
+  void End() { End(NowNs()); }
+  void End(int64_t end_ns);
 
  private:
   friend class Tracer;
@@ -89,6 +118,7 @@ class Span {
 
   Tracer* tracer_;
   SpanRecord record_;
+  const LatencyHistogram* history_hint_ = nullptr;
   bool ended_ = false;
 };
 
@@ -99,18 +129,42 @@ class Tracer {
   const TracerOptions& Options() const { return options_; }
 
   // The sampling decision for a new *root* call (non-root hops inherit
-  // the inbound context's sampled flag instead of asking).
+  // the inbound context's sampled flag instead of asking). Delegates to
+  // the retention policy's head decision.
   bool SampleNext();
 
+  // True when the retention policy wants every call recorded provisionally
+  // and judged at completion — the ORB then creates local (unsampled,
+  // non-propagating) spans even for calls SampleNext declined.
+  bool RecordsAllCalls() const {
+    return policy_.load(std::memory_order_acquire)->RecordProvisional();
+  }
+
+  // Swaps the retention policy at runtime (RAFDA-style: policy changes
+  // without touching the recording mechanism). Thread-safe; in-flight
+  // spans commit under whichever policy is installed when they end.
+  void SetRetention(std::shared_ptr<RetentionPolicy> policy);
+  RetentionPolicy& Retention() const {
+    return *policy_.load(std::memory_order_acquire);
+  }
+
   // Starts a span whose identity is `ctx` (ctx.span_id is the new span's
-  // own id). The caller owns the span; End() commits it.
+  // own id). The caller owns the span; End() commits it. The second form
+  // takes the caller's own start timestamp — one clock read fewer when
+  // the invocation path already took one for its stage accounting.
   std::unique_ptr<Span> StartSpan(SpanKind kind, std::string_view operation,
                                   const TraceContext& ctx);
+  std::unique_ptr<Span> StartSpan(SpanKind kind, std::string_view operation,
+                                  const TraceContext& ctx, int64_t start_ns);
 
   MetricsRegistry& Metrics() { return metrics_; }
   const MetricsRegistry& Metrics() const { return metrics_; }
   SpanRing& Ring() { return ring_; }
   const SpanRing& Ring() const { return ring_; }
+  // Un-promoted provisional spans (tail policies only) — the "everything
+  // that happened recently" ring, distinct from the retained ring.
+  SpanRing& ProvisionalRing() { return provisional_; }
+  const SpanRing& ProvisionalRing() const { return provisional_; }
 
   std::vector<SpanRecord> Snapshot() const { return ring_.Snapshot(); }
 
@@ -124,12 +178,17 @@ class Tracer {
 
  private:
   friend class Span;
-  void Commit(SpanRecord&& record);
+  void Commit(SpanRecord&& record, const LatencyHistogram* history_hint);
 
   TracerOptions options_;
-  std::atomic<uint64_t> sample_counter_{0};
   MetricsRegistry metrics_;
   SpanRing ring_;
+  SpanRing provisional_;
+  // Hot-path policy access is a raw atomic load; SetRetention parks the
+  // previous policies in owners_ so a loaded pointer never dangles.
+  std::atomic<RetentionPolicy*> policy_;
+  std::mutex policy_mutex_;
+  std::vector<std::shared_ptr<RetentionPolicy>> owners_;
 };
 
 }  // namespace heidi::obs

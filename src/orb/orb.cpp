@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <random>
 #include <thread>
 
 #include "net/inmemory.h"
+#include "obs/flight.h"
+#include "obs/promhttp.h"
 #include "support/arena.h"
 #include "support/bytes.h"
 #include "support/logging.h"
@@ -111,6 +114,36 @@ const char* AttemptStageName(int attempt) {
   return "attempt.n";
 }
 
+// Flight-recorder feeders for the layers below the orb. Support and net
+// expose function-pointer hooks (they must not link heidi_obs); the orb
+// — which links everything — points them at the global black box. The
+// hooks are process-wide, matching the recorder: installed once, by
+// whichever orb constructs first.
+void FlightPoolPressureHook(uint64_t outstanding_bytes,
+                            uint64_t outstanding_bufs) {
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kPoolPressure,
+                                       outstanding_bytes, outstanding_bufs);
+}
+
+void FlightArenaOversizeHook(uint64_t bytes) {
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kArenaOversize,
+                                       bytes);
+}
+
+void FlightFaultTriggerHook(const char* kind, uint64_t total) {
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kFaultInjected,
+                                       total, 0, kind);
+}
+
+void InstallFlightHooksOnce() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    bytes::IoBufPool::Global().BindPressureHook(&FlightPoolPressureHook);
+    support::Arena::SetOversizeHook(&FlightArenaOversizeHook);
+    net::FaultInjector::SetTriggerHook(&FlightFaultTriggerHook);
+  });
+}
+
 }  // namespace
 
 // ---------------------------------------------------------------------------
@@ -148,6 +181,34 @@ Orb::Orb(OrbOptions options) : options_(std::move(options)) {
     // call from metric deltas. (The pool is process-global; last tracer
     // bound wins, which is fine — bench binaries attach exactly one.)
     bytes::IoBufPool::Global().BindMetrics(metrics);
+    // Retention overrides the tracer's sampling mode (the tracer may be
+    // shared; the last orb's policy wins, like BindMetrics above).
+    if (options_.retention != nullptr) {
+      options_.tracer->SetRetention(options_.retention);
+    }
+  }
+  InstallFlightHooksOnce();
+  if (options_.metrics_listen >= 0) {
+    // The scrape pages render from the tracer's registry; an orb without
+    // a tracer still gets counters/gauges through a registry of its own.
+    if (options_.tracer == nullptr) {
+      own_metrics_ = std::make_unique<obs::MetricsRegistry>();
+    }
+    metrics_server_ = std::make_unique<obs::PromHttpServer>(
+        static_cast<uint16_t>(options_.metrics_listen));
+    obs::PromHttpServer::Page metrics_page;
+    metrics_page.render = [this] {
+      SyncStatsToMetrics();
+      return ScrapeRegistry()->RenderOpenMetrics();
+    };
+    metrics_page.content_type = obs::MetricsRegistry::OpenMetricsContentType();
+    metrics_server_->Handle("/metrics", std::move(metrics_page));
+    obs::PromHttpServer::Page flight_page;
+    flight_page.render = [] {
+      return obs::FlightRecorder::Global().DumpJsonl();
+    };
+    metrics_server_->Handle("/flight", std::move(flight_page));
+    metrics_server_->Start();
   }
   InprocRegister(options_.inproc_name, this);
 }
@@ -161,6 +222,8 @@ void Orb::ListenTcp(uint16_t port) {
   std::lock_guard lock(server_mutex_);
   if (acceptor_ != nullptr) throw HdError("orb is already listening");
   acceptor_ = std::make_unique<net::TcpAcceptor>(port);
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kListen,
+                                       acceptor_->Port());
   accept_thread_ = std::thread([this] {
     while (true) {
       std::unique_ptr<net::ByteChannel> channel = acceptor_->Accept();
@@ -188,18 +251,22 @@ void Orb::ServeChannel(std::unique_ptr<net::ByteChannel> channel) {
     return;
   }
   server_comms_.push_back(comm);
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kConnAccepted, 0,
+                                       0, comm->PeerName());
   handler_threads_.emplace_back([this, comm] { HandlerLoop(comm); });
 }
 
 void Orb::Shutdown() {
+  bool first_shutdown;
   {
     std::lock_guard lock(server_mutex_);
-    if (shutting_down_) {
-      // Second call: everything below already ran or is running.
-    }
+    first_shutdown = !shutting_down_;
     shutting_down_ = true;
     if (acceptor_ != nullptr) acceptor_->Close();
     for (auto& comm : server_comms_) comm->Close();
+  }
+  if (first_shutdown) {
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kShutdown);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
   // Handler threads exit once their connection EOFs (we closed them all).
@@ -215,13 +282,38 @@ void Orb::Shutdown() {
   // tasks run to completion (their reply Send fails harmlessly on the
   // closed connection), then the workers join.
   if (worker_pool_ != nullptr) worker_pool_->Stop();
-  std::lock_guard lock(client_mutex_);
-  for (auto& [endpoint, comm] : connections_) comm->Close();
-  connections_.clear();
-  // Safe even if a straggler is mid-connect: it owns its lock via
-  // shared_ptr and caches its connection into the cleared (empty) map.
-  connect_locks_.clear();
-  stubs_.clear();
+  {
+    std::lock_guard lock(client_mutex_);
+    for (auto& [endpoint, comm] : connections_) comm->Close();
+    connections_.clear();
+    // Safe even if a straggler is mid-connect: it owns its lock via
+    // shared_ptr and caches its connection into the cleared (empty) map.
+    connect_locks_.clear();
+    stubs_.clear();
+  }
+  // The scrape endpoint outlives the connections (a collector may read
+  // the final counters mid-shutdown) but not the orb: stop it last.
+  if (metrics_server_ != nullptr) metrics_server_->Stop();
+  // Shutdown trace flush — the tail-retention story's exit hatch: the
+  // spans the policy promoted survive the process as JSONL / Chrome
+  // trace files. Once per orb, env vars as the no-recompile fallback.
+  std::call_once(trace_flush_once_, [this] {
+    if (options_.tracer == nullptr) return;
+    std::string jsonl = options_.trace_jsonl_out;
+    if (jsonl.empty()) {
+      if (const char* env = std::getenv("HEIDI_TRACE_JSONL_OUT")) jsonl = env;
+    }
+    std::string chrome = options_.trace_chrome_out;
+    if (chrome.empty()) {
+      if (const char* env = std::getenv("HEIDI_TRACE_CHROME_OUT")) {
+        chrome = env;
+      }
+    }
+    if (!jsonl.empty()) {
+      obs::WriteStringToFile(jsonl, options_.tracer->ExportJsonl());
+    }
+    if (!chrome.empty()) options_.tracer->WriteChromeTrace(chrome);
+  });
 }
 
 std::string Orb::MyEndpoint() const {
@@ -320,19 +412,29 @@ void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
     // for the request to arrive — interpretable on a timeline, so it is
     // deliberately kept off the always-on stage histograms.
     std::shared_ptr<obs::Span> span;
-    if (tracer != nullptr && request->Trace().Valid() &&
-        request->Trace().sampled) {
-      obs::TraceContext ctx = request->Trace();
-      ctx.parent_span_id = ctx.span_id;
-      ctx.span_id = obs::NewSpanId();
+    bool inbound_sampled =
+        request->Trace().Valid() && request->Trace().sampled;
+    if (tracer != nullptr &&
+        (inbound_sampled || tracer->RecordsAllCalls())) {
+      obs::TraceContext ctx;
+      if (request->Trace().Valid()) {
+        ctx = request->Trace();
+        ctx.parent_span_id = ctx.span_id;
+        ctx.span_id = obs::NewSpanId();
+      } else {
+        // Tail retention: the client sent no context (it was not
+        // head-sampled), but the policy wants every dispatch judged at
+        // completion — give the span a local, unsampled root identity
+        // that never propagates.
+        ctx = obs::NewRootContext(false);
+      }
       span = tracer->StartSpan(obs::SpanKind::kServer, request->Operation(),
-                               ctx);
-      span->SetStart(t_read);
-      span->AddStage("read", t_read);
+                               ctx, t_read);
     }
     if (request->Oneway()) {
       // Inline on the reader thread: oneways from one connection execute
       // in submission order, whatever the pool's workers are doing.
+      if (span != nullptr) span->AddStage("read", t_read);
       HandleRequest(*request, span.get());
       requests_served_.fetch_add(1, std::memory_order_relaxed);
       if (span != nullptr) span->End();
@@ -343,6 +445,7 @@ void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
     // and the client's mux matches them by call id.
     std::shared_ptr<wire::Call> shared_request(std::move(request));
     int64_t t_queued = tracer != nullptr ? obs::NowNs() : 0;
+    if (span != nullptr) span->AddStageInterval("read", t_read, t_queued);
     auto task = [this, comm, shared_request, span, t_queued, tracer] {
       if (tracer != nullptr) {
         // Queue wait: from Post() to a pool worker picking the task up
@@ -367,7 +470,7 @@ void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
         stage_server_reply_->Record(static_cast<uint64_t>(t_done - t_reply));
         if (span != nullptr) {
           span->AddStageInterval("reply", t_reply, t_done);
-          span->End();
+          span->End(t_done);
         }
       }
     };
@@ -392,8 +495,12 @@ std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request,
   // Nested invocations made by the implementation (or interceptors) on
   // this thread join the inbound trace as children of the server span —
   // or, when the call was not sampled, silently continue its trace id.
-  obs::TraceContext ambient =
-      span != nullptr ? span->Context() : request.Trace();
+  // The local-only spans tail retention creates (valid ctx, sampled ==
+  // false) must NOT become ambient: nothing about them may leak onto a
+  // nested outbound call's wire.
+  obs::TraceContext ambient = span != nullptr && request.Trace().Valid()
+                                  ? span->Context()
+                                  : request.Trace();
   obs::ScopedContext trace_scope(ambient);
   // Per-dispatch scratch arena, seeded from the request's retained frame
   // slab (HIOP) or pool-backed (text / owned decodes): unescape buffers,
@@ -503,15 +610,16 @@ std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request,
     if (t_exec == 0) t_exec = t_enter;  // PreDispatch rejected the request
     stage_server_exec_->Record(static_cast<uint64_t>(t_done - t_exec));
     int64_t served = t_done - t_enter;
-    tracer->Metrics()
-        .Histogram("srv." + request.Operation())
-        ->Record(static_cast<uint64_t>(served > 0 ? served : 0));
+    obs::LatencyHistogram* op_history =
+        tracer->Metrics().Histogram("srv." + request.Operation());
+    op_history->Record(static_cast<uint64_t>(served > 0 ? served : 0));
     ctr_requests_->Add(1);
     bool failed = reply->Status() != wire::CallStatus::kOk;
     if (failed) ctr_request_errors_->Add(1);
     if (span != nullptr) {
       span->AddStageInterval("exec", t_exec, t_done);
       if (failed) span->SetError(reply->ErrorText());
+      span->SetHistoryHint(op_history);
     }
   }
   // End of dispatch scope: the stack arena dies here, so both calls must
@@ -595,6 +703,8 @@ std::unique_ptr<net::ByteChannel> Orb::ConnectTo(const ObjectRef& ref) {
     throw NetError("unknown transport protocol '" + ref.protocol + "'");
   }
   connections_opened_.fetch_add(1, std::memory_order_relaxed);
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kConnOpened, 0, 0,
+                                       ref.Endpoint());
   return channel;
 }
 
@@ -641,6 +751,8 @@ std::shared_ptr<ObjectCommunicator> Orb::GetCommunicator(
   std::lock_guard lock(client_mutex_);
   if (pending_reconnect_.erase(endpoint) > 0) {
     reconnects_.fetch_add(1, std::memory_order_relaxed);
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kReconnect, 0,
+                                         0, endpoint);
   }
   connections_[endpoint] = comm;  // sole owner of the connect lock: no race
   return comm;
@@ -655,6 +767,8 @@ void Orb::DropCachedCommunicator(const std::string& endpoint) {
     // The entry died of a transport error; the next connect to this
     // endpoint is a reconnect.
     pending_reconnect_.insert(endpoint);
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kConnBroken, 0,
+                                         0, endpoint);
   }
 }
 
@@ -697,8 +811,11 @@ bool Orb::PrepareRetry(const wire::Call& request, bool indeterminate,
                        Clock::time_point deadline) {
   const RetryPolicy& policy = options_.retry;
   if (policy.max_attempts <= 1) return false;  // retrying not configured
-  auto give_up = [this] {
+  auto give_up = [this, &request, attempt] {
     retry_give_ups_.fetch_add(1, std::memory_order_relaxed);
+    obs::FlightRecorder::Global().Record(obs::FlightEventType::kRetryGiveUp,
+                                         static_cast<uint64_t>(attempt), 0,
+                                         request.Operation());
     return false;
   };
   if (attempt >= policy.max_attempts) return give_up();
@@ -725,6 +842,10 @@ bool Orb::PrepareRetry(const wire::Call& request, bool indeterminate,
     std::this_thread::sleep_for(std::chrono::milliseconds(delay_ms));
   }
   retries_.fetch_add(1, std::memory_order_relaxed);
+  obs::FlightRecorder::Global().Record(obs::FlightEventType::kRetry,
+                                       static_cast<uint64_t>(attempt),
+                                       static_cast<uint64_t>(delay_ms),
+                                       request.Operation());
   return true;
 }
 
@@ -739,15 +860,24 @@ InvokeTrace Orb::BeginInvokeTrace(const wire::Call& request) {
   trace.start_ns = obs::NowNs();
   trace.operation = request.Operation();
   const obs::TraceContext& ctx = request.Trace();
-  if (ctx.Valid() && ctx.sampled) {
-    trace.span = trace.tracer->StartSpan(obs::SpanKind::kClient,
-                                         request.Operation(), ctx);
+  bool sampled = ctx.Valid() && ctx.sampled;
+  if (sampled || trace.tracer->RecordsAllCalls()) {
+    // Head-sampled calls get the wire context they were stamped with; a
+    // tail-retention call (no wire context) gets a local, unsampled root
+    // identity — the span exists so the policy can judge it at finish,
+    // but nothing about it ever reaches the wire.
+    trace.span = trace.tracer->StartSpan(
+        obs::SpanKind::kClient, request.Operation(),
+        ctx.Valid() ? ctx : obs::NewRootContext(false), trace.start_ns);
     // Backdate the span to the request's creation so the marshal stage
     // (NewRequest -> Invoke: the stub's Put* calls) is on the timeline.
     if (request.BornNs() != 0 && request.BornNs() < trace.start_ns) {
       trace.span->SetStart(request.BornNs());
       trace.span->AddStageInterval("marshal", request.BornNs(),
                                    trace.start_ns);
+    }
+    if (options_.fault_injector != nullptr) {
+      trace.faults_before = options_.fault_injector->Stats().Total();
     }
   }
   return trace;
@@ -772,15 +902,26 @@ void Orb::RecordAttemptSpan(InvokeTrace& trace, int attempt,
 
 void Orb::FinishInvokeTrace(InvokeTrace& trace, const char* error) {
   if (trace.tracer == nullptr) return;
-  int64_t elapsed = obs::NowNs() - trace.start_ns;
-  trace.tracer->Metrics()
-      .Histogram("op." + trace.operation)
-      ->Record(static_cast<uint64_t>(elapsed > 0 ? elapsed : 0));
+  int64_t t_done = obs::NowNs();
+  int64_t elapsed = t_done - trace.start_ns;
+  obs::LatencyHistogram* op_history =
+      trace.tracer->Metrics().Histogram("op." + trace.operation);
+  op_history->Record(static_cast<uint64_t>(elapsed > 0 ? elapsed : 0));
   ctr_calls_->Add(1);
   if (error != nullptr) ctr_call_errors_->Add(1);
   if (trace.span != nullptr) {
+    trace.span->SetHistoryHint(op_history);
     if (error != nullptr) trace.span->SetError(error);
-    trace.span->End();
+    // An injected fault fired somewhere in this call's window — flag the
+    // span so tail retention promotes it even if a retry masked the
+    // fault into a clean result. (The injector is shared, so a
+    // concurrent call's fault can tag a neighbor; retention errs on
+    // keeping too much, never too little.)
+    if (options_.fault_injector != nullptr &&
+        options_.fault_injector->Stats().Total() > trace.faults_before) {
+      trace.span->SetFlag(obs::kSpanFlagFaulted);
+    }
+    trace.span->End(t_done);
     trace.span.reset();
   }
   trace.tracer = nullptr;  // finished: the handle/caller must not re-run
@@ -799,8 +940,11 @@ std::unique_ptr<wire::Call> Orb::Invoke(const ObjectRef& target,
   try {
     for (;;) {
       ++attempt;
-      int64_t attempt_start =
-          trace.span != nullptr ? obs::NowNs() : trace.start_ns;
+      // Attempt 1 starts at the trace start; a fresh timestamp is only
+      // needed for retries (attempt sub-spans never exist otherwise).
+      int64_t attempt_start = attempt > 1 && trace.span != nullptr
+                                  ? obs::NowNs()
+                                  : trace.start_ns;
       std::exception_ptr failure;
       bool indeterminate = false;
       try {
@@ -812,6 +956,9 @@ std::unique_ptr<wire::Call> Orb::Invoke(const ObjectRef& target,
         FinishInvokeTrace(trace, nullptr);
         return reply;
       } catch (const TimeoutError&) {
+        if (trace.span != nullptr) {
+          trace.span->SetFlag(obs::kSpanFlagTimedOut);
+        }
         throw;  // the call's time is spent; a retry could not finish either
       } catch (const ConnectError& e) {
         failure = std::current_exception();  // determinate: never sent
@@ -825,6 +972,7 @@ std::unique_ptr<wire::Call> Orb::Invoke(const ObjectRef& target,
                         deadline)) {
         std::rethrow_exception(failure);
       }
+      if (trace.span != nullptr) trace.span->SetFlag(obs::kSpanFlagRetried);
     }
   } catch (const std::exception& e) {
     // Covers the retry exhaustion above plus errors that bypass the
@@ -846,8 +994,9 @@ ReplyHandle Orb::InvokeAsync(const ObjectRef& target,
   int attempt = 0;
   for (;;) {
     ++attempt;
-    int64_t attempt_start =
-        trace.span != nullptr ? obs::NowNs() : trace.start_ns;
+    int64_t attempt_start = attempt > 1 && trace.span != nullptr
+                                ? obs::NowNs()
+                                : trace.start_ns;
     std::exception_ptr failure;
     bool indeterminate = false;
     try {
@@ -861,6 +1010,7 @@ ReplyHandle Orb::InvokeAsync(const ObjectRef& target,
       handle.borrowed_span_ = nullptr;
       return handle;
     } catch (const TimeoutError& e) {
+      if (trace.span != nullptr) trace.span->SetFlag(obs::kSpanFlagTimedOut);
       FinishInvokeTrace(trace, e.what());
       throw;
     } catch (const ConnectError& e) {
@@ -880,6 +1030,7 @@ ReplyHandle Orb::InvokeAsync(const ObjectRef& target,
         throw;
       }
     }
+    if (trace.span != nullptr) trace.span->SetFlag(obs::kSpanFlagRetried);
   }
 }
 
@@ -933,6 +1084,7 @@ std::unique_ptr<wire::Call> ReplyHandle::Get() {
       // The deadline expired but the connection is healthy: keep it cached
       // (the late reply is drained by the demux thread), fail only this
       // call.
+      if (span != nullptr) span->SetFlag(obs::kSpanFlagTimedOut);
       throw;
     } catch (const NetError&) {
       orb_->DropCachedCommunicator(target_.Endpoint());
@@ -1000,8 +1152,9 @@ void Orb::InvokeOneway(const ObjectRef& target, const wire::Call& request) {
   int attempt = 0;
   for (;;) {
     ++attempt;
-    int64_t attempt_start =
-        trace.span != nullptr ? obs::NowNs() : trace.start_ns;
+    int64_t attempt_start = attempt > 1 && trace.span != nullptr
+                                ? obs::NowNs()
+                                : trace.start_ns;
     std::exception_ptr failure;
     bool indeterminate = false;
     try {
@@ -1031,6 +1184,7 @@ void Orb::InvokeOneway(const ObjectRef& target, const wire::Call& request) {
       }
       return;
     } catch (const TimeoutError& e) {
+      if (trace.span != nullptr) trace.span->SetFlag(obs::kSpanFlagTimedOut);
       FinishInvokeTrace(trace, e.what());
       throw;
     } catch (const ConnectError& e) {
@@ -1053,6 +1207,7 @@ void Orb::InvokeOneway(const ObjectRef& target, const wire::Call& request) {
         throw;
       }
     }
+    if (trace.span != nullptr) trace.span->SetFlag(obs::kSpanFlagRetried);
   }
 }
 
@@ -1202,6 +1357,87 @@ OrbStats Orb::Stats() const {
   stats.iobuf_pool_misses = pool.misses;
   stats.iobuf_bytes_retained = pool.outstanding_bytes;
   return stats;
+}
+
+// ---------------------------------------------------------------------------
+// Scrape endpoint plumbing
+
+std::string Orb::DumpFlightRecorder() const {
+  return obs::FlightRecorder::Global().DumpJsonl();
+}
+
+uint16_t Orb::MetricsPort() const {
+  return metrics_server_ != nullptr ? metrics_server_->Port() : 0;
+}
+
+obs::MetricsRegistry* Orb::ScrapeRegistry() const {
+  if (options_.tracer != nullptr) return &options_.tracer->Metrics();
+  return own_metrics_.get();
+}
+
+void Orb::SyncStatsToMetrics() const {
+  obs::MetricsRegistry* metrics = ScrapeRegistry();
+  if (metrics == nullptr) return;
+  // Counters: every OrbStats field is mirrored under a stable orb.*
+  // name. Store (not Add) — OrbStats is the source of truth and already
+  // monotonic; the scrape just snapshots it.
+  OrbStats stats = Stats();
+  metrics->GetCounter("orb.connections_opened")
+      ->Store(stats.connections_opened);
+  metrics->GetCounter("orb.calls_sent")->Store(stats.calls_sent);
+  metrics->GetCounter("orb.requests_served")->Store(stats.requests_served);
+  metrics->GetCounter("orb.skeletons_created")
+      ->Store(stats.skeletons_created);
+  metrics->GetCounter("orb.stubs_created")->Store(stats.stubs_created);
+  metrics->GetCounter("orb.calls_timed_out")->Store(stats.calls_timed_out);
+  metrics->GetCounter("orb.mux_wakeups")->Store(stats.mux_wakeups);
+  metrics->GetCounter("orb.stale_replies_dropped")
+      ->Store(stats.stale_replies_dropped);
+  metrics->GetCounter("orb.connections_broken")
+      ->Store(stats.connections_broken);
+  metrics->GetCounter("orb.reconnects")->Store(stats.reconnects);
+  metrics->GetCounter("orb.retries")->Store(stats.retries);
+  metrics->GetCounter("orb.retry_give_ups")->Store(stats.retry_give_ups);
+  metrics->GetCounter("orb.faults_injected")->Store(stats.faults_injected);
+  metrics->GetCounter("orb.spans_recorded")->Store(stats.spans_recorded);
+  metrics->GetCounter("orb.spans_dropped")->Store(stats.spans_dropped);
+  if (options_.tracer != nullptr) {
+    const obs::SpanRing& provisional = options_.tracer->ProvisionalRing();
+    metrics->GetCounter("tracer.provisional_recorded")
+        ->Store(provisional.Recorded());
+    metrics->GetCounter("tracer.provisional_dropped")
+        ->Store(provisional.Dropped());
+  }
+  obs::FlightRecorder& flight = obs::FlightRecorder::Global();
+  metrics->GetCounter("flight.recorded")->Store(flight.Recorded());
+  metrics->GetCounter("flight.dropped")->Store(flight.Dropped());
+  bytes::IoBufPool::Stats pool = bytes::IoBufPool::Global().GetStats();
+  metrics->GetCounter("iobuf.pool.hits")->Store(pool.hits);
+  metrics->GetCounter("iobuf.pool.misses")->Store(pool.misses);
+  metrics->GetCounter("iobuf.pool.recycles")->Store(pool.recycles);
+  // Gauges: point-in-time levels.
+  metrics->GetGauge("orb.inflight_highwater")
+      ->Set(static_cast<int64_t>(stats.inflight_highwater));
+  metrics->GetGauge("orb.dispatch_queue_highwater")
+      ->Set(static_cast<int64_t>(stats.dispatch_queue_highwater));
+  metrics->GetGauge("iobuf.pool.outstanding_bufs")
+      ->Set(static_cast<int64_t>(pool.outstanding_bufs));
+  metrics->GetGauge("iobuf.pool.outstanding_bytes")
+      ->Set(static_cast<int64_t>(pool.outstanding_bytes));
+  if (worker_pool_ != nullptr) {
+    metrics->GetGauge("orb.workpool.queue_depth")
+        ->Set(static_cast<int64_t>(worker_pool_->QueueDepth()));
+  }
+  size_t open = 0;
+  {
+    std::lock_guard lock(client_mutex_);
+    open += connections_.size();
+  }
+  {
+    std::lock_guard lock(server_mutex_);
+    open += server_comms_.size();
+  }
+  metrics->GetGauge("orb.open_connections")->Set(static_cast<int64_t>(open));
 }
 
 }  // namespace heidi::orb

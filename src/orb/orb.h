@@ -47,6 +47,7 @@
 #include "net/channel.h"
 #include "net/fault.h"
 #include "net/tcp.h"
+#include "obs/retention.h"
 #include "obs/tracer.h"
 #include "orb/callmux.h"
 #include "orb/communicator.h"
@@ -61,6 +62,12 @@
 #include "support/error.h"
 #include "wire/protocol.h"
 #include "wire/serializable.h"
+
+namespace heidi {
+namespace obs {
+class PromHttpServer;
+}  // namespace obs
+}  // namespace heidi
 
 namespace heidi::orb {
 
@@ -104,6 +111,24 @@ struct OrbOptions {
   // hot path untouched. Client and server orbs may share one tracer
   // (single merged timeline) or own one each.
   std::shared_ptr<obs::Tracer> tracer;
+  // Retention as policy (see obs/retention.h): replaces the tracer's
+  // sampling mode when set. MakeTailRetention keeps the spans that
+  // matter after the fact — errors, retries, timeouts, injected faults,
+  // latency outliers against the live per-op p99 — while healthy calls
+  // pass through a cheap provisional ring and are forgotten. Ignored
+  // when `tracer` is null.
+  std::shared_ptr<obs::RetentionPolicy> retention;
+  // OpenMetrics scrape endpoint: >= 0 starts an HTTP/1.0 server on that
+  // port (0 = ephemeral, see Orb::MetricsPort) serving GET /metrics in
+  // OpenMetrics text exposition and GET /flight as the flight-recorder
+  // JSONL. -1 (the default) starts nothing.
+  int metrics_listen = -1;
+  // Shutdown trace flush: when non-empty (or the HEIDI_TRACE_JSONL_OUT /
+  // HEIDI_TRACE_CHROME_OUT environment variables are set), Shutdown()
+  // writes the tracer's retained spans to these paths as JSONL / Chrome
+  // trace-viewer JSON.
+  std::string trace_jsonl_out;
+  std::string trace_chrome_out;
 };
 
 // Counters exposed for benchmarks and tests (monotonic, best-effort).
@@ -146,6 +171,9 @@ struct InvokeTrace {
   std::unique_ptr<obs::Span> span;  // sampled timeline, else nullptr
   int64_t start_ns = 0;             // Invoke/InvokeAsync entry
   std::string operation;            // per-op histogram key at finish
+  // Injector fault count when the span began; FinishInvokeTrace flags
+  // the span kSpanFlagFaulted if it grew (tail retention keeps it).
+  uint64_t faults_before = 0;
 };
 
 class Orb;
@@ -290,6 +318,11 @@ class Orb {
   // "tcp:127.0.0.1:1234" or "inproc:name:0"; throws if neither transport
   // is active.
   std::string MyEndpoint() const;
+  // The black-box journal as JSONL (same body the scrape endpoint's
+  // /flight route and telnet_debug's `flight` command serve).
+  std::string DumpFlightRecorder() const;
+  // Bound port of the OpenMetrics endpoint; 0 when metrics_listen < 0.
+  uint16_t MetricsPort() const;
 
  private:
   friend class ReplyHandle;  // completion path shares the invoke plumbing
@@ -364,8 +397,9 @@ class Orb {
   std::vector<std::shared_ptr<ServerInterceptor>> server_interceptors_;
   mutable std::mutex interceptor_mutex_;
 
-  // Client state.
-  std::mutex client_mutex_;
+  // Client state. (Mutable: the scrape path's open-connection gauge
+  // counts cache entries from const context.)
+  mutable std::mutex client_mutex_;
   std::map<std::string, std::shared_ptr<ObjectCommunicator>> connections_;
   // Per-endpoint connection-establishment locks (see GetCommunicator):
   // one thread connects, concurrent callers for the same endpoint wait
@@ -404,6 +438,15 @@ class Orb {
   obs::Counter* ctr_call_errors_ = nullptr;
   obs::Counter* ctr_requests_ = nullptr;
   obs::Counter* ctr_request_errors_ = nullptr;
+
+  // Scrape endpoint. The registry the pages render from is the tracer's
+  // when one is attached; otherwise own_metrics_ gives the endpoint a
+  // registry of its own (counters/gauges only, no latency histograms).
+  obs::MetricsRegistry* ScrapeRegistry() const;
+  void SyncStatsToMetrics() const;
+  std::unique_ptr<obs::MetricsRegistry> own_metrics_;
+  std::unique_ptr<obs::PromHttpServer> metrics_server_;
+  std::once_flag trace_flush_once_;
 };
 
 }  // namespace heidi::orb

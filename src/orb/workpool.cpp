@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "obs/flight.h"
+
 namespace heidi::orb {
 
 bool WorkPool::Post(Task task) {
@@ -18,10 +20,20 @@ bool WorkPool::Post(Task task) {
     ++stats_.posted;
     if (queue_.size() > stats_.queue_highwater) {
       stats_.queue_highwater = queue_.size();
+      // Journal the new high-water mark: a queue that keeps climbing is
+      // the canonical "server falling behind" black-box breadcrumb.
+      obs::FlightRecorder::Global().Record(
+          obs::FlightEventType::kQueueHighWater, stats_.queue_highwater,
+          static_cast<uint64_t>(target_threads_));
     }
   }
   cv_.notify_one();
   return true;
+}
+
+size_t WorkPool::QueueDepth() const {
+  std::lock_guard lock(mutex_);
+  return queue_.size();
 }
 
 WorkPool::Stats WorkPool::GetStats() const {

@@ -37,6 +37,10 @@ class WorkPool {
 
   int Threads() const { return target_threads_; }
 
+  // Tasks currently queued (not yet picked up) — a point-in-time gauge
+  // for the scrape endpoint.
+  size_t QueueDepth() const;
+
   // Observability counters (monotonic; maintained under the pool mutex).
   struct Stats {
     uint64_t posted = 0;           // tasks accepted by Post()

@@ -1,11 +1,14 @@
 #include "support/arena.h"
 
+#include <atomic>
 #include <cstring>
 
 namespace heidi::support {
 
 namespace {
 constexpr size_t kSlab = bytes::IoBufPool::kSlabBytes;
+
+std::atomic<Arena::OversizeHook> g_oversize_hook{nullptr};
 
 #ifndef NDEBUG
 void Poison(char* base, size_t from, size_t to) {
@@ -49,6 +52,9 @@ void* Arena::Allocate(size_t n, size_t align) {
   // release. Kept on the overflow list so lifetime matches the arena.
   if (n + align > kSlab) {
     stats_.oversize_allocations++;
+    if (OversizeHook hook = g_oversize_hook.load(std::memory_order_relaxed)) {
+      hook(n);
+    }
     bytes::IoBufPtr big = pool_->Get(n + align);
     char* base = big->Data();
     overflow_.push_back(std::move(big));
@@ -95,6 +101,10 @@ void Arena::Reset() {
   active_ = Region{};
   if (!donated_) seed_region_.cursor = 0;
   stats_.resets++;
+}
+
+void Arena::SetOversizeHook(OversizeHook hook) {
+  g_oversize_hook.store(hook, std::memory_order_relaxed);
 }
 
 void Arena::PoisonScratch() {

@@ -92,6 +92,13 @@ class Arena {
   bool HasSeed() const { return static_cast<bool>(seed_); }
   bool TailDonated() const { return donated_; }
 
+  // Process-wide notification for oversize allocations (> one slab) —
+  // function-registration so heidi_support never links the observer.
+  // Oversize requests defeat the recycling pool entirely, so each one is
+  // a pressure breadcrumb worth journaling.
+  using OversizeHook = void (*)(uint64_t bytes);
+  static void SetOversizeHook(OversizeHook hook);
+
  private:
   struct Region {
     char* base = nullptr;

@@ -62,6 +62,7 @@ IoBufPtr IoBufPool::Get(size_t min_capacity) {
       }
       outstanding_bufs_.fetch_add(1, std::memory_order_relaxed);
       outstanding_bytes_.fetch_add(buf->Capacity(), std::memory_order_relaxed);
+      NotePressure();
       buf->size_ = 0;
       buf->refs_.store(1, std::memory_order_relaxed);
       return IoBufPtr::Adopt(buf);
@@ -76,7 +77,28 @@ IoBufPtr IoBufPool::Get(size_t min_capacity) {
   buf->pool_ = this;
   outstanding_bufs_.fetch_add(1, std::memory_order_relaxed);
   outstanding_bytes_.fetch_add(buf->Capacity(), std::memory_order_relaxed);
+  NotePressure();
   return IoBufPtr::Adopt(buf);
+}
+
+void IoBufPool::NotePressure() {
+  PressureHook hook = pressure_hook_.load(std::memory_order_relaxed);
+  if (hook == nullptr) return;
+  uint64_t bytes = outstanding_bytes_.load(std::memory_order_relaxed);
+  // Fire only when a new high-water mark crosses a 256 KiB step: the CAS
+  // loop makes each step report once process-wide, so the hook's cost is
+  // amortized to zero on a steady workload.
+  constexpr uint64_t kStep = 256 * 1024;
+  uint64_t seen = outstanding_highwater_.load(std::memory_order_relaxed);
+  while (bytes > seen) {
+    if (outstanding_highwater_.compare_exchange_weak(
+            seen, bytes, std::memory_order_relaxed)) {
+      if (bytes / kStep > seen / kStep) {
+        hook(bytes, outstanding_bufs_.load(std::memory_order_relaxed));
+      }
+      return;
+    }
+  }
 }
 
 void IoBufPool::Recycle(IoBuf* buf) {

@@ -159,6 +159,17 @@ class IoBufPool {
                  metrics.GetCounter("iobuf.pool.recycles"));
   }
 
+  // Pressure notification (same function-registration pattern as
+  // BindCounters, so heidi_support never links the observer): fires when
+  // the outstanding-bytes gauge reaches a new high-water mark that also
+  // crosses a 256 KiB step — growth-only and step-gated, so a steady
+  // workload emits nothing and a leak emits a breadcrumb trail.
+  using PressureHook = void (*)(uint64_t outstanding_bytes,
+                                uint64_t outstanding_bufs);
+  void BindPressureHook(PressureHook hook) {
+    pressure_hook_.store(hook, std::memory_order_relaxed);
+  }
+
   // The process-wide pool every chain and protocol uses by default.
   // Deliberately immortal (never destroyed): slabs may be released from
   // static destructors of arbitrary order.
@@ -175,6 +186,7 @@ class IoBufPool {
   Shard& HomeShard();
   IoBuf* PopFrom(Shard& shard);
   void Recycle(IoBuf* buf);
+  void NotePressure();
 
   Shard shards_[kShards];
   std::atomic<uint64_t> hits_{0};
@@ -182,9 +194,11 @@ class IoBufPool {
   std::atomic<uint64_t> recycles_{0};
   std::atomic<uint64_t> outstanding_bufs_{0};
   std::atomic<uint64_t> outstanding_bytes_{0};
+  std::atomic<uint64_t> outstanding_highwater_{0};
   std::atomic<obs::Counter*> ctr_hits_{nullptr};
   std::atomic<obs::Counter*> ctr_misses_{nullptr};
   std::atomic<obs::Counter*> ctr_recycles_{nullptr};
+  std::atomic<PressureHook> pressure_hook_{nullptr};
 };
 
 // A contiguous [offset, offset+length) window of one slab.

@@ -1,0 +1,117 @@
+// FlightRecorder unit tests: bounded sharded journal, JSONL dump, detail
+// truncation, and the async-signal-safe fd dump path (driven here from a
+// normal thread — the formatting and write(2) loop are what matter).
+#include "obs/flight.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <string>
+#include <vector>
+
+namespace heidi::obs {
+namespace {
+
+TEST(FlightRecorderTest, RecordsAndSnapshotsOldestFirst) {
+  FlightRecorder recorder(/*capacity=*/64, /*shards=*/4);
+  recorder.Record(FlightEventType::kListen, 4242);
+  recorder.Record(FlightEventType::kConnOpened, 1, 0, "127.0.0.1:9");
+  recorder.Record(FlightEventType::kShutdown);
+  EXPECT_EQ(recorder.Recorded(), 3u);
+  EXPECT_EQ(recorder.Dropped(), 0u);
+
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[0].type, FlightEventType::kListen);
+  EXPECT_EQ(events[0].a, 4242u);
+  EXPECT_EQ(events[1].type, FlightEventType::kConnOpened);
+  EXPECT_STREQ(events[1].detail, "127.0.0.1:9");
+  EXPECT_EQ(events[2].type, FlightEventType::kShutdown);
+  // Timestamps are monotone oldest-first.
+  EXPECT_LE(events[0].ts_ns, events[1].ts_ns);
+  EXPECT_LE(events[1].ts_ns, events[2].ts_ns);
+}
+
+TEST(FlightRecorderTest, CapacityBoundsTheJournal) {
+  FlightRecorder recorder(/*capacity=*/8, /*shards=*/1);
+  for (int i = 0; i < 100; ++i) {
+    recorder.Record(FlightEventType::kRetry, static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(recorder.Recorded(), 100u);
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  // The ring keeps the newest history: 92..99.
+  EXPECT_EQ(events.front().a, 92u);
+  EXPECT_EQ(events.back().a, 99u);
+}
+
+TEST(FlightRecorderTest, DetailIsTruncatedNotOverflowed) {
+  FlightRecorder recorder(16, 1);
+  std::string long_detail(100, 'x');
+  recorder.Record(FlightEventType::kConnBroken, 0, 0, long_detail);
+  std::vector<FlightEvent> events = recorder.Snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  // 31 chars + NUL fit the fixed 32-byte field.
+  EXPECT_EQ(std::string(events[0].detail), std::string(31, 'x'));
+}
+
+TEST(FlightRecorderTest, DumpJsonlRendersOneObjectPerLine) {
+  FlightRecorder recorder(16, 2);
+  recorder.Record(FlightEventType::kConnBroken, 3, 0, "read: injected");
+  recorder.Record(FlightEventType::kQueueHighWater, 17);
+  std::string jsonl = recorder.DumpJsonl();
+  EXPECT_NE(jsonl.find("\"type\":\"conn_broken\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"detail\":\"read: injected\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"type\":\"queue_high_water\""), std::string::npos);
+  EXPECT_NE(jsonl.find("\"a\":17"), std::string::npos);
+  // Exactly one line per event, each a JSON object.
+  size_t lines = 0;
+  for (char c : jsonl) lines += c == '\n';
+  EXPECT_EQ(lines, 2u);
+  EXPECT_EQ(jsonl.front(), '{');
+}
+
+TEST(FlightRecorderTest, SignalSafeDumpWritesParseableLines) {
+  FlightRecorder recorder(16, 2);
+  recorder.Record(FlightEventType::kFaultInjected, 1, 0, "read_error");
+  recorder.Record(FlightEventType::kFatalSignal, 11);
+
+  int fds[2];
+  ASSERT_EQ(pipe(fds), 0);
+  size_t written = recorder.DumpToFdSignalSafe(fds[1]);
+  close(fds[1]);
+  EXPECT_GT(written, 0u);
+
+  std::string out;
+  char buf[4096];
+  ssize_t r;
+  while ((r = read(fds[0], buf, sizeof buf)) > 0) out.append(buf, r);
+  close(fds[0]);
+  EXPECT_EQ(out.size(), written);
+  EXPECT_NE(out.find("fault_injected"), std::string::npos);
+  EXPECT_NE(out.find("fatal_signal"), std::string::npos);
+  EXPECT_NE(out.find("read_error"), std::string::npos);
+  // Every line the dump emits is terminated.
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(FlightRecorderTest, GlobalIsOneProcessWideInstance) {
+  FlightRecorder& a = FlightRecorder::Global();
+  FlightRecorder& b = FlightRecorder::Global();
+  EXPECT_EQ(&a, &b);
+  uint64_t before = a.Recorded();
+  a.Record(FlightEventType::kListen, 1);
+  EXPECT_EQ(b.Recorded(), before + 1);
+}
+
+TEST(FlightRecorderTest, EventTypeNamesAreStable) {
+  EXPECT_STREQ(FlightEventTypeName(FlightEventType::kConnOpened),
+               "conn_opened");
+  EXPECT_STREQ(FlightEventTypeName(FlightEventType::kRetryGiveUp),
+               "retry_give_up");
+  EXPECT_STREQ(FlightEventTypeName(FlightEventType::kShutdown), "shutdown");
+}
+
+}  // namespace
+}  // namespace heidi::obs

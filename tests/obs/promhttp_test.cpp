@@ -1,0 +1,164 @@
+// PromHttpServer + OpenMetrics exposition tests: an in-process scrape
+// over a real TCP connection, route/method handling, and the grammar of
+// RenderOpenMetrics (typed families, _total counters, cumulative le
+// buckets, trailing # EOF) that a Prometheus scraper depends on.
+#include "obs/promhttp.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "demo/demo.h"
+#include "net/channel.h"
+#include "net/tcp.h"
+#include "obs/metrics.h"
+#include "orb/orb.h"
+
+namespace heidi::obs {
+namespace {
+
+// One-shot HTTP/1.0 exchange: send the request verbatim, read to EOF.
+std::string Exchange(uint16_t port, const std::string& request) {
+  std::unique_ptr<net::ByteChannel> channel =
+      net::TcpConnect("127.0.0.1", port, /*timeout_ms=*/2000);
+  channel->WriteAll(request.data(), request.size());
+  std::string response;
+  char buf[4096];
+  size_t r;
+  while ((r = channel->Read(buf, sizeof buf)) > 0) response.append(buf, r);
+  return response;
+}
+
+std::string Get(uint16_t port, const std::string& path) {
+  return Exchange(port, "GET " + path + " HTTP/1.0\r\n\r\n");
+}
+
+std::string Body(const std::string& response) {
+  size_t pos = response.find("\r\n\r\n");
+  return pos == std::string::npos ? "" : response.substr(pos + 4);
+}
+
+TEST(PromHttpServerTest, ServesRegisteredPage) {
+  PromHttpServer server(0);
+  PromHttpServer::Page page;
+  page.render = [] { return std::string("hello scrape\n"); };
+  server.Handle("/metrics", page);
+  server.Start();
+  ASSERT_GT(server.Port(), 0);
+
+  std::string response = Get(server.Port(), "/metrics");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  EXPECT_NE(response.find("Content-Type: text/plain"), std::string::npos);
+  EXPECT_NE(response.find("Content-Length: 13"), std::string::npos);
+  EXPECT_EQ(Body(response), "hello scrape\n");
+  server.Stop();
+}
+
+TEST(PromHttpServerTest, UnknownPathIs404) {
+  PromHttpServer server(0);
+  PromHttpServer::Page page;
+  page.render = [] { return std::string("ok"); };
+  server.Handle("/metrics", page);
+  server.Start();
+  std::string response = Get(server.Port(), "/nope");
+  EXPECT_NE(response.find("404 Not Found"), std::string::npos);
+  server.Stop();
+}
+
+TEST(PromHttpServerTest, NonGetIs405) {
+  PromHttpServer server(0);
+  PromHttpServer::Page page;
+  page.render = [] { return std::string("ok"); };
+  server.Handle("/metrics", page);
+  server.Start();
+  std::string response =
+      Exchange(server.Port(), "POST /metrics HTTP/1.0\r\n\r\n");
+  EXPECT_NE(response.find("405 Method Not Allowed"), std::string::npos);
+  server.Stop();
+}
+
+TEST(PromHttpServerTest, PageRendersFreshPerScrape) {
+  PromHttpServer server(0);
+  int scrapes = 0;
+  PromHttpServer::Page page;
+  page.render = [&scrapes] {
+    return "scrape " + std::to_string(++scrapes) + "\n";
+  };
+  server.Handle("/metrics", page);
+  server.Start();
+  EXPECT_EQ(Body(Get(server.Port(), "/metrics")), "scrape 1\n");
+  EXPECT_EQ(Body(Get(server.Port(), "/metrics")), "scrape 2\n");
+  server.Stop();
+}
+
+TEST(OpenMetricsTest, ExpositionGrammar) {
+  MetricsRegistry registry;
+  registry.GetCounter("client.calls")->Add(7);
+  registry.GetGauge("pool.bytes")->Set(4096);
+  LatencyHistogram* hist = registry.Histogram("op.add");
+  hist->Record(1'000);
+  hist->Record(2'000'000);
+
+  std::string text = registry.RenderOpenMetrics();
+  // Counters: TYPE line + _total sample, sanitized and prefixed.
+  EXPECT_NE(text.find("# TYPE heidi_client_calls counter"),
+            std::string::npos);
+  EXPECT_NE(text.find("heidi_client_calls_total 7"), std::string::npos);
+  // Gauges render once touched.
+  EXPECT_NE(text.find("# TYPE heidi_pool_bytes gauge"), std::string::npos);
+  EXPECT_NE(text.find("heidi_pool_bytes 4096"), std::string::npos);
+  // Histograms: cumulative le buckets in seconds, +Inf, _sum/_count.
+  EXPECT_NE(text.find("# TYPE heidi_op_add histogram"), std::string::npos);
+  EXPECT_NE(text.find("heidi_op_add_bucket{le=\"+Inf\"} 2"),
+            std::string::npos);
+  EXPECT_NE(text.find("heidi_op_add_count 2"), std::string::npos);
+  // Terminated exactly once, at the end.
+  ASSERT_GE(text.size(), 6u);
+  EXPECT_EQ(text.substr(text.size() - 6), "# EOF\n");
+  EXPECT_EQ(text.find("# EOF"), text.size() - 6);
+}
+
+TEST(OpenMetricsTest, ContentTypeIsOpenMetrics) {
+  EXPECT_NE(std::string(MetricsRegistry::OpenMetricsContentType())
+                .find("application/openmetrics-text"),
+            std::string::npos);
+}
+
+// The orb-level wiring: OrbOptions::metrics_listen brings up the scrape
+// endpoint, /metrics exposes the orb's synced stats, /flight serves the
+// flight-recorder journal.
+TEST(OrbScrapeTest, MetricsListenServesOrbPages) {
+  demo::ForceDemoRegistration();
+  orb::OrbOptions server_options;
+  server_options.metrics_listen = 0;
+  orb::Orb server(server_options);
+  server.ListenTcp();
+  ASSERT_GT(server.MetricsPort(), 0);
+  demo::EchoImpl impl;
+  orb::ObjectRef ref = server.ExportObject(&impl, "IDL:Heidi/Echo:1.0");
+
+  orb::Orb client;
+  auto echo = client.ResolveAs<HdEcho>(ref.ToString());
+  for (int i = 0; i < 3; ++i) EXPECT_EQ(echo->add(i, 1), i + 1);
+
+  // Zero-valued counters don't render; the served calls make these real.
+  std::string metrics = Body(Get(server.MetricsPort(), "/metrics"));
+  EXPECT_NE(metrics.find("# TYPE heidi_orb_requests_served counter"),
+            std::string::npos);
+  EXPECT_NE(metrics.find("heidi_orb_requests_served_total"),
+            std::string::npos);
+  ASSERT_GE(metrics.size(), 6u);
+  EXPECT_EQ(metrics.substr(metrics.size() - 6), "# EOF\n");
+
+  std::string response = Get(server.MetricsPort(), "/flight");
+  EXPECT_NE(response.find("HTTP/1.0 200 OK"), std::string::npos);
+  // The journal saw this very server come up and accept the client.
+  EXPECT_NE(Body(response).find("\"type\":\"listen\""), std::string::npos);
+  client.Shutdown();
+  server.Shutdown();
+}
+
+}  // namespace
+}  // namespace heidi::obs

@@ -1,0 +1,165 @@
+// RetentionPolicy unit tests: the degenerate head policies, and the tail
+// policy's promotion rules — anomaly flags always win, the latency
+// criterion follows max(p99 × multiplier, floor) with a cold-histogram
+// guard, and healthy_every keeps a 1-in-N baseline corpus.
+#include "obs/retention.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "obs/histogram.h"
+
+namespace heidi::obs {
+namespace {
+
+TailSignals Healthy(uint64_t latency_ns,
+                    const LatencyHistogram* history = nullptr) {
+  TailSignals s;
+  s.operation = "op.add";
+  s.latency_ns = latency_ns;
+  s.history = history;
+  return s;
+}
+
+TEST(RetentionPolicyTest, AlwaysSamplesEveryHeadAndKeepsEverything) {
+  auto policy = MakeAlwaysRetention();
+  EXPECT_STREQ(policy->Name(), "always");
+  EXPECT_FALSE(policy->RecordProvisional());
+  for (int i = 0; i < 10; ++i) EXPECT_TRUE(policy->SampleHead());
+  EXPECT_TRUE(policy->KeepTail(Healthy(1)));
+}
+
+TEST(RetentionPolicyTest, NeverSamplesNoHeadAndKeepsNothing) {
+  auto policy = MakeNeverRetention();
+  EXPECT_STREQ(policy->Name(), "never");
+  EXPECT_FALSE(policy->RecordProvisional());
+  for (int i = 0; i < 10; ++i) EXPECT_FALSE(policy->SampleHead());
+  EXPECT_FALSE(policy->KeepTail(Healthy(1)));
+}
+
+TEST(RetentionPolicyTest, RatioSamplesOneInN) {
+  auto policy = MakeRatioRetention(4);
+  EXPECT_STREQ(policy->Name(), "ratio");
+  EXPECT_FALSE(policy->RecordProvisional());
+  int sampled = 0;
+  for (int i = 0; i < 400; ++i) {
+    if (policy->SampleHead()) ++sampled;
+  }
+  EXPECT_EQ(sampled, 100);
+}
+
+TEST(RetentionPolicyTest, RatioZeroMeansEveryCall) {
+  auto policy = MakeRatioRetention(0);  // degenerate N: clamped to 1
+  for (int i = 0; i < 5; ++i) EXPECT_TRUE(policy->SampleHead());
+}
+
+TEST(TailRetentionTest, NeverHeadSamplesButRecordsProvisionally) {
+  auto policy = MakeTailRetention();
+  EXPECT_STREQ(policy->Name(), "tail");
+  EXPECT_TRUE(policy->RecordProvisional());
+  // The whole point: healthy calls never carry a wire context.
+  for (int i = 0; i < 100; ++i) EXPECT_FALSE(policy->SampleHead());
+}
+
+TEST(TailRetentionTest, AnomalyFlagsAlwaysPromote) {
+  auto policy = MakeTailRetention();
+  TailSignals s = Healthy(1);  // 1ns: far under any latency threshold
+  s.errored = true;
+  EXPECT_TRUE(policy->KeepTail(s));
+  s = Healthy(1);
+  s.retried = true;
+  EXPECT_TRUE(policy->KeepTail(s));
+  s = Healthy(1);
+  s.timed_out = true;
+  EXPECT_TRUE(policy->KeepTail(s));
+  s = Healthy(1);
+  s.faulted = true;
+  EXPECT_TRUE(policy->KeepTail(s));
+}
+
+TEST(TailRetentionTest, FloorAppliesWithoutHistory) {
+  TailRetentionOptions options;
+  options.floor_ns = 1000;
+  auto policy = MakeTailRetention(options);
+  EXPECT_FALSE(policy->KeepTail(Healthy(999)));
+  EXPECT_TRUE(policy->KeepTail(Healthy(1000)));
+  EXPECT_TRUE(policy->KeepTail(Healthy(5000)));
+}
+
+TEST(TailRetentionTest, ColdHistogramUsesFloorOnly) {
+  TailRetentionOptions options;
+  options.floor_ns = 10'000;
+  options.min_history = 100;
+  options.refresh_every = 1;  // recompute the threshold on every consult
+  auto policy = MakeTailRetention(options);
+  LatencyHistogram history;
+  // 99 samples at 10ns: a warm p99×2 would be ~20ns, but the histogram
+  // is below min_history, so only the floor applies.
+  for (int i = 0; i < 99; ++i) history.Record(10);
+  EXPECT_FALSE(policy->KeepTail(Healthy(9'999, &history)));
+  EXPECT_TRUE(policy->KeepTail(Healthy(10'000, &history)));
+}
+
+TEST(TailRetentionTest, WarmHistogramPromotesAboveP99Multiple) {
+  TailRetentionOptions options;
+  options.p99_multiplier = 2.0;
+  options.floor_ns = 1;  // out of the way: the p99 criterion decides
+  options.min_history = 100;
+  options.refresh_every = 1;
+  auto policy = MakeTailRetention(options);
+  LatencyHistogram history;
+  for (int i = 0; i < 1000; ++i) history.Record(1000);
+  uint64_t p99 = history.Percentile(99);
+  ASSERT_GT(p99, 0u);
+  EXPECT_FALSE(policy->KeepTail(Healthy(p99, &history)));
+  EXPECT_TRUE(policy->KeepTail(Healthy(p99 * 2 + 1, &history)));
+}
+
+TEST(TailRetentionTest, ThresholdRefreshIsAmortized) {
+  TailRetentionOptions options;
+  options.p99_multiplier = 1.0;
+  options.floor_ns = 1;
+  options.min_history = 1;
+  options.refresh_every = 100;  // the cached threshold survives 100 consults
+  auto policy = MakeTailRetention(options);
+  LatencyHistogram history;
+  history.Record(100);
+  // First consult computes a threshold around 100ns.
+  EXPECT_FALSE(policy->KeepTail(Healthy(10, &history)));
+  // The operation gets drastically slower — but the cached threshold
+  // holds until the refresh tick, so a 10ns call still stays unkept
+  // and a 1ms call is promoted against the *old* threshold.
+  for (int i = 0; i < 50; ++i) history.Record(1'000'000);
+  EXPECT_TRUE(policy->KeepTail(Healthy(1'000'000, &history)));
+}
+
+TEST(TailRetentionTest, HealthyEveryKeepsBaselineCorpus) {
+  TailRetentionOptions options;
+  options.floor_ns = 1'000'000;
+  options.healthy_every = 10;
+  auto policy = MakeTailRetention(options);
+  int kept = 0;
+  for (int i = 0; i < 200; ++i) {
+    if (policy->KeepTail(Healthy(100))) ++kept;
+  }
+  EXPECT_EQ(kept, 20);
+}
+
+TEST(TailRetentionTest, DistinctHistogramsGetDistinctThresholds) {
+  TailRetentionOptions options;
+  options.p99_multiplier = 1.0;
+  options.floor_ns = 1;
+  options.min_history = 1;
+  options.refresh_every = 1;
+  auto policy = MakeTailRetention(options);
+  LatencyHistogram fast, slow;
+  for (int i = 0; i < 100; ++i) fast.Record(100);
+  for (int i = 0; i < 100; ++i) slow.Record(1'000'000);
+  // 50µs: anomalous for the fast operation, routine for the slow one.
+  EXPECT_TRUE(policy->KeepTail(Healthy(50'000, &fast)));
+  EXPECT_FALSE(policy->KeepTail(Healthy(50'000, &slow)));
+}
+
+}  // namespace
+}  // namespace heidi::obs
