@@ -38,6 +38,17 @@ Two kinds of invariants, checked per benchmark entry (matched by name):
      (tail_provisional_per_op >= 1) without promoting the healthy
      workload wholesale (tail_retained_per_op <= 0.25).
 
+  4. Reactor serving gates (in-run A/B + structural invariant). Fresh
+     entries carrying reactor_p50_ns/legacy_p50_ns (BM_ReactorVsLegacy*
+     in bench_connscale, interleaved per iteration) must hold
+     reactor_p50_ns / legacy_p50_ns <= CHECK_BENCH_REACTOR_TOLERANCE
+     (default 1.10): event-loop serving may not tax the hot path. And
+     every entry that reports connections >= 1000 must also report
+     threads_in_process <= 64 — the reactor's whole point is holding
+     thousands of connections with O(shards + workers) threads, so a
+     thread-per-connection regression fails structurally regardless of
+     how fast the machine is.
+
 Usage:
   python3 bench/check_bench.py [--baseline-dir bench/baselines]
       [--fresh-dir .] [--tolerance 5.0] [name ...]
@@ -58,6 +69,9 @@ MIN_LATENCY_NS = 50.0  # below this, ratios are timer noise; skip
 TAIL_AB = "BM_TailRetentionOverhead/real_time"
 TAIL_RETAINED_MAX = 0.25   # healthy calls must mostly not be promoted
 TAIL_PROVISIONAL_MIN = 1.0  # every call must hit the provisional ring
+
+REACTOR_CONN_FLOOR = 1000  # entries at/above this many connections...
+REACTOR_THREAD_CAP = 64    # ...must stay under this many threads
 
 
 def load_report(path):
@@ -114,6 +128,7 @@ def check_report(name, baseline_path, fresh_path, tolerance):
                     f"(tolerance {tolerance}x)")
 
     failures.extend(check_tail_pair(name, fresh))
+    failures.extend(check_reactor_entries(name, fresh))
 
     extras = sorted(set(fresh) - set(baseline))
     if extras:
@@ -170,6 +185,46 @@ def check_tail_pair(name, fresh):
             f"{name}: tail_retained_per_op {retained:.3f} > "
             f"{TAIL_RETAINED_MAX} — tail policy is promoting the healthy "
             f"workload wholesale")
+    return failures
+
+
+def check_reactor_entries(name, fresh):
+    """Reactor serving gates (see §4 above).
+
+    The latency gate is a same-process interleaved ratio, so machine
+    speed cancels out. The thread gate is purely structural: many
+    connections must not mean many threads.
+    """
+    failures = []
+    reactor_tol = float(os.environ.get("CHECK_BENCH_REACTOR_TOLERANCE",
+                                       "1.10"))
+    for bench_name, entry in fresh.items():
+        reactor_ns = entry.get("reactor_p50_ns")
+        legacy_ns = entry.get("legacy_p50_ns")
+        if reactor_ns and legacy_ns and legacy_ns >= MIN_LATENCY_NS:
+            ratio = reactor_ns / legacy_ns
+            if ratio > reactor_tol:
+                failures.append(
+                    f"{name}: '{bench_name}' reactor p50 {ratio:.3f}x of "
+                    f"legacy ({reactor_ns:.0f}ns vs {legacy_ns:.0f}ns, "
+                    f"budget {reactor_tol}x)")
+            else:
+                print(f"ok: {name} '{bench_name}' reactor/legacy p50 "
+                      f"{ratio:.3f}x (budget {reactor_tol}x)")
+        connections = entry.get("connections")
+        threads = entry.get("threads_in_process")
+        if connections is not None and threads is not None \
+                and connections >= REACTOR_CONN_FLOOR:
+            if threads > REACTOR_THREAD_CAP:
+                failures.append(
+                    f"{name}: '{bench_name}' holds {connections:.0f} "
+                    f"connections with {threads:.0f} threads (cap "
+                    f"{REACTOR_THREAD_CAP} — thread-per-connection "
+                    f"regression?)")
+            else:
+                print(f"ok: {name} '{bench_name}' {connections:.0f} "
+                      f"connections on {threads:.0f} threads (cap "
+                      f"{REACTOR_THREAD_CAP})")
     return failures
 
 

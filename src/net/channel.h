@@ -47,6 +47,13 @@ class ByteChannel {
     return true;
   }
 
+  // Relinquishes the underlying file descriptor to the caller, leaving
+  // the channel permanently closed (-1 inside). Channels not backed by a
+  // kernel descriptor return -1 and are unaffected — the reactor uses
+  // this to adopt accepted TCP sockets into its epoll shards and falls
+  // back to the blocking serve path when there is nothing to adopt.
+  virtual int ReleaseFd() { return -1; }
+
   // Idempotent; unblocks any reader (locally and at the peer).
   virtual void Close() = 0;
 

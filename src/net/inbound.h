@@ -1,0 +1,104 @@
+// IncomingBuffer: the receive side of a readiness-driven connection.
+//
+// A reactor connection cannot block in ReadExact; bytes arrive whenever
+// epoll says so, in whatever fragments the peer and the kernel produce.
+// This buffer accumulates them in ONE pooled IoBuf slab with a strong
+// invariant: all unparsed bytes are contiguous, starting at Pos() within
+// the slab. Frame decoders (wire::FrameDecoder) parse straight out of
+// the slab — for binary protocols the parsed Call is a *view* into the
+// very slab the kernel wrote into, so the zero-copy story of the
+// blocking path carries over unchanged.
+//
+// Growth: when a frame outgrows the current slab's free tail, the
+// unparsed bytes roll into a bigger pooled slab. Decoders that need N
+// contiguous bytes call Reserve(N) (exact, for length-prefixed frames)
+// or Reserve(2 * Available()) (doubling, for delimiter-scanned frames),
+// keeping total copying amortized O(n) even for a 64 MiB frame drip-fed
+// one byte at a time (the slow-loris case).
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <string_view>
+#include <utility>
+
+#include "support/bytes.h"
+
+namespace heidi::net {
+
+class IncomingBuffer {
+ public:
+  explicit IncomingBuffer(bytes::IoBufPool* pool = nullptr)
+      : pool_(pool != nullptr ? pool : &bytes::IoBufPool::Global()) {}
+
+  // --- parse side -------------------------------------------------------
+
+  size_t Available() const {
+    return slab_ ? slab_->Size() - pos_ : 0;
+  }
+  const char* Data() const { return slab_ ? slab_->Data() + pos_ : nullptr; }
+  std::string_view View() const {
+    return std::string_view(Data(), Available());
+  }
+  void Consume(size_t n) { pos_ += n; }
+
+  // The backing slab and the offset of the first unparsed byte — the
+  // (frame, offset) pair a zero-copy decoder builds its views from.
+  const bytes::IoBufPtr& Slab() const { return slab_; }
+  size_t Pos() const { return pos_; }
+
+  // Ensures `total` unparsed bytes can accumulate contiguously without
+  // another roll: after this, Pos() + total <= slab capacity. Rolls the
+  // unparsed tail into a larger pooled slab when needed.
+  void Reserve(size_t total) {
+    if (slab_ && pos_ + total <= slab_->Capacity()) return;
+    Roll(total);
+  }
+
+  // Hands the slab to the caller iff every byte in it has been parsed
+  // (the buffer then starts fresh on the next write). This is the arena
+  // donation gate: only a frame that fully drained the buffer may seed
+  // a dispatch arena from the slab's free tail — otherwise the reactor
+  // would keep recv()ing into memory the arena just claimed.
+  bytes::IoBufPtr TakeSlabIfDrained() {
+    if (!slab_ || pos_ != slab_->Size()) return {};
+    pos_ = 0;
+    return std::move(slab_);
+  }
+
+  // --- receive side -----------------------------------------------------
+
+  // Writable region for recv(); guarantees at least `min_space` bytes.
+  char* WritePtr(size_t min_space) {
+    if (!slab_ || slab_->Remaining() < min_space) {
+      Roll(Available() + min_space);
+    }
+    return slab_->WritePtr();
+  }
+  size_t WriteCapacity() const { return slab_ ? slab_->Remaining() : 0; }
+  void CommitWrite(size_t n) { slab_->Advance(n); }
+
+ private:
+  // Moves the unparsed tail into a fresh pooled slab of at least
+  // `min_capacity` (and at least one default slab). The old slab is
+  // released here but stays alive as long as any decoded Call views it.
+  void Roll(size_t min_capacity) {
+    size_t avail = Available();
+    bytes::IoBufPtr bigger = pool_->Get(
+        min_capacity > bytes::IoBufPool::kSlabBytes
+            ? min_capacity
+            : bytes::IoBufPool::kSlabBytes);
+    if (avail > 0) {
+      std::memcpy(bigger->WritePtr(), Data(), avail);
+      bigger->Advance(avail);
+    }
+    slab_ = std::move(bigger);
+    pos_ = 0;
+  }
+
+  bytes::IoBufPool* pool_;
+  bytes::IoBufPtr slab_;
+  size_t pos_ = 0;
+};
+
+}  // namespace heidi::net

@@ -1,0 +1,562 @@
+#include "net/reactor.h"
+
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <thread>
+#include <unordered_map>
+
+#include "support/error.h"
+
+namespace heidi::net {
+
+namespace {
+
+std::atomic<Reactor::EventHook> g_event_hook{nullptr};
+
+void EmitEvent(Reactor::Event event, uint64_t a, int shard) {
+  Reactor::EventHook hook = g_event_hook.load(std::memory_order_acquire);
+  if (hook != nullptr) hook(event, a, shard);
+}
+
+void SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+}
+
+int64_t MonotonicNs() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
+
+void Reactor::SetEventHook(EventHook hook) {
+  g_event_hook.store(hook, std::memory_order_release);
+}
+
+// One event-loop shard: an epoll set, an eventfd for cross-thread kicks,
+// an optional SO_REUSEPORT listener, and the connections it owns. The
+// loop thread is the only toucher of `conns` and of each connection's
+// Inbound()/UserState(); everything else synchronizes through the
+// per-connection mutex or the ops queue.
+struct ReactorShard {
+  Reactor* reactor = nullptr;
+  int index = 0;
+  int epfd = -1;
+  int efd = -1;
+  int listener = -1;
+  std::thread thread;
+  bool started = false;  // guarded by reactor->start_mutex_
+  std::atomic<bool> stop{false};
+
+  std::mutex ops_mutex;
+  std::vector<std::function<void()>> ops;
+
+  std::unordered_map<int, std::shared_ptr<ReactorConn>> conns;
+
+  std::atomic<uint64_t> live{0};
+  std::atomic<uint64_t> adopted{0};
+  std::atomic<uint64_t> closed{0};
+  std::atomic<uint64_t> wakeups{0};
+  std::atomic<uint64_t> efd_wakeups{0};
+  std::atomic<uint64_t> suspends{0};
+  std::atomic<uint64_t> resumes{0};
+  std::atomic<uint64_t> stalls{0};
+  std::atomic<uint64_t> bytes_read{0};
+  std::atomic<uint64_t> bytes_written{0};
+
+  ~ReactorShard() {
+    if (listener >= 0) ::close(listener);
+    if (efd >= 0) ::close(efd);
+    if (epfd >= 0) ::close(epfd);
+  }
+
+  void Kick() {
+    uint64_t one = 1;
+    ssize_t ignored = ::write(efd, &one, sizeof one);
+    (void)ignored;
+  }
+
+  void PostOp(std::function<void()> op) {
+    {
+      std::lock_guard<std::mutex> lock(ops_mutex);
+      ops.push_back(std::move(op));
+    }
+    Kick();
+  }
+
+  void RunOps() {
+    std::vector<std::function<void()>> batch;
+    {
+      std::lock_guard<std::mutex> lock(ops_mutex);
+      batch.swap(ops);
+    }
+    for (auto& op : batch) op();
+  }
+
+  void Register(const std::shared_ptr<ReactorConn>& conn) {
+    if (stop.load(std::memory_order_relaxed)) {
+      ::close(conn->fd_);
+      return;
+    }
+    conns[conn->fd_] = conn;
+    live.fetch_add(1, std::memory_order_relaxed);
+    adopted.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conn->mutex_);
+    conn->registered_ = false;
+    conn->UpdateInterestLocked();
+  }
+
+  void RegisterListener() {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = listener;
+    ::epoll_ctl(epfd, EPOLL_CTL_ADD, listener, &ev);
+  }
+
+  void CloseConn(const std::shared_ptr<ReactorConn>& conn) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex_);
+      if (conn->closed_) return;
+      conn->closed_ = true;
+      conn->outq_.clear();
+      conn->outq_bytes_ = 0;
+      if (conn->registered_) {
+        ::epoll_ctl(epfd, EPOLL_CTL_DEL, conn->fd_, nullptr);
+        conn->registered_ = false;
+      }
+    }
+    // No worker can be inside a send now: FlushLocked runs under the
+    // mutex and re-checks closed_, so the descriptor is ours to reclaim.
+    ::close(conn->fd_);
+    conns.erase(conn->fd_);
+    live.fetch_sub(1, std::memory_order_relaxed);
+    closed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  void AcceptBurst() {
+    while (true) {
+      sockaddr_storage addr{};
+      socklen_t len = sizeof addr;
+      int cfd = ::accept4(listener, reinterpret_cast<sockaddr*>(&addr),
+                          &len, SOCK_NONBLOCK);
+      if (cfd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN (drained) or listener closed
+      }
+      ApplyTcpTuning(cfd, reactor->options_.tuning);
+      std::shared_ptr<ReactorConn> conn(new ReactorConn(
+          this, cfd, TcpPeerName(cfd),
+          reactor->next_conn_id_.fetch_add(1, std::memory_order_relaxed)));
+      Register(conn);
+    }
+  }
+
+  void ReadReady(const std::shared_ptr<ReactorConn>& conn) {
+    {
+      std::lock_guard<std::mutex> lock(conn->mutex_);
+      if (conn->closed_ || conn->read_closed_) {
+        // EPOLLHUP can keep firing after EOF while dispatches drain;
+        // there is nothing further to read.
+        conn->MaybeCloseLocked();
+        return;
+      }
+    }
+    while (true) {
+      char* dst = conn->inbound_.WritePtr(/*min_space=*/1024);
+      ssize_t r = ::recv(conn->fd_, dst, conn->inbound_.WriteCapacity(), 0);
+      if (r > 0) {
+        conn->inbound_.CommitWrite(static_cast<size_t>(r));
+        bytes_read.fetch_add(static_cast<uint64_t>(r),
+                             std::memory_order_relaxed);
+        if (!reactor->handlers_.on_data(*conn)) {
+          CloseConn(conn);
+        }
+        return;  // level-triggered: epoll re-reports leftover bytes
+      }
+      if (r == 0) {
+        // Peer half-closed. Frames already read must still be answered
+        // (dispatches pending, queued replies draining) — the teardown
+        // waits for them in MaybeCloseLocked.
+        {
+          std::lock_guard<std::mutex> lock(conn->mutex_);
+          conn->read_closed_ = true;
+          conn->UpdateInterestLocked();
+        }
+        // One final parse pass so the owner can diagnose a truncated
+        // trailing frame (on_data sees ReadClosed() == true).
+        if (!reactor->handlers_.on_data(*conn)) {
+          CloseConn(conn);
+          return;
+        }
+        std::lock_guard<std::mutex> lock(conn->mutex_);
+        conn->MaybeCloseLocked();
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+      CloseConn(conn);  // ECONNRESET and friends
+      return;
+    }
+  }
+
+  void HandleConnEvent(const std::shared_ptr<ReactorConn>& conn,
+                       uint32_t events) {
+    if (events & EPOLLERR) {
+      CloseConn(conn);
+      return;
+    }
+    if (events & EPOLLOUT) {
+      bool dead = false;
+      {
+        std::lock_guard<std::mutex> lock(conn->mutex_);
+        if (!conn->closed_ && !conn->FlushLocked()) {
+          conn->FailWriteLocked();
+          dead = conn->dispatching_.load(std::memory_order_acquire) == 0;
+        }
+      }
+      if (dead) {
+        CloseConn(conn);
+        return;
+      }
+    }
+    if (events & (EPOLLIN | EPOLLHUP)) ReadReady(conn);
+  }
+
+  void CloseAll() {
+    std::vector<std::shared_ptr<ReactorConn>> all;
+    all.reserve(conns.size());
+    for (auto& entry : conns) all.push_back(entry.second);
+    for (auto& conn : all) CloseConn(conn);
+    if (listener >= 0) {
+      ::epoll_ctl(epfd, EPOLL_CTL_DEL, listener, nullptr);
+      ::close(listener);
+      listener = -1;
+    }
+  }
+
+  void Loop() {
+    constexpr int kMaxEvents = 128;
+    epoll_event events[kMaxEvents];
+    const int64_t stall_ns = reactor->options_.stall_threshold_ns;
+    while (true) {
+      int n = ::epoll_wait(epfd, events, kMaxEvents, -1);
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        break;  // epoll set itself is broken; nothing sane to do
+      }
+      wakeups.fetch_add(1, std::memory_order_relaxed);
+      int64_t t0 = stall_ns > 0 ? MonotonicNs() : 0;
+      for (int i = 0; i < n; ++i) {
+        int fd = events[i].data.fd;
+        if (fd == efd) {
+          uint64_t drained = 0;
+          ssize_t ignored = ::read(efd, &drained, sizeof drained);
+          (void)ignored;
+          efd_wakeups.fetch_add(1, std::memory_order_relaxed);
+          RunOps();
+        } else if (fd == listener) {
+          AcceptBurst();
+        } else {
+          auto it = conns.find(fd);
+          if (it != conns.end()) HandleConnEvent(it->second, events[i].events);
+        }
+      }
+      if (stop.load(std::memory_order_acquire)) {
+        CloseAll();
+        RunOps();  // stragglers queued during teardown self-destruct
+        break;
+      }
+      if (stall_ns > 0) {
+        int64_t took = MonotonicNs() - t0;
+        if (took > stall_ns) {
+          stalls.fetch_add(1, std::memory_order_relaxed);
+          EmitEvent(Reactor::Event::kLoopStall,
+                    static_cast<uint64_t>(took), index);
+        }
+      }
+    }
+  }
+};
+
+// --- ReactorConn ----------------------------------------------------------
+
+void ReactorConn::QueueWrite(bytes::BufferChain chain) {
+  if (chain.Empty()) return;
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_ || close_requested_) return;
+  outq_bytes_ += chain.Size();
+  outq_.push_back(std::move(chain));
+  if (!FlushLocked()) {
+    FailWriteLocked();
+    return;
+  }
+  if (!read_suspended_ && !read_closed_ &&
+      outq_bytes_ > shard_->reactor->options_.write_high_water) {
+    read_suspended_ = true;
+    UpdateInterestLocked();
+    shard_->suspends.fetch_add(1, std::memory_order_relaxed);
+    EmitEvent(Reactor::Event::kBackpressureSuspend, outq_bytes_,
+              shard_->index);
+  }
+}
+
+void ReactorConn::EndDispatch() {
+  if (dispatching_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    MaybeCloseLocked();
+  }
+}
+
+void ReactorConn::RequestClose() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (closed_) return;
+  close_requested_ = true;
+  MaybeCloseLocked();
+}
+
+bool ReactorConn::ReadClosed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return read_closed_;
+}
+
+bool ReactorConn::FlushLocked() {
+  constexpr size_t kIovBatch = 64;
+  while (!outq_.empty()) {
+    const std::vector<bytes::BufSlice>& slices = outq_.front().Slices();
+    iovec iov[kIovBatch];
+    size_t iov_count = 0;
+    for (size_t i = front_slice_;
+         i < slices.size() && iov_count < kIovBatch; ++i) {
+      size_t skip = i == front_slice_ ? front_offset_ : 0;
+      iov[iov_count].iov_base = const_cast<char*>(slices[i].Data() + skip);
+      iov[iov_count].iov_len = slices[i].length - skip;
+      ++iov_count;
+    }
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = iov_count;
+    ssize_t w = ::sendmsg(fd_, &msg, MSG_NOSIGNAL | MSG_DONTWAIT);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        if (!epollout_armed_) {
+          epollout_armed_ = true;
+          UpdateInterestLocked();
+        }
+        ResumeReadsIfDrainedLocked();
+        return true;
+      }
+      return false;  // EPIPE/ECONNRESET: the write side is gone
+    }
+    shard_->bytes_written.fetch_add(static_cast<uint64_t>(w),
+                                    std::memory_order_relaxed);
+    outq_bytes_ -= static_cast<size_t>(w);
+    size_t sent = static_cast<size_t>(w);
+    while (sent > 0) {
+      size_t left = slices[front_slice_].length - front_offset_;
+      if (sent < left) {
+        front_offset_ += sent;
+        sent = 0;
+      } else {
+        sent -= left;
+        ++front_slice_;
+        front_offset_ = 0;
+      }
+    }
+    if (front_slice_ == slices.size()) {
+      outq_.pop_front();
+      front_slice_ = 0;
+      front_offset_ = 0;
+    }
+  }
+  if (epollout_armed_) {
+    epollout_armed_ = false;
+    UpdateInterestLocked();
+  }
+  ResumeReadsIfDrainedLocked();
+  MaybeCloseLocked();
+  return true;
+}
+
+void ReactorConn::FailWriteLocked() {
+  // The peer reset or closed its read side: queued replies can never be
+  // delivered. Drop them and let the loop reap the connection (now, or
+  // after in-flight dispatches finish).
+  outq_.clear();
+  outq_bytes_ = 0;
+  front_slice_ = 0;
+  front_offset_ = 0;
+  close_requested_ = true;
+  MaybeCloseLocked();
+}
+
+void ReactorConn::ResumeReadsIfDrainedLocked() {
+  if (read_suspended_ &&
+      outq_bytes_ <= shard_->reactor->options_.write_low_water) {
+    read_suspended_ = false;
+    UpdateInterestLocked();
+    shard_->resumes.fetch_add(1, std::memory_order_relaxed);
+    EmitEvent(Reactor::Event::kBackpressureResume, outq_bytes_,
+              shard_->index);
+  }
+}
+
+void ReactorConn::UpdateInterestLocked() {
+  uint32_t mask = 0;
+  if (!read_suspended_ && !read_closed_) mask |= EPOLLIN;
+  if (epollout_armed_) mask |= EPOLLOUT;
+  if (mask == 0) {
+    // Nothing to monitor. Removing the fd (instead of MOD to an empty
+    // set) silences the EPOLLHUP storm a fully-closed peer would
+    // otherwise feed a level-triggered loop.
+    if (registered_) {
+      ::epoll_ctl(shard_->epfd, EPOLL_CTL_DEL, fd_, nullptr);
+      registered_ = false;
+    }
+    return;
+  }
+  epoll_event ev{};
+  ev.events = mask;
+  ev.data.fd = fd_;
+  ::epoll_ctl(shard_->epfd, registered_ ? EPOLL_CTL_MOD : EPOLL_CTL_ADD,
+              fd_, &ev);
+  registered_ = true;
+}
+
+void ReactorConn::MaybeCloseLocked() {
+  if (closed_) return;
+  if (!read_closed_ && !close_requested_) return;
+  if (dispatching_.load(std::memory_order_acquire) != 0) return;
+  if (!outq_.empty()) return;
+  // Teardown must happen on the loop thread (it owns the fd map); this
+  // may run on a worker, so route through the ops queue. CloseConn is
+  // idempotent, duplicate posts are harmless.
+  ReactorShard* shard = shard_;
+  std::shared_ptr<ReactorConn> self = shared_from_this();
+  shard->PostOp([shard, self] { shard->CloseConn(self); });
+}
+
+// --- Reactor --------------------------------------------------------------
+
+Reactor::Reactor(const ReactorOptions& options, Handlers handlers)
+    : options_(options), handlers_(std::move(handlers)) {
+  int count = options_.shards > 0 ? options_.shards : 1;
+  if (options_.write_low_water >= options_.write_high_water) {
+    options_.write_low_water = options_.write_high_water / 4;
+  }
+  shards_.reserve(static_cast<size_t>(count));
+  for (int i = 0; i < count; ++i) {
+    auto shard = std::make_unique<ReactorShard>();
+    shard->reactor = this;
+    shard->index = i;
+    shard->epfd = ::epoll_create1(EPOLL_CLOEXEC);
+    if (shard->epfd < 0) throw NetError("epoll_create1 failed");
+    shard->efd = ::eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK);
+    if (shard->efd < 0) throw NetError("eventfd failed");
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = shard->efd;
+    ::epoll_ctl(shard->epfd, EPOLL_CTL_ADD, shard->efd, &ev);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Reactor::~Reactor() { Stop(); }
+
+ReactorShard& Reactor::PickShard() {
+  uint64_t n = next_shard_.fetch_add(1, std::memory_order_relaxed);
+  ReactorShard& shard = *shards_[n % shards_.size()];
+  StartShardLocked(shard);
+  return shard;
+}
+
+void Reactor::StartShardLocked(ReactorShard& shard) {
+  if (shard.started) return;
+  shard.started = true;
+  shard.thread = std::thread([&shard] { shard.Loop(); });
+}
+
+void Reactor::Adopt(int fd, std::string peer) {
+  std::lock_guard<std::mutex> lock(start_mutex_);
+  if (stopped_) {
+    ::close(fd);
+    return;
+  }
+  SetNonBlocking(fd);
+  ReactorShard& shard = PickShard();
+  std::shared_ptr<ReactorConn> conn(new ReactorConn(
+      &shard, fd, std::move(peer),
+      next_conn_id_.fetch_add(1, std::memory_order_relaxed)));
+  shard.PostOp([&shard, conn] { shard.Register(conn); });
+}
+
+uint16_t Reactor::ListenReusePort(uint16_t port) {
+  std::lock_guard<std::mutex> lock(start_mutex_);
+  if (stopped_) throw NetError("reactor already stopped");
+  uint16_t bound = port;
+  for (auto& shard : shards_) {
+    shard->listener = CreateTcpListener(bound, /*reuseport=*/true,
+                                        /*backlog=*/1024, &bound);
+    SetNonBlocking(shard->listener);
+    StartShardLocked(*shard);
+    ReactorShard* raw = shard.get();
+    raw->PostOp([raw] { raw->RegisterListener(); });
+  }
+  return bound;
+}
+
+void Reactor::Stop() {
+  std::lock_guard<std::mutex> lock(start_mutex_);
+  if (stopped_) return;
+  stopped_ = true;
+  for (auto& shard : shards_) {
+    if (shard->started) {
+      shard->stop.store(true, std::memory_order_release);
+      shard->Kick();
+    }
+  }
+  for (auto& shard : shards_) {
+    if (shard->started && shard->thread.joinable()) shard->thread.join();
+  }
+}
+
+ReactorStats Reactor::Stats() const {
+  ReactorStats stats;
+  for (const auto& shard : shards_) {
+    stats.connections_adopted += shard->adopted.load();
+    stats.connections_closed += shard->closed.load();
+    stats.epoll_wakeups += shard->wakeups.load();
+    stats.eventfd_wakeups += shard->efd_wakeups.load();
+    stats.backpressure_suspends += shard->suspends.load();
+    stats.backpressure_resumes += shard->resumes.load();
+    stats.loop_stalls += shard->stalls.load();
+    stats.bytes_read += shard->bytes_read.load();
+    stats.bytes_written += shard->bytes_written.load();
+  }
+  return stats;
+}
+
+std::vector<uint64_t> Reactor::ConnectionsPerShard() const {
+  std::vector<uint64_t> per_shard;
+  per_shard.reserve(shards_.size());
+  for (const auto& shard : shards_) per_shard.push_back(shard->live.load());
+  return per_shard;
+}
+
+uint64_t Reactor::ConnectionCount() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) total += shard->live.load();
+  return total;
+}
+
+}  // namespace heidi::net

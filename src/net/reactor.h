@@ -1,0 +1,209 @@
+// Sharded epoll reactor: the event-loop concurrency policy for serving
+// connections (the paper's thesis applied to the comms engine itself —
+// the server's threading scheme is swappable policy, not mechanism).
+//
+// N shards, each one thread running an epoll loop with an eventfd for
+// cross-thread wakeups. Every accepted socket is made non-blocking and
+// assigned to a shard (round-robin via Adopt(), or kernel-balanced via
+// SO_REUSEPORT sharded listeners with ListenReusePort()); from then on
+// all of its I/O happens on that shard's loop. Reads land in a pooled
+// IncomingBuffer; the owner's `on_data` callback parses frames out of it
+// and either handles them inline (oneways) or hands them to a worker
+// pool (twoways), pinning the connection with shared_from_this() and
+// replying through QueueWrite() from any thread.
+//
+// Backpressure: each connection carries a write queue with a high-water
+// mark. When a peer stops draining replies and the queue crosses it, the
+// shard drops the connection's read interest — the client can no longer
+// pump requests into a server it refuses to read from — and re-arms it
+// once the queue drains below the low-water mark.
+//
+// Layering: net/ knows nothing about wire/ or obs/. Frame parsing is the
+// caller's business (orb installs a wire::FrameDecoder per connection via
+// UserState()), and observability attaches through a process-wide event
+// hook function pointer (SetEventHook), mirroring FaultInjector's
+// trigger hook, so heidi_net never links heidi_obs.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "net/inbound.h"
+#include "net/tcp.h"
+#include "support/bytes.h"
+
+namespace heidi::net {
+
+class Reactor;
+struct ReactorShard;
+
+struct ReactorOptions {
+  // Number of event-loop shards. Shard threads start lazily: a shard's
+  // loop spins up the first time a connection (or reuseport listener) is
+  // assigned to it, so a mostly-idle orb does not pay for N threads.
+  int shards = 1;
+  // Write-queue watermarks, bytes. Crossing high suspends read interest;
+  // draining below low resumes it.
+  size_t write_high_water = 4u << 20;
+  size_t write_low_water = 1u << 20;
+  // Applied to sockets accepted by reuseport listeners.
+  TcpTuning tuning;
+  // An iteration of a shard loop (one epoll wakeup: callbacks, parses,
+  // inline dispatches) that takes longer than this is counted as a loop
+  // stall and reported through the event hook. 0 disables detection.
+  int64_t stall_threshold_ns = 100'000'000;
+};
+
+// One adopted connection. Lifetime: owned by its shard's fd map while
+// registered; worker tasks extend it with shared_from_this() so a late
+// reply after teardown degrades to a silent no-op instead of a dangling
+// pointer. All methods are thread-safe unless noted.
+class ReactorConn : public std::enable_shared_from_this<ReactorConn> {
+ public:
+  // Loop-thread only: the receive buffer on_data parses from.
+  IncomingBuffer& Inbound() { return inbound_; }
+
+  // Loop-thread only: per-connection slot for the owner's protocol state
+  // (orb keeps its FrameDecoder here).
+  std::shared_ptr<void>& UserState() { return user_state_; }
+
+  const std::string& PeerName() const { return peer_; }
+  uint64_t Id() const { return id_; }
+
+  // Queues `chain` for transmission and tries to flush it immediately
+  // with a non-blocking sendmsg (the common case: a reply to a draining
+  // client leaves on the worker thread without waking the loop). What
+  // the kernel won't take is left queued and EPOLLOUT-driven.
+  void QueueWrite(bytes::BufferChain chain);
+
+  // Brackets an off-loop dispatch (worker-pool twoway). While dispatches
+  // are pending, a peer's EOF does not tear the connection down — the
+  // half-close contract: requests already read must still be answered.
+  void BeginDispatch() { dispatching_.fetch_add(1, std::memory_order_relaxed); }
+  void EndDispatch();
+
+  // Asks the owning shard to close this connection once its write queue
+  // has drained. Safe from any thread.
+  void RequestClose();
+
+  // True once the peer has shut down its write side (we saw EOF).
+  bool ReadClosed() const;
+
+ private:
+  friend class Reactor;
+  friend struct ReactorShard;
+
+  ReactorConn(ReactorShard* shard, int fd, std::string peer, uint64_t id)
+      : shard_(shard), fd_(fd), peer_(std::move(peer)), id_(id) {}
+
+  // All below guarded by mutex_ (fd_ and id_ are immutable; inbound_ and
+  // user_state_ are loop-thread-only).
+  bool FlushLocked();          // returns false when the socket is dead
+  void FailWriteLocked();      // write side died: drop queue, reap soon
+  void ResumeReadsIfDrainedLocked();
+  void UpdateInterestLocked();
+  void MaybeCloseLocked();
+
+  ReactorShard* shard_;
+  const int fd_;
+  const std::string peer_;
+  const uint64_t id_;
+  IncomingBuffer inbound_;
+  std::shared_ptr<void> user_state_;
+
+  mutable std::mutex mutex_;
+  std::deque<bytes::BufferChain> outq_;
+  size_t outq_bytes_ = 0;
+  size_t front_slice_ = 0;   // resume point inside outq_.front()
+  size_t front_offset_ = 0;  // bytes of that slice already sent
+  bool registered_ = false;  // present in the shard's epoll set
+  bool epollout_armed_ = false;
+  bool read_suspended_ = false;
+  bool read_closed_ = false;
+  bool close_requested_ = false;
+  bool closed_ = false;
+  std::atomic<int> dispatching_{0};
+};
+
+struct ReactorStats {
+  uint64_t connections_adopted = 0;
+  uint64_t connections_closed = 0;
+  uint64_t epoll_wakeups = 0;
+  uint64_t eventfd_wakeups = 0;
+  uint64_t backpressure_suspends = 0;
+  uint64_t backpressure_resumes = 0;
+  uint64_t loop_stalls = 0;
+  uint64_t bytes_read = 0;
+  uint64_t bytes_written = 0;
+};
+
+class Reactor {
+ public:
+  struct Handlers {
+    // Called on the owning loop thread after bytes landed in
+    // conn.Inbound() (and once after EOF, with ReadClosed() true, so a
+    // final unterminated frame can be diagnosed). Return false to kill
+    // the connection immediately (protocol error).
+    std::function<bool(ReactorConn&)> on_data;
+  };
+
+  Reactor(const ReactorOptions& options, Handlers handlers);
+  ~Reactor();
+
+  Reactor(const Reactor&) = delete;
+  Reactor& operator=(const Reactor&) = delete;
+
+  // Takes ownership of a connected socket and assigns it round-robin to
+  // a shard. The fd is switched to non-blocking here. Safe from any
+  // thread (the accept thread calls this).
+  void Adopt(int fd, std::string peer);
+
+  // Sharded accept: every shard gets its own SO_REUSEPORT listener bound
+  // to `port` (0 = ephemeral; all shards share the resolved port) and
+  // accepts directly on its loop — no accept thread, no cross-thread
+  // handoff. Returns the bound port. Starts every shard eagerly.
+  uint16_t ListenReusePort(uint16_t port);
+
+  // Closes every connection and listener, joins all shard threads.
+  // Idempotent. Worker tasks still holding ReactorConn references after
+  // this see closed connections and drop their replies silently.
+  void Stop();
+
+  ReactorStats Stats() const;
+  std::vector<uint64_t> ConnectionsPerShard() const;
+  uint64_t ConnectionCount() const;
+  int ShardCount() const { return static_cast<int>(shards_.size()); }
+
+  // Process-wide observability hook (see file comment). a/b are
+  // event-specific payloads; shard is the shard index.
+  enum class Event {
+    kBackpressureSuspend,  // a = queued bytes
+    kBackpressureResume,   // a = queued bytes
+    kLoopStall,            // a = iteration wall time, ns
+  };
+  using EventHook = void (*)(Event event, uint64_t a, int shard);
+  static void SetEventHook(EventHook hook);
+
+ private:
+  friend class ReactorConn;
+  friend struct ReactorShard;
+
+  ReactorShard& PickShard();
+  void StartShardLocked(ReactorShard& shard);
+
+  ReactorOptions options_;
+  Handlers handlers_;
+  std::vector<std::unique_ptr<ReactorShard>> shards_;
+  std::atomic<uint64_t> next_shard_{0};
+  std::atomic<uint64_t> next_conn_id_{1};
+  std::mutex start_mutex_;  // guards lazy shard-thread starts and Stop
+  bool stopped_ = false;
+};
+
+}  // namespace heidi::net

@@ -10,6 +10,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 #include <mutex>
 
@@ -24,9 +25,17 @@ namespace {
   throw NetError(what + ": " + std::strerror(errno));
 }
 
-void SetNoDelay(int fd) {
-  int one = 1;
-  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+// Milliseconds left until `deadline`, clamped to >= 0; -1 when the caller
+// asked for no deadline. Poll loops must re-poll with the *remaining*
+// budget after EINTR or a spurious wakeup, never the original one —
+// restarting the full timeout lets a signal-happy process wait forever.
+int RemainingMs(int timeout_ms,
+                std::chrono::steady_clock::time_point deadline) {
+  if (timeout_ms < 0) return -1;
+  auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                  deadline - std::chrono::steady_clock::now())
+                  .count();
+  return left > 0 ? static_cast<int>(left) : 0;
 }
 
 class TcpChannel : public ByteChannel {
@@ -107,15 +116,35 @@ class TcpChannel : public ByteChannel {
   }
 
   bool WaitReadable(int timeout_ms) override {
+    const auto deadline =
+        std::chrono::steady_clock::now() +
+        std::chrono::milliseconds(timeout_ms > 0 ? timeout_ms : 0);
     while (true) {
       pollfd pfd{};
       pfd.fd = fd_.load(std::memory_order_relaxed);
       pfd.events = POLLIN;
       if (pfd.fd < 0) return true;  // closed: Read returns 0 immediately
-      int rc = ::poll(&pfd, 1, timeout_ms);
-      if (rc > 0) return true;  // readable, EOF, or error — Read resolves it
+      int rc = ::poll(&pfd, 1, RemainingMs(timeout_ms, deadline));
+      if (rc > 0) {
+        // Inspect revents instead of trusting rc: POLLIN is data;
+        // POLLHUP is the peer's half/full close and POLLERR|POLLNVAL are
+        // terminal — all three resolve deterministically through Read()
+        // (EOF or a surfaced error), which is what callers expect from a
+        // `true` here. An empty revents is a spurious wakeup: re-poll
+        // with the remaining budget rather than claiming readability.
+        if (pfd.revents & (POLLIN | POLLHUP | POLLERR | POLLNVAL)) {
+          return true;
+        }
+        continue;
+      }
       if (rc == 0) return false;
-      if (errno == EINTR) continue;
+      if (errno == EINTR) {
+        // Keep waiting, but only for what's left of the deadline.
+        if (timeout_ms >= 0 && RemainingMs(timeout_ms, deadline) == 0) {
+          return false;
+        }
+        continue;
+      }
       return true;  // poll itself failed; let Read surface the error
     }
   }
@@ -128,6 +157,10 @@ class TcpChannel : public ByteChannel {
     // call from any thread, any number of times.
     int fd = fd_.load(std::memory_order_relaxed);
     if (fd >= 0) ::shutdown(fd, SHUT_RDWR);
+  }
+
+  int ReleaseFd() override {
+    return fd_.exchange(-1, std::memory_order_relaxed);
   }
 
   std::string PeerName() const override { return peer_; }
@@ -148,26 +181,124 @@ std::string PeerOf(const sockaddr_storage& addr) {
 
 }  // namespace
 
+void ApplyTcpTuning(int fd, const TcpTuning& tuning) {
+  int one = tuning.nodelay ? 1 : 0;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  if (tuning.rcvbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tuning.rcvbuf,
+                 sizeof tuning.rcvbuf);
+  }
+  if (tuning.sndbuf > 0) {
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &tuning.sndbuf,
+                 sizeof tuning.sndbuf);
+  }
+}
+
+int CreateTcpListener(uint16_t port, bool reuseport, int backlog,
+                      uint16_t* bound_port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) FailErrno("socket");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  if (reuseport) {
+    if (::setsockopt(fd, SOL_SOCKET, SO_REUSEPORT, &one, sizeof one) != 0) {
+      int saved = errno;
+      ::close(fd);
+      errno = saved;
+      FailErrno("setsockopt SO_REUSEPORT");
+    }
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_ANY);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    FailErrno("bind port " + std::to_string(port));
+  }
+  if (::listen(fd, backlog) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    FailErrno("listen");
+  }
+  socklen_t len = sizeof addr;
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    int saved = errno;
+    ::close(fd);
+    errno = saved;
+    FailErrno("getsockname");
+  }
+  if (bound_port != nullptr) *bound_port = ntohs(addr.sin_port);
+  return fd;
+}
+
+std::string TcpPeerName(int fd) {
+  sockaddr_storage addr{};
+  socklen_t len = sizeof addr;
+  if (::getpeername(fd, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
+    return "?:?";
+  }
+  return PeerOf(addr);
+}
+
 namespace {
 
 // connect(2) against one address, optionally bounded by a deadline via a
 // non-blocking connect + poll. Returns 0 on success, an errno otherwise.
 int ConnectOne(int fd, const sockaddr* addr, socklen_t len, int timeout_ms) {
   if (timeout_ms < 0) {
-    return ::connect(fd, addr, len) == 0 ? 0 : errno;
+    if (::connect(fd, addr, len) == 0) return 0;
+    if (errno != EINTR) return errno;
+    // EINTR does not abort a connect: the handshake continues in the
+    // kernel (re-calling connect would spin on EALREADY). Wait for the
+    // socket to become writable, then read the verdict from SO_ERROR.
+    while (true) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int ready = ::poll(&pfd, 1, -1);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        return errno;
+      }
+      if (pfd.revents & (POLLOUT | POLLERR | POLLHUP)) break;
+    }
+    int err = 0;
+    socklen_t err_len = sizeof err;
+    if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
+      return errno;
+    }
+    return err;
   }
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(timeout_ms);
   int flags = ::fcntl(fd, F_GETFL, 0);
   ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
   int rc = ::connect(fd, addr, len);
   int err = 0;
   if (rc != 0) {
-    if (errno != EINPROGRESS) return errno;
-    pollfd pfd{};
-    pfd.fd = fd;
-    pfd.events = POLLOUT;
-    int ready = ::poll(&pfd, 1, timeout_ms);
-    if (ready == 0) return ETIMEDOUT;
-    if (ready < 0) return errno;
+    if (errno != EINPROGRESS && errno != EINTR) return errno;
+    while (true) {
+      pollfd pfd{};
+      pfd.fd = fd;
+      pfd.events = POLLOUT;
+      int ready = ::poll(&pfd, 1, RemainingMs(timeout_ms, deadline));
+      if (ready == 0) return ETIMEDOUT;
+      if (ready < 0) {
+        if (errno == EINTR) {
+          if (RemainingMs(timeout_ms, deadline) == 0) return ETIMEDOUT;
+          continue;
+        }
+        return errno;
+      }
+      // POLLOUT is completion; POLLERR|POLLHUP is refusal — either way
+      // SO_ERROR below tells the truth. Anything else (spurious wakeup)
+      // goes back to poll with the remaining budget.
+      if (pfd.revents & (POLLOUT | POLLERR | POLLHUP)) break;
+    }
     socklen_t err_len = sizeof err;
     if (::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &err_len) != 0) {
       return errno;
@@ -181,7 +312,8 @@ int ConnectOne(int fd, const sockaddr* addr, socklen_t len, int timeout_ms) {
 }  // namespace
 
 std::unique_ptr<ByteChannel> TcpConnect(const std::string& host, uint16_t port,
-                                        int timeout_ms) {
+                                        int timeout_ms,
+                                        const TcpTuning& tuning) {
   addrinfo hints{};
   hints.ai_family = AF_UNSPEC;
   hints.ai_socktype = SOCK_STREAM;
@@ -215,38 +347,16 @@ std::unique_ptr<ByteChannel> TcpConnect(const std::string& host, uint16_t port,
     if (timed_out) throw TimeoutError(what);
     throw NetError(what);
   }
-  SetNoDelay(fd);
+  ApplyTcpTuning(fd, tuning);
   return std::make_unique<TcpChannel>(fd, host + ":" + service);
 }
 
-TcpAcceptor::TcpAcceptor(uint16_t port) {
-  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
-  if (fd_ < 0) FailErrno("socket");
-  int one = 1;
-  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
-  sockaddr_in addr{};
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_ANY);
-  addr.sin_port = htons(port);
-  if (::bind(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof addr) != 0) {
-    int saved = errno;
-    ::close(fd_);
-    fd_ = -1;
-    errno = saved;
-    FailErrno("bind port " + std::to_string(port));
-  }
-  if (::listen(fd_, 64) != 0) {
-    int saved = errno;
-    ::close(fd_);
-    fd_ = -1;
-    errno = saved;
-    FailErrno("listen");
-  }
-  socklen_t len = sizeof addr;
-  if (::getsockname(fd_, reinterpret_cast<sockaddr*>(&addr), &len) != 0) {
-    FailErrno("getsockname");
-  }
-  port_ = ntohs(addr.sin_port);
+TcpAcceptor::TcpAcceptor(uint16_t port, const TcpTuning& tuning)
+    : tuning_(tuning) {
+  // Backlog 1024: connection-scale workloads (bench_connscale) open
+  // thousands of sockets in bursts; 64 would shed them as RSTs.
+  fd_ = CreateTcpListener(port, /*reuseport=*/false, /*backlog=*/1024,
+                          &port_);
 }
 
 TcpAcceptor::~TcpAcceptor() {
@@ -266,7 +376,7 @@ std::unique_ptr<ByteChannel> TcpAcceptor::Accept() {
       // Closed (or any terminal condition): report orderly shutdown.
       return nullptr;
     }
-    SetNoDelay(fd);
+    ApplyTcpTuning(fd, tuning_);
     return std::make_unique<TcpChannel>(fd, PeerOf(addr));
   }
 }

@@ -11,18 +11,45 @@
 
 namespace heidi::net {
 
+// Per-socket TCP knobs, applied to connected and accepted sockets alike.
+// rcvbuf/sndbuf of 0 keep the kernel's autotuned defaults; setting them
+// pins SO_RCVBUF/SO_SNDBUF (the kernel doubles the value it's given, as
+// usual for those options).
+struct TcpTuning {
+  bool nodelay = true;
+  int rcvbuf = 0;
+  int sndbuf = 0;
+};
+
+// Applies `tuning` to an open socket. Best-effort: setsockopt failures on
+// buffer sizing are ignored (the socket still works, just untuned).
+void ApplyTcpTuning(int fd, const TcpTuning& tuning);
+
+// Creates a bound, listening IPv4 socket on INADDR_ANY. With `reuseport`,
+// SO_REUSEPORT is set before bind so several listeners can share one port
+// (the kernel load-balances accepts across them — the reactor's sharded
+// accept mode). Writes the bound port (resolving port 0) to *bound_port
+// when non-null. Returns the fd; throws NetError on failure.
+int CreateTcpListener(uint16_t port, bool reuseport, int backlog,
+                      uint16_t* bound_port);
+
+// Numeric host:port of a connected socket's peer ("?" fields on failure).
+std::string TcpPeerName(int fd);
+
 // Connects to host:port (name resolution via getaddrinfo). Throws
 // NetError; a non-negative `timeout_ms` bounds each connect attempt and
 // throws TimeoutError when the deadline passes first (timeout_ms < 0
 // blocks until the kernel gives up).
 std::unique_ptr<ByteChannel> TcpConnect(const std::string& host, uint16_t port,
-                                        int timeout_ms = -1);
+                                        int timeout_ms = -1,
+                                        const TcpTuning& tuning = {});
 
 // Listening socket; the bootstrap port of an address space (§3.1 Fig 5).
 class TcpAcceptor {
  public:
   // port 0 picks an ephemeral port (see Port()). Binds to all interfaces.
-  explicit TcpAcceptor(uint16_t port = 0);
+  // `tuning` is applied to every accepted socket.
+  explicit TcpAcceptor(uint16_t port = 0, const TcpTuning& tuning = {});
   ~TcpAcceptor();
 
   TcpAcceptor(const TcpAcceptor&) = delete;
@@ -43,6 +70,7 @@ class TcpAcceptor {
   // cross-thread close is exactly how an accept loop is shut down.
   std::atomic<int> fd_{-1};
   uint16_t port_ = 0;
+  TcpTuning tuning_;
 };
 
 }  // namespace heidi::net

@@ -29,6 +29,8 @@ const char* FlightEventTypeName(FlightEventType type) {
     case FlightEventType::kListen: return "listen";
     case FlightEventType::kShutdown: return "shutdown";
     case FlightEventType::kFatalSignal: return "fatal_signal";
+    case FlightEventType::kBackpressure: return "backpressure";
+    case FlightEventType::kLoopStall: return "loop_stall";
   }
   return "?";
 }

@@ -41,6 +41,8 @@ enum class FlightEventType : uint16_t {
   kListen = 11,        // a=port
   kShutdown = 12,
   kFatalSignal = 13,   // a=signo
+  kBackpressure = 14,  // a=queued reply bytes, b=reactor shard
+  kLoopStall = 15,     // a=loop iteration ns, b=reactor shard
 };
 
 const char* FlightEventTypeName(FlightEventType type);

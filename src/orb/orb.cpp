@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <condition_variable>
 #include <cstdlib>
 #include <random>
 #include <thread>
@@ -135,14 +136,39 @@ void FlightFaultTriggerHook(const char* kind, uint64_t total) {
                                        total, 0, kind);
 }
 
+void FlightReactorEventHook(net::Reactor::Event event, uint64_t a, int shard) {
+  switch (event) {
+    case net::Reactor::Event::kBackpressureSuspend:
+      obs::FlightRecorder::Global().Record(obs::FlightEventType::kBackpressure,
+                                           a, static_cast<uint64_t>(shard));
+      break;
+    case net::Reactor::Event::kBackpressureResume:
+      // The resume edge is only a counter (ReactorStats); the suspend is
+      // the incident worth a black-box entry.
+      break;
+    case net::Reactor::Event::kLoopStall:
+      obs::FlightRecorder::Global().Record(obs::FlightEventType::kLoopStall,
+                                           a, static_cast<uint64_t>(shard));
+      break;
+  }
+}
+
 void InstallFlightHooksOnce() {
   static std::once_flag once;
   std::call_once(once, [] {
     bytes::IoBufPool::Global().BindPressureHook(&FlightPoolPressureHook);
     support::Arena::SetOversizeHook(&FlightArenaOversizeHook);
     net::FaultInjector::SetTriggerHook(&FlightFaultTriggerHook);
+    net::Reactor::SetEventHook(&FlightReactorEventHook);
   });
 }
+
+// Per-connection reactor state, parked in ReactorConn::UserState: the
+// protocol's incremental frame decoder (it carries cross-fragment state,
+// so it must live exactly as long as the connection).
+struct ReactorConnState {
+  std::unique_ptr<wire::FrameDecoder> decoder;
+};
 
 }  // namespace
 
@@ -220,14 +246,62 @@ Orb::~Orb() {
 
 void Orb::ListenTcp(uint16_t port) {
   std::lock_guard lock(server_mutex_);
-  if (acceptor_ != nullptr) throw HdError("orb is already listening");
-  acceptor_ = std::make_unique<net::TcpAcceptor>(port);
+  if (acceptor_ != nullptr || reactor_ != nullptr) {
+    throw HdError("orb is already listening");
+  }
+  int shards = options_.reactor_shards;
+  if (shards < 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    shards = hw > 0 ? static_cast<int>(hw) : 4;
+  }
+  net::TcpTuning tuning;
+  tuning.nodelay = options_.tcp_nodelay;
+  tuning.rcvbuf = options_.tcp_rcvbuf;
+  tuning.sndbuf = options_.tcp_sndbuf;
+  // Reactor serving needs the protocol's incremental decoder; a custom
+  // protocol without one falls back to thread-per-connection, unchanged.
+  bool use_reactor = shards > 0 && protocol_->NewFrameDecoder() != nullptr;
+  if (use_reactor) {
+    net::ReactorOptions ropts;
+    ropts.shards = shards;
+    ropts.write_high_water = options_.reactor_write_high_water;
+    ropts.write_low_water = options_.reactor_write_high_water / 4;
+    ropts.tuning = tuning;
+    net::Reactor::Handlers handlers;
+    handlers.on_data = [this](net::ReactorConn& conn) {
+      return OnReactorData(conn);
+    };
+    reactor_ = std::make_unique<net::Reactor>(ropts, std::move(handlers));
+    if (options_.reactor_reuseport) {
+      // Sharded accept: the kernel delivers connections straight to each
+      // shard's listener — no accept thread at all.
+      listen_port_ = reactor_->ListenReusePort(port);
+      obs::FlightRecorder::Global().Record(obs::FlightEventType::kListen,
+                                           listen_port_);
+      return;
+    }
+  }
+  acceptor_ = std::make_unique<net::TcpAcceptor>(port, tuning);
+  listen_port_ = acceptor_->Port();
   obs::FlightRecorder::Global().Record(obs::FlightEventType::kListen,
-                                       acceptor_->Port());
+                                       listen_port_);
   accept_thread_ = std::thread([this] {
     while (true) {
       std::unique_ptr<net::ByteChannel> channel = acceptor_->Accept();
       if (channel == nullptr) return;  // acceptor closed
+      if (reactor_ != nullptr) {
+        // Hand the raw descriptor to a shard; the channel wrapper is
+        // done. (ReleaseFd < 0 means the channel type cannot surrender
+        // its fd — serve it the legacy way below.)
+        std::string peer = channel->PeerName();
+        int fd = channel->ReleaseFd();
+        if (fd >= 0) {
+          obs::FlightRecorder::Global().Record(
+              obs::FlightEventType::kConnAccepted, 0, 0, peer);
+          reactor_->Adopt(fd, std::move(peer));
+          continue;
+        }
+      }
       try {
         ServeChannel(std::move(channel));
       } catch (const HdError& e) {
@@ -239,7 +313,7 @@ void Orb::ListenTcp(uint16_t port) {
 
 uint16_t Orb::TcpPort() const {
   std::lock_guard lock(server_mutex_);
-  return acceptor_ == nullptr ? 0 : acceptor_->Port();
+  return listen_port_;
 }
 
 void Orb::ServeChannel(std::unique_ptr<net::ByteChannel> channel) {
@@ -269,6 +343,12 @@ void Orb::Shutdown() {
     obs::FlightRecorder::Global().Record(obs::FlightEventType::kShutdown);
   }
   if (accept_thread_.joinable()) accept_thread_.join();
+  // Reactor: closes every adopted connection and reuseport listener,
+  // joins the shard threads. Runs after the accept thread is gone (a
+  // racing Adopt on a stopped reactor just closes the fd) and before the
+  // worker pool drains — in-flight tasks hold their ReactorConn by
+  // shared_ptr and their late QueueWrite degrades to a no-op.
+  if (reactor_ != nullptr) reactor_->Stop();
   // Handler threads exit once their connection EOFs (we closed them all).
   std::vector<std::thread> handlers;
   {
@@ -319,9 +399,9 @@ void Orb::Shutdown() {
 std::string Orb::MyEndpoint() const {
   {
     std::lock_guard lock(server_mutex_);
-    if (acceptor_ != nullptr) {
+    if (listen_port_ != 0) {
       return "tcp:" + options_.advertise_host + ":" +
-             std::to_string(acceptor_->Port());
+             std::to_string(listen_port_);
     }
   }
   if (!options_.inproc_name.empty()) {
@@ -337,7 +417,7 @@ bool Orb::IsLocalEndpoint(const ObjectRef& ref) const {
   }
   if (ref.protocol == "tcp") {
     std::lock_guard lock(server_mutex_);
-    return acceptor_ != nullptr && ref.port == acceptor_->Port() &&
+    return listen_port_ != 0 && ref.port == listen_port_ &&
            ref.host == options_.advertise_host;
   }
   return false;
@@ -390,6 +470,18 @@ size_t Orb::ExportedCount() const {
 
 void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
   obs::Tracer* tracer = options_.tracer.get();
+  // Half-close contract: requests already read must still be answered.
+  // A peer may shutdown(SHUT_WR) right after its last pipelined request;
+  // the clean-EOF path below then waits for this connection's in-flight
+  // pool tasks before closing the channel, so their replies still reach
+  // the (still-reading) peer.
+  struct Pending {
+    std::mutex m;
+    std::condition_variable cv;
+    int n = 0;
+  };
+  auto pending = std::make_shared<Pending>();
+  bool clean_eof = false;
   while (true) {
     std::unique_ptr<wire::Call> request;
     int64_t t_read = tracer != nullptr ? obs::NowNs() : 0;
@@ -399,38 +491,20 @@ void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
       HD_LOG_DEBUG << "connection " << comm->PeerName() << ": " << e.what();
       break;
     }
-    if (request == nullptr) break;  // orderly close
+    if (request == nullptr) {  // orderly close
+      clean_eof = true;
+      break;
+    }
     if (request->Kind() != wire::CallKind::kRequest) {
       HD_LOG_WARN << "peer " << comm->PeerName()
                   << " sent a reply where a request was expected; closing";
       break;
     }
-    // The server span continues the inbound trace: same trace id, fresh
-    // span id, parented on the client's wire-propagated span. Created
-    // only when the client sampled the call. Its "read" stage spans the
-    // wire read, which on an idle connection includes time spent waiting
-    // for the request to arrive — interpretable on a timeline, so it is
-    // deliberately kept off the always-on stage histograms.
-    std::shared_ptr<obs::Span> span;
-    bool inbound_sampled =
-        request->Trace().Valid() && request->Trace().sampled;
-    if (tracer != nullptr &&
-        (inbound_sampled || tracer->RecordsAllCalls())) {
-      obs::TraceContext ctx;
-      if (request->Trace().Valid()) {
-        ctx = request->Trace();
-        ctx.parent_span_id = ctx.span_id;
-        ctx.span_id = obs::NewSpanId();
-      } else {
-        // Tail retention: the client sent no context (it was not
-        // head-sampled), but the policy wants every dispatch judged at
-        // completion — give the span a local, unsampled root identity
-        // that never propagates.
-        ctx = obs::NewRootContext(false);
-      }
-      span = tracer->StartSpan(obs::SpanKind::kServer, request->Operation(),
-                               ctx, t_read);
-    }
+    // The server span's "read" stage spans the wire read, which on an
+    // idle connection includes time spent waiting for the request to
+    // arrive — interpretable on a timeline, so it is deliberately kept
+    // off the always-on stage histograms.
+    std::shared_ptr<obs::Span> span = StartServerSpan(*request, t_read);
     if (request->Oneway()) {
       // Inline on the reader thread: oneways from one connection execute
       // in submission order, whatever the pool's workers are doing.
@@ -446,7 +520,12 @@ void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
     std::shared_ptr<wire::Call> shared_request(std::move(request));
     int64_t t_queued = tracer != nullptr ? obs::NowNs() : 0;
     if (span != nullptr) span->AddStageInterval("read", t_read, t_queued);
-    auto task = [this, comm, shared_request, span, t_queued, tracer] {
+    {
+      std::lock_guard plock(pending->m);
+      ++pending->n;
+    }
+    auto task = [this, comm, shared_request, span, t_queued, tracer,
+                 pending] {
       if (tracer != nullptr) {
         // Queue wait: from Post() to a pool worker picking the task up
         // (zero-ish when dispatching inline on the reader thread).
@@ -473,8 +552,20 @@ void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
           span->End(t_done);
         }
       }
+      {
+        std::lock_guard plock(pending->m);
+        --pending->n;
+      }
+      pending->cv.notify_all();
     };
     if (worker_pool_ == nullptr || !worker_pool_->Post(task)) task();
+  }
+  if (clean_eof) {
+    // Error paths skip the wait: the transport is dead, so queued
+    // replies could not be delivered anyway (they run to completion on
+    // the pool and their Send fails harmlessly).
+    std::unique_lock plock(pending->m);
+    pending->cv.wait(plock, [&] { return pending->n == 0; });
   }
   comm->Close();
   // Drop the orb's reference so the channel (and its descriptor) is
@@ -485,6 +576,123 @@ void Orb::HandlerLoop(std::shared_ptr<ObjectCommunicator> comm) {
   server_comms_.erase(
       std::remove(server_comms_.begin(), server_comms_.end(), comm),
       server_comms_.end());
+}
+
+// The server span continues the inbound trace: same trace id, fresh span
+// id, parented on the client's wire-propagated span. Created only when
+// the client sampled the call — except under tail retention, where the
+// client sent no context (it was not head-sampled) but the policy wants
+// every dispatch judged at completion: the span then gets a local,
+// unsampled root identity that never propagates.
+std::shared_ptr<obs::Span> Orb::StartServerSpan(const wire::Call& request,
+                                                int64_t t_read) {
+  obs::Tracer* tracer = options_.tracer.get();
+  if (tracer == nullptr) return nullptr;
+  bool inbound_sampled = request.Trace().Valid() && request.Trace().sampled;
+  if (!inbound_sampled && !tracer->RecordsAllCalls()) return nullptr;
+  obs::TraceContext ctx;
+  if (request.Trace().Valid()) {
+    ctx = request.Trace();
+    ctx.parent_span_id = ctx.span_id;
+    ctx.span_id = obs::NewSpanId();
+  } else {
+    ctx = obs::NewRootContext(false);
+  }
+  return tracer->StartSpan(obs::SpanKind::kServer, request.Operation(), ctx,
+                           t_read);
+}
+
+// Runs on a reactor shard's loop thread whenever bytes landed in the
+// connection's inbound buffer (and once more after EOF). Drains every
+// complete frame: oneways dispatch inline — preserving per-connection
+// submission order, exactly like the legacy reader thread — and twoways
+// go to the worker pool, pinning the connection so a teardown racing the
+// reply degrades QueueWrite to a silent no-op. Dispatches are bracketed
+// with Begin/EndDispatch so a half-closing peer still gets the replies
+// to requests it already sent.
+bool Orb::OnReactorData(net::ReactorConn& conn) {
+  auto state = std::static_pointer_cast<ReactorConnState>(conn.UserState());
+  if (state == nullptr) {
+    state = std::make_shared<ReactorConnState>();
+    state->decoder = protocol_->NewFrameDecoder();
+    conn.UserState() = state;
+  }
+  obs::Tracer* tracer = options_.tracer.get();
+  while (true) {
+    std::unique_ptr<wire::Call> request;
+    int64_t t_read = tracer != nullptr ? obs::NowNs() : 0;
+    try {
+      request = state->decoder->TryParseFrame(conn.Inbound());
+    } catch (const HdError& e) {
+      HD_LOG_DEBUG << "connection " << conn.PeerName() << ": " << e.what();
+      return false;
+    }
+    if (request == nullptr) {
+      if (conn.ReadClosed() && conn.Inbound().Available() > 0) {
+        HD_LOG_DEBUG << "connection " << conn.PeerName()
+                     << ": EOF inside a frame (" << conn.Inbound().Available()
+                     << " bytes unparsed)";
+      }
+      return true;  // need more bytes
+    }
+    if (request->Kind() != wire::CallKind::kRequest) {
+      HD_LOG_WARN << "peer " << conn.PeerName()
+                  << " sent a reply where a request was expected; closing";
+      return false;
+    }
+    std::shared_ptr<obs::Span> span = StartServerSpan(*request, t_read);
+    if (request->Oneway()) {
+      // Inline on the shard loop: oneways from one connection execute in
+      // submission order, whatever the pool's workers are doing.
+      if (span != nullptr) span->AddStage("read", t_read);
+      HandleRequest(*request, span.get());
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      if (span != nullptr) span->End();
+      continue;
+    }
+    // Twoway: dispatch on the pool so calls pipelined on this connection
+    // overlap. Replies queue in completion order; the client's mux
+    // matches them by call id.
+    std::shared_ptr<wire::Call> shared_request(std::move(request));
+    int64_t t_queued = tracer != nullptr ? obs::NowNs() : 0;
+    if (span != nullptr) span->AddStageInterval("read", t_read, t_queued);
+    conn.BeginDispatch();
+    std::shared_ptr<net::ReactorConn> pinned = conn.shared_from_this();
+    auto task = [this, pinned, shared_request, span, t_queued, tracer] {
+      if (tracer != nullptr) {
+        int64_t t_start = obs::NowNs();
+        stage_server_queue_->Record(static_cast<uint64_t>(t_start - t_queued));
+        if (span != nullptr) span->AddStageInterval("queue", t_queued, t_start);
+      }
+      std::unique_ptr<wire::Call> reply =
+          HandleRequest(*shared_request, span.get());
+      requests_served_.fetch_add(1, std::memory_order_relaxed);
+      int64_t t_reply = tracer != nullptr ? obs::NowNs() : 0;
+      try {
+        // Encode into a chain (sharing the reply's marshaled slabs by
+        // refcount) and hand it to the connection's write queue — the
+        // common case flushes right here on the worker thread with one
+        // non-blocking sendmsg.
+        bytes::BufferChain frame;
+        protocol_->EncodeCall(frame, *reply);
+        pinned->QueueWrite(std::move(frame));
+      } catch (const HdError& e) {
+        HD_LOG_DEBUG << "reply to " << pinned->PeerName()
+                     << " failed: " << e.what();
+        if (span != nullptr) span->SetError(e.what());
+      }
+      if (tracer != nullptr) {
+        int64_t t_done = obs::NowNs();
+        stage_server_reply_->Record(static_cast<uint64_t>(t_done - t_reply));
+        if (span != nullptr) {
+          span->AddStageInterval("reply", t_reply, t_done);
+          span->End(t_done);
+        }
+      }
+      pinned->EndDispatch();
+    };
+    if (worker_pool_ == nullptr || !worker_pool_->Post(task)) task();
+  }
 }
 
 std::unique_ptr<wire::Call> Orb::HandleRequest(wire::Call& request,
@@ -674,11 +882,17 @@ void Orb::RunPostInvoke(const ObjectRef& target, const wire::Call& reply) {
 std::unique_ptr<net::ByteChannel> Orb::ConnectTo(const ObjectRef& ref) {
   std::unique_ptr<net::ByteChannel> channel;
   if (ref.protocol == "tcp") {
+    net::TcpTuning tuning;
+    tuning.nodelay = options_.tcp_nodelay;
+    tuning.rcvbuf = options_.tcp_rcvbuf;
+    tuning.sndbuf = options_.tcp_sndbuf;
     try {
+      // The fault-injection connect (a test path) keeps default tuning.
       channel = options_.fault_injector != nullptr
                     ? net::FaultyTcpConnect(ref.host, ref.port,
                                             options_.fault_injector)
-                    : net::TcpConnect(ref.host, ref.port);
+                    : net::TcpConnect(ref.host, ref.port, /*timeout_ms=*/-1,
+                                      tuning);
     } catch (const TimeoutError&) {
       throw;
     } catch (const ConnectError&) {
@@ -1356,6 +1570,19 @@ OrbStats Orb::Stats() const {
   stats.iobuf_pool_hits = pool.hits;
   stats.iobuf_pool_misses = pool.misses;
   stats.iobuf_bytes_retained = pool.outstanding_bytes;
+  {
+    std::lock_guard lock(server_mutex_);
+    if (reactor_ != nullptr) {
+      net::ReactorStats reactor = reactor_->Stats();
+      stats.reactor_connections = reactor_->ConnectionCount();
+      stats.reactor_epoll_wakeups = reactor.epoll_wakeups;
+      stats.reactor_eventfd_wakeups = reactor.eventfd_wakeups;
+      stats.reactor_backpressure_suspends = reactor.backpressure_suspends;
+      stats.reactor_backpressure_resumes = reactor.backpressure_resumes;
+      stats.reactor_loop_stalls = reactor.loop_stalls;
+      stats.reactor_shard_connections = reactor_->ConnectionsPerShard();
+    }
+  }
   return stats;
 }
 
@@ -1401,6 +1628,16 @@ void Orb::SyncStatsToMetrics() const {
   metrics->GetCounter("orb.faults_injected")->Store(stats.faults_injected);
   metrics->GetCounter("orb.spans_recorded")->Store(stats.spans_recorded);
   metrics->GetCounter("orb.spans_dropped")->Store(stats.spans_dropped);
+  metrics->GetCounter("orb.reactor.epoll_wakeups")
+      ->Store(stats.reactor_epoll_wakeups);
+  metrics->GetCounter("orb.reactor.eventfd_wakeups")
+      ->Store(stats.reactor_eventfd_wakeups);
+  metrics->GetCounter("orb.reactor.backpressure_suspends")
+      ->Store(stats.reactor_backpressure_suspends);
+  metrics->GetCounter("orb.reactor.backpressure_resumes")
+      ->Store(stats.reactor_backpressure_resumes);
+  metrics->GetCounter("orb.reactor.loop_stalls")
+      ->Store(stats.reactor_loop_stalls);
   if (options_.tracer != nullptr) {
     const obs::SpanRing& provisional = options_.tracer->ProvisionalRing();
     metrics->GetCounter("tracer.provisional_recorded")
@@ -1428,7 +1665,16 @@ void Orb::SyncStatsToMetrics() const {
     metrics->GetGauge("orb.workpool.queue_depth")
         ->Set(static_cast<int64_t>(worker_pool_->QueueDepth()));
   }
-  size_t open = 0;
+  // Per-shard connection gauges: the load-balance view (round-robin vs
+  // reuseport hashing) a scrape can graph directly.
+  metrics->GetGauge("orb.reactor.connections")
+      ->Set(static_cast<int64_t>(stats.reactor_connections));
+  for (size_t i = 0; i < stats.reactor_shard_connections.size(); ++i) {
+    metrics
+        ->GetGauge("orb.reactor.shard." + std::to_string(i) + ".connections")
+        ->Set(static_cast<int64_t>(stats.reactor_shard_connections[i]));
+  }
+  size_t open = stats.reactor_connections;
   {
     std::lock_guard lock(client_mutex_);
     open += connections_.size();

@@ -12,14 +12,28 @@
 //
 // Threading model.
 //
-// Server side: ListenTcp starts an accept thread; each connection gets a
-// reader thread that parses frames. Oneway requests are dispatched inline
-// on the reader thread, so oneways from one client execute in submission
-// order. Twoway requests are handed to a small shared worker pool
-// (OrbOptions::server_workers), so pipelined requests arriving on ONE
-// connection overlap — implementation objects must be prepared for
-// concurrent calls even from a single client. server_workers = 0 restores
-// the old strictly-per-connection-ordered inline dispatch.
+// Server side, reactor mode (the default): ListenTcp starts a sharded
+// epoll reactor (OrbOptions::reactor_shards event-loop threads, default
+// one per hardware thread; see net/reactor.h). Each accepted socket is
+// made non-blocking and pinned to one shard; that shard's loop reads it
+// readiness-driven into a pooled buffer and parses frames incrementally.
+// Oneway requests are dispatched inline on the shard loop, so oneways
+// from one client execute in submission order. Twoway requests are
+// handed to a small shared worker pool (OrbOptions::server_workers), so
+// pipelined requests arriving on ONE connection overlap — implementation
+// objects must be prepared for concurrent calls even from a single
+// client. Replies leave through a per-connection write queue: a
+// non-blocking flush on the worker thread in the common case, EPOLLOUT-
+// driven from the shard loop when the peer is slow, with high-water
+// backpressure that suspends reading from clients who refuse to drain
+// replies. Thread count is O(shards + workers + 1 accept thread),
+// independent of connection count.
+//
+// Server side, legacy mode (reactor_shards = 0, or a custom protocol
+// without a FrameDecoder): each connection gets a blocking reader thread
+// that parses frames; dispatch policy (oneway inline / twoway pooled) is
+// the same as above. server_workers = 0 restores the old strictly-per-
+// connection-ordered inline dispatch in either mode.
 //
 // Client side: invocations may come from any thread. A cached connection
 // is multiplexed, not serialized: each in-flight call parks on its own
@@ -46,6 +60,7 @@
 
 #include "net/channel.h"
 #include "net/fault.h"
+#include "net/reactor.h"
 #include "net/tcp.h"
 #include "obs/retention.h"
 #include "obs/tracer.h"
@@ -87,6 +102,29 @@ struct OrbOptions {
   // concurrently. 0 dispatches inline on each connection's reader thread
   // (strict per-connection ordering, no overlap).
   int server_workers = 4;
+  // Event-loop shards serving inbound connections (see the threading
+  // model above). -1 picks one per hardware thread; 0 disables the
+  // reactor and serves every connection with its own blocking reader
+  // thread (the legacy model — also the fallback for custom protocols
+  // that do not implement wire::Protocol::NewFrameDecoder).
+  int reactor_shards = -1;
+  // Sharded accept: give every reactor shard its own SO_REUSEPORT
+  // listener so the kernel balances connections across shards and no
+  // accept thread exists. Off by default (round-robin assignment from
+  // one accept thread preserves exact per-shard balance, which reuseport
+  // hashing does not guarantee).
+  bool reactor_reuseport = false;
+  // Per-connection reply-queue high-water mark, bytes. A client that
+  // stops reading replies is suspended (its requests stop being read)
+  // once this much reply data is queued; reading resumes when the queue
+  // drains below a quarter of this.
+  size_t reactor_write_high_water = 4u << 20;
+  // TCP socket tuning for inbound (accepted) and outbound (client)
+  // connections: Nagle off by default for RPC latency; 0 buffer sizes
+  // keep the kernel defaults.
+  bool tcp_nodelay = true;
+  int tcp_rcvbuf = 0;
+  int tcp_sndbuf = 0;
   // Name under which this orb is reachable through the in-process
   // transport ("inproc:<name>:0" bootstrap URLs). Empty = not registered.
   std::string inproc_name;
@@ -160,6 +198,14 @@ struct OrbStats {
   uint64_t iobuf_pool_hits = 0;
   uint64_t iobuf_pool_misses = 0;
   uint64_t iobuf_bytes_retained = 0;
+  // Reactor counters (all zero in legacy thread-per-connection mode).
+  uint64_t reactor_connections = 0;           // currently adopted
+  uint64_t reactor_epoll_wakeups = 0;
+  uint64_t reactor_eventfd_wakeups = 0;
+  uint64_t reactor_backpressure_suspends = 0;
+  uint64_t reactor_backpressure_resumes = 0;
+  uint64_t reactor_loop_stalls = 0;
+  std::vector<uint64_t> reactor_shard_connections;  // per-shard live count
 };
 
 // Per-invocation observability state threaded through the invoke path
@@ -355,6 +401,15 @@ class Orb {
   // an error tag when the dispatch fails.
   std::unique_ptr<wire::Call> HandleRequest(wire::Call& request,
                                             obs::Span* span);
+  // Reactor on_data callback: parses frames out of conn.Inbound() with
+  // the connection's FrameDecoder and dispatches them (oneways inline on
+  // the shard loop, twoways on the worker pool with the reply routed
+  // back through conn.QueueWrite). Returns false on protocol errors.
+  bool OnReactorData(net::ReactorConn& conn);
+  // Starts the server span continuing the inbound trace (shared by the
+  // legacy HandlerLoop and the reactor path); null when unsampled.
+  std::shared_ptr<obs::Span> StartServerSpan(const wire::Call& request,
+                                             int64_t t_read);
   // --- observability helpers (no-ops when options_.tracer is null) --------
   // Starts per-invocation trace state: always-on metrics bookkeeping plus
   // a client span when the request's context is sampled.
@@ -377,6 +432,8 @@ class Orb {
 
   // Server state.
   std::unique_ptr<net::TcpAcceptor> acceptor_;
+  std::unique_ptr<net::Reactor> reactor_;
+  uint16_t listen_port_ = 0;  // bound port (acceptor or reuseport shards)
   std::thread accept_thread_;
   mutable std::mutex server_mutex_;
   bool shutting_down_ = false;

@@ -79,8 +79,18 @@ class BinaryCall final : public Call {
   }
 
   // The pooled frame slab a zero-copy readable call retains (the seed
-  // for the dispatch arena); null for writable/owned calls.
-  bytes::IoBufPtr RetainedFrame() const override { return frame_; }
+  // for the dispatch arena); null for writable/owned calls — and null
+  // when the slab is shared (see SetFrameShared).
+  bytes::IoBufPtr RetainedFrame() const override {
+    return frame_shared_ ? bytes::IoBufPtr{} : frame_;
+  }
+
+  // Marks the frame slab as shared with the connection's receive buffer
+  // (reactor pipelining: other frames, or bytes still to be recv()ed,
+  // live in the same slab). Views stay valid — the call retains the
+  // slab either way — but the slab's free tail must not seed a dispatch
+  // arena, which would hand out memory the reactor is still writing to.
+  void SetFrameShared() { frame_shared_ = true; }
 
   // Debug lifetime assertion: poisons the readable decode window so any
   // view that escaped its dispatch reads 0xDD instead of stale data.
@@ -129,6 +139,7 @@ class BinaryCall final : public Call {
 
   bytes::BufferChain chain_;   // writable: marshal target
   bytes::IoBufPtr frame_;      // readable: retained frame slab (may be null)
+  bool frame_shared_ = false;  // slab shared with the receive buffer
   std::string owned_;          // readable: owned copy (compat ctor)
   std::string_view view_;      // readable: the decode window
   size_t cursor_ = 0;

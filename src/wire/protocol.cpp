@@ -11,6 +11,15 @@
 
 namespace heidi::wire {
 
+void Protocol::EncodeCall(bytes::BufferChain& out, const Call& call) const {
+  (void)out;
+  (void)call;
+  // Only protocols that opt into reactor serving (NewFrameDecoder)
+  // need chain encoding; the blocking WriteCall path never lands here.
+  throw MarshalError("protocol '" + std::string(Name()) +
+                     "' does not support chain encoding");
+}
+
 // ---------------------------------------------------------------------------
 // Text protocol
 //
@@ -26,6 +35,128 @@ namespace heidi::wire {
 // that predate it never see it from old peers — the field is additive.
 
 namespace {
+
+constexpr size_t kMaxTextLine = 64u << 20;  // mirrors HIOP's frame cap
+
+// Renders (or reuses) the cached frame line for `call`. Caller holds
+// text->EncodeMutex(); the reference stays valid while it does.
+const std::string& EnsureTextEncoding(const TextCall* text,
+                                      const Call& call) {
+  if (!text->EncodingValidFor(call.Revision())) {
+    std::string line;
+    if (call.Trace().Valid()) {
+      line = "trace: " + call.Trace().ToString() + "\n";
+    }
+    if (call.Kind() == CallKind::kRequest) {
+      line += "REQ " + std::to_string(call.CallId()) + " " +
+              (call.Oneway() ? "O" : "W") + " " +
+              str::EscapeToken(call.Target()) + " " +
+              str::EscapeToken(call.Operation());
+    } else {
+      const char* status = call.Status() == CallStatus::kOk          ? "OK"
+                           : call.Status() == CallStatus::kSystemError ? "SYS"
+                           : call.Status() == CallStatus::kTimeout     ? "TMO"
+                                                                       : "USR";
+      line += "REP " + std::to_string(call.CallId()) + " " + status + " " +
+              str::EscapeToken(call.ErrorText());
+    }
+    for (const std::string& token : text->Tokens()) {
+      line.push_back(' ');
+      line += token;
+    }
+    line.push_back('\n');
+    text->StoreEncoding(std::move(line), call.Revision());
+  }
+  return text->Encoding();
+}
+
+// Parses one REQ/REP line (newline and any \r already stripped; trace
+// header lines are the caller's business). Throws MarshalError.
+std::unique_ptr<Call> ParseTextCallLine(const std::string& line,
+                                        const obs::TraceContext& trace) {
+  std::vector<std::string> fields = str::Split(line, ' ');
+  if (fields.empty() || fields[0].empty()) {
+    throw MarshalError("empty request line");
+  }
+  const std::string& verb = fields[0];
+  if (verb == "REQ") {
+    if (fields.size() < 5) throw MarshalError("short REQ line");
+    auto call = std::make_unique<TextCall>(std::vector<std::string>(
+        fields.begin() + 5, fields.end()));
+    call->SetKind(CallKind::kRequest);
+    call->SetCallId(std::strtoull(fields[1].c_str(), nullptr, 10));
+    if (fields[2] != "O" && fields[2] != "W") {
+      throw MarshalError("malformed oneway flag '" + fields[2] + "'");
+    }
+    call->SetOneway(fields[2] == "O");
+    call->SetTarget(str::UnescapeToken(fields[3]));
+    call->SetOperation(str::UnescapeToken(fields[4]));
+    call->SetTrace(trace);
+    return call;
+  }
+  if (verb == "REP") {
+    if (fields.size() < 4) throw MarshalError("short REP line");
+    auto call = std::make_unique<TextCall>(std::vector<std::string>(
+        fields.begin() + 4, fields.end()));
+    call->SetKind(CallKind::kReply);
+    call->SetCallId(std::strtoull(fields[1].c_str(), nullptr, 10));
+    if (fields[2] == "OK") {
+      call->SetStatus(CallStatus::kOk);
+    } else if (fields[2] == "SYS") {
+      call->SetStatus(CallStatus::kSystemError);
+    } else if (fields[2] == "USR") {
+      call->SetStatus(CallStatus::kUserException);
+    } else if (fields[2] == "TMO") {
+      call->SetStatus(CallStatus::kTimeout);
+    } else {
+      throw MarshalError("malformed reply status '" + fields[2] + "'");
+    }
+    call->SetErrorText(str::UnescapeToken(fields[3]));
+    call->SetTrace(trace);
+    return call;
+  }
+  throw MarshalError("unknown protocol verb '" + verb + "'");
+}
+
+// Incremental text framing: scan the receive buffer for the newline
+// delimiter; a pending "trace:" header is decoder state carried across
+// fragments (the header and its call line may arrive in different
+// reads).
+class TextFrameDecoder final : public FrameDecoder {
+ public:
+  std::unique_ptr<Call> TryParseFrame(net::IncomingBuffer& in) override {
+    for (;;) {
+      std::string_view view = in.View();
+      size_t nl = view.find('\n');
+      if (nl == std::string_view::npos) {
+        if (view.size() > kMaxTextLine) {
+          throw MarshalError("request line exceeds 64 MiB cap");
+        }
+        // No delimiter yet: pre-grow the contiguous window so a giant
+        // line drip-fed byte-by-byte stays amortized O(n) (doubling),
+        // then wait for more bytes.
+        in.Reserve(view.size() * 2 + 1024);
+        return nullptr;
+      }
+      std::string line(view.substr(0, nl));
+      in.Consume(nl + 1);
+      if (!line.empty() && line.back() == '\r') line.pop_back();
+      if (line.rfind("trace: ", 0) == 0) {
+        if (!obs::TraceContext::Parse(
+                std::string_view(line).substr(7), &pending_trace_)) {
+          throw MarshalError("malformed trace header '" + line + "'");
+        }
+        continue;  // the call this context belongs to is the next line
+      }
+      std::unique_ptr<Call> call = ParseTextCallLine(line, pending_trace_);
+      pending_trace_ = obs::TraceContext();
+      return call;
+    }
+  }
+
+ private:
+  obs::TraceContext pending_trace_;
+};
 
 class TextProtocol final : public Protocol {
  public:
@@ -46,33 +177,24 @@ class TextProtocol final : public Protocol {
     // the channel write so a concurrently re-rendered frame can never
     // be freed out from under WriteAll.
     std::lock_guard lock(text->EncodeMutex());
-    if (!text->EncodingValidFor(call.Revision())) {
-      std::string line;
-      if (call.Trace().Valid()) {
-        line = "trace: " + call.Trace().ToString() + "\n";
-      }
-      if (call.Kind() == CallKind::kRequest) {
-        line += "REQ " + std::to_string(call.CallId()) + " " +
-                (call.Oneway() ? "O" : "W") + " " +
-                str::EscapeToken(call.Target()) + " " +
-                str::EscapeToken(call.Operation());
-      } else {
-        const char* status = call.Status() == CallStatus::kOk          ? "OK"
-                             : call.Status() == CallStatus::kSystemError ? "SYS"
-                             : call.Status() == CallStatus::kTimeout     ? "TMO"
-                                                                         : "USR";
-        line += "REP " + std::to_string(call.CallId()) + " " + status + " " +
-                str::EscapeToken(call.ErrorText());
-      }
-      for (const std::string& token : text->Tokens()) {
-        line.push_back(' ');
-        line += token;
-      }
-      line.push_back('\n');
-      text->StoreEncoding(std::move(line), call.Revision());
-    }
-    const std::string& line = text->Encoding();
+    const std::string& line = EnsureTextEncoding(text, call);
     channel.WriteAll(line.data(), line.size());
+  }
+
+  void EncodeCall(bytes::BufferChain& out, const Call& call) const override {
+    const auto* text = dynamic_cast<const TextCall*>(&call);
+    if (text == nullptr) {
+      throw MarshalError("text protocol given a non-text Call");
+    }
+    // Append copies the bytes into the chain's own tail slab: a queued
+    // reply must own its bytes (the call, and its cached encoding, die
+    // when the dispatch returns; the write queue drains later).
+    std::lock_guard lock(text->EncodeMutex());
+    out.Append(EnsureTextEncoding(text, call));
+  }
+
+  std::unique_ptr<FrameDecoder> NewFrameDecoder() const override {
+    return std::make_unique<TextFrameDecoder>();
   }
 
   std::unique_ptr<Call> ReadCall(net::BufferedReader& reader) const override {
@@ -82,7 +204,7 @@ class TextProtocol final : public Protocol {
     for (;;) {
       // 64 MiB line cap, mirroring HIOP's frame cap: a corrupted stream
       // that lost its newline must not buffer unboundedly.
-      if (!reader.ReadLine(line, 64u << 20)) return nullptr;
+      if (!reader.ReadLine(line, kMaxTextLine)) return nullptr;
       // Telnet clients send \r\n (§4.2's human-typed requests).
       if (!line.empty() && line.back() == '\r') line.pop_back();
       if (line.rfind("trace: ", 0) == 0) {
@@ -94,48 +216,7 @@ class TextProtocol final : public Protocol {
       }
       break;
     }
-    std::vector<std::string> fields = str::Split(line, ' ');
-    if (fields.empty() || fields[0].empty()) {
-      throw MarshalError("empty request line");
-    }
-    const std::string& verb = fields[0];
-    if (verb == "REQ") {
-      if (fields.size() < 5) throw MarshalError("short REQ line");
-      auto call = std::make_unique<TextCall>(std::vector<std::string>(
-          fields.begin() + 5, fields.end()));
-      call->SetKind(CallKind::kRequest);
-      call->SetCallId(std::strtoull(fields[1].c_str(), nullptr, 10));
-      if (fields[2] != "O" && fields[2] != "W") {
-        throw MarshalError("malformed oneway flag '" + fields[2] + "'");
-      }
-      call->SetOneway(fields[2] == "O");
-      call->SetTarget(str::UnescapeToken(fields[3]));
-      call->SetOperation(str::UnescapeToken(fields[4]));
-      call->SetTrace(trace);
-      return call;
-    }
-    if (verb == "REP") {
-      if (fields.size() < 4) throw MarshalError("short REP line");
-      auto call = std::make_unique<TextCall>(std::vector<std::string>(
-          fields.begin() + 4, fields.end()));
-      call->SetKind(CallKind::kReply);
-      call->SetCallId(std::strtoull(fields[1].c_str(), nullptr, 10));
-      if (fields[2] == "OK") {
-        call->SetStatus(CallStatus::kOk);
-      } else if (fields[2] == "SYS") {
-        call->SetStatus(CallStatus::kSystemError);
-      } else if (fields[2] == "USR") {
-        call->SetStatus(CallStatus::kUserException);
-      } else if (fields[2] == "TMO") {
-        call->SetStatus(CallStatus::kTimeout);
-      } else {
-        throw MarshalError("malformed reply status '" + fields[2] + "'");
-      }
-      call->SetErrorText(str::UnescapeToken(fields[3]));
-      call->SetTrace(trace);
-      return call;
-    }
-    throw MarshalError("unknown protocol verb '" + verb + "'");
+    return ParseTextCallLine(line, trace);
   }
 };
 
@@ -159,6 +240,159 @@ constexpr char kMagic[4] = {'H', 'I', 'O', 'P'};
 constexpr uint8_t kVersion = 1;
 constexpr uint8_t kFlagTrace = 0x01;  // head carries a trace context
 constexpr uint8_t kKnownFlags = kFlagTrace;
+constexpr size_t kHiopHeaderLen = 16;
+
+struct HiopHeader {
+  uint8_t msgtype = 0;
+  uint8_t flags = 0;
+  uint32_t head_len = 0;
+  uint32_t payload_len = 0;
+  size_t BodyLen() const {
+    return static_cast<size_t>(head_len) + payload_len;
+  }
+};
+
+// Validates the fixed 16-byte frame header. Throws MarshalError before
+// any of the (untrusted) lengths are acted on.
+HiopHeader ParseHiopHeader(const char* header) {
+  if (std::memcmp(header, kMagic, 4) != 0) {
+    throw MarshalError("bad HIOP magic");
+  }
+  if (static_cast<uint8_t>(header[4]) != kVersion) {
+    throw MarshalError("unsupported HIOP version");
+  }
+  HiopHeader hdr;
+  hdr.msgtype = static_cast<uint8_t>(header[5]);
+  if (hdr.msgtype != 1 && hdr.msgtype != 2) {
+    throw MarshalError("unknown HIOP message type");
+  }
+  hdr.flags = static_cast<uint8_t>(header[6]);
+  // Unknown flag bits would change the head layout; the trailing
+  // reserved byte is still always zero — anything else means the
+  // stream is corrupt. Fail the frame before trusting its lengths.
+  if ((hdr.flags & ~kKnownFlags) != 0 || header[7] != 0) {
+    throw MarshalError("corrupt HIOP header (reserved bits set)");
+  }
+  std::memcpy(&hdr.head_len, header + 8, 4);
+  std::memcpy(&hdr.payload_len, header + 12, 4);
+  // 64 MiB frame cap: a corrupted length must not OOM the server.
+  if (hdr.head_len > (1u << 20) || hdr.payload_len > (64u << 20)) {
+    throw MarshalError("HIOP frame too large");
+  }
+  return hdr;
+}
+
+// Decodes the frame body at `body_off` within `slab` into a readable
+// call (a view over the slab — no bytes copied). Shared by the blocking
+// reader (body_off 0 of a dedicated slab) and the incremental decoder
+// (body at an arbitrary offset of the connection's receive slab).
+std::unique_ptr<BinaryCall> DecodeHiopBody(const HiopHeader& hdr,
+                                           const bytes::IoBufPtr& slab,
+                                           size_t body_off) {
+  BinaryCall head(slab, body_off, hdr.head_len);
+  auto call = std::make_unique<BinaryCall>(slab, body_off + hdr.head_len,
+                                           hdr.payload_len);
+  call->SetCallId(head.GetULongLong());
+  if (hdr.msgtype == 1) {
+    call->SetKind(CallKind::kRequest);
+    call->SetOneway(head.GetBoolean());
+    call->SetTarget(head.GetString());
+    call->SetOperation(head.GetString());
+  } else {
+    call->SetKind(CallKind::kReply);
+    uint8_t status = head.GetOctet();
+    if (status > 3) throw MarshalError("malformed reply status");
+    call->SetStatus(static_cast<CallStatus>(status));
+    call->SetErrorText(head.GetString());
+  }
+  if ((hdr.flags & kFlagTrace) != 0) {
+    obs::TraceContext trace;
+    trace.trace_hi = head.GetULongLong();
+    trace.trace_lo = head.GetULongLong();
+    trace.span_id = head.GetULongLong();
+    trace.parent_span_id = head.GetULongLong();
+    trace.sampled = head.GetBoolean();
+    call->SetTrace(trace);
+  }
+  return call;
+}
+
+// Frames `call` into `out`: 16-byte header by copy, then the head and
+// payload sections appended BY REFERENCE — the marshaled bytes are never
+// assembled contiguously, and the refcounted slabs keep them alive for
+// as long as `out` does (a queued reactor reply outlives its Call).
+void BuildHiopFrame(bytes::BufferChain& out, const Call& call) {
+  const auto* bin = dynamic_cast<const BinaryCall*>(&call);
+  if (bin == nullptr) {
+    throw MarshalError("hiop protocol given a non-binary Call");
+  }
+  BinaryCall head;
+  head.PutULongLong(call.CallId());
+  if (call.Kind() == CallKind::kRequest) {
+    head.PutBoolean(call.Oneway());
+    head.PutString(call.Target());
+    head.PutString(call.Operation());
+  } else {
+    head.PutOctet(static_cast<uint8_t>(call.Status()));
+    head.PutString(call.ErrorText());
+  }
+  uint8_t flags = 0;
+  if (call.Trace().Valid()) {
+    flags |= kFlagTrace;
+    const obs::TraceContext& trace = call.Trace();
+    head.PutULongLong(trace.trace_hi);
+    head.PutULongLong(trace.trace_lo);
+    head.PutULongLong(trace.span_id);
+    head.PutULongLong(trace.parent_span_id);
+    head.PutBoolean(trace.sampled);
+  }
+  char header[kHiopHeaderLen];
+  std::memcpy(header, kMagic, 4);
+  header[4] = static_cast<char>(kVersion);
+  header[5] = call.Kind() == CallKind::kRequest ? 1 : 2;
+  header[6] = static_cast<char>(flags);
+  header[7] = '\0';
+  uint32_t head_len = static_cast<uint32_t>(head.PayloadSize());
+  uint32_t payload_len = static_cast<uint32_t>(bin->PayloadSize());
+  std::memcpy(header + 8, &head_len, 4);
+  std::memcpy(header + 12, &payload_len, 4);
+
+  out.Append(header, sizeof header);
+  out.AppendChain(head.Chain());
+  out.AppendChain(bin->Chain());
+}
+
+// Incremental HIOP framing over the connection's receive slab: once the
+// whole frame is present, the decoded call is a view at the frame's
+// offset within that very slab — the same zero-copy unmarshal as the
+// blocking path, without the per-frame dedicated slab.
+class HiopFrameDecoder final : public FrameDecoder {
+ public:
+  std::unique_ptr<Call> TryParseFrame(net::IncomingBuffer& in) override {
+    if (in.Available() < kHiopHeaderLen) {
+      in.Reserve(kHiopHeaderLen);
+      return nullptr;
+    }
+    HiopHeader hdr = ParseHiopHeader(in.Data());
+    size_t frame_len = kHiopHeaderLen + hdr.BodyLen();
+    if (in.Available() < frame_len) {
+      // The header told us exactly how much contiguous room the frame
+      // needs; reserve it once so no further rolls happen mid-frame.
+      in.Reserve(frame_len);
+      return nullptr;
+    }
+    size_t body_off = in.Pos() + kHiopHeaderLen;
+    bytes::IoBufPtr slab = in.Slab();
+    in.Consume(frame_len);
+    std::unique_ptr<BinaryCall> call = DecodeHiopBody(hdr, slab, body_off);
+    // Arena-donation gate: only the frame that fully drained the buffer
+    // may hand its slab's free tail to a dispatch arena (the buffer
+    // rolls to a fresh slab). Otherwise the slab still backs unparsed
+    // bytes or upcoming recv()s and must stay shared.
+    if (!in.TakeSlabIfDrained()) call->SetFrameShared();
+    return call;
+  }
+};
 
 class HiopProtocol final : public Protocol {
  public:
@@ -169,85 +403,30 @@ class HiopProtocol final : public Protocol {
   }
 
   void WriteCall(net::ByteChannel& channel, const Call& call) const override {
-    const auto* bin = dynamic_cast<const BinaryCall*>(&call);
-    if (bin == nullptr) {
-      throw MarshalError("hiop protocol given a non-binary Call");
-    }
-    BinaryCall head;
-    head.PutULongLong(call.CallId());
-    if (call.Kind() == CallKind::kRequest) {
-      head.PutBoolean(call.Oneway());
-      head.PutString(call.Target());
-      head.PutString(call.Operation());
-    } else {
-      head.PutOctet(static_cast<uint8_t>(call.Status()));
-      head.PutString(call.ErrorText());
-    }
-    uint8_t flags = 0;
-    if (call.Trace().Valid()) {
-      flags |= kFlagTrace;
-      const obs::TraceContext& trace = call.Trace();
-      head.PutULongLong(trace.trace_hi);
-      head.PutULongLong(trace.trace_lo);
-      head.PutULongLong(trace.span_id);
-      head.PutULongLong(trace.parent_span_id);
-      head.PutBoolean(trace.sampled);
-    }
-    // Scatter-gather framing: the 16-byte header goes into a small
-    // chain of its own, then the head and payload chains are appended
-    // BY REFERENCE — the marshaled bytes are never assembled into a
-    // contiguous frame; WritevAll hands the slices to the kernel as-is.
-    char header[16];
-    std::memcpy(header, kMagic, 4);
-    header[4] = static_cast<char>(kVersion);
-    header[5] = call.Kind() == CallKind::kRequest ? 1 : 2;
-    header[6] = static_cast<char>(flags);
-    header[7] = '\0';
-    uint32_t head_len = static_cast<uint32_t>(head.PayloadSize());
-    uint32_t payload_len = static_cast<uint32_t>(bin->PayloadSize());
-    std::memcpy(header + 8, &head_len, 4);
-    std::memcpy(header + 12, &payload_len, 4);
-
+    // Scatter-gather framing: WritevAll hands the chain's slices to the
+    // kernel as-is (see BuildHiopFrame).
     bytes::BufferChain frame;
-    frame.Append(header, sizeof header);
-    frame.AppendChain(head.Chain());
-    frame.AppendChain(bin->Chain());
+    BuildHiopFrame(frame, call);
     channel.WritevAll(frame);
   }
 
+  void EncodeCall(bytes::BufferChain& out, const Call& call) const override {
+    BuildHiopFrame(out, call);
+  }
+
+  std::unique_ptr<FrameDecoder> NewFrameDecoder() const override {
+    return std::make_unique<HiopFrameDecoder>();
+  }
+
   std::unique_ptr<Call> ReadCall(net::BufferedReader& reader) const override {
-    char header[16];
+    char header[kHiopHeaderLen];
     if (!reader.ReadExact(header, sizeof header)) return nullptr;
-    if (std::memcmp(header, kMagic, 4) != 0) {
-      throw MarshalError("bad HIOP magic");
-    }
-    if (static_cast<uint8_t>(header[4]) != kVersion) {
-      throw MarshalError("unsupported HIOP version");
-    }
-    uint8_t msgtype = static_cast<uint8_t>(header[5]);
-    if (msgtype != 1 && msgtype != 2) {
-      throw MarshalError("unknown HIOP message type");
-    }
-    uint8_t flags = static_cast<uint8_t>(header[6]);
-    // Unknown flag bits would change the head layout; the trailing
-    // reserved byte is still always zero — anything else means the
-    // stream is corrupt. Fail the frame before trusting its lengths.
-    if ((flags & ~kKnownFlags) != 0 || header[7] != 0) {
-      throw MarshalError("corrupt HIOP header (reserved bits set)");
-    }
-    uint32_t head_len = 0;
-    uint32_t payload_len = 0;
-    std::memcpy(&head_len, header + 8, 4);
-    std::memcpy(&payload_len, header + 12, 4);
-    // 64 MiB frame cap: a corrupted length must not OOM the server.
-    if (head_len > (1u << 20) || payload_len > (64u << 20)) {
-      throw MarshalError("HIOP frame too large");
-    }
+    HiopHeader hdr = ParseHiopHeader(header);
     // One pooled slab holds the whole frame body; the head decoder and
     // the returned call are views into it (the call retains the slab, so
     // Get*View results stay valid for the call's lifetime). The frame
     // header already promised these bytes, so EOF here is mid-frame.
-    size_t total = static_cast<size_t>(head_len) + payload_len;
+    size_t total = hdr.BodyLen();
     bytes::IoBufPtr slab =
         bytes::IoBufPool::Global().Get(total > 0 ? total : 1);
     if (total != 0 && !reader.ReadExact(slab->Data(), total)) {
@@ -256,32 +435,7 @@ class HiopProtocol final : public Protocol {
     // Mark the frame bytes written: Size() is where a dispatch arena
     // seeded from this slab starts its scratch region.
     slab->Advance(total);
-
-    BinaryCall head(slab, 0, head_len);
-    auto call = std::make_unique<BinaryCall>(slab, head_len, payload_len);
-    call->SetCallId(head.GetULongLong());
-    if (msgtype == 1) {
-      call->SetKind(CallKind::kRequest);
-      call->SetOneway(head.GetBoolean());
-      call->SetTarget(head.GetString());
-      call->SetOperation(head.GetString());
-    } else {
-      call->SetKind(CallKind::kReply);
-      uint8_t status = head.GetOctet();
-      if (status > 3) throw MarshalError("malformed reply status");
-      call->SetStatus(static_cast<CallStatus>(status));
-      call->SetErrorText(head.GetString());
-    }
-    if ((flags & kFlagTrace) != 0) {
-      obs::TraceContext trace;
-      trace.trace_hi = head.GetULongLong();
-      trace.trace_lo = head.GetULongLong();
-      trace.span_id = head.GetULongLong();
-      trace.parent_span_id = head.GetULongLong();
-      trace.sampled = head.GetBoolean();
-      call->SetTrace(trace);
-    }
-    return call;
+    return DecodeHiopBody(hdr, slab, 0);
   }
 };
 

@@ -20,9 +20,29 @@
 
 #include "net/buffered.h"
 #include "net/channel.h"
+#include "net/inbound.h"
+#include "support/bytes.h"
 #include "wire/call.h"
 
 namespace heidi::wire {
+
+// Incremental, resumable frame assembly for readiness-driven serving.
+// Where ReadCall blocks inside ReadExact until a whole frame arrives, a
+// FrameDecoder is fed whatever fragments epoll delivers: TryParseFrame
+// either consumes one complete frame from the buffer or returns nullptr
+// ("need more bytes") after reserving contiguous space for what it can
+// already see it needs. One decoder instance per connection — it carries
+// cross-fragment state (e.g. a pending trace header line).
+class FrameDecoder {
+ public:
+  virtual ~FrameDecoder() = default;
+
+  // Returns the next complete Call parsed out of `in` (consuming its
+  // bytes), or nullptr when the buffer does not yet hold a full frame.
+  // Throws MarshalError on malformed input — the connection is then
+  // unrecoverable, exactly as for ReadCall.
+  virtual std::unique_ptr<Call> TryParseFrame(net::IncomingBuffer& in) = 0;
+};
 
 class Protocol {
  public:
@@ -40,6 +60,23 @@ class Protocol {
   // Reads one framed call; returns nullptr on clean EOF. Throws on
   // malformed frames or mid-frame EOF.
   virtual std::unique_ptr<Call> ReadCall(net::BufferedReader& reader) const = 0;
+
+  // Appends the framed encoding of `call` to `out` without touching a
+  // channel — the reactor's reply path, where frames go through a
+  // per-connection write queue instead of a blocking WritevAll. The
+  // appended slices may reference the call's marshaled slabs by
+  // refcount, so `out` stays valid after the call is destroyed.
+  // Protocols that support reactor serving implement this alongside
+  // NewFrameDecoder; the default throws.
+  virtual void EncodeCall(bytes::BufferChain& out, const Call& call) const;
+
+  // A fresh per-connection incremental decoder, or nullptr when the
+  // protocol only supports the blocking ReadCall path (the default —
+  // custom registered protocols keep working: the orb serves them with
+  // the legacy thread-per-connection loop).
+  virtual std::unique_ptr<FrameDecoder> NewFrameDecoder() const {
+    return nullptr;
+  }
 };
 
 // Global protocol registry. "text" and "hiop" are pre-registered;
